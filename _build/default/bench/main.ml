@@ -1,0 +1,582 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§5), plus the analysis-validation and ablation experiments
+   listed in DESIGN.md.
+
+     dune exec bench/main.exe            -- run everything
+     dune exec bench/main.exe fig5       -- one experiment
+     dune exec bench/main.exe -- --quick -- scaled-down sizes
+     dune exec bench/main.exe micro      -- bechamel micro-benchmarks
+
+   The paper's primary metric is the number of block I/Os; wall-clock
+   seconds are reported as well.  Absolute values differ from the paper
+   (its substrate was TPIE on year-2003 hardware; ours is a virtual disk),
+   but the shapes under test are the same — see EXPERIMENTS.md. *)
+
+module Config = Nexsort.Config
+module Ordering = Nexsort.Ordering
+
+let quick = ref false
+
+let ordering = Ordering.by_attr "id"
+
+(* ------------------------------------------------------------------ *)
+(* measurement helpers *)
+
+type run = {
+  io : int;       (* total block I/Os, inputs and outputs included *)
+  seconds : float;
+  detail : string;
+}
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)
+
+let run_nexsort ~config doc_dev =
+  Extmem.Io_stats.reset (Extmem.Device.stats doc_dev);
+  let output =
+    Extmem.Device.in_memory ~name:"out" ~block_size:config.Config.block_size ()
+  in
+  let report, seconds =
+    time (fun () -> Nexsort.sort_device ~config ~ordering ~input:doc_dev ~output ())
+  in
+  {
+    io = Extmem.Io_stats.total report.Nexsort.total_io;
+    seconds;
+    detail =
+      Printf.sprintf "sorts=%d(mem %d/ext %d) frags=%d" report.Nexsort.subtree_sorts
+        report.Nexsort.in_memory_sorts report.Nexsort.external_sorts
+        report.Nexsort.fragment_runs;
+  }
+
+let run_mergesort ~config doc_dev =
+  Extmem.Io_stats.reset (Extmem.Device.stats doc_dev);
+  let output =
+    Extmem.Device.in_memory ~name:"out" ~block_size:config.Config.block_size ()
+  in
+  let report, seconds =
+    time (fun () ->
+        Baselines.Keypath_sort.sort_device ~config ~ordering ~input:doc_dev ~output ())
+  in
+  {
+    io = Extmem.Io_stats.total report.Baselines.Keypath_sort.total_io;
+    seconds;
+    detail =
+      Printf.sprintf "runs=%d passes=%d" report.Baselines.Keypath_sort.initial_runs
+        report.Baselines.Keypath_sort.merge_passes;
+  }
+
+let make_doc ?(avg_bytes = 100) ~fanouts () =
+  let dev = Extmem.Device.in_memory ~name:"input" ~block_size:1024 () in
+  let stats =
+    Xmlgen.Gen.to_device dev (fun sink -> Xmlgen.Gen.exact_shape ~avg_bytes ~fanouts sink)
+  in
+  (dev, stats)
+
+(* re-home a document onto a device with the right block size *)
+let with_block_size bs dev =
+  Extmem.Device.of_string ~name:"input" ~block_size:bs (Extmem.Device.contents dev)
+
+let heading fmt =
+  Printf.ksprintf
+    (fun s -> Printf.printf "\n%s\n%s\n" s (String.make (String.length s) '='))
+    fmt
+
+let subnote fmt = Printf.ksprintf (fun s -> Printf.printf "%s\n" s) fmt
+
+(* ------------------------------------------------------------------ *)
+(* T1: Table 1 — key-path representation of D1 *)
+
+let table1 () =
+  heading "T1 / Table 1: key-path representation of D1 (Figure 1)";
+  let rows =
+    Baselines.Keypath_sort.keypath_table ~ordering:Xmlgen.Company.ordering
+      Xmlgen.Company.figure_1_d1
+  in
+  Printf.printf "%-22s %s\n" "Key path" "Element content";
+  List.iter (fun (path, content) -> Printf.printf "%-22s %s\n" path content) rows
+
+(* ------------------------------------------------------------------ *)
+(* F5: effect of main memory size *)
+
+let fig5_doc () =
+  (* a hierarchical document with small fan-outs, the regime of the
+     paper's Figure 5 ("when fan-outs are small, NEXSORT is not very
+     dependent on main memory size"); subtree collapses stay close to the
+     threshold, so the data stack oscillation fits its resident window *)
+  let fanouts = if !quick then [ 6; 6; 6; 6 ] else [ 6; 6; 6; 6; 6; 4 ] in
+  make_doc ~avg_bytes:150 ~fanouts ()
+
+let fig5 () =
+  heading "F5 / Figure 5: effect of main memory size";
+  let doc, stats = fig5_doc () in
+  subnote "input: %d elements, %d KiB; block size 1 KiB; threshold 2 blocks"
+    stats.Xmlgen.Gen.elements (stats.Xmlgen.Gen.bytes / 1024);
+  Printf.printf "%-12s | %-38s | %-28s | %s\n" "memory" "NEXSORT io / s" "MergeSort io / s"
+    "mergesort/nexsort io";
+  let mems = [ 8; 12; 16; 24; 32; 48; 64; 96 ] in
+  List.iter
+    (fun m ->
+      let config = Config.make ~block_size:1024 ~memory_blocks:m () in
+      let input = with_block_size 1024 doc in
+      let nx = run_nexsort ~config input in
+      let ms = run_mergesort ~config input in
+      Printf.printf "%3d blocks   | %8d  %6.2fs %-20s | %8d  %6.2fs %-8s | %.2fx\n" m nx.io
+        nx.seconds nx.detail ms.io ms.seconds ms.detail
+        (float_of_int ms.io /. float_of_int nx.io))
+    mems
+
+(* ------------------------------------------------------------------ *)
+(* F6: effect of input size with constant maximum fan-out *)
+
+let fig6_shapes () =
+  (* constant maximum fan-out 85 (the paper's cap), growing sizes *)
+  if !quick then [ [ 85 ]; [ 85; 10 ]; [ 85; 30 ]; [ 85; 85 ] ]
+  else
+    [ [ 85; 10 ]; [ 85; 85 ]; [ 85; 85; 4 ]; [ 85; 85; 10 ]; [ 85; 85; 22 ]; [ 85; 85; 44 ] ]
+
+let fig6 () =
+  heading "F6 / Figure 6: effect of input size (max fan-out capped at 85)";
+  subnote "block size 1 KiB, memory 16 blocks (deliberately small, like the paper's 3 MB)";
+  Printf.printf "%-12s | %-26s | %-36s | %s\n" "elements" "NEXSORT io / s" "MergeSort io / s"
+    "io per element (nx, ms)";
+  let config = Config.make ~block_size:1024 ~memory_blocks:16 () in
+  List.iter
+    (fun fanouts ->
+      let doc, stats = make_doc ~fanouts () in
+      let input = with_block_size 1024 doc in
+      let nx = run_nexsort ~config input in
+      let ms = run_mergesort ~config input in
+      let n = float_of_int stats.Xmlgen.Gen.elements in
+      Printf.printf "%8d     | %9d  %6.2fs        | %9d  %6.2fs %-16s | %.3f, %.3f\n"
+        stats.Xmlgen.Gen.elements nx.io nx.seconds ms.io ms.seconds ms.detail
+        (float_of_int nx.io /. n)
+        (float_of_int ms.io /. n))
+    (fig6_shapes ())
+
+(* ------------------------------------------------------------------ *)
+(* T2+F7: effect of tree shape *)
+
+let fig7_shapes () =
+  (* Table 2 scaled from 3M elements to ~60k: heights 2..6, near-uniform
+     fan-out at every level *)
+  if !quick then
+    [ (2, [ 6000 ]); (3, [ 77; 77 ]); (4, [ 18; 18; 18 ]); (5, [ 9; 9; 9; 9 ]);
+      (6, [ 5; 5; 6; 6; 6 ]) ]
+  else
+    [
+      (2, [ 60000 ]);
+      (3, [ 244; 244 ]);
+      (4, [ 39; 39; 39 ]);
+      (5, [ 15; 16; 16; 16 ]);
+      (6, [ 9; 9; 9; 9; 9 ]);
+    ]
+
+let fig7 () =
+  heading "T2+F7 / Table 2 + Figure 7: effect of tree shape (constant size)";
+  subnote "block size 1 KiB, memory 16 blocks; paper sizes scaled 3e6 -> ~6e4 elements";
+  Printf.printf "%-7s %-18s %-9s | %-20s | %-20s | %-20s\n" "height" "fan-out per level"
+    "elements" "NEXSORT io / s" "NEXSORT no-degen" "MergeSort io / s";
+  List.iter
+    (fun (h, fanouts) ->
+      let doc, stats = make_doc ~fanouts () in
+      let input = with_block_size 1024 doc in
+      let config = Config.make ~block_size:1024 ~memory_blocks:16 () in
+      let nx = run_nexsort ~config input in
+      let nxnd =
+        run_nexsort
+          ~config:(Config.make ~block_size:1024 ~memory_blocks:16 ~degeneration:false ())
+          input
+      in
+      let ms = run_mergesort ~config input in
+      Printf.printf "%-7d %-18s %-9d | %9d %6.2fs   | %9d %6.2fs   | %9d %6.2fs\n" h
+        (String.concat "," (List.map string_of_int fanouts))
+        stats.Xmlgen.Gen.elements nx.io nx.seconds nxnd.io nxnd.seconds ms.io ms.seconds)
+    (fig7_shapes ())
+
+(* ------------------------------------------------------------------ *)
+(* E-thr: effect of the sort threshold (§5, figure in the full version) *)
+
+let threshold () =
+  heading "E-thr / effect of the sort threshold t";
+  let doc, stats = fig5_doc () in
+  subnote "input: %d elements; block size 1 KiB, memory 32 blocks" stats.Xmlgen.Gen.elements;
+  Printf.printf "%-14s | %s\n" "threshold" "NEXSORT io / s / detail";
+  List.iter
+    (fun mult ->
+      let config = Config.make ~block_size:1024 ~memory_blocks:32 ~threshold:(mult * 1024) () in
+      let input = with_block_size 1024 doc in
+      let nx = run_nexsort ~config input in
+      Printf.printf "t = %2d blocks  | %8d  %6.2fs  %s\n" mult nx.io nx.seconds nx.detail)
+    [ 1; 2; 4; 8; 16 ]
+
+(* ------------------------------------------------------------------ *)
+(* E-lb: measured I/O vs the bounds of §4 *)
+
+let model () =
+  heading "E-lb / Theorems 4.4-4.5: measured I/O vs analytical bounds";
+  subnote
+    "B = elements per block, m = memory blocks; bounds are order-of-growth (constants differ)";
+  Printf.printf "%-10s %-4s | %-10s %-12s %-8s | %-10s %-12s %-8s | %s\n" "elements" "k" "nx io"
+    "nx bound" "ratio" "ms io" "ms bound" "ratio" "lower bound";
+  let config = Config.make ~block_size:1024 ~memory_blocks:16 () in
+  let shapes =
+    if !quick then [ `Exact [ 85; 10 ]; `Exact [ 85; 85 ] ]
+    else
+      [ `Exact [ 85; 10 ]; `Exact [ 85; 85 ]; `Exact [ 85; 85; 10 ];
+        (* the Lemma 4.1 adversary: the shape for which the lower bound is
+           tight *)
+        `Adversarial (85, 20_000) ]
+  in
+  List.iter
+    (fun shape ->
+      let doc, stats, fanouts =
+        match shape with
+        | `Exact fanouts ->
+            let doc, stats = make_doc ~fanouts () in
+            (doc, stats, fanouts)
+        | `Adversarial (k, n) ->
+            let dev = Extmem.Device.in_memory ~name:"input" ~block_size:1024 () in
+            let stats =
+              Xmlgen.Gen.to_device dev (fun sink ->
+                  Xmlgen.Gen.adversarial ~k ~n_elements:n sink)
+            in
+            (dev, stats, [ k ])
+      in
+      let input = with_block_size 1024 doc in
+      let nx = run_nexsort ~config input in
+      let ms = run_mergesort ~config input in
+      let k = List.fold_left max 1 fanouts in
+      let elements_per_block =
+        max 1 (1024 / (stats.Xmlgen.Gen.bytes / max 1 stats.Xmlgen.Gen.elements))
+      in
+      let params =
+        {
+          Iomodel.Model.n_elements = stats.Xmlgen.Gen.elements;
+          elements_per_block;
+          memory_blocks = 16;
+          max_fanout = k;
+        }
+      in
+      let nx_bound =
+        Iomodel.Model.nexsort_bound ~threshold_elements:(2 * elements_per_block) params
+      in
+      let ms_bound = Iomodel.Model.merge_sort_bound params in
+      let lb = Iomodel.Model.lower_bound params in
+      Printf.printf "%-10d %-4d | %-10d %-12.0f %-8.2f | %-10d %-12.0f %-8.2f | %.0f\n"
+        stats.Xmlgen.Gen.elements k nx.io nx_bound
+        (float_of_int nx.io /. nx_bound)
+        ms.io ms_bound
+        (float_of_int ms.io /. ms_bound)
+        lb)
+    shapes
+
+(* ------------------------------------------------------------------ *)
+(* A-deg: graceful degeneration on a flat document *)
+
+let ablate_degen () =
+  heading "A-deg / ablation: graceful degeneration on a flat (2-level) document";
+  let fanout = if !quick then 6000 else 30000 in
+  let doc, stats = make_doc ~fanouts:[ fanout ] () in
+  subnote "input: flat, %d elements (the paper's worst case for NEXSORT)"
+    stats.Xmlgen.Gen.elements;
+  let input = with_block_size 1024 doc in
+  let base = Config.make ~block_size:1024 ~memory_blocks:16 in
+  let on = run_nexsort ~config:(base ()) input in
+  let off = run_nexsort ~config:(base ~degeneration:false ()) input in
+  let ms = run_mergesort ~config:(base ()) input in
+  Printf.printf "NEXSORT + degeneration : %8d io  %6.2fs  %s\n" on.io on.seconds on.detail;
+  Printf.printf "NEXSORT - degeneration : %8d io  %6.2fs  %s\n" off.io off.seconds off.detail;
+  Printf.printf "key-path merge sort    : %8d io  %6.2fs  %s\n" ms.io ms.seconds ms.detail;
+  subnote
+    "(the paper did not implement degeneration and reports NEXSORT losing on flat inputs;\n\
+    \ with it, NEXSORT should be within a whisker of merge sort)"
+
+(* ------------------------------------------------------------------ *)
+(* A-cmp: compaction ablation (§3.2) *)
+
+let ablate_compact () =
+  heading "A-cmp / ablation: entry encodings (compaction, §3.2)";
+  let doc, stats = fig5_doc () in
+  subnote "input: %d elements" stats.Xmlgen.Gen.elements;
+  List.iter
+    (fun (label, encoding) ->
+      let config = Config.make ~block_size:1024 ~memory_blocks:16 ~encoding () in
+      let input = with_block_size 1024 doc in
+      let nx = run_nexsort ~config input in
+      Printf.printf "%-28s : %8d io  %6.2fs  %s\n" label nx.io nx.seconds nx.detail)
+    [
+      ("plain (no compaction)", Config.Plain);
+      ("dict (name compression)", Config.Dict);
+      ("packed (+ no end entries)", Config.Packed);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* A-fuse: root fusion ablation *)
+
+let ablate_fusion () =
+  heading "A-fuse / ablation: fusing the root sort with the output phase";
+  (* a flat document: the root's sorted run is the entire document, so
+     fusion saves materialising and re-reading all of it *)
+  let fanout = if !quick then 3000 else 15000 in
+  let doc, stats = make_doc ~fanouts:[ fanout ] () in
+  subnote "input: flat, %d elements; memory 32 blocks" stats.Xmlgen.Gen.elements;
+  List.iter
+    (fun (label, root_fusion) ->
+      let config = Config.make ~block_size:1024 ~memory_blocks:32 ~root_fusion () in
+      let input = with_block_size 1024 doc in
+      let nx = run_nexsort ~config input in
+      Printf.printf "%-24s : %8d io  %6.2fs  %s
+" label nx.io nx.seconds nx.detail)
+    [ ("fused (default)", true); ("materialised root run", false) ];
+  subnote "(fusion saves writing and re-reading the root run: up to two document passes)"
+
+(* ------------------------------------------------------------------ *)
+(* A-runs: run-formation ablation (replacement selection) *)
+
+let ablate_runs () =
+  heading "A-runs / ablation: run formation in the external sorter";
+  subnote
+    "classic replacement selection doubles the average run length on random input,\n\
+     halving the run count and sometimes saving a whole merge pass";
+  let n = if !quick then 20_000 else 120_000 in
+  let rng = Xmlgen.Splitmix.create 12345 in
+  let records = List.init n (fun _ -> Printf.sprintf "%08d" (Xmlgen.Splitmix.int rng 99999989)) in
+  let run formation label =
+    let budget = Extmem.Memory_budget.create ~blocks:8 ~block_size:1024 in
+    let temp = Extmem.Device.in_memory ~block_size:1024 () in
+    let input =
+      let rest = ref records in
+      fun () ->
+        match !rest with
+        | [] -> None
+        | x :: tl ->
+            rest := tl;
+            Some x
+    in
+    let sink = ref 0 in
+    let stats, seconds =
+      time (fun () ->
+          Extsort.External_sort.sort ~run_formation:formation ~budget ~temp ~cmp:compare ~input
+            ~output:(fun _ -> incr sink)
+            ())
+    in
+    Printf.printf "%-24s : %8d io  %6.2fs  runs=%d passes=%d\n" label
+      (Extmem.Io_stats.total (Extmem.Device.stats temp))
+      seconds stats.Extsort.External_sort.initial_runs stats.Extsort.External_sort.merge_passes
+  in
+  run `Load_sort "load-sort-store (default)";
+  run `Replacement_selection "replacement selection"
+
+(* ------------------------------------------------------------------ *)
+(* E-mot: the motivating claim of s1 - nested-loop merge vs sort-merge *)
+
+let motivation () =
+  heading "E-mot / Example 1.1: nested-loop merge vs sort-then-merge";
+  subnote
+    "the paper's motivation: the naive merge's access pattern ignores the disk layout;\n\
+     sorting first makes the merge a single pass.  Block size 1 KiB, memory 16 blocks.";
+  Printf.printf "%-10s | %-20s | %-24s | %-20s | %s\n" "employees" "naive nested-loop io"
+    "indexed nested-loop io" "sort both + merge io" "naive/sorted";
+  let sizes = if !quick then [ 2; 4; 8 ] else [ 2; 4; 8; 16; 32 ] in
+  List.iter
+    (fun employees_per_branch ->
+      let pair =
+        Xmlgen.Company.generate ~seed:11 ~regions:4 ~branches_per_region:4
+          ~employees_per_branch ()
+      in
+      let merge_ordering = Xmlgen.Company.ordering in
+      let bs = 1024 in
+      let n_employees = 4 * 4 * employees_per_branch in
+      (* naive: unsorted documents, nested-loop matching; trace the right
+         document's access pattern (where the re-scans land) *)
+      let l = Extmem.Device.of_string ~block_size:bs pair.Xmlgen.Company.personnel in
+      let r = Extmem.Device.of_string ~block_size:bs pair.Xmlgen.Company.payroll in
+      let out = Extmem.Device.in_memory ~block_size:bs () in
+      let trace = Extmem.Trace.attach r in
+      let naive, naive_s =
+        time (fun () ->
+            Xmerge.Naive_merge.merge_devices ~ordering:merge_ordering ~left:l ~right:r
+              ~output:out ())
+      in
+      Extmem.Trace.detach trace;
+      let seeks = Extmem.Trace.summarize trace in
+      let naive_io = Extmem.Io_stats.total naive.Xmerge.Naive_merge.total_io in
+      (* the "additional index" variant: one build pass + B-tree probes *)
+      let il = Extmem.Device.of_string ~block_size:bs pair.Xmlgen.Company.personnel in
+      let ir = Extmem.Device.of_string ~block_size:bs pair.Xmlgen.Company.payroll in
+      let iout = Extmem.Device.in_memory ~block_size:bs () in
+      let indexed, indexed_s =
+        time (fun () ->
+            Xmerge.Indexed_merge.merge_devices ~ordering:merge_ordering ~left:il ~right:ir
+              ~output:iout ())
+      in
+      let indexed_io = Extmem.Io_stats.total indexed.Xmerge.Indexed_merge.total_io in
+      (* sort-merge: NEXSORT both, then a single-pass structural merge *)
+      let config = Config.make ~block_size:bs ~memory_blocks:16 () in
+      let sorted_io, sm_s =
+        time (fun () ->
+            let sort doc =
+              let input = Extmem.Device.of_string ~block_size:bs doc in
+              let output = Extmem.Device.in_memory ~block_size:bs () in
+              let rep = Nexsort.sort_device ~config ~ordering:merge_ordering ~input ~output () in
+              (Extmem.Io_stats.total rep.Nexsort.total_io, output)
+            in
+            let io1, d1 = sort pair.Xmlgen.Company.personnel in
+            let io2, d2 = sort pair.Xmlgen.Company.payroll in
+            Extmem.Io_stats.reset (Extmem.Device.stats d1);
+            Extmem.Io_stats.reset (Extmem.Device.stats d2);
+            let out2 = Extmem.Device.in_memory ~block_size:bs () in
+            ignore
+              (Xmerge.Struct_merge.merge_devices ~ordering:merge_ordering ~left:d1 ~right:d2
+                 ~output:out2 ());
+            io1 + io2
+            + Extmem.Io_stats.total (Extmem.Device.stats d1)
+            + Extmem.Io_stats.total (Extmem.Device.stats d2)
+            + Extmem.Io_stats.total (Extmem.Device.stats out2))
+      in
+      Printf.printf "%8d   | %8d  %6.2fs    | %8d  %6.2fs        | %8d  %6.2fs    | %.1fx\n"
+        n_employees naive_io naive_s indexed_io indexed_s sorted_io sm_s
+        (float_of_int naive_io /. float_of_int sorted_io);
+      Printf.printf "%10s naive access pattern on the right document: %s\n" ""
+        (Format.asprintf "%a" Extmem.Trace.pp_summary seeks))
+    sizes
+
+(* ------------------------------------------------------------------ *)
+(* E-xsort: related work (XSort, s2) - one-level sorting does less *)
+
+let xsort () =
+  heading "E-xsort / related work: XSort-style one-level sorting vs NEXSORT";
+  subnote
+    "the paper: XSort sorts only the children of user-specified elements and \"should\n\
+     complete in less time than NEXSORT\", but its output cannot drive structural merge";
+  let doc, stats = fig5_doc () in
+  subnote "input: %d elements" stats.Xmlgen.Gen.elements;
+  let config = Config.make ~block_size:1024 ~memory_blocks:16 () in
+  let input () = with_block_size 1024 doc in
+  let xs_output = Extmem.Device.in_memory ~block_size:1024 () in
+  let xs_in = input () in
+  let xs, xs_s =
+    time (fun () ->
+        Baselines.Xsort.sort_device ~config ~ordering ~targets:[ "n2" ] ~input:xs_in
+          ~output:xs_output ())
+  in
+  let xs_io = Extmem.Io_stats.total xs.Baselines.Xsort.total_io in
+  let nx = run_nexsort ~config (input ()) in
+  let nx2 =
+    run_nexsort ~config:(Config.make ~block_size:1024 ~memory_blocks:16 ~depth_limit:2 ())
+      (input ())
+  in
+  Printf.printf "XSort (children of n2)     : %8d io  %6.2fs  (%d targets, %d children)\n" xs_io
+    xs_s xs.Baselines.Xsort.targets_sorted xs.Baselines.Xsort.children_sorted;
+  Printf.printf "NEXSORT depth limit 2      : %8d io  %6.2fs  %s\n" nx2.io nx2.seconds nx2.detail;
+  Printf.printf "NEXSORT head-to-toe        : %8d io  %6.2fs  %s\n" nx.io nx.seconds nx.detail;
+  subnote "(only the head-to-toe output supports the single-pass structural merge)"
+
+(* ------------------------------------------------------------------ *)
+(* micro-benchmarks (bechamel): the hot inner operations *)
+
+let micro () =
+  heading "micro / bechamel: inner-loop operations";
+  let open Bechamel in
+  let key_a = Nexsort.Key.Num 454. and key_b = Nexsort.Key.Str "Durham" in
+  let record path = Nexsort.Keypath.encode_record path ~payload:"<employee ID=\"454\"/>" in
+  let path1 =
+    [ { Nexsort.Keypath.key = Nexsort.Key.Str "AC"; pos = 2 };
+      { Nexsort.Keypath.key = Nexsort.Key.Str "Durham"; pos = 4 };
+      { Nexsort.Keypath.key = Nexsort.Key.Num 454.; pos = 5 } ]
+  in
+  let path2 =
+    [ { Nexsort.Keypath.key = Nexsort.Key.Str "AC"; pos = 2 };
+      { Nexsort.Keypath.key = Nexsort.Key.Str "Durham"; pos = 4 };
+      { Nexsort.Keypath.key = Nexsort.Key.Num 323.; pos = 6 } ]
+  in
+  let r1 = record path1 and r2 = record path2 in
+  let dict = Xmlio.Dict.create () in
+  let entry =
+    Nexsort.Entry.Start
+      { level = 3; pos = 17; name = "employee"; attrs = [ ("ID", "454") ];
+        key = Some (Nexsort.Key.Num 454.) }
+  in
+  let encoded = Nexsort.Entry.encode Config.Dict dict entry in
+  let small_doc =
+    "<company><region name=\"AC\"><branch name=\"Durham\"><employee ID=\"454\"/><employee \
+     ID=\"323\"><name>Smith</name></employee></branch></region></company>"
+  in
+  let tests =
+    Test.make_grouped ~name:"nexsort"
+      [
+        Test.make ~name:"Key.compare" (Staged.stage (fun () -> Nexsort.Key.compare key_a key_b));
+        Test.make ~name:"Keypath.compare_encoded"
+          (Staged.stage (fun () -> Nexsort.Keypath.compare_encoded r1 r2));
+        Test.make ~name:"Entry.encode (dict)"
+          (Staged.stage (fun () -> Nexsort.Entry.encode Config.Dict dict entry));
+        Test.make ~name:"Entry.decode (dict)"
+          (Staged.stage (fun () -> Nexsort.Entry.decode Config.Dict dict encoded));
+        Test.make ~name:"Parser (155-byte doc)"
+          (Staged.stage (fun () -> Xmlio.Parser.to_list (Xmlio.Parser.of_string small_doc)));
+      ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.4) () in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let results =
+    Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]) instance
+      raw
+  in
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> Printf.printf "%-40s %12.1f ns/op\n" name est
+      | Some _ | None -> Printf.printf "%-40s (no estimate)\n" name)
+    results
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("table1", table1);
+    ("fig5", fig5);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("threshold", threshold);
+    ("model", model);
+    ("ablate-degen", ablate_degen);
+    ("ablate-compact", ablate_compact);
+    ("ablate-fusion", ablate_fusion);
+    ("ablate-runs", ablate_runs);
+    ("motivation", motivation);
+    ("xsort", xsort);
+    ("micro", micro);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--quick" then begin
+          quick := true;
+          false
+        end
+        else a <> "--")
+      args
+  in
+  let selected =
+    match args with
+    | [] -> List.filter (fun (n, _) -> n <> "micro") experiments
+    | names ->
+        List.map
+          (fun n ->
+            match List.assoc_opt n experiments with
+            | Some f -> (n, f)
+            | None ->
+                Printf.eprintf "unknown experiment %S; available: %s\n" n
+                  (String.concat ", " (List.map fst experiments));
+                exit 2)
+          names
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun (_, f) -> f ()) selected;
+  Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

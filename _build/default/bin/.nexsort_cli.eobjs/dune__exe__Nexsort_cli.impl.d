@@ -1,0 +1,1 @@
+bin/nexsort_cli.ml: Arg Baselines Cli_common Cmd Cmdliner Extmem Fmt_tty Format List Logs Logs_fmt Nexsort Option Printf String Term Unix Xmlio

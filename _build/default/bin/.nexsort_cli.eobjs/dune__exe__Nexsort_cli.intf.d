@@ -1,0 +1,1 @@
+bin/nexsort_cli.mli:

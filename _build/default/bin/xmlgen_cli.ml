@@ -1,0 +1,75 @@
+(* nexsort-gen: generate synthetic XML workloads (§5 of the paper). *)
+
+open Cmdliner
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+let run seed avg_bytes height max_fanout max_elements fanouts company output =
+  match (company, fanouts) with
+  | true, _ ->
+      let pair = Xmlgen.Company.generate ~seed () in
+      write_file (output ^ ".personnel.xml") pair.Xmlgen.Company.personnel;
+      write_file (output ^ ".payroll.xml") pair.Xmlgen.Company.payroll;
+      Printf.eprintf "wrote %s.personnel.xml and %s.payroll.xml\n" output output;
+      `Ok ()
+  | false, Some fanouts ->
+      let s, stats =
+        Xmlgen.Gen.to_string (fun sink -> Xmlgen.Gen.exact_shape ~seed ~avg_bytes ~fanouts sink)
+      in
+      write_file output s;
+      Printf.eprintf "wrote %s: %d elements, height %d, %d bytes\n" output
+        stats.Xmlgen.Gen.elements stats.Xmlgen.Gen.height stats.Xmlgen.Gen.bytes;
+      `Ok ()
+  | false, None ->
+      let s, stats =
+        Xmlgen.Gen.to_string (fun sink ->
+            Xmlgen.Gen.random_shape ~seed ~avg_bytes ~max_elements ~height ~max_fanout sink)
+      in
+      write_file output s;
+      Printf.eprintf "wrote %s: %d elements, height %d, %d bytes\n" output
+        stats.Xmlgen.Gen.elements stats.Xmlgen.Gen.height stats.Xmlgen.Gen.bytes;
+      `Ok ()
+
+let fanouts_term =
+  let parse s =
+    try Ok (Some (List.map int_of_string (String.split_on_char ',' s)))
+    with Failure _ -> Error (`Msg "expected a comma-separated list of integers")
+  in
+  Arg.(
+    value
+    & opt (conv (parse, fun ppf _ -> Format.pp_print_string ppf "<fanouts>")) None
+    & info [ "fanouts" ] ~docv:"F1,F2,..."
+        ~doc:
+          "Exact per-level fan-outs (the paper's custom generator, Table 2).  Overrides \
+           $(b,--height)/$(b,--max-fanout).")
+
+let cmd =
+  let doc = "generate synthetic XML documents (IBM-generator-style and exact-shape)" in
+  let info = Cmd.info "nexsort-gen" ~version:"1.0.0" ~doc in
+  Cmd.v info
+    Term.(
+      ret
+        (const run
+        $ Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
+        $ Arg.(
+            value & opt int 150
+            & info [ "avg-bytes" ] ~docv:"N" ~doc:"Average serialized element size (paper: 150).")
+        $ Arg.(value & opt int 4 & info [ "height" ] ~docv:"H" ~doc:"Tree height (random shape).")
+        $ Arg.(
+            value & opt int 10
+            & info [ "max-fanout"; "k" ] ~docv:"K"
+                ~doc:"Maximum fan-out; per-element fan-out is uniform in [1, K].")
+        $ Arg.(
+            value & opt int 100_000
+            & info [ "max-elements" ] ~docv:"N" ~doc:"Stop growing the tree at N elements.")
+        $ fanouts_term
+        $ Arg.(
+            value & flag
+            & info [ "company" ]
+                ~doc:"Generate the Figure 1 personnel/payroll document pair instead.")
+        $ Arg.(
+            value & opt string "generated.xml" & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Output file.")))
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,83 @@
+(* nexsort-merge: sort two XML documents and structurally merge them in a
+   single pass (Example 1.1), or apply a batch-update document. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+let ordering_term =
+  let parse s =
+    match Nexsort.Ordering.of_spec_string s with
+    | o -> Ok o
+    | exception Invalid_argument msg -> Error (`Msg msg)
+  in
+  Arg.(
+    value
+    & opt (conv (parse, fun ppf _ -> Format.pp_print_string ppf "<ordering>"))
+        (Nexsort.Ordering.by_attr "id")
+    & info [ "ordering"; "O" ] ~docv:"SPEC"
+        ~doc:"Ordering specification (see $(b,nexsort --help)); must be scan-evaluable.")
+
+let run ordering presorted update_mode left_path right_path output =
+  let left = read_file left_path and right = read_file right_path in
+  try
+    let result, summary =
+      if update_mode then begin
+        let out, r =
+          if presorted then Xmerge.Batch_update.apply_strings ~ordering ~base:left ~updates:right
+          else Xmerge.Batch_update.sort_and_apply_strings ~ordering ~base:left ~updates:right ()
+        in
+        ( out,
+          Printf.sprintf "matched %d, deletes %d, replaces %d, no-op deletes %d"
+            r.Xmerge.Batch_update.merge.Xmerge.Struct_merge.matched_elements
+            r.Xmerge.Batch_update.deletes r.Xmerge.Batch_update.replaces
+            r.Xmerge.Batch_update.unmatched_deletes )
+      end
+      else begin
+        let out, r =
+          if presorted then Xmerge.Struct_merge.merge_strings ~ordering left right
+          else Xmerge.Struct_merge.sort_and_merge_strings ~ordering left right
+        in
+        ( out,
+          Printf.sprintf "matched %d elements, emitted %d events"
+            r.Xmerge.Struct_merge.matched_elements r.Xmerge.Struct_merge.output_events )
+      end
+    in
+    write_file output result;
+    Printf.eprintf "%s -> %s\n" summary output;
+    `Ok ()
+  with
+  | Xmlio.Parser.Error { line; col; msg } -> `Error (false, Printf.sprintf "%d:%d: %s" line col msg)
+  | Xmerge.Struct_merge.Not_sorted msg -> `Error (false, "input not sorted: " ^ msg)
+  | Invalid_argument msg -> `Error (false, msg)
+
+let cmd =
+  let doc = "structurally merge two XML documents after sorting them (sort-merge join)" in
+  let info = Cmd.info "nexsort-merge" ~version:"1.0.0" ~doc in
+  Cmd.v info
+    Term.(
+      ret
+        (const run $ ordering_term
+        $ Arg.(
+            value & flag
+            & info [ "presorted" ] ~doc:"Inputs are already fully sorted; skip the sorting step.")
+        $ Arg.(
+            value & flag
+            & info [ "update" ]
+                ~doc:
+                  "Treat the second document as a batch of updates (__op attributes: merge, \
+                   delete, replace).")
+        $ Arg.(required & pos 0 (some file) None & info [] ~docv:"LEFT")
+        $ Arg.(required & pos 1 (some file) None & info [] ~docv:"RIGHT")
+        $ Arg.(
+            value & opt string "merged.xml" & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Output file.")))
+
+let () = exit (Cmd.eval cmd)

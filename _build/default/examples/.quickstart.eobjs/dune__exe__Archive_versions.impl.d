@@ -1,0 +1,1 @@
+examples/archive_versions.ml: Baselines Nexsort Option Printf String Xmerge Xmlio

@@ -1,0 +1,1 @@
+examples/archive_versions.mli:

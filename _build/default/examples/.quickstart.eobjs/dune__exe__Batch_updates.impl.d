@@ -1,0 +1,1 @@
+examples/batch_updates.ml: Baselines Nexsort Printf Xmerge Xmlio

@@ -1,0 +1,1 @@
+examples/depth_limited.ml: Baselines Extmem List Nexsort Printf Xmlgen Xmlio

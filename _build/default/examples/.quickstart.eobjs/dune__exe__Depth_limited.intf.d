@@ -1,0 +1,1 @@
+examples/depth_limited.mli:

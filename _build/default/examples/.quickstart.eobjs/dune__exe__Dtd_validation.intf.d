@@ -1,0 +1,1 @@
+examples/dtd_validation.mli:

@@ -1,0 +1,1 @@
+examples/merge_payroll.ml: Baselines Extmem List Nexsort Printf String Xmerge Xmlgen Xmlio

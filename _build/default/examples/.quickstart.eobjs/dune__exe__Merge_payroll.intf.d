@@ -1,0 +1,1 @@
+examples/merge_payroll.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Baselines Format Nexsort Xmlio

@@ -1,0 +1,1 @@
+lib/baselines/keypath_sort.ml: Extmem Extsort List Nexsort Option Printf String Unix Xmlio

@@ -1,0 +1,1 @@
+lib/baselines/keypath_sort.mli: Extmem Nexsort

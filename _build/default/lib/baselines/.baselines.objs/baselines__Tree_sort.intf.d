@@ -1,0 +1,1 @@
+lib/baselines/tree_sort.mli: Nexsort Xmlio

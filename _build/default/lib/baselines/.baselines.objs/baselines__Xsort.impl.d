@@ -1,0 +1,1 @@
+lib/baselines/xsort.ml: Buffer Extmem Extsort List Nexsort Option Printf Unix Xmlio

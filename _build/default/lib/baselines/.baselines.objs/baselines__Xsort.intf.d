@@ -1,0 +1,1 @@
+lib/baselines/xsort.mli: Extmem Nexsort Xmlio

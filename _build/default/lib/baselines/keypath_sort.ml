@@ -1,0 +1,191 @@
+module Config = Nexsort.Config
+module Entry = Nexsort.Entry
+module Key = Nexsort.Key
+module Keypath = Nexsort.Keypath
+module Ordering = Nexsort.Ordering
+
+type report = {
+  records : int;
+  record_bytes : int;
+  initial_runs : int;
+  merge_passes : int;
+  input_io : Extmem.Io_stats.t;
+  temp_io : Extmem.Io_stats.t;
+  output_io : Extmem.Io_stats.t;
+  total_io : Extmem.Io_stats.t;
+  wall_seconds : float;
+}
+
+(* Pull-stream of encoded key-path records for the whole document. *)
+let record_stream ~config ~ordering ~dict parser counters =
+  let evaluator = Ordering.Evaluator.create ordering in
+  let enc = config.Config.encoding in
+  let stack = ref [] in (* components of open elements, innermost first *)
+  let pos = ref 0 in
+  let level () = List.length !stack in
+  let depth_limit = config.Config.depth_limit in
+  let component lvl key p =
+    let key =
+      match depth_limit with
+      | Some d when lvl > d + 1 -> Key.Null
+      | Some _ | None -> key
+    in
+    { Keypath.key; pos = p }
+  in
+  let emit entry own =
+    let record =
+      Keypath.encode_record (List.rev !stack @ [ own ]) ~payload:(Entry.encode enc dict entry)
+    in
+    let n_rec, n_bytes = !counters in
+    counters := (n_rec + 1, n_bytes + String.length record);
+    Some record
+  in
+  let rec next () =
+    match Xmlio.Parser.next parser with
+    | None -> None
+    | Some (Xmlio.Event.Start (name, attrs)) ->
+        incr pos;
+        let key =
+          match Ordering.Evaluator.on_start evaluator name attrs with
+          | Some k -> k
+          | None ->
+              invalid_arg
+                "Keypath_sort: subtree-derived orderings are not supported by the key-path \
+                 baseline (keys must be known at the start tag)"
+        in
+        let lvl = level () + 1 in
+        let own = component lvl key !pos in
+        let entry = Entry.Start { level = lvl; pos = !pos; name; attrs; key = Some key } in
+        let r = emit entry own in
+        stack := own :: !stack;
+        r
+    | Some (Xmlio.Event.Text content) ->
+        incr pos;
+        Ordering.Evaluator.on_text evaluator content;
+        let lvl = level () + 1 in
+        let entry = Entry.Text { level = lvl; pos = !pos; content } in
+        emit entry (component lvl Key.Null !pos)
+    | Some (Xmlio.Event.End _) ->
+        ignore (Ordering.Evaluator.on_end evaluator);
+        (match !stack with
+        | _ :: rest -> stack := rest
+        | [] -> ());
+        next ()
+  in
+  next
+
+let sort_device ?(config = Config.make ()) ~ordering ~input ~output () =
+  if not (Ordering.all_scan_evaluable ordering) then
+    invalid_arg "Keypath_sort: ordering must be scan-evaluable";
+  let t0 = Unix.gettimeofday () in
+  let dict = Xmlio.Dict.create () in
+  let budget =
+    Extmem.Memory_budget.create ~blocks:config.Config.memory_blocks
+      ~block_size:config.Config.block_size
+  in
+  (* one input buffer, one output buffer; the rest goes to the sort *)
+  Extmem.Memory_budget.reserve budget ~who:"input buffer" 1;
+  Extmem.Memory_budget.reserve budget ~who:"output buffer" 1;
+  let parser =
+    Xmlio.Parser.of_reader
+      ~keep_whitespace:config.Config.keep_whitespace
+      (Extmem.Block_reader.of_device input)
+  in
+  let counters = ref (0, 0) in
+  let records = record_stream ~config ~ordering ~dict parser counters in
+  let temp = Extmem.Device.in_memory ~name:"temp" ~block_size:config.Config.block_size () in
+  let bw = Extmem.Block_writer.create output in
+  let writer = Xmlio.Writer.to_block_writer bw in
+  (* reconstruction: sorted key-path order is the sorted document's
+     pre-order; end tags come back from level transitions (§3.2) *)
+  let opens = Extmem.Vec.create () in
+  let close_to level =
+    while Extmem.Vec.length opens > 0 && snd (Extmem.Vec.top opens) >= level do
+      let name, _ = Extmem.Vec.pop opens in
+      Xmlio.Writer.event writer (Xmlio.Event.End name)
+    done
+  in
+  let enc = config.Config.encoding in
+  let out_record record =
+    match Entry.decode enc dict (Keypath.decode_payload record) with
+    | Entry.Start { name; attrs; level; _ } ->
+        close_to level;
+        Xmlio.Writer.event writer (Xmlio.Event.Start (name, attrs));
+        Extmem.Vec.push opens (name, level)
+    | Entry.Text { content; level; _ } ->
+        close_to level;
+        Xmlio.Writer.event writer (Xmlio.Event.Text content)
+    | Entry.End _ | Entry.Run_ptr _ -> assert false
+  in
+  let stats =
+    Extsort.External_sort.sort ~budget ~temp ~cmp:Keypath.compare_encoded ~input:records
+      ~output:out_record ()
+  in
+  close_to 1;
+  Xmlio.Writer.close writer;
+  let extent = Extmem.Block_writer.close bw in
+  Extmem.Device.set_byte_length output extent.Extmem.Extent.bytes;
+  let input_io = Extmem.Io_stats.snapshot (Extmem.Device.stats input) in
+  let temp_io = Extmem.Io_stats.snapshot (Extmem.Device.stats temp) in
+  let output_io = Extmem.Io_stats.snapshot (Extmem.Device.stats output) in
+  let n_records, record_bytes = !counters in
+  {
+    records = n_records;
+    record_bytes;
+    initial_runs = stats.Extsort.External_sort.initial_runs;
+    merge_passes = stats.Extsort.External_sort.merge_passes;
+    input_io;
+    temp_io;
+    output_io;
+    total_io = Extmem.Io_stats.add input_io (Extmem.Io_stats.add temp_io output_io);
+    wall_seconds = Unix.gettimeofday () -. t0;
+  }
+
+let sort_string ?config ~ordering s =
+  let config = Option.value config ~default:(Config.make ()) in
+  let input = Extmem.Device.of_string ~block_size:config.Config.block_size s in
+  let output = Extmem.Device.in_memory ~name:"output" ~block_size:config.Config.block_size () in
+  let report = sort_device ~config ~ordering ~input ~output () in
+  (Extmem.Device.contents output, report)
+
+let keypath_table ~ordering s =
+  if not (Ordering.all_scan_evaluable ordering) then
+    invalid_arg "Keypath_sort.keypath_table: ordering must be scan-evaluable";
+  let parser = Xmlio.Parser.of_string s in
+  let evaluator = Ordering.Evaluator.create ordering in
+  let stack = ref [] in
+  let rows = ref [] in
+  let rec go () =
+    match Xmlio.Parser.next parser with
+    | None -> ()
+    | Some (Xmlio.Event.Start (name, attrs)) ->
+        let key = Option.get (Ordering.Evaluator.on_start evaluator name attrs) in
+        stack := { Keypath.key; pos = 0 } :: !stack;
+        let tag =
+          Printf.sprintf "<%s%s>" name
+            (String.concat ""
+               (List.map (fun (k, v) -> Printf.sprintf " %s=\"%s\"" k (Xmlio.Escape.escape_attr v)) attrs))
+        in
+        (* Table 1 omits the root's own key: the root row reads "/" *)
+        let display_path =
+          match List.rev !stack with
+          | _root :: rest -> rest
+          | [] -> []
+        in
+        rows := (Keypath.path_to_string display_path, tag) :: !rows;
+        go ()
+    | Some (Xmlio.Event.Text content) ->
+        Ordering.Evaluator.on_text evaluator content;
+        (match !rows with
+        | (path, tag) :: rest -> rows := (path, tag ^ Xmlio.Escape.escape_text content) :: rest
+        | [] -> ());
+        go ()
+    | Some (Xmlio.Event.End _) ->
+        ignore (Ordering.Evaluator.on_end evaluator);
+        (match !stack with
+        | _ :: rest -> stack := rest
+        | [] -> ());
+        go ()
+  in
+  go ();
+  List.rev !rows

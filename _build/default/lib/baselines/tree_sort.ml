@@ -1,0 +1,65 @@
+module Key = Nexsort.Key
+module Ordering = Nexsort.Ordering
+
+let compare_pairs (ka, pa) (kb, pb) =
+  let c = Key.compare ka kb in
+  if c <> 0 then c else compare pa pb
+
+let sort_tree ?depth_limit ordering tree =
+  let counter = ref 0 in
+  (* positions are assigned in document order, mirroring the external
+     algorithms' scan, so key ties break identically *)
+  let rec go level node =
+    incr counter;
+    let pos = !counter in
+    match node with
+    | Xmlio.Tree.Text _ -> (node, Key.Null, pos)
+    | Xmlio.Tree.Element e ->
+        let key = Ordering.key_of_tree ordering e in
+        let children = List.map (go (level + 1)) e.Xmlio.Tree.children in
+        let sort_here =
+          match depth_limit with
+          | None -> true
+          | Some d -> level <= d
+        in
+        let children =
+          if sort_here then
+            List.sort (fun (_, ka, pa) (_, kb, pb) -> compare_pairs (ka, pa) (kb, pb)) children
+          else children
+        in
+        ( Xmlio.Tree.Element { e with Xmlio.Tree.children = List.map (fun (n, _, _) -> n) children },
+          key,
+          pos )
+  in
+  let sorted, _, _ = go 1 tree in
+  sorted
+
+let sort_string ?depth_limit ?keep_whitespace ordering s =
+  Xmlio.Tree.to_string (sort_tree ?depth_limit ordering (Xmlio.Tree.of_string ?keep_whitespace s))
+
+let sorted ?depth_limit ordering tree =
+  let ok = ref true in
+  let rec go level node =
+    match node with
+    | Xmlio.Tree.Text _ -> Key.Null
+    | Xmlio.Tree.Element e ->
+        let key = Ordering.key_of_tree ordering e in
+        let child_keys = List.map (go (level + 1)) e.Xmlio.Tree.children in
+        let check_here =
+          match depth_limit with
+          | None -> true
+          | Some d -> level <= d
+        in
+        if check_here then begin
+          let rec ordered = function
+            | ka :: (kb :: _ as rest) ->
+                if Key.compare ka kb > 0 then ok := false;
+                ordered rest
+            | [ _ ] | [] -> ()
+          in
+          ordered child_keys
+        end;
+        key
+  in
+  ignore (go 1 tree);
+  !ok

@@ -1,0 +1,21 @@
+(** Internal-memory recursive sort (§1, first strawman).
+
+    Read the whole document into a DOM-style tree, recursively sort every
+    element's child list, serialize.  Takes full advantage of the
+    structure but assumes the document fits in internal memory — the
+    paper's motivation for NEXSORT.  Here it doubles as the correctness
+    oracle for the external algorithms. *)
+
+val sort_tree : ?depth_limit:int -> Nexsort.Ordering.t -> Xmlio.Tree.t -> Xmlio.Tree.t
+(** Recursively order every element's children by [(key, document
+    position)] under the given ordering; with [depth_limit], only the
+    child lists of elements at level <= d (root = 1). *)
+
+val sort_string : ?depth_limit:int -> ?keep_whitespace:bool -> Nexsort.Ordering.t -> string -> string
+(** Parse, sort, serialize. *)
+
+val sorted : ?depth_limit:int -> Nexsort.Ordering.t -> Xmlio.Tree.t -> bool
+(** Check the full-sortedness invariant: every element's children are in
+    [(key, position)] order.  Positions are assigned in document order of
+    the tree being checked, so this checks {e local} orderedness: each
+    sibling list is non-decreasing in key. *)

@@ -1,0 +1,241 @@
+module Config = Nexsort.Config
+module Key = Nexsort.Key
+module Ordering = Nexsort.Ordering
+
+type report = {
+  targets_sorted : int;
+  children_sorted : int;
+  spilled_sorts : int;
+  input_io : Extmem.Io_stats.t;
+  temp_io : Extmem.Io_stats.t;
+  output_io : Extmem.Io_stats.t;
+  total_io : Extmem.Io_stats.t;
+  wall_seconds : float;
+}
+
+(* ---- a small self-contained event codec for spooled child subtrees ---- *)
+
+let put_event buf e =
+  match e with
+  | Xmlio.Event.Start (name, attrs) ->
+      Extmem.Codec.put_u8 buf 0;
+      Extmem.Codec.put_string buf name;
+      Extmem.Codec.put_varint buf (List.length attrs);
+      List.iter
+        (fun (k, v) ->
+          Extmem.Codec.put_string buf k;
+          Extmem.Codec.put_string buf v)
+        attrs
+  | Xmlio.Event.End name ->
+      Extmem.Codec.put_u8 buf 1;
+      Extmem.Codec.put_string buf name
+  | Xmlio.Event.Text s ->
+      Extmem.Codec.put_u8 buf 2;
+      Extmem.Codec.put_string buf s
+
+let get_event c =
+  match Extmem.Codec.get_u8 c with
+  | 0 ->
+      let name = Extmem.Codec.get_string c in
+      let n = Extmem.Codec.get_varint c in
+      let rec attrs n acc =
+        if n = 0 then List.rev acc
+        else begin
+          let k = Extmem.Codec.get_string c in
+          let v = Extmem.Codec.get_string c in
+          attrs (n - 1) ((k, v) :: acc)
+        end
+      in
+      Xmlio.Event.Start (name, attrs n [])
+  | 1 -> Xmlio.Event.End (Extmem.Codec.get_string c)
+  | 2 -> Xmlio.Event.Text (Extmem.Codec.get_string c)
+  | t -> raise (Extmem.Codec.Corrupt (Printf.sprintf "Xsort: bad event tag %d" t))
+
+(* child records: [key][varint pos][events...] *)
+let encode_child key pos events =
+  let buf = Buffer.create 128 in
+  Key.encode buf key;
+  Extmem.Codec.put_varint buf pos;
+  List.iter (put_event buf) (List.rev events);
+  Buffer.contents buf
+
+let compare_children a b =
+  let ca = Extmem.Codec.cursor a and cb = Extmem.Codec.cursor b in
+  let ka = Key.decode ca and kb = Key.decode cb in
+  let c = Key.compare ka kb in
+  if c <> 0 then c else compare (Extmem.Codec.get_varint ca) (Extmem.Codec.get_varint cb)
+
+let emit_child_events record emit =
+  let c = Extmem.Codec.cursor record in
+  ignore (Key.decode c);
+  ignore (Extmem.Codec.get_varint c);
+  while not (Extmem.Codec.at_end c) do
+    emit (get_event c)
+  done
+
+(* ---- the streaming pass ---- *)
+
+type ctx = {
+  parser : Xmlio.Parser.t;
+  ordering : Ordering.t;
+  targets : string list;
+  selector : Xmlio.Xpath.t option;
+  budget : Extmem.Memory_budget.t;
+  temp : Extmem.Device.t;
+  mutable chain : (string * Xmlio.Event.attr list) list; (* innermost first *)
+  mutable pos : int;
+  mutable n_targets : int;
+  mutable n_children : int;
+  mutable n_spilled : int;
+}
+
+(* the element is already on ctx.chain when this is asked *)
+let is_target ctx name =
+  match ctx.selector with
+  | Some path -> Xmlio.Xpath.matches_chain path (List.rev ctx.chain)
+  | None -> List.mem name ctx.targets
+
+let key_of ctx name attrs =
+  match Ordering.key_of_start ctx.ordering name attrs with
+  | Some k -> k
+  | None -> invalid_arg "Xsort: ordering must be scan-evaluable"
+
+(* [element] processes one element whose Start has been consumed, emitting
+   its (possibly child-sorted) events including the End.  [captured] is
+   true when we are already buffering inside an outer target's child — the
+   nested sort is then done in memory, since the data is memory-resident
+   anyway. *)
+let rec element ctx ~captured emit name attrs =
+  ctx.chain <- (name, attrs) :: ctx.chain;
+  emit (Xmlio.Event.Start (name, attrs));
+  if is_target ctx name then sorted_children ctx ~captured emit name
+  else plain_children ctx ~captured emit;
+  ctx.chain <- List.tl ctx.chain
+
+and plain_children ctx ~captured emit =
+  match Xmlio.Parser.next ctx.parser with
+  | None -> invalid_arg "Xsort: truncated input"
+  | Some (Xmlio.Event.End _ as e) -> emit e
+  | Some (Xmlio.Event.Text _ as e) ->
+      ctx.pos <- ctx.pos + 1;
+      emit e;
+      plain_children ctx ~captured emit
+  | Some (Xmlio.Event.Start (n, a)) ->
+      ctx.pos <- ctx.pos + 1;
+      element ctx ~captured emit n a;
+      plain_children ctx ~captured emit
+
+(* capture one child subtree (its Start already identified by the caller's
+   peek) into an encoded record; nested targets are sorted on the fly *)
+and capture_child ctx =
+  match Xmlio.Parser.next ctx.parser with
+  | Some (Xmlio.Event.Text s) ->
+      ctx.pos <- ctx.pos + 1;
+      Some (encode_child Key.Null ctx.pos [ Xmlio.Event.Text s ])
+  | Some (Xmlio.Event.Start (n, a)) ->
+      ctx.pos <- ctx.pos + 1;
+      let pos = ctx.pos in
+      let key = key_of ctx n a in
+      let events = ref [] in
+      element ctx ~captured:true (fun e -> events := e :: !events) n a;
+      Some (encode_child key pos !events)
+  | Some (Xmlio.Event.End _) -> None
+  | None -> invalid_arg "Xsort: truncated input"
+
+and sorted_children ctx ~captured emit name =
+  ctx.n_targets <- ctx.n_targets + 1;
+  if captured then begin
+    (* in-memory: the surrounding capture already holds everything *)
+    let records = ref [] in
+    let rec gather () =
+      match capture_child ctx with
+      | Some r ->
+          records := r :: !records;
+          gather ()
+      | None -> ()
+    in
+    gather ();
+    let sorted = List.sort compare_children (List.rev !records) in
+    ctx.n_children <- ctx.n_children + List.length sorted;
+    List.iter (fun r -> emit_child_events r emit) sorted;
+    emit (Xmlio.Event.End name)
+  end
+  else begin
+    (* streaming: external merge sort over the child records *)
+    let count = ref 0 in
+    let input () =
+      match capture_child ctx with
+      | Some r ->
+          incr count;
+          Some r
+      | None -> None
+    in
+    let stats =
+      Extsort.External_sort.sort ~budget:ctx.budget ~temp:ctx.temp ~cmp:compare_children ~input
+        ~output:(fun r -> emit_child_events r emit)
+        ()
+    in
+    if stats.Extsort.External_sort.initial_runs > 0 then ctx.n_spilled <- ctx.n_spilled + 1;
+    ctx.n_children <- ctx.n_children + !count;
+    emit (Xmlio.Event.End name)
+  end
+
+let sort_device ?(config = Config.make ()) ?selector ~ordering ~targets ~input ~output () =
+  if targets = [] && selector = None then invalid_arg "Xsort: no target elements given";
+  (match selector with
+  | Some p when Xmlio.Xpath.has_positional p ->
+      invalid_arg "Xsort: positional predicates are not supported in target paths"
+  | Some _ | None -> ());
+  if not (Ordering.all_scan_evaluable ordering) then
+    invalid_arg "Xsort: ordering must be scan-evaluable";
+  let t0 = Unix.gettimeofday () in
+  let budget =
+    Extmem.Memory_budget.create ~blocks:config.Config.memory_blocks
+      ~block_size:config.Config.block_size
+  in
+  Extmem.Memory_budget.reserve budget ~who:"input buffer" 1;
+  Extmem.Memory_budget.reserve budget ~who:"output buffer" 1;
+  let temp = Extmem.Device.in_memory ~name:"temp" ~block_size:config.Config.block_size () in
+  let parser =
+    Xmlio.Parser.of_reader
+      ~keep_whitespace:config.Config.keep_whitespace
+      (Extmem.Block_reader.of_device input)
+  in
+  let ctx =
+    { parser; ordering; targets; selector; budget; temp; chain = []; pos = 0; n_targets = 0;
+      n_children = 0; n_spilled = 0 }
+  in
+  let bw = Extmem.Block_writer.create output in
+  let writer = Xmlio.Writer.to_block_writer bw in
+  let emit = Xmlio.Writer.event writer in
+  (match Xmlio.Parser.next parser with
+  | Some (Xmlio.Event.Start (n, a)) ->
+      ctx.pos <- 1;
+      element ctx ~captured:false emit n a
+  | Some _ | None -> invalid_arg "Xsort: input has no root element");
+  (match Xmlio.Parser.next parser with
+  | None -> ()
+  | Some _ -> invalid_arg "Xsort: trailing content after the root element");
+  Xmlio.Writer.close writer;
+  let extent = Extmem.Block_writer.close bw in
+  Extmem.Device.set_byte_length output extent.Extmem.Extent.bytes;
+  let input_io = Extmem.Io_stats.snapshot (Extmem.Device.stats input) in
+  let temp_io = Extmem.Io_stats.snapshot (Extmem.Device.stats temp) in
+  let output_io = Extmem.Io_stats.snapshot (Extmem.Device.stats output) in
+  {
+    targets_sorted = ctx.n_targets;
+    children_sorted = ctx.n_children;
+    spilled_sorts = ctx.n_spilled;
+    input_io;
+    temp_io;
+    output_io;
+    total_io = Extmem.Io_stats.add input_io (Extmem.Io_stats.add temp_io output_io);
+    wall_seconds = Unix.gettimeofday () -. t0;
+  }
+
+let sort_string ?config ?selector ~ordering ~targets s =
+  let config = Option.value config ~default:(Config.make ()) in
+  let input = Extmem.Device.of_string ~block_size:config.Config.block_size s in
+  let output = Extmem.Device.in_memory ~name:"output" ~block_size:config.Config.block_size () in
+  let report = sort_device ~config ?selector ~ordering ~targets ~input ~output () in
+  (Extmem.Device.contents output, report)

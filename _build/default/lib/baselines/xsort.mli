@@ -1,0 +1,59 @@
+(** XSort-style one-level sorting (§2, Avila-Campillo et al. [7]).
+
+    The related-work comparison point: XSort (from the XMLTK toolkit)
+    traverses the document to user-specified {e target} elements and sorts
+    {e their} immediate children only — child subtrees are not sorted
+    recursively.  It is implemented, as the original was, on standard
+    external merge sort.  The hierarchical structure of XML is irrelevant
+    to it because sorting happens on one level at a time.
+
+    As the paper notes, XSort "sorts less, and should complete in less
+    time than NEXSORT", but its output does not support single-pass
+    structural merge (the `benchmark xsort` experiment quantifies
+    exactly that trade-off).
+
+    Implementation: one streaming pass; inside a target element, each
+    child subtree is spooled as a record keyed by its sort key and
+    document position, the records are sorted with
+    {!Extsort.External_sort} (so target element child lists larger than
+    memory still work), and written back in sorted order.  Everything
+    outside target elements streams through untouched.  Nested targets
+    are handled innermost-first via a recursion on the spooled
+    subtrees. *)
+
+type report = {
+  targets_sorted : int;    (** target elements whose children were sorted *)
+  children_sorted : int;   (** total child subtrees reordered *)
+  spilled_sorts : int;     (** target sorts that exceeded memory and used
+                               the external sorter's temp device *)
+  input_io : Extmem.Io_stats.t;
+  temp_io : Extmem.Io_stats.t;
+  output_io : Extmem.Io_stats.t;
+  total_io : Extmem.Io_stats.t;
+  wall_seconds : float;
+}
+
+val sort_device :
+  ?config:Nexsort.Config.t ->
+  ?selector:Xmlio.Xpath.t ->
+  ordering:Nexsort.Ordering.t ->
+  targets:string list ->
+  input:Extmem.Device.t ->
+  output:Extmem.Device.t ->
+  unit ->
+  report
+(** Sort the children of every target element under the (scan-evaluable)
+    ordering.  Targets are the elements whose tag is in [targets], or —
+    when [selector] is given, as in the original XMLTK tool — the
+    elements matched by the path expression (positional predicates are
+    rejected: streaming selection has no sibling counts).
+    @raise Invalid_argument on subtree orderings or when neither targets
+    nor a selector designate anything. *)
+
+val sort_string :
+  ?config:Nexsort.Config.t ->
+  ?selector:Xmlio.Xpath.t ->
+  ordering:Nexsort.Ordering.t ->
+  targets:string list ->
+  string ->
+  string * report

@@ -1,0 +1,1 @@
+lib/core/nexsort.ml: Config Entry Key Keypath Ordering Session Sorter Subtree_sort

@@ -1,0 +1,1 @@
+lib/core/entry.ml: Buffer Config Extmem Format Key List Option Printf String Xmlio

@@ -1,0 +1,1 @@
+lib/core/key.ml: Extmem Float Format List Printf Stdlib String

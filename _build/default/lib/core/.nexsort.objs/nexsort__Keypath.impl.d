@@ -1,0 +1,1 @@
+lib/core/keypath.ml: Buffer Extmem Float Format Key List String

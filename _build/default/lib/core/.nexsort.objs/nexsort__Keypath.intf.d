@@ -1,0 +1,1 @@
+lib/core/keypath.mli: Format Key

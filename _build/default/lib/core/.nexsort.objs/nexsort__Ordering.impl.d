@@ -1,0 +1,1 @@
+lib/core/ordering.ml: Array Buffer Format Key List Option String Xmlio

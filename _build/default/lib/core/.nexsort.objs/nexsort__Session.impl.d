@@ -1,0 +1,1 @@
+lib/core/session.ml: Config Entry Extmem Fun List Xmlio

@@ -1,0 +1,1 @@
+lib/core/sorter.ml: Buffer Config Entry Extmem Format Key List Logs Option Ordering Session Subtree_sort Unix Xmlio

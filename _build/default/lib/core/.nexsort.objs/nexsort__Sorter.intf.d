@@ -1,0 +1,1 @@
+lib/core/sorter.mli: Config Extmem Format Ordering

@@ -1,0 +1,1 @@
+lib/core/subtree_sort.ml: Array Buffer Config Entry Extmem Extsort Key Keypath List Option Session String

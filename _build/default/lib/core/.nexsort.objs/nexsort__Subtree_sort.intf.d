@@ -1,0 +1,1 @@
+lib/core/subtree_sort.mli: Entry Extmem Extsort Key Session

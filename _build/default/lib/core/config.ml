@@ -1,0 +1,80 @@
+type encoding =
+  | Plain
+  | Dict
+  | Packed
+
+type t = {
+  block_size : int;
+  memory_blocks : int;
+  threshold : int;
+  depth_limit : int option;
+  degeneration : bool;
+  root_fusion : bool;
+  encoding : encoding;
+  data_stack_blocks : int;
+  path_stack_blocks : int;
+  keep_whitespace : bool;
+}
+
+let make ?(block_size = 4096) ?(memory_blocks = 64) ?threshold ?depth_limit ?(degeneration = true)
+    ?(root_fusion = true) ?(encoding = Dict) ?data_stack_blocks ?(path_stack_blocks = 2) ?(keep_whitespace = false) () =
+  let threshold = Option.value threshold ~default:(2 * block_size) in
+  (* The data stack oscillates: entries accumulate until a subtree reaches
+     the threshold and is truncated away.  A window that covers twice the
+     threshold keeps that oscillation resident and avoids spilling the
+     whole document through the stack device — provided the budget leaves
+     the fixed buffers (input, path window, output-location window) and a
+     minimal 3-block sort arena. *)
+  let data_stack_blocks =
+    match data_stack_blocks with
+    | Some d -> d
+    | None ->
+        let fixed = 1 + path_stack_blocks + 1 in
+        let want = max (2 * threshold / block_size) ((memory_blocks - fixed) / 3) in
+        max 1 (min want (memory_blocks - fixed - 3))
+  in
+  if block_size < 64 then invalid_arg "Config: block_size must be at least 64 bytes";
+  if memory_blocks < 8 then invalid_arg "Config: memory_blocks must be at least 8";
+  if threshold < block_size then
+    invalid_arg "Config: threshold below the block size causes partial-block runs";
+  (match depth_limit with
+  | Some d when d < 1 -> invalid_arg "Config: depth_limit must be >= 1"
+  | Some _ | None -> ());
+  if data_stack_blocks < 1 then invalid_arg "Config: data_stack_blocks must be >= 1";
+  if path_stack_blocks < 2 then invalid_arg "Config: path_stack_blocks must be >= 2";
+  {
+    block_size;
+    memory_blocks;
+    threshold;
+    depth_limit;
+    degeneration;
+    root_fusion;
+    encoding;
+    data_stack_blocks;
+    path_stack_blocks;
+    keep_whitespace;
+  }
+
+let memory_bytes t = t.block_size * t.memory_blocks
+
+let validate_ordering t ordering =
+  match t.encoding with
+  | Packed when not (Ordering.all_scan_evaluable ordering) ->
+      invalid_arg
+        "Config: Packed encoding eliminates end-tag entries and cannot carry subtree-derived \
+         keys; use a scan-evaluable ordering or the Dict encoding"
+  | Packed | Plain | Dict -> ()
+
+let pp_encoding ppf = function
+  | Plain -> Format.pp_print_string ppf "plain"
+  | Dict -> Format.pp_print_string ppf "dict"
+  | Packed -> Format.pp_print_string ppf "packed"
+
+let pp ppf t =
+  Format.fprintf ppf
+    "{B=%dB; M=%d blocks (%d KiB); t=%dB; depth_limit=%s; degeneration=%b; fusion=%b; encoding=%a}"
+    t.block_size t.memory_blocks
+    (memory_bytes t / 1024)
+    t.threshold
+    (match t.depth_limit with Some d -> string_of_int d | None -> "none")
+    t.degeneration t.root_fusion pp_encoding t.encoding

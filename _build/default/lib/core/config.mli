@@ -1,0 +1,70 @@
+(** NEXSORT configuration.
+
+    Mirrors the knobs of the paper's experimental setup: block size and
+    memory size (the external-memory model's [B] and [M]), the sort
+    threshold [t] (§3: sort a complete subtree once its on-stack size
+    reaches [t]; §5 finds roughly twice the block size works well), the
+    optional depth limit (§3.2), the graceful-degeneration switch (§3.2),
+    and the entry encoding (§3.2's compaction techniques). *)
+
+type encoding =
+  | Plain   (** names stored inline; explicit end-tag entries *)
+  | Dict    (** names dictionary-coded to integers; explicit end-tag
+                entries *)
+  | Packed  (** dictionary coding plus end-tag elimination: start entries
+                carry level numbers, end tags are reconstructed on output.
+                Requires a scan-evaluable ordering. *)
+
+type t = {
+  block_size : int;     (** bytes per block (the paper uses 64 KiB) *)
+  memory_blocks : int;  (** internal-memory blocks available, the model's
+                            [m = M/B]; at least 8 *)
+  threshold : int;      (** sort threshold [t] in on-stack bytes *)
+  depth_limit : int option;
+      (** sort only down to this level (root = 1); [None] = head-to-toe *)
+  degeneration : bool;
+      (** create incomplete sorted runs when an unfinished subtree fills
+          memory, making flat inputs cost the same passes as external
+          merge sort *)
+  root_fusion : bool;
+      (** stream the final (root) subtree sort straight into the output
+          phase instead of materialising the root run and re-reading it —
+          saves two passes over the document *)
+  encoding : encoding;
+  data_stack_blocks : int;  (** resident window of the data stack (>= 1) *)
+  path_stack_blocks : int;  (** resident window of the path stack (>= 2
+                                per the paper's analysis) *)
+  keep_whitespace : bool;   (** preserve whitespace-only text nodes *)
+}
+
+val make :
+  ?block_size:int ->
+  ?memory_blocks:int ->
+  ?threshold:int ->
+  ?depth_limit:int ->
+  ?degeneration:bool ->
+  ?root_fusion:bool ->
+  ?encoding:encoding ->
+  ?data_stack_blocks:int ->
+  ?path_stack_blocks:int ->
+  ?keep_whitespace:bool ->
+  unit ->
+  t
+(** Defaults: 4 KiB blocks, 64 memory blocks, threshold [2 * block_size],
+    no depth limit, degeneration and root fusion on, [Dict] encoding, 2 path-stack
+    resident blocks, whitespace dropped.  The data-stack window defaults
+    to covering twice the threshold (so the stack's oscillation between
+    subtree collapses stays resident), clamped so the fixed buffers and a
+    3-block sort arena still fit the memory budget.
+    @raise Invalid_argument on inconsistent values (non-positive sizes,
+    [memory_blocks < 8], threshold smaller than one block, windows too
+    small). *)
+
+val memory_bytes : t -> int
+
+val validate_ordering : t -> Ordering.t -> unit
+(** @raise Invalid_argument when the encoding is [Packed] but the
+    ordering is not scan-evaluable (end-tag elimination discards the
+    entries that would carry subtree-derived keys). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,121 @@
+type t =
+  | Start of {
+      level : int;
+      pos : int;
+      name : string;
+      attrs : Xmlio.Event.attr list;
+      key : Key.t option;
+    }
+  | End of { level : int; pos : int; key : Key.t option }
+  | Text of { level : int; pos : int; content : string }
+  | Run_ptr of {
+      level : int;
+      pos : int;
+      key : Key.t;
+      run : Extmem.Run_store.id;
+      bytes : int;
+    }
+
+let level = function
+  | Start { level; _ } | End { level; _ } | Text { level; _ } | Run_ptr { level; _ } -> level
+
+let pos = function
+  | Start { pos; _ } | End { pos; _ } | Text { pos; _ } | Run_ptr { pos; _ } -> pos
+
+let sibling_key = function
+  | Start { key; _ } -> Option.value key ~default:Key.Null
+  | Run_ptr { key; _ } -> key
+  | Text _ | End _ -> Key.Null
+
+let tag_start = 0
+let tag_end = 1
+let tag_text = 2
+let tag_run_ptr = 3
+
+let put_name enc dict buf name =
+  match enc with
+  | Config.Plain -> Extmem.Codec.put_string buf name
+  | Config.Dict | Config.Packed -> Extmem.Codec.put_varint buf (Xmlio.Dict.intern dict name)
+
+let get_name enc dict c =
+  match enc with
+  | Config.Plain -> Extmem.Codec.get_string c
+  | Config.Dict | Config.Packed -> Xmlio.Dict.lookup dict (Extmem.Codec.get_varint c)
+
+let encode enc dict e =
+  let buf = Buffer.create 64 in
+  (match e with
+  | Start { level; pos; name; attrs; key } ->
+      Extmem.Codec.put_u8 buf tag_start;
+      Extmem.Codec.put_varint buf level;
+      Extmem.Codec.put_varint buf pos;
+      put_name enc dict buf name;
+      Key.encode_opt buf key;
+      Extmem.Codec.put_varint buf (List.length attrs);
+      List.iter
+        (fun (k, v) ->
+          put_name enc dict buf k;
+          Extmem.Codec.put_string buf v)
+        attrs
+  | End { level; pos; key } ->
+      Extmem.Codec.put_u8 buf tag_end;
+      Extmem.Codec.put_varint buf level;
+      Extmem.Codec.put_varint buf pos;
+      Key.encode_opt buf key
+  | Text { level; pos; content } ->
+      Extmem.Codec.put_u8 buf tag_text;
+      Extmem.Codec.put_varint buf level;
+      Extmem.Codec.put_varint buf pos;
+      Extmem.Codec.put_string buf content
+  | Run_ptr { level; pos; key; run; bytes } ->
+      Extmem.Codec.put_u8 buf tag_run_ptr;
+      Extmem.Codec.put_varint buf level;
+      Extmem.Codec.put_varint buf pos;
+      Key.encode buf key;
+      Extmem.Codec.put_varint buf run;
+      Extmem.Codec.put_varint buf bytes);
+  Buffer.contents buf
+
+let decode enc dict s =
+  let c = Extmem.Codec.cursor s in
+  let tag = Extmem.Codec.get_u8 c in
+  let level = Extmem.Codec.get_varint c in
+  let pos = Extmem.Codec.get_varint c in
+  if tag = tag_start then begin
+    let name = get_name enc dict c in
+    let key = Key.decode_opt c in
+    let nattrs = Extmem.Codec.get_varint c in
+    (* explicit loop: the order of decoding side effects matters *)
+    let rec read_attrs n acc =
+      if n = 0 then List.rev acc
+      else begin
+        let k = get_name enc dict c in
+        let v = Extmem.Codec.get_string c in
+        read_attrs (n - 1) ((k, v) :: acc)
+      end
+    in
+    let attrs = read_attrs nattrs [] in
+    Start { level; pos; name; attrs; key }
+  end
+  else if tag = tag_end then End { level; pos; key = Key.decode_opt c }
+  else if tag = tag_text then Text { level; pos; content = Extmem.Codec.get_string c }
+  else if tag = tag_run_ptr then begin
+    let key = Key.decode c in
+    let run = Extmem.Codec.get_varint c in
+    let bytes = Extmem.Codec.get_varint c in
+    Run_ptr { level; pos; key; run; bytes }
+  end
+  else raise (Extmem.Codec.Corrupt (Printf.sprintf "Entry.decode: bad tag %d" tag))
+
+let pp ppf = function
+  | Start { level; pos; name; attrs; key } ->
+      Format.fprintf ppf "Start(l%d p%d <%s%s> key=%s)" level pos name
+        (String.concat "" (List.map (fun (k, v) -> Printf.sprintf " %s=%S" k v) attrs))
+        (match key with Some k -> Key.to_string k | None -> "-")
+  | End { level; pos; key } ->
+      Format.fprintf ppf "End(l%d p%d key=%s)" level pos
+        (match key with Some k -> Key.to_string k | None -> "-")
+  | Text { level; pos; content } -> Format.fprintf ppf "Text(l%d p%d %S)" level pos content
+  | Run_ptr { level; pos; key; run; bytes } ->
+      Format.fprintf ppf "Run_ptr(l%d p%d key=%s run=%d %dB)" level pos (Key.to_string key) run
+        bytes

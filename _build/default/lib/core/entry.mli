@@ -1,0 +1,66 @@
+(** Data-stack and sorted-run entries.
+
+    NEXSORT's on-disk representation of "a unit of XML data" (Figure 4).
+    Entries appear in three places with one encoding: on the external data
+    stack during the sorting phase, inside sorted runs, and as the payload
+    of key-path records during external subtree sorts.
+
+    Every entry carries its absolute document level (root element =
+    level 1), which lets any consumer rebuild the tree shape without
+    relying on end-tag entries — the basis of §3.2's end-tag elimination.
+    [Start] entries carry the element's key when the ordering is
+    scan-evaluable; otherwise the key travels on the matching [End] entry
+    (evaluated by the streaming {!Ordering.Evaluator} during the scan,
+    §3.2's path-stack augmentation).  [pos] fields are document positions
+    used as the uniqueness tiebreak.
+
+    The encoding implements the compaction techniques of §3.2: with
+    {!Config.Dict} and {!Config.Packed}, tag and attribute names are
+    dictionary-coded integers; with {!Config.Packed} the sorting phase
+    additionally never materialises [End] entries (output reconstructs end
+    tags from level transitions). *)
+
+type t =
+  | Start of {
+      level : int;
+      pos : int;
+      name : string;
+      attrs : Xmlio.Event.attr list;
+      key : Key.t option;  (** present iff scan-evaluable ordering *)
+    }
+  | End of {
+      level : int;  (** level of the element being closed *)
+      pos : int;    (** document position of that element *)
+      key : Key.t option;  (** present iff subtree-derived ordering *)
+    }
+  | Text of {
+      level : int;  (** level of the text node itself (parent level + 1) *)
+      pos : int;
+      content : string;
+    }
+  | Run_ptr of {
+      level : int;  (** level of the collapsed subtree's root element *)
+      pos : int;    (** document position of that element *)
+      key : Key.t;  (** its sort key, for ordering among its siblings *)
+      run : Extmem.Run_store.id;
+      bytes : int;  (** on-stack byte size the subtree had when collapsed *)
+    }
+
+val level : t -> int
+
+val pos : t -> int
+
+val sibling_key : t -> Key.t
+(** The key this entry sorts by among its siblings: the element key for
+    [Start]/[Run_ptr] ([Null] when it is on the [End] entry instead),
+    [Null] for [Text]. *)
+
+val encode : Config.encoding -> Xmlio.Dict.t -> t -> string
+(** Serialize.  The dictionary is consulted/extended for [Dict]/[Packed];
+    ignored for [Plain]. *)
+
+val decode : Config.encoding -> Xmlio.Dict.t -> string -> t
+(** Inverse of {!encode} for the same encoding and dictionary.
+    @raise Extmem.Codec.Corrupt on malformed bytes. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,95 @@
+type t =
+  | Null
+  | Num of float
+  | Str of string
+  | Rev of t
+  | Tuple of t list
+
+let of_string s =
+  if s = "" then Str ""
+  else
+    match float_of_string_opt s with
+    | Some f when Float.is_finite f -> Num f
+    | Some _ | None -> Str s
+
+(* rank for comparisons across constructors: Null < Num < Str < Rev < Tuple *)
+let rank = function
+  | Null -> 0
+  | Num _ -> 1
+  | Str _ -> 2
+  | Rev _ -> 3
+  | Tuple _ -> 4
+
+let rec compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Num x, Num y -> Float.compare x y
+  | Str x, Str y -> String.compare x y
+  | Rev x, Rev y -> compare y x
+  | Tuple xs, Tuple ys ->
+      let rec go xs ys =
+        match (xs, ys) with
+        | [], [] -> 0
+        | [], _ :: _ -> -1
+        | _ :: _, [] -> 1
+        | x :: xs', y :: ys' ->
+            let c = compare x y in
+            if c <> 0 then c else go xs' ys'
+      in
+      go xs ys
+  | a, b -> Stdlib.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let rec encode buf = function
+  | Null -> Extmem.Codec.put_u8 buf 0
+  | Num f ->
+      Extmem.Codec.put_u8 buf 1;
+      Extmem.Codec.put_f64 buf f
+  | Str s ->
+      Extmem.Codec.put_u8 buf 2;
+      Extmem.Codec.put_string buf s
+  | Rev k ->
+      Extmem.Codec.put_u8 buf 3;
+      encode buf k
+  | Tuple ks ->
+      Extmem.Codec.put_u8 buf 4;
+      Extmem.Codec.put_varint buf (List.length ks);
+      List.iter (encode buf) ks
+
+let rec decode c =
+  match Extmem.Codec.get_u8 c with
+  | 0 -> Null
+  | 1 -> Num (Extmem.Codec.get_f64 c)
+  | 2 -> Str (Extmem.Codec.get_string c)
+  | 3 -> Rev (decode c)
+  | 4 ->
+      let n = Extmem.Codec.get_varint c in
+      let rec ks n acc = if n = 0 then List.rev acc else ks (n - 1) (decode c :: acc) in
+      Tuple (ks n [])
+  | n -> raise (Extmem.Codec.Corrupt (Printf.sprintf "Key.decode: bad tag %d" n))
+
+let encode_opt buf = function
+  | None -> Extmem.Codec.put_u8 buf 255
+  | Some k -> encode buf k
+
+let decode_opt c =
+  match Extmem.Codec.get_u8 c with
+  | 255 -> None
+  | n ->
+      (* re-dispatch on the already-consumed tag *)
+      c.Extmem.Codec.pos <- c.Extmem.Codec.pos - 1;
+      ignore n;
+      Some (decode c)
+
+let rec pp ppf = function
+  | Null -> Format.pp_print_string ppf "<null>"
+  | Num f -> Format.fprintf ppf "%g" f
+  | Str s -> Format.fprintf ppf "%S" s
+  | Rev k -> Format.fprintf ppf "desc(%a)" pp k
+  | Tuple ks ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ") pp)
+        ks
+
+let to_string k = Format.asprintf "%a" pp k

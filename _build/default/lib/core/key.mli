@@ -1,0 +1,46 @@
+(** Sort key values.
+
+    The value an ordering criterion extracts from an element, used to order
+    it among its siblings.  Keys are compared numerically when both sides
+    parse as numbers — so employee IDs 90 and 1000 order as numbers, the
+    behaviour users expect from attribute keys like the paper's
+    [employee ID] — and as byte strings otherwise.
+
+    [Null] is the key of nodes that sort by document position alone (text
+    nodes, and elements under the [Document_order] criterion); it orders
+    before every non-null key, and ties are always broken by document
+    position, which also makes keys unique as the paper requires (§1:
+    "if not, we can make it unique by appending it with the element's
+    location in the input"). *)
+
+type t =
+  | Null
+  | Num of float
+  | Str of string
+  | Rev of t        (** inverts the order of the wrapped key (descending
+                        criteria) *)
+  | Tuple of t list (** lexicographic compound keys (composite criteria,
+                        e.g. last name then first name) *)
+
+val of_string : string -> t
+(** [Num] when the whole string parses as a float, [Str] otherwise.  The
+    empty string is [Str ""]. *)
+
+val compare : t -> t -> int
+(** Total order: [Null] < every [Num] < every [Str] < every [Rev] < every
+    [Tuple]; numbers numerically, strings bytewise, [Rev] inverted,
+    tuples lexicographically. *)
+
+val equal : t -> t -> bool
+
+val encode : Buffer.t -> t -> unit
+
+val decode : Extmem.Codec.cursor -> t
+
+val encode_opt : Buffer.t -> t option -> unit
+
+val decode_opt : Extmem.Codec.cursor -> t option
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

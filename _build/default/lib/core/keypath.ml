@@ -1,0 +1,69 @@
+type component = {
+  key : Key.t;
+  pos : int;
+}
+
+let encode_record path ~payload =
+  let buf = Buffer.create (64 + String.length payload) in
+  Extmem.Codec.put_varint buf (List.length path);
+  List.iter
+    (fun { key; pos } ->
+      Key.encode buf key;
+      Extmem.Codec.put_varint buf pos)
+    path;
+  Buffer.add_string buf payload;
+  Buffer.contents buf
+
+let decode_path s =
+  let c = Extmem.Codec.cursor s in
+  let n = Extmem.Codec.get_varint c in
+  let rec go n acc =
+    if n = 0 then List.rev acc
+    else begin
+      let key = Key.decode c in
+      let pos = Extmem.Codec.get_varint c in
+      go (n - 1) ({ key; pos } :: acc)
+    end
+  in
+  go n []
+
+let decode_payload s =
+  let c = Extmem.Codec.cursor s in
+  let n = Extmem.Codec.get_varint c in
+  for _ = 1 to n do
+    ignore (Key.decode c);
+    ignore (Extmem.Codec.get_varint c)
+  done;
+  String.sub s c.Extmem.Codec.pos (String.length s - c.Extmem.Codec.pos)
+
+let compare_encoded a b =
+  let ca = Extmem.Codec.cursor a and cb = Extmem.Codec.cursor b in
+  let na = Extmem.Codec.get_varint ca and nb = Extmem.Codec.get_varint cb in
+  let rec go i =
+    if i >= na || i >= nb then compare na nb
+    else begin
+      let ka = Key.decode ca and kb = Key.decode cb in
+      let c = Key.compare ka kb in
+      if c <> 0 then c
+      else begin
+        let pa = Extmem.Codec.get_varint ca and pb = Extmem.Codec.get_varint cb in
+        let c = compare pa pb in
+        if c <> 0 then c else go (i + 1)
+      end
+    end
+  in
+  go 0
+
+let pp_component ppf { key; pos } = Format.fprintf ppf "%s#%d" (Key.to_string key) pos
+
+let rec key_display key =
+  match key with
+  | Key.Null -> "·"
+  | Key.Num f -> if Float.is_integer f then string_of_int (int_of_float f) else string_of_float f
+  | Key.Str s -> s
+  | Key.Rev k -> "~" ^ key_display k
+  | Key.Tuple ks -> String.concat "+" (List.map key_display ks)
+
+let path_to_string path =
+  if path = [] then "/"
+  else String.concat "" (List.map (fun { key; _ } -> "/" ^ key_display key) path)

@@ -1,0 +1,17 @@
+(** NEXSORT — sorting XML in external memory (Silberstein & Yang, ICDE 2004).
+
+    The library's entry points live in {!Sorter} and are also included
+    here, so [Nexsort.sort_string] works directly.  Supporting modules:
+    {!Key} and {!Ordering} (sort criteria), {!Config} (algorithm
+    parameters), {!Entry}, {!Keypath}, {!Session} and {!Subtree_sort}
+    (the machinery, exposed for the baselines, benchmarks and tests). *)
+
+module Key = Key
+module Ordering = Ordering
+module Config = Config
+module Entry = Entry
+module Session = Session
+module Keypath = Keypath
+module Subtree_sort = Subtree_sort
+module Sorter = Sorter
+include Sorter

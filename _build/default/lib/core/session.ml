@@ -1,0 +1,61 @@
+type t = {
+  config : Config.t;
+  budget : Extmem.Memory_budget.t;
+  dict : Xmlio.Dict.t;
+  data_stack : Extmem.Ext_stack.t;
+  path_stack : Extmem.Ext_stack.t;
+  out_stack : Extmem.Ext_stack.t;
+  runs : Extmem.Run_store.t;
+  temp_stats : Extmem.Io_stats.t;
+}
+
+let create (config : Config.t) =
+  let bs = config.Config.block_size in
+  let budget =
+    Extmem.Memory_budget.create ~blocks:config.Config.memory_blocks ~block_size:bs
+  in
+  let stack_dev name = Extmem.Device.in_memory ~name ~block_size:bs () in
+  Extmem.Memory_budget.reserve budget ~who:"input buffer" 1;
+  Extmem.Memory_budget.reserve budget ~who:"data stack window" config.Config.data_stack_blocks;
+  Extmem.Memory_budget.reserve budget ~who:"path stack window" config.Config.path_stack_blocks;
+  Extmem.Memory_budget.reserve budget ~who:"output location stack window" 1;
+  {
+    config;
+    budget;
+    dict = Xmlio.Dict.create ();
+    data_stack =
+      Extmem.Ext_stack.create ~resident_blocks:config.Config.data_stack_blocks
+        (stack_dev "data-stack");
+    path_stack =
+      Extmem.Ext_stack.create ~resident_blocks:config.Config.path_stack_blocks
+        (stack_dev "path-stack");
+    out_stack = Extmem.Ext_stack.create ~resident_blocks:1 (stack_dev "output-location-stack");
+    runs = Extmem.Run_store.create (stack_dev "runs");
+    temp_stats = Extmem.Io_stats.create ();
+  }
+
+let arena_bytes t = Extmem.Memory_budget.available_bytes t.budget
+
+let with_temp t f =
+  let dev = Extmem.Device.in_memory ~name:"temp" ~block_size:t.config.Config.block_size () in
+  Fun.protect
+    ~finally:(fun () -> Extmem.Io_stats.accumulate ~into:t.temp_stats (Extmem.Device.stats dev))
+    (fun () -> f dev)
+
+let encode_entry t e = Entry.encode t.config.Config.encoding t.dict e
+
+let decode_entry t s = Entry.decode t.config.Config.encoding t.dict s
+
+let io_breakdown t =
+  [
+    ("data stack", Extmem.Io_stats.snapshot (Extmem.Ext_stack.io_stats t.data_stack));
+    ("path stack", Extmem.Io_stats.snapshot (Extmem.Ext_stack.io_stats t.path_stack));
+    ("output location stack", Extmem.Io_stats.snapshot (Extmem.Ext_stack.io_stats t.out_stack));
+    ("runs", Extmem.Io_stats.snapshot (Extmem.Device.stats (Extmem.Run_store.device t.runs)));
+    ("scratch", Extmem.Io_stats.snapshot t.temp_stats);
+  ]
+
+let total_io t =
+  List.fold_left
+    (fun acc (_, s) -> Extmem.Io_stats.add acc s)
+    (Extmem.Io_stats.create ()) (io_breakdown t)

@@ -1,0 +1,49 @@
+(** A NEXSORT session: the devices, stacks and memory budget of one sort.
+
+    The paper's setup gives the algorithm an input stream, an output
+    stream, three external stacks, a region for sorted runs and scratch
+    space for external subtree sorts, all drawing from [M] blocks of
+    internal memory.  A session materialises exactly that: each component
+    gets its own virtual device so the per-component I/O breakdown of the
+    analysis in §4.2 (input, subtree sorts, stack paging, run reads,
+    output) can be measured directly. *)
+
+type t = {
+  config : Config.t;
+  budget : Extmem.Memory_budget.t;
+  dict : Xmlio.Dict.t;
+  data_stack : Extmem.Ext_stack.t;
+  path_stack : Extmem.Ext_stack.t;
+  out_stack : Extmem.Ext_stack.t;
+  runs : Extmem.Run_store.t;
+  temp_stats : Extmem.Io_stats.t;
+      (** accumulated I/O of retired scratch devices (external subtree
+          sorts and fragment merges) *)
+}
+
+val create : Config.t -> t
+(** Build the stacks and run store, and reserve the fixed internal-memory
+    blocks: one input buffer, the data-stack window, the path-stack window
+    and one block for the output-location stack.  What remains of the
+    budget is the sorting arena. *)
+
+val arena_bytes : t -> int
+(** Internal-memory bytes available to a subtree sort right now (also the
+    trigger level for graceful degeneration). *)
+
+val with_temp : t -> (Extmem.Device.t -> 'a) -> 'a
+(** Run a scope with a fresh scratch device; its I/O counters are folded
+    into {!field-temp_stats} afterwards, also on exceptions. *)
+
+val encode_entry : t -> Entry.t -> string
+(** {!Entry.encode} under the session's encoding and dictionary. *)
+
+val decode_entry : t -> string -> Entry.t
+
+val io_breakdown : t -> (string * Extmem.Io_stats.t) list
+(** Per-component I/O counters: data/path/output-location stacks, runs,
+    scratch. *)
+
+val total_io : t -> Extmem.Io_stats.t
+(** Sum of {!io_breakdown} (input and output devices are owned by the
+    caller and not included). *)

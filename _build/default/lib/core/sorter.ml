@@ -1,0 +1,535 @@
+let src = Logs.Src.create "nexsort" ~doc:"NEXSORT sorting and output phases"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type report = {
+  events : int;
+  elements : int;
+  text_nodes : int;
+  height : int;
+  subtree_sorts : int;
+  in_memory_sorts : int;
+  external_sorts : int;
+  fragment_runs : int;
+  fragment_merges : int;
+  runs_created : int;
+  run_blocks : int;
+  input_io : Extmem.Io_stats.t;
+  output_io : Extmem.Io_stats.t;
+  breakdown : (string * Extmem.Io_stats.t) list;
+  total_io : Extmem.Io_stats.t;
+  wall_seconds : float;
+}
+
+(* ---- path-stack frames ----
+
+   One frame per open element: where its entries begin on the data stack,
+   its identity for tiebreaks, its key when scan-evaluable, and the ids of
+   any incomplete sorted runs (fragments) created for it. *)
+type frame = {
+  loc : int;           (* data-stack position of the element's Start entry *)
+  children_loc : int;  (* data-stack position just after the Start entry *)
+  fpos : int;          (* document position *)
+  flevel : int;        (* level, root = 1 *)
+  fkey : Key.t option; (* key when the criterion is scan-evaluable *)
+  frags : int list;    (* fragment run ids, in creation order *)
+}
+
+let encode_frame f =
+  let buf = Buffer.create 32 in
+  Extmem.Codec.put_varint buf f.loc;
+  Extmem.Codec.put_varint buf f.children_loc;
+  Extmem.Codec.put_varint buf f.fpos;
+  Extmem.Codec.put_varint buf f.flevel;
+  Key.encode_opt buf f.fkey;
+  Extmem.Codec.put_varint buf (List.length f.frags);
+  List.iter (Extmem.Codec.put_varint buf) f.frags;
+  Buffer.contents buf
+
+let decode_frame s =
+  let c = Extmem.Codec.cursor s in
+  let loc = Extmem.Codec.get_varint c in
+  let children_loc = Extmem.Codec.get_varint c in
+  let fpos = Extmem.Codec.get_varint c in
+  let flevel = Extmem.Codec.get_varint c in
+  let fkey = Key.decode_opt c in
+  let n = Extmem.Codec.get_varint c in
+  let rec ids n acc = if n = 0 then List.rev acc else ids (n - 1) (Extmem.Codec.get_varint c :: acc) in
+  { loc; children_loc; fpos; flevel; fkey; frags = ids n [] }
+
+(* ---- output-location stack entries (Figure 4, lines 13-20) ---- *)
+
+let encode_out_loc run off =
+  let buf = Buffer.create 8 in
+  Extmem.Codec.put_varint buf run;
+  Extmem.Codec.put_varint buf off;
+  Buffer.contents buf
+
+let decode_out_loc s =
+  let c = Extmem.Codec.cursor s in
+  let run = Extmem.Codec.get_varint c in
+  let off = Extmem.Codec.get_varint c in
+  (run, off)
+
+(* ---- the algorithm ---- *)
+
+type state = {
+  session : Session.t;
+  scan_evaluable : bool;
+  evaluator : Ordering.Evaluator.eval;
+  mutable pos : int;
+  mutable level : int;
+  mutable n_events : int;
+  mutable n_elements : int;
+  mutable n_text : int;
+  mutable max_level : int;
+  mutable n_subtree_sorts : int;
+  mutable n_in_memory : int;
+  mutable n_external : int;
+  mutable n_fragment_runs : int;
+  mutable n_fragment_merges : int;
+  (* root fusion: when set, the root's final sort streams its encoded
+     entries here instead of materialising the root run *)
+  mutable fused_sink : (string -> unit) option;
+}
+
+let push_data st entry =
+  Extmem.Ext_stack.push st.session.Session.data_stack (Session.encode_entry st.session entry)
+
+let push_frame st f = Extmem.Ext_stack.push st.session.Session.path_stack (encode_frame f)
+
+let pop_frame st = decode_frame (Extmem.Ext_stack.pop st.session.Session.path_stack)
+
+let peek_frame st = decode_frame (Extmem.Ext_stack.top st.session.Session.path_stack)
+
+let packed st = st.session.Session.config.Config.encoding = Config.Packed
+
+let depth_limit st = st.session.Session.config.Config.depth_limit
+
+(* Entries of the data-stack range [from_, top), decoded. *)
+let collect_entries st ~from_ =
+  let acc = ref [] in
+  Extmem.Ext_stack.iter_entries_from st.session.Session.data_stack ~pos:from_ (fun payload ->
+      acc := Session.decode_entry st.session payload :: !acc);
+  List.rev !acc
+
+(* ---- graceful degeneration (§3.2) ----
+
+   When the children accumulated for the innermost open element fill the
+   sorting arena, sort them in memory now and park them as an incomplete
+   sorted run, exactly like external merge sort's initial run creation. *)
+let maybe_degenerate st =
+  if
+    st.session.Session.config.Config.degeneration
+    && not (Extmem.Ext_stack.is_empty st.session.Session.path_stack)
+  then begin
+    let top = peek_frame st in
+    (* below the depth limit nothing needs sorting: the region will be
+       copied verbatim at the element's end, so never fragment it *)
+    let below_limit =
+      match depth_limit st with
+      | Some d -> top.flevel >= d + 1
+      | None -> false
+    in
+    if not below_limit then begin
+    let region = Extmem.Ext_stack.length st.session.Session.data_stack - top.children_loc in
+    if region >= Session.arena_bytes st.session && region > 0 then begin
+      let entries = collect_entries st ~from_:top.children_loc in
+      let forest =
+        Subtree_sort.sort_forest ~depth_limit:(depth_limit st) (Subtree_sort.build_forest entries)
+      in
+      let frag = Subtree_sort.write_fragment st.session forest in
+      Log.debug (fun m ->
+          m "degeneration: level %d filled the arena, fragment run %d (%d bytes)" top.flevel frag
+            region);
+      Extmem.Ext_stack.truncate_to st.session.Session.data_stack top.children_loc;
+      ignore (pop_frame st);
+      push_frame st { top with frags = top.frags @ [ frag ] };
+      st.n_fragment_runs <- st.n_fragment_runs + 1
+    end
+    end
+  end
+
+let external_scan_input st frame =
+  let data = st.session.Session.data_stack in
+  if st.scan_evaluable then begin
+    let cursor = Extmem.Ext_stack.cursor_from data ~pos:frame.loc in
+    (`Forward, fun () -> Option.map (Session.decode_entry st.session) (cursor ()))
+  end
+  else
+    ( `Reverse,
+      fun () ->
+        if Extmem.Ext_stack.length data > frame.loc then
+          Some (Session.decode_entry st.session (Extmem.Ext_stack.pop data))
+        else None )
+
+(* Sort the complete subtree beginning at [frame.loc] and replace it by a
+   run pointer (Figure 4, lines 10-12). *)
+let collapse st frame resolved_key =
+  let data = st.session.Session.data_stack in
+  let size = Extmem.Ext_stack.length data - frame.loc in
+  let run =
+    if size <= Session.arena_bytes st.session then begin
+      st.n_in_memory <- st.n_in_memory + 1;
+      Log.debug (fun m ->
+          m "collapse: level %d pos %d, %d bytes, in-memory sort" frame.flevel frame.fpos size);
+      Subtree_sort.sort_in_memory st.session (collect_entries st ~from_:frame.loc)
+    end
+    else begin
+      st.n_external <- st.n_external + 1;
+      let scan, input = external_scan_input st frame in
+      Log.debug (fun m ->
+          m "collapse: level %d pos %d, %d bytes > arena, external key-path sort (%s scan)"
+            frame.flevel frame.fpos size
+            (match scan with `Forward -> "forward" | `Reverse -> "reverse"));
+      let id, _stats = Subtree_sort.sort_external st.session ~input ~scan in
+      id
+    end
+  in
+  st.n_subtree_sorts <- st.n_subtree_sorts + 1;
+  Extmem.Ext_stack.truncate_to data frame.loc;
+  push_data st
+    (Entry.Run_ptr { level = frame.flevel; pos = frame.fpos; key = resolved_key; run; bytes = size })
+
+(* Depth-limited sorting, d_s = d+1 case (§3.2): "no sorting is needed but
+   the subtree is still written to disk, ensuring that we do not carry
+   large subtrees along".  The subtree below the limit contains no run
+   pointers (nothing deeper ever collapses), so it is copied verbatim —
+   streaming, with no memory requirement. *)
+let collapse_copy st frame resolved_key =
+  let data = st.session.Session.data_stack in
+  let size = Extmem.Ext_stack.length data - frame.loc in
+  Log.debug (fun m ->
+      m "collapse: level %d pos %d, %d bytes, verbatim copy (depth limit)" frame.flevel
+        frame.fpos size);
+  let w = Extmem.Run_store.begin_run st.session.Session.runs in
+  Extmem.Ext_stack.iter_entries_from data ~pos:frame.loc (fun payload ->
+      Extmem.Block_writer.write_record w payload);
+  let run = Extmem.Run_store.finish_run st.session.Session.runs w in
+  st.n_subtree_sorts <- st.n_subtree_sorts + 1;
+  Extmem.Ext_stack.truncate_to data frame.loc;
+  push_data st
+    (Entry.Run_ptr { level = frame.flevel; pos = frame.fpos; key = resolved_key; run; bytes = size })
+
+(* Root fusion: the final subtree sort streams straight into the output
+   sink instead of materialising the root run (saves writing and re-reading
+   the whole document once). *)
+let collapse_root_fused st frame sink =
+  let data = st.session.Session.data_stack in
+  let size = Extmem.Ext_stack.length data - frame.loc in
+  if frame.frags <> [] then begin
+    let tail = collect_entries st ~from_:frame.children_loc in
+    let fragments =
+      if tail = [] then frame.frags
+      else begin
+        let forest =
+          Subtree_sort.sort_forest ~depth_limit:(depth_limit st) (Subtree_sort.build_forest tail)
+        in
+        st.n_fragment_runs <- st.n_fragment_runs + 1;
+        frame.frags @ [ Subtree_sort.write_fragment st.session forest ]
+      end
+    in
+    let start_entry =
+      match Extmem.Ext_stack.cursor_from data ~pos:frame.loc () with
+      | Some payload -> Session.decode_entry st.session payload
+      | None -> assert false
+    in
+    Subtree_sort.merge_fragments_to st.session ~start_entry ~fragments sink;
+    st.n_fragment_merges <- st.n_fragment_merges + 1
+  end
+  else begin
+    if not (packed st) then
+      push_data st (Entry.End { level = frame.flevel; pos = frame.fpos; key = Some Key.Null });
+    let size = Extmem.Ext_stack.length data - frame.loc in
+    if size <= Session.arena_bytes st.session then begin
+      st.n_in_memory <- st.n_in_memory + 1;
+      Subtree_sort.sort_in_memory_to st.session (collect_entries st ~from_:frame.loc) sink
+    end
+    else begin
+      st.n_external <- st.n_external + 1;
+      let scan, input = external_scan_input st frame in
+      ignore (Subtree_sort.sort_external_to st.session ~input ~scan sink)
+    end
+  end;
+  ignore size;
+  st.n_subtree_sorts <- st.n_subtree_sorts + 1;
+  Extmem.Ext_stack.truncate_to data frame.loc
+
+(* Merge an element's fragments (plus its unsorted tail children) into its
+   complete run. *)
+let collapse_fragments st frame resolved_key =
+  let data = st.session.Session.data_stack in
+  let size = Extmem.Ext_stack.length data - frame.loc in
+  let tail = collect_entries st ~from_:frame.children_loc in
+  let fragments =
+    if tail = [] then frame.frags
+    else begin
+      let forest =
+        Subtree_sort.sort_forest ~depth_limit:(depth_limit st) (Subtree_sort.build_forest tail)
+      in
+      st.n_fragment_runs <- st.n_fragment_runs + 1;
+      frame.frags @ [ Subtree_sort.write_fragment st.session forest ]
+    end
+  in
+  (* the element's own Start entry is the first entry at frame.loc *)
+  let start_entry =
+    match Extmem.Ext_stack.cursor_from data ~pos:frame.loc () with
+    | Some payload -> Session.decode_entry st.session payload
+    | None -> assert false
+  in
+  let run = Subtree_sort.merge_fragments st.session ~start_entry ~fragments in
+  st.n_fragment_merges <- st.n_fragment_merges + 1;
+  st.n_subtree_sorts <- st.n_subtree_sorts + 1;
+  Extmem.Ext_stack.truncate_to data frame.loc;
+  push_data st
+    (Entry.Run_ptr { level = frame.flevel; pos = frame.fpos; key = resolved_key; run; bytes = size })
+
+let on_start st name attrs =
+  st.level <- st.level + 1;
+  st.pos <- st.pos + 1;
+  if st.level > st.max_level then st.max_level <- st.level;
+  st.n_elements <- st.n_elements + 1;
+  let key = Ordering.Evaluator.on_start st.evaluator name attrs in
+  let loc = Extmem.Ext_stack.length st.session.Session.data_stack in
+  push_data st (Entry.Start { level = st.level; pos = st.pos; name; attrs; key });
+  push_frame st
+    {
+      loc;
+      children_loc = Extmem.Ext_stack.length st.session.Session.data_stack;
+      fpos = st.pos;
+      flevel = st.level;
+      fkey = key;
+      frags = [];
+    };
+  maybe_degenerate st
+
+let on_text st content =
+  st.pos <- st.pos + 1;
+  st.n_text <- st.n_text + 1;
+  Ordering.Evaluator.on_text st.evaluator content;
+  push_data st (Entry.Text { level = st.level + 1; pos = st.pos; content });
+  maybe_degenerate st
+
+let on_end st =
+  let key_end = Ordering.Evaluator.on_end st.evaluator in
+  let frame = pop_frame st in
+  st.level <- st.level - 1;
+  let resolved_key =
+    match frame.fkey with
+    | Some k -> k
+    | None -> Option.value key_end ~default:Key.Null
+  in
+  match st.fused_sink with
+  | Some sink when frame.flevel = 1 -> collapse_root_fused st frame sink
+  | Some _ | None ->
+      if frame.frags <> [] then collapse_fragments st frame resolved_key
+      else begin
+        if not (packed st) then
+          push_data st
+            (Entry.End { level = frame.flevel; pos = frame.fpos; key = Some resolved_key });
+        let size = Extmem.Ext_stack.length st.session.Session.data_stack - frame.loc in
+        let is_root = frame.flevel = 1 in
+        let depth_ok =
+          match depth_limit st with
+          | None -> true
+          | Some d -> frame.flevel <= d + 1
+        in
+        let threshold = st.session.Session.config.Config.threshold in
+        let at_limit =
+          match depth_limit st with
+          | Some d -> frame.flevel = d + 1
+          | None -> false
+        in
+        if (size >= threshold || is_root) && depth_ok then
+          if at_limit && not is_root then collapse_copy st frame resolved_key
+          else collapse st frame resolved_key
+      end;
+      (* the parent's children region just grew (run pointer or uncollapsed
+         subtree): it may now fill the arena *)
+      maybe_degenerate st
+
+(* ---- output phase (Figure 4, lines 13-21) ---- *)
+
+(* XML emission state: the streaming writer plus the open-tag recovery
+   stack of §3.2 — (name, level) of elements awaiting their end tags,
+   innermost last; O(height) internal state. *)
+type emitter = {
+  writer : Xmlio.Writer.t;
+  bw : Extmem.Block_writer.t;
+  opens : (string * int) Extmem.Vec.t;
+}
+
+let make_emitter output =
+  let bw = Extmem.Block_writer.create output in
+  { writer = Xmlio.Writer.to_block_writer bw; bw; opens = Extmem.Vec.create () }
+
+let close_to em level =
+  while Extmem.Vec.length em.opens > 0 && snd (Extmem.Vec.top em.opens) >= level do
+    let name, _ = Extmem.Vec.pop em.opens in
+    Xmlio.Writer.event em.writer (Xmlio.Event.End name)
+  done
+
+(* Depth-first traversal of the tree of sorted runs rooted at [root_run],
+   driven by the external output-location stack (Figure 4, lines 13-21). *)
+let output_run st em root_run =
+  let session = st.session in
+  let out_stack = session.Session.out_stack in
+  Extmem.Ext_stack.push out_stack (encode_out_loc root_run 0);
+  while not (Extmem.Ext_stack.is_empty out_stack) do
+    let run, off = decode_out_loc (Extmem.Ext_stack.pop out_stack) in
+    let reader = ref (Extmem.Run_store.open_run session.Session.runs run) in
+    Extmem.Block_reader.seek !reader off;
+    let current_run = ref run in
+    let continue = ref true in
+    while !continue do
+      match Extmem.Block_reader.read_record !reader with
+      | None -> continue := false
+      | Some payload -> (
+          let e = Session.decode_entry session payload in
+          close_to em (Entry.level e);
+          match e with
+          | Entry.Start { name; attrs; level; _ } ->
+              Xmlio.Writer.event em.writer (Xmlio.Event.Start (name, attrs));
+              Extmem.Vec.push em.opens (name, level)
+          | Entry.End _ -> () (* already closed by close_to *)
+          | Entry.Text { content; _ } -> Xmlio.Writer.event em.writer (Xmlio.Event.Text content)
+          | Entry.Run_ptr { run = target; _ } ->
+              Extmem.Ext_stack.push out_stack
+                (encode_out_loc !current_run (Extmem.Block_reader.position !reader));
+              current_run := target;
+              reader := Extmem.Run_store.open_run session.Session.runs target)
+    done
+  done
+
+let finish_emitter em output =
+  close_to em 1;
+  Xmlio.Writer.close em.writer;
+  let extent = Extmem.Block_writer.close em.bw in
+  Extmem.Device.set_byte_length output extent.Extmem.Extent.bytes
+
+(* The sink for root fusion: encoded entries arriving in final document
+   order; run pointers trigger the DFS of the pointed run in place. *)
+let fused_sink_of st em payload =
+  let e = Session.decode_entry st.session payload in
+  close_to em (Entry.level e);
+  match e with
+  | Entry.Start { name; attrs; level; _ } ->
+      Xmlio.Writer.event em.writer (Xmlio.Event.Start (name, attrs));
+      Extmem.Vec.push em.opens (name, level)
+  | Entry.End _ -> ()
+  | Entry.Text { content; _ } -> Xmlio.Writer.event em.writer (Xmlio.Event.Text content)
+  | Entry.Run_ptr { run; _ } -> output_run st em run
+
+let output_phase st root_run output =
+  let em = make_emitter output in
+  output_run st em root_run;
+  finish_emitter em output
+
+(* ---- driver ---- *)
+
+let sort_device ?(config = Config.make ()) ~ordering ~input ~output () =
+  Config.validate_ordering config ordering;
+  let t0 = Unix.gettimeofday () in
+  let session = Session.create config in
+  let st =
+    {
+      session;
+      scan_evaluable = Ordering.all_scan_evaluable ordering;
+      evaluator = Ordering.Evaluator.create ordering;
+      pos = 0;
+      level = 0;
+      n_events = 0;
+      n_elements = 0;
+      n_text = 0;
+      max_level = 0;
+      n_subtree_sorts = 0;
+      n_in_memory = 0;
+      n_external = 0;
+      n_fragment_runs = 0;
+      n_fragment_merges = 0;
+      fused_sink = None;
+    }
+  in
+  let em = if config.Config.root_fusion then Some (make_emitter output) else None in
+  (match em with
+  | Some em -> st.fused_sink <- Some (fused_sink_of st em)
+  | None -> ());
+  let parser =
+    Xmlio.Parser.of_reader
+      ~keep_whitespace:config.Config.keep_whitespace
+      (Extmem.Block_reader.of_device input)
+  in
+  let rec scan () =
+    match Xmlio.Parser.next parser with
+    | None -> ()
+    | Some e ->
+        st.n_events <- st.n_events + 1;
+        (match e with
+        | Xmlio.Event.Start (name, attrs) -> on_start st name attrs
+        | Xmlio.Event.Text s -> on_text st s
+        | Xmlio.Event.End _ -> on_end st);
+        scan ()
+  in
+  Log.info (fun m -> m "sorting phase: %a" Config.pp config);
+  scan ();
+  Log.info (fun m ->
+      m "scan done: %d events, %d subtree sorts (%d in-memory, %d external), %d fragments"
+        st.n_events st.n_subtree_sorts st.n_in_memory st.n_external st.n_fragment_runs);
+  assert (st.level = 0);
+  assert (Extmem.Ext_stack.is_empty session.Session.path_stack);
+  (match em with
+  | Some em ->
+      (* root fusion already streamed the document out during the root's
+         collapse; the data stack is empty *)
+      assert (Extmem.Ext_stack.is_empty session.Session.data_stack);
+      finish_emitter em output
+  | None ->
+      (* the data stack now holds the single run pointer of the root *)
+      let root_run =
+        match Session.decode_entry session (Extmem.Ext_stack.pop session.Session.data_stack) with
+        | Entry.Run_ptr { run; _ } -> run
+        | Entry.Start _ | Entry.End _ | Entry.Text _ ->
+            invalid_arg "Nexsort: internal error - root did not collapse"
+      in
+      assert (Extmem.Ext_stack.is_empty session.Session.data_stack);
+      output_phase st root_run output);
+  let breakdown = Session.io_breakdown session in
+  let input_io = Extmem.Io_stats.snapshot (Extmem.Device.stats input) in
+  let output_io = Extmem.Io_stats.snapshot (Extmem.Device.stats output) in
+  {
+    events = st.n_events;
+    elements = st.n_elements;
+    text_nodes = st.n_text;
+    height = st.max_level;
+    subtree_sorts = st.n_subtree_sorts;
+    in_memory_sorts = st.n_in_memory;
+    external_sorts = st.n_external;
+    fragment_runs = st.n_fragment_runs;
+    fragment_merges = st.n_fragment_merges;
+    runs_created = Extmem.Run_store.run_count session.Session.runs;
+    run_blocks = Extmem.Run_store.total_run_blocks session.Session.runs;
+    input_io;
+    output_io;
+    breakdown;
+    total_io =
+      Extmem.Io_stats.add (Extmem.Io_stats.add input_io output_io) (Session.total_io session);
+    wall_seconds = Unix.gettimeofday () -. t0;
+  }
+
+let sort_string ?config ~ordering s =
+  let config = Option.value config ~default:(Config.make ()) in
+  let input = Extmem.Device.of_string ~block_size:config.Config.block_size s in
+  let output = Extmem.Device.in_memory ~name:"output" ~block_size:config.Config.block_size () in
+  let report = sort_device ~config ~ordering ~input ~output () in
+  (Extmem.Device.contents output, report)
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>events=%d (elements=%d, text=%d), height=%d@,\
+     subtree sorts=%d (in-memory=%d, external=%d), fragments=%d (merges=%d)@,\
+     runs=%d (%d blocks)@,\
+     io: input=%a output=%a total=%a@,\
+     wall=%.3fs@]"
+    r.events r.elements r.text_nodes r.height r.subtree_sorts r.in_memory_sorts r.external_sorts
+    r.fragment_runs r.fragment_merges r.runs_created r.run_blocks Extmem.Io_stats.pp r.input_io
+    Extmem.Io_stats.pp r.output_io Extmem.Io_stats.pp r.total_io r.wall_seconds

@@ -1,0 +1,68 @@
+(** NEXSORT: I/O-efficient head-to-toe sorting of XML documents
+    (Silberstein & Yang, ICDE 2004, Figure 4).
+
+    {b Sorting phase}: the input is scanned once in document order with a
+    streaming parser.  Every unit of XML data is pushed onto an external
+    data stack; an external path stack records where each open element's
+    entries begin, so when an end tag arrives the on-stack size of the
+    now-complete subtree is a subtraction of two stack positions.  A
+    subtree at least the sort threshold [t] large (or the whole document)
+    is popped, sorted — recursively in memory when it fits the arena, by
+    key-path external merge sort otherwise — written out as a sorted run,
+    and replaced on the stack by a single run-pointer entry carrying its
+    root's sort key.  Subtrees therefore never exceed [k*t] bytes on the
+    stack, which is where NEXSORT's advantage over flat external merge
+    sort comes from.
+
+    {b Output phase}: the collapsed document is a tree of sorted runs
+    connected by run pointers; an explicit depth-first traversal driven by
+    an external output-location stack streams it back out as XML text.
+
+    {b Extensions} (§3.2), all selectable via {!Config.t}: graceful
+    degeneration into external merge sort on flat inputs (incomplete
+    sorted runs merged at the parent's end tag), depth-limited sorting,
+    compaction (dictionary coding, end-tag elimination), and complex
+    subtree-derived ordering criteria evaluated in a single pass during
+    the scan. *)
+
+type report = {
+  events : int;           (** parser events consumed, the model's [N] *)
+  elements : int;         (** element count *)
+  text_nodes : int;
+  height : int;           (** deepest element level observed *)
+  subtree_sorts : int;    (** the paper's [x]: number of subtree collapses *)
+  in_memory_sorts : int;
+  external_sorts : int;   (** subtree sorts that needed key-path extsort *)
+  fragment_runs : int;    (** incomplete runs created by degeneration *)
+  fragment_merges : int;  (** elements whose fragments had to be merged *)
+  runs_created : int;     (** total sorted runs (incl. intermediates) *)
+  run_blocks : int;       (** blocks occupied by all runs (Lemma 4.8) *)
+  input_io : Extmem.Io_stats.t;
+  output_io : Extmem.Io_stats.t;
+  breakdown : (string * Extmem.Io_stats.t) list;
+      (** stacks / runs / scratch, from {!Session.io_breakdown} *)
+  total_io : Extmem.Io_stats.t;  (** everything, input and output included *)
+  wall_seconds : float;
+}
+
+val sort_device :
+  ?config:Config.t ->
+  ordering:Ordering.t ->
+  input:Extmem.Device.t ->
+  output:Extmem.Device.t ->
+  unit ->
+  report
+(** Sort the XML document stored on [input] (its {!Extmem.Device.byte_length}
+    bytes) and write the fully sorted document to [output].  The devices'
+    own I/O counters record the input/output passes; all intermediate I/O
+    is on session-private devices, reported in [breakdown].
+
+    @raise Xmlio.Parser.Error on malformed input.
+    @raise Invalid_argument on a configuration/ordering mismatch (see
+    {!Config.validate_ordering}). *)
+
+val sort_string :
+  ?config:Config.t -> ordering:Ordering.t -> string -> string * report
+(** Convenience wrapper over in-memory devices. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,389 @@
+type node = {
+  entry : Entry.t;
+  mutable key : Key.t;
+  mutable children : node list; (* reversed while building *)
+}
+
+(* ---- forest building ---- *)
+
+let node_of_entry e =
+  let key = Entry.sibling_key e in
+  { entry = e; key; children = [] }
+
+let build_forest entries =
+  let roots = ref [] in
+  let open_stack = ref [] in (* innermost first *)
+  let attach n =
+    match !open_stack with
+    | [] -> roots := n :: !roots
+    | parent :: _ -> parent.children <- n :: parent.children
+  in
+  let close () =
+    match !open_stack with
+    | [] -> ()
+    | top :: rest ->
+        top.children <- List.rev top.children;
+        open_stack := rest
+  in
+  (* close open elements whose level shows they ended (packed mode, where
+     End entries are absent) *)
+  let close_to level =
+    while
+      match !open_stack with
+      | top :: _ -> Entry.level top.entry >= level
+      | [] -> false
+    do
+      close ()
+    done
+  in
+  List.iter
+    (fun e ->
+      match e with
+      | Entry.End { level; key; _ } ->
+          close_to (level + 1);
+          (match (!open_stack, key) with
+          | top :: _, Some k when Entry.level top.entry = level -> top.key <- k
+          | _ -> ());
+          close_to level
+      | Entry.Start _ ->
+          close_to (Entry.level e);
+          let n = node_of_entry e in
+          attach n;
+          open_stack := n :: !open_stack
+      | Entry.Text _ | Entry.Run_ptr _ ->
+          close_to (Entry.level e);
+          attach (node_of_entry e))
+    entries;
+  while !open_stack <> [] do
+    close ()
+  done;
+  List.rev !roots
+
+(* ---- sorting ---- *)
+
+let compare_siblings a b =
+  let c = Key.compare a.key b.key in
+  if c <> 0 then c else compare (Entry.pos a.entry) (Entry.pos b.entry)
+
+let rec sort_forest ~depth_limit nodes =
+  match nodes with
+  | [] -> []
+  | first :: _ ->
+      let level = Entry.level first.entry in
+      let sort_here =
+        match depth_limit with
+        | None -> true
+        | Some d -> level <= d + 1
+      in
+      if not sort_here then nodes
+      else begin
+        let nodes = List.sort compare_siblings nodes in
+        List.iter (fun n -> n.children <- sort_forest ~depth_limit n.children) nodes;
+        nodes
+      end
+
+let forest_size nodes =
+  let rec count acc n = List.fold_left count (acc + 1) n.children in
+  List.fold_left count 0 nodes
+
+(* ---- run serialization ---- *)
+
+let packed (session : Session.t) = session.Session.config.Config.encoding = Config.Packed
+
+(* Emit a node's entries in sorted pre-order to an arbitrary sink of
+   encoded entries (a run writer, or the fused output phase). *)
+let rec emit_node session emit n =
+  emit (Session.encode_entry session n.entry);
+  match n.entry with
+  | Entry.Start { level; pos; _ } ->
+      List.iter (emit_node session emit) n.children;
+      if not (packed session) then
+        emit (Session.encode_entry session (Entry.End { level; pos; key = None }))
+  | Entry.Text _ | Entry.Run_ptr _ -> ()
+  | Entry.End _ -> assert false (* nodes are never built from End entries *)
+
+let write_node session w n = emit_node session (Extmem.Block_writer.write_record w) n
+
+let sort_in_memory_to (session : Session.t) entries emit =
+  let depth_limit = session.Session.config.Config.depth_limit in
+  let forest = sort_forest ~depth_limit (build_forest entries) in
+  List.iter (emit_node session emit) forest
+
+let sort_in_memory (session : Session.t) entries =
+  let w = Extmem.Run_store.begin_run session.Session.runs in
+  sort_in_memory_to session entries (Extmem.Block_writer.write_record w);
+  Extmem.Run_store.finish_run session.Session.runs w
+
+(* ---- key-path external sort ---- *)
+
+(* The component an entry contributes to key paths: its resolved key and
+   position, with the key suppressed below the depth limit so deeper
+   levels keep document order. *)
+let component ~depth_limit key e =
+  let key =
+    match depth_limit with
+    | Some d when Entry.level e > d + 1 -> Key.Null
+    | Some _ | None -> key
+  in
+  { Keypath.key; pos = Entry.pos e }
+
+(* Pull-stream of encoded key-path records from an entry stream in
+   document order.  Keys must be on Start entries (scan-evaluable). *)
+let forward_records session ~depth_limit input =
+  let stack = ref [] in (* (level, component), innermost first *)
+  let pop_to level =
+    let rec go () =
+      match !stack with
+      | (l, _) :: rest when l >= level ->
+          stack := rest;
+          go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  let path_of own = List.rev_map snd !stack @ [ own ] in
+  let rec next () =
+    match input () with
+    | None -> None
+    | Some (Entry.End { level; _ }) ->
+        pop_to level;
+        next ()
+    | Some e ->
+        let level = Entry.level e in
+        pop_to level;
+        let own = component ~depth_limit (Entry.sibling_key e) e in
+        let record =
+          Keypath.encode_record (path_of own) ~payload:(Session.encode_entry session e)
+        in
+        (match e with
+        | Entry.Start _ -> stack := (level, own) :: !stack
+        | Entry.Text _ | Entry.Run_ptr _ | Entry.End _ -> ());
+        Some record
+  in
+  next
+
+(* Same, for entries arriving in reverse document order (popped from the
+   data stack).  End entries precede their subtrees here and carry the
+   element keys. *)
+let reverse_records session ~depth_limit input =
+  let stack = ref [] in (* components, innermost first *)
+  let rec next () =
+    match input () with
+    | None -> None
+    | Some (Entry.End { key; _ } as e) ->
+        let k = Option.value key ~default:Key.Null in
+        stack := component ~depth_limit k e :: !stack;
+        next ()
+    | Some (Entry.Start { key; _ } as e) ->
+        (* own component is the stack top when an End was seen (it carries
+           the authoritative key); synthesize it otherwise (packed) *)
+        let path =
+          match !stack with
+          | _ :: _ -> List.rev !stack
+          | [] -> [ component ~depth_limit (Option.value key ~default:Key.Null) e ]
+        in
+        let record = Keypath.encode_record path ~payload:(Session.encode_entry session e) in
+        (match !stack with
+        | _ :: rest -> stack := rest
+        | [] -> ());
+        Some record
+    | Some e ->
+        let own = component ~depth_limit (Entry.sibling_key e) e in
+        let record =
+          Keypath.encode_record
+            (List.rev !stack @ [ own ])
+            ~payload:(Session.encode_entry session e)
+        in
+        Some record
+  in
+  next
+
+let sort_external_to (session : Session.t) ~input ~scan emit =
+  let depth_limit = session.Session.config.Config.depth_limit in
+  let records =
+    match scan with
+    | `Forward -> forward_records session ~depth_limit input
+    | `Reverse -> reverse_records session ~depth_limit input
+  in
+  (* reconstruction: emit sorted entries, synthesizing End entries from
+     level transitions (the open-tag stack is O(height) internal state) *)
+  let opens = ref [] in (* (level, pos) of open Start entries *)
+  let close_down_to level =
+    if not (packed session) then
+      let rec go () =
+        match !opens with
+        | (l, pos) :: rest when l >= level ->
+            emit (Session.encode_entry session (Entry.End { level = l; pos; key = None }));
+            opens := rest;
+            go ()
+        | _ -> ()
+      in
+      go ()
+    else
+      opens := List.filter (fun (l, _) -> l < level) !opens
+  in
+  let output record =
+    let e = Session.decode_entry session (Keypath.decode_payload record) in
+    close_down_to (Entry.level e);
+    emit (Session.encode_entry session e);
+    match e with
+    | Entry.Start { level; pos; _ } -> opens := (level, pos) :: !opens
+    | Entry.Text _ | Entry.Run_ptr _ | Entry.End _ -> ()
+  in
+  let stats =
+    Session.with_temp session (fun temp ->
+        Extsort.External_sort.sort ~budget:session.Session.budget ~temp
+          ~cmp:Keypath.compare_encoded ~input:records ~output ())
+  in
+  close_down_to 0;
+  stats
+
+let sort_external (session : Session.t) ~input ~scan =
+  let w = Extmem.Run_store.begin_run session.Session.runs in
+  let stats = sort_external_to session ~input ~scan (Extmem.Block_writer.write_record w) in
+  let id = Extmem.Run_store.finish_run session.Session.runs w in
+  (id, stats)
+
+(* ---- fragments (graceful degeneration, §3.2) ---- *)
+
+let header_prefix = '\xFF'
+
+let encode_header key pos =
+  let buf = Buffer.create 16 in
+  Buffer.add_char buf header_prefix;
+  Key.encode buf key;
+  Extmem.Codec.put_varint buf pos;
+  Buffer.contents buf
+
+let decode_header s =
+  let c = Extmem.Codec.cursor ~pos:1 s in
+  let key = Key.decode c in
+  let pos = Extmem.Codec.get_varint c in
+  (key, pos)
+
+let is_header s = String.length s > 0 && s.[0] = header_prefix
+
+let write_fragment (session : Session.t) nodes =
+  let depth_limit = session.Session.config.Config.depth_limit in
+  (* below the depth limit chunks must keep document order: their headers
+     carry Null keys so the merge falls back to the position tiebreak *)
+  let header_key n =
+    match depth_limit with
+    | Some d when Entry.level n.entry > d + 1 -> Key.Null
+    | Some _ | None -> n.key
+  in
+  let w = Extmem.Run_store.begin_run session.Session.runs in
+  List.iter
+    (fun n ->
+      Extmem.Block_writer.write_record w (encode_header (header_key n) (Entry.pos n.entry));
+      write_node session w n)
+    nodes;
+  Extmem.Run_store.finish_run session.Session.runs w
+
+(* Chunk-level merge of fragment runs.  [keep_headers] preserves chunk
+   headers (intermediate passes); the final pass drops them. *)
+let merge_fragment_batch (session : Session.t) ~keep_headers ~fragments emit =
+  let readers =
+    List.map
+      (fun id ->
+        let r = Extmem.Run_store.open_run session.Session.runs id in
+        let first = Extmem.Block_reader.read_record r in
+        (r, ref first))
+      fragments
+  in
+  (* heap keyed by (key, pos, reader index) for stability *)
+  let module H = struct
+    type item = Key.t * int * int
+  end in
+  let items : H.item list ref = ref [] in
+  let insert ((k, p, i) as item) =
+    let rec ins = function
+      | [] -> [ item ]
+      | (k', p', i') :: _ as l
+        when Key.compare k k' < 0
+             || (Key.compare k k' = 0 && (p < p' || (p = p' && i < i'))) -> item :: l
+      | x :: rest -> x :: ins rest
+    in
+    items := ins !items
+  in
+  let readers = Array.of_list readers in
+  Array.iteri
+    (fun i (_, pending) ->
+      match !pending with
+      | Some h when is_header h ->
+          let k, p = decode_header h in
+          insert (k, p, i)
+      | Some _ -> raise (Extmem.Codec.Corrupt "fragment run does not start with a header")
+      | None -> ())
+    readers;
+  while !items <> [] do
+    match !items with
+    | [] -> ()
+    | (k, p, i) :: rest ->
+        items := rest;
+        let r, pending = readers.(i) in
+        if keep_headers then emit (encode_header k p);
+        (* copy chunk records until the next header or end of run *)
+        let rec copy () =
+          match Extmem.Block_reader.read_record r with
+          | None -> pending := None
+          | Some rec_ when is_header rec_ ->
+              pending := Some rec_;
+              let k', p' = decode_header rec_ in
+              insert (k', p', i)
+          | Some rec_ ->
+              emit rec_;
+              copy ()
+        in
+        copy ()
+  done
+
+let fan_in (session : Session.t) =
+  max 2 (Extmem.Memory_budget.available_blocks session.Session.budget - 1)
+
+let rec reduce_fragments session fragments =
+  let k = fan_in session in
+  if List.length fragments <= k then fragments
+  else begin
+    let rec batches = function
+      | [] -> []
+      | ids ->
+          let rec take n acc = function
+            | rest when n = 0 -> (List.rev acc, rest)
+            | [] -> (List.rev acc, [])
+            | x :: tl -> take (n - 1) (x :: acc) tl
+          in
+          let b, rest = take k [] ids in
+          b :: batches rest
+    in
+    let next =
+      List.map
+        (fun batch ->
+          let w = Extmem.Run_store.begin_run session.Session.runs in
+          merge_fragment_batch session ~keep_headers:true ~fragments:batch
+            (Extmem.Block_writer.write_record w);
+          Extmem.Run_store.finish_run session.Session.runs w)
+        (batches fragments)
+    in
+    reduce_fragments session next
+  end
+
+(* emit the wrapped, merged element; fragments must already fit the fan-in *)
+let emit_merged session ~start_entry ~fragments emit =
+  emit (Session.encode_entry session start_entry);
+  merge_fragment_batch session ~keep_headers:false ~fragments emit;
+  match start_entry with
+  | Entry.Start { level; pos; _ } when not (packed session) ->
+      emit (Session.encode_entry session (Entry.End { level; pos; key = None }))
+  | Entry.Start _ | Entry.End _ | Entry.Text _ | Entry.Run_ptr _ -> ()
+
+let merge_fragments_to (session : Session.t) ~start_entry ~fragments emit =
+  (* reduce first: intermediate merge passes open their own runs *)
+  let fragments = reduce_fragments session fragments in
+  emit_merged session ~start_entry ~fragments emit
+
+let merge_fragments (session : Session.t) ~start_entry ~fragments =
+  let fragments = reduce_fragments session fragments in
+  let w = Extmem.Run_store.begin_run session.Session.runs in
+  emit_merged session ~start_entry ~fragments (Extmem.Block_writer.write_record w);
+  Extmem.Run_store.finish_run session.Session.runs w

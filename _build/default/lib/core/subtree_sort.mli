@@ -1,0 +1,89 @@
+(** Sorting one complete subtree into a sorted run (Figure 4, line 11).
+
+    Depending on the subtree's size, NEXSORT sorts it with the
+    internal-memory recursive algorithm (build the tree, reorder child
+    lists, serialize) or — when it exceeds the arena — with a key-path
+    external merge sort that streams the subtree's entries into
+    {!Keypath} records, sorts them with {!Extsort.External_sort}, and
+    reconstructs the run from the sorted record stream.
+
+    The module also implements the incomplete sorted runs of the
+    graceful-degeneration extension (§3.2): a {e fragment} is a sorted
+    run holding a sorted subsequence of one element's children, each
+    child chunk preceded by a small header carrying its (key, pos), so
+    fragments can later be merged by key into the element's complete
+    run.
+
+    All functions honour the session's depth limit: the child list of an
+    element at level L is sorted only when L <= d (root = level 1). *)
+
+type node = {
+  entry : Entry.t;          (** [Start], [Text] or [Run_ptr] — never [End] *)
+  mutable key : Key.t;      (** resolved sibling key *)
+  mutable children : node list;
+}
+
+val build_forest : Entry.t list -> node list
+(** Rebuild the forest structure of an entry sequence (document order,
+    levels consistent).  [End] entries close elements and contribute
+    their keys; in their absence ({!Config.Packed}) nesting is recovered
+    from the level numbers. *)
+
+val sort_forest : depth_limit:int option -> node list -> node list
+(** Recursively order sibling lists by [(key, pos)], down to the depth
+    limit.  The input forest is a sibling list; its nodes' levels decide
+    whether it is itself sorted. *)
+
+val forest_size : node list -> int
+(** Total node count (for reporting). *)
+
+val sort_in_memory : Session.t -> Entry.t list -> Extmem.Run_store.id
+(** Internal-memory recursive sort of a complete subtree (first entry =
+    its root's [Start]); writes and registers the sorted run. *)
+
+val sort_in_memory_to : Session.t -> Entry.t list -> (string -> unit) -> unit
+(** Like {!sort_in_memory} but streaming the encoded entries to an
+    arbitrary sink instead of a run — used by root fusion, where the
+    final subtree sort feeds the output phase directly. *)
+
+val sort_external :
+  Session.t ->
+  input:(unit -> Entry.t option) ->
+  scan:[ `Forward | `Reverse ] ->
+  Extmem.Run_store.id * Extsort.External_sort.stats
+(** Key-path external merge sort of a subtree too large for memory.
+    [`Forward] consumes entries in document order (keys must be on
+    [Start] entries — scan-evaluable orderings); [`Reverse] consumes
+    them top-of-stack first as popped from the data stack (keys taken
+    from [End] entries, which always precede their subtrees in reverse
+    order).  Writes and registers the complete sorted run. *)
+
+val sort_external_to :
+  Session.t ->
+  input:(unit -> Entry.t option) ->
+  scan:[ `Forward | `Reverse ] ->
+  (string -> unit) ->
+  Extsort.External_sort.stats
+(** Sink-streaming variant of {!sort_external} (root fusion). *)
+
+val write_fragment : Session.t -> node list -> Extmem.Run_store.id
+(** Write a sorted forest (children of one open element) as an
+    incomplete sorted run with per-chunk headers. *)
+
+val merge_fragments :
+  Session.t ->
+  start_entry:Entry.t ->
+  fragments:Extmem.Run_store.id list ->
+  Extmem.Run_store.id
+(** Merge an element's fragment runs (in creation order) into its
+    complete sorted run, wrapped in the element's start (and, unless
+    packed, end) entry.  Merges multi-pass when the fragment count
+    exceeds the memory fan-in. *)
+
+val merge_fragments_to :
+  Session.t ->
+  start_entry:Entry.t ->
+  fragments:Extmem.Run_store.id list ->
+  (string -> unit) ->
+  unit
+(** Sink-streaming variant of {!merge_fragments} (root fusion). *)

@@ -1,0 +1,1 @@
+lib/extmem/block_reader.ml: Bytes Char Codec Device Extent

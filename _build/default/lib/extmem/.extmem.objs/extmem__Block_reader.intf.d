@@ -1,0 +1,1 @@
+lib/extmem/block_reader.mli: Device Extent

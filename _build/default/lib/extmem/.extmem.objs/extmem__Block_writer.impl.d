@@ -1,0 +1,1 @@
+lib/extmem/block_writer.ml: Buffer Bytes Codec Device Extent String

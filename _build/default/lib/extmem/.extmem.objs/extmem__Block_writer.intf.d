@@ -1,0 +1,1 @@
+lib/extmem/block_writer.mli: Device Extent

@@ -1,0 +1,1 @@
+lib/extmem/btree.ml: Buffer Codec Device List Pager Printf String

@@ -1,0 +1,1 @@
+lib/extmem/btree.mli: Device Pager

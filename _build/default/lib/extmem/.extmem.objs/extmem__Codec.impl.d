@@ -1,0 +1,1 @@
+lib/extmem/codec.ml: Buffer Bytes Char Int64 Printf String

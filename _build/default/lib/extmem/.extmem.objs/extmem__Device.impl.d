@@ -1,0 +1,1 @@
+lib/extmem/device.ml: Bytes Io_stats Option Printf String Unix Vec

@@ -1,0 +1,1 @@
+lib/extmem/device.mli: Io_stats

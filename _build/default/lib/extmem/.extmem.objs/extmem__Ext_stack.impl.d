@@ -1,0 +1,1 @@
+lib/extmem/ext_stack.ml: Buffer Bytes Char Codec Deque Device String

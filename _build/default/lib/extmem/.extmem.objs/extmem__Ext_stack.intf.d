@@ -1,0 +1,1 @@
+lib/extmem/ext_stack.mli: Device Io_stats

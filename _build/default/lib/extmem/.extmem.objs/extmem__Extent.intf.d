@@ -1,0 +1,1 @@
+lib/extmem/extent.mli: Format

@@ -1,0 +1,1 @@
+lib/extmem/io_stats.mli: Format

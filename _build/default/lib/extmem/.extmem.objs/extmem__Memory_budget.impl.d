@@ -1,0 +1,1 @@
+lib/extmem/memory_budget.ml: Fun Printf

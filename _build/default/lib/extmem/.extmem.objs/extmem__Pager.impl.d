@@ -1,0 +1,1 @@
+lib/extmem/pager.ml: Array Bytes Device Hashtbl Printf String

@@ -1,0 +1,1 @@
+lib/extmem/run_store.ml: Block_reader Block_writer Device Extent Printf Vec

@@ -1,0 +1,1 @@
+lib/extmem/run_store.mli: Block_reader Block_writer Device Extent

@@ -1,0 +1,1 @@
+lib/extmem/trace.ml: Device Format Vec

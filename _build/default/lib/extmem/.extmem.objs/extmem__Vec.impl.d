@@ -1,0 +1,1 @@
+lib/extmem/vec.ml: Array List Printf

@@ -1,0 +1,90 @@
+type t = {
+  dev : Device.t;
+  extent : Extent.t;
+  buf : bytes;
+  mutable cur_block : int; (* index within extent of buffered block; -1 = none *)
+  mutable pos : int;       (* byte offset within extent *)
+}
+
+let of_extent dev extent =
+  {
+    dev;
+    extent;
+    buf = Bytes.create (Device.block_size dev);
+    cur_block = -1;
+    pos = 0;
+  }
+
+let of_device dev =
+  let bs = Device.block_size dev in
+  let bytes = Device.byte_length dev in
+  let blocks = (bytes + bs - 1) / bs in
+  of_extent dev { Extent.first_block = 0; blocks; bytes }
+
+let position r = r.pos
+
+let length r = r.extent.Extent.bytes
+
+let at_end r = r.pos >= r.extent.Extent.bytes
+
+let ensure_block r =
+  let bs = Bytes.length r.buf in
+  let want = r.pos / bs in
+  if want <> r.cur_block then begin
+    Device.read_block r.dev (r.extent.Extent.first_block + want) r.buf;
+    r.cur_block <- want
+  end
+
+let peek_char r =
+  if at_end r then None
+  else begin
+    ensure_block r;
+    Some (Bytes.get r.buf (r.pos mod Bytes.length r.buf))
+  end
+
+let read_char r =
+  match peek_char r with
+  | None -> None
+  | Some c ->
+      r.pos <- r.pos + 1;
+      Some c
+
+let read_bytes r dst off len =
+  let bs = Bytes.length r.buf in
+  let remaining = r.extent.Extent.bytes - r.pos in
+  let len = min len remaining in
+  let rec go off len got =
+    if len = 0 then got
+    else begin
+      ensure_block r;
+      let within = r.pos mod bs in
+      let n = min len (bs - within) in
+      Bytes.blit r.buf within dst off n;
+      r.pos <- r.pos + n;
+      go (off + n) (len - n) (got + n)
+    end
+  in
+  go off len 0
+
+let read_record r =
+  if at_end r then None
+  else begin
+    (* varint length *)
+    let rec len shift acc =
+      match read_char r with
+      | None -> raise (Codec.Corrupt "Block_reader.read_record: truncated length")
+      | Some c ->
+          let b = Char.code c in
+          let acc = acc lor ((b land 0x7f) lsl shift) in
+          if b land 0x80 = 0 then acc else len (shift + 7) acc
+    in
+    let n = len 0 0 in
+    let payload = Bytes.create n in
+    let got = read_bytes r payload 0 n in
+    if got <> n then raise (Codec.Corrupt "Block_reader.read_record: truncated payload");
+    Some (Bytes.unsafe_to_string payload)
+  end
+
+let seek r off =
+  if off < 0 || off > r.extent.Extent.bytes then invalid_arg "Block_reader.seek: out of range";
+  r.pos <- off

@@ -1,0 +1,71 @@
+type t = {
+  dev : Device.t;
+  first_block : int;
+  buf : bytes;
+  mutable fill : int;      (* valid bytes in buf *)
+  mutable blocks : int;    (* full blocks already written *)
+  mutable closed : bool;
+  scratch : Buffer.t;      (* for record framing *)
+}
+
+let create dev =
+  {
+    dev;
+    first_block = Device.block_count dev;
+    buf = Bytes.create (Device.block_size dev);
+    fill = 0;
+    blocks = 0;
+    closed = false;
+    scratch = Buffer.create 64;
+  }
+
+let check_open w = if w.closed then invalid_arg "Block_writer: already closed"
+
+let flush_block w =
+  let i = Device.allocate w.dev 1 in
+  assert (i = w.first_block + w.blocks);
+  Device.write_block w.dev i w.buf;
+  w.blocks <- w.blocks + 1;
+  w.fill <- 0
+
+let write_bytes w src off len =
+  check_open w;
+  let bs = Bytes.length w.buf in
+  let rec go off len =
+    if len > 0 then begin
+      let n = min len (bs - w.fill) in
+      Bytes.blit src off w.buf w.fill n;
+      w.fill <- w.fill + n;
+      if w.fill = bs then flush_block w;
+      go (off + n) (len - n)
+    end
+  in
+  go off len
+
+let write_string w s = write_bytes w (Bytes.unsafe_of_string s) 0 (String.length s)
+
+let write_char w c =
+  check_open w;
+  Bytes.set w.buf w.fill c;
+  w.fill <- w.fill + 1;
+  if w.fill = Bytes.length w.buf then flush_block w
+
+let write_record w payload =
+  Buffer.clear w.scratch;
+  Codec.put_varint w.scratch (String.length payload);
+  write_string w (Buffer.contents w.scratch);
+  write_string w payload
+
+let bytes_written w = (w.blocks * Bytes.length w.buf) + w.fill
+
+let position = bytes_written
+
+let close w =
+  check_open w;
+  let bytes = bytes_written w in
+  if w.fill > 0 then begin
+    Bytes.fill w.buf w.fill (Bytes.length w.buf - w.fill) '\000';
+    flush_block w
+  end;
+  w.closed <- true;
+  { Extent.first_block = w.first_block; blocks = w.blocks; bytes }

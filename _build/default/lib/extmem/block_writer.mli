@@ -1,0 +1,36 @@
+(** Sequential, append-only writer over a device.
+
+    Holds exactly one internal-memory block as its buffer; a block write is
+    issued each time the buffer fills (so writing [n] bytes costs
+    [ceil(n / block_size)] I/Os).  Blocks are allocated from the device as
+    needed, so multiple writers on the same device must not be interleaved
+    unless each was given a pre-allocated region.
+
+    Beyond raw bytes, the writer offers framed records: {!write_record}
+    emits a varint length followed by the payload, which {!Block_reader}
+    can consume with [read_record]. *)
+
+type t
+
+val create : Device.t -> t
+(** Start a stream at the device's current allocation frontier. *)
+
+val write_bytes : t -> bytes -> int -> int -> unit
+(** [write_bytes w buf off len] appends [len] bytes of [buf] from [off]. *)
+
+val write_string : t -> string -> unit
+
+val write_char : t -> char -> unit
+
+val write_record : t -> string -> unit
+(** Append a varint-length-framed record. *)
+
+val bytes_written : t -> int
+(** Bytes appended so far (including any still in the buffer). *)
+
+val position : t -> int
+(** Synonym of {!bytes_written}: the stream offset of the next byte. *)
+
+val close : t -> Extent.t
+(** Flush the final partial block and return the extent covering the whole
+    stream.  The writer must not be used afterwards. *)

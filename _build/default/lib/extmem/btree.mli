@@ -1,0 +1,62 @@
+(** External-memory B+-trees.
+
+    The "additional index" of the paper's §1: the naive nested-loop merge
+    scans half of a subtree on average to find a matching element —
+    {e "unless there is an additional index"}.  This is that index: a
+    disk-resident B+-tree over a {!Device.t}, accessed through a
+    {!Pager.t} so hot paths stay cached within a bounded frame budget.
+    The indexed-merge comparator in [bench/main.exe motivation] is built
+    on it.
+
+    Keys and values are byte strings under a caller-supplied total order
+    on keys.  Structure: a meta page (root pointer, entry count), internal
+    pages of separator keys and child pointers, and leaf pages chained
+    left-to-right for range scans.  Nodes split when their serialized form
+    outgrows the block.  Deletion removes entries from leaves without
+    rebalancing (pages may become sparse but never incorrect) — the usage
+    here is build-once, query-many.
+
+    Keys may appear at most once ({!insert} replaces).  A single key/value
+    pair must fit a quarter block, guaranteeing internal fan-out of at
+    least two. *)
+
+type t
+
+val create : ?frames:int -> cmp:(string -> string -> int) -> Device.t -> t
+(** Initialise a fresh tree on an empty device region (allocates the meta
+    page and an empty root leaf).  [frames] (default 8) is the pager's
+    cache budget. *)
+
+val reopen : ?frames:int -> cmp:(string -> string -> int) -> Device.t -> t
+(** Re-attach to a device previously written by {!create} + {!flush} (the
+    comparator must be the one the tree was built with). *)
+
+val length : t -> int
+(** Number of entries. *)
+
+val insert : t -> key:string -> value:string -> unit
+(** Insert or replace.  @raise Invalid_argument when key + value exceed a
+    quarter of the block size. *)
+
+val find : t -> string -> string option
+
+val mem : t -> string -> bool
+
+val delete : t -> string -> bool
+(** Remove a key; [true] if it was present. *)
+
+val iter_from : t -> string -> (string -> string -> bool) -> unit
+(** [iter_from t k f] visits entries with key >= [k] in ascending order,
+    until [f key value] returns [false] or the entries run out. *)
+
+val iter : t -> (string -> string -> unit) -> unit
+(** All entries in ascending key order. *)
+
+val flush : t -> unit
+(** Write all dirty pages back to the device. *)
+
+val pager : t -> Pager.t
+(** The underlying pager (for cache statistics). *)
+
+val height : t -> int
+(** Levels from root to leaves (1 = root is a leaf). *)

@@ -1,0 +1,101 @@
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+let put_varint buf n =
+  if n < 0 then invalid_arg "Codec.put_varint: negative";
+  let rec go n =
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let put_zigzag buf n =
+  let z = if n >= 0 then n lsl 1 else ((-n) lsl 1) - 1 in
+  put_varint buf z
+
+let put_string buf s =
+  put_varint buf (String.length s);
+  Buffer.add_string buf s
+
+let put_u8 buf n = Buffer.add_char buf (Char.chr (n land 0xff))
+
+let put_u32 buf n =
+  Buffer.add_char buf (Char.chr (n land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 24) land 0xff))
+
+let put_f64 buf f =
+  let bits = Int64.bits_of_float f in
+  for i = 0 to 7 do
+    Buffer.add_char buf (Char.chr (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xff))
+  done
+
+type cursor = {
+  buf : string;
+  mutable pos : int;
+}
+
+let cursor ?(pos = 0) buf = { buf; pos }
+
+let at_end c = c.pos >= String.length c.buf
+
+let need c n =
+  if c.pos + n > String.length c.buf then
+    corrupt "Codec: truncated input (need %d bytes at %d, have %d)" n c.pos (String.length c.buf)
+
+let get_u8 c =
+  need c 1;
+  let b = Char.code c.buf.[c.pos] in
+  c.pos <- c.pos + 1;
+  b
+
+let get_varint c =
+  let rec go shift acc =
+    if shift > 62 then corrupt "Codec: varint too long";
+    let b = get_u8 c in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let get_zigzag c =
+  let z = get_varint c in
+  if z land 1 = 0 then z lsr 1 else -((z + 1) lsr 1)
+
+let get_string c =
+  let n = get_varint c in
+  need c n;
+  let s = String.sub c.buf c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let get_u32 c =
+  need c 4;
+  let b i = Char.code c.buf.[c.pos + i] in
+  let v = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
+  c.pos <- c.pos + 4;
+  v
+
+let get_f64 c =
+  need c 8;
+  let bits = ref 0L in
+  for i = 7 downto 0 do
+    bits := Int64.logor (Int64.shift_left !bits 8) (Int64.of_int (Char.code c.buf.[c.pos + i]))
+  done;
+  c.pos <- c.pos + 8;
+  Int64.float_of_bits !bits
+
+let set_u32_at b off v =
+  Bytes.set b off (Char.chr (v land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (off + 2) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set b (off + 3) (Char.chr ((v lsr 24) land 0xff))
+
+let get_u32_at s off =
+  let b i = Char.code s.[off + i] in
+  b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)

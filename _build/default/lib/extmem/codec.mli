@@ -1,0 +1,58 @@
+(** Low-level binary codecs shared by the substrate and the sorters.
+
+    Records on the external stacks, in sorted runs and in merge-sort
+    temporaries are framed with these primitives: LEB128-style varints for
+    small integers and length-prefixed byte strings.  Encoding appends to a
+    [Buffer.t]; decoding reads from a [string] through a mutable cursor. *)
+
+(** {1 Encoding} *)
+
+val put_varint : Buffer.t -> int -> unit
+(** Append a non-negative integer as a LEB128 varint (7 bits per byte,
+    high bit = continuation).  @raise Invalid_argument on negatives. *)
+
+val put_zigzag : Buffer.t -> int -> unit
+(** Append a possibly-negative integer using zigzag + varint coding. *)
+
+val put_string : Buffer.t -> string -> unit
+(** Append a varint length followed by the raw bytes. *)
+
+val put_u8 : Buffer.t -> int -> unit
+(** Append one byte (the low 8 bits of the argument). *)
+
+val put_u32 : Buffer.t -> int -> unit
+(** Append a fixed-width 32-bit little-endian unsigned integer. *)
+
+val put_f64 : Buffer.t -> float -> unit
+(** Append a fixed-width IEEE-754 double, little-endian. *)
+
+(** {1 Decoding} *)
+
+type cursor = {
+  buf : string;
+  mutable pos : int;
+}
+(** A read cursor over an immutable string. *)
+
+exception Corrupt of string
+(** Raised by all [get_*] functions on truncated or malformed input. *)
+
+val cursor : ?pos:int -> string -> cursor
+
+val at_end : cursor -> bool
+(** True when the cursor has consumed the whole string. *)
+
+val get_varint : cursor -> int
+val get_zigzag : cursor -> int
+val get_string : cursor -> string
+val get_u8 : cursor -> int
+val get_u32 : cursor -> int
+val get_f64 : cursor -> float
+
+(** {1 Fixed-width access into [bytes]} *)
+
+val set_u32_at : bytes -> int -> int -> unit
+(** [set_u32_at b off v] stores [v] as 32-bit LE at offset [off]. *)
+
+val get_u32_at : string -> int -> int
+(** [get_u32_at s off] reads a 32-bit LE unsigned integer at [off]. *)

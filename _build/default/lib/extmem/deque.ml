@@ -1,0 +1,77 @@
+type 'a t = {
+  mutable data : 'a option array;
+  mutable head : int; (* index of front element when len > 0 *)
+  mutable len : int;
+}
+
+let create () = { data = Array.make 8 None; head = 0; len = 0 }
+
+let length d = d.len
+
+let is_empty d = d.len = 0
+
+let cap d = Array.length d.data
+
+let grow d =
+  let n = cap d in
+  let data' = Array.make (n * 2) None in
+  for i = 0 to d.len - 1 do
+    data'.(i) <- d.data.((d.head + i) mod n)
+  done;
+  d.data <- data';
+  d.head <- 0
+
+let push_back d x =
+  if d.len = cap d then grow d;
+  d.data.((d.head + d.len) mod cap d) <- Some x;
+  d.len <- d.len + 1
+
+let push_front d x =
+  if d.len = cap d then grow d;
+  d.head <- (d.head - 1 + cap d) mod cap d;
+  d.data.(d.head) <- Some x;
+  d.len <- d.len + 1
+
+let unwrap = function
+  | Some x -> x
+  | None -> assert false
+
+let pop_back d =
+  if d.len = 0 then invalid_arg "Deque.pop_back: empty";
+  let i = (d.head + d.len - 1) mod cap d in
+  let x = unwrap d.data.(i) in
+  d.data.(i) <- None;
+  d.len <- d.len - 1;
+  x
+
+let pop_front d =
+  if d.len = 0 then invalid_arg "Deque.pop_front: empty";
+  let x = unwrap d.data.(d.head) in
+  d.data.(d.head) <- None;
+  d.head <- (d.head + 1) mod cap d;
+  d.len <- d.len - 1;
+  x
+
+let peek_back d =
+  if d.len = 0 then invalid_arg "Deque.peek_back: empty";
+  unwrap d.data.((d.head + d.len - 1) mod cap d)
+
+let peek_front d =
+  if d.len = 0 then invalid_arg "Deque.peek_front: empty";
+  unwrap d.data.(d.head)
+
+let get d i =
+  if i < 0 || i >= d.len then invalid_arg "Deque.get: out of bounds";
+  unwrap d.data.((d.head + i) mod cap d)
+
+let clear d =
+  Array.fill d.data 0 (cap d) None;
+  d.head <- 0;
+  d.len <- 0
+
+let iter f d =
+  for i = 0 to d.len - 1 do
+    f (get d i)
+  done
+
+let to_list d = List.init d.len (get d)

@@ -1,0 +1,32 @@
+(** Double-ended queues over a growable ring buffer.
+
+    Used by {!Ext_stack} to hold the resident window of stack blocks: blocks
+    are appended at the back as the stack grows, evicted from the front when
+    the window exceeds its budget, and re-inserted at the front when a pop
+    needs an evicted block again.  All operations are amortised O(1). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push_back : 'a t -> 'a -> unit
+val push_front : 'a t -> 'a -> unit
+
+val pop_back : 'a t -> 'a
+(** @raise Invalid_argument on an empty deque. *)
+
+val pop_front : 'a t -> 'a
+(** @raise Invalid_argument on an empty deque. *)
+
+val peek_back : 'a t -> 'a
+val peek_front : 'a t -> 'a
+
+val get : 'a t -> int -> 'a
+(** [get d i] is the [i]-th element counting from the front.
+    @raise Invalid_argument if out of bounds. *)
+
+val clear : 'a t -> unit
+val iter : ('a -> unit) -> 'a t -> unit
+val to_list : 'a t -> 'a list

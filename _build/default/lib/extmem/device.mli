@@ -1,0 +1,88 @@
+(** Block devices with exact I/O accounting.
+
+    A device is a linear array of fixed-size blocks.  All data that is
+    "on disk" in the sense of the external-memory model of Aggarwal and
+    Vitter lives on a device; every whole-block read or write is counted in
+    the device's {!Io_stats.t}.  This is the reproduction's substitute for
+    TPIE: the paper uses TPIE for explicit control and detailed accounting
+    of I/O operations, which is exactly what this module provides.
+
+    Two implementations are built in: an in-memory virtual disk (fast,
+    deterministic, used by tests and benchmarks) and a real file-backed
+    device (used by the command-line tools to process actual files).
+
+    Devices are append-allocated: {!allocate} extends the device and
+    returns the index of the first new block.  Reading a block that was
+    allocated but never written yields zeroes. *)
+
+type t
+
+type op =
+  | Read
+  | Write
+
+exception Fault of op * int
+(** Raised by the failure-injection hook (see {!set_fault}). *)
+
+val in_memory : ?name:string -> block_size:int -> unit -> t
+(** [in_memory ~block_size ()] is a fresh virtual disk.  [block_size] must
+    be positive. *)
+
+val file : ?name:string -> block_size:int -> path:string -> unit -> t
+(** [file ~block_size ~path ()] opens (creating or truncating) [path] as a
+    block device backed by the real file system. *)
+
+val of_string : ?name:string -> block_size:int -> string -> t
+(** [of_string ~block_size s] is an in-memory device pre-loaded with the
+    bytes of [s] (zero-padded to a whole number of blocks); its byte length
+    is recorded so {!byte_length} returns [String.length s].  Initial
+    loading is not counted as I/O. *)
+
+val name : t -> string
+val block_size : t -> int
+
+val block_count : t -> int
+(** Number of allocated blocks. *)
+
+val byte_length : t -> int
+(** Logical byte length of the device contents, as recorded by
+    {!set_byte_length} (defaults to [block_count * block_size]). *)
+
+val set_byte_length : t -> int -> unit
+(** Record the logical byte length (writers call this on [close] so readers
+    know where the data ends within the last block). *)
+
+val stats : t -> Io_stats.t
+(** The device's I/O counters (live; mutated by every read/write). *)
+
+val allocate : t -> int -> int
+(** [allocate dev n] extends the device by [n] blocks and returns the index
+    of the first one.  Allocation itself performs no I/O. *)
+
+val read_block : t -> int -> bytes -> unit
+(** [read_block dev i buf] reads block [i] into [buf] (which must be at
+    least [block_size] long) and counts one read.
+    @raise Invalid_argument if [i] is out of range. *)
+
+val write_block : t -> int -> bytes -> unit
+(** [write_block dev i buf] writes [buf]'s first [block_size] bytes to
+    block [i] and counts one write.  Writing one block past the end
+    auto-allocates.  @raise Invalid_argument if [i] is further out of
+    range. *)
+
+val set_fault : t -> (op -> int -> bool) option -> unit
+(** Install a failure-injection hook.  Before each I/O the hook is called
+    with the operation and block index; returning [true] makes the I/O
+    raise {!Fault} instead of executing.  [None] removes the hook. *)
+
+val set_tracer : t -> (op -> int -> unit) option -> unit
+(** Install an observation hook called before every block I/O with the
+    operation and block index (after the fault hook decides the I/O will
+    happen).  Used by {!Trace} to record access patterns. *)
+
+val contents : t -> string
+(** The whole device contents as a string of {!byte_length} bytes (not
+    counted as I/O; for tests and for writing final output files). *)
+
+val close : t -> unit
+(** Release OS resources (no-op for in-memory devices). *)

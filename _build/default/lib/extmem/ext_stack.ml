@@ -1,0 +1,275 @@
+(* Resident-window invariants:
+   - the deque holds blocks [front_idx, front_idx + count) of the stack's
+     address space, each with a dirty flag;
+   - every live byte (offset < length) is either in a resident block or in
+     a block that was flushed to the device at some point and not dirtied
+     since eviction (so the device copy is current);
+   - [flushed] is the allocation frontier of the device: blocks with index
+     < flushed exist on the device. *)
+
+type frame = {
+  data : bytes;
+  mutable dirty : bool;
+}
+
+type t = {
+  dev : Device.t;
+  bs : int;
+  limit : int;
+  resident : frame Deque.t;
+  mutable front_idx : int; (* block index of the deque's front *)
+  mutable len : int;       (* logical byte length = top of stack *)
+  mutable flushed : int;   (* device allocation frontier, in blocks *)
+  scratch : bytes;         (* for reads that bypass the window *)
+  mutable scratch_idx : int; (* block currently in scratch, -1 = none *)
+}
+
+let create ?name:_ ?(resident_blocks = 1) dev =
+  if resident_blocks < 1 then invalid_arg "Ext_stack.create: resident_blocks must be >= 1";
+  let bs = Device.block_size dev in
+  {
+    dev;
+    bs;
+    limit = resident_blocks;
+    resident = Deque.create ();
+    front_idx = 0;
+    len = 0;
+    flushed = 0;
+    scratch = Bytes.create bs;
+    scratch_idx = -1;
+  }
+
+let length st = st.len
+
+let is_empty st = st.len = 0
+
+let resident_blocks st = Deque.length st.resident
+
+let io_stats st = Device.stats st.dev
+
+(* Block index just past the resident window. *)
+let back_limit st = st.front_idx + Deque.length st.resident
+
+let is_resident st b =
+  Deque.length st.resident > 0 && b >= st.front_idx && b < back_limit st
+
+let frame_of st b =
+  assert (is_resident st b);
+  Deque.get st.resident (b - st.front_idx)
+
+(* Write block [idx] of the stack's address space to the device, extending
+   the device if this block has never been flushed before. *)
+let flush_block st idx frame =
+  while st.flushed <= idx do
+    ignore (Device.allocate st.dev 1);
+    st.flushed <- st.flushed + 1
+  done;
+  Device.write_block st.dev idx frame.data;
+  frame.dirty <- false
+
+let evict_front st =
+  let frame = Deque.peek_front st.resident in
+  if frame.dirty then flush_block st st.front_idx frame;
+  ignore (Deque.pop_front st.resident);
+  st.front_idx <- st.front_idx + 1
+
+let maybe_evict st =
+  while Deque.length st.resident > st.limit do
+    evict_front st
+  done
+
+(* Make block [b] resident, reading it from the device if it was flushed
+   before and contains live bytes, zero-filling otherwise.  Only blocks
+   adjacent to the window are ever requested. *)
+let page_in_front st =
+  let b = st.front_idx - 1 in
+  assert (b >= 0);
+  let data = Bytes.create st.bs in
+  if b < st.flushed then Device.read_block st.dev b data;
+  Deque.push_front st.resident { data; dirty = false };
+  st.front_idx <- b
+
+let append_back st =
+  let b = back_limit st in
+  let data = Bytes.create st.bs in
+  if b < st.flushed && b * st.bs < st.len then
+    (* The block holds live bytes below [len] that were flushed earlier;
+       re-read so they survive the coming writes. *)
+    Device.read_block st.dev b data;
+  Deque.push_back st.resident { data; dirty = false }
+
+(* Ensure the block containing the next byte to write is resident. *)
+let ensure_tail st =
+  if Deque.length st.resident = 0 then begin
+    st.front_idx <- st.len / st.bs;
+    append_back st
+  end
+  else if st.len >= back_limit st * st.bs then begin
+    append_back st;
+    maybe_evict st
+  end
+
+let append_substring st s off n =
+  let rec go off n =
+    if n > 0 then begin
+      ensure_tail st;
+      let within = st.len mod st.bs in
+      let room = st.bs - within in
+      let k = min n room in
+      let frame = frame_of st (st.len / st.bs) in
+      Bytes.blit_string s off frame.data within k;
+      frame.dirty <- true;
+      st.len <- st.len + k;
+      go (off + k) (n - k)
+    end
+  in
+  go off n
+
+let varint_size n =
+  let rec go n acc = if n < 0x80 then acc else go (n lsr 7) (acc + 1) in
+  go n 1
+
+let framed_size payload =
+  let n = String.length payload in
+  varint_size n + n + 4
+
+let push st payload =
+  let buf = Buffer.create (framed_size payload) in
+  Codec.put_varint buf (String.length payload);
+  Buffer.add_string buf payload;
+  Codec.put_u32 buf (String.length payload);
+  let framed = Buffer.contents buf in
+  append_substring st framed 0 (String.length framed);
+  st.scratch_idx <- -1
+
+(* Copy [n] bytes starting at logical offset [pos] into [dst.(dst_off..)],
+   paging resident blocks in at the front of the window as a pop would. *)
+(* Bring block [b] into the window, reading it back from the device when it
+   was flushed earlier.  Blocks are added at the front (pops walking down)
+   or at the back (an entry spanning upward past the window). *)
+let make_resident st b =
+  if Deque.length st.resident = 0 then st.front_idx <- b + 1;
+  while st.front_idx > b do
+    page_in_front st
+  done;
+  while b >= back_limit st do
+    let nb = back_limit st in
+    let data = Bytes.create st.bs in
+    if nb < st.flushed then Device.read_block st.dev nb data;
+    Deque.push_back st.resident { data; dirty = false }
+  done
+
+let read_resident st pos dst dst_off n =
+  let rec go pos dst_off n =
+    if n > 0 then begin
+      let b = pos / st.bs in
+      make_resident st b;
+      let frame = frame_of st b in
+      let within = pos mod st.bs in
+      let k = min n (st.bs - within) in
+      Bytes.blit frame.data within dst dst_off k;
+      go (pos + k) (dst_off + k) (n - k)
+    end
+  in
+  go pos dst_off n
+
+(* Truncate to [pos], dropping resident blocks that are now fully above the
+   top (free), then shrink the window back to its limit. *)
+let truncate_to st pos =
+  if pos < 0 || pos > st.len then invalid_arg "Ext_stack.truncate_to: out of range";
+  st.len <- pos;
+  let rec drop () =
+    if Deque.length st.resident > 0 && (back_limit st - 1) * st.bs >= st.len then begin
+      ignore (Deque.pop_back st.resident);
+      drop ()
+    end
+  in
+  drop ();
+  maybe_evict st;
+  st.scratch_idx <- -1
+
+let read_top_entry st =
+  if st.len = 0 then invalid_arg "Ext_stack: empty stack";
+  let tail = Bytes.create 4 in
+  read_resident st (st.len - 4) tail 0 4;
+  let n = Codec.get_u32_at (Bytes.unsafe_to_string tail) 0 in
+  let start = st.len - 4 - n - varint_size n in
+  if start < 0 then raise (Codec.Corrupt "Ext_stack: bad entry frame");
+  let payload = Bytes.create n in
+  read_resident st (start + varint_size n) payload 0 n;
+  (Bytes.unsafe_to_string payload, start)
+
+let pop st =
+  let payload, start = read_top_entry st in
+  truncate_to st start;
+  payload
+
+let top st =
+  let payload, _ = read_top_entry st in
+  maybe_evict st;
+  payload
+
+(* Forward scan: resident blocks are free; evicted blocks are streamed
+   through the scratch buffer without touching the window. *)
+let read_byte_scanning st pos =
+  let b = pos / st.bs in
+  if is_resident st b then Bytes.get (frame_of st b).data (pos mod st.bs)
+  else begin
+    if st.scratch_idx <> b then begin
+      assert (b < st.flushed);
+      Device.read_block st.dev b st.scratch;
+      st.scratch_idx <- b
+    end;
+    Bytes.get st.scratch (pos mod st.bs)
+  end
+
+let read_bytes_scanning st pos dst dst_off n =
+  for i = 0 to n - 1 do
+    Bytes.set dst (dst_off + i) (read_byte_scanning st (pos + i))
+  done
+
+let iter_entries_from st ~pos f =
+  let cur = ref pos in
+  while !cur < st.len do
+    (* varint length *)
+    let n = ref 0 and shift = ref 0 and continue = ref true in
+    while !continue do
+      let b = Char.code (read_byte_scanning st !cur) in
+      incr cur;
+      n := !n lor ((b land 0x7f) lsl !shift);
+      shift := !shift + 7;
+      if b land 0x80 = 0 then continue := false
+    done;
+    let payload = Bytes.create !n in
+    read_bytes_scanning st !cur payload 0 !n;
+    cur := !cur + !n + 4;
+    if !cur > st.len then raise (Codec.Corrupt "Ext_stack: truncated entry during scan");
+    f (Bytes.unsafe_to_string payload)
+  done
+
+let cursor_from st ~pos =
+  let cur = ref pos in
+  fun () ->
+    if !cur >= st.len then None
+    else begin
+      let n = ref 0 and shift = ref 0 and continue = ref true in
+      while !continue do
+        let b = Char.code (read_byte_scanning st !cur) in
+        incr cur;
+        n := !n lor ((b land 0x7f) lsl !shift);
+        shift := !shift + 7;
+        if b land 0x80 = 0 then continue := false
+      done;
+      let payload = Bytes.create !n in
+      read_bytes_scanning st !cur payload 0 !n;
+      cur := !cur + !n + 4;
+      if !cur > st.len then raise (Codec.Corrupt "Ext_stack: truncated entry during scan");
+      Some (Bytes.unsafe_to_string payload)
+    end
+
+let read_all_from st ~pos =
+  let n = st.len - pos in
+  if n < 0 then invalid_arg "Ext_stack.read_all_from: position above top";
+  let out = Bytes.create n in
+  read_bytes_scanning st pos out 0 n;
+  Bytes.unsafe_to_string out

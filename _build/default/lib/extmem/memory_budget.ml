@@ -1,0 +1,39 @@
+type t = {
+  total : int;
+  bs : int;
+  mutable used : int;
+}
+
+exception Exhausted of string
+
+let create ~blocks ~block_size =
+  if blocks < 1 then invalid_arg "Memory_budget.create: need at least one block";
+  if block_size < 1 then invalid_arg "Memory_budget.create: block_size must be positive";
+  { total = blocks; bs = block_size; used = 0 }
+
+let block_size b = b.bs
+
+let total_blocks b = b.total
+
+let used_blocks b = b.used
+
+let available_blocks b = b.total - b.used
+
+let available_bytes b = available_blocks b * b.bs
+
+let reserve b ~who n =
+  if n < 0 then invalid_arg "Memory_budget.reserve: negative";
+  if b.used + n > b.total then
+    raise
+      (Exhausted
+         (Printf.sprintf "%s needs %d blocks but only %d of %d are free" who n
+            (available_blocks b) b.total));
+  b.used <- b.used + n
+
+let release b n =
+  if n < 0 || n > b.used then invalid_arg "Memory_budget.release: bad count";
+  b.used <- b.used - n
+
+let with_reserved b ~who n f =
+  reserve b ~who n;
+  Fun.protect ~finally:(fun () -> release b n) f

@@ -1,0 +1,37 @@
+(** Internal-memory accounting.
+
+    The external-memory model gives an algorithm [M] blocks of internal
+    memory; TPIE enforces this with an application memory limit.  Here
+    every component that holds blocks in memory (stack windows, stream
+    buffers, sort arenas, merge fan-in buffers) reserves them from a
+    shared budget, so exceeding [M] is a programming error that surfaces
+    immediately instead of silently inflating memory. *)
+
+type t
+
+exception Exhausted of string
+(** Raised when a reservation would exceed the budget. *)
+
+val create : blocks:int -> block_size:int -> t
+(** A budget of [blocks] internal-memory blocks of [block_size] bytes. *)
+
+val block_size : t -> int
+
+val total_blocks : t -> int
+
+val used_blocks : t -> int
+
+val available_blocks : t -> int
+
+val available_bytes : t -> int
+
+val reserve : t -> who:string -> int -> unit
+(** [reserve b ~who n] takes [n] blocks.  @raise Exhausted naming [who]
+    when fewer than [n] blocks remain. *)
+
+val release : t -> int -> unit
+(** Give back [n] blocks.  @raise Invalid_argument when releasing more
+    than is in use. *)
+
+val with_reserved : t -> who:string -> int -> (unit -> 'a) -> 'a
+(** Reserve around a scope; always released, also on exceptions. *)

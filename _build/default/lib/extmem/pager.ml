@@ -1,0 +1,143 @@
+type policy =
+  | Lru
+  | Clock
+
+type frame = {
+  mutable block : int; (* -1 = free *)
+  data : bytes;
+  mutable dirty : bool;
+  mutable stamp : int;    (* LRU timestamp *)
+  mutable referenced : bool; (* Clock bit *)
+}
+
+type t = {
+  dev : Device.t;
+  policy : policy;
+  frames : frame array;
+  map : (int, int) Hashtbl.t; (* block -> frame index *)
+  mutable tick : int;
+  mutable hand : int; (* Clock hand *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(policy = Lru) ~frames dev =
+  if frames < 1 then invalid_arg "Pager.create: frames must be >= 1";
+  let bs = Device.block_size dev in
+  let mk _ = { block = -1; data = Bytes.create bs; dirty = false; stamp = 0; referenced = false } in
+  {
+    dev;
+    policy;
+    frames = Array.init frames mk;
+    map = Hashtbl.create (2 * frames);
+    tick = 0;
+    hand = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let device p = p.dev
+
+let hits p = p.hits
+
+let misses p = p.misses
+
+let write_back p f =
+  if f.dirty then begin
+    Device.write_block p.dev f.block f.data;
+    f.dirty <- false
+  end
+
+let victim_lru p =
+  let best = ref 0 in
+  for i = 1 to Array.length p.frames - 1 do
+    if p.frames.(i).block = -1 then best := i
+    else if p.frames.(!best).block <> -1 && p.frames.(i).stamp < p.frames.(!best).stamp then
+      best := i
+  done;
+  !best
+
+let victim_clock p =
+  let n = Array.length p.frames in
+  let rec spin guard =
+    let f = p.frames.(p.hand) in
+    let i = p.hand in
+    p.hand <- (p.hand + 1) mod n;
+    if f.block = -1 then i
+    else if f.referenced && guard < 2 * n then begin
+      f.referenced <- false;
+      spin (guard + 1)
+    end
+    else i
+  in
+  spin 0
+
+let touch p f =
+  p.tick <- p.tick + 1;
+  f.stamp <- p.tick;
+  f.referenced <- true
+
+(* Return the frame holding [block], faulting it in if needed. *)
+let frame_for p block =
+  match Hashtbl.find_opt p.map block with
+  | Some i ->
+      let f = p.frames.(i) in
+      p.hits <- p.hits + 1;
+      touch p f;
+      f
+  | None ->
+      p.misses <- p.misses + 1;
+      let i = match p.policy with Lru -> victim_lru p | Clock -> victim_clock p in
+      let f = p.frames.(i) in
+      if f.block <> -1 then begin
+        write_back p f;
+        Hashtbl.remove p.map f.block
+      end;
+      if block < Device.block_count p.dev then Device.read_block p.dev block f.data
+      else Bytes.fill f.data 0 (Bytes.length f.data) '\000';
+      f.block <- block;
+      f.dirty <- false;
+      Hashtbl.replace p.map block i;
+      touch p f;
+      f
+
+let read_byte p off =
+  let bs = Device.block_size p.dev in
+  let f = frame_for p (off / bs) in
+  Bytes.get f.data (off mod bs)
+
+let write_byte p off c =
+  let bs = Device.block_size p.dev in
+  let block = off / bs in
+  while block >= Device.block_count p.dev do
+    ignore (Device.allocate p.dev 1)
+  done;
+  let f = frame_for p block in
+  Bytes.set f.data (off mod bs) c;
+  f.dirty <- true
+
+let read p ~pos ~len =
+  String.init len (fun i -> read_byte p (pos + i))
+
+let write p ~pos s =
+  String.iteri (fun i c -> write_byte p (pos + i) c) s
+
+let read_page p block =
+  if block >= Device.block_count p.dev then
+    invalid_arg (Printf.sprintf "Pager.read_page: block %d not allocated" block);
+  let f = frame_for p block in
+  Bytes.to_string f.data
+
+let write_page p block s =
+  let bs = Device.block_size p.dev in
+  if String.length s > bs then invalid_arg "Pager.write_page: page larger than a block";
+  while block >= Device.block_count p.dev do
+    ignore (Device.allocate p.dev 1)
+  done;
+  let f = frame_for p block in
+  Bytes.fill f.data 0 bs '\000';
+  Bytes.blit_string s 0 f.data 0 (String.length s);
+  f.dirty <- true
+
+let flush p =
+  Array.iter (fun f -> if f.block <> -1 then write_back p f) p.frames

@@ -1,0 +1,53 @@
+(** A buffer pool: random byte access over a device through a bounded set
+    of in-memory frames.
+
+    This plays the role of TPIE's block collection / memory manager for
+    components that need random access rather than the streaming patterns
+    of {!Block_reader}/{!Ext_stack} — e.g. the internal-memory recursive
+    sort baseline when it is deliberately run on inputs larger than memory
+    to demonstrate paging behaviour, and the [--paged] mode of the
+    command-line tools.
+
+    Two classic replacement policies are provided; both write a frame back
+    only when it is dirty. *)
+
+type policy =
+  | Lru    (** evict the least recently used frame *)
+  | Clock  (** second-chance / clock approximation of LRU *)
+
+type t
+
+val create : ?policy:policy -> frames:int -> Device.t -> t
+(** [create ~frames dev] is a pool of [frames] (>= 1) block frames over
+    [dev].  Default policy is {!Lru}. *)
+
+val device : t -> Device.t
+
+val read_byte : t -> int -> char
+(** [read_byte p off] reads the byte at device offset [off], faulting the
+    containing block in if needed. *)
+
+val write_byte : t -> int -> char -> unit
+(** Write one byte (marks the frame dirty; auto-extends the device when
+    writing into the block just past the end). *)
+
+val read : t -> pos:int -> len:int -> string
+val write : t -> pos:int -> string -> unit
+
+val read_page : t -> int -> string
+(** The whole block as a string (faulting it in if needed).
+    @raise Invalid_argument on an unallocated block. *)
+
+val write_page : t -> int -> string -> unit
+(** Replace a block's contents (zero-padded to the block size; the device
+    is extended as needed).  The write is buffered in the frame until
+    eviction or {!flush}. *)
+
+val flush : t -> unit
+(** Write back all dirty frames (frames stay resident). *)
+
+val hits : t -> int
+(** Number of block accesses served from a resident frame. *)
+
+val misses : t -> int
+(** Number of block accesses that required a device read. *)

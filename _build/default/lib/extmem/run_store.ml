@@ -1,0 +1,34 @@
+type id = int
+
+type t = {
+  dev : Device.t;
+  extents : Extent.t Vec.t;
+  mutable writing : bool;
+}
+
+let create dev = { dev; extents = Vec.create (); writing = false }
+
+let device t = t.dev
+
+let run_count t = Vec.length t.extents
+
+let begin_run t =
+  if t.writing then invalid_arg "Run_store.begin_run: a run is already open";
+  t.writing <- true;
+  Block_writer.create t.dev
+
+let finish_run t w =
+  if not t.writing then invalid_arg "Run_store.finish_run: no open run";
+  let extent = Block_writer.close w in
+  t.writing <- false;
+  Vec.push t.extents extent;
+  Vec.length t.extents - 1
+
+let run_extent t id =
+  if id < 0 || id >= Vec.length t.extents then
+    invalid_arg (Printf.sprintf "Run_store: unknown run id %d" id);
+  Vec.get t.extents id
+
+let open_run t id = Block_reader.of_extent t.dev (run_extent t id)
+
+let total_run_blocks t = Vec.fold_left (fun acc e -> acc + e.Extent.blocks) 0 t.extents

@@ -1,0 +1,39 @@
+(** Storage for sorted runs.
+
+    NEXSORT collapses each sufficiently large subtree into a sorted run on
+    disk; the output phase later traverses the resulting tree of runs.
+    A [Run_store.t] owns one device and hands out append-only writers; each
+    closed run gets a dense integer id that can be embedded in run-pointer
+    entries on the data stack and inside other runs.
+
+    Runs are written one at a time (the sorting phase never interleaves two
+    subtree sorts), which the store enforces. *)
+
+type t
+
+type id = int
+(** Dense run identifier, assigned at {!finish_run}. *)
+
+val create : Device.t -> t
+(** A store using [dev] for run payloads.  Run metadata (extents) is held
+    in memory, mirroring a file system's allocation tables. *)
+
+val device : t -> Device.t
+
+val run_count : t -> int
+
+val begin_run : t -> Block_writer.t
+(** Open the writer for a new run.  @raise Invalid_argument if a run is
+    already open. *)
+
+val finish_run : t -> Block_writer.t -> id
+(** Close the writer and register the run; returns its id. *)
+
+val open_run : t -> id -> Block_reader.t
+(** A fresh sequential reader over the given run.
+    @raise Invalid_argument on an unknown id. *)
+
+val run_extent : t -> id -> Extent.t
+
+val total_run_blocks : t -> int
+(** Sum of block counts over all runs (Lemma 4.8 measures this). *)

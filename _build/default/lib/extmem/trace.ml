@@ -1,0 +1,63 @@
+type summary = {
+  accesses : int;
+  sequential : int;
+  repeats : int;
+  backward : int;
+  mean_distance : float;
+  max_block : int;
+}
+
+type t = {
+  dev : Device.t;
+  trace : int Vec.t;
+}
+
+let attach dev =
+  let t = { dev; trace = Vec.create () } in
+  Device.set_tracer dev (Some (fun _op i -> Vec.push t.trace i));
+  t
+
+let detach t = Device.set_tracer t.dev None
+
+let length t = Vec.length t.trace
+
+let blocks t = Vec.to_list t.trace
+
+let summarize t =
+  let n = Vec.length t.trace in
+  if n = 0 then
+    { accesses = 0; sequential = 0; repeats = 0; backward = 0; mean_distance = 0.; max_block = 0 }
+  else begin
+    let sequential = ref 0 in
+    let repeats = ref 0 in
+    let backward = ref 0 in
+    let total_distance = ref 0 in
+    let max_block = ref (Vec.get t.trace 0) in
+    for i = 1 to n - 1 do
+      let prev = Vec.get t.trace (i - 1) in
+      let cur = Vec.get t.trace i in
+      if cur > !max_block then max_block := cur;
+      if cur = prev + 1 then incr sequential
+      else if cur = prev then incr repeats
+      else if cur < prev then incr backward;
+      total_distance := !total_distance + abs (cur - prev)
+    done;
+    {
+      accesses = n;
+      sequential = !sequential;
+      repeats = !repeats;
+      backward = !backward;
+      mean_distance = (if n > 1 then float_of_int !total_distance /. float_of_int (n - 1) else 0.);
+      max_block = !max_block;
+    }
+  end
+
+let sequential_fraction s =
+  if s.accesses <= 1 then if s.accesses = 1 then 1.0 else 0.0
+  else float_of_int s.sequential /. float_of_int (s.accesses - 1)
+
+let pp_summary ppf s =
+  Format.fprintf ppf "{accesses=%d; sequential=%.0f%%; repeats=%d; backward=%d; mean seek=%.1f blocks}"
+    s.accesses
+    (100. *. sequential_fraction s)
+    s.repeats s.backward s.mean_distance

@@ -1,0 +1,1 @@
+lib/extsort/external_sort.ml: Array Extmem Heap List Multiway Printf String

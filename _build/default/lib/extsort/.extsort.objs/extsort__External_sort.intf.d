@@ -1,0 +1,1 @@
+lib/extsort/external_sort.mli: Extmem

@@ -1,0 +1,1 @@
+lib/extsort/heap.ml: Array

@@ -1,0 +1,1 @@
+lib/extsort/multiway.ml: Array Heap

@@ -1,0 +1,211 @@
+type stats = {
+  records : int;
+  bytes : int;
+  initial_runs : int;
+  merge_passes : int;
+}
+
+type run_formation =
+  [ `Load_sort
+  | `Replacement_selection
+  ]
+
+(* Per-record arena overhead: OCaml string header + container slot,
+   approximated as two words.  The exact constant only shifts where runs
+   are cut. *)
+let record_overhead = 16
+
+let sorted_run_input reader () = Extmem.Block_reader.read_record reader
+
+let write_run store records =
+  let w = Extmem.Run_store.begin_run store in
+  Extmem.Vec.iter (Extmem.Block_writer.write_record w) records;
+  Extmem.Run_store.finish_run store w
+
+(* ---- run formation: load, sort, store ---- *)
+
+(* Returns [Ok run_ids] after spilling, or [Error sorted_records] when the
+   whole input fit in the arena (no temp I/O at all). *)
+let load_sort_runs ~arena_capacity ~store ~cmp ~input ~count =
+  let arena = Extmem.Vec.create () in
+  let arena_bytes = ref 0 in
+  let run_ids = ref [] in
+  let flush () =
+    if not (Extmem.Vec.is_empty arena) then begin
+      Extmem.Vec.sort cmp arena;
+      run_ids := write_run store arena :: !run_ids;
+      Extmem.Vec.clear arena;
+      arena_bytes := 0
+    end
+  in
+  let rec fill () =
+    match input () with
+    | None -> ()
+    | Some r ->
+        count r;
+        let sz = String.length r + record_overhead in
+        if !arena_bytes + sz > arena_capacity && not (Extmem.Vec.is_empty arena) then flush ();
+        Extmem.Vec.push arena r;
+        arena_bytes := !arena_bytes + sz;
+        fill ()
+  in
+  fill ();
+  if !run_ids = [] then begin
+    Extmem.Vec.sort cmp arena;
+    Error arena
+  end
+  else begin
+    flush ();
+    Ok (List.rev !run_ids)
+  end
+
+(* ---- run formation: replacement selection ----
+
+   The classic heap-based scheme: pop the smallest record into the current
+   run; an incoming record joins the current run's heap if it is not
+   smaller than the last record written, otherwise it waits (still in
+   memory) for the next run.  On random input runs come out about twice
+   the arena size, halving the run count and often saving a merge pass. *)
+let replacement_selection_runs ~arena_capacity ~store ~cmp ~input ~count =
+  let less a b = cmp a b < 0 in
+  let current = Heap.create ~less in
+  let pending = Extmem.Vec.create () in
+  let in_memory = ref 0 in
+  let size_of r = String.length r + record_overhead in
+  let exhausted = ref false in
+  let read () =
+    match input () with
+    | None ->
+        exhausted := true;
+        None
+    | Some r ->
+        count r;
+        Some r
+  in
+  (* prime the heap *)
+  let rec prime () =
+    if !in_memory < arena_capacity && not !exhausted then begin
+      match read () with
+      | Some r ->
+          Heap.push current r;
+          in_memory := !in_memory + size_of r;
+          prime ()
+      | None -> ()
+    end
+  in
+  prime ();
+  if !exhausted then Error current (* everything fits: drain the heap *)
+  else begin
+    let run_ids = ref [] in
+    while Heap.length current > 0 do
+      let w = Extmem.Run_store.begin_run store in
+      let rec produce () =
+        if Heap.length current > 0 then begin
+          let m = Heap.pop current in
+          Extmem.Block_writer.write_record w m;
+          in_memory := !in_memory - size_of m;
+          (* refill while there is room *)
+          let rec refill () =
+            if !in_memory < arena_capacity && not !exhausted then begin
+              match read () with
+              | Some r ->
+                  in_memory := !in_memory + size_of r;
+                  if cmp r m >= 0 then Heap.push current r else Extmem.Vec.push pending r;
+                  refill ()
+              | None -> ()
+            end
+          in
+          refill ();
+          produce ()
+        end
+      in
+      produce ();
+      run_ids := Extmem.Run_store.finish_run store w :: !run_ids;
+      (* the pending records seed the next run *)
+      Extmem.Vec.iter (Heap.push current) pending;
+      Extmem.Vec.clear pending
+    done;
+    Ok (List.rev !run_ids)
+  end
+
+(* ---- merging ---- *)
+
+let merge_phases ~store ~fan_in ~cmp ~output runs =
+  let open_inputs ids =
+    Array.of_list (List.map (fun id -> sorted_run_input (Extmem.Run_store.open_run store id)) ids)
+  in
+  let rec batches = function
+    | [] -> []
+    | ids ->
+        let rec take k acc = function
+          | rest when k = 0 -> (List.rev acc, rest)
+          | [] -> (List.rev acc, [])
+          | id :: rest -> take (k - 1) (id :: acc) rest
+        in
+        let batch, rest = take fan_in [] ids in
+        batch :: batches rest
+  in
+  let rec passes runs n =
+    if List.length runs <= fan_in then begin
+      Multiway.merge ~cmp ~inputs:(open_inputs runs) ~output;
+      n + 1
+    end
+    else begin
+      let next_runs =
+        List.map
+          (fun batch ->
+            let w = Extmem.Run_store.begin_run store in
+            Multiway.merge ~cmp ~inputs:(open_inputs batch)
+              ~output:(Extmem.Block_writer.write_record w);
+            Extmem.Run_store.finish_run store w)
+          (batches runs)
+      in
+      passes next_runs (n + 1)
+    end
+  in
+  passes runs 0
+
+(* ---- driver ---- *)
+
+let sort ?(run_formation = `Load_sort) ~budget ~temp ~cmp ~input ~output () =
+  let bs = Extmem.Memory_budget.block_size budget in
+  let blocks = Extmem.Memory_budget.available_blocks budget in
+  if blocks < 3 then
+    raise
+      (Extmem.Memory_budget.Exhausted
+         (Printf.sprintf "external sort needs >= 3 blocks, has %d" blocks));
+  Extmem.Memory_budget.with_reserved budget ~who:"external sort" blocks @@ fun () ->
+  (* one block is the stream buffer of the run writer / output;
+     the rest is the arena during run formation *)
+  let arena_capacity = (blocks - 1) * bs in
+  let store = Extmem.Run_store.create temp in
+  let records = ref 0 in
+  let total_bytes = ref 0 in
+  let count r =
+    incr records;
+    total_bytes := !total_bytes + String.length r
+  in
+  let finish initial_runs merge_passes =
+    { records = !records; bytes = !total_bytes; initial_runs; merge_passes }
+  in
+  match run_formation with
+  | `Load_sort -> (
+      match load_sort_runs ~arena_capacity ~store ~cmp ~input ~count with
+      | Error arena ->
+          Extmem.Vec.iter output arena;
+          finish 0 0
+      | Ok runs ->
+          let fan_in = blocks - 1 in
+          let merge_passes = merge_phases ~store ~fan_in ~cmp ~output runs in
+          finish (List.length runs) merge_passes)
+  | `Replacement_selection -> (
+      match replacement_selection_runs ~arena_capacity ~store ~cmp ~input ~count with
+      | Error heap ->
+          while Heap.length heap > 0 do
+            output (Heap.pop heap)
+          done;
+          finish 0 0
+      | Ok runs ->
+          let fan_in = blocks - 1 in
+          let merge_passes = merge_phases ~store ~fan_in ~cmp ~output runs in
+          finish (List.length runs) merge_passes)

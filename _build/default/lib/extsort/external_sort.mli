@@ -1,0 +1,60 @@
+(** External merge sort over record streams.
+
+    The classic Θ(n·log_m n) algorithm the paper compares NEXSORT against,
+    and the machinery NEXSORT itself reuses for subtree sorts that exceed
+    internal memory (§3.1, line 11) and for merging incomplete runs in the
+    graceful-degeneration extension (§3.2).
+
+    The sort works on opaque records (byte strings) under a caller-supplied
+    total order:
+
+    - {e Run generation}: records are accumulated in an internal-memory
+      arena sized by the {!Extmem.Memory_budget.t}, sorted, and written to
+      the temp device as initial runs.
+    - {e Merging}: runs are merged [fan-in] at a time (fan-in = free
+      memory blocks minus one output buffer) until one pass remains, which
+      is merged directly into the output sink.
+
+    An input that fits in the arena never touches the temp device: it is
+    sorted in memory and streamed straight to the output. *)
+
+type run_formation =
+  [ `Load_sort  (** fill the arena, sort it, write a run (the default) *)
+  | `Replacement_selection
+    (** heap-based run formation: runs average twice the arena size on
+        random input, halving the run count and often saving a merge
+        pass — the classic tape-era optimisation, ablated in
+        [bench/main.exe ablate-runs] *)
+  ]
+
+type stats = {
+  records : int;       (** number of records sorted *)
+  bytes : int;         (** total payload bytes *)
+  initial_runs : int;  (** runs written by the run-generation phase *)
+  merge_passes : int;  (** full merge passes over the data (0 when the
+                           input fit in memory or a single run sufficed) *)
+}
+
+val sort :
+  ?run_formation:run_formation ->
+  budget:Extmem.Memory_budget.t ->
+  temp:Extmem.Device.t ->
+  cmp:(string -> string -> int) ->
+  input:(unit -> string option) ->
+  output:(string -> unit) ->
+  unit ->
+  stats
+(** [sort ~budget ~temp ~cmp ~input ~output ()] drains [input], sorts,
+    and feeds [output] in sorted order.  During operation it reserves all
+    currently-available blocks of [budget] (at least 3 are required:
+    2-way merge fan-in plus an output buffer) and releases them when
+    done.  Temp-device contents are garbage afterwards and may be reused
+    by subsequent sorts (each sort appends; pass a fresh or recycled
+    device to reclaim space).
+
+    @raise Extmem.Memory_budget.Exhausted when fewer than 3 blocks are
+    free. *)
+
+val sorted_run_input : Extmem.Block_reader.t -> unit -> string option
+(** Adapter: read framed records back from a run written by this module
+    (or any {!Extmem.Block_writer.write_record} stream). *)

@@ -1,0 +1,61 @@
+type 'a t = {
+  less : 'a -> 'a -> bool;
+  mutable data : 'a array;
+  mutable len : int;
+}
+
+let create ~less = { less; data = [||]; len = 0 }
+
+let length h = h.len
+
+let is_empty h = h.len = 0
+
+let swap h i j =
+  let t = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- t
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.less h.data.(i) h.data.(parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.len && h.less h.data.(l) h.data.(!smallest) then smallest := l;
+  if r < h.len && h.less h.data.(r) h.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h x =
+  if h.len = Array.length h.data then begin
+    let data = Array.make (max 4 (2 * h.len)) x in
+    Array.blit h.data 0 data 0 h.len;
+    h.data <- data
+  end;
+  h.data.(h.len) <- x;
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1)
+
+let pop h =
+  if h.len = 0 then invalid_arg "Heap.pop: empty";
+  let top = h.data.(0) in
+  h.len <- h.len - 1;
+  if h.len > 0 then begin
+    h.data.(0) <- h.data.(h.len);
+    sift_down h 0
+  end;
+  top
+
+let peek h =
+  if h.len = 0 then invalid_arg "Heap.peek: empty";
+  h.data.(0)
+
+let clear h = h.len <- 0

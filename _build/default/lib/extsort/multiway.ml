@@ -1,0 +1,21 @@
+let merge ~cmp ~inputs ~output =
+  let less (ra, ia) (rb, ib) =
+    let c = cmp ra rb in
+    if c <> 0 then c < 0 else ia < ib
+  in
+  let h = Heap.create ~less in
+  Array.iteri
+    (fun i next ->
+      match next () with
+      | Some r -> Heap.push h (r, i)
+      | None -> ())
+    inputs;
+  while not (Heap.is_empty h) do
+    let r, i = Heap.pop h in
+    output r;
+    match inputs.(i) () with
+    | Some r' -> Heap.push h (r', i)
+    | None -> ()
+  done
+
+let merge_list ~cmp ~inputs ~output = merge ~cmp ~inputs:(Array.of_list inputs) ~output

@@ -1,0 +1,25 @@
+(** K-way merging of sorted streams.
+
+    The merge step of external merge sort: given [k] streams that are each
+    sorted under [cmp], produce their sorted union.  Implemented with a
+    binary tournament heap, so each output record costs O(log k)
+    comparisons and no I/O beyond what the input streams themselves do
+    (one buffer block per stream when they are {!Extmem.Block_reader}s).
+
+    The merge is stable across streams: on equal records, the stream with
+    the smaller index wins. *)
+
+val merge :
+  cmp:(string -> string -> int) ->
+  inputs:(unit -> string option) array ->
+  output:(string -> unit) ->
+  unit
+(** [merge ~cmp ~inputs ~output] drains all input streams into [output]
+    in sorted order.  Streams must individually be sorted under [cmp];
+    this is not checked. *)
+
+val merge_list :
+  cmp:(string -> string -> int) ->
+  inputs:(unit -> string option) list ->
+  output:(string -> unit) ->
+  unit

@@ -1,0 +1,1 @@
+lib/iomodel/model.mli:

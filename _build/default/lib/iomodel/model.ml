@@ -1,0 +1,46 @@
+type params = {
+  n_elements : int;
+  elements_per_block : int;
+  memory_blocks : int;
+  max_fanout : int;
+}
+
+let blocks p = (p.n_elements + p.elements_per_block - 1) / p.elements_per_block
+
+let log_ceil ~base x =
+  if base <= 1. || x <= 1. then 1.
+  else max 1. (log x /. log base)
+
+let lower_bound p =
+  let n = float_of_int (blocks p) in
+  let m = float_of_int p.memory_blocks in
+  let kb = float_of_int p.max_fanout /. float_of_int p.elements_per_block in
+  if kb <= 1. then n else n *. log_ceil ~base:m kb
+
+let nexsort_bound ~threshold_elements p =
+  let n = float_of_int (blocks p) in
+  let m = float_of_int p.memory_blocks in
+  let kt = float_of_int (min (p.max_fanout * threshold_elements) p.n_elements) in
+  let arg = kt /. float_of_int p.elements_per_block in
+  n +. (n *. log_ceil ~base:m arg)
+
+let merge_sort_bound p =
+  let n = float_of_int (blocks p) in
+  let m = float_of_int p.memory_blocks in
+  n *. log_ceil ~base:m n
+
+let merge_sort_passes p =
+  let n = blocks p in
+  let m = p.memory_blocks in
+  let runs = (n + m - 1) / max 1 m in
+  if runs <= 1 then 1
+  else begin
+    let fan_in = max 2 (m - 1) in
+    let rec go runs passes = if runs <= 1 then passes else go ((runs + fan_in - 1) / fan_in) (passes + 1) in
+    1 + go runs 0
+  end
+
+let within_constant_factor ?(factor = 16.) ~measured ~predicted () =
+  predicted > 0. && measured > 0.
+  && measured /. predicted <= factor
+  && predicted /. measured <= factor

@@ -1,0 +1,51 @@
+(** Analytical I/O model (§4 of the paper).
+
+    Closed forms for the bounds proved in the paper, in the standard
+    external-memory parameters:
+
+    - [n = N/B]: input size in blocks,
+    - [m = M/B]: internal memory in blocks,
+    - [k]: maximum fan-out of the document tree,
+    - [t]: NEXSORT's sort threshold (in elements here; callers convert).
+
+    The benchmark harness compares these predictions against measured
+    block I/Os (experiment E-lb): absolute constants are implementation
+    detail, but the growth shapes — flat in [n] for NEXSORT at fixed
+    fan-out, a pass added each time [n] crosses a power of [m] for merge
+    sort — must match. *)
+
+type params = {
+  n_elements : int;       (** N *)
+  elements_per_block : int; (** B *)
+  memory_blocks : int;    (** m = M/B *)
+  max_fanout : int;       (** k *)
+}
+
+val blocks : params -> int
+(** [n = ceil(N/B)]. *)
+
+val log_ceil : base:float -> float -> float
+(** [log_ceil ~base x] = [max 1. (log_base x)]; the saturating logarithm
+    used in all the bounds ([log < 1] means "one pass"). *)
+
+val lower_bound : params -> float
+(** Theorem 4.4: [max(n, n * log_m(k/B))] — the number of I/Os any
+    XML-sorting algorithm needs in the worst case (within constants). *)
+
+val nexsort_bound : threshold_elements:int -> params -> float
+(** Theorem 4.5: [n + n * log_m(min(k*t, N)/B)] with sort threshold [t]. *)
+
+val merge_sort_bound : params -> float
+(** The flat-file bound Θ(n·log_m n) that external merge sort achieves on
+    the key-path representation. *)
+
+val merge_sort_passes : params -> int
+(** Number of read-write passes a textbook external merge sort makes over
+    [n] blocks of data with [m] memory blocks: one run-formation pass plus
+    [ceil(log_{m-1}(ceil(n/m)))] merge passes (>= 1 whenever more than one
+    run forms). *)
+
+val within_constant_factor : ?factor:float -> measured:float -> predicted:float -> unit -> bool
+(** Sanity predicate used by tests: measured/predicted lies in
+    [[1/factor, factor]] (default 16).  Model constants are not the
+    point; order of growth is. *)

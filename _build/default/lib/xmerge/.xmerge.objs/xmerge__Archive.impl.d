@@ -1,0 +1,1 @@
+lib/xmerge/archive.ml: Hashtbl List Nexsort Option Printf String Xmlio

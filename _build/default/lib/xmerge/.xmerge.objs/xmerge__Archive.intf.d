@@ -1,0 +1,1 @@
+lib/xmerge/archive.mli: Nexsort

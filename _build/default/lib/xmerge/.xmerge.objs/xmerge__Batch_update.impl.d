@@ -1,0 +1,1 @@
+lib/xmerge/batch_update.ml: Buffer List Nexsort String Struct_merge Xmlio

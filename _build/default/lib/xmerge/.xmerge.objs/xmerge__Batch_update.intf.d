@@ -1,0 +1,1 @@
+lib/xmerge/batch_update.mli: Nexsort Struct_merge Xmlio

@@ -1,0 +1,1 @@
+lib/xmerge/indexed_merge.ml: Array Buffer Extmem List Nexsort Printf Subdoc Unix Xmlio

@@ -1,0 +1,1 @@
+lib/xmerge/indexed_merge.mli: Extmem Nexsort

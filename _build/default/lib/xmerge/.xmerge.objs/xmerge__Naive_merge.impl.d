@@ -1,0 +1,1 @@
+lib/xmerge/naive_merge.ml: Array Extmem List Nexsort Printf Subdoc Unix

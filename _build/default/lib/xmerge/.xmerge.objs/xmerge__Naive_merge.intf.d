@@ -1,0 +1,1 @@
+lib/xmerge/naive_merge.mli: Extmem Nexsort

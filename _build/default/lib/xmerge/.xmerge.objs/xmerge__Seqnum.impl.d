@@ -1,0 +1,1 @@
+lib/xmerge/seqnum.ml: List Nexsort Printf Xmlio

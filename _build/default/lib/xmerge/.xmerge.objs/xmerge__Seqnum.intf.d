@@ -1,0 +1,1 @@
+lib/xmerge/seqnum.mli: Nexsort

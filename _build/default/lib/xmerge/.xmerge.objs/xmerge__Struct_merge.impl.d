@@ -1,0 +1,1 @@
+lib/xmerge/struct_merge.ml: Buffer Extmem List Nexsort Option Printf String Xmlio

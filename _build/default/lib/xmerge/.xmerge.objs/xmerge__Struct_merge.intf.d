@@ -1,0 +1,1 @@
+lib/xmerge/struct_merge.mli: Extmem Nexsort Xmlio

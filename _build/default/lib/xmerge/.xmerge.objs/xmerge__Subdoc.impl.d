@@ -1,0 +1,1 @@
+lib/xmerge/subdoc.ml: Buffer Bytes Extmem List Nexsort Printf String Xmlio

@@ -1,0 +1,1 @@
+lib/xmerge/subdoc.mli: Extmem Nexsort Xmlio

@@ -1,0 +1,56 @@
+(** Version archiving by nested merge (§2; Buneman et al., SIGMOD 2002).
+
+    The paper cites archiving scientific data as a driving application:
+    new versions of a document are merged into a single archive document
+    with the {e Nested Merge} operation, "which needs to sort the input
+    documents at every level" — precisely what NEXSORT provides.
+
+    An archive is itself an XML document.  Every element carries a
+    [__v] attribute listing the versions in which it was present
+    ("v1,v3,v4"); when an element's direct text differs across versions,
+    each distinct text is kept in a [__text __v="..."] wrapper child.
+    Matching uses the same (tag, sort key) notion as {!Struct_merge}, so
+    inputs are NEXSORT-sorted before merging and the archive stays fully
+    sorted — each new version merges in one recursive pass.
+
+    Any snapshot can be reconstructed exactly ({!extract}), which is the
+    correctness invariant the tests enforce:
+    [extract v (add ... v doc ...) = sort doc].
+
+    Requirements as in {!Struct_merge}: scan-evaluable orderings, keys
+    unique among siblings.  [__v] and [__text] are reserved names. *)
+
+type report = {
+  version : string;
+  elements_added : int;    (** elements first seen in this version *)
+  elements_carried : int;  (** elements already in the archive and present
+                               in this version *)
+  text_variants : int;     (** distinct text variants stored so far *)
+}
+
+val init :
+  ?config:Nexsort.Config.t ->
+  ordering:Nexsort.Ordering.t ->
+  version:string ->
+  string ->
+  string * report
+(** Create a fresh archive from the first version of a document (sorting
+    it in the process). *)
+
+val add :
+  ?config:Nexsort.Config.t ->
+  ordering:Nexsort.Ordering.t ->
+  version:string ->
+  archive:string ->
+  string ->
+  string * report
+(** Merge the next version into the archive.
+    @raise Invalid_argument if [version] is already recorded or the
+    document uses the reserved markers. *)
+
+val versions : string -> string list
+(** All version labels recorded in an archive, in first-use order. *)
+
+val extract : version:string -> string -> string option
+(** Reconstruct the exact (sorted) snapshot of a version; [None] when the
+    archive does not know the version. *)

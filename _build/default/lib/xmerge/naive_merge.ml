@@ -1,0 +1,84 @@
+module Key = Nexsort.Key
+module Ordering = Nexsort.Ordering
+
+type report = {
+  matched_elements : int;
+  left_io : Extmem.Io_stats.t;
+  right_io : Extmem.Io_stats.t;
+  output_io : Extmem.Io_stats.t;
+  total_io : Extmem.Io_stats.t;
+  wall_seconds : float;
+}
+
+let merge_devices ~ordering ~left ~right ~output () =
+  if not (Ordering.all_scan_evaluable ordering) then
+    invalid_arg "Naive_merge: ordering must be scan-evaluable";
+  let t0 = Unix.gettimeofday () in
+  let out = Extmem.Block_writer.create output in
+  let matched_count = ref 0 in
+  let rec merge_elements loff roff =
+    let lname, lattrs, lchildren, _ = Subdoc.parse_shallow left loff in
+    let rname, rattrs, rchildren, _ = Subdoc.parse_shallow right roff in
+    if lname <> rname then invalid_arg "Naive_merge: mismatched elements";
+    incr matched_count;
+    Subdoc.write_start_tag out lname (Subdoc.union_attrs lattrs rattrs);
+    let rmatched = Array.make (List.length rchildren) false in
+    (* left children in document order; matches searched by linear scan *)
+    List.iter
+      (fun lc ->
+        match lc with
+        | Subdoc.Text { off; len } -> Subdoc.copy_range left ~off ~until:(off + len) out
+        | Subdoc.Elem { off; name; attrs } -> (
+            let k = Subdoc.key_of ordering name attrs in
+            (* the linear scan the paper complains about: on average half
+               of the right element's children are examined *)
+            let rec find i = function
+              | [] -> None
+              | Subdoc.Elem r :: _
+                when (not rmatched.(i))
+                     && r.name = name
+                     && Key.compare (Subdoc.key_of ordering r.name r.attrs) k = 0 ->
+                  Some (i, r.off)
+              | _ :: rest -> find (i + 1) rest
+            in
+            match find 0 rchildren with
+            | Some (i, roff') ->
+                rmatched.(i) <- true;
+                merge_elements off roff'
+            | None ->
+                (* no match: copy the left subtree verbatim (its extent is
+                   re-discovered by re-scanning it) *)
+                Subdoc.copy_range left ~off ~until:(Subdoc.subtree_end left off) out))
+      lchildren;
+    (* unmatched right children, in their document order *)
+    List.iteri
+      (fun i rc ->
+        match rc with
+        | Subdoc.Text { off; len } -> Subdoc.copy_range right ~off ~until:(off + len) out
+        | Subdoc.Elem { off; _ } ->
+            if not rmatched.(i) then
+              Subdoc.copy_range right ~off ~until:(Subdoc.subtree_end right off) out)
+      rchildren;
+    Extmem.Block_writer.write_string out (Printf.sprintf "</%s>" lname)
+  in
+  merge_elements 0 0;
+  let extent = Extmem.Block_writer.close out in
+  Extmem.Device.set_byte_length output extent.Extmem.Extent.bytes;
+  let left_io = Extmem.Io_stats.snapshot (Extmem.Device.stats left) in
+  let right_io = Extmem.Io_stats.snapshot (Extmem.Device.stats right) in
+  let output_io = Extmem.Io_stats.snapshot (Extmem.Device.stats output) in
+  {
+    matched_elements = !matched_count;
+    left_io;
+    right_io;
+    output_io;
+    total_io = Extmem.Io_stats.add left_io (Extmem.Io_stats.add right_io output_io);
+    wall_seconds = Unix.gettimeofday () -. t0;
+  }
+
+let merge_strings ~ordering ?(block_size = 1024) l r =
+  let left = Extmem.Device.of_string ~block_size l in
+  let right = Extmem.Device.of_string ~block_size r in
+  let output = Extmem.Device.in_memory ~name:"output" ~block_size () in
+  let report = merge_devices ~ordering ~left ~right ~output () in
+  (Extmem.Device.contents output, report)

@@ -1,0 +1,50 @@
+(** The naive nested-loop merge of Example 1.1 — the strawman that
+    motivates sorting.
+
+    "For each employee element, we find the matching element in the other
+    document by traversing through the matching region and branch
+    elements.  [...] when dealing with large XML documents, this approach
+    performs poorly because it generates element access patterns that do
+    not at all correspond to the natural depth-first element ordering of
+    disk-resident XML documents.  For example, looking for a particular
+    branch in a region requires scanning half of the region subtree on
+    average, unless there is an additional index."  (§1)
+
+    This module implements exactly that strawman, deliberately: both
+    documents stay {e unsorted} on their devices; for every left element
+    the matching right sibling is found by linearly re-scanning the right
+    parent's subtree, and subtree extents are re-discovered by re-parsing.
+    Every such scan is real device I/O, so the measured block counts show
+    the quadratic blow-up the paper argues against (benchmark
+    [motivation]).
+
+    The output is the same outer-join merge {!Struct_merge} produces
+    (modulo child order: the naive merge keeps the left document's order
+    with unmatched right children appended, since nothing is sorted).
+
+    Restrictions (it is a strawman): scan-evaluable orderings,
+    element/attribute/text content only (no comments, PIs or CDATA in the
+    inputs), and matching assumes keys unique among siblings. *)
+
+type report = {
+  matched_elements : int;
+  left_io : Extmem.Io_stats.t;
+  right_io : Extmem.Io_stats.t;   (** where the pain shows *)
+  output_io : Extmem.Io_stats.t;
+  total_io : Extmem.Io_stats.t;
+  wall_seconds : float;
+}
+
+val merge_devices :
+  ordering:Nexsort.Ordering.t ->
+  left:Extmem.Device.t ->
+  right:Extmem.Device.t ->
+  output:Extmem.Device.t ->
+  unit ->
+  report
+(** Nested-loop outer-join merge of two (unsorted) documents.
+    @raise Invalid_argument on non-scan-evaluable orderings or unsupported
+    markup. *)
+
+val merge_strings :
+  ordering:Nexsort.Ordering.t -> ?block_size:int -> string -> string -> string * report

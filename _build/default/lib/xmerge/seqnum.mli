@@ -1,0 +1,35 @@
+(** Preserving document order across sort + merge (Example 1.1).
+
+    "This approach also can be adapted to preserve the original document
+    ordering (by recording an additional sequence number attribute for
+    each child element and performing a final sort according to this
+    sequence number)."  — §1
+
+    {!annotate} stamps every element with a [__seq] attribute giving its
+    position among its siblings; the document can then be sorted, merged
+    and updated freely.  {!restore} runs one more NEXSORT under the
+    sequence-number ordering and strips the attributes, recovering the
+    original sibling order (for merged documents: the left input's order,
+    with right-only elements after their merged siblings, since their
+    sequence numbers are offset past the left's).
+
+    Text nodes cannot carry attributes, so only {e element} order is
+    restorable — text children keep the sorted documents' text-first
+    placement.  This matches the paper's remark, which records sequence
+    numbers "for each child element". *)
+
+val seq_attr : string
+(** The reserved attribute name (["__seq"]). *)
+
+val annotate : ?offset:int -> string -> string
+(** Stamp sequence numbers, one count per sibling list, starting at
+    [offset] (default 0) — merge inputs can be given disjoint ranges so
+    right-only elements land after left ones.
+    @raise Invalid_argument when the document already uses [__seq]. *)
+
+val restore : ?config:Nexsort.Config.t -> string -> string
+(** Sort by sequence number (NEXSORT under [By_attr __seq]) and strip the
+    annotations. *)
+
+val strip : string -> string
+(** Remove the annotations without re-ordering. *)

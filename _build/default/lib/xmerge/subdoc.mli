@@ -1,0 +1,50 @@
+(** Raw, offset-aware scanning of device-resident XML.
+
+    The nested-loop merge strawmen ({!Naive_merge}, {!Indexed_merge}) need
+    to jump to an element's bytes on the device and re-parse them, which
+    requires byte offsets the streaming parser does not expose.  This
+    scanner handles the element/attribute/text subset our workloads use
+    and raises [Invalid_argument] on anything fancier (comments, PIs,
+    CDATA).
+
+    All costs are real device I/O through a sequential
+    {!Extmem.Block_reader} per call — which is the point: these helpers
+    make the strawmen's access patterns measurable. *)
+
+type child =
+  | Elem of { off : int; name : string; attrs : Xmlio.Event.attr list }
+  | Text of { off : int; len : int }
+
+val parse_shallow :
+  Extmem.Device.t -> int -> string * Xmlio.Event.attr list * child list * int
+(** [parse_shallow dev off] parses the element starting at byte [off]:
+    its name, attributes, direct children (with their offsets) and the
+    offset just past its end tag.  Costs one sequential scan of the whole
+    subtree. *)
+
+val subtree_end : Extmem.Device.t -> int -> int
+(** The end offset of the subtree at [off] (another full scan). *)
+
+val copy_range : Extmem.Device.t -> off:int -> until:int -> Extmem.Block_writer.t -> unit
+(** Copy raw bytes [off, until) to the output stream. *)
+
+val write_start_tag : Extmem.Block_writer.t -> string -> Xmlio.Event.attr list -> unit
+
+val union_attrs : Xmlio.Event.attr list -> Xmlio.Event.attr list -> Xmlio.Event.attr list
+(** Left-biased attribute union (same rule as {!Struct_merge}). *)
+
+val key_of : Nexsort.Ordering.t -> string -> Xmlio.Event.attr list -> Nexsort.Key.t
+(** Scan-evaluable key of a start tag.
+    @raise Invalid_argument on subtree criteria. *)
+
+val walk :
+  Extmem.Device.t ->
+  on_element:(parent_off:int -> index:int -> name:string -> attrs:Xmlio.Event.attr list ->
+              off:int -> until:int -> unit) ->
+  on_text:(parent_off:int -> index:int -> off:int -> len:int -> unit) ->
+  unit
+(** Single sequential pass over the whole document, reporting every
+    element (with its extent, once its end is reached) and every text run,
+    each tagged with its parent element's offset and its position among
+    the parent's children.  The root's parent offset is [-1].  Used to
+    build indexes in one pass. *)

@@ -1,0 +1,1 @@
+lib/xmlgen/company.ml: Array List Nexsort Printf Splitmix Xmlio

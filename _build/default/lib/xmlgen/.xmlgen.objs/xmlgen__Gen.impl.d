@@ -1,0 +1,1 @@
+lib/xmlgen/gen.ml: Buffer Extmem List Printf Splitmix String Xmlio

@@ -1,0 +1,1 @@
+lib/xmlgen/gen.mli: Extmem Xmlio

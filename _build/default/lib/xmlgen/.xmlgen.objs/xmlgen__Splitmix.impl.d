@@ -1,0 +1,1 @@
+lib/xmlgen/splitmix.ml: Char Int64

@@ -1,0 +1,124 @@
+type pair = {
+  personnel : string;
+  payroll : string;
+}
+
+let region_names =
+  [| "NE"; "AC"; "NW"; "SE"; "SW"; "MW"; "GL"; "MA"; "PC"; "RM" |]
+
+let city_names =
+  [| "Durham"; "Atlanta"; "Miami"; "Boston"; "Seattle"; "Denver"; "Chicago"; "Austin";
+     "Portland"; "Raleigh"; "Tampa"; "Phoenix" |]
+
+let last_names =
+  [| "Smith"; "Jones"; "Brown"; "Young"; "Silber"; "Yang"; "Vitter"; "Arge"; "Tufte"; "Maier" |]
+
+let shuffle rng a =
+  let a = Array.copy a in
+  for i = Array.length a - 1 downto 1 do
+    let j = Splitmix.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  a
+
+let element name attrs children = Xmlio.Tree.Element { Xmlio.Tree.name; attrs; children }
+
+let text s = Xmlio.Tree.Text s
+
+let generate ?(seed = 7) ?(regions = 2) ?(branches_per_region = 2) ?(employees_per_branch = 3)
+    ?(overlap = 0.7) () =
+  let rng = Splitmix.create seed in
+  let next_id =
+    let c = ref 100 in
+    fun () ->
+      c := !c + 1 + Splitmix.int rng 7;
+      !c
+  in
+  let employee_personnel id =
+    element "employee"
+      [ ("ID", string_of_int id) ]
+      [
+        element "name" [] [ text last_names.(Splitmix.int rng (Array.length last_names)) ];
+        element "phone" [] [ text (Printf.sprintf "555%04d" (Splitmix.int rng 10_000)) ];
+      ]
+  in
+  let employee_payroll id =
+    element "employee"
+      [ ("ID", string_of_int id) ]
+      [
+        element "salary" [] [ text (string_of_int (30_000 + (1000 * Splitmix.int rng 70))) ];
+        element "bonus" [] [ text (string_of_int (1000 * Splitmix.int rng 10)) ];
+      ]
+  in
+  let branch region_i branch_i =
+    let name =
+      city_names.(((region_i * branches_per_region) + branch_i) mod Array.length city_names)
+    in
+    (* keep branch names unique within a region even for large fan-outs *)
+    let name =
+      if branches_per_region <= Array.length city_names then name
+      else Printf.sprintf "%s-%d" name branch_i
+    in
+    let ids = Array.init employees_per_branch (fun _ -> next_id ()) in
+    let n_both = int_of_float (ceil (overlap *. float_of_int employees_per_branch)) in
+    let both = Array.sub ids 0 n_both in
+    let rest = Array.sub ids n_both (employees_per_branch - n_both) in
+    (* split the rest alternately between the two documents *)
+    let only1 = Array.of_list (List.filteri (fun i _ -> i mod 2 = 0) (Array.to_list rest)) in
+    let only2 = Array.of_list (List.filteri (fun i _ -> i mod 2 = 1) (Array.to_list rest)) in
+    let personnel_ids = shuffle rng (Array.append both only1) in
+    let payroll_ids = shuffle rng (Array.append both only2) in
+    ( element "branch" [ ("name", name) ]
+        (Array.to_list (Array.map employee_personnel personnel_ids)),
+      element "branch" [ ("name", name) ]
+        (Array.to_list (Array.map employee_payroll payroll_ids)) )
+  in
+  let region i =
+    let name = region_names.(i mod Array.length region_names) in
+    let pairs = List.init branches_per_region (branch i) in
+    let b1 = shuffle rng (Array.of_list (List.map fst pairs)) in
+    let b2 = shuffle rng (Array.of_list (List.map snd pairs)) in
+    ( element "region" [ ("name", name) ] (Array.to_list b1),
+      element "region" [ ("name", name) ] (Array.to_list b2) )
+  in
+  let region_pairs = List.init regions region in
+  let r1 = shuffle rng (Array.of_list (List.map fst region_pairs)) in
+  let r2 = shuffle rng (Array.of_list (List.map snd region_pairs)) in
+  {
+    personnel = Xmlio.Tree.to_string (element "company" [] (Array.to_list r1));
+    payroll = Xmlio.Tree.to_string (element "company" [] (Array.to_list r2));
+  }
+
+let figure_1_d1 =
+  "<company>\
+   <region name=\"NE\"/>\
+   <region name=\"AC\">\
+   <branch name=\"Durham\">\
+   <employee ID=\"454\"/>\
+   <employee ID=\"323\"><name>Smith</name><phone>5552345</phone></employee>\
+   </branch>\
+   <branch name=\"Atlanta\"/>\
+   </region>\
+   </company>"
+
+let figure_1_d2 =
+  "<company>\
+   <region name=\"NW\"/>\
+   <region name=\"AC\">\
+   <branch name=\"Miami\"/>\
+   <branch name=\"Durham\">\
+   <employee ID=\"844\"/>\
+   <employee ID=\"323\"><salary>45000</salary><bonus>5000</bonus></employee>\
+   </branch>\
+   </region>\
+   </company>"
+
+let ordering =
+  Nexsort.Ordering.make
+    ~rules:
+      [ ("region", Nexsort.Ordering.By_attr "name");
+        ("branch", Nexsort.Ordering.By_attr "name");
+        ("employee", Nexsort.Ordering.By_attr "ID") ]
+    Nexsort.Ordering.By_tag

@@ -1,0 +1,38 @@
+(** The paper's running example: personnel and payroll documents
+    (Figure 1).
+
+    [D1] comes from the personnel department (employee name and phone),
+    [D2] from payroll (salary and bonus).  Both organise employees under
+    matching region and branch elements, but list them in unrelated
+    orders; some employees appear in only one document (the merge is an
+    outer join).  Used by the merge examples, tests and the T1
+    benchmark. *)
+
+type pair = {
+  personnel : string;  (** D1 as XML text *)
+  payroll : string;    (** D2 as XML text *)
+}
+
+val generate :
+  ?seed:int ->
+  ?regions:int ->
+  ?branches_per_region:int ->
+  ?employees_per_branch:int ->
+  ?overlap:float ->
+  unit ->
+  pair
+(** Generate a document pair.  [overlap] (default 0.7) is the fraction of
+    employees present in both documents; the rest are split between
+    personnel-only and payroll-only.  Children appear in random
+    (unsorted) order in both documents.  Defaults give a small example
+    (2 regions x 2 branches x 3 employees). *)
+
+val figure_1_d1 : string
+(** The exact D1 document drawn in Figure 1 of the paper. *)
+
+val figure_1_d2 : string
+(** The exact D2 document drawn in Figure 1 of the paper. *)
+
+val ordering : Nexsort.Ordering.t
+(** The merge ordering of Example 1.1: regions and branches by [name],
+    employees by [ID], everything else by tag. *)

@@ -1,0 +1,138 @@
+type stats = {
+  elements : int;
+  text_nodes : int;
+  height : int;
+  bytes : int;
+}
+
+(* Attribute padding so that an element's serialized size averages
+   [avg_bytes]: "<nX id='NNNNNN' pad='...'></nX>" has roughly 30 bytes of
+   fixed overhead. *)
+let padding rng avg_bytes =
+  let base = 30 in
+  let n = max 0 (avg_bytes - base) in
+  (* vary ±25% for realism *)
+  let n = if n = 0 then 0 else max 0 (n - (n / 4) + Splitmix.int rng (max 1 (n / 2))) in
+  String.init n (fun _ -> Splitmix.letter rng)
+
+let random_id rng = string_of_int (Splitmix.int rng 1_000_000)
+
+let element_attrs rng avg_bytes =
+  let pad = padding rng avg_bytes in
+  if pad = "" then [ ("id", random_id rng) ] else [ ("id", random_id rng); ("pad", pad) ]
+
+let leaf_text rng = Printf.sprintf "v%d" (Splitmix.int rng 100_000)
+
+let random_shape ?(seed = 42) ?(avg_bytes = 150) ?(max_elements = 100_000) ~height ~max_fanout
+    sink =
+  if height < 1 then invalid_arg "Gen.random_shape: height must be >= 1";
+  if max_fanout < 1 then invalid_arg "Gen.random_shape: max_fanout must be >= 1";
+  let rng = Splitmix.create seed in
+  let elements = ref 0 in
+  let text_nodes = ref 0 in
+  let deepest = ref 0 in
+  let rec emit level =
+    incr elements;
+    if level > !deepest then deepest := level;
+    let name = Printf.sprintf "n%d" level in
+    sink (Xmlio.Event.Start (name, element_attrs rng avg_bytes));
+    if level < height && !elements < max_elements then begin
+      let fanout = Splitmix.in_range rng 1 max_fanout in
+      let rec children i =
+        if i < fanout && !elements < max_elements then begin
+          emit (level + 1);
+          children (i + 1)
+        end
+      in
+      children 0
+    end
+    else begin
+      incr text_nodes;
+      sink (Xmlio.Event.Text (leaf_text rng))
+    end;
+    sink (Xmlio.Event.End name)
+  in
+  emit 1;
+  { elements = !elements; text_nodes = !text_nodes; height = !deepest; bytes = 0 }
+
+let exact_shape ?(seed = 42) ?(avg_bytes = 150) ~fanouts sink =
+  List.iter (fun f -> if f < 1 then invalid_arg "Gen.exact_shape: fan-outs must be >= 1") fanouts;
+  let rng = Splitmix.create seed in
+  let elements = ref 0 in
+  let text_nodes = ref 0 in
+  let deepest = ref 0 in
+  let rec emit level fanouts =
+    incr elements;
+    if level > !deepest then deepest := level;
+    let name = Printf.sprintf "n%d" level in
+    sink (Xmlio.Event.Start (name, element_attrs rng avg_bytes));
+    (match fanouts with
+    | [] ->
+        incr text_nodes;
+        sink (Xmlio.Event.Text (leaf_text rng))
+    | f :: rest ->
+        for _ = 1 to f do
+          emit (level + 1) rest
+        done);
+    sink (Xmlio.Event.End name)
+  in
+  emit 1 fanouts;
+  { elements = !elements; text_nodes = !text_nodes; height = !deepest; bytes = 0 }
+
+let to_string gen =
+  let buf = Buffer.create 4096 in
+  let writer = Xmlio.Writer.to_buffer buf in
+  let stats = gen (Xmlio.Writer.event writer) in
+  Xmlio.Writer.close writer;
+  let s = Buffer.contents buf in
+  (s, { stats with bytes = String.length s })
+
+let to_device dev gen =
+  let bw = Extmem.Block_writer.create dev in
+  let writer = Xmlio.Writer.to_block_writer bw in
+  let stats = gen (Xmlio.Writer.event writer) in
+  Xmlio.Writer.close writer;
+  let extent = Extmem.Block_writer.close bw in
+  Extmem.Device.set_byte_length dev extent.Extmem.Extent.bytes;
+  { stats with bytes = extent.Extmem.Extent.bytes }
+
+let adversarial ?(seed = 42) ?(avg_bytes = 100) ~k ~n_elements sink =
+  if k < 1 then invalid_arg "Gen.adversarial: k must be >= 1";
+  if n_elements < 1 then invalid_arg "Gen.adversarial: n_elements must be >= 1";
+  let rng = Splitmix.create seed in
+  let elements = ref 0 in
+  let deepest = ref 0 in
+  let emit_leaf level =
+    incr elements;
+    if level > !deepest then deepest := level;
+    sink (Xmlio.Event.Start ("leaf", element_attrs rng avg_bytes));
+    sink (Xmlio.Event.End "leaf")
+  in
+  (* spine of k-ary stars: each spine node emits k-1 leaves and one spine
+     child, until the budget is exhausted *)
+  let rec spine level =
+    incr elements;
+    if level > !deepest then deepest := level;
+    sink (Xmlio.Event.Start ("spine", element_attrs rng avg_bytes));
+    let rec children i =
+      if i < k && !elements < n_elements then begin
+        if i = k - 1 && !elements + 1 < n_elements then spine (level + 1)
+        else emit_leaf (level + 1);
+        children (i + 1)
+      end
+    in
+    children 0;
+    sink (Xmlio.Event.End "spine")
+  in
+  spine 1;
+  { elements = !elements; text_nodes = 0; height = !deepest; bytes = 0 }
+
+let exact_shape_size ~fanouts =
+  let total = ref 1 in
+  let level_count = ref 1 in
+  List.iter
+    (fun f ->
+      level_count := !level_count * f;
+      total := !total + !level_count)
+    fanouts;
+  !total

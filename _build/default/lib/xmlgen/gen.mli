@@ -1,0 +1,79 @@
+(** Synthetic XML workload generators (§5 of the paper).
+
+    Two generators reproduce the paper's test-data tooling:
+
+    - {!random_shape} mirrors the IBM alphaWorks XML Generator as the
+      paper uses it: a target height and maximum fan-out, with each
+      element's fan-out drawn uniformly from [[1, max_fanout]].
+
+    - {!exact_shape} mirrors the authors' custom generator: an exact
+      fan-out for every level (Table 2), giving precise control over the
+      shape and size of the document.
+
+    Every element carries a random [id] attribute (the sort key — ids are
+    random, so generated documents arrive unsorted) and a padding
+    attribute sized so the average element is [avg_bytes] long, matching
+    the paper's "average element size of about 150 bytes".  Leaves get a
+    short random text value.
+
+    Generation streams events directly to a sink, so documents larger
+    than memory never exist as in-memory trees. *)
+
+type stats = {
+  elements : int;
+  text_nodes : int;
+  height : int;
+  bytes : int;  (** bytes written (only set by the [to_device]/[to_string]
+                    wrappers; 0 when streaming to a raw event sink) *)
+}
+
+val random_shape :
+  ?seed:int ->
+  ?avg_bytes:int ->
+  ?max_elements:int ->
+  height:int ->
+  max_fanout:int ->
+  (Xmlio.Event.t -> unit) ->
+  stats
+(** Emit a document of at most [height] levels where each non-leaf
+    element has between 1 and [max_fanout] children.  Generation stops
+    adding children once [max_elements] (default 100_000) elements were
+    emitted, bounding the exponential blow-up exactly like capping the
+    generated file size.  Default [avg_bytes] is 150, default [seed] 42. *)
+
+val exact_shape :
+  ?seed:int ->
+  ?avg_bytes:int ->
+  fanouts:int list ->
+  (Xmlio.Event.t -> unit) ->
+  stats
+(** Emit a document whose root has [List.nth fanouts 0] children, each of
+    which has [List.nth fanouts 1] children, and so on (the paper's
+    Table 2: a height-h document is described by h-1 fan-outs).  An empty
+    list gives the one-element document. *)
+
+val to_string : ((Xmlio.Event.t -> unit) -> stats) -> string * stats
+(** Capture a generator's output as an XML string. *)
+
+val to_device :
+  Extmem.Device.t -> ((Xmlio.Event.t -> unit) -> stats) -> stats
+(** Stream a generator's output onto a device as XML text; sets the
+    device's byte length and fills in [bytes]. *)
+
+val adversarial :
+  ?seed:int ->
+  ?avg_bytes:int ->
+  k:int ->
+  n_elements:int ->
+  (Xmlio.Event.t -> unit) ->
+  stats
+(** The worst-case structure of the paper's Lemma 4.1: a document where
+    (at most) one element has neither 0 nor [k] children — the shape an
+    adversary picks because it maximises the number of legal sorting
+    outcomes, [(k!)^((N-1)/k) * ((N-1) mod k)!].  Built as a left-spine
+    of [k]-ary stars: each spine element has [k] children, of which one
+    continues the spine, until [n_elements] have been emitted. *)
+
+val exact_shape_size : fanouts:int list -> int
+(** Number of elements {!exact_shape} will produce (Table 2's "size"
+    column). *)

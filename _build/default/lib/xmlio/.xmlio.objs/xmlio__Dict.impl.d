@@ -1,0 +1,1 @@
+lib/xmlio/dict.ml: Extmem Hashtbl Printf

@@ -1,0 +1,1 @@
+lib/xmlio/dtd.ml: Dict Format Hashtbl List Printf String Tree

@@ -1,0 +1,1 @@
+lib/xmlio/dtd.mli: Dict Format Tree

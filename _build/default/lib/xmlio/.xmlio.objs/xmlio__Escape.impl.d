@@ -1,0 +1,1 @@
+lib/xmlio/escape.ml: Buffer Char Printf String

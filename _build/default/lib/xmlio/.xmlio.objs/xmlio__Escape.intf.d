@@ -1,0 +1,1 @@
+lib/xmlio/escape.mli:

@@ -1,0 +1,1 @@
+lib/xmlio/event.ml: Format List

@@ -1,0 +1,1 @@
+lib/xmlio/parser.ml: Buffer Char Escape Event Extmem List Printf String

@@ -1,0 +1,1 @@
+lib/xmlio/parser.mli: Event Extmem

@@ -1,0 +1,1 @@
+lib/xmlio/tree.ml: Event Format List Parser String Writer

@@ -1,0 +1,1 @@
+lib/xmlio/tree.mli: Event Format Parser

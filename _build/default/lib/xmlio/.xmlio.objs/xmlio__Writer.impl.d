@@ -1,0 +1,1 @@
+lib/xmlio/writer.ml: Buffer Escape Event Extmem List String

@@ -1,0 +1,1 @@
+lib/xmlio/writer.mli: Buffer Event Extmem

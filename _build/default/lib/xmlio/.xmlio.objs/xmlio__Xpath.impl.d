@@ -1,0 +1,1 @@
+lib/xmlio/xpath.ml: List Printf String Tree

@@ -1,0 +1,1 @@
+lib/xmlio/xpath.mli: Event Tree

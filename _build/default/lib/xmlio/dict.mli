@@ -1,0 +1,26 @@
+(** String interning dictionaries.
+
+    §3.2 of the paper observes that XML repeats tag and attribute names
+    endlessly and proposes converting each unique string to an integer
+    before sorting and back during output.  A [Dict.t] assigns dense ids
+    in first-occurrence order; the compact entry encoding stores ids
+    (1–2 byte varints) instead of names. *)
+
+type t
+
+val create : unit -> t
+
+val intern : t -> string -> int
+(** The id of [s], assigning the next free id on first sight. *)
+
+val find : t -> string -> int option
+(** The id of [s] if already interned. *)
+
+val lookup : t -> int -> string
+(** The string behind an id.  @raise Invalid_argument on unknown ids. *)
+
+val size : t -> int
+(** Number of distinct strings interned. *)
+
+val to_list : t -> string list
+(** All interned strings in id order. *)

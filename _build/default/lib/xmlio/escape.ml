@@ -1,0 +1,71 @@
+exception Bad_entity of string
+
+let escape generic s =
+  (* fast path: nothing to escape *)
+  let needs c =
+    match c with
+    | '&' | '<' | '>' -> true
+    | '"' | '\'' -> generic
+    | _ -> false
+  in
+  if not (String.exists needs s) then s
+  else begin
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '&' -> Buffer.add_string b "&amp;"
+        | '<' -> Buffer.add_string b "&lt;"
+        | '>' -> Buffer.add_string b "&gt;"
+        | '"' when generic -> Buffer.add_string b "&quot;"
+        | '\'' when generic -> Buffer.add_string b "&apos;"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  end
+
+let escape_text = escape false
+
+let escape_attr = escape true
+
+(* Encode a Unicode code point as UTF-8. *)
+let utf8_of_code_point cp =
+  let b = Buffer.create 4 in
+  if cp < 0 || cp > 0x10FFFF then raise (Bad_entity (Printf.sprintf "#%d" cp));
+  if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char b (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char b (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char b (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+  end;
+  Buffer.contents b
+
+let decode_entity name =
+  match name with
+  | "amp" -> "&"
+  | "lt" -> "<"
+  | "gt" -> ">"
+  | "quot" -> "\""
+  | "apos" -> "'"
+  | "" -> raise (Bad_entity "")
+  | _ when name.[0] = '#' -> (
+      let digits = String.sub name 1 (String.length name - 1) in
+      let cp =
+        try
+          if String.length digits > 1 && (digits.[0] = 'x' || digits.[0] = 'X') then
+            int_of_string ("0x" ^ String.sub digits 1 (String.length digits - 1))
+          else int_of_string digits
+        with Failure _ -> raise (Bad_entity name)
+      in
+      try utf8_of_code_point cp with Invalid_argument _ -> raise (Bad_entity name))
+  | _ -> raise (Bad_entity name)

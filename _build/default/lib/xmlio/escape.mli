@@ -1,0 +1,16 @@
+(** XML escaping and entity decoding. *)
+
+val escape_text : string -> string
+(** Escape ampersand and angle brackets for use as character data. *)
+
+val escape_attr : string -> string
+(** Escape ampersand, angle brackets and both quote characters for use inside a double-quoted attribute value. *)
+
+exception Bad_entity of string
+(** Raised by {!decode_entity} on an unknown or malformed entity. *)
+
+val decode_entity : string -> string
+(** [decode_entity name] resolves an entity reference body (the text
+    between [&] and [;]): the five predefined entities, decimal
+    [#NNN] and hexadecimal [#xNNN] character references (ASCII and
+    UTF-8-encoded code points). *)

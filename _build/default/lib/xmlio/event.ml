@@ -1,0 +1,26 @@
+type attr = string * string
+
+type t =
+  | Start of string * attr list
+  | End of string
+  | Text of string
+
+let start_name = function
+  | Start (name, _) -> Some name
+  | End _ | Text _ -> None
+
+let attr k = function
+  | Start (_, attrs) -> List.assoc_opt k attrs
+  | End _ | Text _ -> None
+
+let equal (a : t) (b : t) = a = b
+
+let pp ppf = function
+  | Start (name, attrs) ->
+      Format.fprintf ppf "Start(%s%a)" name
+        (fun ppf l -> List.iter (fun (k, v) -> Format.fprintf ppf " %s=%S" k v) l)
+        attrs
+  | End name -> Format.fprintf ppf "End(%s)" name
+  | Text s -> Format.fprintf ppf "Text(%S)" s
+
+let to_debug_string e = Format.asprintf "%a" pp e

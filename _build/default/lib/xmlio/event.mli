@@ -1,0 +1,26 @@
+(** SAX-style XML events.
+
+    The streaming interfaces of this library — parser, writer, sorter —
+    exchange documents as sequences of these events, the "units of XML
+    data" of the paper's pseudo-code (Figure 4, line 3). *)
+
+type attr = string * string
+(** Attribute name and (unescaped) value.  Order is preserved. *)
+
+type t =
+  | Start of string * attr list  (** start tag: element name, attributes *)
+  | End of string                (** end tag: element name *)
+  | Text of string               (** character data (unescaped) *)
+
+val start_name : t -> string option
+(** The element name when the event is a [Start]. *)
+
+val attr : string -> t -> string option
+(** [attr k e] is the value of attribute [k] when [e] is a [Start] that
+    carries it. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_debug_string : t -> string

@@ -1,0 +1,434 @@
+exception Error of { line : int; col : int; msg : string }
+
+type t = {
+  source : unit -> char option;
+  mutable ahead : char option option; (* one-char lookahead; None = empty *)
+  mutable line : int;
+  mutable col : int;
+  mutable stack : string list;        (* open elements, innermost first *)
+  mutable pending : Event.t list;     (* queued events (empty-element tags) *)
+  mutable peeked : Event.t option option;
+  mutable root_seen : bool;
+  mutable finished : bool;
+  mutable doctype_subset : string option;
+  keep_ws : bool;
+  buf : Buffer.t;
+  buf2 : Buffer.t;
+}
+
+let fail p fmt =
+  Printf.ksprintf (fun msg -> raise (Error { line = p.line; col = p.col; msg })) fmt
+
+let of_fn ?(keep_whitespace = false) source =
+  {
+    source;
+    ahead = None;
+    line = 1;
+    col = 1;
+    stack = [];
+    pending = [];
+    peeked = None;
+    root_seen = false;
+    finished = false;
+    doctype_subset = None;
+    keep_ws = keep_whitespace;
+    buf = Buffer.create 256;
+    buf2 = Buffer.create 64;
+  }
+
+let of_string ?keep_whitespace s =
+  let pos = ref 0 in
+  let read () =
+    if !pos >= String.length s then None
+    else begin
+      let c = s.[!pos] in
+      incr pos;
+      Some c
+    end
+  in
+  of_fn ?keep_whitespace read
+
+let of_reader ?keep_whitespace r = of_fn ?keep_whitespace (fun () -> Extmem.Block_reader.read_char r)
+
+let line p = p.line
+
+let col p = p.col
+
+let depth p = List.length p.stack
+
+(* ---- character level ---- *)
+
+let peek_char p =
+  match p.ahead with
+  | Some c -> c
+  | None ->
+      let c = p.source () in
+      p.ahead <- Some c;
+      c
+
+let read_char p =
+  let c = peek_char p in
+  p.ahead <- None;
+  (match c with
+  | Some '\n' ->
+      p.line <- p.line + 1;
+      p.col <- 1
+  | Some _ -> p.col <- p.col + 1
+  | None -> ());
+  c
+
+let expect_char p want =
+  match read_char p with
+  | Some c when c = want -> ()
+  | Some c -> fail p "expected %C, found %C" want c
+  | None -> fail p "expected %C, found end of input" want
+
+let expect_string p s = String.iter (expect_char p) s
+
+let is_ws = function
+  | ' ' | '\t' | '\n' | '\r' -> true
+  | _ -> false
+
+let skip_ws p =
+  let rec go () =
+    match peek_char p with
+    | Some c when is_ws c ->
+        ignore (read_char p);
+        go ()
+    | Some _ | None -> ()
+  in
+  go ()
+
+let is_name_start = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+  | c -> Char.code c >= 0x80
+
+let is_name_char c =
+  is_name_start c
+  ||
+  match c with
+  | '0' .. '9' | '-' | '.' -> true
+  | _ -> false
+
+let read_name p =
+  Buffer.clear p.buf2;
+  (match read_char p with
+  | Some c when is_name_start c -> Buffer.add_char p.buf2 c
+  | Some c -> fail p "invalid name start character %C" c
+  | None -> fail p "name expected, found end of input");
+  let rec go () =
+    match peek_char p with
+    | Some c when is_name_char c ->
+        ignore (read_char p);
+        Buffer.add_char p.buf2 c;
+        go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  Buffer.contents p.buf2
+
+(* entity reference after the '&' has been consumed *)
+let read_entity p =
+  Buffer.clear p.buf2;
+  let rec go n =
+    if n > 12 then fail p "entity reference too long";
+    match read_char p with
+    | Some ';' -> ()
+    | Some c ->
+        Buffer.add_char p.buf2 c;
+        go (n + 1)
+    | None -> fail p "unterminated entity reference"
+  in
+  go 0;
+  let name = Buffer.contents p.buf2 in
+  try Escape.decode_entity name with Escape.Bad_entity _ -> fail p "unknown entity &%s;" name
+
+(* ---- markup constructs ---- *)
+
+let read_comment p =
+  (* after "<!--" *)
+  let rec go dashes =
+    match read_char p with
+    | None -> fail p "unterminated comment"
+    | Some '-' -> go (dashes + 1)
+    | Some '>' when dashes >= 2 -> ()
+    | Some _ -> go 0
+  in
+  go 0
+
+let read_pi p =
+  (* after "<?" *)
+  let rec go saw_q =
+    match read_char p with
+    | None -> fail p "unterminated processing instruction"
+    | Some '?' -> go true
+    | Some '>' when saw_q -> ()
+    | Some _ -> go false
+  in
+  go false
+
+let read_doctype p =
+  (* after "<!DOCTYPE"; the internal subset (between brackets) is captured
+     so a DTD can be recovered with [doctype_subset] *)
+  let subset = Buffer.create 64 in
+  let rec go bracket_depth =
+    match read_char p with
+    | None -> fail p "unterminated DOCTYPE"
+    | Some '[' ->
+        if bracket_depth > 0 then Buffer.add_char subset '[';
+        go (bracket_depth + 1)
+    | Some ']' ->
+        if bracket_depth > 1 then Buffer.add_char subset ']';
+        go (bracket_depth - 1)
+    | Some '>' when bracket_depth = 0 -> ()
+    | Some c ->
+        if bracket_depth > 0 then Buffer.add_char subset c;
+        go bracket_depth
+  in
+  go 0;
+  if Buffer.length subset > 0 then p.doctype_subset <- Some (Buffer.contents subset)
+
+let read_cdata p =
+  (* after "<![CDATA[", contents appended to p.buf *)
+  let rec go brackets =
+    match read_char p with
+    | None -> fail p "unterminated CDATA section"
+    | Some ']' -> go (brackets + 1)
+    | Some '>' when brackets >= 2 ->
+        (* the two brackets were the terminator; drop any extras beyond 2 *)
+        for _ = 1 to brackets - 2 do
+          Buffer.add_char p.buf ']'
+        done
+    | Some c ->
+        for _ = 1 to brackets do
+          Buffer.add_char p.buf ']'
+        done;
+        Buffer.add_char p.buf c;
+        go 0
+  in
+  go 0
+
+let read_attr_value p =
+  let quote =
+    match read_char p with
+    | Some (('"' | '\'') as q) -> q
+    | Some c -> fail p "attribute value must be quoted, found %C" c
+    | None -> fail p "attribute value expected, found end of input"
+  in
+  let b = Buffer.create 16 in
+  let rec go () =
+    match read_char p with
+    | None -> fail p "unterminated attribute value"
+    | Some c when c = quote -> ()
+    | Some '<' -> fail p "'<' not allowed in attribute value"
+    | Some '&' ->
+        Buffer.add_string b (read_entity p);
+        go ()
+    | Some c ->
+        Buffer.add_char b c;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let read_start_tag p =
+  (* after '<', name start pending *)
+  let name = read_name p in
+  let rec attrs acc =
+    skip_ws p;
+    match peek_char p with
+    | Some '>' ->
+        ignore (read_char p);
+        (List.rev acc, false)
+    | Some '/' ->
+        ignore (read_char p);
+        expect_char p '>';
+        (List.rev acc, true)
+    | Some c when is_name_start c ->
+        let k = read_name p in
+        skip_ws p;
+        expect_char p '=';
+        skip_ws p;
+        let v = read_attr_value p in
+        if List.mem_assoc k acc then fail p "duplicate attribute %s" k;
+        attrs ((k, v) :: acc)
+    | Some c -> fail p "unexpected %C in start tag" c
+    | None -> fail p "unterminated start tag"
+  in
+  let attrs, empty = attrs [] in
+  (name, attrs, empty)
+
+let read_end_tag p =
+  (* after "</" *)
+  let name = read_name p in
+  skip_ws p;
+  expect_char p '>';
+  name
+
+(* ---- event level ---- *)
+
+let push_element p name = p.stack <- name :: p.stack
+
+let pop_element p name =
+  match p.stack with
+  | top :: rest when top = name ->
+      p.stack <- rest;
+      if p.stack = [] then p.finished <- true
+  | top :: _ -> fail p "mismatched end tag </%s>, expected </%s>" name top
+  | [] -> fail p "end tag </%s> without open element" name
+
+let all_ws s = String.for_all is_ws s
+
+(* Read character data (text and CDATA runs) until the next markup that
+   yields an event.  Returns the possibly-empty accumulated text. *)
+let rec produce p =
+  match p.pending with
+  | e :: rest ->
+      p.pending <- rest;
+      Some e
+  | [] ->
+      if p.stack = [] then produce_misc p
+      else produce_content p
+
+and produce_misc p =
+  (* outside the root element: only whitespace, comments, PIs, DOCTYPE *)
+  skip_ws p;
+  match peek_char p with
+  | None ->
+      if not p.root_seen then fail p "document has no root element";
+      None
+  | Some '<' -> (
+      ignore (read_char p);
+      match peek_char p with
+      | Some '!' -> (
+          ignore (read_char p);
+          match peek_char p with
+          | Some '-' ->
+              expect_string p "--";
+              read_comment p;
+              produce_misc p
+          | Some 'D' ->
+              expect_string p "DOCTYPE";
+              if p.root_seen then fail p "DOCTYPE after root element";
+              read_doctype p;
+              produce_misc p
+          | Some c -> fail p "unexpected markup <!%C outside root" c
+          | None -> fail p "truncated markup")
+      | Some '?' ->
+          ignore (read_char p);
+          read_pi p;
+          produce_misc p
+      | Some '/' -> fail p "end tag outside any element"
+      | Some c when is_name_start c ->
+          if p.finished then fail p "multiple root elements"
+          else begin
+            p.root_seen <- true;
+            start_element p
+          end
+      | Some c -> fail p "unexpected %C after '<'" c
+      | None -> fail p "truncated markup at end of input")
+  | Some c -> fail p "character data %C outside root element" c
+
+and start_element p =
+  let name, attrs, empty = read_start_tag p in
+  if empty then begin
+    p.pending <- [ Event.End name ];
+    if p.stack = [] then p.finished <- true
+  end
+  else push_element p name;
+  Some (Event.Start (name, attrs))
+
+and produce_content p =
+  Buffer.clear p.buf;
+  let rec text () =
+    match peek_char p with
+    | None -> fail p "unclosed element <%s>" (List.hd p.stack)
+    | Some '<' -> (
+        ignore (read_char p);
+        match peek_char p with
+        | Some '!' -> (
+            ignore (read_char p);
+            match peek_char p with
+            | Some '-' ->
+                expect_string p "--";
+                flush_or_comment p text
+            | Some '[' ->
+                expect_string p "[CDATA[";
+                read_cdata p;
+                text ()
+            | Some c -> fail p "unexpected markup <!%C" c
+            | None -> fail p "truncated markup")
+        | Some '?' ->
+            ignore (read_char p);
+            flush_or_pi p text
+        | Some '/' ->
+            ignore (read_char p);
+            `End_tag
+        | Some c when is_name_start c -> `Start_tag
+        | Some c -> fail p "unexpected %C after '<'" c
+        | None -> fail p "truncated markup at end of input")
+    | Some '&' ->
+        ignore (read_char p);
+        Buffer.add_string p.buf (read_entity p);
+        text ()
+    | Some c ->
+        ignore (read_char p);
+        Buffer.add_char p.buf c;
+        text ()
+  in
+  let kind = text () in
+  let txt = Buffer.contents p.buf in
+  let emit_text = txt <> "" && (p.keep_ws || not (all_ws txt)) in
+  match kind with
+  | `Start_tag ->
+      let e = start_element p in
+      if emit_text then begin
+        (match e with
+        | Some e -> p.pending <- e :: p.pending
+        | None -> ());
+        Some (Event.Text txt)
+      end
+      else e
+  | `End_tag ->
+      let name = read_end_tag p in
+      pop_element p name;
+      if emit_text then begin
+        p.pending <- Event.End name :: p.pending;
+        Some (Event.Text txt)
+      end
+      else Some (Event.End name)
+
+(* Comments and PIs inside content do not break the surrounding text run:
+   skip them and continue accumulating. *)
+and flush_or_comment p k =
+  read_comment p;
+  k ()
+
+and flush_or_pi p k =
+  read_pi p;
+  k ()
+
+let next p =
+  match p.peeked with
+  | Some e ->
+      p.peeked <- None;
+      e
+  | None -> produce p
+
+let peek p =
+  match p.peeked with
+  | Some e -> e
+  | None ->
+      let e = produce p in
+      p.peeked <- Some e;
+      e
+
+let to_list p =
+  let rec go acc =
+    match next p with
+    | Some e -> go (e :: acc)
+    | None -> List.rev acc
+  in
+  go []
+
+let doctype_subset p = p.doctype_subset

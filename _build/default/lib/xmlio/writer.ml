@@ -1,0 +1,76 @@
+type t = {
+  sink : string -> unit;
+  indent : bool;
+  mutable depth : int;
+  mutable open_tag : bool;     (* a '<name attrs' is open, '>' not yet emitted *)
+  mutable had_children : bool; (* current element got child markup (for indent) *)
+}
+
+let to_fn ?(decl = false) ?(indent = false) sink =
+  if decl then sink "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  { sink; indent; depth = 0; open_tag = false; had_children = false }
+
+let to_buffer ?decl ?indent buf = to_fn ?decl ?indent (Buffer.add_string buf)
+
+let to_block_writer ?decl ?indent w = to_fn ?decl ?indent (Extmem.Block_writer.write_string w)
+
+let close_open_tag t = if t.open_tag then begin t.sink ">"; t.open_tag <- false end
+
+let newline_indent t =
+  if t.indent then begin
+    t.sink "\n";
+    t.sink (String.make (2 * t.depth) ' ')
+  end
+
+let event t e =
+  match e with
+  | Event.Start (name, attrs) ->
+      close_open_tag t;
+      if t.depth = 0 || t.indent then newline_indent t;
+      t.sink "<";
+      t.sink name;
+      List.iter
+        (fun (k, v) ->
+          t.sink " ";
+          t.sink k;
+          t.sink "=\"";
+          t.sink (Escape.escape_attr v);
+          t.sink "\"")
+        attrs;
+      t.open_tag <- true;
+      t.had_children <- false;
+      t.depth <- t.depth + 1
+  | Event.End name ->
+      if t.depth = 0 then invalid_arg "Writer: end tag with no open element";
+      t.depth <- t.depth - 1;
+      if t.open_tag then begin
+        t.sink "/>";
+        t.open_tag <- false
+      end
+      else begin
+        if t.indent && t.had_children then newline_indent t;
+        t.sink "</";
+        t.sink name;
+        t.sink ">"
+      end;
+      t.had_children <- true
+  | Event.Text s ->
+      if t.depth = 0 then begin
+        if not (String.for_all (function ' ' | '\t' | '\n' | '\r' -> true | _ -> false) s) then
+          invalid_arg "Writer: text outside the root element"
+      end
+      else begin
+        close_open_tag t;
+        t.sink (Escape.escape_text s)
+      end
+
+let events t = List.iter (event t)
+
+let close t = if t.depth <> 0 then invalid_arg "Writer: unclosed elements remain"
+
+let events_to_string ?decl ?indent evs =
+  let buf = Buffer.create 1024 in
+  let t = to_buffer ?decl ?indent buf in
+  events t evs;
+  close t;
+  Buffer.contents buf

@@ -1,0 +1,31 @@
+(** Streaming XML serializer.
+
+    Consumes {!Event.t}s and emits well-formed XML text to a pluggable
+    sink — a [Buffer.t] or a {!Extmem.Block_writer.t}, so writing the
+    output document costs exactly [ceil(n/B)] block writes.  Round-trips
+    with {!Parser}: [parse (write events) = events] for any balanced
+    event sequence. *)
+
+type t
+
+val to_buffer : ?decl:bool -> ?indent:bool -> Buffer.t -> t
+(** Serialize into a buffer.  [decl] (default false) emits an XML
+    declaration first; [indent] (default false) pretty-prints with
+    2-space indentation (only safe for documents without mixed
+    content). *)
+
+val to_block_writer : ?decl:bool -> ?indent:bool -> Extmem.Block_writer.t -> t
+
+val to_fn : ?decl:bool -> ?indent:bool -> (string -> unit) -> t
+
+val event : t -> Event.t -> unit
+(** Emit one event.  @raise Invalid_argument on events that would produce
+    malformed XML (unbalanced end tag, text outside the root). *)
+
+val events : t -> Event.t list -> unit
+
+val close : t -> unit
+(** Check balance.  @raise Invalid_argument if elements remain open. *)
+
+val events_to_string : ?decl:bool -> ?indent:bool -> Event.t list -> string
+(** One-shot convenience. *)

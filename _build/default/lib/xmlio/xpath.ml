@@ -1,0 +1,279 @@
+type pred =
+  | Attr_eq of string * string
+  | Attr_exists of string
+  | Position of int
+
+type test =
+  | Name of string
+  | Any
+
+type step = {
+  axis : [ `Child | `Descendant ];
+  test : test;
+  preds : pred list;
+}
+
+type t = step list
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+(* ---- parsing ---- *)
+
+let is_name_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' | '-' | '.' -> true
+  | _ -> false
+
+type cursor = {
+  text : string;
+  mutable pos : int;
+}
+
+let peek c = if c.pos < String.length c.text then Some c.text.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let read_name c =
+  let start = c.pos in
+  while
+    match peek c with
+    | Some ch when is_name_char ch -> true
+    | _ -> false
+  do
+    advance c
+  done;
+  if c.pos = start then fail "name expected at offset %d" start;
+  String.sub c.text start (c.pos - start)
+
+let read_pred c =
+  (* after '[' *)
+  match peek c with
+  | Some '@' ->
+      advance c;
+      let name = read_name c in
+      (match peek c with
+      | Some ']' ->
+          advance c;
+          Attr_exists name
+      | Some '=' ->
+          advance c;
+          (match peek c with
+          | Some '\'' -> advance c
+          | _ -> fail "expected quoted value in predicate");
+          let start = c.pos in
+          while peek c <> Some '\'' && peek c <> None do
+            advance c
+          done;
+          if peek c = None then fail "unterminated predicate value";
+          let v = String.sub c.text start (c.pos - start) in
+          advance c;
+          (match peek c with
+          | Some ']' ->
+              advance c;
+              Attr_eq (name, v)
+          | _ -> fail "expected closing bracket")
+      | _ -> fail "malformed attribute predicate")
+  | Some ('0' .. '9') ->
+      let start = c.pos in
+      while
+        match peek c with
+        | Some ('0' .. '9') -> true
+        | _ -> false
+      do
+        advance c
+      done;
+      let n = int_of_string (String.sub c.text start (c.pos - start)) in
+      if n < 1 then fail "positions are 1-based";
+      (match peek c with
+      | Some ']' ->
+          advance c;
+          Position n
+      | _ -> fail "expected closing bracket")
+  | _ -> fail "unsupported predicate at offset %d" c.pos
+
+let read_step c axis =
+  let test =
+    match peek c with
+    | Some '*' ->
+        advance c;
+        Any
+    | Some ch when is_name_char ch -> Name (read_name c)
+    | _ -> fail "step expected at offset %d" c.pos
+  in
+  let rec preds acc =
+    match peek c with
+    | Some '[' ->
+        advance c;
+        preds (read_pred c :: acc)
+    | _ -> List.rev acc
+  in
+  { axis; test; preds = preds [] }
+
+let parse s =
+  if s = "" then fail "empty path";
+  let c = { text = s; pos = 0 } in
+  let axis_of_slashes () =
+    match peek c with
+    | Some '/' -> (
+        advance c;
+        match peek c with
+        | Some '/' ->
+            advance c;
+            Some `Descendant
+        | _ -> Some `Child)
+    | None -> None
+    | Some ch -> fail "expected '/', found %C" ch
+  in
+  let rec steps acc =
+    match axis_of_slashes () with
+    | None -> List.rev acc
+    | Some axis -> steps (read_step c axis :: acc)
+  in
+  let result = steps [] in
+  if result = [] then fail "path has no steps";
+  result
+
+let to_string t =
+  String.concat ""
+    (List.map
+       (fun s ->
+         (match s.axis with `Child -> "/" | `Descendant -> "//")
+         ^ (match s.test with Name n -> n | Any -> "*")
+         ^ String.concat ""
+             (List.map
+                (function
+                  | Attr_eq (k, v) -> Printf.sprintf "[@%s='%s']" k v
+                  | Attr_exists k -> Printf.sprintf "[@%s]" k
+                  | Position n -> Printf.sprintf "[%d]" n)
+                s.preds))
+       t)
+
+let has_positional t =
+  List.exists (fun s -> List.exists (function Position _ -> true | _ -> false) s.preds) t
+
+(* ---- evaluation over trees ---- *)
+
+let test_matches test (e : Tree.element) =
+  match test with
+  | Any -> true
+  | Name n -> e.Tree.name = n
+
+let attr_preds_hold preds (e : Tree.element) =
+  List.for_all
+    (function
+      | Attr_eq (k, v) -> List.assoc_opt k e.Tree.attrs = Some v
+      | Attr_exists k -> List.mem_assoc k e.Tree.attrs
+      | Position _ -> true (* handled separately *))
+    preds
+
+let positional_holds preds ~index_among_matching =
+  List.for_all
+    (function
+      | Position n -> index_among_matching = n
+      | Attr_eq _ | Attr_exists _ -> true)
+    preds
+
+(* elements among [nodes] (a sibling list) matched by [step], with
+   positional predicates counted among the name-test matches *)
+let step_over_children step nodes =
+  let matching = ref 0 in
+  List.filter_map
+    (function
+      | Tree.Text _ -> None
+      | Tree.Element e ->
+          if test_matches step.test e then begin
+            incr matching;
+            if attr_preds_hold step.preds e && positional_holds step.preds ~index_among_matching:!matching
+            then Some e
+            else None
+          end
+          else None)
+    nodes
+
+let rec descendants_or_self (e : Tree.element) =
+  e
+  :: List.concat_map
+       (function
+         | Tree.Element c -> descendants_or_self c
+         | Tree.Text _ -> [])
+       e.Tree.children
+
+let select t tree =
+  let root =
+    match tree with
+    | Tree.Element e -> e
+    | Tree.Text _ -> raise (Parse_error "document has no root element")
+  in
+  (* context: a list of candidate elements; the first step applies to the
+     (virtual) document node, so its child axis looks at the root itself *)
+  let apply_step contexts step =
+    List.concat_map
+      (fun (e : Tree.element) ->
+        match step.axis with
+        | `Child -> step_over_children step e.Tree.children
+        | `Descendant ->
+            (* descendant-or-self of each child, plus positional predicates
+               are interpreted per parent sibling list; for the descendant
+               axis we fall back to attribute predicates only *)
+            List.concat_map
+              (fun d ->
+                if test_matches step.test d && attr_preds_hold step.preds d then [ d ] else [])
+              (List.concat_map
+                 (function
+                   | Tree.Element c -> descendants_or_self c
+                   | Tree.Text _ -> [])
+                 e.Tree.children))
+      contexts
+  in
+  match t with
+  | [] -> []
+  | first :: rest ->
+      (* the document node: pretend the root is the only child *)
+      let doc = { Tree.name = "#doc"; attrs = []; children = [ Tree.Element root ] } in
+      let init =
+        match first.axis with
+        | `Child -> apply_step [ doc ] { first with axis = `Child }
+        | `Descendant ->
+            let all = descendants_or_self root in
+            let matching = ref 0 in
+            List.filter
+              (fun e ->
+                if test_matches first.test e then begin
+                  incr matching;
+                  attr_preds_hold first.preds e
+                  && positional_holds first.preds ~index_among_matching:!matching
+                end
+                else false)
+              all
+      in
+      List.fold_left apply_step init rest
+
+(* ---- streaming chain matching ---- *)
+
+let matches_chain t chain =
+  if has_positional t then
+    invalid_arg "Xpath.matches_chain: positional predicates need sibling context";
+  let holds step (name, attrs) =
+    (match step.test with Any -> true | Name n -> n = name)
+    && List.for_all
+         (function
+           | Attr_eq (k, v) -> List.assoc_opt k attrs = Some v
+           | Attr_exists k -> List.mem_assoc k attrs
+           | Position _ -> true)
+         step.preds
+  in
+  (* match steps against the chain left-to-right; `Child consumes exactly
+     the next chain element, `Descendant any non-empty suffix start *)
+  let rec go steps chain =
+    match (steps, chain) with
+    | [], [] -> true
+    | [], _ :: _ -> false
+    | _ :: _, [] -> false
+    | ({ axis = `Child; _ } as s) :: srest, c :: crest -> holds s c && go srest crest
+    | ({ axis = `Descendant; _ } as s) :: srest, (_ :: crest as all) ->
+        (holds s (List.hd all) && go srest crest) || go steps crest
+  in
+  go t chain
+
+let select_strings t s = select t (Tree.of_string s) [@@warning "-32"]

@@ -1,0 +1,43 @@
+(** A small XPath subset for selecting elements.
+
+    The XMLTK toolkit's XSort (§2 of the paper) lets users name the
+    elements whose children should be sorted; path expressions are the
+    natural way to do that, and they are also handy for querying sorted
+    documents in the examples.  Supported grammar:
+
+    {v
+    path  ::= '/' step ( '/' step | '//' step )*  |  '//' step ( ... )*
+    step  ::= (name | '*') pred*
+    pred  ::= '[' '@' name '=' '\'' value '\'' ']'
+            | '[' '@' name ']'
+            | '[' number ']'          (1-based position among siblings)
+    v}
+
+    ['/'] is the child axis, ['//'] descendant-or-self.  Examples:
+    [/company/region/branch], [//employee\[@ID='323'\]],
+    [/company/*\[2\]//name]. *)
+
+type t
+
+exception Parse_error of string
+
+val parse : string -> t
+(** @raise Parse_error on malformed expressions. *)
+
+val to_string : t -> string
+(** A normalized rendering of the expression. *)
+
+val select : t -> Tree.t -> Tree.element list
+(** All elements of the document matching the path, in document order. *)
+
+val matches_chain : t -> (string * Event.attr list) list -> bool
+(** [matches_chain p chain] decides whether an element whose
+    ancestor-or-self chain is [chain] (root first, the element itself
+    last, each with its attributes) is selected by [p].  This is the
+    streaming form used to pick targets during a scan; positional
+    predicates are not decidable from a chain alone and raise
+    [Invalid_argument]. *)
+
+val has_positional : t -> bool
+(** Whether the expression uses positional predicates (and therefore
+    cannot drive {!matches_chain}). *)

@@ -1,0 +1,1 @@
+test/test_extmem.ml: Alcotest Buffer Bytes Char Extmem Filename Fun Gen Hashtbl List Printf QCheck QCheck_alcotest String Sys

@@ -1,0 +1,1 @@
+test/test_extsort.ml: Alcotest Array Extmem Extsort List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_iomodel.ml: Alcotest Extmem Iomodel List Nexsort Printf Xmlgen

@@ -1,0 +1,1 @@
+test/test_nexsort.ml: Alcotest Baselines Buffer Extmem Filename Format Fun List Nexsort Printf QCheck QCheck_alcotest String Sys Xmlgen Xmlio

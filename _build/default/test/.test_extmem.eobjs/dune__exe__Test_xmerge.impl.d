@@ -1,0 +1,1 @@
+test/test_xmerge.ml: Alcotest Baselines Extmem List Nexsort Option Printf QCheck QCheck_alcotest String Xmerge Xmlgen Xmlio

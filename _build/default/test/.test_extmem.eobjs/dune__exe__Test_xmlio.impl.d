@@ -1,0 +1,1 @@
+test/test_xmlio.ml: Alcotest Buffer Bytes Char Extmem List Printf QCheck QCheck_alcotest String Xmlio

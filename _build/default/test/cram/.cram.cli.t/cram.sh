@@ -1,0 +1,28 @@
+  $ ../../bin/xmlgen_cli.exe --fanouts 3,2 --avg-bytes 40 -o doc.xml
+  $ ../../bin/nexsort_cli.exe -B 256 -M 8 -O @id doc.xml -o sorted.xml
+  $ test -s sorted.xml && echo ok
+  $ ../../bin/nexsort_cli.exe -B 256 -M 8 -O @id sorted.xml -o sorted2.xml
+  $ cmp sorted.xml sorted2.xml && echo identical
+  $ ../../bin/nexsort_cli.exe -a mergesort -B 256 -M 8 -O @id doc.xml -o ms.xml
+  $ cmp sorted.xml ms.xml && echo identical
+  $ ../../bin/nexsort_cli.exe -a treesort -O @id doc.xml -o ts.xml
+  $ cmp sorted.xml ts.xml && echo identical
+  $ printf '<a><b></a>' > bad.xml
+  $ ../../bin/nexsort_cli.exe -O @id bad.xml -o nope.xml
+  $ ../../bin/xmlgen_cli.exe --company -o co
+  $ ../../bin/xmlmerge_cli.exe -O '@ID,region=@name,branch=@name' co.personnel.xml co.payroll.xml -o merged.xml
+  $ grep -c employee merged.xml > /dev/null && echo has-employees
+  $ printf '<db id="0"><item id="1"/><item id="2"/></db>' > base.xml
+  $ printf '<db id="0"><item id="2" __op="delete"/><item id="3"/></db>' > ups.xml
+  $ ../../bin/xmlmerge_cli.exe --update -O @id base.xml ups.xml -o updated.xml
+  $ cat updated.xml
+  $ printf '<c><g id="1"><x id="3"/><x id="2"/></g><g id="2"><x id="5"/><x id="4"/></g></c>' > xs.xml
+  $ ../../bin/nexsort_cli.exe -a xsort --targets g -B 256 -M 8 xs.xml -o xs1.xml
+  $ cat xs1.xml
+  $ ../../bin/nexsort_cli.exe -a xsort --select "//g[@id='2']" -B 256 -M 8 xs.xml -o xs2.xml
+  $ cat xs2.xml
+  $ printf '<r id="0"><e last="Yang" first="Jun"/><e last="Silber" first="Adam"/></r>' > comp.xml
+  $ ../../bin/nexsort_cli.exe -O 'e=(@last;@first),@id' -B 256 -M 8 comp.xml -o comp_sorted.xml
+  $ cat comp_sorted.xml
+  $ ../../bin/nexsort_cli.exe --ordering='-@id' -B 256 -M 8 xs.xml -o desc.xml
+  $ cat desc.xml

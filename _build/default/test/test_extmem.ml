@@ -1,0 +1,950 @@
+(* Tests for the external-memory substrate. *)
+
+let check = Alcotest.check
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Vec *)
+
+let test_vec_basic () =
+  let v = Extmem.Vec.create () in
+  check Alcotest.bool "empty" true (Extmem.Vec.is_empty v);
+  for i = 0 to 99 do
+    Extmem.Vec.push v i
+  done;
+  check Alcotest.int "length" 100 (Extmem.Vec.length v);
+  check Alcotest.int "get 42" 42 (Extmem.Vec.get v 42);
+  Extmem.Vec.set v 42 (-1);
+  check Alcotest.int "set" (-1) (Extmem.Vec.get v 42);
+  check Alcotest.int "top" 99 (Extmem.Vec.top v);
+  check Alcotest.int "pop" 99 (Extmem.Vec.pop v);
+  check Alcotest.int "length after pop" 99 (Extmem.Vec.length v);
+  Extmem.Vec.truncate v 10;
+  check Alcotest.int "truncate" 10 (Extmem.Vec.length v);
+  Extmem.Vec.clear v;
+  check Alcotest.bool "clear" true (Extmem.Vec.is_empty v)
+
+let test_vec_bounds () =
+  let v = Extmem.Vec.of_list [ 1; 2; 3 ] in
+  Alcotest.check_raises "get oob" (Invalid_argument "Vec: index 3 out of bounds (length 3)")
+    (fun () -> ignore (Extmem.Vec.get v 3));
+  let empty = Extmem.Vec.create () in
+  Alcotest.check_raises "pop empty" (Invalid_argument "Vec.pop: empty") (fun () ->
+      ignore (Extmem.Vec.pop empty))
+
+let test_vec_sort () =
+  let v = Extmem.Vec.of_list [ 5; 1; 4; 2; 3 ] in
+  Extmem.Vec.sort compare v;
+  check (Alcotest.list Alcotest.int) "sorted" [ 1; 2; 3; 4; 5 ] (Extmem.Vec.to_list v)
+
+let test_vec_iter () =
+  let v = Extmem.Vec.of_list [ 10; 20; 30 ] in
+  let sum = Extmem.Vec.fold_left ( + ) 0 v in
+  check Alcotest.int "fold" 60 sum;
+  let acc = ref [] in
+  Extmem.Vec.iteri (fun i x -> acc := (i, x) :: !acc) v;
+  check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int)) "iteri"
+    [ (2, 30); (1, 20); (0, 10) ] !acc;
+  check (Alcotest.array Alcotest.int) "to_array" [| 10; 20; 30 |] (Extmem.Vec.to_array v)
+
+let prop_vec_model =
+  QCheck.Test.make ~name:"Vec behaves like a list under push/pop" ~count:300
+    QCheck.(list (pair bool small_int))
+    (fun ops ->
+      let v = Extmem.Vec.create () in
+      let model = ref [] in
+      List.iter
+        (fun (is_push, x) ->
+          if is_push then begin
+            Extmem.Vec.push v x;
+            model := x :: !model
+          end
+          else
+            match !model with
+            | [] -> ()
+            | m :: rest ->
+                let got = Extmem.Vec.pop v in
+                if got <> m then QCheck.Test.fail_reportf "pop: got %d want %d" got m;
+                model := rest)
+        ops;
+      Extmem.Vec.to_list v = List.rev !model)
+
+(* ------------------------------------------------------------------ *)
+(* Deque *)
+
+let test_deque_basic () =
+  let d = Extmem.Deque.create () in
+  Extmem.Deque.push_back d 1;
+  Extmem.Deque.push_back d 2;
+  Extmem.Deque.push_front d 0;
+  check (Alcotest.list Alcotest.int) "order" [ 0; 1; 2 ] (Extmem.Deque.to_list d);
+  check Alcotest.int "get" 1 (Extmem.Deque.get d 1);
+  check Alcotest.int "peek_front" 0 (Extmem.Deque.peek_front d);
+  check Alcotest.int "peek_back" 2 (Extmem.Deque.peek_back d);
+  check Alcotest.int "pop_front" 0 (Extmem.Deque.pop_front d);
+  check Alcotest.int "pop_back" 2 (Extmem.Deque.pop_back d);
+  check Alcotest.int "length" 1 (Extmem.Deque.length d)
+
+let test_deque_empty () =
+  let d = Extmem.Deque.create () in
+  Alcotest.check_raises "pop_front" (Invalid_argument "Deque.pop_front: empty") (fun () ->
+      ignore (Extmem.Deque.pop_front d));
+  Alcotest.check_raises "pop_back" (Invalid_argument "Deque.pop_back: empty") (fun () ->
+      ignore (Extmem.Deque.pop_back d))
+
+let prop_deque_model =
+  (* operations: 0 = push_back, 1 = push_front, 2 = pop_back, 3 = pop_front *)
+  QCheck.Test.make ~name:"Deque behaves like a list model" ~count:300
+    QCheck.(list (pair (int_bound 3) small_int))
+    (fun ops ->
+      let d = Extmem.Deque.create () in
+      let model = ref [] in
+      List.iter
+        (fun (op, x) ->
+          match op with
+          | 0 ->
+              Extmem.Deque.push_back d x;
+              model := !model @ [ x ]
+          | 1 ->
+              Extmem.Deque.push_front d x;
+              model := x :: !model
+          | 2 -> (
+              match List.rev !model with
+              | [] -> ()
+              | last :: rest_rev ->
+                  let got = Extmem.Deque.pop_back d in
+                  if got <> last then QCheck.Test.fail_reportf "pop_back mismatch";
+                  model := List.rev rest_rev)
+          | _ -> (
+              match !model with
+              | [] -> ()
+              | first :: rest ->
+                  let got = Extmem.Deque.pop_front d in
+                  if got <> first then QCheck.Test.fail_reportf "pop_front mismatch";
+                  model := rest))
+        ops;
+      Extmem.Deque.to_list d = !model)
+
+(* ------------------------------------------------------------------ *)
+(* Codec *)
+
+let test_codec_varint () =
+  let round n =
+    let b = Buffer.create 8 in
+    Extmem.Codec.put_varint b n;
+    let c = Extmem.Codec.cursor (Buffer.contents b) in
+    let got = Extmem.Codec.get_varint c in
+    check Alcotest.int (Printf.sprintf "varint %d" n) n got;
+    check Alcotest.bool "consumed" true (Extmem.Codec.at_end c)
+  in
+  List.iter round [ 0; 1; 127; 128; 255; 300; 16384; 1_000_000; max_int / 4 ]
+
+let test_codec_zigzag () =
+  let round n =
+    let b = Buffer.create 8 in
+    Extmem.Codec.put_zigzag b n;
+    let c = Extmem.Codec.cursor (Buffer.contents b) in
+    check Alcotest.int (Printf.sprintf "zigzag %d" n) n (Extmem.Codec.get_zigzag c)
+  in
+  List.iter round [ 0; 1; -1; 63; -64; 1000; -1000; max_int / 4; -(max_int / 4) ]
+
+let test_codec_string () =
+  let b = Buffer.create 8 in
+  Extmem.Codec.put_string b "hello";
+  Extmem.Codec.put_string b "";
+  Extmem.Codec.put_string b "world";
+  let c = Extmem.Codec.cursor (Buffer.contents b) in
+  check Alcotest.string "s1" "hello" (Extmem.Codec.get_string c);
+  check Alcotest.string "s2" "" (Extmem.Codec.get_string c);
+  check Alcotest.string "s3" "world" (Extmem.Codec.get_string c)
+
+let test_codec_fixed () =
+  let b = Buffer.create 16 in
+  Extmem.Codec.put_u8 b 200;
+  Extmem.Codec.put_u32 b 0xDEADBE;
+  Extmem.Codec.put_f64 b 3.14159;
+  let c = Extmem.Codec.cursor (Buffer.contents b) in
+  check Alcotest.int "u8" 200 (Extmem.Codec.get_u8 c);
+  check Alcotest.int "u32" 0xDEADBE (Extmem.Codec.get_u32 c);
+  check (Alcotest.float 1e-12) "f64" 3.14159 (Extmem.Codec.get_f64 c)
+
+let test_codec_u32_at () =
+  let b = Bytes.make 8 'x' in
+  Extmem.Codec.set_u32_at b 2 123456;
+  check Alcotest.int "u32_at" 123456 (Extmem.Codec.get_u32_at (Bytes.to_string b) 2)
+
+let test_codec_truncated () =
+  let c = Extmem.Codec.cursor "\x85" in
+  (* continuation bit set but no next byte *)
+  (try
+     ignore (Extmem.Codec.get_varint c);
+     Alcotest.fail "expected Corrupt"
+   with Extmem.Codec.Corrupt _ -> ());
+  let c2 = Extmem.Codec.cursor "\x05ab" in
+  (* length 5 but only 2 bytes *)
+  try
+    ignore (Extmem.Codec.get_string c2);
+    Alcotest.fail "expected Corrupt"
+  with Extmem.Codec.Corrupt _ -> ()
+
+let prop_codec_roundtrip =
+  QCheck.Test.make ~name:"Codec round-trips mixed records" ~count:300
+    QCheck.(list (pair small_nat (string_of_size Gen.small_nat)))
+    (fun items ->
+      let b = Buffer.create 64 in
+      List.iter
+        (fun (n, s) ->
+          Extmem.Codec.put_varint b n;
+          Extmem.Codec.put_string b s)
+        items;
+      let c = Extmem.Codec.cursor (Buffer.contents b) in
+      let got =
+        List.map
+          (fun _ ->
+            let n = Extmem.Codec.get_varint c in
+            let s = Extmem.Codec.get_string c in
+            (n, s))
+          items
+      in
+      got = items && Extmem.Codec.at_end c)
+
+(* ------------------------------------------------------------------ *)
+(* Device *)
+
+let test_device_mem_roundtrip () =
+  let d = Extmem.Device.in_memory ~block_size:16 () in
+  let first = Extmem.Device.allocate d 3 in
+  check Alcotest.int "first block" 0 first;
+  check Alcotest.int "count" 3 (Extmem.Device.block_count d);
+  let b = Bytes.make 16 'a' in
+  Extmem.Device.write_block d 1 b;
+  let r = Bytes.make 16 '?' in
+  Extmem.Device.read_block d 1 r;
+  check Alcotest.string "data" (String.make 16 'a') (Bytes.to_string r);
+  (* unwritten block reads zeroes *)
+  Extmem.Device.read_block d 2 r;
+  check Alcotest.string "zeroes" (String.make 16 '\000') (Bytes.to_string r)
+
+let test_device_counts_io () =
+  let d = Extmem.Device.in_memory ~block_size:8 () in
+  ignore (Extmem.Device.allocate d 2);
+  let b = Bytes.make 8 'x' in
+  Extmem.Device.write_block d 0 b;
+  Extmem.Device.write_block d 1 b;
+  Extmem.Device.read_block d 0 b;
+  let s = Extmem.Device.stats d in
+  check Alcotest.int "writes" 2 s.Extmem.Io_stats.writes;
+  check Alcotest.int "reads" 1 s.Extmem.Io_stats.reads;
+  check Alcotest.int "total" 3 (Extmem.Io_stats.total s)
+
+let test_device_bounds () =
+  let d = Extmem.Device.in_memory ~block_size:8 () in
+  let b = Bytes.make 8 ' ' in
+  (try
+     Extmem.Device.read_block d 0 b;
+     Alcotest.fail "expected out of range"
+   with Invalid_argument _ -> ());
+  (* write one past the end auto-allocates *)
+  Extmem.Device.write_block d 0 b;
+  check Alcotest.int "auto-alloc" 1 (Extmem.Device.block_count d)
+
+let test_device_of_string () =
+  let d = Extmem.Device.of_string ~block_size:4 "hello world" in
+  check Alcotest.int "byte_length" 11 (Extmem.Device.byte_length d);
+  check Alcotest.int "blocks" 3 (Extmem.Device.block_count d);
+  check Alcotest.string "contents" "hello world" (Extmem.Device.contents d);
+  check Alcotest.int "no io counted" 0 (Extmem.Io_stats.total (Extmem.Device.stats d))
+
+let test_device_file () =
+  let path = Filename.temp_file "nexsort_test" ".dev" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let d = Extmem.Device.file ~block_size:8 ~path () in
+      ignore (Extmem.Device.allocate d 2);
+      let b = Bytes.of_string "abcdefgh" in
+      Extmem.Device.write_block d 1 b;
+      let r = Bytes.make 8 '?' in
+      Extmem.Device.read_block d 1 r;
+      check Alcotest.string "file round trip" "abcdefgh" (Bytes.to_string r);
+      (* block 0 was never written: sparse read gives zeroes *)
+      Extmem.Device.read_block d 0 r;
+      check Alcotest.string "sparse zero" (String.make 8 '\000') (Bytes.to_string r);
+      Extmem.Device.set_byte_length d 12;
+      check Alcotest.int "contents len" 12 (String.length (Extmem.Device.contents d));
+      Extmem.Device.close d)
+
+let test_device_fault_injection () =
+  let d = Extmem.Device.in_memory ~block_size:8 () in
+  ignore (Extmem.Device.allocate d 2);
+  let b = Bytes.make 8 'x' in
+  Extmem.Device.write_block d 0 b;
+  Extmem.Device.set_fault d (Some (fun op i -> op = Extmem.Device.Read && i = 0));
+  (try
+     Extmem.Device.read_block d 0 b;
+     Alcotest.fail "expected Fault"
+   with Extmem.Device.Fault (Extmem.Device.Read, 0) -> ());
+  (* writes unaffected *)
+  Extmem.Device.write_block d 1 b;
+  Extmem.Device.set_fault d None;
+  Extmem.Device.read_block d 0 b
+
+(* ------------------------------------------------------------------ *)
+(* Block_writer / Block_reader *)
+
+let test_stream_roundtrip () =
+  let d = Extmem.Device.in_memory ~block_size:10 () in
+  let w = Extmem.Block_writer.create d in
+  Extmem.Block_writer.write_string w "hello, ";
+  Extmem.Block_writer.write_string w "block world!";
+  Extmem.Block_writer.write_char w '!';
+  let e = Extmem.Block_writer.close w in
+  check Alcotest.int "bytes" 20 e.Extmem.Extent.bytes;
+  check Alcotest.int "blocks" 2 e.Extmem.Extent.blocks;
+  let r = Extmem.Block_reader.of_extent d e in
+  let buf = Bytes.create 20 in
+  let n = Extmem.Block_reader.read_bytes r buf 0 20 in
+  check Alcotest.int "read n" 20 n;
+  check Alcotest.string "payload" "hello, block world!!" (Bytes.to_string buf);
+  check Alcotest.bool "at_end" true (Extmem.Block_reader.at_end r)
+
+let test_stream_io_counts () =
+  let bs = 16 in
+  let d = Extmem.Device.in_memory ~block_size:bs () in
+  let w = Extmem.Block_writer.create d in
+  let payload = String.make 100 'z' in
+  Extmem.Block_writer.write_string w payload;
+  ignore (Extmem.Block_writer.close w);
+  let expected_blocks = (100 + bs - 1) / bs in
+  check Alcotest.int "writes = ceil(n/B)" expected_blocks
+    (Extmem.Device.stats d).Extmem.Io_stats.writes;
+  let before = Extmem.Io_stats.snapshot (Extmem.Device.stats d) in
+  let r = Extmem.Block_reader.of_device d in
+  let rec drain () = match Extmem.Block_reader.read_char r with Some _ -> drain () | None -> () in
+  drain ();
+  let delta = Extmem.Io_stats.diff (Extmem.Io_stats.snapshot (Extmem.Device.stats d)) before in
+  check Alcotest.int "reads = ceil(n/B)" expected_blocks delta.Extmem.Io_stats.reads
+
+let test_stream_records () =
+  let d = Extmem.Device.in_memory ~block_size:7 () in
+  let w = Extmem.Block_writer.create d in
+  let records = [ "alpha"; ""; "a much longer record spanning blocks"; "z" ] in
+  List.iter (Extmem.Block_writer.write_record w) records;
+  let e = Extmem.Block_writer.close w in
+  let r = Extmem.Block_reader.of_extent d e in
+  let got = ref [] in
+  let rec loop () =
+    match Extmem.Block_reader.read_record r with
+    | Some s ->
+        got := s :: !got;
+        loop ()
+    | None -> ()
+  in
+  loop ();
+  check (Alcotest.list Alcotest.string) "records" records (List.rev !got)
+
+let test_stream_seek () =
+  let d = Extmem.Device.in_memory ~block_size:8 () in
+  let w = Extmem.Block_writer.create d in
+  Extmem.Block_writer.write_string w "0123456789abcdefghij";
+  let e = Extmem.Block_writer.close w in
+  let r = Extmem.Block_reader.of_extent d e in
+  Extmem.Block_reader.seek r 10;
+  check (Alcotest.option Alcotest.char) "seek 10" (Some 'a') (Extmem.Block_reader.read_char r);
+  Extmem.Block_reader.seek r 0;
+  check (Alcotest.option Alcotest.char) "seek 0" (Some '0') (Extmem.Block_reader.read_char r);
+  Extmem.Block_reader.seek r 20;
+  check (Alcotest.option Alcotest.char) "seek end" None (Extmem.Block_reader.read_char r)
+
+let prop_stream_roundtrip =
+  QCheck.Test.make ~name:"Block stream round-trips arbitrary records" ~count:200
+    QCheck.(pair (int_range 4 64) (list (string_of_size Gen.small_nat)))
+    (fun (bs, records) ->
+      let d = Extmem.Device.in_memory ~block_size:bs () in
+      let w = Extmem.Block_writer.create d in
+      List.iter (Extmem.Block_writer.write_record w) records;
+      let e = Extmem.Block_writer.close w in
+      let r = Extmem.Block_reader.of_extent d e in
+      let rec loop acc =
+        match Extmem.Block_reader.read_record r with
+        | Some s -> loop (s :: acc)
+        | None -> List.rev acc
+      in
+      loop [] = records)
+
+(* ------------------------------------------------------------------ *)
+(* Run_store *)
+
+let test_run_store () =
+  let d = Extmem.Device.in_memory ~block_size:8 () in
+  let rs = Extmem.Run_store.create d in
+  let w = Extmem.Run_store.begin_run rs in
+  Extmem.Block_writer.write_string w "first run";
+  let id0 = Extmem.Run_store.finish_run rs w in
+  let w = Extmem.Run_store.begin_run rs in
+  Extmem.Block_writer.write_string w "second";
+  let id1 = Extmem.Run_store.finish_run rs w in
+  check Alcotest.int "ids dense" 1 id1;
+  check Alcotest.int "count" 2 (Extmem.Run_store.run_count rs);
+  let read id =
+    let r = Extmem.Run_store.open_run rs id in
+    let n = Extmem.Block_reader.length r in
+    let b = Bytes.create n in
+    ignore (Extmem.Block_reader.read_bytes r b 0 n);
+    Bytes.to_string b
+  in
+  check Alcotest.string "run 0" "first run" (read id0);
+  check Alcotest.string "run 1" "second" (read id1);
+  check Alcotest.int "total blocks" 3 (Extmem.Run_store.total_run_blocks rs)
+
+let test_run_store_exclusive () =
+  let d = Extmem.Device.in_memory ~block_size:8 () in
+  let rs = Extmem.Run_store.create d in
+  let _w = Extmem.Run_store.begin_run rs in
+  try
+    ignore (Extmem.Run_store.begin_run rs);
+    Alcotest.fail "expected exclusivity error"
+  with Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Ext_stack *)
+
+let test_ext_stack_basic () =
+  let d = Extmem.Device.in_memory ~block_size:16 () in
+  let st = Extmem.Ext_stack.create d in
+  check Alcotest.bool "empty" true (Extmem.Ext_stack.is_empty st);
+  Extmem.Ext_stack.push st "one";
+  Extmem.Ext_stack.push st "two";
+  check Alcotest.string "top" "two" (Extmem.Ext_stack.top st);
+  check Alcotest.string "pop two" "two" (Extmem.Ext_stack.pop st);
+  check Alcotest.string "pop one" "one" (Extmem.Ext_stack.pop st);
+  check Alcotest.bool "empty again" true (Extmem.Ext_stack.is_empty st)
+
+let test_ext_stack_spills () =
+  let d = Extmem.Device.in_memory ~block_size:16 () in
+  let st = Extmem.Ext_stack.create ~resident_blocks:1 d in
+  for i = 0 to 99 do
+    Extmem.Ext_stack.push st (Printf.sprintf "entry-%03d" i)
+  done;
+  check Alcotest.bool "spilled to device" true
+    ((Extmem.Ext_stack.io_stats st).Extmem.Io_stats.writes > 0);
+  check Alcotest.int "window bounded" 1 (Extmem.Ext_stack.resident_blocks st);
+  for i = 99 downto 0 do
+    check Alcotest.string "pop order" (Printf.sprintf "entry-%03d" i) (Extmem.Ext_stack.pop st)
+  done;
+  check Alcotest.bool "reads happened" true
+    ((Extmem.Ext_stack.io_stats st).Extmem.Io_stats.reads > 0)
+
+let test_ext_stack_no_io_when_resident () =
+  let d = Extmem.Device.in_memory ~block_size:4096 () in
+  let st = Extmem.Ext_stack.create ~resident_blocks:1 d in
+  for _ = 1 to 50 do
+    Extmem.Ext_stack.push st "tiny"
+  done;
+  for _ = 1 to 50 do
+    ignore (Extmem.Ext_stack.pop st)
+  done;
+  check Alcotest.int "all resident, no io" 0 (Extmem.Io_stats.total (Extmem.Ext_stack.io_stats st))
+
+let test_ext_stack_large_entry () =
+  let d = Extmem.Device.in_memory ~block_size:8 () in
+  let st = Extmem.Ext_stack.create ~resident_blocks:2 d in
+  let big = String.init 100 (fun i -> Char.chr (65 + (i mod 26))) in
+  Extmem.Ext_stack.push st "small";
+  Extmem.Ext_stack.push st big;
+  Extmem.Ext_stack.push st "after";
+  check Alcotest.string "after" "after" (Extmem.Ext_stack.pop st);
+  check Alcotest.string "big" big (Extmem.Ext_stack.pop st);
+  check Alcotest.string "small" "small" (Extmem.Ext_stack.pop st)
+
+let test_ext_stack_scan_and_truncate () =
+  let d = Extmem.Device.in_memory ~block_size:16 () in
+  let st = Extmem.Ext_stack.create d in
+  Extmem.Ext_stack.push st "keep-0";
+  Extmem.Ext_stack.push st "keep-1";
+  let mark = Extmem.Ext_stack.length st in
+  Extmem.Ext_stack.push st "sub-a";
+  Extmem.Ext_stack.push st "sub-b";
+  Extmem.Ext_stack.push st "sub-c";
+  let got = ref [] in
+  Extmem.Ext_stack.iter_entries_from st ~pos:mark (fun e -> got := e :: !got);
+  check (Alcotest.list Alcotest.string) "scan order" [ "sub-a"; "sub-b"; "sub-c" ] (List.rev !got);
+  Extmem.Ext_stack.truncate_to st mark;
+  check Alcotest.string "pop after truncate" "keep-1" (Extmem.Ext_stack.pop st);
+  check Alcotest.string "pop after truncate 2" "keep-0" (Extmem.Ext_stack.pop st)
+
+let test_ext_stack_read_all_from () =
+  let d = Extmem.Device.in_memory ~block_size:8 () in
+  let st = Extmem.Ext_stack.create d in
+  Extmem.Ext_stack.push st "below";
+  let mark = Extmem.Ext_stack.length st in
+  Extmem.Ext_stack.push st "x";
+  Extmem.Ext_stack.push st "yy";
+  let raw = Extmem.Ext_stack.read_all_from st ~pos:mark in
+  check Alcotest.int "framed size" (Extmem.Ext_stack.framed_size "x" + Extmem.Ext_stack.framed_size "yy")
+    (String.length raw)
+
+let test_ext_stack_interleaved_after_spill () =
+  (* Regression shape: spill, pop below the window, then push again over
+     previously flushed blocks. *)
+  let d = Extmem.Device.in_memory ~block_size:8 () in
+  let st = Extmem.Ext_stack.create ~resident_blocks:1 d in
+  for i = 0 to 19 do
+    Extmem.Ext_stack.push st (Printf.sprintf "a%02d" i)
+  done;
+  for _ = 0 to 14 do
+    ignore (Extmem.Ext_stack.pop st)
+  done;
+  for i = 0 to 9 do
+    Extmem.Ext_stack.push st (Printf.sprintf "b%02d" i)
+  done;
+  for i = 9 downto 0 do
+    check Alcotest.string "b layer" (Printf.sprintf "b%02d" i) (Extmem.Ext_stack.pop st)
+  done;
+  for i = 4 downto 0 do
+    check Alcotest.string "a layer" (Printf.sprintf "a%02d" i) (Extmem.Ext_stack.pop st)
+  done
+
+let prop_ext_stack_model =
+  (* ops: 0 push, 1 pop, 2 top, 3 scan-from-random-mark, 4 truncate-to-mark *)
+  let gen =
+    QCheck.make
+      ~print:(fun (bs, w, ops) ->
+        Printf.sprintf "bs=%d w=%d ops=[%s]" bs w
+          (String.concat ";" (List.map (fun (op, s) -> Printf.sprintf "(%d,%S)" op s) ops)))
+      QCheck.Gen.(
+        triple (int_range 4 32) (int_range 1 3)
+          (list (pair (int_bound 4) (string_size ~gen:printable (int_bound 40)))))
+  in
+  QCheck.Test.make ~name:"Ext_stack behaves like a list stack" ~count:300 gen
+    (fun (bs, w, ops) ->
+      let d = Extmem.Device.in_memory ~block_size:bs () in
+      let st = Extmem.Ext_stack.create ~resident_blocks:w d in
+      (* model: list of (position_before, payload), newest first *)
+      let model = ref [] in
+      List.iter
+        (fun (op, s) ->
+          match op with
+          | 0 ->
+              let pos = Extmem.Ext_stack.length st in
+              Extmem.Ext_stack.push st s;
+              model := (pos, s) :: !model
+          | 1 -> (
+              match !model with
+              | [] -> ()
+              | (_, payload) :: rest ->
+                  let got = Extmem.Ext_stack.pop st in
+                  if got <> payload then QCheck.Test.fail_reportf "pop: %S <> %S" got payload;
+                  model := rest)
+          | 2 -> (
+              match !model with
+              | [] -> ()
+              | (_, payload) :: _ ->
+                  let got = Extmem.Ext_stack.top st in
+                  if got <> payload then QCheck.Test.fail_reportf "top: %S <> %S" got payload)
+          | 3 ->
+              (* scan from the middle of the model *)
+              let n = List.length !model in
+              if n > 0 then begin
+                let k = n / 2 in
+                let pos, _ = List.nth !model k in
+                let expected = List.rev_map snd (List.filteri (fun i _ -> i <= k) !model) in
+                let got = ref [] in
+                Extmem.Ext_stack.iter_entries_from st ~pos (fun e -> got := e :: !got);
+                if List.rev !got <> expected then QCheck.Test.fail_reportf "scan mismatch"
+              end
+          | _ ->
+              let n = List.length !model in
+              if n > 0 then begin
+                let k = n / 2 in
+                let pos, _ = List.nth !model k in
+                Extmem.Ext_stack.truncate_to st pos;
+                model := List.filteri (fun i _ -> i > k) !model
+              end)
+        ops;
+      (* drain and compare *)
+      let rec drain acc =
+        if Extmem.Ext_stack.is_empty st then List.rev acc
+        else drain (Extmem.Ext_stack.pop st :: acc)
+      in
+      drain [] = List.map snd !model)
+
+let prop_ext_stack_push_io_linear =
+  QCheck.Test.make ~name:"Ext_stack push-only I/O is <= bytes/B + O(1)" ~count:100
+    QCheck.(pair (int_range 8 64) (list_of_size (QCheck.Gen.int_range 1 200) (string_of_size (QCheck.Gen.int_bound 30))))
+    (fun (bs, entries) ->
+      let d = Extmem.Device.in_memory ~block_size:bs () in
+      let st = Extmem.Ext_stack.create ~resident_blocks:1 d in
+      List.iter (Extmem.Ext_stack.push st) entries;
+      let total_bytes = List.fold_left (fun a e -> a + Extmem.Ext_stack.framed_size e) 0 entries in
+      let ios = Extmem.Io_stats.total (Extmem.Ext_stack.io_stats st) in
+      ios <= (total_bytes / bs) + 2)
+
+(* ------------------------------------------------------------------ *)
+(* Pager *)
+
+let pager_test policy () =
+  let d = Extmem.Device.in_memory ~block_size:8 () in
+  ignore (Extmem.Device.allocate d 8);
+  let p = Extmem.Pager.create ~policy ~frames:3 d in
+  (* write a pattern through the pager, read it back *)
+  Extmem.Pager.write p ~pos:0 "abcdefghijklmnopqrstuvwxyz0123456789";
+  check Alcotest.string "read back" "abcdefghijklmnopqrstuvwxyz0123456789"
+    (Extmem.Pager.read p ~pos:0 ~len:36);
+  Extmem.Pager.flush p;
+  (* after flush the device must contain the data *)
+  let b = Bytes.make 8 '?' in
+  Extmem.Device.read_block d 0 b;
+  check Alcotest.string "flushed" "abcdefgh" (Bytes.to_string b);
+  check Alcotest.bool "some hits" true (Extmem.Pager.hits p > 0);
+  check Alcotest.bool "some misses" true (Extmem.Pager.misses p > 0)
+
+let test_pager_lru_eviction_order () =
+  let d = Extmem.Device.in_memory ~block_size:4 () in
+  ignore (Extmem.Device.allocate d 10);
+  let p = Extmem.Pager.create ~policy:Extmem.Pager.Lru ~frames:2 d in
+  ignore (Extmem.Pager.read_byte p 0);  (* block 0 *)
+  ignore (Extmem.Pager.read_byte p 4);  (* block 1 *)
+  ignore (Extmem.Pager.read_byte p 0);  (* touch block 0 *)
+  ignore (Extmem.Pager.read_byte p 8);  (* block 2 evicts block 1 (LRU) *)
+  let misses_before = Extmem.Pager.misses p in
+  ignore (Extmem.Pager.read_byte p 0);  (* block 0 should still be resident *)
+  check Alcotest.int "block 0 still cached" misses_before (Extmem.Pager.misses p);
+  ignore (Extmem.Pager.read_byte p 4);  (* block 1 was evicted: miss *)
+  check Alcotest.int "block 1 missed" (misses_before + 1) (Extmem.Pager.misses p)
+
+let test_pager_write_extends_device () =
+  let d = Extmem.Device.in_memory ~block_size:4 () in
+  let p = Extmem.Pager.create ~frames:2 d in
+  Extmem.Pager.write_byte p 9 'z';
+  Extmem.Pager.flush p;
+  check Alcotest.bool "extended" true (Extmem.Device.block_count d >= 3);
+  check Alcotest.char "value" 'z' (Extmem.Pager.read_byte p 9)
+
+let prop_pager_matches_device =
+  QCheck.Test.make ~name:"Pager read/write matches a plain byte array" ~count:150
+    QCheck.(
+      triple (int_range 1 4)
+        (list (pair (int_bound 63) printable_char))
+        bool)
+    (fun (frames, writes, use_clock) ->
+      let d = Extmem.Device.in_memory ~block_size:8 () in
+      ignore (Extmem.Device.allocate d 8);
+      let policy = if use_clock then Extmem.Pager.Clock else Extmem.Pager.Lru in
+      let p = Extmem.Pager.create ~policy ~frames d in
+      let model = Bytes.make 64 '\000' in
+      List.iter
+        (fun (off, c) ->
+          Extmem.Pager.write_byte p off c;
+          Bytes.set model off c)
+        writes;
+      let ok = ref true in
+      for i = 0 to 63 do
+        if Extmem.Pager.read_byte p i <> Bytes.get model i then ok := false
+      done;
+      Extmem.Pager.flush p;
+      !ok && Extmem.Device.contents d = Bytes.to_string model)
+
+(* ------------------------------------------------------------------ *)
+(* Btree *)
+
+let new_btree ?(block_size = 128) ?(frames = 4) () =
+  let dev = Extmem.Device.in_memory ~block_size () in
+  (Extmem.Btree.create ~frames ~cmp:compare dev, dev)
+
+let test_btree_basic () =
+  let t, _ = new_btree () in
+  check Alcotest.int "empty" 0 (Extmem.Btree.length t);
+  Extmem.Btree.insert t ~key:"b" ~value:"2";
+  Extmem.Btree.insert t ~key:"a" ~value:"1";
+  Extmem.Btree.insert t ~key:"c" ~value:"3";
+  check Alcotest.int "length" 3 (Extmem.Btree.length t);
+  check (Alcotest.option Alcotest.string) "find a" (Some "1") (Extmem.Btree.find t "a");
+  check (Alcotest.option Alcotest.string) "find c" (Some "3") (Extmem.Btree.find t "c");
+  check (Alcotest.option Alcotest.string) "missing" None (Extmem.Btree.find t "zz");
+  Extmem.Btree.insert t ~key:"b" ~value:"two";
+  check Alcotest.int "replace keeps length" 3 (Extmem.Btree.length t);
+  check (Alcotest.option Alcotest.string) "replaced" (Some "two") (Extmem.Btree.find t "b")
+
+let test_btree_splits_and_order () =
+  let t, _ = new_btree () in
+  let n = 500 in
+  for i = 0 to n - 1 do
+    let k = Printf.sprintf "%05d" ((i * 48271) mod 99991) in
+    Extmem.Btree.insert t ~key:k ~value:("v" ^ k)
+  done;
+  check Alcotest.bool "grew levels" true (Extmem.Btree.height t > 1);
+  let prev = ref "" in
+  let count = ref 0 in
+  Extmem.Btree.iter t (fun k v ->
+      check Alcotest.bool "ascending" true (!prev < k);
+      check Alcotest.string "value" ("v" ^ k) v;
+      prev := k;
+      incr count);
+  check Alcotest.int "all present" (Extmem.Btree.length t) !count
+
+let test_btree_iter_from () =
+  let t, _ = new_btree () in
+  List.iter (fun k -> Extmem.Btree.insert t ~key:k ~value:k) [ "a"; "c"; "e"; "g"; "i" ];
+  let got = ref [] in
+  Extmem.Btree.iter_from t "d" (fun k _ ->
+      got := k :: !got;
+      true);
+  check (Alcotest.list Alcotest.string) "from d" [ "e"; "g"; "i" ] (List.rev !got);
+  (* early stop *)
+  let got = ref [] in
+  Extmem.Btree.iter_from t "" (fun k _ ->
+      got := k :: !got;
+      List.length !got < 2);
+  check Alcotest.int "stopped" 2 (List.length !got)
+
+let test_btree_delete () =
+  let t, _ = new_btree () in
+  List.iter (fun k -> Extmem.Btree.insert t ~key:k ~value:k) [ "a"; "b"; "c" ];
+  check Alcotest.bool "delete b" true (Extmem.Btree.delete t "b");
+  check Alcotest.bool "delete again" false (Extmem.Btree.delete t "b");
+  check Alcotest.int "length" 2 (Extmem.Btree.length t);
+  check (Alcotest.option Alcotest.string) "gone" None (Extmem.Btree.find t "b");
+  check (Alcotest.option Alcotest.string) "others intact" (Some "a") (Extmem.Btree.find t "a")
+
+let test_btree_persistence () =
+  let dev = Extmem.Device.in_memory ~block_size:128 () in
+  let t = Extmem.Btree.create ~cmp:compare dev in
+  for i = 0 to 199 do
+    Extmem.Btree.insert t ~key:(Printf.sprintf "k%03d" i) ~value:(string_of_int i)
+  done;
+  Extmem.Btree.flush t;
+  let t2 = Extmem.Btree.reopen ~cmp:compare dev in
+  check Alcotest.int "count preserved" 200 (Extmem.Btree.length t2);
+  check (Alcotest.option Alcotest.string) "lookup after reopen" (Some "123")
+    (Extmem.Btree.find t2 "k123")
+
+let test_btree_entry_too_large () =
+  let t, _ = new_btree ~block_size:128 () in
+  try
+    Extmem.Btree.insert t ~key:(String.make 100 'k') ~value:(String.make 100 'v');
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_btree_custom_order () =
+  let dev = Extmem.Device.in_memory ~block_size:128 () in
+  let cmp a b = compare b a (* descending *) in
+  let t = Extmem.Btree.create ~cmp dev in
+  List.iter (fun k -> Extmem.Btree.insert t ~key:k ~value:k) [ "a"; "b"; "c" ];
+  let got = ref [] in
+  Extmem.Btree.iter t (fun k _ -> got := k :: !got);
+  check (Alcotest.list Alcotest.string) "descending" [ "a"; "b"; "c" ] !got
+
+let prop_btree_matches_map =
+  (* model-based: random insert/replace/delete/lookup traces *)
+  QCheck.Test.make ~name:"Btree behaves like Map" ~count:120
+    QCheck.(
+      pair (int_range 96 256)
+        (list (pair (int_bound 3) (pair (int_bound 60) (string_of_size (QCheck.Gen.int_bound 6))))))
+    (fun (block_size, ops) ->
+      let dev = Extmem.Device.in_memory ~block_size () in
+      let t = Extmem.Btree.create ~frames:3 ~cmp:compare dev in
+      let model = Hashtbl.create 32 in
+      List.iter
+        (fun (op, (kn, v)) ->
+          let k = Printf.sprintf "k%02d" kn in
+          match op with
+          | 0 | 1 ->
+              Extmem.Btree.insert t ~key:k ~value:v;
+              Hashtbl.replace model k v
+          | 2 ->
+              let got = Extmem.Btree.delete t k in
+              let want = Hashtbl.mem model k in
+              Hashtbl.remove model k;
+              if got <> want then QCheck.Test.fail_reportf "delete %s: %b vs %b" k got want
+          | _ ->
+              let got = Extmem.Btree.find t k in
+              let want = Hashtbl.find_opt model k in
+              if got <> want then QCheck.Test.fail_reportf "find %s mismatch" k)
+        ops;
+      (* final state: same sorted associations, same count *)
+      let got = ref [] in
+      Extmem.Btree.iter t (fun k v -> got := (k, v) :: !got);
+      let want = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) model []) in
+      List.rev !got = want && Extmem.Btree.length t = Hashtbl.length model)
+
+let prop_btree_survives_reopen =
+  QCheck.Test.make ~name:"Btree reopen preserves contents" ~count:60
+    QCheck.(list (pair (int_bound 99) (string_of_size (QCheck.Gen.int_bound 8))))
+    (fun kvs ->
+      let dev = Extmem.Device.in_memory ~block_size:128 () in
+      let t = Extmem.Btree.create ~cmp:compare dev in
+      List.iter (fun (k, v) -> Extmem.Btree.insert t ~key:(Printf.sprintf "%02d" k) ~value:v) kvs;
+      Extmem.Btree.flush t;
+      let t2 = Extmem.Btree.reopen ~cmp:compare dev in
+      List.for_all
+        (fun (k, _) ->
+          Extmem.Btree.find t2 (Printf.sprintf "%02d" k)
+          = Extmem.Btree.find t (Printf.sprintf "%02d" k))
+        kvs)
+
+(* ------------------------------------------------------------------ *)
+(* Trace *)
+
+let test_trace_sequential_scan () =
+  let d = Extmem.Device.of_string ~block_size:8 (String.make 64 'x') in
+  let t = Extmem.Trace.attach d in
+  let r = Extmem.Block_reader.of_device d in
+  let buf = Bytes.create 64 in
+  ignore (Extmem.Block_reader.read_bytes r buf 0 64);
+  Extmem.Trace.detach t;
+  let s = Extmem.Trace.summarize t in
+  check Alcotest.int "accesses" 8 s.Extmem.Trace.accesses;
+  check (Alcotest.float 0.01) "fully sequential" 1.0 (Extmem.Trace.sequential_fraction s);
+  check Alcotest.int "no backward" 0 s.Extmem.Trace.backward;
+  check (Alcotest.list Alcotest.int) "order" [ 0; 1; 2; 3; 4; 5; 6; 7 ] (Extmem.Trace.blocks t)
+
+let test_trace_random_pattern () =
+  let d = Extmem.Device.of_string ~block_size:8 (String.make 80 'x') in
+  let t = Extmem.Trace.attach d in
+  let buf = Bytes.create 8 in
+  List.iter (fun i -> Extmem.Device.read_block d i buf) [ 9; 0; 9; 0; 5 ];
+  Extmem.Trace.detach t;
+  let s = Extmem.Trace.summarize t in
+  check Alcotest.int "accesses" 5 s.Extmem.Trace.accesses;
+  check Alcotest.int "backward jumps" 2 s.Extmem.Trace.backward;
+  check Alcotest.int "max block" 9 s.Extmem.Trace.max_block;
+  check Alcotest.bool "high mean seek" true (s.Extmem.Trace.mean_distance > 5.0);
+  (* detaching stops recording *)
+  Extmem.Device.read_block d 3 buf;
+  check Alcotest.int "no more recording" 5 (Extmem.Trace.length t)
+
+let test_trace_empty () =
+  let d = Extmem.Device.in_memory ~block_size:8 () in
+  let t = Extmem.Trace.attach d in
+  let s = Extmem.Trace.summarize t in
+  check Alcotest.int "no accesses" 0 s.Extmem.Trace.accesses;
+  check (Alcotest.float 0.01) "fraction 0" 0.0 (Extmem.Trace.sequential_fraction s)
+
+(* ------------------------------------------------------------------ *)
+(* Memory_budget *)
+
+let test_budget_basics () =
+  let b = Extmem.Memory_budget.create ~blocks:10 ~block_size:64 in
+  check Alcotest.int "total" 10 (Extmem.Memory_budget.total_blocks b);
+  Extmem.Memory_budget.reserve b ~who:"test" 4;
+  check Alcotest.int "used" 4 (Extmem.Memory_budget.used_blocks b);
+  check Alcotest.int "available bytes" (6 * 64) (Extmem.Memory_budget.available_bytes b);
+  Extmem.Memory_budget.release b 4;
+  check Alcotest.int "released" 0 (Extmem.Memory_budget.used_blocks b)
+
+let test_budget_exhaustion () =
+  let b = Extmem.Memory_budget.create ~blocks:2 ~block_size:8 in
+  Extmem.Memory_budget.reserve b ~who:"a" 2;
+  (try
+     Extmem.Memory_budget.reserve b ~who:"b" 1;
+     Alcotest.fail "expected Exhausted"
+   with Extmem.Memory_budget.Exhausted msg ->
+     check Alcotest.bool "names culprit" true
+       (String.length msg > 0 && String.sub msg 0 1 = "b"));
+  Extmem.Memory_budget.release b 2
+
+let test_budget_with_reserved () =
+  let b = Extmem.Memory_budget.create ~blocks:4 ~block_size:8 in
+  (try
+     Extmem.Memory_budget.with_reserved b ~who:"scope" 3 (fun () -> failwith "boom")
+   with Failure _ -> ());
+  check Alcotest.int "released on exception" 0 (Extmem.Memory_budget.used_blocks b)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "extmem"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "basic" `Quick test_vec_basic;
+          Alcotest.test_case "bounds" `Quick test_vec_bounds;
+          Alcotest.test_case "sort" `Quick test_vec_sort;
+          Alcotest.test_case "iter" `Quick test_vec_iter;
+          qcheck prop_vec_model;
+        ] );
+      ( "deque",
+        [
+          Alcotest.test_case "basic" `Quick test_deque_basic;
+          Alcotest.test_case "empty" `Quick test_deque_empty;
+          qcheck prop_deque_model;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "varint" `Quick test_codec_varint;
+          Alcotest.test_case "zigzag" `Quick test_codec_zigzag;
+          Alcotest.test_case "string" `Quick test_codec_string;
+          Alcotest.test_case "fixed" `Quick test_codec_fixed;
+          Alcotest.test_case "u32_at" `Quick test_codec_u32_at;
+          Alcotest.test_case "truncated" `Quick test_codec_truncated;
+          qcheck prop_codec_roundtrip;
+        ] );
+      ( "device",
+        [
+          Alcotest.test_case "mem roundtrip" `Quick test_device_mem_roundtrip;
+          Alcotest.test_case "io counting" `Quick test_device_counts_io;
+          Alcotest.test_case "bounds" `Quick test_device_bounds;
+          Alcotest.test_case "of_string" `Quick test_device_of_string;
+          Alcotest.test_case "file backend" `Quick test_device_file;
+          Alcotest.test_case "fault injection" `Quick test_device_fault_injection;
+        ] );
+      ( "streams",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_stream_roundtrip;
+          Alcotest.test_case "io counts" `Quick test_stream_io_counts;
+          Alcotest.test_case "records" `Quick test_stream_records;
+          Alcotest.test_case "seek" `Quick test_stream_seek;
+          qcheck prop_stream_roundtrip;
+        ] );
+      ( "run_store",
+        [
+          Alcotest.test_case "basic" `Quick test_run_store;
+          Alcotest.test_case "exclusive writer" `Quick test_run_store_exclusive;
+        ] );
+      ( "ext_stack",
+        [
+          Alcotest.test_case "basic" `Quick test_ext_stack_basic;
+          Alcotest.test_case "spills" `Quick test_ext_stack_spills;
+          Alcotest.test_case "no io when resident" `Quick test_ext_stack_no_io_when_resident;
+          Alcotest.test_case "large entry" `Quick test_ext_stack_large_entry;
+          Alcotest.test_case "scan and truncate" `Quick test_ext_stack_scan_and_truncate;
+          Alcotest.test_case "read_all_from" `Quick test_ext_stack_read_all_from;
+          Alcotest.test_case "interleaved after spill" `Quick test_ext_stack_interleaved_after_spill;
+          qcheck prop_ext_stack_model;
+          qcheck prop_ext_stack_push_io_linear;
+        ] );
+      ( "pager",
+        [
+          Alcotest.test_case "lru basics" `Quick (pager_test Extmem.Pager.Lru);
+          Alcotest.test_case "clock basics" `Quick (pager_test Extmem.Pager.Clock);
+          Alcotest.test_case "lru eviction order" `Quick test_pager_lru_eviction_order;
+          Alcotest.test_case "write extends device" `Quick test_pager_write_extends_device;
+          qcheck prop_pager_matches_device;
+        ] );
+      ( "btree",
+        [
+          Alcotest.test_case "basic" `Quick test_btree_basic;
+          Alcotest.test_case "splits and order" `Quick test_btree_splits_and_order;
+          Alcotest.test_case "iter_from" `Quick test_btree_iter_from;
+          Alcotest.test_case "delete" `Quick test_btree_delete;
+          Alcotest.test_case "persistence" `Quick test_btree_persistence;
+          Alcotest.test_case "entry too large" `Quick test_btree_entry_too_large;
+          Alcotest.test_case "custom order" `Quick test_btree_custom_order;
+          qcheck prop_btree_matches_map;
+          qcheck prop_btree_survives_reopen;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "sequential scan" `Quick test_trace_sequential_scan;
+          Alcotest.test_case "random pattern" `Quick test_trace_random_pattern;
+          Alcotest.test_case "empty" `Quick test_trace_empty;
+        ] );
+      ( "memory_budget",
+        [
+          Alcotest.test_case "basics" `Quick test_budget_basics;
+          Alcotest.test_case "exhaustion" `Quick test_budget_exhaustion;
+          Alcotest.test_case "with_reserved" `Quick test_budget_with_reserved;
+        ] );
+    ]

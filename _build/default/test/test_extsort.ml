@@ -1,0 +1,261 @@
+(* Tests for the generic external merge sort. *)
+
+let check = Alcotest.check
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Multiway merge *)
+
+let of_list l =
+  let r = ref l in
+  fun () ->
+    match !r with
+    | [] -> None
+    | x :: tl ->
+        r := tl;
+        Some x
+
+let collect f =
+  let acc = ref [] in
+  f (fun x -> acc := x :: !acc);
+  List.rev !acc
+
+let test_multiway_basic () =
+  let inputs = [| of_list [ "a"; "d"; "f" ]; of_list [ "b"; "c" ]; of_list [ "e" ] |] in
+  let got = collect (fun output -> Extsort.Multiway.merge ~cmp:compare ~inputs ~output) in
+  check (Alcotest.list Alcotest.string) "merged" [ "a"; "b"; "c"; "d"; "e"; "f" ] got
+
+let test_multiway_empty_inputs () =
+  let got =
+    collect (fun output ->
+        Extsort.Multiway.merge ~cmp:compare ~inputs:[| of_list []; of_list [ "x" ]; of_list [] |]
+          ~output)
+  in
+  check (Alcotest.list Alcotest.string) "merged" [ "x" ] got;
+  let got2 = collect (fun output -> Extsort.Multiway.merge ~cmp:compare ~inputs:[||] ~output) in
+  check (Alcotest.list Alcotest.string) "no inputs" [] got2
+
+let test_multiway_stability () =
+  (* equal keys: stream 0 before stream 1 *)
+  let cmp a b = compare (String.length a) (String.length b) in
+  let got =
+    collect (fun output ->
+        Extsort.Multiway.merge ~cmp ~inputs:[| of_list [ "aa" ]; of_list [ "bb" ] |] ~output)
+  in
+  check (Alcotest.list Alcotest.string) "stable" [ "aa"; "bb" ] got
+
+let prop_multiway_equals_list_merge =
+  QCheck.Test.make ~name:"multiway merge = sort of concatenation" ~count:300
+    QCheck.(list_of_size (QCheck.Gen.int_bound 6) (list (string_of_size QCheck.Gen.small_nat)))
+    (fun lists ->
+      let sorted_lists = List.map (List.sort compare) lists in
+      let inputs = Array.of_list (List.map of_list sorted_lists) in
+      let got = collect (fun output -> Extsort.Multiway.merge ~cmp:compare ~inputs ~output) in
+      got = List.sort compare (List.concat lists))
+
+(* ------------------------------------------------------------------ *)
+(* Heap *)
+
+let test_heap_basic () =
+  let h = Extsort.Heap.create ~less:(fun a b -> a < b) in
+  check Alcotest.bool "empty" true (Extsort.Heap.is_empty h);
+  List.iter (Extsort.Heap.push h) [ 5; 1; 4; 2; 3 ];
+  check Alcotest.int "length" 5 (Extsort.Heap.length h);
+  check Alcotest.int "peek" 1 (Extsort.Heap.peek h);
+  let drained = List.init 5 (fun _ -> Extsort.Heap.pop h) in
+  check (Alcotest.list Alcotest.int) "sorted drain" [ 1; 2; 3; 4; 5 ] drained;
+  Alcotest.check_raises "pop empty" (Invalid_argument "Heap.pop: empty") (fun () ->
+      ignore (Extsort.Heap.pop h))
+
+let prop_heap_drains_sorted =
+  QCheck.Test.make ~name:"heap drains in sorted order" ~count:300 QCheck.(list int)
+    (fun xs ->
+      let h = Extsort.Heap.create ~less:(fun a b -> a < b) in
+      List.iter (Extsort.Heap.push h) xs;
+      let drained = List.init (List.length xs) (fun _ -> Extsort.Heap.pop h) in
+      drained = List.sort compare xs)
+
+(* ------------------------------------------------------------------ *)
+(* External sort *)
+
+let run_sort ?run_formation ?(block_size = 64) ?(blocks = 4) records =
+  let budget = Extmem.Memory_budget.create ~blocks ~block_size in
+  let temp = Extmem.Device.in_memory ~block_size () in
+  let out = ref [] in
+  let stats =
+    Extsort.External_sort.sort ?run_formation ~budget ~temp ~cmp:compare
+      ~input:(of_list records)
+      ~output:(fun r -> out := r :: !out)
+      ()
+  in
+  (List.rev !out, stats, temp, budget)
+
+let test_extsort_small_in_memory () =
+  let got, stats, temp, _ = run_sort [ "pear"; "apple"; "fig" ] in
+  check (Alcotest.list Alcotest.string) "sorted" [ "apple"; "fig"; "pear" ] got;
+  check Alcotest.int "no runs" 0 stats.Extsort.External_sort.initial_runs;
+  check Alcotest.int "no merge passes" 0 stats.Extsort.External_sort.merge_passes;
+  check Alcotest.int "no temp io" 0 (Extmem.Io_stats.total (Extmem.Device.stats temp))
+
+let test_extsort_spills () =
+  let records = List.init 200 (fun i -> Printf.sprintf "rec-%04d" (997 * i mod 200)) in
+  let got, stats, temp, budget = run_sort ~block_size:32 ~blocks:3 records in
+  check (Alcotest.list Alcotest.string) "sorted" (List.sort compare records) got;
+  check Alcotest.bool "spilled" true (stats.Extsort.External_sort.initial_runs > 1);
+  check Alcotest.bool "temp io happened" true (Extmem.Io_stats.total (Extmem.Device.stats temp) > 0);
+  check Alcotest.int "records" 200 stats.Extsort.External_sort.records;
+  check Alcotest.int "budget released" 0 (Extmem.Memory_budget.used_blocks budget)
+
+let test_extsort_multi_pass () =
+  (* tiny memory: fan-in 2, many runs -> multiple passes *)
+  let records = List.init 400 (fun i -> Printf.sprintf "%05d" (7919 * i mod 100000)) in
+  let got, stats, _, _ = run_sort ~block_size:16 ~blocks:3 records in
+  check (Alcotest.list Alcotest.string) "sorted" (List.sort compare records) got;
+  check Alcotest.bool "multiple passes" true (stats.Extsort.External_sort.merge_passes > 1)
+
+let test_extsort_duplicates_preserved () =
+  let records = [ "b"; "a"; "b"; "a"; "b" ] in
+  let got, _, _, _ = run_sort records in
+  check (Alcotest.list Alcotest.string) "multiset kept" [ "a"; "a"; "b"; "b"; "b" ] got
+
+let test_extsort_empty_input () =
+  let got, stats, _, _ = run_sort [] in
+  check (Alcotest.list Alcotest.string) "empty" [] got;
+  check Alcotest.int "zero records" 0 stats.Extsort.External_sort.records
+
+let test_extsort_needs_three_blocks () =
+  let budget = Extmem.Memory_budget.create ~blocks:2 ~block_size:16 in
+  let temp = Extmem.Device.in_memory ~block_size:16 () in
+  try
+    ignore
+      (Extsort.External_sort.sort ~budget ~temp ~cmp:compare ~input:(of_list [ "x" ])
+         ~output:ignore ());
+    Alcotest.fail "expected Exhausted"
+  with Extmem.Memory_budget.Exhausted _ -> ()
+
+let test_extsort_custom_order () =
+  let cmp a b = compare b a in
+  let budget = Extmem.Memory_budget.create ~blocks:3 ~block_size:16 in
+  let temp = Extmem.Device.in_memory ~block_size:16 () in
+  let out = ref [] in
+  ignore
+    (Extsort.External_sort.sort ~budget ~temp ~cmp
+       ~input:(of_list (List.init 50 (fun i -> Printf.sprintf "%03d" i)))
+       ~output:(fun r -> out := r :: !out)
+       ());
+  check (Alcotest.list Alcotest.string) "descending"
+    (List.init 50 (fun i -> Printf.sprintf "%03d" (49 - i)))
+    (List.rev !out)
+
+let test_replacement_selection_correct () =
+  let records = List.init 300 (fun i -> Printf.sprintf "%05d" (7919 * i mod 100000)) in
+  let got, stats, _, _ =
+    run_sort ~run_formation:`Replacement_selection ~block_size:32 ~blocks:3 records
+  in
+  check (Alcotest.list Alcotest.string) "sorted" (List.sort compare records) got;
+  check Alcotest.bool "spilled" true (stats.Extsort.External_sort.initial_runs > 0)
+
+let test_replacement_selection_fewer_runs () =
+  (* on random input, replacement selection halves the run count *)
+  let records = List.init 600 (fun i -> Printf.sprintf "%05d" (48271 * i mod 99991)) in
+  let _, ls, _, _ = run_sort ~run_formation:`Load_sort ~block_size:32 ~blocks:3 records in
+  let _, rs, _, _ =
+    run_sort ~run_formation:`Replacement_selection ~block_size:32 ~blocks:3 records
+  in
+  check Alcotest.bool
+    (Printf.sprintf "fewer runs (rs %d vs ls %d)" rs.Extsort.External_sort.initial_runs
+       ls.Extsort.External_sort.initial_runs)
+    true
+    (rs.Extsort.External_sort.initial_runs < ls.Extsort.External_sort.initial_runs)
+
+let test_replacement_selection_sorted_input_one_run () =
+  (* already-sorted input: replacement selection produces a single run *)
+  let records = List.init 400 (fun i -> Printf.sprintf "%05d" i) in
+  let got, stats, _, _ =
+    run_sort ~run_formation:`Replacement_selection ~block_size:32 ~blocks:3 records
+  in
+  check (Alcotest.list Alcotest.string) "sorted" records got;
+  check Alcotest.int "single run" 1 stats.Extsort.External_sort.initial_runs
+
+let test_replacement_selection_in_memory () =
+  let got, stats, temp, _ = run_sort ~run_formation:`Replacement_selection [ "c"; "a"; "b" ] in
+  check (Alcotest.list Alcotest.string) "sorted" [ "a"; "b"; "c" ] got;
+  check Alcotest.int "no runs" 0 stats.Extsort.External_sort.initial_runs;
+  check Alcotest.int "no temp io" 0 (Extmem.Io_stats.total (Extmem.Device.stats temp))
+
+let prop_replacement_selection_equals_list_sort =
+  QCheck.Test.make ~name:"replacement selection = List.sort" ~count:100
+    QCheck.(pair (int_range 16 64) (list (string_of_size QCheck.Gen.small_nat)))
+    (fun (block_size, records) ->
+      let got, _, _, _ =
+        run_sort ~run_formation:`Replacement_selection ~block_size ~blocks:3 records
+      in
+      got = List.sort compare records)
+
+let prop_extsort_equals_list_sort =
+  QCheck.Test.make ~name:"external sort = List.sort for any input and geometry" ~count:150
+    QCheck.(
+      triple (int_range 16 64) (int_range 3 6)
+        (list (string_of_size QCheck.Gen.small_nat)))
+    (fun (block_size, blocks, records) ->
+      let got, _, _, _ = run_sort ~block_size ~blocks records in
+      got = List.sort compare records)
+
+let prop_extsort_io_bounded =
+  (* I/O on the temp device is bounded by 2 * (passes + 1) * data blocks,
+     a loose form of the n log_m n bound. *)
+  QCheck.Test.make ~name:"external sort temp I/O is O(passes * n)" ~count:50
+    QCheck.(list_of_size (QCheck.Gen.int_range 50 300) (string_of_size (QCheck.Gen.return 8)))
+    (fun records ->
+      let block_size = 32 and blocks = 3 in
+      let _, stats, temp, _ = run_sort ~block_size ~blocks records in
+      let data_bytes =
+        List.fold_left (fun a r -> a + String.length r + 2 (* frame *)) 0 records
+      in
+      let data_blocks = (data_bytes / block_size) + 2 in
+      let ios = Extmem.Io_stats.total (Extmem.Device.stats temp) in
+      let passes = stats.Extsort.External_sort.merge_passes in
+      (* every run occupies at least one block, so allow one block of
+         rounding per initial run per pass on top of the data volume *)
+      ios <= 2 * (passes + 1) * (data_blocks + stats.Extsort.External_sort.initial_runs))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "extsort"
+    [
+      ( "multiway",
+        [
+          Alcotest.test_case "basic" `Quick test_multiway_basic;
+          Alcotest.test_case "empty inputs" `Quick test_multiway_empty_inputs;
+          Alcotest.test_case "stability" `Quick test_multiway_stability;
+          qcheck prop_multiway_equals_list_merge;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "basic" `Quick test_heap_basic;
+          qcheck prop_heap_drains_sorted;
+        ] );
+      ( "replacement_selection",
+        [
+          Alcotest.test_case "correct" `Quick test_replacement_selection_correct;
+          Alcotest.test_case "fewer runs" `Quick test_replacement_selection_fewer_runs;
+          Alcotest.test_case "sorted input one run" `Quick
+            test_replacement_selection_sorted_input_one_run;
+          Alcotest.test_case "in-memory fast path" `Quick test_replacement_selection_in_memory;
+          qcheck prop_replacement_selection_equals_list_sort;
+        ] );
+      ( "external_sort",
+        [
+          Alcotest.test_case "in-memory fast path" `Quick test_extsort_small_in_memory;
+          Alcotest.test_case "spills to runs" `Quick test_extsort_spills;
+          Alcotest.test_case "multi-pass" `Quick test_extsort_multi_pass;
+          Alcotest.test_case "duplicates" `Quick test_extsort_duplicates_preserved;
+          Alcotest.test_case "empty input" `Quick test_extsort_empty_input;
+          Alcotest.test_case "needs three blocks" `Quick test_extsort_needs_three_blocks;
+          Alcotest.test_case "custom order" `Quick test_extsort_custom_order;
+          qcheck prop_extsort_equals_list_sort;
+          qcheck prop_extsort_io_bounded;
+        ] );
+    ]
