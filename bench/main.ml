@@ -5,6 +5,8 @@
      dune exec bench/main.exe            -- run everything
      dune exec bench/main.exe fig5       -- one experiment
      dune exec bench/main.exe -- --quick -- scaled-down sizes
+     dune exec bench/main.exe -- --cost  -- simulated seek/transfer time
+                                            on every device (sim=..ms)
      dune exec bench/main.exe micro      -- bechamel micro-benchmarks
 
    The paper's primary metric is the number of block I/Os; wall-clock
@@ -12,10 +14,35 @@
    (its substrate was TPIE on year-2003 hardware; ours is a virtual disk),
    but the shapes under test are the same — see EXPERIMENTS.md. *)
 
-module Config = Nexsort.Config
 module Ordering = Nexsort.Ordering
 
 let quick = ref false
+let cost = ref false
+
+(* --cost: put a simulated-time (hdd) layer on every device — the
+   endpoints below and, via the config's device spec, the sorters'
+   internal stacks — and append sim=..ms to each run's detail.  Off by
+   default so the default output stays byte-identical. *)
+let bench_spec () =
+  if !cost then
+    { Extmem.Device_spec.default with
+      Extmem.Device_spec.layers = [ Extmem.Device_spec.Cost Extmem.Cost_model.hdd ] }
+  else Extmem.Device_spec.default
+
+let maybe_costed dev =
+  if !cost then ignore (Extmem.Device.attach_cost dev : Extmem.Cost_model.t);
+  dev
+
+module Config = struct
+  include Nexsort.Config
+
+  (* every bench config inherits the harness-wide device spec *)
+  let make ?block_size ?memory_blocks ?threshold ?depth_limit ?degeneration ?root_fusion
+      ?encoding ?data_stack_blocks ?path_stack_blocks ?keep_whitespace () =
+    Nexsort.Config.make ?block_size ?memory_blocks ?threshold ?depth_limit ?degeneration
+      ?root_fusion ?encoding ?data_stack_blocks ?path_stack_blocks ?keep_whitespace
+      ~device:(bench_spec ()) ()
+end
 
 let ordering = Ordering.by_attr "id"
 
@@ -33,10 +60,16 @@ let time f =
   let x = f () in
   (x, Unix.gettimeofday () -. t0)
 
+(* the input device is shared across runs, so report per-run simulated
+   time as a delta from its meter's level before the run *)
+let sim_detail base ~before ~total =
+  if !cost then Printf.sprintf "%s sim=%.0fms" base (total -. before) else base
+
 let run_nexsort ~config doc_dev =
   Extmem.Io_stats.reset (Extmem.Device.stats doc_dev);
+  let sim0 = Extmem.Device.simulated_ms doc_dev in
   let output =
-    Extmem.Device.in_memory ~name:"out" ~block_size:config.Config.block_size ()
+    maybe_costed (Extmem.Device.in_memory ~name:"out" ~block_size:config.Config.block_size ())
   in
   let report, seconds =
     time (fun () -> Nexsort.sort_device ~config ~ordering ~input:doc_dev ~output ())
@@ -45,15 +78,17 @@ let run_nexsort ~config doc_dev =
     io = Extmem.Io_stats.total report.Nexsort.total_io;
     seconds;
     detail =
-      Printf.sprintf "sorts=%d(mem %d/ext %d) frags=%d" report.Nexsort.subtree_sorts
-        report.Nexsort.in_memory_sorts report.Nexsort.external_sorts
-        report.Nexsort.fragment_runs;
+      sim_detail ~before:sim0 ~total:report.Nexsort.simulated_ms
+        (Printf.sprintf "sorts=%d(mem %d/ext %d) frags=%d" report.Nexsort.subtree_sorts
+           report.Nexsort.in_memory_sorts report.Nexsort.external_sorts
+           report.Nexsort.fragment_runs);
   }
 
 let run_mergesort ~config doc_dev =
   Extmem.Io_stats.reset (Extmem.Device.stats doc_dev);
+  let sim0 = Extmem.Device.simulated_ms doc_dev in
   let output =
-    Extmem.Device.in_memory ~name:"out" ~block_size:config.Config.block_size ()
+    maybe_costed (Extmem.Device.in_memory ~name:"out" ~block_size:config.Config.block_size ())
   in
   let report, seconds =
     time (fun () ->
@@ -63,8 +98,9 @@ let run_mergesort ~config doc_dev =
     io = Extmem.Io_stats.total report.Baselines.Keypath_sort.total_io;
     seconds;
     detail =
-      Printf.sprintf "runs=%d passes=%d" report.Baselines.Keypath_sort.initial_runs
-        report.Baselines.Keypath_sort.merge_passes;
+      sim_detail ~before:sim0 ~total:report.Baselines.Keypath_sort.simulated_ms
+        (Printf.sprintf "runs=%d passes=%d" report.Baselines.Keypath_sort.initial_runs
+           report.Baselines.Keypath_sort.merge_passes);
   }
 
 let make_doc ?(avg_bytes = 100) ~fanouts () =
@@ -72,11 +108,11 @@ let make_doc ?(avg_bytes = 100) ~fanouts () =
   let stats =
     Xmlgen.Gen.to_device dev (fun sink -> Xmlgen.Gen.exact_shape ~avg_bytes ~fanouts sink)
   in
-  (dev, stats)
+  (maybe_costed dev, stats)
 
 (* re-home a document onto a device with the right block size *)
 let with_block_size bs dev =
-  Extmem.Device.of_string ~name:"input" ~block_size:bs (Extmem.Device.contents dev)
+  maybe_costed (Extmem.Device.of_string ~name:"input" ~block_size:bs (Extmem.Device.contents dev))
 
 let heading fmt =
   Printf.ksprintf
@@ -558,6 +594,10 @@ let () =
       (fun a ->
         if a = "--quick" then begin
           quick := true;
+          false
+        end
+        else if a = "--cost" then begin
+          cost := true;
           false
         end
         else a <> "--")

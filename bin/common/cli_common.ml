@@ -1,0 +1,107 @@
+(* Shared cmdliner terms for the NEXSORT command-line tools. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+let ordering_term =
+  let doc =
+    "Ordering specification: comma-separated $(b,tag=criterion) rules plus an optional default \
+     criterion, where a criterion is $(b,tag), $(b,doc), $(b,text), $(b,@attr) or a \
+     $(b,a/b/c) descendant path.  Example: \
+     $(b,@id,region=@name,employee=personalInfo/name)."
+  in
+  let parse s =
+    match Nexsort.Ordering.of_spec_string s with
+    | o -> Ok o
+    | exception Invalid_argument msg -> Error (`Msg msg)
+  in
+  let pp ppf _ = Format.pp_print_string ppf "<ordering>" in
+  Arg.(
+    value
+    & opt (conv (parse, pp)) (Nexsort.Ordering.by_attr "id")
+    & info [ "ordering"; "O" ] ~docv:"SPEC" ~doc)
+
+let encoding_term =
+  let encodings =
+    [ ("plain", Nexsort.Config.Plain); ("dict", Nexsort.Config.Dict);
+      ("packed", Nexsort.Config.Packed) ]
+  in
+  Arg.(
+    value
+    & opt (Arg.enum encodings) Nexsort.Config.Dict
+    & info [ "encoding" ] ~docv:"ENC"
+        ~doc:"Entry encoding: $(b,plain), $(b,dict) (name compression) or $(b,packed) (dict + \
+              end-tag elimination; scan-evaluable orderings only).")
+
+let config_term =
+  let block_size =
+    Arg.(
+      value & opt int 4096
+      & info [ "block-size"; "B" ] ~docv:"BYTES" ~doc:"Block size in bytes (the model's B).")
+  in
+  let memory_blocks =
+    Arg.(
+      value & opt int 64
+      & info [ "memory"; "M" ] ~docv:"BLOCKS"
+          ~doc:"Internal memory budget in blocks (the model's M/B).")
+  in
+  let threshold =
+    Arg.(
+      value & opt (some int) None
+      & info [ "threshold"; "t" ] ~docv:"BYTES"
+          ~doc:"Sort threshold t in bytes (default: twice the block size).")
+  in
+  let depth_limit =
+    Arg.(
+      value & opt (some int) None
+      & info [ "depth-limit"; "d" ] ~docv:"LEVEL"
+          ~doc:"Sort only down to this level (root = 1); deeper subtrees keep document order.")
+  in
+  let no_degeneration =
+    Arg.(
+      value & flag
+      & info [ "no-degeneration" ]
+          ~doc:"Disable graceful degeneration into external merge sort on flat inputs.")
+  in
+  let keep_whitespace =
+    Arg.(value & flag & info [ "keep-whitespace" ] ~doc:"Preserve whitespace-only text nodes.")
+  in
+  let build block_size memory_blocks threshold depth_limit no_degeneration keep_whitespace encoding
+      =
+    Nexsort.Config.make ~block_size ~memory_blocks ?threshold ?depth_limit
+      ~degeneration:(not no_degeneration) ~encoding ~keep_whitespace ()
+  in
+  Term.(
+    const build $ block_size $ memory_blocks $ threshold $ depth_limit $ no_degeneration
+    $ keep_whitespace $ encoding_term)
+
+let device_term =
+  let parse s =
+    match Extmem.Device_spec.parse s with
+    | spec -> Ok spec
+    | exception Invalid_argument msg -> Error (`Msg msg)
+  in
+  let pp ppf s = Format.pp_print_string ppf (Extmem.Device_spec.to_string s) in
+  Arg.(
+    value
+    & opt (some (conv (parse, pp))) None
+    & info [ "device" ] ~docv:"SPEC"
+        ~doc:
+          "Device stack specification: zero or more middleware layers, then a backend — e.g. \
+           $(b,mem), $(b,file:PATH), $(b,traced/mem), $(b,faulty:p=0.001,seed=42/file:PATH), \
+           $(b,cost:profile=hdd/mem).  Layers compose; $(b,traced) records the access pattern, \
+           $(b,faulty) injects seeded random faults, $(b,cost) charges simulated \
+           seek/transfer time (reported with $(b,--stats)).")
+
+let pp_io name (s : Extmem.Io_stats.t) =
+  Printf.eprintf "  %-24s %8d reads %8d writes\n" name s.Extmem.Io_stats.reads
+    s.Extmem.Io_stats.writes

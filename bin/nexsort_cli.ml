@@ -18,12 +18,33 @@ let setup_logging verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
 
-let run verbose algorithm config ordering stats targets select input_path output_path =
+let run verbose algorithm config ordering stats targets select device input_path output_path =
   setup_logging verbose;
   let xml = Cli_common.read_file input_path in
   let block_size = config.Nexsort.Config.block_size in
-  let input = Extmem.Device.of_string ~block_size xml in
-  let output = Extmem.Device.in_memory ~name:"output" ~block_size () in
+  let spec = Option.value device ~default:Extmem.Device_spec.default in
+  (* the spec governs both endpoints and the sorter's internal devices *)
+  let config = { config with Nexsort.Config.device = spec } in
+  let built_in = Extmem.Device_spec.build_scratch spec ~name:"input" ~block_size in
+  let input = built_in.Extmem.Device_spec.device in
+  Extmem.Device.load_string input xml;
+  let output = Extmem.Device_spec.scratch spec ~name:"output" ~block_size in
+  let device_stats () =
+    if stats && device <> None then begin
+      Printf.eprintf "device: %s (input layers: %s)\n"
+        (Extmem.Device_spec.to_string spec)
+        (String.concat " -> " (Extmem.Device.layers input));
+      (match built_in.Extmem.Device_spec.trace with
+      | Some trace ->
+          Printf.eprintf "input access pattern: %s\n"
+            (Format.asprintf "%a" Extmem.Trace.pp_summary (Extmem.Trace.summarize trace))
+      | None -> ());
+      let sim =
+        Extmem.Device.simulated_ms input +. Extmem.Device.simulated_ms output
+      in
+      if sim > 0. then Printf.eprintf "endpoint simulated io time: %.2fms\n" sim
+    end
+  in
   let describe = function
     | Nexsort_algo -> "nexsort"
     | Mergesort -> "key-path external merge sort"
@@ -84,11 +105,18 @@ let run verbose algorithm config ordering stats targets select input_path output
         if stats then
           Printf.eprintf "algorithm: %s\nwall: %.3fs\n" (describe algorithm)
             (Unix.gettimeofday () -. t0));
+    device_stats ();
     `Ok ()
   with
   | Xmlio.Parser.Error { line; col; msg } ->
       `Error (false, Printf.sprintf "%s:%d:%d: %s" input_path line col msg)
   | Xmlio.Xpath.Parse_error msg -> `Error (false, "bad --select path: " ^ msg)
+  | Extmem.Device.Fault (op, block) ->
+      `Error
+        ( false,
+          Printf.sprintf "injected device fault: %s of block %d"
+            (match op with Extmem.Device.Read -> "read" | Extmem.Device.Write -> "write")
+            block )
   | Invalid_argument msg -> `Error (false, msg)
 
 let algorithm_term =
@@ -138,7 +166,7 @@ let cmd =
     Term.(
       ret
         (const run $ verbose_term $ algorithm_term $ Cli_common.config_term
-       $ Cli_common.ordering_term $ stats_term $ targets_term $ select_term $ input_term
-       $ output_term))
+       $ Cli_common.ordering_term $ stats_term $ targets_term $ select_term
+       $ Cli_common.device_term $ input_term $ output_term))
 
 let () = exit (Cmd.eval cmd)

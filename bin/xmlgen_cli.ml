@@ -6,8 +6,27 @@ let write_file path contents =
   let oc = open_out_bin path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
 
-let run seed avg_bytes height max_fanout max_elements fanouts company output =
+(* Run [gen] and write the result to [output].  With [--device] the
+   generator streams onto a spec-built device (exercising its stack) and
+   the file is written from the device's contents. *)
+let emit device output gen =
+  let s, stats =
+    match device with
+    | None -> Xmlgen.Gen.to_string gen
+    | Some spec ->
+        let dev = Extmem.Device_spec.scratch spec ~name:"gen" ~block_size:4096 in
+        let stats = Xmlgen.Gen.to_device dev gen in
+        (Extmem.Device.contents dev, stats)
+  in
+  write_file output s;
+  Printf.eprintf "wrote %s: %d elements, height %d, %d bytes\n" output
+    stats.Xmlgen.Gen.elements stats.Xmlgen.Gen.height stats.Xmlgen.Gen.bytes;
+  `Ok ()
+
+let run seed avg_bytes height max_fanout max_elements fanouts company device output =
   match (company, fanouts) with
+  | true, _ when device <> None ->
+      `Error (false, "--device is not supported with --company")
   | true, _ ->
       let pair = Xmlgen.Company.generate ~seed () in
       write_file (output ^ ".personnel.xml") pair.Xmlgen.Company.personnel;
@@ -15,22 +34,10 @@ let run seed avg_bytes height max_fanout max_elements fanouts company output =
       Printf.eprintf "wrote %s.personnel.xml and %s.payroll.xml\n" output output;
       `Ok ()
   | false, Some fanouts ->
-      let s, stats =
-        Xmlgen.Gen.to_string (fun sink -> Xmlgen.Gen.exact_shape ~seed ~avg_bytes ~fanouts sink)
-      in
-      write_file output s;
-      Printf.eprintf "wrote %s: %d elements, height %d, %d bytes\n" output
-        stats.Xmlgen.Gen.elements stats.Xmlgen.Gen.height stats.Xmlgen.Gen.bytes;
-      `Ok ()
+      emit device output (fun sink -> Xmlgen.Gen.exact_shape ~seed ~avg_bytes ~fanouts sink)
   | false, None ->
-      let s, stats =
-        Xmlgen.Gen.to_string (fun sink ->
-            Xmlgen.Gen.random_shape ~seed ~avg_bytes ~max_elements ~height ~max_fanout sink)
-      in
-      write_file output s;
-      Printf.eprintf "wrote %s: %d elements, height %d, %d bytes\n" output
-        stats.Xmlgen.Gen.elements stats.Xmlgen.Gen.height stats.Xmlgen.Gen.bytes;
-      `Ok ()
+      emit device output (fun sink ->
+          Xmlgen.Gen.random_shape ~seed ~avg_bytes ~max_elements ~height ~max_fanout sink)
 
 let fanouts_term =
   let parse s =
@@ -69,6 +76,7 @@ let cmd =
             value & flag
             & info [ "company" ]
                 ~doc:"Generate the Figure 1 personnel/payroll document pair instead.")
+        $ Cli_common.device_term
         $ Arg.(
             value & opt string "generated.xml" & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Output file.")))
 

@@ -26,9 +26,42 @@ let ordering_term =
     & info [ "ordering"; "O" ] ~docv:"SPEC"
         ~doc:"Ordering specification (see $(b,nexsort --help)); must be scan-evaluable.")
 
-let run ordering presorted update_mode left_path right_path output =
+let run ordering presorted update_mode device left_path right_path output =
   let left = read_file left_path and right = read_file right_path in
   try
+    match device with
+    | Some _ when update_mode -> `Error (false, "--device is not supported with --update")
+    | Some spec ->
+        (* Device-resident path: sort both inputs (unless presorted), load
+           them onto spec-built devices and run the single-pass device
+           merge, so the chosen stack carries the merge's I/O. *)
+        let block_size = 4096 in
+        let sort s =
+          if presorted then s
+          else
+            fst
+              (Nexsort.sort_string
+                 ~config:(Nexsort.Config.make ~block_size ~device:spec ())
+                 ~ordering s)
+        in
+        let load name s =
+          let d = Extmem.Device_spec.scratch spec ~name ~block_size in
+          Extmem.Device.load_string d s;
+          d
+        in
+        let ldev = load "left" (sort left) and rdev = load "right" (sort right) in
+        let odev = Extmem.Device_spec.scratch spec ~name:"output" ~block_size in
+        let r = Xmerge.Struct_merge.merge_devices ~ordering ~left:ldev ~right:rdev ~output:odev () in
+        write_file output (Extmem.Device.contents odev);
+        Printf.eprintf "matched %d elements, emitted %d events -> %s\n"
+          r.Xmerge.Struct_merge.matched_elements r.Xmerge.Struct_merge.output_events output;
+        let sim =
+          Extmem.Device.simulated_ms ldev +. Extmem.Device.simulated_ms rdev
+          +. Extmem.Device.simulated_ms odev
+        in
+        if sim > 0. then Printf.eprintf "merge simulated io time: %.2fms\n" sim;
+        `Ok ()
+    | None ->
     let result, summary =
       if update_mode then begin
         let out, r =
@@ -57,6 +90,12 @@ let run ordering presorted update_mode left_path right_path output =
   with
   | Xmlio.Parser.Error { line; col; msg } -> `Error (false, Printf.sprintf "%d:%d: %s" line col msg)
   | Xmerge.Struct_merge.Not_sorted msg -> `Error (false, "input not sorted: " ^ msg)
+  | Extmem.Device.Fault (op, block) ->
+      `Error
+        ( false,
+          Printf.sprintf "injected device fault: %s of block %d"
+            (match op with Extmem.Device.Read -> "read" | Extmem.Device.Write -> "write")
+            block )
   | Invalid_argument msg -> `Error (false, msg)
 
 let cmd =
@@ -75,6 +114,7 @@ let cmd =
                 ~doc:
                   "Treat the second document as a batch of updates (__op attributes: merge, \
                    delete, replace).")
+        $ Cli_common.device_term
         $ Arg.(required & pos 0 (some file) None & info [] ~docv:"LEFT")
         $ Arg.(required & pos 1 (some file) None & info [] ~docv:"RIGHT")
         $ Arg.(

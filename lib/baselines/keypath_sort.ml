@@ -13,6 +13,7 @@ type report = {
   temp_io : Extmem.Io_stats.t;
   output_io : Extmem.Io_stats.t;
   total_io : Extmem.Io_stats.t;
+  simulated_ms : float;
   wall_seconds : float;
 }
 
@@ -93,7 +94,7 @@ let sort_device ?(config = Config.make ()) ~ordering ~input ~output () =
   in
   let counters = ref (0, 0) in
   let records = record_stream ~config ~ordering ~dict parser counters in
-  let temp = Extmem.Device.in_memory ~name:"temp" ~block_size:config.Config.block_size () in
+  let temp = Config.scratch_device config ~name:"temp" in
   let bw = Extmem.Block_writer.create output in
   let writer = Xmlio.Writer.to_block_writer bw in
   (* reconstruction: sorted key-path order is the sorted document's
@@ -138,13 +139,18 @@ let sort_device ?(config = Config.make ()) ~ordering ~input ~output () =
     temp_io;
     output_io;
     total_io = Extmem.Io_stats.add input_io (Extmem.Io_stats.add temp_io output_io);
+    simulated_ms =
+      Extmem.Device.simulated_ms input
+      +. Extmem.Device.simulated_ms temp
+      +. Extmem.Device.simulated_ms output;
     wall_seconds = Unix.gettimeofday () -. t0;
   }
 
 let sort_string ?config ~ordering s =
   let config = Option.value config ~default:(Config.make ()) in
-  let input = Extmem.Device.of_string ~block_size:config.Config.block_size s in
-  let output = Extmem.Device.in_memory ~name:"output" ~block_size:config.Config.block_size () in
+  let input = Config.scratch_device config ~name:"input" in
+  Extmem.Device.load_string input s;
+  let output = Config.scratch_device config ~name:"output" in
   let report = sort_device ~config ~ordering ~input ~output () in
   (Extmem.Device.contents output, report)
 

@@ -23,6 +23,9 @@ type report = {
   temp_io : Extmem.Io_stats.t;
   output_io : Extmem.Io_stats.t;
   total_io : Extmem.Io_stats.t;
+  simulated_ms : float;
+      (** simulated I/O time across input/temp/output when cost layers are
+          attached; [0.] otherwise *)
   wall_seconds : float;
 }
 

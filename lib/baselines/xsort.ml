@@ -195,7 +195,7 @@ let sort_device ?(config = Config.make ()) ?selector ~ordering ~targets ~input ~
   in
   Extmem.Memory_budget.reserve budget ~who:"input buffer" 1;
   Extmem.Memory_budget.reserve budget ~who:"output buffer" 1;
-  let temp = Extmem.Device.in_memory ~name:"temp" ~block_size:config.Config.block_size () in
+  let temp = Config.scratch_device config ~name:"temp" in
   let parser =
     Xmlio.Parser.of_reader
       ~keep_whitespace:config.Config.keep_whitespace
@@ -235,7 +235,8 @@ let sort_device ?(config = Config.make ()) ?selector ~ordering ~targets ~input ~
 
 let sort_string ?config ?selector ~ordering ~targets s =
   let config = Option.value config ~default:(Config.make ()) in
-  let input = Extmem.Device.of_string ~block_size:config.Config.block_size s in
-  let output = Extmem.Device.in_memory ~name:"output" ~block_size:config.Config.block_size () in
+  let input = Config.scratch_device config ~name:"input" in
+  Extmem.Device.load_string input s;
+  let output = Config.scratch_device config ~name:"output" in
   let report = sort_device ~config ?selector ~ordering ~targets ~input ~output () in
   (Extmem.Device.contents output, report)

@@ -14,10 +14,12 @@ type t = {
   data_stack_blocks : int;
   path_stack_blocks : int;
   keep_whitespace : bool;
+  device : Extmem.Device_spec.t;
 }
 
 let make ?(block_size = 4096) ?(memory_blocks = 64) ?threshold ?depth_limit ?(degeneration = true)
-    ?(root_fusion = true) ?(encoding = Dict) ?data_stack_blocks ?(path_stack_blocks = 2) ?(keep_whitespace = false) () =
+    ?(root_fusion = true) ?(encoding = Dict) ?data_stack_blocks ?(path_stack_blocks = 2)
+    ?(keep_whitespace = false) ?(device = Extmem.Device_spec.default) () =
   let threshold = Option.value threshold ~default:(2 * block_size) in
   (* The data stack oscillates: entries accumulate until a subtree reaches
      the threshold and is truncated away.  A window that covers twice the
@@ -53,7 +55,11 @@ let make ?(block_size = 4096) ?(memory_blocks = 64) ?threshold ?depth_limit ?(de
     data_stack_blocks;
     path_stack_blocks;
     keep_whitespace;
+    device;
   }
+
+let scratch_device t ~name =
+  Extmem.Device_spec.scratch t.device ~name ~block_size:t.block_size
 
 let memory_bytes t = t.block_size * t.memory_blocks
 

@@ -35,6 +35,9 @@ type t = {
   path_stack_blocks : int;  (** resident window of the path stack (>= 2
                                 per the paper's analysis) *)
   keep_whitespace : bool;   (** preserve whitespace-only text nodes *)
+  device : Extmem.Device_spec.t;
+      (** device stack for the sort's internal devices (stacks, runs,
+          scratch): backend plus middleware layers; see {!Extmem.Device_spec} *)
 }
 
 val make :
@@ -48,6 +51,7 @@ val make :
   ?data_stack_blocks:int ->
   ?path_stack_blocks:int ->
   ?keep_whitespace:bool ->
+  ?device:Extmem.Device_spec.t ->
   unit ->
   t
 (** Defaults: 4 KiB blocks, 64 memory blocks, threshold [2 * block_size],
@@ -61,6 +65,10 @@ val make :
     small). *)
 
 val memory_bytes : t -> int
+
+val scratch_device : t -> name:string -> Extmem.Device.t
+(** Build one internal device (stack, run store, scratch) through the
+    configured {!field-device} spec, with the config's block size. *)
 
 val validate_ordering : t -> Ordering.t -> unit
 (** @raise Invalid_argument when the encoding is [Packed] but the

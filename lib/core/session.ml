@@ -7,14 +7,15 @@ type t = {
   out_stack : Extmem.Ext_stack.t;
   runs : Extmem.Run_store.t;
   temp_stats : Extmem.Io_stats.t;
+  mutable temp_sim_ms : float;
 }
 
 let create (config : Config.t) =
-  let bs = config.Config.block_size in
   let budget =
-    Extmem.Memory_budget.create ~blocks:config.Config.memory_blocks ~block_size:bs
+    Extmem.Memory_budget.create ~blocks:config.Config.memory_blocks
+      ~block_size:config.Config.block_size
   in
-  let stack_dev name = Extmem.Device.in_memory ~name ~block_size:bs () in
+  let stack_dev name = Config.scratch_device config ~name in
   Extmem.Memory_budget.reserve budget ~who:"input buffer" 1;
   Extmem.Memory_budget.reserve budget ~who:"data stack window" config.Config.data_stack_blocks;
   Extmem.Memory_budget.reserve budget ~who:"path stack window" config.Config.path_stack_blocks;
@@ -32,14 +33,18 @@ let create (config : Config.t) =
     out_stack = Extmem.Ext_stack.create ~resident_blocks:1 (stack_dev "output-location-stack");
     runs = Extmem.Run_store.create (stack_dev "runs");
     temp_stats = Extmem.Io_stats.create ();
+    temp_sim_ms = 0.;
   }
 
 let arena_bytes t = Extmem.Memory_budget.available_bytes t.budget
 
 let with_temp t f =
-  let dev = Extmem.Device.in_memory ~name:"temp" ~block_size:t.config.Config.block_size () in
+  let dev = Config.scratch_device t.config ~name:"temp" in
   Fun.protect
-    ~finally:(fun () -> Extmem.Io_stats.accumulate ~into:t.temp_stats (Extmem.Device.stats dev))
+    ~finally:(fun () ->
+      Extmem.Io_stats.accumulate ~into:t.temp_stats (Extmem.Device.stats dev);
+      t.temp_sim_ms <- t.temp_sim_ms +. Extmem.Device.simulated_ms dev;
+      Extmem.Device.close dev)
     (fun () -> f dev)
 
 let encode_entry t e = Entry.encode t.config.Config.encoding t.dict e
@@ -59,3 +64,10 @@ let total_io t =
   List.fold_left
     (fun acc (_, s) -> Extmem.Io_stats.add acc s)
     (Extmem.Io_stats.create ()) (io_breakdown t)
+
+let simulated_ms t =
+  Extmem.Device.simulated_ms (Extmem.Ext_stack.device t.data_stack)
+  +. Extmem.Device.simulated_ms (Extmem.Ext_stack.device t.path_stack)
+  +. Extmem.Device.simulated_ms (Extmem.Ext_stack.device t.out_stack)
+  +. Extmem.Device.simulated_ms (Extmem.Run_store.device t.runs)
+  +. t.temp_sim_ms

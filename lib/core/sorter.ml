@@ -18,6 +18,7 @@ type report = {
   output_io : Extmem.Io_stats.t;
   breakdown : (string * Extmem.Io_stats.t) list;
   total_io : Extmem.Io_stats.t;
+  simulated_ms : float;
   wall_seconds : float;
 }
 
@@ -513,13 +514,18 @@ let sort_device ?(config = Config.make ()) ~ordering ~input ~output () =
     breakdown;
     total_io =
       Extmem.Io_stats.add (Extmem.Io_stats.add input_io output_io) (Session.total_io session);
+    simulated_ms =
+      Session.simulated_ms session
+      +. Extmem.Device.simulated_ms input
+      +. Extmem.Device.simulated_ms output;
     wall_seconds = Unix.gettimeofday () -. t0;
   }
 
 let sort_string ?config ~ordering s =
   let config = Option.value config ~default:(Config.make ()) in
-  let input = Extmem.Device.of_string ~block_size:config.Config.block_size s in
-  let output = Extmem.Device.in_memory ~name:"output" ~block_size:config.Config.block_size () in
+  let input = Config.scratch_device config ~name:"input" in
+  Extmem.Device.load_string input s;
+  let output = Config.scratch_device config ~name:"output" in
   let report = sort_device ~config ~ordering ~input ~output () in
   (Extmem.Device.contents output, report)
 
@@ -529,7 +535,8 @@ let pp_report ppf r =
      subtree sorts=%d (in-memory=%d, external=%d), fragments=%d (merges=%d)@,\
      runs=%d (%d blocks)@,\
      io: input=%a output=%a total=%a@,\
-     wall=%.3fs@]"
+     wall=%.3fs%t@]"
     r.events r.elements r.text_nodes r.height r.subtree_sorts r.in_memory_sorts r.external_sorts
     r.fragment_runs r.fragment_merges r.runs_created r.run_blocks Extmem.Io_stats.pp r.input_io
     Extmem.Io_stats.pp r.output_io Extmem.Io_stats.pp r.total_io r.wall_seconds
+    (fun ppf -> if r.simulated_ms > 0. then Format.fprintf ppf "@,simulated io time=%.2fms" r.simulated_ms)

@@ -42,6 +42,9 @@ type report = {
   breakdown : (string * Extmem.Io_stats.t) list;
       (** stacks / runs / scratch, from {!Session.io_breakdown} *)
   total_io : Extmem.Io_stats.t;  (** everything, input and output included *)
+  simulated_ms : float;
+      (** simulated I/O time (session + input + output devices) when cost
+          layers are attached; [0.] otherwise *)
   wall_seconds : float;
 }
 

@@ -1,0 +1,38 @@
+type params = {
+  seek_ms : float;
+  read_ms : float;
+  write_ms : float;
+}
+
+let hdd = { seek_ms = 8.0; read_ms = 0.05; write_ms = 0.06 }
+
+let ssd = { seek_ms = 0.05; read_ms = 0.01; write_ms = 0.015 }
+
+type t = {
+  params : params;
+  mutable charged : int;
+  mutable seeks : int;
+  mutable elapsed_ms : float;
+}
+
+let create ?(params = hdd) () = { params; charged = 0; seeks = 0; elapsed_ms = 0. }
+
+let params t = t.params
+
+let charged t = t.charged
+
+let seeks t = t.seeks
+
+let elapsed_ms t = t.elapsed_ms
+
+let charge t ~sequential op =
+  t.charged <- t.charged + 1;
+  if not sequential then begin
+    t.seeks <- t.seeks + 1;
+    t.elapsed_ms <- t.elapsed_ms +. t.params.seek_ms
+  end;
+  t.elapsed_ms <-
+    t.elapsed_ms +. (match op with Backend.Read -> t.params.read_ms | Backend.Write -> t.params.write_ms)
+
+let pp ppf t =
+  Format.fprintf ppf "{sim=%.2fms; ios=%d; seeks=%d}" t.elapsed_ms t.charged t.seeks

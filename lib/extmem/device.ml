@@ -1,52 +1,50 @@
-type op =
+type op = Backend.op =
   | Read
   | Write
 
-exception Fault of op * int
-
-type backend =
-  | Mem of bytes Vec.t
-  | File of Unix.file_descr
+exception Fault = Backend.Fault
 
 type t = {
   name : string;
   block_size : int;
   mutable blocks : int;
   mutable logical_len : int option;
-  backend : backend;
+  base : Backend.t;       (* the raw store; bypassed only by [contents]/preload *)
+  mutable top : Backend.t;  (* base under the middleware stack *)
+  mutable layer_names : string list;  (* outermost first *)
   stats : Io_stats.t;
-  mutable fault : (op -> int -> bool) option;
-  mutable tracer : (op -> int -> unit) option;
+  mutable cost : Cost_model.t option;
 }
 
-let check_block_size bs = if bs <= 0 then invalid_arg "Device: block_size must be positive"
+let of_backend ?(layers = []) base =
+  let stats = Io_stats.create () in
+  let top = Layer.apply layers (Layer.apply [ Layer.counted stats ] base) in
+  {
+    name = base.Backend.name;
+    block_size = base.Backend.block_size;
+    blocks = 0;
+    logical_len = None;
+    base;
+    top;
+    layer_names = List.map Layer.name layers @ [ "stats" ];
+    stats;
+    cost = None;
+  }
 
 let in_memory ?(name = "mem") ~block_size () =
-  check_block_size block_size;
-  {
-    name;
-    block_size;
-    blocks = 0;
-    logical_len = None;
-    backend = Mem (Vec.create ());
-    stats = Io_stats.create ();
-    fault = None;
-    tracer = None;
-  }
+  of_backend (Backend.mem ~name ~block_size ())
 
-let file ?name ~block_size ~path () =
-  check_block_size block_size;
-  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
-  {
-    name = Option.value name ~default:path;
-    block_size;
-    blocks = 0;
-    logical_len = None;
-    backend = File fd;
-    stats = Io_stats.create ();
-    fault = None;
-    tracer = None;
-  }
+let file ?name ~block_size ~path () = of_backend (Backend.file ?name ~block_size ~path ())
+
+let push_layer d layer =
+  d.top <- Layer.apply [ layer ] d.top;
+  d.layer_names <- Layer.name layer :: d.layer_names
+
+let attach_cost ?params d =
+  let c = Cost_model.create ?params () in
+  push_layer d (Layer.costed c);
+  d.cost <- Some c;
+  c
 
 let name d = d.name
 
@@ -63,108 +61,70 @@ let set_byte_length d n = d.logical_len <- Some n
 
 let stats d = d.stats
 
+let layers d = d.layer_names
+
+let cost d = d.cost
+
+let simulated_ms d =
+  match d.cost with
+  | Some c -> Cost_model.elapsed_ms c
+  | None -> 0.
+
 let allocate d n =
   if n < 0 then invalid_arg "Device.allocate: negative count";
   let first = d.blocks in
-  (match d.backend with
-  | Mem v ->
-      for _ = 1 to n do
-        Vec.push v (Bytes.make d.block_size '\000')
-      done
-  | File _ -> () (* sparse: the file grows on write *));
+  d.base.Backend.allocate n;
   d.blocks <- d.blocks + n;
   first
-
-let maybe_fault d op i =
-  (match d.tracer with
-  | Some trace -> trace op i
-  | None -> ());
-  match d.fault with
-  | Some hook when hook op i -> raise (Fault (op, i))
-  | Some _ | None -> ()
 
 let read_block d i buf =
   if i < 0 || i >= d.blocks then
     invalid_arg (Printf.sprintf "Device.read_block(%s): block %d out of range [0,%d)" d.name i d.blocks);
   if Bytes.length buf < d.block_size then invalid_arg "Device.read_block: buffer too small";
-  maybe_fault d Read i;
-  Io_stats.record_read d.stats;
-  match d.backend with
-  | Mem v -> Bytes.blit (Vec.get v i) 0 buf 0 d.block_size
-  | File fd ->
-      let off = i * d.block_size in
-      ignore (Unix.lseek fd off Unix.SEEK_SET);
-      let rec fill pos =
-        if pos < d.block_size then begin
-          let n = Unix.read fd buf pos (d.block_size - pos) in
-          if n = 0 then Bytes.fill buf pos (d.block_size - pos) '\000'
-          else fill (pos + n)
-        end
-      in
-      fill 0
+  d.top.Backend.read_block i buf
 
 let write_block d i buf =
   if i < 0 || i > d.blocks then
     invalid_arg (Printf.sprintf "Device.write_block(%s): block %d out of range [0,%d]" d.name i d.blocks);
   if Bytes.length buf < d.block_size then invalid_arg "Device.write_block: buffer too small";
   if i = d.blocks then ignore (allocate d 1);
-  maybe_fault d Write i;
-  Io_stats.record_write d.stats;
-  match d.backend with
-  | Mem v -> Bytes.blit buf 0 (Vec.get v i) 0 d.block_size
-  | File fd ->
-      let off = i * d.block_size in
-      ignore (Unix.lseek fd off Unix.SEEK_SET);
-      let rec drain pos =
-        if pos < d.block_size then begin
-          let n = Unix.write fd buf pos (d.block_size - pos) in
-          drain (pos + n)
-        end
-      in
-      drain 0
+  d.top.Backend.write_block i buf
+
+(* Preload bytes through the raw backend: not counted as I/O, not visible
+   to middleware.  Used by [of_string] and Device_spec loading. *)
+let load_string d s =
+  let bs = d.block_size in
+  let nblocks = (String.length s + bs - 1) / bs in
+  if nblocks > d.blocks then ignore (allocate d (nblocks - d.blocks));
+  let buf = Bytes.create bs in
+  for i = 0 to nblocks - 1 do
+    let off = i * bs in
+    let n = min bs (String.length s - off) in
+    Bytes.fill buf 0 bs '\000';
+    Bytes.blit_string s off buf 0 n;
+    d.base.Backend.write_block i buf
+  done;
+  set_byte_length d (String.length s)
 
 let of_string ?name ~block_size s =
   let d = in_memory ?name ~block_size () in
-  let nblocks = (String.length s + block_size - 1) / block_size in
-  ignore (allocate d nblocks);
-  (match d.backend with
-  | Mem v ->
-      for i = 0 to nblocks - 1 do
-        let off = i * block_size in
-        let n = min block_size (String.length s - off) in
-        Bytes.blit_string s off (Vec.get v i) 0 n
-      done
-  | File _ -> assert false);
-  set_byte_length d (String.length s);
+  load_string d s;
   d
-
-let set_fault d hook = d.fault <- hook
-
-let set_tracer d hook = d.tracer <- hook
 
 let contents d =
   let len = byte_length d in
   let out = Bytes.create len in
-  (match d.backend with
-  | Mem v ->
-      for i = 0 to d.blocks - 1 do
-        let off = i * d.block_size in
-        let n = min d.block_size (len - off) in
-        if n > 0 then Bytes.blit (Vec.get v i) 0 out off n
-      done
-  | File fd ->
-      ignore (Unix.lseek fd 0 Unix.SEEK_SET);
-      let rec fill pos =
-        if pos < len then begin
-          let n = Unix.read fd out pos (len - pos) in
-          if n = 0 then () (* sparse tail: leave zeroes *)
-          else fill (pos + n)
-        end
-      in
-      fill 0);
+  let buf = Bytes.create d.block_size in
+  for i = 0 to d.blocks - 1 do
+    let off = i * d.block_size in
+    let n = min d.block_size (len - off) in
+    if n > 0 then begin
+      d.base.Backend.read_block i buf;
+      Bytes.blit buf 0 out off n
+    end
+  done;
   Bytes.unsafe_to_string out
 
-let close d =
-  match d.backend with
-  | Mem _ -> ()
-  | File fd -> Unix.close fd
+let flush d = d.top.Backend.flush ()
+
+let close d = d.top.Backend.close ()

@@ -1,4 +1,4 @@
-(** Block devices with exact I/O accounting.
+(** Block devices with exact I/O accounting, built as a composable stack.
 
     A device is a linear array of fixed-size blocks.  All data that is
     "on disk" in the sense of the external-memory model of Aggarwal and
@@ -7,9 +7,14 @@
     TPIE: the paper uses TPIE for explicit control and detailed accounting
     of I/O operations, which is exactly what this module provides.
 
-    Two implementations are built in: an in-memory virtual disk (fast,
-    deterministic, used by tests and benchmarks) and a real file-backed
-    device (used by the command-line tools to process actual files).
+    Internally a device is a raw {!Backend.t} (in-memory or file; see
+    {!Backend}) wrapped in a stack of {!Layer} middleware.  The bottom
+    layer is always the accounting layer feeding {!stats}; further layers —
+    tracing ({!Trace.attach}), fault injection ({!Layer.faulty}), simulated
+    cost ({!attach_cost}) — can be stacked freely with {!push_layer}, at
+    construction time or later, and {e compose}: installing one never
+    displaces another.  Devices are normally built from a textual spec via
+    {!Device_spec}.
 
     Devices are append-allocated: {!allocate} extends the device and
     returns the index of the first new block.  Reading a block that was
@@ -17,12 +22,17 @@
 
 type t
 
-type op =
+type op = Backend.op =
   | Read
   | Write
 
 exception Fault of op * int
-(** Raised by the failure-injection hook (see {!set_fault}). *)
+(** Alias of {!Backend.Fault}, raised by fault-injection layers. *)
+
+val of_backend : ?layers:Layer.t list -> Backend.t -> t
+(** Wrap a raw backend into a device.  An accounting layer feeding
+    {!stats} is always installed at the bottom of the stack; [layers] are
+    stacked above it, head of the list outermost. *)
 
 val in_memory : ?name:string -> block_size:int -> unit -> t
 (** [in_memory ~block_size ()] is a fresh virtual disk.  [block_size] must
@@ -37,6 +47,24 @@ val of_string : ?name:string -> block_size:int -> string -> t
     bytes of [s] (zero-padded to a whole number of blocks); its byte length
     is recorded so {!byte_length} returns [String.length s].  Initial
     loading is not counted as I/O. *)
+
+val load_string : t -> string -> unit
+(** Preload the device with the bytes of a string through the raw backend:
+    no I/O is counted and no middleware observes it.  Records the byte
+    length.  Works on any backend (used to stage real input files onto
+    file-backed devices). *)
+
+val push_layer : t -> Layer.t -> unit
+(** Stack one more middleware layer on top of the device's current stack.
+    The new layer sees each subsequent I/O first. *)
+
+val attach_cost : ?params:Cost_model.params -> t -> Cost_model.t
+(** Push a {!Layer.costed} layer with a fresh meter and return the meter;
+    {!simulated_ms} reports its elapsed time from now on. *)
+
+val layers : t -> string list
+(** Names of the stacked layers, outermost first; always ends with
+    ["stats"]. *)
 
 val name : t -> string
 val block_size : t -> int
@@ -55,6 +83,13 @@ val set_byte_length : t -> int -> unit
 val stats : t -> Io_stats.t
 (** The device's I/O counters (live; mutated by every read/write). *)
 
+val cost : t -> Cost_model.t option
+(** The meter installed by {!attach_cost} (or by a [cost] spec layer). *)
+
+val simulated_ms : t -> float
+(** Simulated time charged to this device's cost meter; [0.] when no cost
+    layer is attached. *)
+
 val allocate : t -> int -> int
 (** [allocate dev n] extends the device by [n] blocks and returns the index
     of the first one.  Allocation itself performs no I/O. *)
@@ -70,19 +105,12 @@ val write_block : t -> int -> bytes -> unit
     auto-allocates.  @raise Invalid_argument if [i] is further out of
     range. *)
 
-val set_fault : t -> (op -> int -> bool) option -> unit
-(** Install a failure-injection hook.  Before each I/O the hook is called
-    with the operation and block index; returning [true] makes the I/O
-    raise {!Fault} instead of executing.  [None] removes the hook. *)
-
-val set_tracer : t -> (op -> int -> unit) option -> unit
-(** Install an observation hook called before every block I/O with the
-    operation and block index (after the fault hook decides the I/O will
-    happen).  Used by {!Trace} to record access patterns. *)
-
 val contents : t -> string
 (** The whole device contents as a string of {!byte_length} bytes (not
     counted as I/O; for tests and for writing final output files). *)
+
+val flush : t -> unit
+(** Flush the stack down to the backend (no-op for the built-in ones). *)
 
 val close : t -> unit
 (** Release OS resources (no-op for in-memory devices). *)

@@ -47,6 +47,8 @@ let resident_blocks st = Deque.length st.resident
 
 let io_stats st = Device.stats st.dev
 
+let device st = st.dev
+
 (* Block index just past the resident window. *)
 let back_limit st = st.front_idx + Deque.length st.resident
 

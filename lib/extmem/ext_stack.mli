@@ -80,6 +80,9 @@ val resident_blocks : t -> int
 (** Number of blocks currently held in memory (<= the configured limit,
     except transiently while popping an entry larger than the window). *)
 
+val device : t -> Device.t
+(** The backing device (for layer inspection and simulated-cost totals). *)
+
 val io_stats : t -> Io_stats.t
 (** The underlying device's counters: every page-in is a read, every
     dirty eviction a write. *)

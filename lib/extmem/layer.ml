@@ -1,0 +1,110 @@
+type t = {
+  name : string;
+  wrap : Backend.t -> Backend.t;
+}
+
+let name l = l.name
+
+let make ~name wrap = { name; wrap }
+
+let apply layers backend = List.fold_right (fun l acc -> l.wrap acc) layers backend
+
+(* Wrap just the data path of [next], leaving identity and resource
+   management to the inner backend. *)
+let on_io next ~read ~write =
+  { next with Backend.read_block = read; write_block = write }
+
+let counted stats =
+  {
+    name = "stats";
+    wrap =
+      (fun next ->
+        on_io next
+          ~read:(fun i buf ->
+            Io_stats.record_read stats;
+            next.Backend.read_block i buf)
+          ~write:(fun i buf ->
+            Io_stats.record_write stats;
+            next.Backend.write_block i buf));
+  }
+
+let observed hook =
+  {
+    name = "observe";
+    wrap =
+      (fun next ->
+        on_io next
+          ~read:(fun i buf ->
+            hook Backend.Read i;
+            next.Backend.read_block i buf)
+          ~write:(fun i buf ->
+            hook Backend.Write i;
+            next.Backend.write_block i buf));
+  }
+
+let fault_hook hook =
+  {
+    name = "fault";
+    wrap =
+      (fun next ->
+        let check op i = if hook op i then raise (Backend.Fault (op, i)) in
+        on_io next
+          ~read:(fun i buf ->
+            check Backend.Read i;
+            next.Backend.read_block i buf)
+          ~write:(fun i buf ->
+            check Backend.Write i;
+            next.Backend.write_block i buf));
+  }
+
+(* splitmix64: a tiny deterministic PRNG so seeded fault injection is
+   reproducible across runs and platforms *)
+let splitmix64 state =
+  state := Int64.add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let uniform state =
+  (* 53 random bits -> [0,1) *)
+  let bits = Int64.to_float (Int64.shift_right_logical (splitmix64 state) 11) in
+  bits /. 9007199254740992.0
+
+let faulty ?(seed = 42) ~p () =
+  if p < 0. || p > 1. then invalid_arg "Layer.faulty: p must lie in [0,1]";
+  {
+    name = Printf.sprintf "faulty(p=%g,seed=%d)" p seed;
+    wrap =
+      (fun next ->
+        let state = ref (Int64.of_int seed) in
+        let check op i = if uniform state < p then raise (Backend.Fault (op, i)) in
+        on_io next
+          ~read:(fun i buf ->
+            check Backend.Read i;
+            next.Backend.read_block i buf)
+          ~write:(fun i buf ->
+            check Backend.Write i;
+            next.Backend.write_block i buf));
+  }
+
+let costed cost =
+  {
+    name = "cost";
+    wrap =
+      (fun next ->
+        (* the simulated disk head: block index the previous access on this
+           device ended at; -1 = no access yet (first access seeks) *)
+        let head = ref (-1) in
+        let charge op i =
+          Cost_model.charge cost ~sequential:(i = !head) op;
+          head := i + 1
+        in
+        on_io next
+          ~read:(fun i buf ->
+            charge Backend.Read i;
+            next.Backend.read_block i buf)
+          ~write:(fun i buf ->
+            charge Backend.Write i;
+            next.Backend.write_block i buf));
+  }

@@ -1,0 +1,49 @@
+(** Stackable device middleware.
+
+    A layer wraps a {!Backend.t} with extra behaviour on the block-I/O
+    path — counting, tracing, fault injection, simulated cost — and
+    returns a backend again, so layers compose like function composition.
+    Unlike the old single-slot [set_fault]/[set_tracer] hooks, any number
+    of layers can be active on one device at once; installing one never
+    displaces another.
+
+    In a stack, the outermost layer sees each I/O first.  A fault layer
+    placed outside the accounting layer aborts the I/O {e before} it is
+    counted (the historical semantics: failed I/Os do not count). *)
+
+type t
+
+val name : t -> string
+(** Human-readable tag, e.g. ["stats"], ["faulty(p=0.001,seed=42)"]. *)
+
+val make : name:string -> (Backend.t -> Backend.t) -> t
+(** Build a custom layer.  The wrapper must delegate to the inner backend
+    for anything it does not change. *)
+
+val apply : t list -> Backend.t -> Backend.t
+(** [apply layers backend] stacks [layers] over [backend]; the head of the
+    list becomes the outermost layer. *)
+
+val counted : Io_stats.t -> t
+(** Count every read and write into the given stats.  Every {!Device.t}
+    installs one of these at the bottom of its stack. *)
+
+val observed : (Backend.op -> int -> unit) -> t
+(** Call the hook before every block I/O with the operation and block
+    index.  {!Trace.attach} is built on this. *)
+
+val fault_hook : (Backend.op -> int -> bool) -> t
+(** Deterministic fault injection: before each I/O the predicate decides
+    whether to raise {!Backend.Fault} instead of executing it. *)
+
+val faulty : ?seed:int -> p:float -> unit -> t
+(** Seeded random fault injection: each I/O independently fails with
+    probability [p], driven by a splitmix64 PRNG seeded with [seed] —
+    the same seed always yields the same fault sequence.
+    @raise Invalid_argument unless [0 <= p <= 1]. *)
+
+val costed : Cost_model.t -> t
+(** Charge each I/O to the given cost meter, with a seek penalty whenever
+    the access does not continue where the previous access on this device
+    left off.  Several devices may share one meter; each application of
+    this layer tracks its own head position. *)

@@ -8,16 +8,16 @@ type summary = {
 }
 
 type t = {
-  dev : Device.t;
   trace : int Vec.t;
+  mutable active : bool;
 }
 
 let attach dev =
-  let t = { dev; trace = Vec.create () } in
-  Device.set_tracer dev (Some (fun _op i -> Vec.push t.trace i));
+  let t = { trace = Vec.create (); active = true } in
+  Device.push_layer dev (Layer.observed (fun _op i -> if t.active then Vec.push t.trace i));
   t
 
-let detach t = Device.set_tracer t.dev None
+let detach t = t.active <- false
 
 let length t = Vec.length t.trace
 

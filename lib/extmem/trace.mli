@@ -22,10 +22,13 @@ type summary = {
 type t
 
 val attach : Device.t -> t
-(** Start tracing the device (replaces any previous tracer hook). *)
+(** Start tracing the device by pushing an observation layer onto its
+    middleware stack.  Traces compose: several can be attached to one
+    device, alongside fault-injection and cost layers. *)
 
 val detach : t -> unit
-(** Stop tracing (removes the hook; the recorded trace stays). *)
+(** Stop recording (the layer stays on the stack but becomes inert; the
+    recorded trace stays readable). *)
 
 val length : t -> int
 

@@ -38,4 +38,11 @@ val merge_devices :
     index lives on a private device whose I/O is reported separately. *)
 
 val merge_strings :
-  ordering:Nexsort.Ordering.t -> ?block_size:int -> string -> string -> string * report
+  ordering:Nexsort.Ordering.t ->
+  ?block_size:int ->
+  ?device:Extmem.Device_spec.t ->
+  string ->
+  string ->
+  string * report
+(** The devices are built through the spec factory (default: plain
+    in-memory). *)

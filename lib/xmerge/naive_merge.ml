@@ -76,9 +76,11 @@ let merge_devices ~ordering ~left ~right ~output () =
     wall_seconds = Unix.gettimeofday () -. t0;
   }
 
-let merge_strings ~ordering ?(block_size = 1024) l r =
-  let left = Extmem.Device.of_string ~block_size l in
-  let right = Extmem.Device.of_string ~block_size r in
-  let output = Extmem.Device.in_memory ~name:"output" ~block_size () in
+let merge_strings ~ordering ?(block_size = 1024) ?(device = Extmem.Device_spec.default) l r =
+  let left = Extmem.Device_spec.scratch device ~name:"left" ~block_size in
+  Extmem.Device.load_string left l;
+  let right = Extmem.Device_spec.scratch device ~name:"right" ~block_size in
+  Extmem.Device.load_string right r;
+  let output = Extmem.Device_spec.scratch device ~name:"output" ~block_size in
   let report = merge_devices ~ordering ~left ~right ~output () in
   (Extmem.Device.contents output, report)

@@ -47,4 +47,11 @@ val merge_devices :
     markup. *)
 
 val merge_strings :
-  ordering:Nexsort.Ordering.t -> ?block_size:int -> string -> string -> string * report
+  ordering:Nexsort.Ordering.t ->
+  ?block_size:int ->
+  ?device:Extmem.Device_spec.t ->
+  string ->
+  string ->
+  string * report
+(** The three devices are built through the spec factory (default: plain
+    in-memory). *)

@@ -1,0 +1,16 @@
+#!/bin/sh
+# CI gate: full build + test suite, plus repo hygiene.
+# Run from anywhere inside the repository.
+set -eu
+
+cd "$(git -C "$(dirname "$0")" rev-parse --show-toplevel)"
+
+if git ls-files -- _build | grep -q .; then
+  echo "error: _build/ is tracked in the git index; run 'git rm -r --cached _build'" >&2
+  exit 1
+fi
+
+dune build @all
+dune runtest
+
+echo "check: OK"

@@ -73,3 +73,33 @@ Compound and descending orderings from the command line:
   $ ../../bin/nexsort_cli.exe --ordering='-@id' -B 256 -M 8 xs.xml -o desc.xml
   $ cat desc.xml
   <c><g id="2"><x id="5"/><x id="4"/></g><g id="1"><x id="3"/><x id="2"/></g></c>
+
+Device stacks from the command line.  The sort's result is independent of
+the chosen backend and middleware:
+
+  $ ../../bin/nexsort_cli.exe -B 256 -M 8 -O @id --device traced/mem doc.xml -o dev1.xml
+  $ cmp sorted.xml dev1.xml && echo identical
+  identical
+  $ ../../bin/nexsort_cli.exe -B 256 -M 8 -O @id --device file:dev.img doc.xml -o dev2.xml
+  $ cmp sorted.xml dev2.xml && echo identical
+  identical
+
+A file-backed stack leaves one image per device (endpoints and the
+sorter's internal structures), suffixed with the device's name:
+
+  $ test -s dev.img.input -a -s dev.img.output && echo backing-files-exist
+  backing-files-exist
+
+--stats reports the stack and, with a cost layer, simulated I/O time:
+
+  $ ../../bin/nexsort_cli.exe -B 256 -M 8 -O @id --device traced/mem --stats doc.xml -o dev3.xml 2>&1 | grep '^device:'
+  device: traced/mem (input layers: observe -> stats)
+  $ ../../bin/nexsort_cli.exe -B 256 -M 8 -O @id --device cost:profile=hdd/mem --stats doc.xml -o dev4.xml 2>&1 | grep -c 'simulated io time'
+  2
+
+A malformed spec is a clean error quoting the grammar:
+
+  $ ../../bin/nexsort_cli.exe --device bogus doc.xml -o nope.xml 2>&1 | head -n 3
+  nexsort: option '--device': device spec: expected a backend (mem or
+           file:PATH) last, got "bogus"; SPEC ::= [LAYER/]...BACKEND; BACKEND
+           ::= mem | file:PATH; LAYER ::= stats | traced | faulty[:p=P,seed=N]

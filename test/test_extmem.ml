@@ -280,14 +280,16 @@ let test_device_fault_injection () =
   ignore (Extmem.Device.allocate d 2);
   let b = Bytes.make 8 'x' in
   Extmem.Device.write_block d 0 b;
-  Extmem.Device.set_fault d (Some (fun op i -> op = Extmem.Device.Read && i = 0));
+  let armed = ref true in
+  Extmem.Device.push_layer d
+    (Extmem.Layer.fault_hook (fun op i -> !armed && op = Extmem.Backend.Read && i = 0));
   (try
      Extmem.Device.read_block d 0 b;
      Alcotest.fail "expected Fault"
    with Extmem.Device.Fault (Extmem.Device.Read, 0) -> ());
   (* writes unaffected *)
   Extmem.Device.write_block d 1 b;
-  Extmem.Device.set_fault d None;
+  armed := false;
   Extmem.Device.read_block d 0 b
 
 (* ------------------------------------------------------------------ *)
@@ -853,6 +855,185 @@ let test_budget_with_reserved () =
   check Alcotest.int "released on exception" 0 (Extmem.Memory_budget.used_blocks b)
 
 (* ------------------------------------------------------------------ *)
+(* composable device stack: layers, specs, simulated cost *)
+
+let test_layers_compose () =
+  (* regression: attaching one hook must not displace another — a single
+     device carries accounting, two traces and a fault layer at once *)
+  let d = Extmem.Device.in_memory ~block_size:8 () in
+  ignore (Extmem.Device.allocate d 4);
+  let t1 = Extmem.Trace.attach d in
+  let armed = ref false in
+  Extmem.Device.push_layer d
+    (Extmem.Layer.fault_hook (fun op i -> !armed && op = Extmem.Backend.Read && i = 3));
+  let t2 = Extmem.Trace.attach d in
+  let buf = Bytes.create 8 in
+  Extmem.Device.write_block d 0 (Bytes.make 8 'x');
+  Extmem.Device.read_block d 0 buf;
+  Extmem.Device.read_block d 1 buf;
+  check Alcotest.int "inner trace sees all" 3 (Extmem.Trace.length t1);
+  check Alcotest.int "outer trace sees all" 3 (Extmem.Trace.length t2);
+  let s = Extmem.Device.stats d in
+  check Alcotest.int "stats reads" 2 s.Extmem.Io_stats.reads;
+  check Alcotest.int "stats writes" 1 s.Extmem.Io_stats.writes;
+  armed := true;
+  (match Extmem.Device.read_block d 3 buf with
+  | () -> Alcotest.fail "expected a fault"
+  | exception Extmem.Device.Fault (Extmem.Device.Read, 3) -> ());
+  (* layers above the fault saw the attempt; those below (and the
+     accounting) did not — faulted I/Os are not counted *)
+  check Alcotest.int "outer trace saw the attempt" 4 (Extmem.Trace.length t2);
+  check Alcotest.int "inner trace did not" 3 (Extmem.Trace.length t1);
+  check Alcotest.int "faulted read not counted" 2 s.Extmem.Io_stats.reads;
+  check
+    (Alcotest.list Alcotest.string)
+    "layer names, outermost first"
+    [ "observe"; "fault"; "observe"; "stats" ]
+    (Extmem.Device.layers d)
+
+let test_device_spec_roundtrip () =
+  List.iter
+    (fun s ->
+      let spec = Extmem.Device_spec.parse s in
+      check Alcotest.string s s (Extmem.Device_spec.to_string spec);
+      (* to_string must itself re-parse to the same spec *)
+      check Alcotest.string "reparse" s
+        (Extmem.Device_spec.to_string (Extmem.Device_spec.parse (Extmem.Device_spec.to_string spec))))
+    [
+      "mem";
+      "file:/tmp/some/dir/dev.img";
+      "traced/mem";
+      "faulty:p=0.001,seed=42/file:run.dev";
+      "traced/faulty:p=0.5,seed=7/cost:seek=8,read=0.05,write=0.06/mem";
+    ]
+
+let test_device_spec_malformed () =
+  List.iter
+    (fun s ->
+      match Extmem.Device_spec.parse s with
+      | _ -> Alcotest.failf "expected %S to be rejected" s
+      | exception Invalid_argument _ -> ())
+    [ ""; "bogus"; "traced"; "mem/traced"; "faulty:p=2/mem"; "faulty:p=x/mem";
+      "cost:profile=tape/mem"; "file:"; "/mem"; "traced/" ]
+
+let test_device_spec_build () =
+  let built =
+    Extmem.Device_spec.build ~block_size:8
+      (Extmem.Device_spec.parse "traced/cost:profile=ssd/mem")
+  in
+  let d = built.Extmem.Device_spec.device in
+  check Alcotest.bool "trace handle" true (built.Extmem.Device_spec.trace <> None);
+  check Alcotest.bool "cost handle" true (built.Extmem.Device_spec.cost <> None);
+  ignore (Extmem.Device.allocate d 2);
+  Extmem.Device.write_block d 0 (Bytes.make 8 'a');
+  Extmem.Device.write_block d 1 (Bytes.make 8 'b');
+  (match built.Extmem.Device_spec.trace with
+  | Some t -> check (Alcotest.list Alcotest.int) "trace" [ 0; 1 ] (Extmem.Trace.blocks t)
+  | None -> ());
+  check Alcotest.bool "simulated time accrued" true (Extmem.Device.simulated_ms d > 0.);
+  check
+    (Alcotest.list Alcotest.string)
+    "layers" [ "observe"; "cost"; "stats" ] (Extmem.Device.layers d)
+
+let test_faulty_deterministic () =
+  (* the seeded fault layer is a pure function of (seed, access index):
+     two identically-seeded devices fault on exactly the same accesses *)
+  let faults_of ~seed ~p n =
+    let d = Extmem.Device.in_memory ~block_size:4 () in
+    ignore (Extmem.Device.allocate d 1);
+    Extmem.Device.push_layer d (Extmem.Layer.faulty ~seed ~p ());
+    let buf = Bytes.create 4 in
+    List.init n (fun _ ->
+        match Extmem.Device.read_block d 0 buf with
+        | () -> false
+        | exception Extmem.Device.Fault _ -> true)
+  in
+  let a = faults_of ~seed:1 ~p:0.3 200 and b = faults_of ~seed:1 ~p:0.3 200 in
+  check (Alcotest.list Alcotest.bool) "same seed, same faults" a b;
+  check Alcotest.bool "some faults at p=0.3" true (List.mem true a);
+  check Alcotest.bool "some successes at p=0.3" true (List.mem false a);
+  check Alcotest.bool "different seed differs" true (faults_of ~seed:2 ~p:0.3 200 <> a);
+  check Alcotest.bool "p=0 never faults" true
+    (List.for_all not (faults_of ~seed:1 ~p:0. 50));
+  check Alcotest.bool "p=1 always faults" true
+    (List.for_all Fun.id (faults_of ~seed:1 ~p:1. 50));
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Layer.faulty: p must lie in [0,1]")
+    (fun () -> ignore (Extmem.Layer.faulty ~p:2. ()))
+
+let test_cost_layer () =
+  (* same number of I/Os, different layout: the sequential scan must be
+     charged far less simulated time than the strided pattern *)
+  let scan ~stride =
+    let d = Extmem.Device.in_memory ~block_size:4 () in
+    ignore (Extmem.Device.allocate d 64);
+    let c = Extmem.Device.attach_cost d in
+    let buf = Bytes.create 4 in
+    for i = 0 to 63 do
+      Extmem.Device.read_block d (i * stride mod 64) buf
+    done;
+    check Alcotest.int "accesses charged" 64 (Extmem.Cost_model.charged c);
+    (Extmem.Cost_model.seeks c, Extmem.Device.simulated_ms d)
+  in
+  let seq_seeks, seq_ms = scan ~stride:1 in
+  let rand_seeks, rand_ms = scan ~stride:17 in
+  check Alcotest.int "one positioning seek" 1 seq_seeks;
+  check Alcotest.int "every strided access seeks" 64 rand_seeks;
+  check Alcotest.bool "seeky pattern costs more" true (rand_ms > 10. *. seq_ms);
+  (* ssd narrows the gap: seeks are nearly free *)
+  let d = Extmem.Device.in_memory ~block_size:4 () in
+  ignore (Extmem.Device.allocate d 4);
+  let c = Extmem.Device.attach_cost ~params:Extmem.Cost_model.ssd d in
+  Extmem.Device.write_block d 3 (Bytes.make 4 'z');
+  check Alcotest.bool "ssd write charged" true (Extmem.Cost_model.elapsed_ms c < 1.)
+
+let test_pager_policies_same_contents () =
+  (* LRU and Clock evict different frames but must produce identical
+     final device contents under the same write workload *)
+  let run policy =
+    let d = Extmem.Device.in_memory ~block_size:4 () in
+    ignore (Extmem.Device.allocate d 16);
+    let p = Extmem.Pager.create ~policy ~frames:3 d in
+    let rng = ref 123456789 in
+    for i = 0 to 499 do
+      rng := (!rng * 1103515245) + 12345;
+      let off = abs !rng mod 64 in
+      if i mod 3 = 0 then ignore (Extmem.Pager.read_byte p off)
+      else Extmem.Pager.write_byte p off (Char.chr (65 + (i mod 26)))
+    done;
+    Extmem.Pager.flush p;
+    Extmem.Device.contents d
+  in
+  check Alcotest.string "lru = clock"
+    (run Extmem.Pager.Lru) (run Extmem.Pager.Clock)
+
+let test_pager_clean_evictions_cost_no_writes () =
+  (* dirty-only write-back, asserted through the device's accounting:
+     a read-only workload that overflows the pool many times over must
+     not write a single block *)
+  let check_policy policy =
+    let d = Extmem.Device.in_memory ~block_size:4 () in
+    ignore (Extmem.Device.allocate d 32);
+    let p = Extmem.Pager.create ~policy ~frames:2 d in
+    Extmem.Io_stats.reset (Extmem.Device.stats d);
+    for i = 0 to 127 do
+      ignore (Extmem.Pager.read_byte p (i * 4 mod 128))
+    done;
+    Extmem.Pager.flush p;
+    let s = Extmem.Device.stats d in
+    check Alcotest.bool "evictions happened" true (Extmem.Pager.misses p > 2);
+    check Alcotest.int "clean evictions write nothing" 0 s.Extmem.Io_stats.writes;
+    (* one dirty byte: exactly the dirty frame is written back *)
+    Extmem.Pager.write_byte p 0 '!';
+    ignore (Extmem.Pager.read_byte p 8);
+    ignore (Extmem.Pager.read_byte p 16);
+    Extmem.Pager.flush p;
+    check Alcotest.int "only the dirty frame written" 1 s.Extmem.Io_stats.writes
+  in
+  check_policy Extmem.Pager.Lru;
+  check_policy Extmem.Pager.Clock
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "extmem"
@@ -890,6 +1071,15 @@ let () =
           Alcotest.test_case "file backend" `Quick test_device_file;
           Alcotest.test_case "fault injection" `Quick test_device_fault_injection;
         ] );
+      ( "stack",
+        [
+          Alcotest.test_case "layers compose" `Quick test_layers_compose;
+          Alcotest.test_case "spec roundtrip" `Quick test_device_spec_roundtrip;
+          Alcotest.test_case "spec malformed" `Quick test_device_spec_malformed;
+          Alcotest.test_case "spec build" `Quick test_device_spec_build;
+          Alcotest.test_case "faulty deterministic" `Quick test_faulty_deterministic;
+          Alcotest.test_case "cost layer" `Quick test_cost_layer;
+        ] );
       ( "streams",
         [
           Alcotest.test_case "roundtrip" `Quick test_stream_roundtrip;
@@ -921,6 +1111,8 @@ let () =
           Alcotest.test_case "clock basics" `Quick (pager_test Extmem.Pager.Clock);
           Alcotest.test_case "lru eviction order" `Quick test_pager_lru_eviction_order;
           Alcotest.test_case "write extends device" `Quick test_pager_write_extends_device;
+          Alcotest.test_case "policies agree on contents" `Quick test_pager_policies_same_contents;
+          Alcotest.test_case "dirty-only writeback" `Quick test_pager_clean_evictions_cost_no_writes;
           qcheck prop_pager_matches_device;
         ] );
       ( "btree",

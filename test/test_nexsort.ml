@@ -462,13 +462,15 @@ let test_sort_input_fault_surfaces () =
   let config = tiny_config () in
   let input = Extmem.Device.of_string ~block_size:config.Config.block_size xml in
   let output = Extmem.Device.in_memory ~block_size:config.Config.block_size () in
-  Extmem.Device.set_fault input (Some (fun op i -> op = Extmem.Device.Read && i = 2));
+  let armed = ref true in
+  Extmem.Device.push_layer input
+    (Extmem.Layer.fault_hook (fun op i -> !armed && op = Extmem.Backend.Read && i = 2));
   (try
      ignore (Nexsort.sort_device ~config ~ordering:by_id ~input ~output ());
      Alcotest.fail "expected Device.Fault"
    with Extmem.Device.Fault (Extmem.Device.Read, 2) -> ());
-  (* clearing the fault lets the same devices finish the job *)
-  Extmem.Device.set_fault input None;
+  (* disarming the fault layer lets the same devices finish the job *)
+  armed := false;
   let output2 = Extmem.Device.in_memory ~block_size:config.Config.block_size () in
   let r = Nexsort.sort_device ~config ~ordering:by_id ~input ~output:output2 () in
   check Alcotest.bool "recovered" true (r.Nexsort.elements > 0)
