@@ -18,6 +18,7 @@ module Ordering = Nexsort.Ordering
 
 let quick = ref false
 let cost = ref false
+let metrics_file = ref None
 
 (* --cost: put a simulated-time (hdd) layer on every device — the
    endpoints below and, via the config's device spec, the sorters'
@@ -476,7 +477,10 @@ let motivation () =
         n_employees naive_io naive_s indexed_io indexed_s sorted_io sm_s
         (float_of_int naive_io /. float_of_int sorted_io);
       Printf.printf "%10s naive access pattern on the right document: %s\n" ""
-        (Format.asprintf "%a" Extmem.Trace.pp_summary seeks))
+        (Format.asprintf "%a" Extmem.Trace.pp_summary seeks);
+      Printf.printf "%10s index buffer pool: %d hits, %d misses, %d evictions, %d writebacks\n" ""
+        indexed.Xmerge.Indexed_merge.pager_hits indexed.Xmerge.Indexed_merge.pager_misses
+        indexed.Xmerge.Indexed_merge.pager_evictions indexed.Xmerge.Indexed_merge.pager_writebacks)
     sizes
 
 (* ------------------------------------------------------------------ *)
@@ -569,6 +573,44 @@ let micro () =
     results
 
 (* ------------------------------------------------------------------ *)
+(* --metrics: a reference instrumented run whose JSON report exercises the
+   whole reporting path; validate-metrics re-parses such a file and checks
+   the §4.2 per-phase I/O breakdown is present (the CI smoke test) *)
+
+let write_metrics path =
+  let doc, _ = fig5_doc () in
+  let config = Config.make ~block_size:1024 ~memory_blocks:16 () in
+  let input = with_block_size 1024 doc in
+  let output =
+    maybe_costed (Extmem.Device.in_memory ~name:"out" ~block_size:1024 ())
+  in
+  let report = Nexsort.sort_device ~config ~ordering ~input ~output () in
+  Obs.Report.write_file (Nexsort.metrics_report ~tool:"bench" ~config report) path;
+  Printf.printf "\nwrote metrics report: %s\n" path
+
+let validate_metrics path =
+  let ic = open_in_bin path in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let json = Obs.Json.of_string s in
+  let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("validate-metrics: " ^ m); exit 1) fmt in
+  let require name parent ctx =
+    match Obs.Json.member name parent with
+    | Some j -> j
+    | None -> fail "missing %s key %S" ctx name
+  in
+  List.iter
+    (fun k -> ignore (require k json "top-level"))
+    [ "schema_version"; "tool"; "config"; "counts"; "io"; "pager"; "phases"; "metrics"; "timing" ];
+  let io = require "io" json "top-level" in
+  (* the paper's §4.2 decomposition: every phase of the I/O bill *)
+  List.iter
+    (fun k -> ignore (require k io "io"))
+    [ "input"; "subtree_sorts"; "stack_paging"; "runs"; "output"; "total" ];
+  Printf.printf "validate-metrics: %s OK\n" path
 
 let experiments =
   [
@@ -589,20 +631,32 @@ let experiments =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let args =
-    List.filter
-      (fun a ->
-        if a = "--quick" then begin
-          quick := true;
-          false
-        end
-        else if a = "--cost" then begin
-          cost := true;
-          false
-        end
-        else a <> "--")
-      args
+  let rec parse = function
+    | [] -> []
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | "--cost" :: rest ->
+        cost := true;
+        parse rest
+    | "--metrics" :: file :: rest ->
+        metrics_file := Some file;
+        parse rest
+    | "--metrics" :: [] ->
+        prerr_endline "--metrics requires a file argument";
+        exit 2
+    | "--" :: rest -> parse rest
+    | a :: rest -> a :: parse rest
   in
+  let args = parse args in
+  match args with
+  | "validate-metrics" :: paths ->
+      if paths = [] then begin
+        prerr_endline "validate-metrics requires at least one file";
+        exit 2
+      end;
+      List.iter validate_metrics paths
+  | args ->
   let selected =
     match args with
     | [] -> List.filter (fun (n, _) -> n <> "micro") experiments
@@ -619,4 +673,5 @@ let () =
   in
   let t0 = Unix.gettimeofday () in
   List.iter (fun (_, f) -> f ()) selected;
+  Option.iter write_metrics !metrics_file;
   Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

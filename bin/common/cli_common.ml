@@ -105,3 +105,19 @@ let device_term =
 let pp_io name (s : Extmem.Io_stats.t) =
   Printf.eprintf "  %-24s %8d reads %8d writes\n" name s.Extmem.Io_stats.reads
     s.Extmem.Io_stats.writes
+
+let pp_pager name ~hits ~misses ~evictions ~writebacks =
+  Printf.eprintf "  %-24s %8d hits  %8d misses  %8d evictions  %8d writebacks\n" name hits misses
+    evictions writebacks
+
+let metrics_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write a machine-readable JSON run report to $(docv) ($(b,-) for stdout; a \
+           $(b,.ndjson) path selects newline-delimited JSON, one section per line).")
+
+let write_metrics metrics report =
+  Option.iter (fun path -> Obs.Report.write_file report path) metrics

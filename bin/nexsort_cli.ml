@@ -18,7 +18,8 @@ let setup_logging verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
 
-let run verbose algorithm config ordering stats targets select device input_path output_path =
+let run verbose algorithm config ordering stats metrics targets select device input_path
+    output_path =
   setup_logging verbose;
   let xml = Cli_common.read_file input_path in
   let block_size = config.Nexsort.Config.block_size in
@@ -57,6 +58,7 @@ let run verbose algorithm config ordering stats targets select device input_path
     | Nexsort_algo ->
         let report = Nexsort.sort_device ~config ~ordering ~input ~output () in
         Cli_common.write_file output_path (Extmem.Device.contents output);
+        Cli_common.write_metrics metrics (Nexsort.metrics_report ~config report);
         if stats then begin
           Printf.eprintf "algorithm: %s\n" (describe algorithm);
           Printf.eprintf "%s\n" (Format.asprintf "%a" Nexsort.pp_report report);
@@ -65,6 +67,27 @@ let run verbose algorithm config ordering stats targets select device input_path
     | Mergesort ->
         let report = Baselines.Keypath_sort.sort_device ~config ~ordering ~input ~output () in
         Cli_common.write_file output_path (Extmem.Device.contents output);
+        Cli_common.write_metrics metrics
+          (let open Baselines.Keypath_sort in
+           let rep = Obs.Report.create ~tool:"nexsort-mergesort" in
+           Obs.Report.add rep "counts"
+             (Obs.Json.Obj
+                [ ("records", Obs.Json.Int report.records);
+                  ("record_bytes", Obs.Json.Int report.record_bytes);
+                  ("initial_runs", Obs.Json.Int report.initial_runs);
+                  ("merge_passes", Obs.Json.Int report.merge_passes) ]);
+           Obs.Report.add rep "io"
+             (Obs.Json.Obj
+                [ ("input", Obs.Json.io_stats report.input_io);
+                  ("temp", Obs.Json.io_stats report.temp_io);
+                  ("output", Obs.Json.io_stats report.output_io);
+                  ("total", Obs.Json.io_stats report.total_io) ]);
+           Obs.Report.add rep "phases" (Obs.Span.to_json report.spans);
+           Obs.Report.add rep "timing"
+             (Obs.Json.Obj
+                [ ("wall_s", Obs.Json.Float report.wall_seconds);
+                  ("simulated_ms", Obs.Json.Float report.simulated_ms) ]);
+           rep);
         if stats then begin
           Printf.eprintf "algorithm: %s\n" (describe algorithm);
           Printf.eprintf "records: %d (%d bytes), runs: %d, merge passes: %d, wall: %.3fs\n"
@@ -86,6 +109,23 @@ let run verbose algorithm config ordering stats targets select device input_path
           Baselines.Xsort.sort_device ~config ?selector ~ordering ~targets ~input ~output ()
         in
         Cli_common.write_file output_path (Extmem.Device.contents output);
+        Cli_common.write_metrics metrics
+          (let open Baselines.Xsort in
+           let rep = Obs.Report.create ~tool:"nexsort-xsort" in
+           Obs.Report.add rep "counts"
+             (Obs.Json.Obj
+                [ ("targets_sorted", Obs.Json.Int report.targets_sorted);
+                  ("children_sorted", Obs.Json.Int report.children_sorted);
+                  ("spilled_sorts", Obs.Json.Int report.spilled_sorts) ]);
+           Obs.Report.add rep "io"
+             (Obs.Json.Obj
+                [ ("input", Obs.Json.io_stats report.input_io);
+                  ("temp", Obs.Json.io_stats report.temp_io);
+                  ("output", Obs.Json.io_stats report.output_io);
+                  ("total", Obs.Json.io_stats report.total_io) ]);
+           Obs.Report.add rep "timing"
+             (Obs.Json.Obj [ ("wall_s", Obs.Json.Float report.wall_seconds) ]);
+           rep);
         if stats then begin
           Printf.eprintf "algorithm: %s\n" (describe algorithm);
           Printf.eprintf "targets sorted: %d, children sorted: %d, spilled sorts: %d, wall: %.3fs\n"
@@ -102,6 +142,11 @@ let run verbose algorithm config ordering stats targets select device input_path
             ~keep_whitespace:config.Nexsort.Config.keep_whitespace ordering xml
         in
         Cli_common.write_file output_path sorted;
+        Cli_common.write_metrics metrics
+          (let rep = Obs.Report.create ~tool:"nexsort-treesort" in
+           Obs.Report.add rep "timing"
+             (Obs.Json.Obj [ ("wall_s", Obs.Json.Float (Unix.gettimeofday () -. t0)) ]);
+           rep);
         if stats then
           Printf.eprintf "algorithm: %s\nwall: %.3fs\n" (describe algorithm)
             (Unix.gettimeofday () -. t0));
@@ -166,7 +211,7 @@ let cmd =
     Term.(
       ret
         (const run $ verbose_term $ algorithm_term $ Cli_common.config_term
-       $ Cli_common.ordering_term $ stats_term $ targets_term $ select_term
-       $ Cli_common.device_term $ input_term $ output_term))
+       $ Cli_common.ordering_term $ stats_term $ Cli_common.metrics_term $ targets_term
+       $ select_term $ Cli_common.device_term $ input_term $ output_term))
 
 let () = exit (Cmd.eval cmd)

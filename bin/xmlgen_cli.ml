@@ -9,21 +9,34 @@ let write_file path contents =
 (* Run [gen] and write the result to [output].  With [--device] the
    generator streams onto a spec-built device (exercising its stack) and
    the file is written from the device's contents. *)
-let emit device output gen =
-  let s, stats =
+let emit device metrics output gen =
+  let s, stats, dev_io =
     match device with
-    | None -> Xmlgen.Gen.to_string gen
+    | None ->
+        let s, stats = Xmlgen.Gen.to_string gen in
+        (s, stats, None)
     | Some spec ->
         let dev = Extmem.Device_spec.scratch spec ~name:"gen" ~block_size:4096 in
         let stats = Xmlgen.Gen.to_device dev gen in
-        (Extmem.Device.contents dev, stats)
+        (Extmem.Device.contents dev, stats, Some (Extmem.Io_stats.snapshot (Extmem.Device.stats dev)))
   in
   write_file output s;
+  Cli_common.write_metrics metrics
+    (let rep = Obs.Report.create ~tool:"nexsort-gen" in
+     Obs.Report.add rep "gen"
+       (Obs.Json.Obj
+          [ ("elements", Obs.Json.Int stats.Xmlgen.Gen.elements);
+            ("height", Obs.Json.Int stats.Xmlgen.Gen.height);
+            ("bytes", Obs.Json.Int stats.Xmlgen.Gen.bytes) ]);
+     (match dev_io with
+     | Some io -> Obs.Report.add rep "io" (Obs.Json.Obj [ ("device", Obs.Json.io_stats io) ])
+     | None -> ());
+     rep);
   Printf.eprintf "wrote %s: %d elements, height %d, %d bytes\n" output
     stats.Xmlgen.Gen.elements stats.Xmlgen.Gen.height stats.Xmlgen.Gen.bytes;
   `Ok ()
 
-let run seed avg_bytes height max_fanout max_elements fanouts company device output =
+let run seed avg_bytes height max_fanout max_elements fanouts company device metrics output =
   match (company, fanouts) with
   | true, _ when device <> None ->
       `Error (false, "--device is not supported with --company")
@@ -31,12 +44,19 @@ let run seed avg_bytes height max_fanout max_elements fanouts company device out
       let pair = Xmlgen.Company.generate ~seed () in
       write_file (output ^ ".personnel.xml") pair.Xmlgen.Company.personnel;
       write_file (output ^ ".payroll.xml") pair.Xmlgen.Company.payroll;
+      Cli_common.write_metrics metrics
+        (let rep = Obs.Report.create ~tool:"nexsort-gen" in
+         Obs.Report.add rep "company"
+           (Obs.Json.Obj
+              [ ("personnel_bytes", Obs.Json.Int (String.length pair.Xmlgen.Company.personnel));
+                ("payroll_bytes", Obs.Json.Int (String.length pair.Xmlgen.Company.payroll)) ]);
+         rep);
       Printf.eprintf "wrote %s.personnel.xml and %s.payroll.xml\n" output output;
       `Ok ()
   | false, Some fanouts ->
-      emit device output (fun sink -> Xmlgen.Gen.exact_shape ~seed ~avg_bytes ~fanouts sink)
+      emit device metrics output (fun sink -> Xmlgen.Gen.exact_shape ~seed ~avg_bytes ~fanouts sink)
   | false, None ->
-      emit device output (fun sink ->
+      emit device metrics output (fun sink ->
           Xmlgen.Gen.random_shape ~seed ~avg_bytes ~max_elements ~height ~max_fanout sink)
 
 let fanouts_term =
@@ -77,6 +97,7 @@ let cmd =
             & info [ "company" ]
                 ~doc:"Generate the Figure 1 personnel/payroll document pair instead.")
         $ Cli_common.device_term
+        $ Cli_common.metrics_term
         $ Arg.(
             value & opt string "generated.xml" & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Output file.")))
 

@@ -26,11 +26,74 @@ let ordering_term =
     & info [ "ordering"; "O" ] ~docv:"SPEC"
         ~doc:"Ordering specification (see $(b,nexsort --help)); must be scan-evaluable.")
 
-let run ordering presorted update_mode device left_path right_path output =
+let struct_merge_report ~tool (r : Xmerge.Struct_merge.report) =
+  let rep = Obs.Report.create ~tool in
+  Obs.Report.add rep "counts"
+    (Obs.Json.Obj
+       [ ("left_events", Obs.Json.Int r.Xmerge.Struct_merge.left_events);
+         ("right_events", Obs.Json.Int r.Xmerge.Struct_merge.right_events);
+         ("output_events", Obs.Json.Int r.Xmerge.Struct_merge.output_events);
+         ("matched_elements", Obs.Json.Int r.Xmerge.Struct_merge.matched_elements) ]);
+  Obs.Report.add rep "phases" (Obs.Span.to_json r.Xmerge.Struct_merge.spans);
+  rep
+
+let run ordering presorted update_mode indexed device metrics left_path right_path output =
   let left = read_file left_path and right = read_file right_path in
   try
     match device with
+    | _ when indexed && update_mode -> `Error (false, "--indexed is not supported with --update")
     | Some _ when update_mode -> `Error (false, "--device is not supported with --update")
+    | _ when indexed ->
+        (* Index-assisted nested-loop merge (§1's "additional index"): works
+           on unsorted inputs; the index's buffer pool is where the pager
+           statistics come from. *)
+        let spec = Option.value device ~default:Extmem.Device_spec.default in
+        let block_size = 4096 in
+        let load name s =
+          let d = Extmem.Device_spec.scratch spec ~name ~block_size in
+          Extmem.Device.load_string d s;
+          d
+        in
+        let ldev = load "left" left and rdev = load "right" right in
+        let odev = Extmem.Device_spec.scratch spec ~name:"output" ~block_size in
+        let r =
+          Xmerge.Indexed_merge.merge_devices ~ordering ~left:ldev ~right:rdev ~output:odev ()
+        in
+        write_file output (Extmem.Device.contents odev);
+        let open Xmerge.Indexed_merge in
+        Printf.eprintf "matched %d elements via a %d-entry index -> %s\n" r.matched_elements
+          r.index_entries output;
+        Cli_common.pp_io "left" r.left_io;
+        Cli_common.pp_io "right" r.right_io;
+        Cli_common.pp_io "index" r.index_io;
+        Cli_common.pp_io "output" r.output_io;
+        Cli_common.pp_pager "index pager" ~hits:r.pager_hits ~misses:r.pager_misses
+          ~evictions:r.pager_evictions ~writebacks:r.pager_writebacks;
+        Cli_common.write_metrics metrics
+          (let rep = Obs.Report.create ~tool:"nexsort-merge-indexed" in
+           Obs.Report.add rep "counts"
+             (Obs.Json.Obj
+                [ ("matched_elements", Obs.Json.Int r.matched_elements);
+                  ("index_entries", Obs.Json.Int r.index_entries) ]);
+           Obs.Report.add rep "io"
+             (Obs.Json.Obj
+                [ ("left", Obs.Json.io_stats r.left_io);
+                  ("right", Obs.Json.io_stats r.right_io);
+                  ("index", Obs.Json.io_stats r.index_io);
+                  ("index_build", Obs.Json.io_stats r.index_build_io);
+                  ("output", Obs.Json.io_stats r.output_io);
+                  ("total", Obs.Json.io_stats r.total_io) ]);
+           Obs.Report.add rep "pager"
+             (Obs.Json.Obj
+                [ ("hits", Obs.Json.Int r.pager_hits);
+                  ("misses", Obs.Json.Int r.pager_misses);
+                  ("evictions", Obs.Json.Int r.pager_evictions);
+                  ("writebacks", Obs.Json.Int r.pager_writebacks) ]);
+           Obs.Report.add rep "phases" (Obs.Span.to_json r.spans);
+           Obs.Report.add rep "timing"
+             (Obs.Json.Obj [ ("wall_s", Obs.Json.Float r.wall_seconds) ]);
+           rep);
+        `Ok ()
     | Some spec ->
         (* Device-resident path: sort both inputs (unless presorted), load
            them onto spec-built devices and run the single-pass device
@@ -53,6 +116,15 @@ let run ordering presorted update_mode device left_path right_path output =
         let odev = Extmem.Device_spec.scratch spec ~name:"output" ~block_size in
         let r = Xmerge.Struct_merge.merge_devices ~ordering ~left:ldev ~right:rdev ~output:odev () in
         write_file output (Extmem.Device.contents odev);
+        Cli_common.write_metrics metrics
+          (let rep = struct_merge_report ~tool:"nexsort-merge" r in
+           Obs.Report.add rep "io"
+             (Obs.Json.Obj
+                [ ("left", Obs.Json.io_stats (Extmem.Io_stats.snapshot (Extmem.Device.stats ldev)));
+                  ("right", Obs.Json.io_stats (Extmem.Io_stats.snapshot (Extmem.Device.stats rdev)));
+                  ("output", Obs.Json.io_stats (Extmem.Io_stats.snapshot (Extmem.Device.stats odev)))
+                ]);
+           rep);
         Printf.eprintf "matched %d elements, emitted %d events -> %s\n"
           r.Xmerge.Struct_merge.matched_elements r.Xmerge.Struct_merge.output_events output;
         let sim =
@@ -62,17 +134,26 @@ let run ordering presorted update_mode device left_path right_path output =
         if sim > 0. then Printf.eprintf "merge simulated io time: %.2fms\n" sim;
         `Ok ()
     | None ->
-    let result, summary =
+    let result, summary, rep =
       if update_mode then begin
         let out, r =
           if presorted then Xmerge.Batch_update.apply_strings ~ordering ~base:left ~updates:right
           else Xmerge.Batch_update.sort_and_apply_strings ~ordering ~base:left ~updates:right ()
         in
+        let rep =
+          struct_merge_report ~tool:"nexsort-merge-update" r.Xmerge.Batch_update.merge
+        in
+        Obs.Report.add rep "updates"
+          (Obs.Json.Obj
+             [ ("deletes", Obs.Json.Int r.Xmerge.Batch_update.deletes);
+               ("replaces", Obs.Json.Int r.Xmerge.Batch_update.replaces);
+               ("unmatched_deletes", Obs.Json.Int r.Xmerge.Batch_update.unmatched_deletes) ]);
         ( out,
           Printf.sprintf "matched %d, deletes %d, replaces %d, no-op deletes %d"
             r.Xmerge.Batch_update.merge.Xmerge.Struct_merge.matched_elements
             r.Xmerge.Batch_update.deletes r.Xmerge.Batch_update.replaces
-            r.Xmerge.Batch_update.unmatched_deletes )
+            r.Xmerge.Batch_update.unmatched_deletes,
+          rep )
       end
       else begin
         let out, r =
@@ -81,10 +162,12 @@ let run ordering presorted update_mode device left_path right_path output =
         in
         ( out,
           Printf.sprintf "matched %d elements, emitted %d events"
-            r.Xmerge.Struct_merge.matched_elements r.Xmerge.Struct_merge.output_events )
+            r.Xmerge.Struct_merge.matched_elements r.Xmerge.Struct_merge.output_events,
+          struct_merge_report ~tool:"nexsort-merge" r )
       end
     in
     write_file output result;
+    Cli_common.write_metrics metrics rep;
     Printf.eprintf "%s -> %s\n" summary output;
     `Ok ()
   with
@@ -114,7 +197,14 @@ let cmd =
                 ~doc:
                   "Treat the second document as a batch of updates (__op attributes: merge, \
                    delete, replace).")
+        $ Arg.(
+            value & flag
+            & info [ "indexed" ]
+                ~doc:
+                  "Use the index-assisted nested-loop merge instead of sort-then-merge (works on \
+                   unsorted inputs; reports the index buffer pool's hit/miss statistics).")
         $ Cli_common.device_term
+        $ Cli_common.metrics_term
         $ Arg.(required & pos 0 (some file) None & info [] ~docv:"LEFT")
         $ Arg.(required & pos 1 (some file) None & info [] ~docv:"RIGHT")
         $ Arg.(

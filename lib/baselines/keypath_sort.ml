@@ -15,6 +15,7 @@ type report = {
   total_io : Extmem.Io_stats.t;
   simulated_ms : float;
   wall_seconds : float;
+  spans : Obs.Span.t;
 }
 
 (* Pull-stream of encoded key-path records for the whole document. *)
@@ -118,14 +119,32 @@ let sort_device ?(config = Config.make ()) ~ordering ~input ~output () =
         Xmlio.Writer.event writer (Xmlio.Event.Text content)
     | Entry.End _ | Entry.Run_ptr _ -> assert false
   in
-  let stats =
-    Extsort.External_sort.sort ~budget ~temp ~cmp:Keypath.compare_encoded ~input:records
-      ~output:out_record ()
+  let io_meter () =
+    Extmem.Io_stats.add
+      (Extmem.Io_stats.snapshot (Extmem.Device.stats input))
+      (Extmem.Io_stats.add
+         (Extmem.Io_stats.snapshot (Extmem.Device.stats temp))
+         (Extmem.Io_stats.snapshot (Extmem.Device.stats output)))
   in
-  close_to 1;
-  Xmlio.Writer.close writer;
-  let extent = Extmem.Block_writer.close bw in
-  Extmem.Device.set_byte_length output extent.Extmem.Extent.bytes;
+  let sim_meter () =
+    Extmem.Device.simulated_ms input
+    +. Extmem.Device.simulated_ms temp
+    +. Extmem.Device.simulated_ms output
+  in
+  let spans = Obs.Spans.create ~io:io_meter ~sim_ms:sim_meter "keypath_sort" in
+  (* scan, run formation, merging and reconstruction are one pipeline here:
+     records are pulled from the parser and sorted output is reconstructed
+     on the fly, so they share one phase span *)
+  let stats =
+    Obs.Spans.with_span spans "scan_sort_reconstruct" (fun () ->
+        Extsort.External_sort.sort ~budget ~temp ~cmp:Keypath.compare_encoded ~input:records
+          ~output:out_record ())
+  in
+  Obs.Spans.with_span spans "output_flush" (fun () ->
+      close_to 1;
+      Xmlio.Writer.close writer;
+      let extent = Extmem.Block_writer.close bw in
+      Extmem.Device.set_byte_length output extent.Extmem.Extent.bytes);
   let input_io = Extmem.Io_stats.snapshot (Extmem.Device.stats input) in
   let temp_io = Extmem.Io_stats.snapshot (Extmem.Device.stats temp) in
   let output_io = Extmem.Io_stats.snapshot (Extmem.Device.stats output) in
@@ -144,6 +163,7 @@ let sort_device ?(config = Config.make ()) ~ordering ~input ~output () =
       +. Extmem.Device.simulated_ms temp
       +. Extmem.Device.simulated_ms output;
     wall_seconds = Unix.gettimeofday () -. t0;
+    spans = Obs.Spans.close spans;
   }
 
 let sort_string ?config ~ordering s =

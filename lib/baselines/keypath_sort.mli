@@ -27,6 +27,9 @@ type report = {
       (** simulated I/O time across input/temp/output when cost layers are
           attached; [0.] otherwise *)
   wall_seconds : float;
+  spans : Obs.Span.t;
+      (** phase spans under ["keypath_sort"]: [scan_sort_reconstruct] (the
+          fused pipeline) and [output_flush], with I/O deltas *)
 }
 
 val sort_device :

@@ -8,7 +8,21 @@ type t = {
   runs : Extmem.Run_store.t;
   temp_stats : Extmem.Io_stats.t;
   mutable temp_sim_ms : float;
+  registry : Obs.Registry.t;
 }
+
+(* Register every component's live counters as pull gauges — sampled only
+   when a report is rendered, so the sort itself never pays for them. *)
+let register_probes t =
+  let reg = t.registry in
+  Obs.Probe.ext_stack reg ~prefix:"data" t.data_stack;
+  Obs.Probe.ext_stack reg ~prefix:"path" t.path_stack;
+  Obs.Probe.ext_stack reg ~prefix:"out" t.out_stack;
+  Obs.Probe.run_store reg ~prefix:"store" t.runs;
+  Obs.Probe.device reg ~prefix:"data_stack" (Extmem.Ext_stack.device t.data_stack);
+  Obs.Probe.device reg ~prefix:"path_stack" (Extmem.Ext_stack.device t.path_stack);
+  Obs.Probe.device reg ~prefix:"out_stack" (Extmem.Ext_stack.device t.out_stack);
+  Obs.Probe.device reg ~prefix:"runs" (Extmem.Run_store.device t.runs)
 
 let create (config : Config.t) =
   let budget =
@@ -20,21 +34,26 @@ let create (config : Config.t) =
   Extmem.Memory_budget.reserve budget ~who:"data stack window" config.Config.data_stack_blocks;
   Extmem.Memory_budget.reserve budget ~who:"path stack window" config.Config.path_stack_blocks;
   Extmem.Memory_budget.reserve budget ~who:"output location stack window" 1;
-  {
-    config;
-    budget;
-    dict = Xmlio.Dict.create ();
-    data_stack =
-      Extmem.Ext_stack.create ~resident_blocks:config.Config.data_stack_blocks
-        (stack_dev "data-stack");
-    path_stack =
-      Extmem.Ext_stack.create ~resident_blocks:config.Config.path_stack_blocks
-        (stack_dev "path-stack");
-    out_stack = Extmem.Ext_stack.create ~resident_blocks:1 (stack_dev "output-location-stack");
-    runs = Extmem.Run_store.create (stack_dev "runs");
-    temp_stats = Extmem.Io_stats.create ();
-    temp_sim_ms = 0.;
-  }
+  let t =
+    {
+      config;
+      budget;
+      dict = Xmlio.Dict.create ();
+      data_stack =
+        Extmem.Ext_stack.create ~resident_blocks:config.Config.data_stack_blocks
+          (stack_dev "data-stack");
+      path_stack =
+        Extmem.Ext_stack.create ~resident_blocks:config.Config.path_stack_blocks
+          (stack_dev "path-stack");
+      out_stack = Extmem.Ext_stack.create ~resident_blocks:1 (stack_dev "output-location-stack");
+      runs = Extmem.Run_store.create (stack_dev "runs");
+      temp_stats = Extmem.Io_stats.create ();
+      temp_sim_ms = 0.;
+      registry = Obs.Registry.create ();
+    }
+  in
+  register_probes t;
+  t
 
 let arena_bytes t = Extmem.Memory_budget.available_bytes t.budget
 

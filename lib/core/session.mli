@@ -22,6 +22,11 @@ type t = {
   mutable temp_sim_ms : float;
       (** accumulated simulated time of retired scratch devices (when the
           configured device spec carries a [cost] layer) *)
+  registry : Obs.Registry.t;
+      (** pull-gauge metrics over every session component — stacks
+          ([stack.data.*], [stack.path.*], [stack.out.*]), run store
+          ([runs.store.*]) and their devices ([dev.*]); see
+          {!Obs.Probe} *)
 }
 
 val create : Config.t -> t

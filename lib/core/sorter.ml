@@ -20,6 +20,8 @@ type report = {
   total_io : Extmem.Io_stats.t;
   simulated_ms : float;
   wall_seconds : float;
+  spans : Obs.Span.t;
+  metrics : Obs.Json.t;
 }
 
 (* ---- path-stack frames ----
@@ -92,7 +94,10 @@ type state = {
   (* root fusion: when set, the root's final sort streams its encoded
      entries here instead of materialising the root run *)
   mutable fused_sink : (string -> unit) option;
+  spans : Obs.Spans.t;
 }
+
+let in_span st name f = Obs.Spans.with_span st.spans name f
 
 let push_data st entry =
   Extmem.Ext_stack.push st.session.Session.data_stack (Session.encode_entry st.session entry)
@@ -135,6 +140,7 @@ let maybe_degenerate st =
     if not below_limit then begin
     let region = Extmem.Ext_stack.length st.session.Session.data_stack - top.children_loc in
     if region >= Session.arena_bytes st.session && region > 0 then begin
+      in_span st "fragment_write" @@ fun () ->
       let entries = collect_entries st ~from_:top.children_loc in
       let forest =
         Subtree_sort.sort_forest ~depth_limit:(depth_limit st) (Subtree_sort.build_forest entries)
@@ -167,6 +173,7 @@ let external_scan_input st frame =
 (* Sort the complete subtree beginning at [frame.loc] and replace it by a
    run pointer (Figure 4, lines 10-12). *)
 let collapse st frame resolved_key =
+  in_span st "subtree_sorts" @@ fun () ->
   let data = st.session.Session.data_stack in
   let size = Extmem.Ext_stack.length data - frame.loc in
   let run =
@@ -198,6 +205,7 @@ let collapse st frame resolved_key =
    pointers (nothing deeper ever collapses), so it is copied verbatim —
    streaming, with no memory requirement. *)
 let collapse_copy st frame resolved_key =
+  in_span st "subtree_copy" @@ fun () ->
   let data = st.session.Session.data_stack in
   let size = Extmem.Ext_stack.length data - frame.loc in
   Log.debug (fun m ->
@@ -216,6 +224,7 @@ let collapse_copy st frame resolved_key =
    sink instead of materialising the root run (saves writing and re-reading
    the whole document once). *)
 let collapse_root_fused st frame sink =
+  in_span st "root_sort" @@ fun () ->
   let data = st.session.Session.data_stack in
   let size = Extmem.Ext_stack.length data - frame.loc in
   if frame.frags <> [] then begin
@@ -259,6 +268,7 @@ let collapse_root_fused st frame sink =
 (* Merge an element's fragments (plus its unsorted tail children) into its
    complete run. *)
 let collapse_fragments st frame resolved_key =
+  in_span st "fragment_merge" @@ fun () ->
   let data = st.session.Session.data_stack in
   let size = Extmem.Ext_stack.length data - frame.loc in
   let tail = collect_entries st ~from_:frame.children_loc in
@@ -432,6 +442,21 @@ let sort_device ?(config = Config.make ()) ~ordering ~input ~output () =
   Config.validate_ordering config ordering;
   let t0 = Unix.gettimeofday () in
   let session = Session.create config in
+  (* span meters: cumulative I/O and simulated time over every device the
+     sort touches, so phase deltas attribute all of it *)
+  let io_meter () =
+    Extmem.Io_stats.add
+      (Extmem.Io_stats.add
+         (Extmem.Io_stats.snapshot (Extmem.Device.stats input))
+         (Extmem.Io_stats.snapshot (Extmem.Device.stats output)))
+      (Session.total_io session)
+  in
+  let sim_meter () =
+    Session.simulated_ms session
+    +. Extmem.Device.simulated_ms input
+    +. Extmem.Device.simulated_ms output
+  in
+  let spans = Obs.Spans.create ~io:io_meter ~sim_ms:sim_meter "sort" in
   let st =
     {
       session;
@@ -449,6 +474,7 @@ let sort_device ?(config = Config.make ()) ~ordering ~input ~output () =
       n_fragment_runs = 0;
       n_fragment_merges = 0;
       fused_sink = None;
+      spans;
     }
   in
   let em = if config.Config.root_fusion then Some (make_emitter output) else None in
@@ -472,7 +498,7 @@ let sort_device ?(config = Config.make ()) ~ordering ~input ~output () =
         scan ()
   in
   Log.info (fun m -> m "sorting phase: %a" Config.pp config);
-  scan ();
+  in_span st "input_scan" scan;
   Log.info (fun m ->
       m "scan done: %d events, %d subtree sorts (%d in-memory, %d external), %d fragments"
         st.n_events st.n_subtree_sorts st.n_in_memory st.n_external st.n_fragment_runs);
@@ -483,7 +509,7 @@ let sort_device ?(config = Config.make ()) ~ordering ~input ~output () =
       (* root fusion already streamed the document out during the root's
          collapse; the data stack is empty *)
       assert (Extmem.Ext_stack.is_empty session.Session.data_stack);
-      finish_emitter em output
+      in_span st "output" (fun () -> finish_emitter em output)
   | None ->
       (* the data stack now holds the single run pointer of the root *)
       let root_run =
@@ -493,7 +519,7 @@ let sort_device ?(config = Config.make ()) ~ordering ~input ~output () =
             invalid_arg "Nexsort: internal error - root did not collapse"
       in
       assert (Extmem.Ext_stack.is_empty session.Session.data_stack);
-      output_phase st root_run output);
+      in_span st "output" (fun () -> output_phase st root_run output));
   let breakdown = Session.io_breakdown session in
   let input_io = Extmem.Io_stats.snapshot (Extmem.Device.stats input) in
   let output_io = Extmem.Io_stats.snapshot (Extmem.Device.stats output) in
@@ -519,6 +545,8 @@ let sort_device ?(config = Config.make ()) ~ordering ~input ~output () =
       +. Extmem.Device.simulated_ms input
       +. Extmem.Device.simulated_ms output;
     wall_seconds = Unix.gettimeofday () -. t0;
+    spans = Obs.Spans.close spans;
+    metrics = Obs.Registry.to_json session.Session.registry;
   }
 
 let sort_string ?config ~ordering s =
@@ -528,6 +556,92 @@ let sort_string ?config ~ordering s =
   let output = Config.scratch_device config ~name:"output" in
   let report = sort_device ~config ~ordering ~input ~output () in
   (Extmem.Device.contents output, report)
+
+(* ---- machine-readable report (--metrics) ---- *)
+
+let config_json (c : Config.t) =
+  let open Obs.Json in
+  Obj
+    [
+      ("block_size", Int c.Config.block_size);
+      ("memory_blocks", Int c.Config.memory_blocks);
+      ("threshold", Int c.Config.threshold);
+      ("depth_limit", (match c.Config.depth_limit with Some d -> Int d | None -> Null));
+      ("degeneration", Bool c.Config.degeneration);
+      ("root_fusion", Bool c.Config.root_fusion);
+      ( "encoding",
+        Str
+          (match c.Config.encoding with
+          | Config.Plain -> "plain"
+          | Config.Dict -> "dict"
+          | Config.Packed -> "packed") );
+      ("data_stack_blocks", Int c.Config.data_stack_blocks);
+      ("path_stack_blocks", Int c.Config.path_stack_blocks);
+      ("keep_whitespace", Bool c.Config.keep_whitespace);
+      ("device", Str (Extmem.Device_spec.to_string c.Config.device));
+    ]
+
+let metrics_report ?(tool = "nexsort") ~config r =
+  let component name =
+    match List.assoc_opt name r.breakdown with
+    | Some s -> s
+    | None -> Extmem.Io_stats.create ()
+  in
+  (* the paper's §4.2 phase attribution: each phase owns a device *)
+  let stack_paging =
+    Extmem.Io_stats.add
+      (Extmem.Io_stats.add (component "data stack") (component "path stack"))
+      (component "output location stack")
+  in
+  let rep = Obs.Report.create ~tool in
+  Obs.Report.add rep "config" (config_json config);
+  Obs.Report.add rep "counts"
+    (Obs.Json.Obj
+       [
+         ("events", Obs.Json.Int r.events);
+         ("elements", Obs.Json.Int r.elements);
+         ("text_nodes", Obs.Json.Int r.text_nodes);
+         ("height", Obs.Json.Int r.height);
+         ("subtree_sorts", Obs.Json.Int r.subtree_sorts);
+         ("in_memory_sorts", Obs.Json.Int r.in_memory_sorts);
+         ("external_sorts", Obs.Json.Int r.external_sorts);
+         ("fragment_runs", Obs.Json.Int r.fragment_runs);
+         ("fragment_merges", Obs.Json.Int r.fragment_merges);
+         ("runs_created", Obs.Json.Int r.runs_created);
+         ("run_blocks", Obs.Json.Int r.run_blocks);
+       ]);
+  Obs.Report.add rep "io"
+    (Obs.Json.Obj
+       [
+         ("input", Obs.Json.io_stats r.input_io);
+         ("subtree_sorts", Obs.Json.io_stats (component "scratch"));
+         ("stack_paging", Obs.Json.io_stats stack_paging);
+         ("runs", Obs.Json.io_stats (component "runs"));
+         ("output", Obs.Json.io_stats r.output_io);
+         ("total", Obs.Json.io_stats r.total_io);
+         ( "components",
+           Obs.Json.Obj (List.map (fun (n, s) -> (n, Obs.Json.io_stats s)) r.breakdown) );
+       ]);
+  (* the NEXSORT pipeline is purely streaming — no buffer pool — but the
+     section is always present so report consumers see a stable schema;
+     paged algorithms (indexed merge) fill it in *)
+  Obs.Report.add rep "pager"
+    (Obs.Json.Obj
+       [
+         ("hits", Obs.Json.Int 0);
+         ("misses", Obs.Json.Int 0);
+         ("evictions", Obs.Json.Int 0);
+         ("writebacks", Obs.Json.Int 0);
+       ]);
+  Obs.Report.add rep "phases" (Obs.Span.to_json r.spans);
+  Obs.Report.add rep "metrics" r.metrics;
+  Obs.Report.add rep "timing"
+    (Obs.Json.Obj
+       [
+         ("wall_s", Obs.Json.Float r.wall_seconds);
+         ("simulated_ms", Obs.Json.Float r.simulated_ms);
+       ]);
+  rep
 
 let pp_report ppf r =
   Format.fprintf ppf

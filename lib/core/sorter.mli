@@ -46,6 +46,13 @@ type report = {
       (** simulated I/O time (session + input + output devices) when cost
           layers are attached; [0.] otherwise *)
   wall_seconds : float;
+  spans : Obs.Span.t;
+      (** phase span tree rooted at ["sort"]: [input_scan] (with nested
+          [subtree_sorts] / [fragment_write] / [fragment_merge] /
+          [root_sort]) and [output], each with wall time and I/O deltas *)
+  metrics : Obs.Json.t;
+      (** final values of the session's metric registry (stack paging
+          counters, run-store gauges, per-device I/O) *)
 }
 
 val sort_device :
@@ -69,3 +76,12 @@ val sort_string :
 (** Convenience wrapper over in-memory devices. *)
 
 val pp_report : Format.formatter -> report -> unit
+
+val metrics_report : ?tool:string -> config:Config.t -> report -> Obs.Report.t
+(** The machine-readable run report behind [--metrics]: sections [config]
+    (parameter echo), [counts], [io] (the §4.2 per-phase breakdown —
+    [input] / [subtree_sorts] / [stack_paging] / [runs] / [output] — plus
+    [total] and the raw per-component stats), [pager] (always present;
+    zero for the streaming NEXSORT pipeline), [phases] (the span tree),
+    [metrics] (registry dump) and [timing].  [tool] defaults to
+    ["nexsort"]. *)

@@ -11,25 +11,33 @@ type t = {
   mutable logical_len : int option;
   base : Backend.t;       (* the raw store; bypassed only by [contents]/preload *)
   mutable top : Backend.t;  (* base under the middleware stack *)
-  mutable layer_names : string list;  (* outermost first *)
+  mutable stack : Layer.t list;  (* outermost first; last is the counted layer *)
   stats : Io_stats.t;
   mutable cost : Cost_model.t option;
 }
 
+(* Rebuilding re-runs each layer's [wrap]; layers keep their state in the
+   layer value (see Layer), so a rebuild changes no observable counts. *)
+let rebuild d = d.top <- Layer.apply d.stack d.base
+
 let of_backend ?(layers = []) base =
   let stats = Io_stats.create () in
-  let top = Layer.apply layers (Layer.apply [ Layer.counted stats ] base) in
-  {
-    name = base.Backend.name;
-    block_size = base.Backend.block_size;
-    blocks = 0;
-    logical_len = None;
-    base;
-    top;
-    layer_names = List.map Layer.name layers @ [ "stats" ];
-    stats;
-    cost = None;
-  }
+  let stack = layers @ [ Layer.counted stats ] in
+  let d =
+    {
+      name = base.Backend.name;
+      block_size = base.Backend.block_size;
+      blocks = 0;
+      logical_len = None;
+      base;
+      top = base;
+      stack;
+      stats;
+      cost = None;
+    }
+  in
+  rebuild d;
+  d
 
 let in_memory ?(name = "mem") ~block_size () =
   of_backend (Backend.mem ~name ~block_size ())
@@ -37,8 +45,16 @@ let in_memory ?(name = "mem") ~block_size () =
 let file ?name ~block_size ~path () = of_backend (Backend.file ?name ~block_size ~path ())
 
 let push_layer d layer =
-  d.top <- Layer.apply [ layer ] d.top;
-  d.layer_names <- Layer.name layer :: d.layer_names
+  d.stack <- layer :: d.stack;
+  rebuild d
+
+let remove_layer d layer =
+  if List.memq layer d.stack then begin
+    d.stack <- List.filter (fun l -> not (l == layer)) d.stack;
+    rebuild d;
+    true
+  end
+  else false
 
 let attach_cost ?params d =
   let c = Cost_model.create ?params () in
@@ -61,7 +77,7 @@ let set_byte_length d n = d.logical_len <- Some n
 
 let stats d = d.stats
 
-let layers d = d.layer_names
+let layers d = List.map Layer.name d.stack
 
 let cost d = d.cost
 

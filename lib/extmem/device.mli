@@ -58,6 +58,13 @@ val push_layer : t -> Layer.t -> unit
 (** Stack one more middleware layer on top of the device's current stack.
     The new layer sees each subsequent I/O first. *)
 
+val remove_layer : t -> Layer.t -> bool
+(** Remove a previously pushed layer (compared by physical equality) from
+    anywhere in the stack, rebuilding the stack without it.  Returns
+    [false] when the layer is not on this device.  Layers keep their state
+    in the layer value, so the surviving layers observe no discontinuity.
+    {!Trace.detach} is built on this. *)
+
 val attach_cost : ?params:Cost_model.params -> t -> Cost_model.t
 (** Push a {!Layer.costed} layer with a fresh meter and return the meter;
     {!simulated_ms} reports its elapsed time from now on. *)

@@ -22,6 +22,12 @@ type t = {
   mutable flushed : int;   (* device allocation frontier, in blocks *)
   scratch : bytes;         (* for reads that bypass the window *)
   mutable scratch_idx : int; (* block currently in scratch, -1 = none *)
+  (* paging metrics (see Obs.Probe.ext_stack) *)
+  mutable pushes : int;
+  mutable pops : int;
+  mutable page_ins : int;    (* device reads back into the window/scratch *)
+  mutable writebacks : int;  (* evicted or spilled blocks written out *)
+  mutable high_water : int;  (* max logical length ever, bytes *)
 }
 
 let create ?name:_ ?(resident_blocks = 1) dev =
@@ -37,6 +43,11 @@ let create ?name:_ ?(resident_blocks = 1) dev =
     flushed = 0;
     scratch = Bytes.create bs;
     scratch_idx = -1;
+    pushes = 0;
+    pops = 0;
+    page_ins = 0;
+    writebacks = 0;
+    high_water = 0;
   }
 
 let length st = st.len
@@ -48,6 +59,16 @@ let resident_blocks st = Deque.length st.resident
 let io_stats st = Device.stats st.dev
 
 let device st = st.dev
+
+let pushes st = st.pushes
+
+let pops st = st.pops
+
+let page_ins st = st.page_ins
+
+let writebacks st = st.writebacks
+
+let high_water st = st.high_water
 
 (* Block index just past the resident window. *)
 let back_limit st = st.front_idx + Deque.length st.resident
@@ -67,6 +88,7 @@ let flush_block st idx frame =
     st.flushed <- st.flushed + 1
   done;
   Device.write_block st.dev idx frame.data;
+  st.writebacks <- st.writebacks + 1;
   frame.dirty <- false
 
 let evict_front st =
@@ -87,17 +109,22 @@ let page_in_front st =
   let b = st.front_idx - 1 in
   assert (b >= 0);
   let data = Bytes.create st.bs in
-  if b < st.flushed then Device.read_block st.dev b data;
+  if b < st.flushed then begin
+    Device.read_block st.dev b data;
+    st.page_ins <- st.page_ins + 1
+  end;
   Deque.push_front st.resident { data; dirty = false };
   st.front_idx <- b
 
 let append_back st =
   let b = back_limit st in
   let data = Bytes.create st.bs in
-  if b < st.flushed && b * st.bs < st.len then
+  if b < st.flushed && b * st.bs < st.len then begin
     (* The block holds live bytes below [len] that were flushed earlier;
        re-read so they survive the coming writes. *)
     Device.read_block st.dev b data;
+    st.page_ins <- st.page_ins + 1
+  end;
   Deque.push_back st.resident { data; dirty = false }
 
 (* Ensure the block containing the next byte to write is resident. *)
@@ -122,6 +149,7 @@ let append_substring st s off n =
       Bytes.blit_string s off frame.data within k;
       frame.dirty <- true;
       st.len <- st.len + k;
+      if st.len > st.high_water then st.high_water <- st.len;
       go (off + k) (n - k)
     end
   in
@@ -142,6 +170,7 @@ let push st payload =
   Codec.put_u32 buf (String.length payload);
   let framed = Buffer.contents buf in
   append_substring st framed 0 (String.length framed);
+  st.pushes <- st.pushes + 1;
   st.scratch_idx <- -1
 
 (* Copy [n] bytes starting at logical offset [pos] into [dst.(dst_off..)],
@@ -157,7 +186,10 @@ let make_resident st b =
   while b >= back_limit st do
     let nb = back_limit st in
     let data = Bytes.create st.bs in
-    if nb < st.flushed then Device.read_block st.dev nb data;
+    if nb < st.flushed then begin
+      Device.read_block st.dev nb data;
+      st.page_ins <- st.page_ins + 1
+    end;
     Deque.push_back st.resident { data; dirty = false }
   done
 
@@ -204,6 +236,7 @@ let read_top_entry st =
 let pop st =
   let payload, start = read_top_entry st in
   truncate_to st start;
+  st.pops <- st.pops + 1;
   payload
 
 let top st =
@@ -220,6 +253,7 @@ let read_byte_scanning st pos =
     if st.scratch_idx <> b then begin
       assert (b < st.flushed);
       Device.read_block st.dev b st.scratch;
+      st.page_ins <- st.page_ins + 1;
       st.scratch_idx <- b
     end;
     Bytes.get st.scratch (pos mod st.bs)

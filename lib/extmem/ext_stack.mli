@@ -86,3 +86,23 @@ val device : t -> Device.t
 val io_stats : t -> Io_stats.t
 (** The underlying device's counters: every page-in is a read, every
     dirty eviction a write. *)
+
+(** {2 Paging metrics}
+
+    Plain counters over the stack's life, read by [Obs.Probe.ext_stack]. *)
+
+val pushes : t -> int
+(** Entries pushed. *)
+
+val pops : t -> int
+(** Entries popped (scans and {!truncate_to} are not pops). *)
+
+val page_ins : t -> int
+(** Blocks read back from the device — into the resident window or the
+    scan scratch buffer. *)
+
+val writebacks : t -> int
+(** Blocks written to the device (dirty evictions and spills). *)
+
+val high_water : t -> int
+(** Largest byte length the stack ever reached. *)

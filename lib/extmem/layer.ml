@@ -73,11 +73,14 @@ let uniform state =
 
 let faulty ?(seed = 42) ~p () =
   if p < 0. || p > 1. then invalid_arg "Layer.faulty: p must lie in [0,1]";
+  (* PRNG state lives in the layer value, not the [wrap] closure, so
+     rebuilding a device's stack (push/remove of another layer) continues
+     the fault sequence instead of restarting it *)
+  let state = ref (Int64.of_int seed) in
   {
     name = Printf.sprintf "faulty(p=%g,seed=%d)" p seed;
     wrap =
       (fun next ->
-        let state = ref (Int64.of_int seed) in
         let check op i = if uniform state < p then raise (Backend.Fault (op, i)) in
         on_io next
           ~read:(fun i buf ->
@@ -89,13 +92,15 @@ let faulty ?(seed = 42) ~p () =
   }
 
 let costed cost =
+  (* the simulated disk head: block index the previous access on this
+     device ended at; -1 = no access yet (first access seeks).  Held per
+     layer value (not per [wrap] call) so stack rebuilds keep the head
+     position. *)
+  let head = ref (-1) in
   {
     name = "cost";
     wrap =
       (fun next ->
-        (* the simulated disk head: block index the previous access on this
-           device ended at; -1 = no access yet (first access seeks) *)
-        let head = ref (-1) in
         let charge op i =
           Cost_model.charge cost ~sequential:(i = !head) op;
           head := i + 1

@@ -45,5 +45,6 @@ val faulty : ?seed:int -> p:float -> unit -> t
 val costed : Cost_model.t -> t
 (** Charge each I/O to the given cost meter, with a seek penalty whenever
     the access does not continue where the previous access on this device
-    left off.  Several devices may share one meter; each application of
-    this layer tracks its own head position. *)
+    left off.  Several devices may share one meter; each layer {e value}
+    tracks its own head position (so a device rebuilding its stack keeps
+    the simulated head where it was). *)

@@ -19,6 +19,8 @@ type t = {
   mutable hand : int; (* Clock hand *)
   mutable hits : int;
   mutable misses : int;
+  mutable evictions : int;
+  mutable writebacks : int;
 }
 
 let create ?(policy = Lru) ~frames dev =
@@ -34,6 +36,8 @@ let create ?(policy = Lru) ~frames dev =
     hand = 0;
     hits = 0;
     misses = 0;
+    evictions = 0;
+    writebacks = 0;
   }
 
 let device p = p.dev
@@ -42,10 +46,15 @@ let hits p = p.hits
 
 let misses p = p.misses
 
+let evictions p = p.evictions
+
+let writebacks p = p.writebacks
+
 let write_back p f =
   if f.dirty then begin
     Device.write_block p.dev f.block f.data;
-    f.dirty <- false
+    f.dirty <- false;
+    p.writebacks <- p.writebacks + 1
   end
 
 let victim_lru p =
@@ -90,6 +99,7 @@ let frame_for p block =
       let i = match p.policy with Lru -> victim_lru p | Clock -> victim_clock p in
       let f = p.frames.(i) in
       if f.block <> -1 then begin
+        p.evictions <- p.evictions + 1;
         write_back p f;
         Hashtbl.remove p.map f.block
       end;

@@ -51,3 +51,10 @@ val hits : t -> int
 
 val misses : t -> int
 (** Number of block accesses that required a device read. *)
+
+val evictions : t -> int
+(** Number of resident frames replaced to make room for another block. *)
+
+val writebacks : t -> int
+(** Number of dirty frames written back to the device (on eviction or
+    {!flush}). *)

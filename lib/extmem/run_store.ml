@@ -32,3 +32,5 @@ let run_extent t id =
 let open_run t id = Block_reader.of_extent t.dev (run_extent t id)
 
 let total_run_blocks t = Vec.fold_left (fun acc e -> acc + e.Extent.blocks) 0 t.extents
+
+let total_run_bytes t = Vec.fold_left (fun acc e -> acc + e.Extent.bytes) 0 t.extents

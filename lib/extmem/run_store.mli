@@ -37,3 +37,6 @@ val run_extent : t -> id -> Extent.t
 
 val total_run_blocks : t -> int
 (** Sum of block counts over all runs (Lemma 4.8 measures this). *)
+
+val total_run_bytes : t -> int
+(** Sum of payload byte counts over all runs. *)

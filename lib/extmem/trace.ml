@@ -9,15 +9,24 @@ type summary = {
 
 type t = {
   trace : int Vec.t;
+  dev : Device.t;
+  layer : Layer.t;
   mutable active : bool;
 }
 
 let attach dev =
-  let t = { trace = Vec.create (); active = true } in
-  Device.push_layer dev (Layer.observed (fun _op i -> if t.active then Vec.push t.trace i));
-  t
+  let trace = Vec.create () in
+  let layer = Layer.observed (fun _op i -> Vec.push trace i) in
+  Device.push_layer dev layer;
+  { trace; dev; layer; active = true }
 
-let detach t = t.active <- false
+(* Really pop the observer layer off the device stack (idempotent); a
+   detached trace keeps its recorded blocks but costs the device nothing. *)
+let detach t =
+  if t.active then begin
+    t.active <- false;
+    ignore (Device.remove_layer t.dev t.layer)
+  end
 
 let length t = Vec.length t.trace
 

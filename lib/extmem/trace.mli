@@ -27,8 +27,9 @@ val attach : Device.t -> t
     device, alongside fault-injection and cost layers. *)
 
 val detach : t -> unit
-(** Stop recording (the layer stays on the stack but becomes inert; the
-    recorded trace stays readable). *)
+(** Stop recording and remove the observation layer from the device's
+    stack ({!Device.remove_layer}), so repeated attach/detach cycles do
+    not grow the stack.  Idempotent; the recorded trace stays readable. *)
 
 val length : t -> int
 

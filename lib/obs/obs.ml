@@ -1,0 +1,709 @@
+(* Observability: metrics registry, phase spans, JSON run reports.
+   Everything here observes only — no device I/O ever happens in this
+   library, so instrumented and uninstrumented runs count identically. *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape buf s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s
+
+  let float_repr f =
+    if not (Float.is_finite f) then "null"
+    else
+      let s = Printf.sprintf "%.12g" f in
+      (* "%g" may print an integral float without a decimal point; that is
+         still a valid JSON number, so leave it alone *)
+      s
+
+  let to_string ?(minify = false) t =
+    let buf = Buffer.create 256 in
+    let indent n = Buffer.add_string buf (String.make (2 * n) ' ') in
+    let nl () = if not minify then Buffer.add_char buf '\n' in
+    let rec go depth t =
+      match t with
+      | Null -> Buffer.add_string buf "null"
+      | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+      | Int i -> Buffer.add_string buf (string_of_int i)
+      | Float f -> Buffer.add_string buf (float_repr f)
+      | Str s ->
+          Buffer.add_char buf '"';
+          escape buf s;
+          Buffer.add_char buf '"'
+      | List [] -> Buffer.add_string buf "[]"
+      | List items ->
+          Buffer.add_char buf '[';
+          nl ();
+          List.iteri
+            (fun i item ->
+              if i > 0 then begin
+                Buffer.add_char buf ',';
+                nl ()
+              end;
+              if not minify then indent (depth + 1);
+              go (depth + 1) item)
+            items;
+          nl ();
+          if not minify then indent depth;
+          Buffer.add_char buf ']'
+      | Obj [] -> Buffer.add_string buf "{}"
+      | Obj fields ->
+          Buffer.add_char buf '{';
+          nl ();
+          List.iteri
+            (fun i (k, v) ->
+              if i > 0 then begin
+                Buffer.add_char buf ',';
+                nl ()
+              end;
+              if not minify then indent (depth + 1);
+              Buffer.add_char buf '"';
+              escape buf k;
+              Buffer.add_string buf (if minify then "\":" else "\": ");
+              go (depth + 1) v)
+            fields;
+          nl ();
+          if not minify then indent depth;
+          Buffer.add_char buf '}'
+    in
+    go 0 t;
+    Buffer.contents buf
+
+  (* ---- parsing ---- *)
+
+  exception Bad of string
+
+  let of_string s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      if !pos < n && s.[!pos] = c then advance ()
+      else fail (Printf.sprintf "expected %C" c)
+    in
+    let literal lit v =
+      let l = String.length lit in
+      if !pos + l <= n && String.sub s !pos l = lit then begin
+        pos := !pos + l;
+        v
+      end
+      else fail ("expected " ^ lit)
+    in
+    let add_utf8 buf cp =
+      if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+      else if cp < 0x800 then begin
+        Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+        Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+      end
+      else if cp < 0x10000 then begin
+        Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+      end
+      else begin
+        Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+      end
+    in
+    let hex4 () =
+      if !pos + 4 > n then fail "truncated \\u escape";
+      let v = int_of_string ("0x" ^ String.sub s !pos 4) in
+      pos := !pos + 4;
+      v
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string";
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+            advance ();
+            if !pos >= n then fail "truncated escape";
+            let c = s.[!pos] in
+            advance ();
+            (match c with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'u' ->
+                let cp = hex4 () in
+                let cp =
+                  (* combine a surrogate pair when one follows *)
+                  if cp >= 0xD800 && cp <= 0xDBFF && !pos + 6 <= n
+                     && s.[!pos] = '\\' && s.[!pos + 1] = 'u'
+                  then begin
+                    pos := !pos + 2;
+                    let lo = hex4 () in
+                    0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00)
+                  end
+                  else cp
+                in
+                add_utf8 buf cp
+            | c -> fail (Printf.sprintf "bad escape \\%c" c));
+            go ()
+        | c ->
+            Buffer.add_char buf c;
+            advance ();
+            go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && is_num_char s.[!pos] do
+        advance ()
+      done;
+      let lit = String.sub s start (!pos - start) in
+      if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') lit then
+        match float_of_string_opt lit with
+        | Some f -> Float f
+        | None -> fail ("bad number " ^ lit)
+      else
+        match int_of_string_opt lit with
+        | Some i -> Int i
+        | None -> (
+            match float_of_string_opt lit with
+            | Some f -> Float f
+            | None -> fail ("bad number " ^ lit))
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            List []
+          end
+          else begin
+            let rec items acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  items (v :: acc)
+              | Some ']' ->
+                  advance ();
+                  List.rev (v :: acc)
+              | _ -> fail "expected ',' or ']'"
+            in
+            List (items [])
+          end
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else begin
+            let rec fields acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  fields ((k, v) :: acc)
+              | Some '}' ->
+                  advance ();
+                  List.rev ((k, v) :: acc)
+              | _ -> fail "expected ',' or '}'"
+            in
+            Obj (fields [])
+          end
+      | Some ('-' | '0' .. '9') -> parse_number ()
+      | Some c -> fail (Printf.sprintf "unexpected %C" c)
+    in
+    match parse_value () with
+    | v ->
+        skip_ws ();
+        if !pos <> n then failwith (Printf.sprintf "Obs.Json: trailing garbage at offset %d" !pos);
+        v
+    | exception Bad msg -> failwith ("Obs.Json: " ^ msg)
+
+  let member k = function
+    | Obj fields -> List.assoc_opt k fields
+    | Null | Bool _ | Int _ | Float _ | Str _ | List _ -> None
+
+  let io_stats (s : Extmem.Io_stats.t) =
+    Obj
+      [
+        ("reads", Int s.Extmem.Io_stats.reads);
+        ("writes", Int s.Extmem.Io_stats.writes);
+        ("total", Int (Extmem.Io_stats.total s));
+      ]
+end
+
+module Counter = struct
+  type t = {
+    name : string;
+    unit_ : string;
+    mutable value : int;
+  }
+
+  let make ~name ~unit_ = { name; unit_; value = 0 }
+  let name c = c.name
+  let unit_ c = c.unit_
+  let value c = c.value
+  let incr c = c.value <- c.value + 1
+  let add c n = c.value <- c.value + n
+end
+
+module Histogram = struct
+  (* log2 buckets: index 0 holds v <= 0, index i >= 1 holds
+     2^(i-1) <= v < 2^i.  max_int has 62 significant bits, so index 62 is
+     the last bucket and the array never overflows. *)
+  let n_buckets = 63
+
+  type t = {
+    name : string;
+    unit_ : string;
+    mutable count : int;
+    mutable sum : int;
+    mutable min_v : int;
+    mutable max_v : int;
+    counts : int array;
+  }
+
+  let make ~name ~unit_ =
+    { name; unit_; count = 0; sum = 0; min_v = 0; max_v = 0; counts = Array.make n_buckets 0 }
+
+  let name h = h.name
+  let unit_ h = h.unit_
+
+  let bucket_index v =
+    if v <= 0 then 0
+    else begin
+      let bits = ref 0 in
+      let v = ref v in
+      while !v > 0 do
+        incr bits;
+        v := !v lsr 1
+      done;
+      !bits
+    end
+
+  let observe h v =
+    if h.count = 0 then begin
+      h.min_v <- v;
+      h.max_v <- v
+    end
+    else begin
+      if v < h.min_v then h.min_v <- v;
+      if v > h.max_v then h.max_v <- v
+    end;
+    h.count <- h.count + 1;
+    h.sum <- h.sum + v;
+    let i = bucket_index v in
+    h.counts.(i) <- h.counts.(i) + 1
+
+  let count h = h.count
+  let sum h = h.sum
+  let min_value h = h.min_v
+  let max_value h = h.max_v
+
+  let bucket_bound i =
+    (* exclusive upper bound of bucket i; 1 lsl 62 would wrap, so the last
+       bucket reports max_int *)
+    if i = 0 then 1 else if i >= 62 then max_int else 1 lsl i
+
+  let buckets h =
+    let acc = ref [] in
+    for i = n_buckets - 1 downto 0 do
+      if h.counts.(i) > 0 then acc := (bucket_bound i, h.counts.(i)) :: !acc
+    done;
+    !acc
+end
+
+module Registry = struct
+  type kind =
+    | C of Counter.t
+    | G of (unit -> float) ref
+    | H of Histogram.t
+
+  type entry = {
+    e_name : string;
+    e_unit : string;
+    kind : kind;
+  }
+
+  type t = { mutable entries : entry list (* reversed *) }
+
+  let create () = { entries = [] }
+
+  let find t name = List.find_opt (fun e -> e.e_name = name) t.entries
+
+  let counter t ?(unit_ = "") name =
+    match find t name with
+    | Some { kind = C c; _ } -> c
+    | Some _ -> invalid_arg (Printf.sprintf "Obs.Registry: %S is not a counter" name)
+    | None ->
+        let c = Counter.make ~name ~unit_ in
+        t.entries <- { e_name = name; e_unit = unit_; kind = C c } :: t.entries;
+        c
+
+  let gauge t ?(unit_ = "") name read =
+    match find t name with
+    | Some { kind = G cell; _ } -> cell := read
+    | Some _ -> invalid_arg (Printf.sprintf "Obs.Registry: %S is not a gauge" name)
+    | None -> t.entries <- { e_name = name; e_unit = unit_; kind = G (ref read) } :: t.entries
+
+  let histogram t ?(unit_ = "") name =
+    match find t name with
+    | Some { kind = H h; _ } -> h
+    | Some _ -> invalid_arg (Printf.sprintf "Obs.Registry: %S is not a histogram" name)
+    | None ->
+        let h = Histogram.make ~name ~unit_ in
+        t.entries <- { e_name = name; e_unit = unit_; kind = H h } :: t.entries;
+        h
+
+  type snapshot = (string * float) list
+
+  let snapshot t =
+    List.rev_map
+      (fun e ->
+        match e.kind with
+        | C c -> [ (e.e_name, float_of_int (Counter.value c)) ]
+        | G read -> [ (e.e_name, !read ()) ]
+        | H h ->
+            [
+              (e.e_name ^ ".count", float_of_int (Histogram.count h));
+              (e.e_name ^ ".sum", float_of_int (Histogram.sum h));
+            ])
+      t.entries
+    |> List.concat
+
+  let diff now before =
+    List.map
+      (fun (name, v) ->
+        let b = Option.value (List.assoc_opt name before) ~default:0. in
+        (name, v -. b))
+      now
+
+  let num v =
+    (* counters and most gauges are integral: render them as JSON ints *)
+    if Float.is_integer v && Float.abs v < 1e15 then Json.Int (int_of_float v) else Json.Float v
+
+  let snapshot_to_json snap = Json.Obj (List.map (fun (k, v) -> (k, num v)) snap)
+
+  let snapshot_of_json = function
+    | Json.Obj fields ->
+        List.map
+          (fun (k, v) ->
+            match v with
+            | Json.Int i -> (k, float_of_int i)
+            | Json.Float f -> (k, f)
+            | _ -> failwith "Obs.Registry.snapshot_of_json: non-numeric value")
+          fields
+    | _ -> failwith "Obs.Registry.snapshot_of_json: expected an object"
+
+  let to_json t =
+    let entries = List.rev t.entries in
+    let section pick render =
+      List.filter_map
+        (fun e -> match pick e.kind with Some x -> Some (e.e_name, render e x) | None -> None)
+        entries
+    in
+    let with_unit e v = if e.e_unit = "" then v else Json.Obj [ ("value", v); ("unit", Json.Str e.e_unit) ] in
+    Json.Obj
+      [
+        ( "counters",
+          Json.Obj
+            (section
+               (function C c -> Some c | _ -> None)
+               (fun e c -> with_unit e (Json.Int (Counter.value c)))) );
+        ( "gauges",
+          Json.Obj
+            (section
+               (function G r -> Some r | _ -> None)
+               (fun e r -> with_unit e (num (!r ())))) );
+        ( "histograms",
+          Json.Obj
+            (section
+               (function H h -> Some h | _ -> None)
+               (fun e h ->
+                 Json.Obj
+                   ([
+                      ("count", Json.Int (Histogram.count h));
+                      ("sum", Json.Int (Histogram.sum h));
+                      ("min", Json.Int (Histogram.min_value h));
+                      ("max", Json.Int (Histogram.max_value h));
+                      ( "buckets",
+                        Json.List
+                          (List.map
+                             (fun (bound, c) ->
+                               Json.Obj [ ("lt", Json.Int bound); ("count", Json.Int c) ])
+                             (Histogram.buckets h)) );
+                    ]
+                   @ if e.e_unit = "" then [] else [ ("unit", Json.Str e.e_unit) ]))) );
+      ]
+end
+
+module Span = struct
+  type t = {
+    name : string;
+    mutable count : int;
+    mutable wall_s : float;
+    io : Extmem.Io_stats.t;
+    mutable sim_ms : float;
+    mutable children : t list; (* reversed while recording *)
+  }
+
+  let make name =
+    { name; count = 0; wall_s = 0.; io = Extmem.Io_stats.create (); sim_ms = 0.; children = [] }
+
+  let find t name = List.find_opt (fun c -> c.name = name) t.children
+
+  let rec to_json t =
+    Json.Obj
+      [
+        ("name", Json.Str t.name);
+        ("count", Json.Int t.count);
+        ("wall_s", Json.Float t.wall_s);
+        ("io", Json.io_stats t.io);
+        ("sim_ms", Json.Float t.sim_ms);
+        ("children", Json.List (List.map to_json t.children));
+      ]
+end
+
+module Spans = struct
+  type open_span = {
+    span : Span.t;
+    wall0 : float;
+    io0 : Extmem.Io_stats.t;
+    sim0 : float;
+  }
+
+  type t = {
+    clock : unit -> float;
+    io : unit -> Extmem.Io_stats.t;
+    sim_ms : unit -> float;
+    mutable stack : open_span list; (* innermost first; last is the root *)
+    mutable closed : bool;
+  }
+
+  let zero_io () = Extmem.Io_stats.create ()
+
+  let enter_span t span =
+    { span; wall0 = t.clock (); io0 = Extmem.Io_stats.snapshot (t.io ()); sim0 = t.sim_ms () }
+
+  let create ?(clock = Unix.gettimeofday) ?(io = zero_io) ?(sim_ms = fun () -> 0.) name =
+    let t = { clock; io; sim_ms; stack = []; closed = false } in
+    t.stack <- [ enter_span t (Span.make name) ];
+    t
+
+  let finalize t o =
+    let sp = o.span in
+    sp.Span.count <- sp.Span.count + 1;
+    sp.Span.wall_s <- sp.Span.wall_s +. (t.clock () -. o.wall0);
+    Extmem.Io_stats.accumulate ~into:sp.Span.io
+      (Extmem.Io_stats.diff (Extmem.Io_stats.snapshot (t.io ())) o.io0);
+    sp.Span.sim_ms <- sp.Span.sim_ms +. (t.sim_ms () -. o.sim0);
+    (* recording order reversed children; keep them in first-entry order *)
+    sp.Span.children <- List.rev sp.Span.children
+
+  let with_span t name f =
+    if t.closed then invalid_arg "Obs.Spans: recorder already closed";
+    let parent =
+      match t.stack with
+      | o :: _ -> o.span
+      | [] -> assert false
+    in
+    let span =
+      match Span.find parent name with
+      | Some sp ->
+          (* re-entered phase: children were re-reversed at the previous
+             exit; flip back so new sub-phases append correctly *)
+          sp.Span.children <- List.rev sp.Span.children;
+          sp
+      | None ->
+          let sp = Span.make name in
+          parent.Span.children <- sp :: parent.Span.children;
+          sp
+    in
+    let o = enter_span t span in
+    t.stack <- o :: t.stack;
+    Fun.protect
+      ~finally:(fun () ->
+        (match t.stack with
+        | top :: rest when top == o ->
+            t.stack <- rest;
+            finalize t top
+        | _ ->
+            (* scopes escaped out of order (an exception unwound through
+               several spans): close everything down to this span *)
+            let rec unwind () =
+              match t.stack with
+              | [] -> ()
+              | top :: rest ->
+                  t.stack <- rest;
+                  finalize t top;
+                  if not (top == o) then unwind ()
+            in
+            unwind ()))
+      f
+
+  let depth t = List.length t.stack
+
+  let close t =
+    if t.closed then invalid_arg "Obs.Spans: recorder already closed";
+    let rec unwind root =
+      match t.stack with
+      | [] -> root
+      | top :: rest ->
+          t.stack <- rest;
+          finalize t top;
+          unwind (Some top.span)
+    in
+    let root = unwind None in
+    t.closed <- true;
+    match root with
+    | Some r -> r
+    | None -> assert false
+end
+
+module Probe = struct
+  let device reg ~prefix dev =
+    let p name = Printf.sprintf "dev.%s.%s" prefix name in
+    let stats = Extmem.Device.stats dev in
+    Registry.gauge reg ~unit_:"blocks" (p "reads") (fun () ->
+        float_of_int stats.Extmem.Io_stats.reads);
+    Registry.gauge reg ~unit_:"blocks" (p "writes") (fun () ->
+        float_of_int stats.Extmem.Io_stats.writes);
+    Registry.gauge reg ~unit_:"blocks" (p "blocks") (fun () ->
+        float_of_int (Extmem.Device.block_count dev));
+    Registry.gauge reg ~unit_:"ms" (p "sim_ms") (fun () -> Extmem.Device.simulated_ms dev)
+
+  let pager reg ~prefix pg =
+    let p name = Printf.sprintf "pager.%s.%s" prefix name in
+    Registry.gauge reg ~unit_:"accesses" (p "hits") (fun () ->
+        float_of_int (Extmem.Pager.hits pg));
+    Registry.gauge reg ~unit_:"accesses" (p "misses") (fun () ->
+        float_of_int (Extmem.Pager.misses pg));
+    Registry.gauge reg ~unit_:"frames" (p "evictions") (fun () ->
+        float_of_int (Extmem.Pager.evictions pg));
+    Registry.gauge reg ~unit_:"blocks" (p "writebacks") (fun () ->
+        float_of_int (Extmem.Pager.writebacks pg))
+
+  let ext_stack reg ~prefix st =
+    let p name = Printf.sprintf "stack.%s.%s" prefix name in
+    Registry.gauge reg ~unit_:"entries" (p "pushes") (fun () ->
+        float_of_int (Extmem.Ext_stack.pushes st));
+    Registry.gauge reg ~unit_:"entries" (p "pops") (fun () ->
+        float_of_int (Extmem.Ext_stack.pops st));
+    Registry.gauge reg ~unit_:"blocks" (p "page_ins") (fun () ->
+        float_of_int (Extmem.Ext_stack.page_ins st));
+    Registry.gauge reg ~unit_:"blocks" (p "writebacks") (fun () ->
+        float_of_int (Extmem.Ext_stack.writebacks st));
+    Registry.gauge reg ~unit_:"bytes" (p "high_water") (fun () ->
+        float_of_int (Extmem.Ext_stack.high_water st))
+
+  let run_store reg ~prefix rs =
+    let p name = Printf.sprintf "runs.%s.%s" prefix name in
+    Registry.gauge reg ~unit_:"runs" (p "count") (fun () ->
+        float_of_int (Extmem.Run_store.run_count rs));
+    Registry.gauge reg ~unit_:"blocks" (p "blocks") (fun () ->
+        float_of_int (Extmem.Run_store.total_run_blocks rs));
+    Registry.gauge reg ~unit_:"bytes" (p "bytes") (fun () ->
+        float_of_int (Extmem.Run_store.total_run_bytes rs))
+end
+
+module Report = struct
+  let schema_version = 1
+
+  type t = {
+    tool : string;
+    mutable sections : (string * Json.t) list; (* reversed *)
+  }
+
+  let create ~tool = { tool; sections = [] }
+
+  let add t name json =
+    if List.mem_assoc name t.sections then
+      t.sections <- List.map (fun (n, v) -> if n = name then (n, json) else (n, v)) t.sections
+    else t.sections <- (name, json) :: t.sections
+
+  let to_json t =
+    Json.Obj
+      ([ ("schema_version", Json.Int schema_version); ("tool", Json.Str t.tool) ]
+      @ List.rev t.sections)
+
+  let to_string ?minify t = Json.to_string ?minify (to_json t)
+
+  let to_ndjson t =
+    let line (name, data) =
+      Json.to_string ~minify:true
+        (Json.Obj
+           [
+             ("schema_version", Json.Int schema_version);
+             ("tool", Json.Str t.tool);
+             ("section", Json.Str name);
+             ("data", data);
+           ])
+    in
+    String.concat "\n" (List.map line (List.rev t.sections)) ^ "\n"
+
+  let write_file ?(ndjson = false) t path =
+    let ndjson = ndjson || Filename.check_suffix path ".ndjson" in
+    let contents = if ndjson then to_ndjson t else to_string t ^ "\n" in
+    if path = "-" then (
+      print_string contents;
+      flush stdout)
+    else begin
+      let oc = open_out_bin path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+    end
+end

@@ -10,7 +10,12 @@ type report = {
   index_io : Extmem.Io_stats.t;
   output_io : Extmem.Io_stats.t;
   total_io : Extmem.Io_stats.t;
+  pager_hits : int;
+  pager_misses : int;
+  pager_evictions : int;
+  pager_writebacks : int;
   wall_seconds : float;
+  spans : Obs.Span.t;
 }
 
 (* index keys: (parent_off, child index), compared numerically so a range
@@ -103,19 +108,30 @@ let merge_devices ~ordering ~left ~right ~output () =
   (* larger blocks pack more index entries per page *)
   let index_dev = Extmem.Device_spec.(scratch default ~name:"index" ~block_size:4096) in
   let index = Extmem.Btree.create ~frames:8 ~cmp:compare_keys index_dev in
+  let io_meter () =
+    Extmem.Io_stats.add
+      (Extmem.Io_stats.add
+         (Extmem.Io_stats.snapshot (Extmem.Device.stats left))
+         (Extmem.Io_stats.snapshot (Extmem.Device.stats right)))
+      (Extmem.Io_stats.add
+         (Extmem.Io_stats.snapshot (Extmem.Device.stats index_dev))
+         (Extmem.Io_stats.snapshot (Extmem.Device.stats output)))
+  in
+  let spans = Obs.Spans.create ~io:io_meter "indexed_merge" in
   (* ---- build: one sequential pass over the right document ---- *)
   let entries = ref 0 in
-  Subdoc.walk right
-    ~on_element:(fun ~parent_off ~index:i ~name ~attrs ~off ~until ->
-      incr entries;
-      Extmem.Btree.insert index ~key:(encode_key parent_off i)
-        ~value:(encode_entry
-                  (Ielem { name; key = Subdoc.key_of ordering name attrs; attrs; off; until })))
-    ~on_text:(fun ~parent_off ~index:i ~off ~len ->
-      incr entries;
-      Extmem.Btree.insert index ~key:(encode_key parent_off i)
-        ~value:(encode_entry (Itext { off; len })));
-  Extmem.Btree.flush index;
+  Obs.Spans.with_span spans "index_build" (fun () ->
+      Subdoc.walk right
+        ~on_element:(fun ~parent_off ~index:i ~name ~attrs ~off ~until ->
+          incr entries;
+          Extmem.Btree.insert index ~key:(encode_key parent_off i)
+            ~value:(encode_entry
+                      (Ielem { name; key = Subdoc.key_of ordering name attrs; attrs; off; until })))
+        ~on_text:(fun ~parent_off ~index:i ~off ~len ->
+          incr entries;
+          Extmem.Btree.insert index ~key:(encode_key parent_off i)
+            ~value:(encode_entry (Itext { off; len })));
+      Extmem.Btree.flush index);
   let index_build_io = Extmem.Io_stats.snapshot (Extmem.Device.stats index_dev) in
   (* ---- merge: left streamed, right resolved through the index ---- *)
   let out = Extmem.Block_writer.create output in
@@ -157,9 +173,10 @@ let merge_devices ~ordering ~left ~right ~output () =
     Extmem.Block_writer.write_string out (Printf.sprintf "</%s>" lname)
   in
   (* the root's reference comes from the index's (-1, 0) entry *)
-  (match children_of index (-1) with
-  | [ Ielem root ] -> merge_elements 0 (root.attrs, root.off)
-  | _ -> invalid_arg "Indexed_merge: right document has no single root");
+  Obs.Spans.with_span spans "probe_merge" (fun () ->
+      match children_of index (-1) with
+      | [ Ielem root ] -> merge_elements 0 (root.attrs, root.off)
+      | _ -> invalid_arg "Indexed_merge: right document has no single root");
   let extent = Extmem.Block_writer.close out in
   Extmem.Device.set_byte_length output extent.Extmem.Extent.bytes;
   let left_io = Extmem.Io_stats.snapshot (Extmem.Device.stats left) in
@@ -177,7 +194,12 @@ let merge_devices ~ordering ~left ~right ~output () =
     total_io =
       Extmem.Io_stats.add left_io
         (Extmem.Io_stats.add right_io (Extmem.Io_stats.add index_io output_io));
+    pager_hits = Extmem.Pager.hits (Extmem.Btree.pager index);
+    pager_misses = Extmem.Pager.misses (Extmem.Btree.pager index);
+    pager_evictions = Extmem.Pager.evictions (Extmem.Btree.pager index);
+    pager_writebacks = Extmem.Pager.writebacks (Extmem.Btree.pager index);
     wall_seconds = Unix.gettimeofday () -. t0;
+    spans = Obs.Spans.close spans;
   }
 
 let merge_strings ~ordering ?(block_size = 1024) ?(device = Extmem.Device_spec.default) l r =

@@ -24,7 +24,14 @@ type report = {
   index_io : Extmem.Io_stats.t;        (** total index-device I/O *)
   output_io : Extmem.Io_stats.t;
   total_io : Extmem.Io_stats.t;
+  pager_hits : int;        (** index buffer-pool hits (the probe cost) *)
+  pager_misses : int;
+  pager_evictions : int;
+  pager_writebacks : int;
   wall_seconds : float;
+  spans : Obs.Span.t;
+      (** phase spans: [index_build] and [probe_merge] under
+          ["indexed_merge"], with per-phase I/O deltas *)
 }
 
 val merge_devices :

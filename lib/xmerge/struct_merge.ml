@@ -13,6 +13,7 @@ type report = {
   right_events : int;
   output_events : int;
   matched_elements : int;
+  spans : Obs.Span.t;
 }
 
 (* One-token-lookahead stream with sortedness checking. *)
@@ -87,9 +88,10 @@ let union_attrs left right =
   left @ List.filter (fun (k, _) -> not (List.mem_assoc k left)) right
 
 let merge_events ?(on_match = fun ~left_attrs:_ ~right_attrs:_ -> Merge)
-    ?(rewrite_attrs = fun attrs -> attrs) ~ordering ~left ~right ~emit () =
+    ?(rewrite_attrs = fun attrs -> attrs) ?io ~ordering ~left ~right ~emit () =
   if not (Ordering.all_scan_evaluable ordering) then
     invalid_arg "Struct_merge: ordering must be scan-evaluable";
+  let spans = Obs.Spans.create ?io "struct_merge" in
   let l = stream left and r = stream right in
   let output_events = ref 0 in
   let matched = ref 0 in
@@ -212,15 +214,17 @@ let merge_events ?(on_match = fun ~left_attrs:_ ~right_attrs:_ -> Merge)
     in
     go 0
   in
-  merge_matched ();
-  (match (peek l, peek r) with
-  | None, None -> ()
-  | _ -> raise (Not_sorted "trailing events after the root element"));
+  Obs.Spans.with_span spans "merge" (fun () ->
+      merge_matched ();
+      match (peek l, peek r) with
+      | None, None -> ()
+      | _ -> raise (Not_sorted "trailing events after the root element"));
   {
     left_events = l.consumed;
     right_events = r.consumed;
     output_events = !output_events;
     matched_elements = !matched;
+    spans = Obs.Spans.close spans;
   }
 
 let merge_strings ~ordering left right =
@@ -241,8 +245,15 @@ let merge_devices ~ordering ~left ~right ~output () =
   let pr = Xmlio.Parser.of_reader (Extmem.Block_reader.of_device right) in
   let bw = Extmem.Block_writer.create output in
   let writer = Xmlio.Writer.to_block_writer bw in
+  let io () =
+    Extmem.Io_stats.add
+      (Extmem.Io_stats.add
+         (Extmem.Io_stats.snapshot (Extmem.Device.stats left))
+         (Extmem.Io_stats.snapshot (Extmem.Device.stats right)))
+      (Extmem.Io_stats.snapshot (Extmem.Device.stats output))
+  in
   let report =
-    merge_events ~ordering
+    merge_events ~io ~ordering
       ~left:(fun () -> Xmlio.Parser.next pl)
       ~right:(fun () -> Xmlio.Parser.next pr)
       ~emit:(Xmlio.Writer.event writer) ()

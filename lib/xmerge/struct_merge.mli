@@ -31,11 +31,15 @@ type report = {
   right_events : int;
   output_events : int;
   matched_elements : int;
+  spans : Obs.Span.t;
+      (** the ["merge"] phase span under ["struct_merge"]: wall time, and
+          I/O delta when an [io] meter was supplied *)
 }
 
 val merge_events :
   ?on_match:(left_attrs:Xmlio.Event.attr list -> right_attrs:Xmlio.Event.attr list -> behaviour) ->
   ?rewrite_attrs:(Xmlio.Event.attr list -> Xmlio.Event.attr list) ->
+  ?io:(unit -> Extmem.Io_stats.t) ->
   ordering:Nexsort.Ordering.t ->
   left:(unit -> Xmlio.Event.t option) ->
   right:(unit -> Xmlio.Event.t option) ->
@@ -45,7 +49,9 @@ val merge_events :
 (** Merge two sorted event streams.  [on_match] decides what to do with a
     matched element pair (default: always [Merge]); [rewrite_attrs]
     post-processes attribute lists on emitted start tags (used by
-    {!Batch_update} to strip operation markers).  The roots must match.
+    {!Batch_update} to strip operation markers); [io] is an optional
+    cumulative I/O meter sampled around the merge for the report's span
+    (supplied by {!merge_devices}).  The roots must match.
     @raise Not_sorted / [Invalid_argument] as described above. *)
 
 val merge_strings :

@@ -13,4 +13,12 @@ fi
 dune build @all
 dune runtest
 
+# Bench smoke: a quick run must produce a metrics report that parses and
+# carries the paper's per-phase I/O breakdown (§4.2).  The validated
+# report is kept in-repo as BENCH_smoke.json so schema drift shows up in
+# review.
+dune exec bench/main.exe -- --quick --metrics /tmp/m.json > /dev/null
+dune exec bench/main.exe -- validate-metrics /tmp/m.json
+cp /tmp/m.json BENCH_smoke.json
+
 echo "check: OK"

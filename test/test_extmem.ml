@@ -438,6 +438,31 @@ let test_ext_stack_spills () =
   check Alcotest.bool "reads happened" true
     ((Extmem.Ext_stack.io_stats st).Extmem.Io_stats.reads > 0)
 
+let test_ext_stack_paging_counters () =
+  let d = Extmem.Device.in_memory ~block_size:16 () in
+  let st = Extmem.Ext_stack.create ~resident_blocks:1 d in
+  let n = 100 in
+  let entries = List.init n (fun i -> Printf.sprintf "entry-%03d" i) in
+  let framed = List.fold_left (fun a e -> a + Extmem.Ext_stack.framed_size e) 0 entries in
+  List.iter (Extmem.Ext_stack.push st) entries;
+  check Alcotest.int "pushes" n (Extmem.Ext_stack.pushes st);
+  check Alcotest.int "high water is the peak resident+spilled size" framed
+    (Extmem.Ext_stack.high_water st);
+  check Alcotest.bool "spilling counted as writebacks" true (Extmem.Ext_stack.writebacks st > 0);
+  check Alcotest.int "no page-ins yet" 0 (Extmem.Ext_stack.page_ins st);
+  for _ = 1 to n do
+    ignore (Extmem.Ext_stack.pop st)
+  done;
+  check Alcotest.int "pops" n (Extmem.Ext_stack.pops st);
+  check Alcotest.bool "popping pages spilled blocks back in" true
+    (Extmem.Ext_stack.page_ins st > 0);
+  (* the counters agree with the device-level I/O they describe *)
+  check Alcotest.int "writebacks = device writes" (Extmem.Ext_stack.writebacks st)
+    (Extmem.Ext_stack.io_stats st).Extmem.Io_stats.writes;
+  check Alcotest.int "page_ins = device reads" (Extmem.Ext_stack.page_ins st)
+    (Extmem.Ext_stack.io_stats st).Extmem.Io_stats.reads;
+  check Alcotest.int "high water unchanged by pops" framed (Extmem.Ext_stack.high_water st)
+
 let test_ext_stack_no_io_when_resident () =
   let d = Extmem.Device.in_memory ~block_size:4096 () in
   let st = Extmem.Ext_stack.create ~resident_blocks:1 d in
@@ -615,6 +640,27 @@ let test_pager_lru_eviction_order () =
   check Alcotest.int "block 0 still cached" misses_before (Extmem.Pager.misses p);
   ignore (Extmem.Pager.read_byte p 4);  (* block 1 was evicted: miss *)
   check Alcotest.int "block 1 missed" (misses_before + 1) (Extmem.Pager.misses p)
+
+let test_pager_eviction_writeback_counters () =
+  let d = Extmem.Device.in_memory ~block_size:4 () in
+  ignore (Extmem.Device.allocate d 10);
+  let p = Extmem.Pager.create ~policy:Extmem.Pager.Lru ~frames:2 d in
+  ignore (Extmem.Pager.read_byte p 0);   (* miss, empty frame *)
+  ignore (Extmem.Pager.read_byte p 4);   (* miss, empty frame *)
+  check Alcotest.int "no evictions while frames are free" 0 (Extmem.Pager.evictions p);
+  ignore (Extmem.Pager.read_byte p 8);   (* evicts clean block 0 *)
+  check Alcotest.int "clean eviction counted" 1 (Extmem.Pager.evictions p);
+  check Alcotest.int "clean eviction writes nothing" 0 (Extmem.Pager.writebacks p);
+  Extmem.Pager.write_byte p 4 'x';       (* dirty block 1, now MRU *)
+  ignore (Extmem.Pager.read_byte p 0);   (* evicts clean block 2 *)
+  check Alcotest.int "second clean eviction" 2 (Extmem.Pager.evictions p);
+  check Alcotest.int "still no writeback" 0 (Extmem.Pager.writebacks p);
+  ignore (Extmem.Pager.read_byte p 8);   (* evicts dirty block 1 *)
+  check Alcotest.int "dirty eviction counted" 3 (Extmem.Pager.evictions p);
+  check Alcotest.int "dirty eviction written back" 1 (Extmem.Pager.writebacks p);
+  Extmem.Pager.flush p;
+  check Alcotest.int "flush of clean frames writes nothing" 1 (Extmem.Pager.writebacks p);
+  check Alcotest.char "evicted write landed" 'x' (Extmem.Pager.read_byte p 4)
 
 let test_pager_write_extends_device () =
   let d = Extmem.Device.in_memory ~block_size:4 () in
@@ -823,6 +869,31 @@ let test_trace_empty () =
   let s = Extmem.Trace.summarize t in
   check Alcotest.int "no accesses" 0 s.Extmem.Trace.accesses;
   check (Alcotest.float 0.01) "fraction 0" 0.0 (Extmem.Trace.sequential_fraction s)
+
+let test_trace_detach_removes_layer () =
+  let d = Extmem.Device.of_string ~block_size:8 (String.make 64 'x') in
+  let base_layers = List.length (Extmem.Device.layers d) in
+  let buf = Bytes.create 8 in
+  (* repeated attach/detach must not leave inert observer layers behind *)
+  for _ = 1 to 10 do
+    let t = Extmem.Trace.attach d in
+    Extmem.Device.read_block d 0 buf;
+    Extmem.Trace.detach t;
+    (* detach is idempotent *)
+    Extmem.Trace.detach t
+  done;
+  check Alcotest.int "layer stack back to original size" base_layers
+    (List.length (Extmem.Device.layers d));
+  (* a detached trace no longer records, even while another is attached *)
+  let t1 = Extmem.Trace.attach d in
+  let t2 = Extmem.Trace.attach d in
+  Extmem.Trace.detach t1;
+  Extmem.Device.read_block d 1 buf;
+  check Alcotest.int "detached trace silent" 0 (Extmem.Trace.length t1);
+  check Alcotest.int "remaining trace records" 1 (Extmem.Trace.length t2);
+  Extmem.Trace.detach t2;
+  check Alcotest.int "stack clean after interleaved detach" base_layers
+    (List.length (Extmem.Device.layers d))
 
 (* ------------------------------------------------------------------ *)
 (* Memory_budget *)
@@ -1098,6 +1169,7 @@ let () =
           Alcotest.test_case "basic" `Quick test_ext_stack_basic;
           Alcotest.test_case "spills" `Quick test_ext_stack_spills;
           Alcotest.test_case "no io when resident" `Quick test_ext_stack_no_io_when_resident;
+          Alcotest.test_case "paging counters" `Quick test_ext_stack_paging_counters;
           Alcotest.test_case "large entry" `Quick test_ext_stack_large_entry;
           Alcotest.test_case "scan and truncate" `Quick test_ext_stack_scan_and_truncate;
           Alcotest.test_case "read_all_from" `Quick test_ext_stack_read_all_from;
@@ -1113,6 +1185,8 @@ let () =
           Alcotest.test_case "write extends device" `Quick test_pager_write_extends_device;
           Alcotest.test_case "policies agree on contents" `Quick test_pager_policies_same_contents;
           Alcotest.test_case "dirty-only writeback" `Quick test_pager_clean_evictions_cost_no_writes;
+          Alcotest.test_case "eviction/writeback counters" `Quick
+            test_pager_eviction_writeback_counters;
           qcheck prop_pager_matches_device;
         ] );
       ( "btree",
@@ -1132,6 +1206,7 @@ let () =
           Alcotest.test_case "sequential scan" `Quick test_trace_sequential_scan;
           Alcotest.test_case "random pattern" `Quick test_trace_random_pattern;
           Alcotest.test_case "empty" `Quick test_trace_empty;
+          Alcotest.test_case "detach removes the layer" `Quick test_trace_detach_removes_layer;
         ] );
       ( "memory_budget",
         [

@@ -1,0 +1,237 @@
+(* lib/obs: JSON codec, metrics registry, histograms, spans, reports. *)
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Json *)
+
+let test_json_roundtrip () =
+  let v =
+    Obs.Json.Obj
+      [
+        ("null", Obs.Json.Null);
+        ("t", Obs.Json.Bool true);
+        ("n", Obs.Json.Int (-42));
+        ("f", Obs.Json.Float 1.5);
+        ("s", Obs.Json.Str "a \"quoted\"\nline\twith \\ unicode \xc3\xa9");
+        ("l", Obs.Json.List [ Obs.Json.Int 1; Obs.Json.Obj []; Obs.Json.List [] ]);
+      ]
+  in
+  let reparse s = Obs.Json.of_string s in
+  check Alcotest.bool "pretty round-trip" true (reparse (Obs.Json.to_string v) = v);
+  check Alcotest.bool "minified round-trip" true
+    (reparse (Obs.Json.to_string ~minify:true v) = v)
+
+let test_json_numbers () =
+  check Alcotest.bool "int stays int" true (Obs.Json.of_string "17" = Obs.Json.Int 17);
+  check Alcotest.bool "dot makes float" true (Obs.Json.of_string "17.0" = Obs.Json.Float 17.);
+  check Alcotest.bool "exponent makes float" true (Obs.Json.of_string "1e2" = Obs.Json.Float 100.);
+  (* non-finite floats must not produce unparseable output *)
+  check Alcotest.string "nan is null" "null" (Obs.Json.to_string (Obs.Json.Float nan));
+  check Alcotest.string "inf is null" "null" (Obs.Json.to_string (Obs.Json.Float infinity))
+
+let test_json_member () =
+  let v = Obs.Json.of_string {|{"a": {"b": 3}, "c": [1]}|} in
+  (match Obs.Json.member "a" v with
+  | Some inner -> check Alcotest.bool "nested" true (Obs.Json.member "b" inner = Some (Obs.Json.Int 3))
+  | None -> Alcotest.fail "member a");
+  check Alcotest.bool "missing" true (Obs.Json.member "zz" v = None);
+  check Alcotest.bool "non-object" true (Obs.Json.member "x" (Obs.Json.Int 1) = None)
+
+let test_json_escapes () =
+  check Alcotest.bool "unicode escape" true
+    (Obs.Json.of_string {|"éA"|} = Obs.Json.Str "\xc3\xa9A");
+  check Alcotest.bool "surrogate pair" true
+    (Obs.Json.of_string {|"😀"|} = Obs.Json.Str "\xf0\x9f\x98\x80");
+  check Alcotest.bool "bad input raises" true
+    (match Obs.Json.of_string "{" with exception Failure _ -> true | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram: log2 buckets, 0 and max_int edge cases *)
+
+let test_histogram_edges () =
+  check Alcotest.int "zero -> bucket 0" 0 (Obs.Histogram.bucket_index 0);
+  check Alcotest.int "negative -> bucket 0" 0 (Obs.Histogram.bucket_index (-5));
+  check Alcotest.int "one" 1 (Obs.Histogram.bucket_index 1);
+  check Alcotest.int "two" 2 (Obs.Histogram.bucket_index 2);
+  check Alcotest.int "three" 2 (Obs.Histogram.bucket_index 3);
+  check Alcotest.int "four" 3 (Obs.Histogram.bucket_index 4);
+  check Alcotest.int "max_int lands in the last bucket" 62 (Obs.Histogram.bucket_index max_int)
+
+let test_histogram_observe () =
+  let r = Obs.Registry.create () in
+  let h = Obs.Registry.histogram r ~unit_:"bytes" "h" in
+  List.iter (Obs.Histogram.observe h) [ 0; 1; 1; 3; max_int ];
+  check Alcotest.int "count" 5 (Obs.Histogram.count h);
+  check Alcotest.bool "sum does not overflow silently" true
+    (Obs.Histogram.sum h = max_int + 5 (* wraps; recorded as-is *) || Obs.Histogram.sum h > 0);
+  check Alcotest.int "min" 0 (Obs.Histogram.min_value h);
+  check Alcotest.int "max" max_int (Obs.Histogram.max_value h);
+  let buckets = Obs.Histogram.buckets h in
+  check Alcotest.int "non-empty buckets" 4 (List.length buckets);
+  (match List.rev buckets with
+  | (bound, count) :: _ ->
+      check Alcotest.int "last bound is max_int" max_int bound;
+      check Alcotest.int "last count" 1 count
+  | [] -> Alcotest.fail "no buckets");
+  match buckets with
+  | (bound0, count0) :: _ ->
+      check Alcotest.int "bucket 0 bound" 1 bound0;
+      check Alcotest.int "bucket 0 holds the zero" 1 count0
+  | [] -> Alcotest.fail "no buckets"
+
+(* ------------------------------------------------------------------ *)
+(* Registry: counters, gauges, snapshots *)
+
+let test_registry_counters () =
+  let r = Obs.Registry.create () in
+  let c = Obs.Registry.counter r ~unit_:"events" "c" in
+  Obs.Counter.incr c;
+  Obs.Counter.add c 4;
+  check Alcotest.int "value" 5 (Obs.Counter.value c);
+  let c' = Obs.Registry.counter r ~unit_:"events" "c" in
+  Obs.Counter.incr c';
+  check Alcotest.int "find-or-create shares state" 6 (Obs.Counter.value c);
+  check Alcotest.bool "kind clash rejected" true
+    (match Obs.Registry.histogram r "c" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_registry_snapshot_diff () =
+  let r = Obs.Registry.create () in
+  let c = Obs.Registry.counter r "c" in
+  let g = ref 10. in
+  Obs.Registry.gauge r "g" (fun () -> !g);
+  let h = Obs.Registry.histogram r "h" in
+  Obs.Counter.add c 3;
+  Obs.Histogram.observe h 7;
+  let before = Obs.Registry.snapshot r in
+  Obs.Counter.add c 2;
+  g := 25.;
+  Obs.Histogram.observe h 1;
+  let now = Obs.Registry.snapshot r in
+  let d = Obs.Registry.diff now before in
+  check (Alcotest.float 1e-9) "counter delta" 2. (List.assoc "c" d);
+  check (Alcotest.float 1e-9) "gauge delta" 15. (List.assoc "g" d);
+  check (Alcotest.float 1e-9) "histogram count delta" 1. (List.assoc "h.count" d);
+  check (Alcotest.float 1e-9) "histogram sum delta" 1. (List.assoc "h.sum" d);
+  (* snapshot -> json -> snapshot round-trip *)
+  let rt = Obs.Registry.snapshot_of_json (Obs.Registry.snapshot_to_json now) in
+  check Alcotest.bool "snapshot json round-trip" true (rt = now);
+  (* gauge re-registration replaces the callback *)
+  Obs.Registry.gauge r "g" (fun () -> 1.);
+  check (Alcotest.float 1e-9) "gauge replaced" 1. (List.assoc "g" (Obs.Registry.snapshot r))
+
+(* ------------------------------------------------------------------ *)
+(* Spans: nesting, merging, exception safety *)
+
+let fake_meters () =
+  let io = Extmem.Io_stats.create () in
+  let sim = ref 0. in
+  (io, sim, (fun () -> Extmem.Io_stats.snapshot io), fun () -> !sim)
+
+let test_spans_nesting_and_merge () =
+  let io, sim, io_m, sim_m = fake_meters () in
+  let clock = ref 0. in
+  let t = Obs.Spans.create ~clock:(fun () -> !clock) ~io:io_m ~sim_ms:sim_m "root" in
+  check Alcotest.int "root open" 1 (Obs.Spans.depth t);
+  for _ = 1 to 3 do
+    Obs.Spans.with_span t "outer" (fun () ->
+        clock := !clock +. 1.;
+        Extmem.Io_stats.record_read io;
+        Obs.Spans.with_span t "inner" (fun () ->
+            sim := !sim +. 2.;
+            Extmem.Io_stats.record_write io))
+  done;
+  let root = Obs.Spans.close t in
+  check Alcotest.int "one merged child" 1 (List.length root.Obs.Span.children);
+  let outer = Option.get (Obs.Span.find root "outer") in
+  check Alcotest.int "outer entered 3x" 3 outer.Obs.Span.count;
+  check (Alcotest.float 1e-9) "outer wall" 3. outer.Obs.Span.wall_s;
+  check Alcotest.int "outer reads" 3 outer.Obs.Span.io.Extmem.Io_stats.reads;
+  (* parents include children: the writes happened inside inner *)
+  check Alcotest.int "outer includes inner writes" 3 outer.Obs.Span.io.Extmem.Io_stats.writes;
+  let inner = Option.get (Obs.Span.find outer "inner") in
+  check Alcotest.int "inner entered 3x" 3 inner.Obs.Span.count;
+  check Alcotest.int "inner writes" 3 inner.Obs.Span.io.Extmem.Io_stats.writes;
+  check Alcotest.int "inner no reads" 0 inner.Obs.Span.io.Extmem.Io_stats.reads;
+  check (Alcotest.float 1e-9) "inner sim" 6. inner.Obs.Span.sim_ms;
+  check Alcotest.int "root totals" 6 (Extmem.Io_stats.total root.Obs.Span.io)
+
+let test_spans_exception_safety () =
+  let t = Obs.Spans.create "root" in
+  (try Obs.Spans.with_span t "boom" (fun () -> failwith "inside") with Failure _ -> ());
+  check Alcotest.int "span popped after raise" 1 (Obs.Spans.depth t);
+  (* the phase was still recorded *)
+  Obs.Spans.with_span t "ok" (fun () -> ());
+  let root = Obs.Spans.close t in
+  check Alcotest.bool "raised span recorded" true (Obs.Span.find root "boom" <> None);
+  check Alcotest.int "both children" 2 (List.length root.Obs.Span.children)
+
+let test_spans_to_json () =
+  let t = Obs.Spans.create "root" in
+  Obs.Spans.with_span t "phase" (fun () -> ());
+  let j = Obs.Span.to_json (Obs.Spans.close t) in
+  check Alcotest.bool "name" true (Obs.Json.member "name" j = Some (Obs.Json.Str "root"));
+  match Obs.Json.member "children" j with
+  | Some (Obs.Json.List [ child ]) ->
+      check Alcotest.bool "child name" true
+        (Obs.Json.member "name" child = Some (Obs.Json.Str "phase"))
+  | _ -> Alcotest.fail "children"
+
+(* ------------------------------------------------------------------ *)
+(* Report *)
+
+let test_report_sections () =
+  let r = Obs.Report.create ~tool:"test" in
+  Obs.Report.add r "a" (Obs.Json.Int 1);
+  Obs.Report.add r "b" (Obs.Json.Int 2);
+  Obs.Report.add r "a" (Obs.Json.Int 3);
+  let j = Obs.Json.of_string (Obs.Report.to_string r) in
+  check Alcotest.bool "schema_version" true
+    (Obs.Json.member "schema_version" j = Some (Obs.Json.Int Obs.Report.schema_version));
+  check Alcotest.bool "tool" true (Obs.Json.member "tool" j = Some (Obs.Json.Str "test"));
+  check Alcotest.bool "replaced in place" true (Obs.Json.member "a" j = Some (Obs.Json.Int 3));
+  (match j with
+  | Obs.Json.Obj kvs ->
+      check
+        Alcotest.(list string)
+        "section order preserved" [ "schema_version"; "tool"; "a"; "b" ] (List.map fst kvs)
+  | _ -> Alcotest.fail "not an object");
+  let lines = String.split_on_char '\n' (String.trim (Obs.Report.to_ndjson r)) in
+  check Alcotest.int "ndjson: one line per section" 2 (List.length lines);
+  List.iter
+    (fun line ->
+      match Obs.Json.of_string line with
+      | Obs.Json.Obj _ -> ()
+      | _ -> Alcotest.fail "ndjson line not an object")
+    lines
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "numbers" `Quick test_json_numbers;
+          Alcotest.test_case "member" `Quick test_json_member;
+          Alcotest.test_case "escapes" `Quick test_json_escapes;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "bucket edges (0, max_int)" `Quick test_histogram_edges;
+          Alcotest.test_case "observe" `Quick test_histogram_observe;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "counters" `Quick test_registry_counters;
+          Alcotest.test_case "snapshot and diff" `Quick test_registry_snapshot_diff;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting and merging" `Quick test_spans_nesting_and_merge;
+          Alcotest.test_case "exception safety" `Quick test_spans_exception_safety;
+          Alcotest.test_case "to_json" `Quick test_spans_to_json;
+        ] );
+      ( "report", [ Alcotest.test_case "sections" `Quick test_report_sections ] );
+    ]
