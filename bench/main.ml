@@ -18,6 +18,7 @@ module Ordering = Nexsort.Ordering
 
 let quick = ref false
 let cost = ref false
+let no_fuse = ref false
 let metrics_file = ref None
 
 (* --cost: put a simulated-time (hdd) layer on every device — the
@@ -37,9 +38,15 @@ let maybe_costed dev =
 module Config = struct
   include Nexsort.Config
 
-  (* every bench config inherits the harness-wide device spec *)
+  (* every bench config inherits the harness-wide device spec; --no-fuse
+     overrides the fusion default for experiments that don't pin it *)
   let make ?block_size ?memory_blocks ?threshold ?depth_limit ?degeneration ?root_fusion
       ?encoding ?data_stack_blocks ?path_stack_blocks ?keep_whitespace () =
+    let root_fusion =
+      match root_fusion with
+      | Some _ as r -> r
+      | None -> if !no_fuse then Some false else None
+    in
     Nexsort.Config.make ?block_size ?memory_blocks ?threshold ?depth_limit ?degeneration
       ?root_fusion ?encoding ?data_stack_blocks ?path_stack_blocks ?keep_whitespace
       ~device:(bench_spec ()) ()
@@ -612,6 +619,52 @@ let validate_metrics path =
     [ "input"; "subtree_sorts"; "stack_paging"; "runs"; "output"; "total" ];
   Printf.printf "validate-metrics: %s OK\n" path
 
+(* compare-metrics BASELINE NEW: fail if any I/O counter in NEW's "io"
+   section exceeds BASELINE's — the CI regression gate on the committed
+   smoke-run baseline. *)
+let compare_metrics baseline_path new_path =
+  let read path =
+    let ic = open_in_bin path in
+    let s =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    Obs.Json.of_string s
+  in
+  let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("compare-metrics: " ^ m); exit 1) fmt in
+  let io_of path json =
+    match Obs.Json.member "io" json with
+    | Some io -> io
+    | None -> fail "%s has no \"io\" section" path
+  in
+  let base_io = io_of baseline_path (read baseline_path) in
+  let new_io = io_of new_path (read new_path) in
+  let regressions = ref [] in
+  let improvements = ref 0 in
+  let rec walk path base new_ =
+    match (base, new_) with
+    | Obs.Json.Obj base_kvs, Obs.Json.Obj new_kvs ->
+        List.iter
+          (fun (k, bv) ->
+            match List.assoc_opt k new_kvs with
+            | Some nv -> walk (path ^ "." ^ k) bv nv
+            | None -> fail "%s: counter %s%s is missing" new_path path ("." ^ k))
+          base_kvs
+    | Obs.Json.Int b, Obs.Json.Int n ->
+        if n > b then regressions := Printf.sprintf "%s: %d -> %d" path b n :: !regressions
+        else if n < b then incr improvements
+    | _ -> fail "%s: %s is not an integer counter in both files" new_path path
+  in
+  walk "io" base_io new_io;
+  match List.rev !regressions with
+  | [] ->
+      Printf.printf "compare-metrics: OK (%s vs %s, %d counters improved, none regressed)\n"
+        new_path baseline_path !improvements
+  | rs ->
+      List.iter (fun r -> prerr_endline ("compare-metrics: REGRESSION " ^ r)) rs;
+      exit 1
+
 let experiments =
   [
     ("table1", table1);
@@ -639,6 +692,9 @@ let () =
     | "--cost" :: rest ->
         cost := true;
         parse rest
+    | "--no-fuse" :: rest ->
+        no_fuse := true;
+        parse rest
     | "--metrics" :: file :: rest ->
         metrics_file := Some file;
         parse rest
@@ -656,6 +712,10 @@ let () =
         exit 2
       end;
       List.iter validate_metrics paths
+  | [ "compare-metrics"; baseline; new_path ] -> compare_metrics baseline new_path
+  | "compare-metrics" :: _ ->
+      prerr_endline "compare-metrics requires exactly two files: BASELINE NEW";
+      exit 2
   | args ->
   let selected =
     match args with

@@ -42,6 +42,15 @@ let encoding_term =
         ~doc:"Entry encoding: $(b,plain), $(b,dict) (name compression) or $(b,packed) (dict + \
               end-tag elimination; scan-evaluable orderings only).")
 
+let no_fuse_term =
+  Arg.(
+    value & flag
+    & info [ "no-fuse" ]
+        ~doc:
+          "Disable pipeline fusion across phase boundaries: materialise the root's sorted run \
+           (and, for merges, each sorted document) instead of streaming it straight into the \
+           next phase.")
+
 let config_term =
   let block_size =
     Arg.(
@@ -75,14 +84,14 @@ let config_term =
   let keep_whitespace =
     Arg.(value & flag & info [ "keep-whitespace" ] ~doc:"Preserve whitespace-only text nodes.")
   in
-  let build block_size memory_blocks threshold depth_limit no_degeneration keep_whitespace encoding
-      =
+  let build block_size memory_blocks threshold depth_limit no_degeneration keep_whitespace no_fuse
+      encoding =
     Nexsort.Config.make ~block_size ~memory_blocks ?threshold ?depth_limit
-      ~degeneration:(not no_degeneration) ~encoding ~keep_whitespace ()
+      ~degeneration:(not no_degeneration) ~root_fusion:(not no_fuse) ~encoding ~keep_whitespace ()
   in
   Term.(
     const build $ block_size $ memory_blocks $ threshold $ depth_limit $ no_degeneration
-    $ keep_whitespace $ encoding_term)
+    $ keep_whitespace $ no_fuse_term $ encoding_term)
 
 let device_term =
   let parse s =

@@ -37,7 +37,7 @@ let struct_merge_report ~tool (r : Xmerge.Struct_merge.report) =
   Obs.Report.add rep "phases" (Obs.Span.to_json r.Xmerge.Struct_merge.spans);
   rep
 
-let run ordering presorted update_mode indexed device metrics left_path right_path output =
+let run ordering presorted update_mode indexed device no_fuse metrics left_path right_path output =
   let left = read_file left_path and right = read_file right_path in
   try
     match device with
@@ -95,26 +95,26 @@ let run ordering presorted update_mode indexed device metrics left_path right_pa
            rep);
         `Ok ()
     | Some spec ->
-        (* Device-resident path: sort both inputs (unless presorted), load
-           them onto spec-built devices and run the single-pass device
-           merge, so the chosen stack carries the merge's I/O. *)
+        (* Device-resident path: the raw inputs live on spec-built devices
+           and the sorts + single-pass merge run on top, so the chosen
+           stack carries the whole job's I/O.  Fused (the default), the
+           sorted documents are never materialised on the devices. *)
         let block_size = 4096 in
-        let sort s =
-          if presorted then s
-          else
-            fst
-              (Nexsort.sort_string
-                 ~config:(Nexsort.Config.make ~block_size ~device:spec ())
-                 ~ordering s)
-        in
+        let config = Nexsort.Config.make ~block_size ~device:spec () in
         let load name s =
           let d = Extmem.Device_spec.scratch spec ~name ~block_size in
           Extmem.Device.load_string d s;
           d
         in
-        let ldev = load "left" (sort left) and rdev = load "right" (sort right) in
+        let ldev = load "left" left and rdev = load "right" right in
         let odev = Extmem.Device_spec.scratch spec ~name:"output" ~block_size in
-        let r = Xmerge.Struct_merge.merge_devices ~ordering ~left:ldev ~right:rdev ~output:odev () in
+        let r =
+          if presorted then
+            Xmerge.Struct_merge.merge_devices ~ordering ~left:ldev ~right:rdev ~output:odev ()
+          else
+            Xmerge.Struct_merge.sort_and_merge_devices ~config ~fuse:(not no_fuse) ~ordering
+              ~left:ldev ~right:rdev ~output:odev ()
+        in
         write_file output (Extmem.Device.contents odev);
         Cli_common.write_metrics metrics
           (let rep = struct_merge_report ~tool:"nexsort-merge" r in
@@ -158,7 +158,7 @@ let run ordering presorted update_mode indexed device metrics left_path right_pa
       else begin
         let out, r =
           if presorted then Xmerge.Struct_merge.merge_strings ~ordering left right
-          else Xmerge.Struct_merge.sort_and_merge_strings ~ordering left right
+          else Xmerge.Struct_merge.sort_and_merge_strings ~fuse:(not no_fuse) ~ordering left right
         in
         ( out,
           Printf.sprintf "matched %d elements, emitted %d events"
@@ -204,6 +204,7 @@ let cmd =
                   "Use the index-assisted nested-loop merge instead of sort-then-merge (works on \
                    unsorted inputs; reports the index buffer pool's hit/miss statistics).")
         $ Cli_common.device_term
+        $ Cli_common.no_fuse_term
         $ Cli_common.metrics_term
         $ Arg.(required & pos 0 (some file) None & info [] ~docv:"LEFT")
         $ Arg.(required & pos 1 (some file) None & info [] ~docv:"RIGHT")

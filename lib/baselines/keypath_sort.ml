@@ -85,39 +85,51 @@ let sort_device ?(config = Config.make ()) ~ordering ~input ~output () =
     Extmem.Memory_budget.create ~blocks:config.Config.memory_blocks
       ~block_size:config.Config.block_size
   in
-  (* one input buffer, one output buffer; the rest goes to the sort *)
-  Extmem.Memory_budget.reserve budget ~who:"input buffer" 1;
-  Extmem.Memory_budget.reserve budget ~who:"output buffer" 1;
-  let parser =
-    Xmlio.Parser.of_reader
-      ~keep_whitespace:config.Config.keep_whitespace
-      (Extmem.Block_reader.of_device input)
-  in
   let counters = ref (0, 0) in
-  let records = record_stream ~config ~ordering ~dict parser counters in
-  let temp = Config.scratch_device config ~name:"temp" in
-  let bw = Extmem.Block_writer.create output in
-  let writer = Xmlio.Writer.to_block_writer bw in
-  (* reconstruction: sorted key-path order is the sorted document's
-     pre-order; end tags come back from level transitions (§3.2) *)
-  let opens = Extmem.Vec.create () in
-  let close_to level =
-    while Extmem.Vec.length opens > 0 && snd (Extmem.Vec.top opens) >= level do
-      let name, _ = Extmem.Vec.pop opens in
-      Xmlio.Writer.event writer (Xmlio.Event.End name)
-    done
+  (* the scan pipeline stage owns the input buffer *)
+  let scan_src =
+    Pipe.source ~mem:1 ~who:"keypath scan" (fun () ->
+        let parser =
+          Xmlio.Parser.of_reader
+            ~keep_whitespace:config.Config.keep_whitespace
+            (Extmem.Block_reader.of_device input)
+        in
+        (record_stream ~config ~ordering ~dict parser counters, ignore))
   in
+  let temp = Config.scratch_device config ~name:"temp" in
   let enc = config.Config.encoding in
-  let out_record record =
-    match Entry.decode enc dict (Keypath.decode_payload record) with
-    | Entry.Start { name; attrs; level; _ } ->
-        close_to level;
-        Xmlio.Writer.event writer (Xmlio.Event.Start (name, attrs));
-        Extmem.Vec.push opens (name, level)
-    | Entry.Text { content; level; _ } ->
-        close_to level;
-        Xmlio.Writer.event writer (Xmlio.Event.Text content)
-    | Entry.End _ | Entry.Run_ptr _ -> assert false
+  (* reconstruction sink: sorted key-path order is the sorted document's
+     pre-order; end tags come back from level transitions (§3.2).  The
+     close flushes whole blocks before validating writer depth. *)
+  let recon_sink =
+    Pipe.sink ~mem:1 ~who:"xml reconstruction" (fun () ->
+        let bw = Extmem.Block_writer.create output in
+        let writer = Xmlio.Writer.to_block_writer bw in
+        let opens = Extmem.Vec.create () in
+        let close_to level =
+          while Extmem.Vec.length opens > 0 && snd (Extmem.Vec.top opens) >= level do
+            let name, _ = Extmem.Vec.pop opens in
+            Xmlio.Writer.event writer (Xmlio.Event.End name)
+          done
+        in
+        let push record =
+          match Entry.decode enc dict (Keypath.decode_payload record) with
+          | Entry.Start { name; attrs; level; _ } ->
+              close_to level;
+              Xmlio.Writer.event writer (Xmlio.Event.Start (name, attrs));
+              Extmem.Vec.push opens (name, level)
+          | Entry.Text { content; level; _ } ->
+              close_to level;
+              Xmlio.Writer.event writer (Xmlio.Event.Text content)
+          | Entry.End _ | Entry.Run_ptr _ -> assert false
+        in
+        let close () =
+          close_to 1;
+          let extent = Extmem.Block_writer.close bw in
+          Extmem.Device.set_byte_length output extent.Extmem.Extent.bytes;
+          Xmlio.Writer.close writer
+        in
+        (push, close))
   in
   let io_meter () =
     Extmem.Io_stats.add
@@ -137,14 +149,23 @@ let sort_device ?(config = Config.make ()) ~ordering ~input ~output () =
      on the fly, so they share one phase span *)
   let stats =
     Obs.Spans.with_span spans "scan_sort_reconstruct" (fun () ->
-        Extsort.External_sort.sort ~budget ~temp ~cmp:Keypath.compare_encoded ~input:records
-          ~output:out_record ())
+        let src = Pipe.open_source ~spans ~budget scan_src in
+        let o =
+          try
+            Extsort.External_sort.sort_open ~budget ~temp ~cmp:Keypath.compare_encoded
+              ~input:src.Pipe.pull ()
+          with e ->
+            src.Pipe.close ();
+            raise e
+        in
+        (* run formation consumed the whole input; give its buffer back
+           before the reconstruction sink reserves the output buffer *)
+        src.Pipe.close ();
+        Pipe.run_opened ~spans ~budget
+          { Pipe.pull = o.Extsort.External_sort.pull; close = o.Extsort.External_sort.close }
+          recon_sink;
+        o.Extsort.External_sort.stats)
   in
-  Obs.Spans.with_span spans "output_flush" (fun () ->
-      close_to 1;
-      Xmlio.Writer.close writer;
-      let extent = Extmem.Block_writer.close bw in
-      Extmem.Device.set_byte_length output extent.Extmem.Extent.bytes);
   let input_io = Extmem.Io_stats.snapshot (Extmem.Device.stats input) in
   let temp_io = Extmem.Io_stats.snapshot (Extmem.Device.stats temp) in
   let output_io = Extmem.Io_stats.snapshot (Extmem.Device.stats output) in

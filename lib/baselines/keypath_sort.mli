@@ -29,7 +29,8 @@ type report = {
   wall_seconds : float;
   spans : Obs.Span.t;
       (** phase spans under ["keypath_sort"]: [scan_sort_reconstruct] (the
-          fused pipeline) and [output_flush], with I/O deltas *)
+          whole fused pipeline, including the final flush) plus the
+          per-stage [open:]/[drain:] spans from [Pipe], with I/O deltas *)
 }
 
 val sort_device :

@@ -30,7 +30,8 @@ let create (config : Config.t) =
       ~block_size:config.Config.block_size
   in
   let stack_dev name = Config.scratch_device config ~name in
-  Extmem.Memory_budget.reserve budget ~who:"input buffer" 1;
+  (* The input buffer is charged by the scan pipeline stage (see
+     [Sorter.scan_source]), not here. *)
   Extmem.Memory_budget.reserve budget ~who:"data stack window" config.Config.data_stack_blocks;
   Extmem.Memory_budget.reserve budget ~who:"path stack window" config.Config.path_stack_blocks;
   Extmem.Memory_budget.reserve budget ~who:"output location stack window" 1;
@@ -41,6 +42,7 @@ let create (config : Config.t) =
       dict = Xmlio.Dict.create ();
       data_stack =
         Extmem.Ext_stack.create ~resident_blocks:config.Config.data_stack_blocks
+          ~borrow:(budget, "data stack window (borrowed)")
           (stack_dev "data-stack");
       path_stack =
         Extmem.Ext_stack.create ~resident_blocks:config.Config.path_stack_blocks
@@ -55,9 +57,18 @@ let create (config : Config.t) =
   register_probes t;
   t
 
-let arena_bytes t = Extmem.Memory_budget.available_bytes t.budget
+(* Blocks lent to the data-stack window are idle memory, reclaimable at
+   any time ([reclaim]), so they still count as arena: this keeps every
+   size-based decision (in-memory vs external sort, degeneration)
+   independent of how many blocks the stack happens to hold. *)
+let arena_bytes t =
+  Extmem.Memory_budget.available_bytes t.budget
+  + Extmem.Ext_stack.borrowed t.data_stack * Extmem.Memory_budget.block_size t.budget
+
+let reclaim t = Extmem.Ext_stack.shed t.data_stack
 
 let with_temp t f =
+  reclaim t;
   let dev = Config.scratch_device t.config ~name:"temp" in
   Fun.protect
     ~finally:(fun () ->

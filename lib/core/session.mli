@@ -31,17 +31,29 @@ type t = {
 
 val create : Config.t -> t
 (** Build the stacks and run store, and reserve the fixed internal-memory
-    blocks: one input buffer, the data-stack window, the path-stack window
-    and one block for the output-location stack.  What remains of the
-    budget is the sorting arena. *)
+    blocks: the data-stack window, the path-stack window and one block
+    for the output-location stack (the input buffer is charged by the
+    scan pipeline stage).  What remains of the budget is the sorting
+    arena.  The data-stack window is {e elastic}: it borrows idle arena
+    blocks to avoid paging and gives them back via {!reclaim} whenever a
+    phase actually reserves memory. *)
 
 val arena_bytes : t -> int
 (** Internal-memory bytes available to a subtree sort right now (also the
-    trigger level for graceful degeneration). *)
+    trigger level for graceful degeneration).  Counts blocks currently
+    lent to the data-stack window — they are reclaimable on demand — so
+    sort and degeneration decisions are independent of borrowing. *)
+
+val reclaim : t -> unit
+(** Return every block the data-stack window borrowed to the budget
+    (evicting the window down to its configured size), so a phase about
+    to reserve arena memory actually finds it available. *)
 
 val with_temp : t -> (Extmem.Device.t -> 'a) -> 'a
 (** Run a scope with a fresh scratch device; its I/O counters are folded
-    into {!field-temp_stats} afterwards, also on exceptions. *)
+    into {!field-temp_stats} afterwards, also on exceptions.  Calls
+    {!reclaim} first — scratch scopes exist to run external sorts, which
+    reserve the arena. *)
 
 val encode_entry : t -> Entry.t -> string
 (** {!Entry.encode} under the session's encoding and dictionary. *)

@@ -91,9 +91,11 @@ type state = {
   mutable n_external : int;
   mutable n_fragment_runs : int;
   mutable n_fragment_merges : int;
-  (* root fusion: when set, the root's final sort streams its encoded
-     entries here instead of materialising the root run *)
-  mutable fused_sink : (string -> unit) option;
+  (* root fusion: when [fuse], the root's collapse opens its final
+     sort/merge as a pull stream here instead of materialising the root
+     run; the output phase consumes it *)
+  fuse : bool;
+  mutable root : ((unit -> string option) * (unit -> unit)) option;
   spans : Obs.Spans.t;
 }
 
@@ -220,50 +222,55 @@ let collapse_copy st frame resolved_key =
   push_data st
     (Entry.Run_ptr { level = frame.flevel; pos = frame.fpos; key = resolved_key; run; bytes = size })
 
-(* Root fusion: the final subtree sort streams straight into the output
-   sink instead of materialising the root run (saves writing and re-reading
-   the whole document once). *)
-let collapse_root_fused st frame sink =
+(* Root fusion: the root's final sort/merge is opened as a pull stream
+   (saves writing and re-reading the whole document once); the output
+   phase pulls it straight into the XML writer.  The stream is built
+   before truncating the stack — run formation consumes the stack here,
+   but the final merge is deferred to the consumer. *)
+let open_root_source st frame =
   in_span st "root_sort" @@ fun () ->
   let data = st.session.Session.data_stack in
-  let size = Extmem.Ext_stack.length data - frame.loc in
-  if frame.frags <> [] then begin
-    let tail = collect_entries st ~from_:frame.children_loc in
-    let fragments =
-      if tail = [] then frame.frags
-      else begin
-        let forest =
-          Subtree_sort.sort_forest ~depth_limit:(depth_limit st) (Subtree_sort.build_forest tail)
-        in
-        st.n_fragment_runs <- st.n_fragment_runs + 1;
-        frame.frags @ [ Subtree_sort.write_fragment st.session forest ]
-      end
-    in
-    let start_entry =
-      match Extmem.Ext_stack.cursor_from data ~pos:frame.loc () with
-      | Some payload -> Session.decode_entry st.session payload
-      | None -> assert false
-    in
-    Subtree_sort.merge_fragments_to st.session ~start_entry ~fragments sink;
-    st.n_fragment_merges <- st.n_fragment_merges + 1
-  end
-  else begin
-    if not (packed st) then
-      push_data st (Entry.End { level = frame.flevel; pos = frame.fpos; key = Some Key.Null });
-    let size = Extmem.Ext_stack.length data - frame.loc in
-    if size <= Session.arena_bytes st.session then begin
-      st.n_in_memory <- st.n_in_memory + 1;
-      Subtree_sort.sort_in_memory_to st.session (collect_entries st ~from_:frame.loc) sink
+  let result =
+    if frame.frags <> [] then begin
+      let tail = collect_entries st ~from_:frame.children_loc in
+      let fragments =
+        if tail = [] then frame.frags
+        else begin
+          let forest =
+            Subtree_sort.sort_forest ~depth_limit:(depth_limit st) (Subtree_sort.build_forest tail)
+          in
+          st.n_fragment_runs <- st.n_fragment_runs + 1;
+          frame.frags @ [ Subtree_sort.write_fragment st.session forest ]
+        end
+      in
+      let start_entry =
+        match Extmem.Ext_stack.cursor_from data ~pos:frame.loc () with
+        | Some payload -> Session.decode_entry st.session payload
+        | None -> assert false
+      in
+      st.n_fragment_merges <- st.n_fragment_merges + 1;
+      Subtree_sort.merge_fragments_source st.session ~start_entry ~fragments
     end
     else begin
-      st.n_external <- st.n_external + 1;
-      let scan, input = external_scan_input st frame in
-      ignore (Subtree_sort.sort_external_to st.session ~input ~scan sink)
+      if not (packed st) then
+        push_data st (Entry.End { level = frame.flevel; pos = frame.fpos; key = Some Key.Null });
+      let size = Extmem.Ext_stack.length data - frame.loc in
+      if size <= Session.arena_bytes st.session then begin
+        st.n_in_memory <- st.n_in_memory + 1;
+        ( Subtree_sort.sort_in_memory_source st.session (collect_entries st ~from_:frame.loc),
+          ignore )
+      end
+      else begin
+        st.n_external <- st.n_external + 1;
+        let scan, input = external_scan_input st frame in
+        let s = Subtree_sort.sort_external_source st.session ~input ~scan in
+        (s.Subtree_sort.pull, s.Subtree_sort.close)
+      end
     end
-  end;
-  ignore size;
+  in
   st.n_subtree_sorts <- st.n_subtree_sorts + 1;
-  Extmem.Ext_stack.truncate_to data frame.loc
+  Extmem.Ext_stack.truncate_to data frame.loc;
+  result
 
 (* Merge an element's fragments (plus its unsorted tail children) into its
    complete run. *)
@@ -330,9 +337,8 @@ let on_end st =
     | Some k -> k
     | None -> Option.value key_end ~default:Key.Null
   in
-  match st.fused_sink with
-  | Some sink when frame.flevel = 1 -> collapse_root_fused st frame sink
-  | Some _ | None ->
+  if st.fuse && frame.flevel = 1 then st.root <- Some (open_root_source st frame)
+  else begin
       if frame.frags <> [] then collapse_fragments st frame resolved_key
       else begin
         if not (packed st) then
@@ -358,85 +364,189 @@ let on_end st =
       (* the parent's children region just grew (run pointer or uncollapsed
          subtree): it may now fill the arena *)
       maybe_degenerate st
+  end
 
 (* ---- output phase (Figure 4, lines 13-21) ---- *)
 
-(* XML emission state: the streaming writer plus the open-tag recovery
-   stack of §3.2 — (name, level) of elements awaiting their end tags,
-   innermost last; O(height) internal state. *)
-type emitter = {
-  writer : Xmlio.Writer.t;
-  bw : Extmem.Block_writer.t;
-  opens : (string * int) Extmem.Vec.t;
-}
-
-let make_emitter output =
-  let bw = Extmem.Block_writer.create output in
-  { writer = Xmlio.Writer.to_block_writer bw; bw; opens = Extmem.Vec.create () }
-
-let close_to em level =
-  while Extmem.Vec.length em.opens > 0 && snd (Extmem.Vec.top em.opens) >= level do
-    let name, _ = Extmem.Vec.pop em.opens in
-    Xmlio.Writer.event em.writer (Xmlio.Event.End name)
-  done
-
-(* Depth-first traversal of the tree of sorted runs rooted at [root_run],
-   driven by the external output-location stack (Figure 4, lines 13-21). *)
-let output_run st em root_run =
+(* Event expansion: encoded entries in final document order become XML
+   events.  Run pointers trigger the depth-first traversal of the
+   pointed run in place, driven by the external output-location stack;
+   End events are synthesized from level transitions via the open-tag
+   recovery stack of §3.2 — O(height) internal state.  This is the
+   generic transform behind both the fused and the materialised output
+   path, and behind {!stream_events}. *)
+let event_stream st entries =
   let session = st.session in
   let out_stack = session.Session.out_stack in
-  Extmem.Ext_stack.push out_stack (encode_out_loc root_run 0);
-  while not (Extmem.Ext_stack.is_empty out_stack) do
-    let run, off = decode_out_loc (Extmem.Ext_stack.pop out_stack) in
-    let reader = ref (Extmem.Run_store.open_run session.Session.runs run) in
-    Extmem.Block_reader.seek !reader off;
-    let current_run = ref run in
-    let continue = ref true in
-    while !continue do
-      match Extmem.Block_reader.read_record !reader with
-      | None -> continue := false
-      | Some payload -> (
-          let e = Session.decode_entry session payload in
-          close_to em (Entry.level e);
-          match e with
-          | Entry.Start { name; attrs; level; _ } ->
-              Xmlio.Writer.event em.writer (Xmlio.Event.Start (name, attrs));
-              Extmem.Vec.push em.opens (name, level)
-          | Entry.End _ -> () (* already closed by close_to *)
-          | Entry.Text { content; _ } -> Xmlio.Writer.event em.writer (Xmlio.Event.Text content)
-          | Entry.Run_ptr { run = target; _ } ->
-              Extmem.Ext_stack.push out_stack
-                (encode_out_loc !current_run (Extmem.Block_reader.position !reader));
-              current_run := target;
-              reader := Extmem.Run_store.open_run session.Session.runs target)
+  let pending : Xmlio.Event.t Queue.t = Queue.create () in
+  let opens : (string * int) Extmem.Vec.t = Extmem.Vec.create () in
+  let reader = ref None in (* (block reader, its run id) during run DFS *)
+  let finished = ref false in
+  let close_to level =
+    while Extmem.Vec.length opens > 0 && snd (Extmem.Vec.top opens) >= level do
+      let name, _ = Extmem.Vec.pop opens in
+      Queue.push (Xmlio.Event.End name) pending
     done
-  done
+  in
+  let handle payload =
+    let e = Session.decode_entry session payload in
+    close_to (Entry.level e);
+    match e with
+    | Entry.Start { name; attrs; level; _ } ->
+        Queue.push (Xmlio.Event.Start (name, attrs)) pending;
+        Extmem.Vec.push opens (name, level)
+    | Entry.End _ -> () (* already closed by close_to *)
+    | Entry.Text { content; _ } -> Queue.push (Xmlio.Event.Text content) pending
+    | Entry.Run_ptr { run; _ } ->
+        (* descend; remember where to resume in the enclosing run *)
+        (match !reader with
+        | Some (r, cur) ->
+            Extmem.Ext_stack.push out_stack
+              (encode_out_loc cur (Extmem.Block_reader.position r))
+        | None -> ());
+        reader := Some (Extmem.Run_store.open_run session.Session.runs run, run)
+  in
+  let rec next () =
+    if not (Queue.is_empty pending) then Some (Queue.pop pending)
+    else if !finished then None
+    else begin
+      (match !reader with
+      | Some (r, _) -> (
+          match Extmem.Block_reader.read_record r with
+          | Some payload -> handle payload
+          | None ->
+              if Extmem.Ext_stack.is_empty out_stack then reader := None
+              else begin
+                let run, off = decode_out_loc (Extmem.Ext_stack.pop out_stack) in
+                let r = Extmem.Run_store.open_run session.Session.runs run in
+                Extmem.Block_reader.seek r off;
+                reader := Some (r, run)
+              end)
+      | None -> (
+          match entries () with
+          | Some payload -> handle payload
+          | None ->
+              close_to 1;
+              finished := true));
+      next ()
+    end
+  in
+  next
 
-let finish_emitter em output =
-  close_to em 1;
-  Xmlio.Writer.close em.writer;
-  let extent = Extmem.Block_writer.close em.bw in
-  Extmem.Device.set_byte_length output extent.Extmem.Extent.bytes
-
-(* The sink for root fusion: encoded entries arriving in final document
-   order; run pointers trigger the DFS of the pointed run in place. *)
-let fused_sink_of st em payload =
-  let e = Session.decode_entry st.session payload in
-  close_to em (Entry.level e);
-  match e with
-  | Entry.Start { name; attrs; level; _ } ->
-      Xmlio.Writer.event em.writer (Xmlio.Event.Start (name, attrs));
-      Extmem.Vec.push em.opens (name, level)
-  | Entry.End _ -> ()
-  | Entry.Text { content; _ } -> Xmlio.Writer.event em.writer (Xmlio.Event.Text content)
-  | Entry.Run_ptr { run; _ } -> output_run st em run
-
-let output_phase st root_run output =
-  let em = make_emitter output in
-  output_run st em root_run;
-  finish_emitter em output
+(* The terminal pipeline stage: XML events into the serialized document.
+   The close flushes the block writer before validating writer depth, so
+   a failing pipeline still leaves whole blocks behind (see
+   [Pipe.run_opened]'s exception discipline). *)
+let writer_sink output =
+  Pipe.sink ~mem:1 ~who:"xml writer" (fun () ->
+      let bw = Extmem.Block_writer.create output in
+      let w = Xmlio.Writer.to_block_writer bw in
+      let push ev = Xmlio.Writer.event w ev in
+      let close () =
+        let extent = Extmem.Block_writer.close bw in
+        Extmem.Device.set_byte_length output extent.Extmem.Extent.bytes;
+        Xmlio.Writer.close w
+      in
+      (push, close))
 
 (* ---- driver ---- *)
+
+let scan_source ~keep_whitespace input =
+  Pipe.source ~mem:1 ~who:"input scan" (fun () ->
+      let parser =
+        Xmlio.Parser.of_reader ~keep_whitespace (Extmem.Block_reader.of_device input)
+      in
+      ((fun () -> Xmlio.Parser.next parser), ignore))
+
+(* Scan the input and open the root's sorted entries as a pull stream:
+   the shared front end of {!sort_device} and {!open_stream}. *)
+let open_sorted ~session ~config ~ordering ~input ~io_meter ~sim_meter =
+  let spans = Obs.Spans.create ~io:io_meter ~sim_ms:sim_meter "sort" in
+  let st =
+    {
+      session;
+      scan_evaluable = Ordering.all_scan_evaluable ordering;
+      evaluator = Ordering.Evaluator.create ordering;
+      pos = 0;
+      level = 0;
+      n_events = 0;
+      n_elements = 0;
+      n_text = 0;
+      max_level = 0;
+      n_subtree_sorts = 0;
+      n_in_memory = 0;
+      n_external = 0;
+      n_fragment_runs = 0;
+      n_fragment_merges = 0;
+      fuse = config.Config.root_fusion;
+      root = None;
+      spans;
+    }
+  in
+  Log.info (fun m -> m "sorting phase: %a" Config.pp config);
+  in_span st "input_scan" (fun () ->
+      Pipe.run ~spans ~budget:session.Session.budget
+        (scan_source ~keep_whitespace:config.Config.keep_whitespace input)
+        (Pipe.fn_sink ~who:"sort scan" (fun e ->
+             st.n_events <- st.n_events + 1;
+             match e with
+             | Xmlio.Event.Start (name, attrs) -> on_start st name attrs
+             | Xmlio.Event.Text s -> on_text st s
+             | Xmlio.Event.End _ -> on_end st)));
+  Log.info (fun m ->
+      m "scan done: %d events, %d subtree sorts (%d in-memory, %d external), %d fragments"
+        st.n_events st.n_subtree_sorts st.n_in_memory st.n_external st.n_fragment_runs);
+  assert (st.level = 0);
+  assert (Extmem.Ext_stack.is_empty session.Session.path_stack);
+  (* any blocks the data-stack window borrowed are idle now *)
+  Session.reclaim session;
+  let entries =
+    match st.root with
+    | Some (pull, close) ->
+        (* root fusion: the root collapse opened its final merge as a
+           stream; the data stack is empty *)
+        assert (Extmem.Ext_stack.is_empty session.Session.data_stack);
+        { Pipe.pull; close }
+    | None ->
+        (* the data stack now holds the single run pointer of the root *)
+        let root_run =
+          match
+            Session.decode_entry session (Extmem.Ext_stack.pop session.Session.data_stack)
+          with
+          | Entry.Run_ptr { run; _ } -> run
+          | Entry.Start _ | Entry.End _ | Entry.Text _ ->
+              invalid_arg "Nexsort: internal error - root did not collapse"
+        in
+        assert (Extmem.Ext_stack.is_empty session.Session.data_stack);
+        Pipe.open_source ~spans ~budget:session.Session.budget
+          (Pipe.of_run ~who:"root run" session.Session.runs root_run)
+  in
+  (st, entries)
+
+let build_report (st : state) ~input_io ~output_io ~extra_sim ~t0 =
+  let session = st.session in
+  {
+    events = st.n_events;
+    elements = st.n_elements;
+    text_nodes = st.n_text;
+    height = st.max_level;
+    subtree_sorts = st.n_subtree_sorts;
+    in_memory_sorts = st.n_in_memory;
+    external_sorts = st.n_external;
+    fragment_runs = st.n_fragment_runs;
+    fragment_merges = st.n_fragment_merges;
+    runs_created = Extmem.Run_store.run_count session.Session.runs;
+    run_blocks = Extmem.Run_store.total_run_blocks session.Session.runs;
+    input_io;
+    output_io;
+    breakdown = Session.io_breakdown session;
+    total_io =
+      Extmem.Io_stats.add (Extmem.Io_stats.add input_io output_io) (Session.total_io session);
+    simulated_ms = Session.simulated_ms session +. extra_sim;
+    wall_seconds = Unix.gettimeofday () -. t0;
+    spans = Obs.Spans.close st.spans;
+    metrics = Obs.Registry.to_json session.Session.registry;
+  }
 
 let sort_device ?(config = Config.make ()) ~ordering ~input ~output () =
   Config.validate_ordering config ordering;
@@ -456,98 +566,16 @@ let sort_device ?(config = Config.make ()) ~ordering ~input ~output () =
     +. Extmem.Device.simulated_ms input
     +. Extmem.Device.simulated_ms output
   in
-  let spans = Obs.Spans.create ~io:io_meter ~sim_ms:sim_meter "sort" in
-  let st =
-    {
-      session;
-      scan_evaluable = Ordering.all_scan_evaluable ordering;
-      evaluator = Ordering.Evaluator.create ordering;
-      pos = 0;
-      level = 0;
-      n_events = 0;
-      n_elements = 0;
-      n_text = 0;
-      max_level = 0;
-      n_subtree_sorts = 0;
-      n_in_memory = 0;
-      n_external = 0;
-      n_fragment_runs = 0;
-      n_fragment_merges = 0;
-      fused_sink = None;
-      spans;
-    }
-  in
-  let em = if config.Config.root_fusion then Some (make_emitter output) else None in
-  (match em with
-  | Some em -> st.fused_sink <- Some (fused_sink_of st em)
-  | None -> ());
-  let parser =
-    Xmlio.Parser.of_reader
-      ~keep_whitespace:config.Config.keep_whitespace
-      (Extmem.Block_reader.of_device input)
-  in
-  let rec scan () =
-    match Xmlio.Parser.next parser with
-    | None -> ()
-    | Some e ->
-        st.n_events <- st.n_events + 1;
-        (match e with
-        | Xmlio.Event.Start (name, attrs) -> on_start st name attrs
-        | Xmlio.Event.Text s -> on_text st s
-        | Xmlio.Event.End _ -> on_end st);
-        scan ()
-  in
-  Log.info (fun m -> m "sorting phase: %a" Config.pp config);
-  in_span st "input_scan" scan;
-  Log.info (fun m ->
-      m "scan done: %d events, %d subtree sorts (%d in-memory, %d external), %d fragments"
-        st.n_events st.n_subtree_sorts st.n_in_memory st.n_external st.n_fragment_runs);
-  assert (st.level = 0);
-  assert (Extmem.Ext_stack.is_empty session.Session.path_stack);
-  (match em with
-  | Some em ->
-      (* root fusion already streamed the document out during the root's
-         collapse; the data stack is empty *)
-      assert (Extmem.Ext_stack.is_empty session.Session.data_stack);
-      in_span st "output" (fun () -> finish_emitter em output)
-  | None ->
-      (* the data stack now holds the single run pointer of the root *)
-      let root_run =
-        match Session.decode_entry session (Extmem.Ext_stack.pop session.Session.data_stack) with
-        | Entry.Run_ptr { run; _ } -> run
-        | Entry.Start _ | Entry.End _ | Entry.Text _ ->
-            invalid_arg "Nexsort: internal error - root did not collapse"
-      in
-      assert (Extmem.Ext_stack.is_empty session.Session.data_stack);
-      in_span st "output" (fun () -> output_phase st root_run output));
-  let breakdown = Session.io_breakdown session in
-  let input_io = Extmem.Io_stats.snapshot (Extmem.Device.stats input) in
-  let output_io = Extmem.Io_stats.snapshot (Extmem.Device.stats output) in
-  {
-    events = st.n_events;
-    elements = st.n_elements;
-    text_nodes = st.n_text;
-    height = st.max_level;
-    subtree_sorts = st.n_subtree_sorts;
-    in_memory_sorts = st.n_in_memory;
-    external_sorts = st.n_external;
-    fragment_runs = st.n_fragment_runs;
-    fragment_merges = st.n_fragment_merges;
-    runs_created = Extmem.Run_store.run_count session.Session.runs;
-    run_blocks = Extmem.Run_store.total_run_blocks session.Session.runs;
-    input_io;
-    output_io;
-    breakdown;
-    total_io =
-      Extmem.Io_stats.add (Extmem.Io_stats.add input_io output_io) (Session.total_io session);
-    simulated_ms =
-      Session.simulated_ms session
-      +. Extmem.Device.simulated_ms input
-      +. Extmem.Device.simulated_ms output;
-    wall_seconds = Unix.gettimeofday () -. t0;
-    spans = Obs.Spans.close spans;
-    metrics = Obs.Registry.to_json session.Session.registry;
-  }
+  let st, entries = open_sorted ~session ~config ~ordering ~input ~io_meter ~sim_meter in
+  in_span st "output" (fun () ->
+      Pipe.run_opened ~spans:st.spans ~budget:session.Session.budget
+        { Pipe.pull = event_stream st entries.Pipe.pull; close = entries.Pipe.close }
+        (writer_sink output));
+  build_report st
+    ~input_io:(Extmem.Io_stats.snapshot (Extmem.Device.stats input))
+    ~output_io:(Extmem.Io_stats.snapshot (Extmem.Device.stats output))
+    ~extra_sim:(Extmem.Device.simulated_ms input +. Extmem.Device.simulated_ms output)
+    ~t0
 
 let sort_string ?config ~ordering s =
   let config = Option.value config ~default:(Config.make ()) in
@@ -556,6 +584,54 @@ let sort_string ?config ~ordering s =
   let output = Config.scratch_device config ~name:"output" in
   let report = sort_device ~config ~ordering ~input ~output () in
   (Extmem.Device.contents output, report)
+
+(* ---- event-stream front end (cross-tool fusion) ---- *)
+
+type stream = {
+  s_st : state;
+  s_input : Extmem.Device.t;
+  s_events : unit -> Xmlio.Event.t option;
+  s_close : unit -> unit;
+  s_t0 : float;
+  mutable s_report : report option;
+}
+
+let open_stream ?(config = Config.make ()) ~ordering ~input () =
+  Config.validate_ordering config ordering;
+  let t0 = Unix.gettimeofday () in
+  let session = Session.create config in
+  let io_meter () =
+    Extmem.Io_stats.add
+      (Extmem.Io_stats.snapshot (Extmem.Device.stats input))
+      (Session.total_io session)
+  in
+  let sim_meter () = Session.simulated_ms session +. Extmem.Device.simulated_ms input in
+  let st, entries = open_sorted ~session ~config ~ordering ~input ~io_meter ~sim_meter in
+  {
+    s_st = st;
+    s_input = input;
+    s_events = event_stream st entries.Pipe.pull;
+    s_close = entries.Pipe.close;
+    s_t0 = t0;
+    s_report = None;
+  }
+
+let stream_events s = s.s_events ()
+
+let stream_finish s =
+  match s.s_report with
+  | Some r -> r
+  | None ->
+      s.s_close ();
+      let r =
+        build_report s.s_st
+          ~input_io:(Extmem.Io_stats.snapshot (Extmem.Device.stats s.s_input))
+          ~output_io:(Extmem.Io_stats.create ())
+          ~extra_sim:(Extmem.Device.simulated_ms s.s_input)
+          ~t0:s.s_t0
+      in
+      s.s_report <- Some r;
+      r
 
 (* ---- machine-readable report (--metrics) ---- *)
 

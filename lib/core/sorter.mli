@@ -75,6 +75,31 @@ val sort_string :
   ?config:Config.t -> ordering:Ordering.t -> string -> string * report
 (** Convenience wrapper over in-memory devices. *)
 
+type stream
+(** An in-progress sort whose output phase is exposed as an XML event
+    stream instead of being serialized to a device — the fusion point for
+    downstream consumers (e.g. structural merge of several sorted
+    documents).  The scan and all subtree sorts run at {!open_stream}
+    time; pulling {!stream_events} drives the root's final merge and the
+    run-tree traversal lazily. *)
+
+val open_stream :
+  ?config:Config.t ->
+  ordering:Ordering.t ->
+  input:Extmem.Device.t ->
+  unit ->
+  stream
+(** Run the sorting phase on [input] and return the sorted document as a
+    pull stream of XML events.  Same raising behaviour as
+    {!sort_device}. *)
+
+val stream_events : stream -> Xmlio.Event.t option
+(** Next event of the sorted document, [None] at the end. *)
+
+val stream_finish : stream -> report
+(** Release the stream's resources (idempotent) and return the report.
+    [output_io] is zero — the caller owns whatever the events became. *)
+
 val pp_report : Format.formatter -> report -> unit
 
 val metrics_report : ?tool:string -> config:Config.t -> report -> Obs.Report.t

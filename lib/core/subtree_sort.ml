@@ -104,6 +104,33 @@ let rec emit_node session emit n =
 
 let write_node session w n = emit_node session (Extmem.Block_writer.write_record w) n
 
+(* Pull-based pre-order walk of a sorted forest: an explicit work list
+   replaces emit_node's recursion so the sorted entries can feed a
+   pipeline stage one at a time. *)
+let forest_pull session forest =
+  let work = ref (List.map (fun n -> `Node n) forest) in
+  fun () ->
+    match !work with
+    | [] -> None
+    | `End (level, pos) :: rest ->
+        work := rest;
+        Some (Session.encode_entry session (Entry.End { level; pos; key = None }))
+    | `Node n :: rest ->
+        let rest =
+          match n.entry with
+          | Entry.Start { level; pos; _ } ->
+              let rest = if packed session then rest else `End (level, pos) :: rest in
+              List.map (fun c -> `Node c) n.children @ rest
+          | Entry.Text _ | Entry.Run_ptr _ -> rest
+          | Entry.End _ -> assert false (* nodes are never built from End entries *)
+        in
+        work := rest;
+        Some (Session.encode_entry session n.entry)
+
+let sort_in_memory_source (session : Session.t) entries =
+  let depth_limit = session.Session.config.Config.depth_limit in
+  forest_pull session (sort_forest ~depth_limit (build_forest entries))
+
 let sort_in_memory_to (session : Session.t) entries emit =
   let depth_limit = session.Session.config.Config.depth_limit in
   let forest = sort_forest ~depth_limit (build_forest entries) in
@@ -244,6 +271,89 @@ let sort_external (session : Session.t) ~input ~scan =
   let id = Extmem.Run_store.finish_run session.Session.runs w in
   (id, stats)
 
+type streamed = {
+  pull : unit -> string option;
+  close : unit -> unit;
+  stats : Extsort.External_sort.stats;
+}
+
+(* Streaming variant of [sort_external_to]: run formation and all but the
+   last merge pass happen here (consuming [input]); the returned pull is
+   the final merge with entry reconstruction fused on top, so the root
+   sort's sorted entries flow straight into the output phase without a
+   materialised run.  The scratch device outlives [Session.with_temp]'s
+   scope, so its retirement bookkeeping is inlined into [close]. *)
+let sort_external_source (session : Session.t) ~input ~scan =
+  let depth_limit = session.Session.config.Config.depth_limit in
+  let records =
+    match scan with
+    | `Forward -> forward_records session ~depth_limit input
+    | `Reverse -> reverse_records session ~depth_limit input
+  in
+  Session.reclaim session;
+  let temp = Config.scratch_device session.Session.config ~name:"temp" in
+  let retired = ref false in
+  let retire () =
+    if not !retired then begin
+      retired := true;
+      Extmem.Io_stats.accumulate ~into:session.Session.temp_stats (Extmem.Device.stats temp);
+      session.Session.temp_sim_ms <-
+        session.Session.temp_sim_ms +. Extmem.Device.simulated_ms temp;
+      Extmem.Device.close temp
+    end
+  in
+  let o =
+    try
+      Extsort.External_sort.sort_open ~budget:session.Session.budget ~temp
+        ~cmp:Keypath.compare_encoded ~input:records ()
+    with e ->
+      retire ();
+      raise e
+  in
+  let opens = ref [] in (* (level, pos) of open Start entries *)
+  let pending = Queue.create () in (* encoded entries ready to emit *)
+  let close_down_to level =
+    if not (packed session) then
+      let rec go () =
+        match !opens with
+        | (l, pos) :: rest when l >= level ->
+            Queue.push
+              (Session.encode_entry session (Entry.End { level = l; pos; key = None }))
+              pending;
+            opens := rest;
+            go ()
+        | _ -> ()
+      in
+      go ()
+    else opens := List.filter (fun (l, _) -> l < level) !opens
+  in
+  let finished = ref false in
+  let rec pull () =
+    if not (Queue.is_empty pending) then Some (Queue.pop pending)
+    else if !finished then None
+    else
+      match o.Extsort.External_sort.pull () with
+      | Some record ->
+          let e = Session.decode_entry session (Keypath.decode_payload record) in
+          close_down_to (Entry.level e);
+          Queue.push (Session.encode_entry session e) pending;
+          (match e with
+          | Entry.Start { level; pos; _ } -> opens := (level, pos) :: !opens
+          | Entry.Text _ | Entry.Run_ptr _ | Entry.End _ -> ());
+          pull ()
+      | None ->
+          finished := true;
+          close_down_to 0;
+          o.Extsort.External_sort.close ();
+          retire ();
+          pull ()
+  in
+  let close () =
+    o.Extsort.External_sort.close ();
+    retire ()
+  in
+  { pull; close; stats = o.Extsort.External_sort.stats }
+
 (* ---- fragments (graceful degeneration, §3.2) ---- *)
 
 let header_prefix = '\xFF'
@@ -280,9 +390,19 @@ let write_fragment (session : Session.t) nodes =
     nodes;
   Extmem.Run_store.finish_run session.Session.runs w
 
-(* Chunk-level merge of fragment runs.  [keep_headers] preserves chunk
-   headers (intermediate passes); the final pass drops them. *)
-let merge_fragment_batch (session : Session.t) ~keep_headers ~fragments emit =
+(* Fragment merges account their reader buffers against the budget, but
+   clamped to what is free: [fan_in] guarantees at least a 2-way merge
+   even on degenerate budgets (the paper's minimum), so the floor may
+   over-commit by design rather than fail. *)
+let reserve_clamped (session : Session.t) ~who n =
+  let budget = session.Session.budget in
+  let n = min n (Extmem.Memory_budget.available_blocks budget) in
+  Extmem.Memory_budget.reserve budget ~who n;
+  n
+
+(* Chunk-level pull merge of fragment runs.  [keep_headers] preserves
+   chunk headers (intermediate passes); the final pass drops them. *)
+let fragment_batch_pull (session : Session.t) ~keep_headers ~fragments =
   let readers =
     List.map
       (fun id ->
@@ -291,11 +411,8 @@ let merge_fragment_batch (session : Session.t) ~keep_headers ~fragments emit =
         (r, ref first))
       fragments
   in
-  (* heap keyed by (key, pos, reader index) for stability *)
-  let module H = struct
-    type item = Key.t * int * int
-  end in
-  let items : H.item list ref = ref [] in
+  (* sorted work list keyed by (key, pos, reader index) for stability *)
+  let items : (Key.t * int * int) list ref = ref [] in
   let insert ((k, p, i) as item) =
     let rec ins = function
       | [] -> [ item ]
@@ -316,32 +433,49 @@ let merge_fragment_batch (session : Session.t) ~keep_headers ~fragments emit =
       | Some _ -> raise (Extmem.Codec.Corrupt "fragment run does not start with a header")
       | None -> ())
     readers;
-  while !items <> [] do
-    match !items with
-    | [] -> ()
-    | (k, p, i) :: rest ->
-        items := rest;
+  let current = ref None in (* reader whose chunk is being copied *)
+  let rec pull () =
+    match !current with
+    | Some i -> (
         let r, pending = readers.(i) in
-        if keep_headers then emit (encode_header k p);
-        (* copy chunk records until the next header or end of run *)
-        let rec copy () =
-          match Extmem.Block_reader.read_record r with
-          | None -> pending := None
-          | Some rec_ when is_header rec_ ->
-              pending := Some rec_;
-              let k', p' = decode_header rec_ in
-              insert (k', p', i)
-          | Some rec_ ->
-              emit rec_;
-              copy ()
-        in
-        copy ()
-  done
+        match Extmem.Block_reader.read_record r with
+        | None ->
+            pending := None;
+            current := None;
+            pull ()
+        | Some rec_ when is_header rec_ ->
+            pending := Some rec_;
+            let k', p' = decode_header rec_ in
+            insert (k', p', i);
+            current := None;
+            pull ()
+        | Some rec_ -> Some rec_)
+    | None -> (
+        match !items with
+        | [] -> None
+        | (k, p, i) :: rest ->
+            items := rest;
+            current := Some i;
+            if keep_headers then Some (encode_header k p) else pull ())
+  in
+  pull
+
+let merge_fragment_batch session ~keep_headers ~fragments emit =
+  let pull = fragment_batch_pull session ~keep_headers ~fragments in
+  let rec go () =
+    match pull () with
+    | None -> ()
+    | Some r ->
+        emit r;
+        go ()
+  in
+  go ()
 
 let fan_in (session : Session.t) =
   max 2 (Extmem.Memory_budget.available_blocks session.Session.budget - 1)
 
 let rec reduce_fragments session fragments =
+  Session.reclaim session;
   let k = fan_in session in
   if List.length fragments <= k then fragments
   else begin
@@ -359,31 +493,84 @@ let rec reduce_fragments session fragments =
     let next =
       List.map
         (fun batch ->
-          let w = Extmem.Run_store.begin_run session.Session.runs in
-          merge_fragment_batch session ~keep_headers:true ~fragments:batch
-            (Extmem.Block_writer.write_record w);
-          Extmem.Run_store.finish_run session.Session.runs w)
+          let held =
+            reserve_clamped session ~who:"fragment merge" (List.length batch + 1)
+          in
+          Fun.protect
+            ~finally:(fun () -> Extmem.Memory_budget.release session.Session.budget held)
+            (fun () ->
+              let w = Extmem.Run_store.begin_run session.Session.runs in
+              merge_fragment_batch session ~keep_headers:true ~fragments:batch
+                (Extmem.Block_writer.write_record w);
+              Extmem.Run_store.finish_run session.Session.runs w))
         (batches fragments)
     in
     reduce_fragments session next
   end
 
-(* emit the wrapped, merged element; fragments must already fit the fan-in *)
-let emit_merged session ~start_entry ~fragments emit =
-  emit (Session.encode_entry session start_entry);
-  merge_fragment_batch session ~keep_headers:false ~fragments emit;
-  match start_entry with
-  | Entry.Start { level; pos; _ } when not (packed session) ->
-      emit (Session.encode_entry session (Entry.End { level; pos; key = None }))
-  | Entry.Start _ | Entry.End _ | Entry.Text _ | Entry.Run_ptr _ -> ()
+(* the wrapped, merged element; fragments must already fit the fan-in *)
+let merged_pull session ~start_entry ~fragments =
+  let inner = fragment_batch_pull session ~keep_headers:false ~fragments in
+  let st = ref `Start in
+  let rec pull () =
+    match !st with
+    | `Start ->
+        st := `Body;
+        Some (Session.encode_entry session start_entry)
+    | `Body -> (
+        match inner () with
+        | Some r -> Some r
+        | None ->
+            st := `Tail;
+            pull ())
+    | `Tail -> (
+        st := `Done;
+        match start_entry with
+        | Entry.Start { level; pos; _ } when not (packed session) ->
+            Some (Session.encode_entry session (Entry.End { level; pos; key = None }))
+        | Entry.Start _ | Entry.End _ | Entry.Text _ | Entry.Run_ptr _ -> None)
+    | `Done -> None
+  in
+  pull
 
-let merge_fragments_to (session : Session.t) ~start_entry ~fragments emit =
+let merge_fragments_source (session : Session.t) ~start_entry ~fragments =
   (* reduce first: intermediate merge passes open their own runs *)
   let fragments = reduce_fragments session fragments in
-  emit_merged session ~start_entry ~fragments emit
+  let held = reserve_clamped session ~who:"fragment merge fan-in" (List.length fragments) in
+  let released = ref false in
+  let release () =
+    if not !released then begin
+      released := true;
+      Extmem.Memory_budget.release session.Session.budget held
+    end
+  in
+  let inner = merged_pull session ~start_entry ~fragments in
+  let pull () =
+    match inner () with
+    | Some r -> Some r
+    | None ->
+        release ();
+        None
+  in
+  (pull, release)
+
+let drain_into pull emit =
+  let rec go () =
+    match pull () with
+    | None -> ()
+    | Some r ->
+        emit r;
+        go ()
+  in
+  go ()
+
+let merge_fragments_to (session : Session.t) ~start_entry ~fragments emit =
+  let pull, close = merge_fragments_source session ~start_entry ~fragments in
+  Fun.protect ~finally:close (fun () -> drain_into pull emit)
 
 let merge_fragments (session : Session.t) ~start_entry ~fragments =
-  let fragments = reduce_fragments session fragments in
-  let w = Extmem.Run_store.begin_run session.Session.runs in
-  emit_merged session ~start_entry ~fragments (Extmem.Block_writer.write_record w);
-  Extmem.Run_store.finish_run session.Session.runs w
+  let pull, close = merge_fragments_source session ~start_entry ~fragments in
+  Fun.protect ~finally:close (fun () ->
+      let w = Extmem.Run_store.begin_run session.Session.runs in
+      drain_into pull (Extmem.Block_writer.write_record w);
+      Extmem.Run_store.finish_run session.Session.runs w)

@@ -43,8 +43,12 @@ val sort_in_memory : Session.t -> Entry.t list -> Extmem.Run_store.id
 
 val sort_in_memory_to : Session.t -> Entry.t list -> (string -> unit) -> unit
 (** Like {!sort_in_memory} but streaming the encoded entries to an
-    arbitrary sink instead of a run — used by root fusion, where the
-    final subtree sort feeds the output phase directly. *)
+    arbitrary sink instead of a run. *)
+
+val sort_in_memory_source : Session.t -> Entry.t list -> unit -> string option
+(** Pull-stream variant for pipeline fusion: sorts eagerly (the forest
+    is in memory anyway), then yields the encoded entries of the sorted
+    pre-order walk one at a time. *)
 
 val sort_external :
   Session.t ->
@@ -64,7 +68,28 @@ val sort_external_to :
   scan:[ `Forward | `Reverse ] ->
   (string -> unit) ->
   Extsort.External_sort.stats
-(** Sink-streaming variant of {!sort_external} (root fusion). *)
+(** Sink-streaming variant of {!sort_external}. *)
+
+type streamed = {
+  pull : unit -> string option;
+      (** encoded sorted entries; exhausting the stream releases the
+          final merge's memory and retires the scratch device *)
+  close : unit -> unit;  (** idempotent early release *)
+  stats : Extsort.External_sort.stats;
+}
+
+val sort_external_source :
+  Session.t ->
+  input:(unit -> Entry.t option) ->
+  scan:[ `Forward | `Reverse ] ->
+  streamed
+(** Pull-stream variant of {!sort_external_to} for pipeline fusion: run
+    formation and all intermediate merge passes run here (consuming
+    [input]); the final merge — with End-entry reconstruction fused on
+    top — is exposed as the returned pull, so the sorted entries stream
+    straight into their consumer without a materialised output run.
+    Reclaims borrowed stack blocks first ({!Session.reclaim}); the final
+    merge's fan-in stays reserved until the stream ends or [close]. *)
 
 val write_fragment : Session.t -> node list -> Extmem.Run_store.id
 (** Write a sorted forest (children of one open element) as an
@@ -86,4 +111,15 @@ val merge_fragments_to :
   fragments:Extmem.Run_store.id list ->
   (string -> unit) ->
   unit
-(** Sink-streaming variant of {!merge_fragments} (root fusion). *)
+(** Sink-streaming variant of {!merge_fragments}. *)
+
+val merge_fragments_source :
+  Session.t ->
+  start_entry:Entry.t ->
+  fragments:Extmem.Run_store.id list ->
+  (unit -> string option) * (unit -> unit)
+(** Pull-stream variant for pipeline fusion: reduces the fragments to
+    the memory fan-in (intermediate passes reserve their buffers from
+    the budget, clamped to the 2-way floor), reserves the final fan-in,
+    and returns [(pull, close)] over the wrapped merged element.  The
+    reservation is released at stream end or [close] (idempotent). *)

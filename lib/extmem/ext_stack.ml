@@ -16,6 +16,8 @@ type t = {
   dev : Device.t;
   bs : int;
   limit : int;
+  borrow : (Memory_budget.t * string) option;
+  mutable borrowed : int; (* extra window blocks reserved from the budget *)
   resident : frame Deque.t;
   mutable front_idx : int; (* block index of the deque's front *)
   mutable len : int;       (* logical byte length = top of stack *)
@@ -30,13 +32,15 @@ type t = {
   mutable high_water : int;  (* max logical length ever, bytes *)
 }
 
-let create ?name:_ ?(resident_blocks = 1) dev =
+let create ?name:_ ?(resident_blocks = 1) ?borrow dev =
   if resident_blocks < 1 then invalid_arg "Ext_stack.create: resident_blocks must be >= 1";
   let bs = Device.block_size dev in
   {
     dev;
     bs;
     limit = resident_blocks;
+    borrow;
+    borrowed = 0;
     resident = Deque.create ();
     front_idx = 0;
     len = 0;
@@ -97,10 +101,51 @@ let evict_front st =
   ignore (Deque.pop_front st.resident);
   st.front_idx <- st.front_idx + 1
 
+(* The elastic window: before evicting, try to grow the window by
+   borrowing otherwise-idle blocks from the budget.  Borrowed blocks are
+   given back by [release_surplus] (as the stack shrinks) or [shed] (when
+   another phase is about to reserve memory), so the stack only uses
+   memory nobody else wants — paging I/O drops, decisions based on
+   [Memory_budget.available_bytes] are unaffected as long as callers
+   account for [borrowed] (see [Session.arena_bytes]). *)
+let try_borrow st =
+  match st.borrow with
+  | None -> ()
+  | Some (budget, who) ->
+      while
+        Deque.length st.resident > st.limit + st.borrowed
+        && Memory_budget.available_blocks budget > 0
+      do
+        Memory_budget.reserve budget ~who 1;
+        st.borrowed <- st.borrowed + 1
+      done
+
 let maybe_evict st =
-  while Deque.length st.resident > st.limit do
+  try_borrow st;
+  while Deque.length st.resident > st.limit + st.borrowed do
     evict_front st
   done
+
+let release_surplus st =
+  match st.borrow with
+  | None -> ()
+  | Some (budget, _) ->
+      while st.borrowed > 0 && Deque.length st.resident <= st.limit + st.borrowed - 1 do
+        Memory_budget.release budget 1;
+        st.borrowed <- st.borrowed - 1
+      done
+
+let shed st =
+  match st.borrow with
+  | None -> ()
+  | Some (budget, _) ->
+      while Deque.length st.resident > st.limit do
+        evict_front st
+      done;
+      Memory_budget.release budget st.borrowed;
+      st.borrowed <- 0
+
+let borrowed st = st.borrowed
 
 (* Make block [b] resident, reading it from the device if it was flushed
    before and contains live bytes, zero-filling otherwise.  Only blocks
@@ -220,6 +265,7 @@ let truncate_to st pos =
   in
   drop ();
   maybe_evict st;
+  release_surplus st;
   st.scratch_idx <- -1
 
 let read_top_entry st =

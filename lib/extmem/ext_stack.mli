@@ -30,10 +30,20 @@
 
 type t
 
-val create : ?name:string -> ?resident_blocks:int -> Device.t -> t
+val create : ?name:string -> ?resident_blocks:int -> ?borrow:Memory_budget.t * string -> Device.t -> t
 (** [create dev] is an empty stack storing its spilled blocks on [dev]
     (which it should own exclusively).  [resident_blocks] (default 1,
-    must be >= 1) bounds the internal-memory window. *)
+    must be >= 1) bounds the internal-memory window.
+
+    With [borrow:(budget, who)] the window becomes {e elastic}: instead
+    of evicting when it outgrows [resident_blocks], the stack first
+    reserves idle blocks from [budget] (one at a time, under the name
+    [who]) and keeps them resident, falling back to eviction only when
+    the budget is exhausted.  Borrowed blocks are returned as the stack
+    shrinks, or all at once by {!shed}; callers that size work off
+    [Memory_budget.available_bytes] must add {!borrowed} back in to keep
+    decisions independent of how much was lent (see
+    [Session.arena_bytes]). *)
 
 val length : t -> int
 (** Current top-of-stack byte offset. *)
@@ -77,8 +87,17 @@ val read_all_from : t -> pos:int -> string
     behaviour as {!iter_entries_from}. *)
 
 val resident_blocks : t -> int
-(** Number of blocks currently held in memory (<= the configured limit,
-    except transiently while popping an entry larger than the window). *)
+(** Number of blocks currently held in memory (<= the configured limit
+    plus {!borrowed}, except transiently while popping an entry larger
+    than the window). *)
+
+val borrowed : t -> int
+(** Blocks currently borrowed from the budget (0 without [?borrow]). *)
+
+val shed : t -> unit
+(** Evict the window down to its configured limit and release every
+    borrowed block back to the budget.  Call before another phase
+    reserves memory.  No-op without [?borrow]. *)
 
 val device : t -> Device.t
 (** The backing device (for layer inspection and simulated-cost totals). *)

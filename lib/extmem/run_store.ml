@@ -31,6 +31,10 @@ let run_extent t id =
 
 let open_run t id = Block_reader.of_extent t.dev (run_extent t id)
 
+let read_run t id =
+  let r = open_run t id in
+  fun () -> Block_reader.read_record r
+
 let total_run_blocks t = Vec.fold_left (fun acc e -> acc + e.Extent.blocks) 0 t.extents
 
 let total_run_bytes t = Vec.fold_left (fun acc e -> acc + e.Extent.bytes) 0 t.extents

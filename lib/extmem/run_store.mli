@@ -33,6 +33,12 @@ val open_run : t -> id -> Block_reader.t
 (** A fresh sequential reader over the given run.
     @raise Invalid_argument on an unknown id. *)
 
+val read_run : t -> id -> unit -> string option
+(** Streaming open: a pull over the run's length-prefixed records, for
+    feeding a run into a pipeline without re-materialising it.  The
+    reader holds one block of buffer; callers account for it (see
+    [Pipe.of_run]). *)
+
 val run_extent : t -> id -> Extent.t
 
 val total_run_blocks : t -> int

@@ -130,11 +130,11 @@ let replacement_selection_runs ~arena_capacity ~store ~cmp ~input ~count =
 
 (* ---- merging ---- *)
 
-let merge_phases ~store ~fan_in ~cmp ~output runs =
-  let open_inputs ids =
-    Array.of_list (List.map (fun id -> sorted_run_input (Extmem.Run_store.open_run store id)) ids)
-  in
-  let rec batches = function
+let open_inputs store ids =
+  Array.of_list (List.map (fun id -> sorted_run_input (Extmem.Run_store.open_run store id)) ids)
+
+let batches fan_in ids =
+  let rec go = function
     | [] -> []
     | ids ->
         let rec take k acc = function
@@ -143,22 +143,29 @@ let merge_phases ~store ~fan_in ~cmp ~output runs =
           | id :: rest -> take (k - 1) (id :: acc) rest
         in
         let batch, rest = take fan_in [] ids in
-        batch :: batches rest
+        batch :: go rest
   in
+  go ids
+
+(* Merge until at most [fan_in] runs remain; those feed the final,
+   streaming merge.  Each intermediate pass reserves its own output
+   buffer and (via Multiway) its fan-in, so memory is accounted
+   per-phase instead of as one opaque blanket. *)
+let intermediate_passes ~budget ~store ~fan_in ~cmp runs =
   let rec passes runs n =
-    if List.length runs <= fan_in then begin
-      Multiway.merge ~cmp ~inputs:(open_inputs runs) ~output;
-      n + 1
-    end
+    if List.length runs <= fan_in then (runs, n)
     else begin
       let next_runs =
         List.map
           (fun batch ->
+            Extmem.Memory_budget.with_reserved budget ~who:"external sort merge output buffer" 1
+            @@ fun () ->
             let w = Extmem.Run_store.begin_run store in
-            Multiway.merge ~cmp ~inputs:(open_inputs batch)
-              ~output:(Extmem.Block_writer.write_record w);
+            Multiway.merge ~budget ~who:"external sort merge" ~cmp
+              ~inputs:(open_inputs store batch)
+              ~output:(Extmem.Block_writer.write_record w) ();
             Extmem.Run_store.finish_run store w)
-          (batches runs)
+          (batches fan_in runs)
       in
       passes next_runs (n + 1)
     end
@@ -167,14 +174,19 @@ let merge_phases ~store ~fan_in ~cmp ~output runs =
 
 (* ---- driver ---- *)
 
-let sort ?(run_formation = `Load_sort) ~budget ~temp ~cmp ~input ~output () =
+type opened = {
+  pull : unit -> string option;
+  close : unit -> unit;
+  stats : stats;
+}
+
+let sort_open ?(run_formation = `Load_sort) ~budget ~temp ~cmp ~input () =
   let bs = Extmem.Memory_budget.block_size budget in
   let blocks = Extmem.Memory_budget.available_blocks budget in
   if blocks < 3 then
     raise
       (Extmem.Memory_budget.Exhausted
          (Printf.sprintf "external sort needs >= 3 blocks, has %d" blocks));
-  Extmem.Memory_budget.with_reserved budget ~who:"external sort" blocks @@ fun () ->
   (* one block is the stream buffer of the run writer / output;
      the rest is the arena during run formation *)
   let arena_capacity = (blocks - 1) * bs in
@@ -188,24 +200,87 @@ let sort ?(run_formation = `Load_sort) ~budget ~temp ~cmp ~input ~output () =
   let finish initial_runs merge_passes =
     { records = !records; bytes = !total_bytes; initial_runs; merge_passes }
   in
-  match run_formation with
-  | `Load_sort -> (
-      match load_sort_runs ~arena_capacity ~store ~cmp ~input ~count with
-      | Error arena ->
-          Extmem.Vec.iter output arena;
-          finish 0 0
-      | Ok runs ->
-          let fan_in = blocks - 1 in
-          let merge_passes = merge_phases ~store ~fan_in ~cmp ~output runs in
-          finish (List.length runs) merge_passes)
-  | `Replacement_selection -> (
-      match replacement_selection_runs ~arena_capacity ~store ~cmp ~input ~count with
-      | Error heap ->
-          while Heap.length heap > 0 do
-            output (Heap.pop heap)
-          done;
-          finish 0 0
-      | Ok runs ->
-          let fan_in = blocks - 1 in
-          let merge_passes = merge_phases ~store ~fan_in ~cmp ~output runs in
-          finish (List.length runs) merge_passes)
+  Extmem.Memory_budget.reserve budget ~who:"external sort run formation" blocks;
+  let formed =
+    try
+      match run_formation with
+      | `Load_sort -> (
+          match load_sort_runs ~arena_capacity ~store ~cmp ~input ~count with
+          | Error arena -> `Arena arena
+          | Ok runs -> `Runs runs)
+      | `Replacement_selection -> (
+          match replacement_selection_runs ~arena_capacity ~store ~cmp ~input ~count with
+          | Error heap -> `Heap heap
+          | Ok runs -> `Runs runs)
+    with e ->
+      Extmem.Memory_budget.release budget blocks;
+      raise e
+  in
+  match formed with
+  | `Arena arena ->
+      (* Everything fits: the sorted arena stays live until drained, so
+         keep its [blocks - 1] accounted (the output-buffer block is the
+         caller's) and release on close / exhaustion. *)
+      Extmem.Memory_budget.release budget 1;
+      let released = ref false in
+      let release () =
+        if not !released then begin
+          released := true;
+          Extmem.Memory_budget.release budget (blocks - 1)
+        end
+      in
+      let idx = ref 0 in
+      let pull () =
+        if !idx >= Extmem.Vec.length arena then begin
+          release ();
+          None
+        end
+        else begin
+          let r = Extmem.Vec.get arena !idx in
+          incr idx;
+          Some r
+        end
+      in
+      { pull; close = release; stats = finish 0 0 }
+  | `Heap heap ->
+      Extmem.Memory_budget.release budget 1;
+      let released = ref false in
+      let release () =
+        if not !released then begin
+          released := true;
+          Extmem.Memory_budget.release budget (blocks - 1)
+        end
+      in
+      let pull () =
+        if Heap.length heap = 0 then begin
+          release ();
+          None
+        end
+        else Some (Heap.pop heap)
+      in
+      { pull; close = release; stats = finish 0 0 }
+  | `Runs runs ->
+      Extmem.Memory_budget.release budget blocks;
+      let fan_in = blocks - 1 in
+      let final_runs, inter =
+        intermediate_passes ~budget ~store ~fan_in ~cmp runs
+      in
+      let pull, close =
+        Multiway.merge_pull ~budget ~who:"external sort final merge" ~cmp
+          ~inputs:(open_inputs store final_runs) ()
+      in
+      { pull; close; stats = finish (List.length runs) (inter + 1) }
+
+let sort ?run_formation ~budget ~temp ~cmp ~input ~output () =
+  let o = sort_open ?run_formation ~budget ~temp ~cmp ~input () in
+  Fun.protect ~finally:o.close (fun () ->
+      Extmem.Memory_budget.with_reserved budget ~who:"external sort output buffer" 1 @@ fun () ->
+      let rec go () =
+        match o.pull () with
+        | None -> ()
+        | Some r ->
+            output r;
+            go ()
+      in
+      go ());
+  o.stats

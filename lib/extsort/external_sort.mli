@@ -35,6 +35,48 @@ type stats = {
                            input fit in memory or a single run sufficed) *)
 }
 
+type opened = {
+  pull : unit -> string option;
+      (** the sorted stream; pulling it to exhaustion releases the
+          sort's remaining reservation *)
+  close : unit -> unit;
+      (** idempotent; releases whatever the sort still holds (call when
+          abandoning the stream early) *)
+  stats : stats;
+      (** complete at open time: [merge_passes] includes the final,
+          streaming merge *)
+}
+(** A sort whose final merge has been opened as a pull stream instead of
+    drained into a sink — the pipeline-fusion entry point. *)
+
+val sort_open :
+  ?run_formation:run_formation ->
+  budget:Extmem.Memory_budget.t ->
+  temp:Extmem.Device.t ->
+  cmp:(string -> string -> int) ->
+  input:(unit -> string option) ->
+  unit ->
+  opened
+(** [sort_open ~budget ~temp ~cmp ~input ()] drains [input], forms runs,
+    runs every merge pass but the last, and returns the final merge as a
+    pull stream — fusing the sort's output boundary into whatever
+    consumes it (no materialised output run).
+
+    Memory is reserved per phase from [budget]: run formation takes all
+    currently-available blocks (at least 3 are required: 2-way merge
+    fan-in plus an output buffer) and releases them when runs are cut;
+    each intermediate merge pass reserves its fan-in plus one output
+    buffer; the final merge holds its fan-in until the stream is
+    exhausted or closed.  When the input fits in the arena, the sorted
+    arena itself stays reserved until the stream is done.
+
+    Temp-device contents are garbage after the stream is drained and may
+    be reused by subsequent sorts (each sort appends; pass a fresh or
+    recycled device to reclaim space).
+
+    @raise Extmem.Memory_budget.Exhausted when fewer than 3 blocks are
+    free. *)
+
 val sort :
   ?run_formation:run_formation ->
   budget:Extmem.Memory_budget.t ->
@@ -44,13 +86,10 @@ val sort :
   output:(string -> unit) ->
   unit ->
   stats
-(** [sort ~budget ~temp ~cmp ~input ~output ()] drains [input], sorts,
-    and feeds [output] in sorted order.  During operation it reserves all
-    currently-available blocks of [budget] (at least 3 are required:
-    2-way merge fan-in plus an output buffer) and releases them when
-    done.  Temp-device contents are garbage afterwards and may be reused
-    by subsequent sorts (each sort appends; pass a fresh or recycled
-    device to reclaim space).
+(** [sort ~budget ~temp ~cmp ~input ~output ()] is {!sort_open} drained
+    into [output] (reserving one output-buffer block for the drain).
+    Peak memory use equals the blocks available at entry, as before the
+    streaming refactor.
 
     @raise Extmem.Memory_budget.Exhausted when fewer than 3 blocks are
     free. *)

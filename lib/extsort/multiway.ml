@@ -1,4 +1,6 @@
-let merge ~cmp ~inputs ~output =
+let default_who k = Printf.sprintf "%d-way merge" k
+
+let make_heap ~cmp ~inputs =
   let less (ra, ia) (rb, ib) =
     let c = cmp ra rb in
     if c <> 0 then c < 0 else ia < ib
@@ -10,12 +12,51 @@ let merge ~cmp ~inputs ~output =
       | Some r -> Heap.push h (r, i)
       | None -> ())
     inputs;
-  while not (Heap.is_empty h) do
-    let r, i = Heap.pop h in
-    output r;
-    match inputs.(i) () with
-    | Some r' -> Heap.push h (r', i)
-    | None -> ()
-  done
+  h
 
-let merge_list ~cmp ~inputs ~output = merge ~cmp ~inputs:(Array.of_list inputs) ~output
+let merge ?budget ?who ~cmp ~inputs ~output () =
+  let k = Array.length inputs in
+  let who = match who with Some w -> w | None -> default_who k in
+  let body () =
+    let h = make_heap ~cmp ~inputs in
+    while not (Heap.is_empty h) do
+      let r, i = Heap.pop h in
+      output r;
+      match inputs.(i) () with
+      | Some r' -> Heap.push h (r', i)
+      | None -> ()
+    done
+  in
+  match budget with
+  | None -> body ()
+  | Some b -> Extmem.Memory_budget.with_reserved b ~who k body
+
+let merge_list ?budget ?who ~cmp ~inputs ~output () =
+  merge ?budget ?who ~cmp ~inputs:(Array.of_list inputs) ~output ()
+
+let merge_pull ?budget ?who ~cmp ~inputs () =
+  let k = Array.length inputs in
+  let who = match who with Some w -> w | None -> default_who k in
+  (match budget with Some b -> Extmem.Memory_budget.reserve b ~who k | None -> ());
+  let released = ref false in
+  let release () =
+    if not !released then begin
+      released := true;
+      match budget with Some b -> Extmem.Memory_budget.release b k | None -> ()
+    end
+  in
+  let h = make_heap ~cmp ~inputs in
+  let pull () =
+    if Heap.is_empty h then begin
+      release ();
+      None
+    end
+    else begin
+      let r, i = Heap.pop h in
+      (match inputs.(i) () with
+      | Some r' -> Heap.push h (r', i)
+      | None -> ());
+      Some r
+    end
+  in
+  (pull, release)

@@ -1,0 +1,118 @@
+type 'a pull = unit -> 'a option
+
+type 'a source = {
+  s_desc : string list;  (* stage names, source first *)
+  s_mem : int;
+  s_open : unit -> 'a pull * (unit -> unit);
+}
+
+type ('a, 'b) transform = {
+  t_who : string;
+  t_mem : int;
+  t_fn : 'a pull -> 'b pull;
+}
+
+type 'a sink = {
+  k_who : string;
+  k_mem : int;
+  k_open : unit -> ('a -> unit) * (unit -> unit);
+}
+
+type 'a opened = { pull : 'a pull; close : unit -> unit }
+
+let source ?(mem = 0) ~who open_ = { s_desc = [ who ]; s_mem = mem; s_open = open_ }
+
+let of_pull ?(mem = 0) ~who pull = source ~mem ~who (fun () -> (pull, ignore))
+
+let of_list ~who items =
+  source ~who (fun () ->
+      let rest = ref items in
+      let pull () =
+        match !rest with
+        | [] -> None
+        | x :: tl ->
+            rest := tl;
+            Some x
+      in
+      (pull, ignore))
+
+let of_run ?(who = "run reader") store id =
+  source ~mem:1 ~who (fun () -> (Extmem.Run_store.read_run store id, ignore))
+
+let transform ?(mem = 0) ~who fn = { t_who = who; t_mem = mem; t_fn = fn }
+
+let map ~who f =
+  transform ~who (fun pull () -> match pull () with None -> None | Some x -> Some (f x))
+
+let via src tr =
+  {
+    s_desc = src.s_desc @ [ tr.t_who ];
+    s_mem = src.s_mem + tr.t_mem;
+    s_open =
+      (fun () ->
+        let pull, close = src.s_open () in
+        (tr.t_fn pull, close));
+  }
+
+let sink ?(mem = 0) ~who open_ = { k_who = who; k_mem = mem; k_open = open_ }
+
+let fn_sink ~who push = sink ~who (fun () -> (push, ignore))
+
+let mem_need src = src.s_mem
+let sink_mem snk = snk.k_mem
+let describe src = String.concat " -> " src.s_desc
+let sink_who snk = snk.k_who
+
+let in_span spans name f =
+  match spans with None -> f () | Some sp -> Obs.Spans.with_span sp name f
+
+let open_source ?spans ~budget src =
+  let who = describe src in
+  Extmem.Memory_budget.reserve budget ~who src.s_mem;
+  let pull, close_stages =
+    try in_span spans ("open:" ^ who) src.s_open
+    with e ->
+      Extmem.Memory_budget.release budget src.s_mem;
+      raise e
+  in
+  let closed = ref false in
+  let close () =
+    if not !closed then begin
+      closed := true;
+      Fun.protect
+        ~finally:(fun () -> Extmem.Memory_budget.release budget src.s_mem)
+        close_stages
+    end
+  in
+  { pull; close }
+
+let drain pull push =
+  let rec loop () =
+    match pull () with
+    | None -> ()
+    | Some x ->
+        push x;
+        loop ()
+  in
+  loop ()
+
+let run_opened ?spans ~budget opened snk =
+  Fun.protect ~finally:opened.close @@ fun () ->
+  Extmem.Memory_budget.reserve budget ~who:snk.k_who snk.k_mem;
+  let release () = Extmem.Memory_budget.release budget snk.k_mem in
+  let push, close_snk =
+    try snk.k_open ()
+    with e ->
+      release ();
+      raise e
+  in
+  match in_span spans ("drain:" ^ snk.k_who) (fun () -> drain opened.pull push) with
+  | () -> Fun.protect ~finally:release close_snk
+  | exception e ->
+      (* Flush what the sink buffered so a failing pipeline never leaves a
+         torn final block; the original exception wins over flush errors. *)
+      (try close_snk () with _ -> ());
+      release ();
+      raise e
+
+let run ?spans ~budget src snk = run_opened ?spans ~budget (open_source ?spans ~budget src) snk

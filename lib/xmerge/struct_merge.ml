@@ -263,7 +263,81 @@ let merge_devices ~ordering ~left ~right ~output () =
   Extmem.Device.set_byte_length output extent.Extmem.Extent.bytes;
   report
 
-let sort_and_merge_strings ?config ~ordering left right =
-  let sorted_l, _ = Nexsort.sort_string ?config ~ordering left in
-  let sorted_r, _ = Nexsort.sort_string ?config ~ordering right in
-  merge_strings ~ordering sorted_l sorted_r
+(* Fused sort+merge: both inputs are opened as sorted event streams
+   (each drives its own NEXSORT session — the root's final merge runs
+   lazily as the merge pulls), so neither sorted document is ever
+   materialised. *)
+let merge_sorted_streams ?io ~ordering ~config ~left ~right ~emit () =
+  let sl = Nexsort.open_stream ~config ~ordering ~input:left () in
+  let sr =
+    try Nexsort.open_stream ~config ~ordering ~input:right ()
+    with e ->
+      ignore (Nexsort.stream_finish sl);
+      raise e
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Nexsort.stream_finish sl);
+      ignore (Nexsort.stream_finish sr))
+    (fun () ->
+      merge_events ?io ~ordering
+        ~left:(fun () -> Nexsort.stream_events sl)
+        ~right:(fun () -> Nexsort.stream_events sr)
+        ~emit ())
+
+let sort_and_merge_devices ?(config = Nexsort.Config.make ()) ?(fuse = true) ~ordering ~left
+    ~right ~output () =
+  if fuse then begin
+    let bw = Extmem.Block_writer.create output in
+    let writer = Xmlio.Writer.to_block_writer bw in
+    let io () =
+      Extmem.Io_stats.add
+        (Extmem.Io_stats.add
+           (Extmem.Io_stats.snapshot (Extmem.Device.stats left))
+           (Extmem.Io_stats.snapshot (Extmem.Device.stats right)))
+        (Extmem.Io_stats.snapshot (Extmem.Device.stats output))
+    in
+    let report =
+      merge_sorted_streams ~io ~ordering ~config ~left ~right
+        ~emit:(Xmlio.Writer.event writer) ()
+    in
+    Xmlio.Writer.close writer;
+    let extent = Extmem.Block_writer.close bw in
+    Extmem.Device.set_byte_length output extent.Extmem.Extent.bytes;
+    report
+  end
+  else begin
+    (* unfused: materialise both sorted documents on scratch devices,
+       then run the single-pass device merge *)
+    let sorted name input =
+      let d = Nexsort.Config.scratch_device config ~name in
+      ignore (Nexsort.sort_device ~config ~ordering ~input ~output:d ());
+      d
+    in
+    let ldev = sorted "sorted-left" left in
+    let rdev = sorted "sorted-right" right in
+    merge_devices ~ordering ~left:ldev ~right:rdev ~output ()
+  end
+
+let sort_and_merge_strings ?config ?(fuse = true) ~ordering left right =
+  let config = Option.value config ~default:(Nexsort.Config.make ()) in
+  if fuse then begin
+    let load name s =
+      let d = Nexsort.Config.scratch_device config ~name in
+      Extmem.Device.load_string d s;
+      d
+    in
+    let left = load "left" left and right = load "right" right in
+    let buf = Buffer.create 1024 in
+    let writer = Xmlio.Writer.to_buffer buf in
+    let report =
+      merge_sorted_streams ~ordering ~config ~left ~right ~emit:(Xmlio.Writer.event writer) ()
+    in
+    Xmlio.Writer.close writer;
+    (Buffer.contents buf, report)
+  end
+  else begin
+    let sorted_l, _ = Nexsort.sort_string ~config ~ordering left in
+    let sorted_r, _ = Nexsort.sort_string ~config ~ordering right in
+    merge_strings ~ordering sorted_l sorted_r
+  end

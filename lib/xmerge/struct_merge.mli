@@ -70,8 +70,30 @@ val merge_devices :
 
 val sort_and_merge_strings :
   ?config:Nexsort.Config.t ->
+  ?fuse:bool ->
   ordering:Nexsort.Ordering.t ->
   string ->
   string ->
   string * report
-(** Convenience for unsorted inputs: NEXSORT both, then merge. *)
+(** Convenience for unsorted inputs: NEXSORT both, then merge.  With
+    [fuse] (the default) the two sorts are opened as event streams
+    ({!Nexsort.open_stream}) and the merge pulls from them directly, so
+    neither sorted document is materialised; [~fuse:false] restores the
+    three-pass sort/sort/merge sequence.  Each fused sort runs its own
+    session with its own memory budget. *)
+
+val sort_and_merge_devices :
+  ?config:Nexsort.Config.t ->
+  ?fuse:bool ->
+  ordering:Nexsort.Ordering.t ->
+  left:Extmem.Device.t ->
+  right:Extmem.Device.t ->
+  output:Extmem.Device.t ->
+  unit ->
+  report
+(** Sort both device-resident documents and merge them onto [output].
+    Fused (default), the sorted documents exist only as event streams —
+    the whole job writes each input's sorted runs once and the merged
+    output once, skipping the two sorted-document materialisation
+    passes.  [~fuse:false] sorts onto scratch devices first and then
+    runs {!merge_devices}. *)

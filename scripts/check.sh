@@ -16,9 +16,11 @@ dune runtest
 # Bench smoke: a quick run must produce a metrics report that parses and
 # carries the paper's per-phase I/O breakdown (§4.2).  The validated
 # report is kept in-repo as BENCH_smoke.json so schema drift shows up in
-# review.
+# review, and any I/O counter regression against the committed baseline
+# fails the gate before the baseline is refreshed.
 dune exec bench/main.exe -- --quick --metrics /tmp/m.json > /dev/null
 dune exec bench/main.exe -- validate-metrics /tmp/m.json
+dune exec bench/main.exe -- compare-metrics BENCH_smoke.json /tmp/m.json
 cp /tmp/m.json BENCH_smoke.json
 
 echo "check: OK"

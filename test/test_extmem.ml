@@ -409,8 +409,69 @@ let test_run_store_exclusive () =
     Alcotest.fail "expected exclusivity error"
   with Invalid_argument _ -> ()
 
+let test_run_store_read_run () =
+  let d = Extmem.Device.in_memory ~block_size:16 () in
+  let rs = Extmem.Run_store.create d in
+  let w = Extmem.Run_store.begin_run rs in
+  List.iter (Extmem.Block_writer.write_record w) [ "alpha"; "beta"; "gamma" ];
+  let id = Extmem.Run_store.finish_run rs w in
+  let pull = Extmem.Run_store.read_run rs id in
+  let rec all acc = match pull () with None -> List.rev acc | Some r -> all (r :: acc) in
+  check (Alcotest.list Alcotest.string) "streamed records" [ "alpha"; "beta"; "gamma" ] (all []);
+  check (Alcotest.option Alcotest.string) "exhausted stays exhausted" None (pull ())
+
 (* ------------------------------------------------------------------ *)
 (* Ext_stack *)
+
+let test_ext_stack_borrow_window () =
+  (* with a budget to borrow from, a 1-block window grows instead of
+     paging; shed returns every borrowed block and forces the spill *)
+  let d = Extmem.Device.in_memory ~block_size:16 () in
+  let budget = Extmem.Memory_budget.create ~blocks:8 ~block_size:16 in
+  let st = Extmem.Ext_stack.create ~resident_blocks:1 ~borrow:(budget, "test window") d in
+  for i = 0 to 99 do
+    Extmem.Ext_stack.push st (Printf.sprintf "entry-%03d" i)
+  done;
+  check Alcotest.bool "borrowed from the budget" true (Extmem.Ext_stack.borrowed st > 0);
+  check Alcotest.int "borrow is accounted" (Extmem.Ext_stack.borrowed st)
+    (Extmem.Memory_budget.used_blocks budget);
+  let writes_before = (Extmem.Ext_stack.io_stats st).Extmem.Io_stats.writes in
+  Extmem.Ext_stack.shed st;
+  check Alcotest.int "shed returns every block" 0 (Extmem.Ext_stack.borrowed st);
+  check Alcotest.int "budget whole again" 0 (Extmem.Memory_budget.used_blocks budget);
+  check Alcotest.bool "shedding spills the surplus" true
+    ((Extmem.Ext_stack.io_stats st).Extmem.Io_stats.writes > writes_before);
+  (* contents survive the shed *)
+  for i = 99 downto 0 do
+    check Alcotest.string "pop order" (Printf.sprintf "entry-%03d" i) (Extmem.Ext_stack.pop st)
+  done
+
+let test_ext_stack_borrow_release_on_truncate () =
+  let d = Extmem.Device.in_memory ~block_size:16 () in
+  let budget = Extmem.Memory_budget.create ~blocks:8 ~block_size:16 in
+  let st = Extmem.Ext_stack.create ~resident_blocks:1 ~borrow:(budget, "test window") d in
+  for i = 0 to 99 do
+    Extmem.Ext_stack.push st (Printf.sprintf "entry-%03d" i)
+  done;
+  let borrowed = Extmem.Ext_stack.borrowed st in
+  check Alcotest.bool "borrowed" true (borrowed > 0);
+  Extmem.Ext_stack.truncate_to st 0;
+  check Alcotest.int "truncate gives the blocks back" 0 (Extmem.Ext_stack.borrowed st);
+  check Alcotest.int "budget whole again" 0 (Extmem.Memory_budget.used_blocks budget)
+
+let test_ext_stack_borrow_stops_at_exhaustion () =
+  (* an exhausted budget must never raise out of push: the window just
+     pages as if it had no borrow source *)
+  let d = Extmem.Device.in_memory ~block_size:16 () in
+  let budget = Extmem.Memory_budget.create ~blocks:2 ~block_size:16 in
+  Extmem.Memory_budget.reserve budget ~who:"someone else" 2;
+  let st = Extmem.Ext_stack.create ~resident_blocks:1 ~borrow:(budget, "test window") d in
+  for i = 0 to 99 do
+    Extmem.Ext_stack.push st (Printf.sprintf "entry-%03d" i)
+  done;
+  check Alcotest.int "nothing borrowed" 0 (Extmem.Ext_stack.borrowed st);
+  check Alcotest.bool "paged instead" true
+    ((Extmem.Ext_stack.io_stats st).Extmem.Io_stats.writes > 0)
 
 let test_ext_stack_basic () =
   let d = Extmem.Device.in_memory ~block_size:16 () in
@@ -1163,6 +1224,7 @@ let () =
         [
           Alcotest.test_case "basic" `Quick test_run_store;
           Alcotest.test_case "exclusive writer" `Quick test_run_store_exclusive;
+          Alcotest.test_case "read_run stream" `Quick test_run_store_read_run;
         ] );
       ( "ext_stack",
         [
@@ -1174,6 +1236,11 @@ let () =
           Alcotest.test_case "scan and truncate" `Quick test_ext_stack_scan_and_truncate;
           Alcotest.test_case "read_all_from" `Quick test_ext_stack_read_all_from;
           Alcotest.test_case "interleaved after spill" `Quick test_ext_stack_interleaved_after_spill;
+          Alcotest.test_case "borrow window" `Quick test_ext_stack_borrow_window;
+          Alcotest.test_case "borrow released on truncate" `Quick
+            test_ext_stack_borrow_release_on_truncate;
+          Alcotest.test_case "borrow stops at exhaustion" `Quick
+            test_ext_stack_borrow_stops_at_exhaustion;
           qcheck prop_ext_stack_model;
           qcheck prop_ext_stack_push_io_linear;
         ] );

@@ -23,17 +23,17 @@ let collect f =
 
 let test_multiway_basic () =
   let inputs = [| of_list [ "a"; "d"; "f" ]; of_list [ "b"; "c" ]; of_list [ "e" ] |] in
-  let got = collect (fun output -> Extsort.Multiway.merge ~cmp:compare ~inputs ~output) in
+  let got = collect (fun output -> Extsort.Multiway.merge ~cmp:compare ~inputs ~output ()) in
   check (Alcotest.list Alcotest.string) "merged" [ "a"; "b"; "c"; "d"; "e"; "f" ] got
 
 let test_multiway_empty_inputs () =
   let got =
     collect (fun output ->
         Extsort.Multiway.merge ~cmp:compare ~inputs:[| of_list []; of_list [ "x" ]; of_list [] |]
-          ~output)
+          ~output ())
   in
   check (Alcotest.list Alcotest.string) "merged" [ "x" ] got;
-  let got2 = collect (fun output -> Extsort.Multiway.merge ~cmp:compare ~inputs:[||] ~output) in
+  let got2 = collect (fun output -> Extsort.Multiway.merge ~cmp:compare ~inputs:[||] ~output ()) in
   check (Alcotest.list Alcotest.string) "no inputs" [] got2
 
 let test_multiway_stability () =
@@ -41,7 +41,7 @@ let test_multiway_stability () =
   let cmp a b = compare (String.length a) (String.length b) in
   let got =
     collect (fun output ->
-        Extsort.Multiway.merge ~cmp ~inputs:[| of_list [ "aa" ]; of_list [ "bb" ] |] ~output)
+        Extsort.Multiway.merge ~cmp ~inputs:[| of_list [ "aa" ]; of_list [ "bb" ] |] ~output ())
   in
   check (Alcotest.list Alcotest.string) "stable" [ "aa"; "bb" ] got
 
@@ -51,8 +51,64 @@ let prop_multiway_equals_list_merge =
     (fun lists ->
       let sorted_lists = List.map (List.sort compare) lists in
       let inputs = Array.of_list (List.map of_list sorted_lists) in
-      let got = collect (fun output -> Extsort.Multiway.merge ~cmp:compare ~inputs ~output) in
+      let got = collect (fun output -> Extsort.Multiway.merge ~cmp:compare ~inputs ~output ()) in
       got = List.sort compare (List.concat lists))
+
+let test_multiway_budget_reserved () =
+  (* fan-in buffers are reserved from the budget for the merge's duration
+     and released afterwards *)
+  let budget = Extmem.Memory_budget.create ~blocks:4 ~block_size:16 in
+  let peak = ref 0 in
+  let first = of_list [ "a" ] in
+  let inputs =
+    [|
+      (fun () ->
+        peak := max !peak (Extmem.Memory_budget.used_blocks budget);
+        first ());
+      of_list [ "b" ];
+      of_list [ "c" ];
+    |]
+  in
+  Extsort.Multiway.merge ~budget ~cmp:compare ~inputs ~output:ignore ();
+  check Alcotest.bool "fan-in reserved during merge" true (!peak >= 3);
+  check Alcotest.int "released after" 0 (Extmem.Memory_budget.used_blocks budget)
+
+let test_multiway_budget_exhausted_names_merge () =
+  let budget = Extmem.Memory_budget.create ~blocks:2 ~block_size:16 in
+  let inputs = [| of_list [ "a" ]; of_list [ "b" ]; of_list [ "c" ] |] in
+  (try
+     Extsort.Multiway.merge ~budget ~cmp:compare ~inputs ~output:ignore ();
+     Alcotest.fail "expected Exhausted"
+   with Extmem.Memory_budget.Exhausted who ->
+     let contains s sub =
+       let n = String.length s and m = String.length sub in
+       let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+       go 0
+     in
+     check Alcotest.bool
+       (Printf.sprintf "who names the merge (%s)" who)
+       true (contains who "merge"));
+  check Alcotest.int "nothing leaked" 0 (Extmem.Memory_budget.used_blocks budget)
+
+let test_multiway_pull () =
+  let budget = Extmem.Memory_budget.create ~blocks:4 ~block_size:16 in
+  let inputs = [| of_list [ "a"; "c" ]; of_list [ "b"; "d" ] |] in
+  let pull, release = Extsort.Multiway.merge_pull ~budget ~cmp:compare ~inputs () in
+  check Alcotest.int "fan-in held while streaming" 2
+    (Extmem.Memory_budget.used_blocks budget);
+  let rec all acc = match pull () with None -> List.rev acc | Some x -> all (x :: acc) in
+  check (Alcotest.list Alcotest.string) "merged" [ "a"; "b"; "c"; "d" ] (all []);
+  check Alcotest.int "released at exhaustion" 0 (Extmem.Memory_budget.used_blocks budget);
+  release ();
+  check Alcotest.int "release idempotent" 0 (Extmem.Memory_budget.used_blocks budget)
+
+let test_multiway_pull_early_release () =
+  let budget = Extmem.Memory_budget.create ~blocks:4 ~block_size:16 in
+  let inputs = [| of_list [ "a"; "c" ]; of_list [ "b" ] |] in
+  let pull, release = Extsort.Multiway.merge_pull ~budget ~cmp:compare ~inputs () in
+  check (Alcotest.option Alcotest.string) "first" (Some "a") (pull ());
+  release ();
+  check Alcotest.int "released early" 0 (Extmem.Memory_budget.used_blocks budget)
 
 (* ------------------------------------------------------------------ *)
 (* Heap *)
@@ -230,6 +286,11 @@ let () =
           Alcotest.test_case "basic" `Quick test_multiway_basic;
           Alcotest.test_case "empty inputs" `Quick test_multiway_empty_inputs;
           Alcotest.test_case "stability" `Quick test_multiway_stability;
+          Alcotest.test_case "budget reserved" `Quick test_multiway_budget_reserved;
+          Alcotest.test_case "budget exhausted names merge" `Quick
+            test_multiway_budget_exhausted_names_merge;
+          Alcotest.test_case "pull merge" `Quick test_multiway_pull;
+          Alcotest.test_case "pull early release" `Quick test_multiway_pull_early_release;
           qcheck prop_multiway_equals_list_merge;
         ] );
       ( "heap",

@@ -456,6 +456,74 @@ let test_sort_fusion_off_same_output () =
   check Alcotest.bool "fusion does not cost I/O" true
     (Extmem.Io_stats.total rf.Nexsort.total_io <= Extmem.Io_stats.total rn.Nexsort.total_io)
 
+let prop_fusion_identical =
+  (* fusion must be invisible in the output: for any generated document
+     and memory geometry, the fused and unfused paths produce
+     byte-identical sorted XML *)
+  QCheck.Test.make ~name:"fused and unfused outputs are byte-identical" ~count:20
+    QCheck.(pair (int_bound 1000) (int_range 8 16))
+    (fun (seed, memory_blocks) ->
+      let xml = gen_doc ~max_elements:200 seed in
+      let mk root_fusion = Config.make ~block_size:128 ~memory_blocks ~root_fusion () in
+      let fused, _ = Nexsort.sort_string ~config:(mk true) ~ordering:by_id xml in
+      let unfused, _ = Nexsort.sort_string ~config:(mk false) ~ordering:by_id xml in
+      String.equal fused unfused)
+
+let test_fusion_saves_exactly_root_run_io () =
+  (* a threshold larger than the document makes the root the only subtree
+     sort — one big external sort.  Without fusion its result is
+     materialised as the root run and read straight back during output;
+     with fusion the final merge streams into the writer.  The saving is
+     therefore exactly one write plus one read of every root-run block. *)
+  let xml = gen_doc ~max_elements:300 33 in
+  let mk root_fusion =
+    Config.make ~block_size:128 ~memory_blocks:8 ~threshold:1_000_000 ~degeneration:false
+      ~root_fusion ()
+  in
+  let fused, rf = Nexsort.sort_string ~config:(mk true) ~ordering:by_id xml in
+  let unfused, rn = Nexsort.sort_string ~config:(mk false) ~ordering:by_id xml in
+  check Alcotest.string "same output" unfused fused;
+  check Alcotest.int "root is the only subtree sort" 1 rn.Nexsort.subtree_sorts;
+  check Alcotest.int "and it ran externally" 1 rn.Nexsort.external_sorts;
+  let root_run_blocks = rn.Nexsort.run_blocks - rf.Nexsort.run_blocks in
+  check Alcotest.bool "root run materialised only without fusion" true (root_run_blocks > 0);
+  check Alcotest.int "no run store blocks at all when fused" 0 rf.Nexsort.run_blocks;
+  let runs_io (r : Nexsort.report) =
+    Extmem.Io_stats.total (List.assoc "runs" r.Nexsort.breakdown)
+  in
+  check Alcotest.int "fusing saves exactly 2 x root-run blocks of run-store I/O"
+    (2 * root_run_blocks)
+    (runs_io rn - runs_io rf);
+  check Alcotest.bool "and at least that much in total" true
+    (Extmem.Io_stats.total rn.Nexsort.total_io - Extmem.Io_stats.total rf.Nexsort.total_io
+     >= 2 * root_run_blocks)
+
+let test_output_fault_leaves_whole_blocks () =
+  (* a failing output phase must not leave a torn final block: whatever
+     reached the device is whole blocks of the fault-free serialization *)
+  let xml = gen_doc 23 in
+  let config = tiny_config () in
+  let bs = config.Config.block_size in
+  let reference, _ = Nexsort.sort_string ~config ~ordering:by_id xml in
+  check Alcotest.bool "document spans several blocks" true (String.length reference > 3 * bs);
+  let input = Extmem.Device.of_string ~block_size:bs xml in
+  let output = Extmem.Device.in_memory ~block_size:bs () in
+  Extmem.Device.push_layer output
+    (Extmem.Layer.fault_hook (fun op i -> op = Extmem.Backend.Write && i = 2));
+  (try
+     ignore (Nexsort.sort_device ~config ~ordering:by_id ~input ~output ());
+     Alcotest.fail "expected Device.Fault"
+   with Extmem.Device.Fault (Extmem.Device.Write, 2) -> ());
+  (* blocks before the faulted one arrived intact *)
+  let buf = Bytes.create bs in
+  for i = 0 to 1 do
+    Extmem.Device.read_block output i buf;
+    check Alcotest.string
+      (Printf.sprintf "block %d is a whole block of the reference output" i)
+      (String.sub reference (i * bs) bs)
+      (Bytes.to_string buf)
+  done
+
 let test_sort_input_fault_surfaces () =
   (* a failing device read must surface as Device.Fault, not corrupt output *)
   let xml = gen_doc 22 in
@@ -945,6 +1013,11 @@ let () =
           Alcotest.test_case "packed rejects subtree keys" `Quick test_sort_packed_rejects_subtree_keys;
           Alcotest.test_case "malformed input" `Quick test_sort_malformed_input;
           Alcotest.test_case "fusion off same output" `Quick test_sort_fusion_off_same_output;
+          qcheck prop_fusion_identical;
+          Alcotest.test_case "fusion saves exactly the root-run I/O" `Quick
+            test_fusion_saves_exactly_root_run_io;
+          Alcotest.test_case "output fault leaves whole blocks" `Quick
+            test_output_fault_leaves_whole_blocks;
           Alcotest.test_case "input fault surfaces" `Quick test_sort_input_fault_surfaces;
           Alcotest.test_case "io accounting" `Quick test_report_io_accounting;
           Alcotest.test_case "file-backed devices" `Quick test_sort_file_backed_devices;

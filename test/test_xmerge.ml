@@ -64,6 +64,45 @@ let ref_merge_strings ordering l r =
 (* ------------------------------------------------------------------ *)
 (* Struct_merge *)
 
+let test_sort_and_merge_fused_matches_unfused () =
+  (* fusion is a pure optimization: the merged document is identical
+     whether the sorted inputs are materialised or streamed *)
+  let pair = Xmlgen.Company.generate ~seed:9 ~regions:3 ~employees_per_branch:5 () in
+  let l = pair.Xmlgen.Company.personnel and r = pair.Xmlgen.Company.payroll in
+  let ordering = Xmlgen.Company.ordering in
+  let fused, _ = Xmerge.Struct_merge.sort_and_merge_strings ~config ~fuse:true ~ordering l r in
+  let unfused, _ = Xmerge.Struct_merge.sort_and_merge_strings ~config ~fuse:false ~ordering l r in
+  Alcotest.check Alcotest.string "same merged document" unfused fused
+
+let test_sort_and_merge_devices_fused_saves_io () =
+  let pair = Xmlgen.Company.generate ~seed:10 ~regions:3 ~employees_per_branch:5 () in
+  let ordering = Xmlgen.Company.ordering in
+  let bs = config.Nexsort.Config.block_size in
+  let run fuse =
+    let load name s =
+      let d = Extmem.Device.in_memory ~name ~block_size:bs () in
+      Extmem.Device.load_string d s;
+      d
+    in
+    let left = load "left" pair.Xmlgen.Company.personnel in
+    let right = load "right" pair.Xmlgen.Company.payroll in
+    let output = Extmem.Device.in_memory ~name:"output" ~block_size:bs () in
+    ignore
+      (Xmerge.Struct_merge.sort_and_merge_devices ~config ~fuse ~ordering ~left ~right ~output ()
+        : Xmerge.Struct_merge.report);
+    ( Extmem.Device.contents output,
+      Extmem.Io_stats.total (Extmem.Io_stats.snapshot (Extmem.Device.stats left))
+      + Extmem.Io_stats.total (Extmem.Io_stats.snapshot (Extmem.Device.stats right)) )
+  in
+  let fused_out, fused_io = run true in
+  let unfused_out, unfused_io = run false in
+  Alcotest.check Alcotest.string "same merged document" unfused_out fused_out;
+  (* unfused reads each raw input once to sort it; fused does the same —
+     the savings are on the scratch/sorted devices, so the raw-input I/O
+     must not grow *)
+  Alcotest.check Alcotest.bool "fusion does not cost raw-input I/O" true
+    (fused_io <= unfused_io)
+
 let test_merge_figure_1 () =
   let merged, report =
     Xmerge.Struct_merge.sort_and_merge_strings ~config ~ordering:Xmlgen.Company.ordering
@@ -571,6 +610,10 @@ let () =
           Alcotest.test_case "rejects subtree ordering" `Quick test_merge_rejects_subtree_ordering;
           Alcotest.test_case "mismatched roots" `Quick test_merge_mismatched_roots;
           Alcotest.test_case "devices single pass" `Quick test_merge_devices_single_pass;
+          Alcotest.test_case "fused sort+merge matches unfused" `Quick
+            test_sort_and_merge_fused_matches_unfused;
+          Alcotest.test_case "fused device sort+merge" `Quick
+            test_sort_and_merge_devices_fused_saves_io;
           qcheck prop_merge_equals_reference;
           qcheck prop_merge_output_sorted;
         ] );
