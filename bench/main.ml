@@ -20,6 +20,7 @@ let quick = ref false
 let cost = ref false
 let no_fuse = ref false
 let metrics_file = ref None
+let policy = ref Extmem.Frame_arena.Lru
 
 (* --cost: put a simulated-time (hdd) layer on every device — the
    endpoints below and, via the config's device spec, the sorters'
@@ -38,18 +39,20 @@ let maybe_costed dev =
 module Config = struct
   include Nexsort.Config
 
-  (* every bench config inherits the harness-wide device spec; --no-fuse
-     overrides the fusion default for experiments that don't pin it *)
+  (* every bench config inherits the harness-wide device spec and
+     replacement policy; --no-fuse overrides the fusion default for
+     experiments that don't pin it *)
   let make ?block_size ?memory_blocks ?threshold ?depth_limit ?degeneration ?root_fusion
-      ?encoding ?data_stack_blocks ?path_stack_blocks ?keep_whitespace () =
+      ?encoding ?data_stack_blocks ?path_stack_blocks ?keep_whitespace ?pager_policy () =
     let root_fusion =
       match root_fusion with
       | Some _ as r -> r
       | None -> if !no_fuse then Some false else None
     in
+    let pager_policy = Option.value pager_policy ~default:!policy in
     Nexsort.Config.make ?block_size ?memory_blocks ?threshold ?depth_limit ?degeneration
       ?root_fusion ?encoding ?data_stack_blocks ?path_stack_blocks ?keep_whitespace
-      ~device:(bench_spec ()) ()
+      ~pager_policy ~device:(bench_spec ()) ()
 end
 
 let ordering = Ordering.by_attr "id"
@@ -522,6 +525,80 @@ let xsort () =
   subnote "(only the head-to-toe output supports the single-pass structural merge)"
 
 (* ------------------------------------------------------------------ *)
+(* P-sweep: frame replacement policies — identical output, different
+   paging.  This is a CI gate (scripts/check.sh runs it): any policy
+   producing a different output digest is a correctness bug in the frame
+   arena, so the experiment exits non-zero on a mismatch. *)
+
+let policy_sweep () =
+  heading "P-sweep / replacement policies: byte-identical output, different paging";
+  let mismatches = ref 0 in
+  let check_digests label runs =
+    match runs with
+    | [] -> ()
+    | (_, reference, _) :: _ ->
+        List.iter
+          (fun (p, digest, detail) ->
+            let ok = String.equal digest reference in
+            if not ok then incr mismatches;
+            Printf.printf "  %-8s %-5s : md5=%s  %s\n"
+              (Extmem.Frame_arena.policy_to_string p)
+              (if ok then "OK" else "DIFF")
+              digest detail)
+          runs;
+        if List.for_all (fun (_, d, _) -> String.equal d reference) runs then
+          subnote "  %s: all policies byte-identical" label
+  in
+  (* nexsort: the session arena's stacks and sort leases run under every
+     policy; the sorted document must not depend on replacement order *)
+  let doc, stats = fig5_doc () in
+  subnote "nexsort input: %d elements; block size 1 KiB, memory 16 blocks"
+    stats.Xmlgen.Gen.elements;
+  let nx_runs =
+    List.map
+      (fun p ->
+        let config = Config.make ~block_size:1024 ~memory_blocks:16 ~pager_policy:p () in
+        let input = with_block_size 1024 doc in
+        let nx_out = Extmem.Device.in_memory ~name:"out" ~block_size:1024 () in
+        let report = Nexsort.sort_device ~config ~ordering ~input ~output:nx_out () in
+        let digest = Digest.to_hex (Digest.string (Extmem.Device.contents nx_out)) in
+        ( p,
+          digest,
+          Printf.sprintf "io=%d" (Extmem.Io_stats.total report.Nexsort.total_io) ))
+      Extmem.Frame_arena.all_policies
+  in
+  check_digests "nexsort" nx_runs;
+  (* indexed merge: the index B-tree's buffer pool is where the policies
+     actually diverge — same merged output, different hit/miss counters *)
+  (* sized so the index outgrows its 8-frame pool and the policies
+     actually have to evict (and so diverge in their counters) *)
+  let employees = if !quick then 48 else 96 in
+  let pair =
+    Xmlgen.Company.generate ~seed:11 ~regions:6 ~branches_per_region:6
+      ~employees_per_branch:employees ()
+  in
+  subnote "indexed merge: company pair, %d employees/branch, 8-frame index pool" employees;
+  let im_runs =
+    List.map
+      (fun p ->
+        let out, r =
+          Xmerge.Indexed_merge.merge_strings ~policy:p ~ordering:Xmlgen.Company.ordering
+            pair.Xmlgen.Company.personnel pair.Xmlgen.Company.payroll
+        in
+        ( p,
+          Digest.to_hex (Digest.string out),
+          Printf.sprintf "hits=%d misses=%d evictions=%d writebacks=%d"
+            r.Xmerge.Indexed_merge.pager_hits r.Xmerge.Indexed_merge.pager_misses
+            r.Xmerge.Indexed_merge.pager_evictions r.Xmerge.Indexed_merge.pager_writebacks ))
+      Extmem.Frame_arena.all_policies
+  in
+  check_digests "indexed merge" im_runs;
+  if !mismatches > 0 then begin
+    Printf.eprintf "policy-sweep: %d run(s) diverged from the reference digest\n" !mismatches;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* micro-benchmarks (bechamel): the hot inner operations *)
 
 let micro () =
@@ -611,7 +688,8 @@ let validate_metrics path =
   in
   List.iter
     (fun k -> ignore (require k json "top-level"))
-    [ "schema_version"; "tool"; "config"; "counts"; "io"; "pager"; "phases"; "metrics"; "timing" ];
+    [ "schema_version"; "tool"; "config"; "counts"; "io"; "pager"; "arena"; "phases"; "metrics";
+      "timing" ];
   let io = require "io" json "top-level" in
   (* the paper's §4.2 decomposition: every phase of the I/O bill *)
   List.iter
@@ -638,8 +716,9 @@ let compare_metrics baseline_path new_path =
     | Some io -> io
     | None -> fail "%s has no \"io\" section" path
   in
-  let base_io = io_of baseline_path (read baseline_path) in
-  let new_io = io_of new_path (read new_path) in
+  let base_json = read baseline_path and new_json = read new_path in
+  let base_io = io_of baseline_path base_json in
+  let new_io = io_of new_path new_json in
   let regressions = ref [] in
   let improvements = ref 0 in
   let rec walk path base new_ =
@@ -657,6 +736,25 @@ let compare_metrics baseline_path new_path =
     | _ -> fail "%s: %s is not an integer counter in both files" new_path path
   in
   walk "io" base_io new_io;
+  (* hit-ratio gate: the buffer pool must not get worse at keeping hot
+     blocks resident.  Sections with no recorded accesses (the streaming
+     nexsort pipeline) are skipped. *)
+  let hit_ratio json =
+    match Obs.Json.member "pager" json with
+    | None -> None
+    | Some pager -> (
+        match (Obs.Json.member "hits" pager, Obs.Json.member "misses" pager) with
+        | Some (Obs.Json.Int h), Some (Obs.Json.Int m) when h + m > 0 ->
+            Some (float_of_int h /. float_of_int (h + m))
+        | _ -> None)
+  in
+  (match (hit_ratio base_json, hit_ratio new_json) with
+  | Some b, Some n when n < b ->
+      regressions :=
+        Printf.sprintf "pager hit ratio: %.4f -> %.4f" b n :: !regressions
+  | Some _, None ->
+      regressions := "pager hit ratio: baseline has accesses, new has none" :: !regressions
+  | _ -> ());
   match List.rev !regressions with
   | [] ->
       Printf.printf "compare-metrics: OK (%s vs %s, %d counters improved, none regressed)\n"
@@ -679,6 +777,7 @@ let experiments =
     ("ablate-runs", ablate_runs);
     ("motivation", motivation);
     ("xsort", xsort);
+    ("policy-sweep", policy_sweep);
     ("micro", micro);
   ]
 
@@ -700,6 +799,17 @@ let () =
         parse rest
     | "--metrics" :: [] ->
         prerr_endline "--metrics requires a file argument";
+        exit 2
+    | "--policy" :: name :: rest -> (
+        match Extmem.Frame_arena.policy_of_string name with
+        | Some p ->
+            policy := p;
+            parse rest
+        | None ->
+            Printf.eprintf "--policy: unknown policy %S (lru, clock, mru, stack)\n" name;
+            exit 2)
+    | "--policy" :: [] ->
+        prerr_endline "--policy requires a policy argument";
         exit 2
     | "--" :: rest -> parse rest
     | a :: rest -> a :: parse rest

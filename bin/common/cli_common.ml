@@ -42,6 +42,21 @@ let encoding_term =
         ~doc:"Entry encoding: $(b,plain), $(b,dict) (name compression) or $(b,packed) (dict + \
               end-tag elimination; scan-evaluable orderings only).")
 
+let policy_term =
+  let policies =
+    List.map
+      (fun p -> (Extmem.Frame_arena.policy_to_string p, p))
+      Extmem.Frame_arena.all_policies
+  in
+  Arg.(
+    value
+    & opt (Arg.enum policies) Extmem.Frame_arena.Lru
+    & info [ "policy" ] ~docv:"POLICY"
+        ~doc:
+          "Frame replacement policy for paged components: $(b,lru), $(b,clock), $(b,mru) or \
+           $(b,stack) (the paper's no-prefetch stack pager).  Sorted output is identical under \
+           every policy; only paging counters move.")
+
 let no_fuse_term =
   Arg.(
     value & flag
@@ -85,13 +100,14 @@ let config_term =
     Arg.(value & flag & info [ "keep-whitespace" ] ~doc:"Preserve whitespace-only text nodes.")
   in
   let build block_size memory_blocks threshold depth_limit no_degeneration keep_whitespace no_fuse
-      encoding =
+      encoding pager_policy =
     Nexsort.Config.make ~block_size ~memory_blocks ?threshold ?depth_limit
-      ~degeneration:(not no_degeneration) ~root_fusion:(not no_fuse) ~encoding ~keep_whitespace ()
+      ~degeneration:(not no_degeneration) ~root_fusion:(not no_fuse) ~encoding ~keep_whitespace
+      ~pager_policy ()
   in
   Term.(
     const build $ block_size $ memory_blocks $ threshold $ depth_limit $ no_degeneration
-    $ keep_whitespace $ no_fuse_term $ encoding_term)
+    $ keep_whitespace $ no_fuse_term $ encoding_term $ policy_term)
 
 let device_term =
   let parse s =

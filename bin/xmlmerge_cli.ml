@@ -37,7 +37,8 @@ let struct_merge_report ~tool (r : Xmerge.Struct_merge.report) =
   Obs.Report.add rep "phases" (Obs.Span.to_json r.Xmerge.Struct_merge.spans);
   rep
 
-let run ordering presorted update_mode indexed device no_fuse metrics left_path right_path output =
+let run ordering presorted update_mode indexed policy device no_fuse metrics left_path right_path
+    output =
   let left = read_file left_path and right = read_file right_path in
   try
     match device with
@@ -57,7 +58,8 @@ let run ordering presorted update_mode indexed device no_fuse metrics left_path 
         let ldev = load "left" left and rdev = load "right" right in
         let odev = Extmem.Device_spec.scratch spec ~name:"output" ~block_size in
         let r =
-          Xmerge.Indexed_merge.merge_devices ~ordering ~left:ldev ~right:rdev ~output:odev ()
+          Xmerge.Indexed_merge.merge_devices ~policy ~ordering ~left:ldev ~right:rdev ~output:odev
+            ()
         in
         write_file output (Extmem.Device.contents odev);
         let open Xmerge.Indexed_merge in
@@ -203,6 +205,7 @@ let cmd =
                 ~doc:
                   "Use the index-assisted nested-loop merge instead of sort-then-merge (works on \
                    unsorted inputs; reports the index buffer pool's hit/miss statistics).")
+        $ Cli_common.policy_term
         $ Cli_common.device_term
         $ Cli_common.no_fuse_term
         $ Cli_common.metrics_term

@@ -38,6 +38,12 @@ type t = {
   device : Extmem.Device_spec.t;
       (** device stack for the sort's internal devices (stacks, runs,
           scratch): backend plus middleware layers; see {!Extmem.Device_spec} *)
+  pager_policy : Extmem.Pager.policy;
+      (** default replacement policy for frame-arena caches attached
+          during the sort (NEXSORT's own streaming path holds no cache,
+          so this mainly steers auxiliary structures like the indexed
+          merge's B-tree pager); the data stack always pages under the
+          paper's no-prefetch stack rule *)
 }
 
 val make :
@@ -52,6 +58,7 @@ val make :
   ?path_stack_blocks:int ->
   ?keep_whitespace:bool ->
   ?device:Extmem.Device_spec.t ->
+  ?pager_policy:Extmem.Pager.policy ->
   unit ->
   t
 (** Defaults: 4 KiB blocks, 64 memory blocks, threshold [2 * block_size],

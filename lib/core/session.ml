@@ -1,6 +1,7 @@
 type t = {
   config : Config.t;
   budget : Extmem.Memory_budget.t;
+  arena : Extmem.Frame_arena.t;
   dict : Xmlio.Dict.t;
   data_stack : Extmem.Ext_stack.t;
   path_stack : Extmem.Ext_stack.t;
@@ -22,32 +23,39 @@ let register_probes t =
   Obs.Probe.device reg ~prefix:"data_stack" (Extmem.Ext_stack.device t.data_stack);
   Obs.Probe.device reg ~prefix:"path_stack" (Extmem.Ext_stack.device t.path_stack);
   Obs.Probe.device reg ~prefix:"out_stack" (Extmem.Ext_stack.device t.out_stack);
-  Obs.Probe.device reg ~prefix:"runs" (Extmem.Run_store.device t.runs)
+  Obs.Probe.device reg ~prefix:"runs" (Extmem.Run_store.device t.runs);
+  Obs.Probe.frame_arena reg ~prefix:"arena" t.arena
 
 let create (config : Config.t) =
   let budget =
     Extmem.Memory_budget.create ~blocks:config.Config.memory_blocks
       ~block_size:config.Config.block_size
   in
+  let arena =
+    Extmem.Frame_arena.create ~budget ~default_policy:config.Config.pager_policy ()
+  in
   let stack_dev name = Config.scratch_device config ~name in
   (* The input buffer is charged by the scan pipeline stage (see
-     [Sorter.scan_source]), not here. *)
-  Extmem.Memory_budget.reserve budget ~who:"data stack window" config.Config.data_stack_blocks;
-  Extmem.Memory_budget.reserve budget ~who:"path stack window" config.Config.path_stack_blocks;
-  Extmem.Memory_budget.reserve budget ~who:"output location stack window" 1;
+     [Sorter.scan_source]), not here.  Each stack leases its own window
+     from the arena — "data stack window", "path stack window",
+     "output location stack window" — so the fixed reservations now live
+     with their owners. *)
   let t =
     {
       config;
       budget;
+      arena;
       dict = Xmlio.Dict.create ();
       data_stack =
-        Extmem.Ext_stack.create ~resident_blocks:config.Config.data_stack_blocks
-          ~borrow:(budget, "data stack window (borrowed)")
+        Extmem.Ext_stack.create ~name:"data stack"
+          ~resident_blocks:config.Config.data_stack_blocks ~arena ~borrow:true
           (stack_dev "data-stack");
       path_stack =
-        Extmem.Ext_stack.create ~resident_blocks:config.Config.path_stack_blocks
-          (stack_dev "path-stack");
-      out_stack = Extmem.Ext_stack.create ~resident_blocks:1 (stack_dev "output-location-stack");
+        Extmem.Ext_stack.create ~name:"path stack"
+          ~resident_blocks:config.Config.path_stack_blocks ~arena (stack_dev "path-stack");
+      out_stack =
+        Extmem.Ext_stack.create ~name:"output location stack" ~resident_blocks:1 ~arena
+          (stack_dev "output-location-stack");
       runs = Extmem.Run_store.create (stack_dev "runs");
       temp_stats = Extmem.Io_stats.create ();
       temp_sim_ms = 0.;

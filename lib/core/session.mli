@@ -11,6 +11,13 @@
 type t = {
   config : Config.t;
   budget : Extmem.Memory_budget.t;
+  arena : Extmem.Frame_arena.t;
+      (** the session-wide frame arena over {!field-budget}: every
+          block-holding component (stack windows, stream buffers, sort
+          leases, pager caches) draws its frames here under a [who]
+          label, so budget exhaustion and the metrics report name the
+          owners; its default replacement policy follows
+          [config.pager_policy] *)
   dict : Xmlio.Dict.t;
   data_stack : Extmem.Ext_stack.t;
   path_stack : Extmem.Ext_stack.t;
@@ -30,13 +37,13 @@ type t = {
 }
 
 val create : Config.t -> t
-(** Build the stacks and run store, and reserve the fixed internal-memory
-    blocks: the data-stack window, the path-stack window and one block
-    for the output-location stack (the input buffer is charged by the
-    scan pipeline stage).  What remains of the budget is the sorting
-    arena.  The data-stack window is {e elastic}: it borrows idle arena
-    blocks to avoid paging and gives them back via {!reclaim} whenever a
-    phase actually reserves memory. *)
+(** Build the frame arena, stacks and run store.  Each stack leases its
+    own window from the arena — the data-stack window, the path-stack
+    window and one block for the output-location stack (the input buffer
+    is charged by the scan pipeline stage).  What remains of the budget
+    is the sorting arena.  The data-stack window is {e elastic}: it
+    borrows idle arena blocks to avoid paging and gives them back via
+    {!reclaim} whenever a phase actually reserves memory. *)
 
 val arena_bytes : t -> int
 (** Internal-memory bytes available to a subtree sort right now (also the

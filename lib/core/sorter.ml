@@ -22,6 +22,7 @@ type report = {
   wall_seconds : float;
   spans : Obs.Span.t;
   metrics : Obs.Json.t;
+  arena : (string * Extmem.Frame_arena.owner_stats) list;
 }
 
 (* ---- path-stack frames ----
@@ -546,6 +547,7 @@ let build_report (st : state) ~input_io ~output_io ~extra_sim ~t0 =
     wall_seconds = Unix.gettimeofday () -. t0;
     spans = Obs.Spans.close st.spans;
     metrics = Obs.Registry.to_json session.Session.registry;
+    arena = Extmem.Frame_arena.owners session.Session.arena;
   }
 
 let sort_device ?(config = Config.make ()) ~ordering ~input ~output () =
@@ -655,6 +657,18 @@ let config_json (c : Config.t) =
       ("path_stack_blocks", Int c.Config.path_stack_blocks);
       ("keep_whitespace", Bool c.Config.keep_whitespace);
       ("device", Str (Extmem.Device_spec.to_string c.Config.device));
+      ("policy", Str (Extmem.Frame_arena.policy_to_string c.Config.pager_policy));
+    ]
+
+let owner_stats_json (s : Extmem.Frame_arena.owner_stats) =
+  Obs.Json.Obj
+    [
+      ("held", Obs.Json.Int s.Extmem.Frame_arena.held);
+      ("peak", Obs.Json.Int s.Extmem.Frame_arena.peak);
+      ("hits", Obs.Json.Int s.Extmem.Frame_arena.hits);
+      ("misses", Obs.Json.Int s.Extmem.Frame_arena.misses);
+      ("evictions", Obs.Json.Int s.Extmem.Frame_arena.evictions);
+      ("writebacks", Obs.Json.Int s.Extmem.Frame_arena.writebacks);
     ]
 
 let metrics_report ?(tool = "nexsort") ~config r =
@@ -698,17 +712,27 @@ let metrics_report ?(tool = "nexsort") ~config r =
          ( "components",
            Obs.Json.Obj (List.map (fun (n, s) -> (n, Obs.Json.io_stats s)) r.breakdown) );
        ]);
-  (* the NEXSORT pipeline is purely streaming — no buffer pool — but the
-     section is always present so report consumers see a stable schema;
-     paged algorithms (indexed merge) fill it in *)
+  (* the NEXSORT pipeline is purely streaming — its arena owners are
+     leases, not caches, so these totals are zero — but the section is
+     always present so report consumers see a stable schema; paged
+     algorithms (indexed merge) fill it in *)
+  let tot =
+    List.fold_left
+      (fun (h, m, e, w) (_, (s : Extmem.Frame_arena.owner_stats)) ->
+        (h + s.hits, m + s.misses, e + s.evictions, w + s.writebacks))
+      (0, 0, 0, 0) r.arena
+  in
+  let hits, misses, evictions, writebacks = tot in
   Obs.Report.add rep "pager"
     (Obs.Json.Obj
        [
-         ("hits", Obs.Json.Int 0);
-         ("misses", Obs.Json.Int 0);
-         ("evictions", Obs.Json.Int 0);
-         ("writebacks", Obs.Json.Int 0);
+         ("hits", Obs.Json.Int hits);
+         ("misses", Obs.Json.Int misses);
+         ("evictions", Obs.Json.Int evictions);
+         ("writebacks", Obs.Json.Int writebacks);
        ]);
+  Obs.Report.add rep "arena"
+    (Obs.Json.Obj (List.map (fun (who, s) -> (who, owner_stats_json s)) r.arena));
   Obs.Report.add rep "phases" (Obs.Span.to_json r.spans);
   Obs.Report.add rep "metrics" r.metrics;
   Obs.Report.add rep "timing"

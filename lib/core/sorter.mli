@@ -53,6 +53,10 @@ type report = {
   metrics : Obs.Json.t;
       (** final values of the session's metric registry (stack paging
           counters, run-store gauges, per-device I/O) *)
+  arena : (string * Extmem.Frame_arena.owner_stats) list;
+      (** per-owner frame-arena accounting (held/peak blocks and cache
+          hit/miss/eviction/writeback counters), sorted by owner name;
+          owners persist past lease close and cache detach *)
 }
 
 val sort_device :
@@ -106,7 +110,7 @@ val metrics_report : ?tool:string -> config:Config.t -> report -> Obs.Report.t
 (** The machine-readable run report behind [--metrics]: sections [config]
     (parameter echo), [counts], [io] (the §4.2 per-phase breakdown —
     [input] / [subtree_sorts] / [stack_paging] / [runs] / [output] — plus
-    [total] and the raw per-component stats), [pager] (always present;
-    zero for the streaming NEXSORT pipeline), [phases] (the span tree),
-    [metrics] (registry dump) and [timing].  [tool] defaults to
-    ["nexsort"]. *)
+    [total] and the raw per-component stats), [pager] (cache totals over
+    the session arena; zero for the streaming NEXSORT pipeline), [arena]
+    (per-owner frame accounting), [phases] (the span tree), [metrics]
+    (registry dump) and [timing].  [tool] defaults to ["nexsort"]. *)

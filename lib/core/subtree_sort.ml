@@ -258,9 +258,17 @@ let sort_external_to (session : Session.t) ~input ~scan emit =
     | Entry.Text _ | Entry.Run_ptr _ | Entry.End _ -> ()
   in
   let stats =
-    Session.with_temp session (fun temp ->
-        Extsort.External_sort.sort ~budget:session.Session.budget ~temp
-          ~cmp:Keypath.compare_encoded ~input:records ~output ())
+    try
+      Session.with_temp session (fun temp ->
+          Extsort.External_sort.sort ~arena:session.Session.arena
+            ~budget:session.Session.budget ~temp ~cmp:Keypath.compare_encoded ~input:records
+            ~output ())
+    with e ->
+      (* The input callback pops the data stack, which may have re-grown
+         its borrowed window mid-sort; shed it so an aborted subtree sort
+         leaves the budget exactly as a completed one would. *)
+      Session.reclaim session;
+      raise e
   in
   close_down_to 0;
   stats
@@ -304,9 +312,12 @@ let sort_external_source (session : Session.t) ~input ~scan =
   in
   let o =
     try
-      Extsort.External_sort.sort_open ~budget:session.Session.budget ~temp
-        ~cmp:Keypath.compare_encoded ~input:records ()
+      Extsort.External_sort.sort_open ~arena:session.Session.arena
+        ~budget:session.Session.budget ~temp ~cmp:Keypath.compare_encoded ~input:records ()
     with e ->
+      (* As in [sort_external_to]: reclaim any blocks the data stack
+         re-borrowed while the aborted sort was draining it. *)
+      Session.reclaim session;
       retire ();
       raise e
   in
@@ -497,7 +508,8 @@ let rec reduce_fragments session fragments =
             reserve_clamped session ~who:"fragment merge" (List.length batch + 1)
           in
           Fun.protect
-            ~finally:(fun () -> Extmem.Memory_budget.release session.Session.budget held)
+            ~finally:(fun () ->
+              Extmem.Memory_budget.release session.Session.budget ~who:"fragment merge" held)
             (fun () ->
               let w = Extmem.Run_store.begin_run session.Session.runs in
               merge_fragment_batch session ~keep_headers:true ~fragments:batch
@@ -541,7 +553,7 @@ let merge_fragments_source (session : Session.t) ~start_entry ~fragments =
   let release () =
     if not !released then begin
       released := true;
-      Extmem.Memory_budget.release session.Session.budget held
+      Extmem.Memory_budget.release session.Session.budget ~who:"fragment merge fan-in" held
     end
   in
   let inner = merged_pull session ~start_entry ~fragments in

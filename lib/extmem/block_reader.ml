@@ -6,20 +6,23 @@ type t = {
   mutable pos : int;       (* byte offset within extent *)
 }
 
-let of_extent dev extent =
-  {
-    dev;
-    extent;
-    buf = Bytes.create (Device.block_size dev);
-    cur_block = -1;
-    pos = 0;
-  }
+let of_extent ?buffer dev extent =
+  let bs = Device.block_size dev in
+  let buf =
+    match buffer with
+    | None -> Bytes.create bs
+    | Some b ->
+        if Bytes.length b <> bs then
+          invalid_arg "Block_reader.of_extent: buffer length must equal the block size";
+        b
+  in
+  { dev; extent; buf; cur_block = -1; pos = 0 }
 
-let of_device dev =
+let of_device ?buffer dev =
   let bs = Device.block_size dev in
   let bytes = Device.byte_length dev in
   let blocks = (bytes + bs - 1) / bs in
-  of_extent dev { Extent.first_block = 0; blocks; bytes }
+  of_extent ?buffer dev { Extent.first_block = 0; blocks; bytes }
 
 let position r = r.pos
 

@@ -9,10 +9,13 @@
 
 type t
 
-val of_extent : Device.t -> Extent.t -> t
-(** Read the given extent from its start. *)
+val of_extent : ?buffer:bytes -> Device.t -> Extent.t -> t
+(** Read the given extent from its start.  [buffer] supplies the block
+    buffer (typically a [Frame_arena] frame, so the reader's memory is
+    accounted to its owner); it must be exactly one block long.
+    @raise Invalid_argument on a wrong-sized buffer. *)
 
-val of_device : Device.t -> t
+val of_device : ?buffer:bytes -> Device.t -> t
 (** Read a whole device: the extent covering [byte_length] bytes from
     block 0. *)
 

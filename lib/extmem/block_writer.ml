@@ -8,11 +8,20 @@ type t = {
   scratch : Buffer.t;      (* for record framing *)
 }
 
-let create dev =
+let create ?buffer dev =
+  let bs = Device.block_size dev in
+  let buf =
+    match buffer with
+    | None -> Bytes.create bs
+    | Some b ->
+        if Bytes.length b <> bs then
+          invalid_arg "Block_writer.create: buffer length must equal the block size";
+        b
+  in
   {
     dev;
     first_block = Device.block_count dev;
-    buf = Bytes.create (Device.block_size dev);
+    buf;
     fill = 0;
     blocks = 0;
     closed = false;

@@ -12,8 +12,12 @@
 
 type t
 
-val create : Device.t -> t
-(** Start a stream at the device's current allocation frontier. *)
+val create : ?buffer:bytes -> Device.t -> t
+(** Start a stream at the device's current allocation frontier.
+    [buffer] supplies the block buffer (typically a [Frame_arena] frame,
+    so the writer's memory is accounted to its owner); it must be
+    exactly one block long.
+    @raise Invalid_argument on a wrong-sized buffer. *)
 
 val write_bytes : t -> bytes -> int -> int -> unit
 (** [write_bytes w buf off len] appends [len] bytes of [buf] from [off]. *)

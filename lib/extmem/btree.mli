@@ -22,12 +22,27 @@
 
 type t
 
-val create : ?frames:int -> cmp:(string -> string -> int) -> Device.t -> t
+val create :
+  ?arena:Frame_arena.t ->
+  ?who:string ->
+  ?policy:Pager.policy ->
+  ?frames:int ->
+  cmp:(string -> string -> int) ->
+  Device.t ->
+  t
 (** Initialise a fresh tree on an empty device region (allocates the meta
     page and an empty root leaf).  [frames] (default 8) is the pager's
-    cache budget. *)
+    cache budget, drawn from [arena] under [who] (default ["btree"])
+    when given; [policy] selects the pager's replacement policy. *)
 
-val reopen : ?frames:int -> cmp:(string -> string -> int) -> Device.t -> t
+val reopen :
+  ?arena:Frame_arena.t ->
+  ?who:string ->
+  ?policy:Pager.policy ->
+  ?frames:int ->
+  cmp:(string -> string -> int) ->
+  Device.t ->
+  t
 (** Re-attach to a device previously written by {!create} + {!flush} (the
     comparator must be the one the tree was built with). *)
 

@@ -5,7 +5,14 @@
      a block that was flushed to the device at some point and not dirtied
      since eviction (so the device copy is current);
    - [flushed] is the allocation frontier of the device: blocks with index
-     < flushed exist on the device. *)
+     < flushed exist on the device.
+
+   Window memory comes from a [Frame_arena]: the base window is a lease of
+   [resident_blocks] frames under "<name> window", and with [~borrow:true]
+   a second elastic lease "<name> window (borrowed)" grows over idle
+   budget blocks and shrinks as the stack does.  Frame buffers are
+   recycled through the arena pool (zero-filled on reuse, so a recycled
+   block is indistinguishable from a fresh [Bytes.create]). *)
 
 type frame = {
   data : bytes;
@@ -16,8 +23,9 @@ type t = {
   dev : Device.t;
   bs : int;
   limit : int;
-  borrow : (Memory_budget.t * string) option;
-  mutable borrowed : int; (* extra window blocks reserved from the budget *)
+  arena : Frame_arena.t;
+  window : Frame_arena.lease;            (* the base resident window *)
+  borrow : Frame_arena.lease option;     (* elastic extra window blocks *)
   resident : frame Deque.t;
   mutable front_idx : int; (* block index of the deque's front *)
   mutable len : int;       (* logical byte length = top of stack *)
@@ -32,15 +40,26 @@ type t = {
   mutable high_water : int;  (* max logical length ever, bytes *)
 }
 
-let create ?name:_ ?(resident_blocks = 1) ?borrow dev =
+let create ?(name = "ext stack") ?(resident_blocks = 1) ?arena ?(borrow = false) dev =
   if resident_blocks < 1 then invalid_arg "Ext_stack.create: resident_blocks must be >= 1";
+  let arena = match arena with Some a -> a | None -> Frame_arena.create () in
   let bs = Device.block_size dev in
+  let window_who = name ^ " window" in
+  let window = Frame_arena.lease arena ~who:window_who resident_blocks in
+  let borrow =
+    (* Borrowing only makes sense against a real budget: an unbudgeted
+       lease always grows, which would disable eviction entirely. *)
+    if borrow && Frame_arena.budget arena <> None then
+      Some (Frame_arena.lease arena ~who:(window_who ^ " (borrowed)") 0)
+    else None
+  in
   {
     dev;
     bs;
     limit = resident_blocks;
+    arena;
+    window;
     borrow;
-    borrowed = 0;
     resident = Deque.create ();
     front_idx = 0;
     len = 0;
@@ -74,6 +93,9 @@ let writebacks st = st.writebacks
 
 let high_water st = st.high_water
 
+let borrowed st =
+  match st.borrow with Some l -> Frame_arena.lease_blocks l | None -> 0
+
 (* Block index just past the resident window. *)
 let back_limit st = st.front_idx + Deque.length st.resident
 
@@ -83,6 +105,11 @@ let is_resident st b =
 let frame_of st b =
   assert (is_resident st b);
   Deque.get st.resident (b - st.front_idx)
+
+(* Window frames come from (and return to) the arena pool. *)
+let fresh_frame st = { data = Frame_arena.take st.arena st.bs; dirty = false }
+
+let drop_frame st frame = Frame_arena.give st.arena frame.data
 
 (* Write block [idx] of the stack's address space to the device, extending
    the device if this block has never been flushed before. *)
@@ -99,6 +126,7 @@ let evict_front st =
   let frame = Deque.peek_front st.resident in
   if frame.dirty then flush_block st st.front_idx frame;
   ignore (Deque.pop_front st.resident);
+  drop_frame st frame;
   st.front_idx <- st.front_idx + 1
 
 (* The elastic window: before evicting, try to grow the window by
@@ -111,41 +139,39 @@ let evict_front st =
 let try_borrow st =
   match st.borrow with
   | None -> ()
-  | Some (budget, who) ->
+  | Some l ->
       while
-        Deque.length st.resident > st.limit + st.borrowed
-        && Memory_budget.available_blocks budget > 0
+        Deque.length st.resident > st.limit + Frame_arena.lease_blocks l
+        && Frame_arena.try_grow l 1
       do
-        Memory_budget.reserve budget ~who 1;
-        st.borrowed <- st.borrowed + 1
+        ()
       done
 
 let maybe_evict st =
   try_borrow st;
-  while Deque.length st.resident > st.limit + st.borrowed do
+  while Deque.length st.resident > st.limit + borrowed st do
     evict_front st
   done
 
 let release_surplus st =
   match st.borrow with
   | None -> ()
-  | Some (budget, _) ->
-      while st.borrowed > 0 && Deque.length st.resident <= st.limit + st.borrowed - 1 do
-        Memory_budget.release budget 1;
-        st.borrowed <- st.borrowed - 1
+  | Some l ->
+      while
+        Frame_arena.lease_blocks l > 0
+        && Deque.length st.resident <= st.limit + Frame_arena.lease_blocks l - 1
+      do
+        Frame_arena.shrink l 1
       done
 
 let shed st =
   match st.borrow with
   | None -> ()
-  | Some (budget, _) ->
+  | Some l ->
       while Deque.length st.resident > st.limit do
         evict_front st
       done;
-      Memory_budget.release budget st.borrowed;
-      st.borrowed <- 0
-
-let borrowed st = st.borrowed
+      Frame_arena.shrink l (Frame_arena.lease_blocks l)
 
 (* Make block [b] resident, reading it from the device if it was flushed
    before and contains live bytes, zero-filling otherwise.  Only blocks
@@ -153,24 +179,24 @@ let borrowed st = st.borrowed
 let page_in_front st =
   let b = st.front_idx - 1 in
   assert (b >= 0);
-  let data = Bytes.create st.bs in
+  let frame = fresh_frame st in
   if b < st.flushed then begin
-    Device.read_block st.dev b data;
+    Device.read_block st.dev b frame.data;
     st.page_ins <- st.page_ins + 1
   end;
-  Deque.push_front st.resident { data; dirty = false };
+  Deque.push_front st.resident frame;
   st.front_idx <- b
 
 let append_back st =
   let b = back_limit st in
-  let data = Bytes.create st.bs in
+  let frame = fresh_frame st in
   if b < st.flushed && b * st.bs < st.len then begin
     (* The block holds live bytes below [len] that were flushed earlier;
        re-read so they survive the coming writes. *)
-    Device.read_block st.dev b data;
+    Device.read_block st.dev b frame.data;
     st.page_ins <- st.page_ins + 1
   end;
-  Deque.push_back st.resident { data; dirty = false }
+  Deque.push_back st.resident frame
 
 (* Ensure the block containing the next byte to write is resident. *)
 let ensure_tail st =
@@ -230,12 +256,12 @@ let make_resident st b =
   done;
   while b >= back_limit st do
     let nb = back_limit st in
-    let data = Bytes.create st.bs in
+    let frame = fresh_frame st in
     if nb < st.flushed then begin
-      Device.read_block st.dev nb data;
+      Device.read_block st.dev nb frame.data;
       st.page_ins <- st.page_ins + 1
     end;
-    Deque.push_back st.resident { data; dirty = false }
+    Deque.push_back st.resident frame
   done
 
 let read_resident st pos dst dst_off n =
@@ -259,7 +285,8 @@ let truncate_to st pos =
   st.len <- pos;
   let rec drop () =
     if Deque.length st.resident > 0 && (back_limit st - 1) * st.bs >= st.len then begin
-      ignore (Deque.pop_back st.resident);
+      let frame = Deque.pop_back st.resident in
+      drop_frame st frame;
       drop ()
     end
   in

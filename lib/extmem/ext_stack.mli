@@ -30,17 +30,25 @@
 
 type t
 
-val create : ?name:string -> ?resident_blocks:int -> ?borrow:Memory_budget.t * string -> Device.t -> t
+val create :
+  ?name:string -> ?resident_blocks:int -> ?arena:Frame_arena.t -> ?borrow:bool -> Device.t -> t
 (** [create dev] is an empty stack storing its spilled blocks on [dev]
     (which it should own exclusively).  [resident_blocks] (default 1,
     must be >= 1) bounds the internal-memory window.
 
-    With [borrow:(budget, who)] the window becomes {e elastic}: instead
-    of evicting when it outgrows [resident_blocks], the stack first
-    reserves idle blocks from [budget] (one at a time, under the name
-    [who]) and keeps them resident, falling back to eviction only when
-    the budget is exhausted.  Borrowed blocks are returned as the stack
-    shrinks, or all at once by {!shed}; callers that size work off
+    Window frames are drawn from [arena] (a private unbudgeted arena
+    when omitted): the base window is a lease of [resident_blocks]
+    frames under ["<name> window"], so on a budgeted arena creating the
+    stack reserves its window from the shared budget — the stack owns
+    its own accounting.
+
+    With [~borrow:true] (on a budgeted arena) the window becomes
+    {e elastic}: instead of evicting when it outgrows
+    [resident_blocks], the stack first grows a second lease
+    ["<name> window (borrowed)"] over idle budget blocks and keeps them
+    resident, falling back to eviction only when the budget is
+    exhausted.  Borrowed blocks are returned as the stack shrinks, or
+    all at once by {!shed}; callers that size work off
     [Memory_budget.available_bytes] must add {!borrowed} back in to keep
     decisions independent of how much was lent (see
     [Session.arena_bytes]). *)

@@ -2,6 +2,7 @@ type t = {
   total : int;
   bs : int;
   mutable used : int;
+  ledger : (string, int) Hashtbl.t; (* who -> blocks currently held *)
 }
 
 exception Exhausted of string
@@ -9,7 +10,7 @@ exception Exhausted of string
 let create ~blocks ~block_size =
   if blocks < 1 then invalid_arg "Memory_budget.create: need at least one block";
   if block_size < 1 then invalid_arg "Memory_budget.create: block_size must be positive";
-  { total = blocks; bs = block_size; used = 0 }
+  { total = blocks; bs = block_size; used = 0; ledger = Hashtbl.create 8 }
 
 let block_size b = b.bs
 
@@ -21,19 +22,37 @@ let available_blocks b = b.total - b.used
 
 let available_bytes b = available_blocks b * b.bs
 
+let held b who = Option.value ~default:0 (Hashtbl.find_opt b.ledger who)
+
+let holders b =
+  Hashtbl.fold (fun who n acc -> if n > 0 then (who, n) :: acc else acc) b.ledger []
+  |> List.sort compare
+
+let pp_holders b =
+  match holders b with
+  | [] -> "nothing is held"
+  | hs -> String.concat ", " (List.map (fun (who, n) -> Printf.sprintf "%s=%d" who n) hs)
+
 let reserve b ~who n =
   if n < 0 then invalid_arg "Memory_budget.reserve: negative";
   if b.used + n > b.total then
     raise
       (Exhausted
-         (Printf.sprintf "%s needs %d blocks but only %d of %d are free" who n
-            (available_blocks b) b.total));
-  b.used <- b.used + n
+         (Printf.sprintf "%s needs %d blocks but only %d of %d are free (%s)" who n
+            (available_blocks b) b.total (pp_holders b)));
+  b.used <- b.used + n;
+  Hashtbl.replace b.ledger who (held b who + n)
 
-let release b n =
-  if n < 0 || n > b.used then invalid_arg "Memory_budget.release: bad count";
-  b.used <- b.used - n
+let release b ~who n =
+  if n < 0 then invalid_arg "Memory_budget.release: negative";
+  let h = held b who in
+  if n > h then
+    invalid_arg
+      (Printf.sprintf "Memory_budget.release: %s releasing %d blocks but holds %d (%s)" who n h
+         (pp_holders b));
+  b.used <- b.used - n;
+  if h - n = 0 then Hashtbl.remove b.ledger who else Hashtbl.replace b.ledger who (h - n)
 
 let with_reserved b ~who n f =
   reserve b ~who n;
-  Fun.protect ~finally:(fun () -> release b n) f
+  Fun.protect ~finally:(fun () -> release b ~who n) f

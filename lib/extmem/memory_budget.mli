@@ -5,12 +5,18 @@
     every component that holds blocks in memory (stack windows, stream
     buffers, sort arenas, merge fan-in buffers) reserves them from a
     shared budget, so exceeding [M] is a programming error that surfaces
-    immediately instead of silently inflating memory. *)
+    immediately instead of silently inflating memory.
+
+    The budget keeps a per-[who] ledger: reservations are recorded under
+    the owner's name, and both exhaustion and release errors report who
+    holds what, so a leak or double-release points at its owner instead
+    of failing with a bare count. *)
 
 type t
 
 exception Exhausted of string
-(** Raised when a reservation would exceed the budget. *)
+(** Raised when a reservation would exceed the budget.  The message names
+    the component that asked and lists the current holders. *)
 
 val create : blocks:int -> block_size:int -> t
 (** A budget of [blocks] internal-memory blocks of [block_size] bytes. *)
@@ -26,12 +32,21 @@ val available_blocks : t -> int
 val available_bytes : t -> int
 
 val reserve : t -> who:string -> int -> unit
-(** [reserve b ~who n] takes [n] blocks.  @raise Exhausted naming [who]
-    when fewer than [n] blocks remain. *)
+(** [reserve b ~who n] takes [n] blocks, recorded in [who]'s ledger.
+    @raise Exhausted naming [who] when fewer than [n] blocks remain. *)
 
-val release : t -> int -> unit
-(** Give back [n] blocks.  @raise Invalid_argument when releasing more
-    than is in use. *)
+val release : t -> who:string -> int -> unit
+(** [release b ~who n] gives back [n] of [who]'s blocks.
+    @raise Invalid_argument naming [who] when releasing more than [who]
+    holds — a double-release (or a release under the wrong name) is
+    reported with the owner, not a bare count. *)
+
+val held : t -> string -> int
+(** Blocks currently held under a given owner name (0 if unknown). *)
+
+val holders : t -> (string * int) list
+(** Every owner currently holding blocks, with the count, sorted by
+    name.  The sum of the counts is {!used_blocks}. *)
 
 val with_reserved : t -> who:string -> int -> (unit -> 'a) -> 'a
 (** Reserve around a scope; always released, also on exceptions. *)

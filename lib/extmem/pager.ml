@@ -1,153 +1,49 @@
-type policy =
+(* A thin random-access view over arena frames: all policy, eviction and
+   frame bookkeeping lives in [Frame_arena].  A pager created without an
+   arena gets a private unbudgeted one, preserving the old standalone
+   behaviour. *)
+
+type policy = Frame_arena.policy =
   | Lru
   | Clock
+  | Mru
+  | Stack
 
-type frame = {
-  mutable block : int; (* -1 = free *)
-  data : bytes;
-  mutable dirty : bool;
-  mutable stamp : int;    (* LRU timestamp *)
-  mutable referenced : bool; (* Clock bit *)
-}
+type t = Frame_arena.cache
 
-type t = {
-  dev : Device.t;
-  policy : policy;
-  frames : frame array;
-  map : (int, int) Hashtbl.t; (* block -> frame index *)
-  mutable tick : int;
-  mutable hand : int; (* Clock hand *)
-  mutable hits : int;
-  mutable misses : int;
-  mutable evictions : int;
-  mutable writebacks : int;
-}
-
-let create ?(policy = Lru) ~frames dev =
+let create ?arena ?(who = "pager") ?policy ~frames dev =
   if frames < 1 then invalid_arg "Pager.create: frames must be >= 1";
-  let bs = Device.block_size dev in
-  let mk _ = { block = -1; data = Bytes.create bs; dirty = false; stamp = 0; referenced = false } in
-  {
-    dev;
-    policy;
-    frames = Array.init frames mk;
-    map = Hashtbl.create (2 * frames);
-    tick = 0;
-    hand = 0;
-    hits = 0;
-    misses = 0;
-    evictions = 0;
-    writebacks = 0;
-  }
+  let arena = match arena with Some a -> a | None -> Frame_arena.create () in
+  Frame_arena.attach arena ~who ?policy ~frames dev
 
-let device p = p.dev
+let device = Frame_arena.cache_device
 
-let hits p = p.hits
+let policy = Frame_arena.cache_policy
 
-let misses p = p.misses
+let hits = Frame_arena.hits
 
-let evictions p = p.evictions
+let misses = Frame_arena.misses
 
-let writebacks p = p.writebacks
+let evictions = Frame_arena.evictions
 
-let write_back p f =
-  if f.dirty then begin
-    Device.write_block p.dev f.block f.data;
-    f.dirty <- false;
-    p.writebacks <- p.writebacks + 1
-  end
+let writebacks = Frame_arena.writebacks
 
-let victim_lru p =
-  let best = ref 0 in
-  for i = 1 to Array.length p.frames - 1 do
-    if p.frames.(i).block = -1 then best := i
-    else if p.frames.(!best).block <> -1 && p.frames.(i).stamp < p.frames.(!best).stamp then
-      best := i
-  done;
-  !best
+let read_byte = Frame_arena.read_byte
 
-let victim_clock p =
-  let n = Array.length p.frames in
-  let rec spin guard =
-    let f = p.frames.(p.hand) in
-    let i = p.hand in
-    p.hand <- (p.hand + 1) mod n;
-    if f.block = -1 then i
-    else if f.referenced && guard < 2 * n then begin
-      f.referenced <- false;
-      spin (guard + 1)
-    end
-    else i
-  in
-  spin 0
+let write_byte = Frame_arena.write_byte
 
-let touch p f =
-  p.tick <- p.tick + 1;
-  f.stamp <- p.tick;
-  f.referenced <- true
+let read = Frame_arena.read
 
-(* Return the frame holding [block], faulting it in if needed. *)
-let frame_for p block =
-  match Hashtbl.find_opt p.map block with
-  | Some i ->
-      let f = p.frames.(i) in
-      p.hits <- p.hits + 1;
-      touch p f;
-      f
-  | None ->
-      p.misses <- p.misses + 1;
-      let i = match p.policy with Lru -> victim_lru p | Clock -> victim_clock p in
-      let f = p.frames.(i) in
-      if f.block <> -1 then begin
-        p.evictions <- p.evictions + 1;
-        write_back p f;
-        Hashtbl.remove p.map f.block
-      end;
-      if block < Device.block_count p.dev then Device.read_block p.dev block f.data
-      else Bytes.fill f.data 0 (Bytes.length f.data) '\000';
-      f.block <- block;
-      f.dirty <- false;
-      Hashtbl.replace p.map block i;
-      touch p f;
-      f
+let write = Frame_arena.write
 
-let read_byte p off =
-  let bs = Device.block_size p.dev in
-  let f = frame_for p (off / bs) in
-  Bytes.get f.data (off mod bs)
+let read_page = Frame_arena.read_page
 
-let write_byte p off c =
-  let bs = Device.block_size p.dev in
-  let block = off / bs in
-  while block >= Device.block_count p.dev do
-    ignore (Device.allocate p.dev 1)
-  done;
-  let f = frame_for p block in
-  Bytes.set f.data (off mod bs) c;
-  f.dirty <- true
+let write_page = Frame_arena.write_page
 
-let read p ~pos ~len =
-  String.init len (fun i -> read_byte p (pos + i))
+let pin = Frame_arena.pin
 
-let write p ~pos s =
-  String.iteri (fun i c -> write_byte p (pos + i) c) s
+let unpin = Frame_arena.unpin
 
-let read_page p block =
-  if block >= Device.block_count p.dev then
-    invalid_arg (Printf.sprintf "Pager.read_page: block %d not allocated" block);
-  let f = frame_for p block in
-  Bytes.to_string f.data
+let flush = Frame_arena.flush
 
-let write_page p block s =
-  let bs = Device.block_size p.dev in
-  if String.length s > bs then invalid_arg "Pager.write_page: page larger than a block";
-  while block >= Device.block_count p.dev do
-    ignore (Device.allocate p.dev 1)
-  done;
-  let f = frame_for p block in
-  Bytes.fill f.data 0 bs '\000';
-  Bytes.blit_string s 0 f.data 0 (String.length s);
-  f.dirty <- true
-
-let flush p =
-  Array.iter (fun f -> if f.block <> -1 then write_back p f) p.frames
+let detach = Frame_arena.detach

@@ -8,20 +8,30 @@
     to demonstrate paging behaviour, and the [--paged] mode of the
     command-line tools.
 
-    Two classic replacement policies are provided; both write a frame back
-    only when it is dirty. *)
+    Since the frame-arena refactor this module is a thin view over a
+    {!Frame_arena.cache}: the frames, replacement policies, pin counts
+    and per-owner accounting all live in the arena.  A pager created
+    without [?arena] owns a private unbudgeted arena, which behaves
+    exactly like the old standalone pager.  All policies write a frame
+    back only when it is dirty. *)
 
-type policy =
+type policy = Frame_arena.policy =
   | Lru    (** evict the least recently used frame *)
   | Clock  (** second-chance / clock approximation of LRU *)
+  | Mru    (** evict the most recently used frame *)
+  | Stack  (** no-prefetch stack rule: evict the lowest block index *)
 
-type t
+type t = Frame_arena.cache
 
-val create : ?policy:policy -> frames:int -> Device.t -> t
+val create : ?arena:Frame_arena.t -> ?who:string -> ?policy:policy -> frames:int -> Device.t -> t
 (** [create ~frames dev] is a pool of [frames] (>= 1) block frames over
-    [dev].  Default policy is {!Lru}. *)
+    [dev].  With [?arena] the frames are drawn from (and accounted to)
+    that arena under [who] (default ["pager"]); the default policy is
+    then the arena's, otherwise {!Lru}. *)
 
 val device : t -> Device.t
+
+val policy : t -> policy
 
 val read_byte : t -> int -> char
 (** [read_byte p off] reads the byte at device offset [off], faulting the
@@ -43,8 +53,17 @@ val write_page : t -> int -> string -> unit
     is extended as needed).  The write is buffered in the frame until
     eviction or {!flush}. *)
 
+val pin : t -> int -> unit
+(** Fault the block in and protect its frame from eviction until the
+    matching {!unpin}.  Pin counts nest. *)
+
+val unpin : t -> int -> unit
+
 val flush : t -> unit
 (** Write back all dirty frames (frames stay resident). *)
+
+val detach : t -> unit
+(** Flush and return the frames to the arena.  Idempotent. *)
 
 val hits : t -> int
 (** Number of block accesses served from a resident frame. *)

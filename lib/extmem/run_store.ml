@@ -12,10 +12,10 @@ let device t = t.dev
 
 let run_count t = Vec.length t.extents
 
-let begin_run t =
+let begin_run ?buffer t =
   if t.writing then invalid_arg "Run_store.begin_run: a run is already open";
   t.writing <- true;
-  Block_writer.create t.dev
+  Block_writer.create ?buffer t.dev
 
 let finish_run t w =
   if not t.writing then invalid_arg "Run_store.finish_run: no open run";
@@ -29,10 +29,10 @@ let run_extent t id =
     invalid_arg (Printf.sprintf "Run_store: unknown run id %d" id);
   Vec.get t.extents id
 
-let open_run t id = Block_reader.of_extent t.dev (run_extent t id)
+let open_run ?buffer t id = Block_reader.of_extent ?buffer t.dev (run_extent t id)
 
-let read_run t id =
-  let r = open_run t id in
+let read_run ?buffer t id =
+  let r = open_run ?buffer t id in
   fun () -> Block_reader.read_record r
 
 let total_run_blocks t = Vec.fold_left (fun acc e -> acc + e.Extent.blocks) 0 t.extents

@@ -22,18 +22,20 @@ val device : t -> Device.t
 
 val run_count : t -> int
 
-val begin_run : t -> Block_writer.t
-(** Open the writer for a new run.  @raise Invalid_argument if a run is
-    already open. *)
+val begin_run : ?buffer:bytes -> t -> Block_writer.t
+(** Open the writer for a new run.  [buffer] is passed to
+    {!Block_writer.create} (one block, typically an arena frame).
+    @raise Invalid_argument if a run is already open. *)
 
 val finish_run : t -> Block_writer.t -> id
 (** Close the writer and register the run; returns its id. *)
 
-val open_run : t -> id -> Block_reader.t
-(** A fresh sequential reader over the given run.
+val open_run : ?buffer:bytes -> t -> id -> Block_reader.t
+(** A fresh sequential reader over the given run.  [buffer] is the
+    reader's block buffer (typically an arena frame).
     @raise Invalid_argument on an unknown id. *)
 
-val read_run : t -> id -> unit -> string option
+val read_run : ?buffer:bytes -> t -> id -> unit -> string option
 (** Streaming open: a pull over the run's length-prefixed records, for
     feeding a run into a pipeline without re-materialising it.  The
     reader holds one block of buffer; callers account for it (see

@@ -17,23 +17,29 @@ let record_overhead = 16
 
 let sorted_run_input reader () = Extmem.Block_reader.read_record reader
 
-let write_run store records =
-  let w = Extmem.Run_store.begin_run store in
+(* Run-writer and run-reader block buffers come from the frame arena's
+   pool; the covering reservation is the caller's lease (run formation,
+   merge fan-in, ...), so pool traffic itself is not an accounting op. *)
+let write_run fa store records =
+  let buffer = Extmem.Frame_arena.take fa (Extmem.Device.block_size (Extmem.Run_store.device store)) in
+  let w = Extmem.Run_store.begin_run ~buffer store in
   Extmem.Vec.iter (Extmem.Block_writer.write_record w) records;
-  Extmem.Run_store.finish_run store w
+  let id = Extmem.Run_store.finish_run store w in
+  Extmem.Frame_arena.give fa buffer;
+  id
 
 (* ---- run formation: load, sort, store ---- *)
 
 (* Returns [Ok run_ids] after spilling, or [Error sorted_records] when the
    whole input fit in the arena (no temp I/O at all). *)
-let load_sort_runs ~arena_capacity ~store ~cmp ~input ~count =
+let load_sort_runs ~fa ~arena_capacity ~store ~cmp ~input ~count =
   let arena = Extmem.Vec.create () in
   let arena_bytes = ref 0 in
   let run_ids = ref [] in
   let flush () =
     if not (Extmem.Vec.is_empty arena) then begin
       Extmem.Vec.sort cmp arena;
-      run_ids := write_run store arena :: !run_ids;
+      run_ids := write_run fa store arena :: !run_ids;
       Extmem.Vec.clear arena;
       arena_bytes := 0
     end
@@ -66,7 +72,7 @@ let load_sort_runs ~arena_capacity ~store ~cmp ~input ~count =
    smaller than the last record written, otherwise it waits (still in
    memory) for the next run.  On random input runs come out about twice
    the arena size, halving the run count and often saving a merge pass. *)
-let replacement_selection_runs ~arena_capacity ~store ~cmp ~input ~count =
+let replacement_selection_runs ~fa ~arena_capacity ~store ~cmp ~input ~count =
   let less a b = cmp a b < 0 in
   let current = Heap.create ~less in
   let pending = Extmem.Vec.create () in
@@ -98,7 +104,8 @@ let replacement_selection_runs ~arena_capacity ~store ~cmp ~input ~count =
   else begin
     let run_ids = ref [] in
     while Heap.length current > 0 do
-      let w = Extmem.Run_store.begin_run store in
+      let buffer = Extmem.Frame_arena.take fa (Extmem.Device.block_size (Extmem.Run_store.device store)) in
+      let w = Extmem.Run_store.begin_run ~buffer store in
       let rec produce () =
         if Heap.length current > 0 then begin
           let m = Heap.pop current in
@@ -121,6 +128,7 @@ let replacement_selection_runs ~arena_capacity ~store ~cmp ~input ~count =
       in
       produce ();
       run_ids := Extmem.Run_store.finish_run store w :: !run_ids;
+      Extmem.Frame_arena.give fa buffer;
       (* the pending records seed the next run *)
       Extmem.Vec.iter (Heap.push current) pending;
       Extmem.Vec.clear pending
@@ -130,8 +138,14 @@ let replacement_selection_runs ~arena_capacity ~store ~cmp ~input ~count =
 
 (* ---- merging ---- *)
 
-let open_inputs store ids =
-  Array.of_list (List.map (fun id -> sorted_run_input (Extmem.Run_store.open_run store id)) ids)
+let open_inputs fa store ids =
+  let bs = Extmem.Device.block_size (Extmem.Run_store.device store) in
+  Array.of_list
+    (List.map
+       (fun id ->
+         let buffer = Extmem.Frame_arena.take fa bs in
+         sorted_run_input (Extmem.Run_store.open_run ~buffer store id))
+       ids)
 
 let batches fan_in ids =
   let rec go = function
@@ -148,23 +162,27 @@ let batches fan_in ids =
   go ids
 
 (* Merge until at most [fan_in] runs remain; those feed the final,
-   streaming merge.  Each intermediate pass reserves its own output
-   buffer and (via Multiway) its fan-in, so memory is accounted
-   per-phase instead of as one opaque blanket. *)
-let intermediate_passes ~budget ~store ~fan_in ~cmp runs =
+   streaming merge.  Each intermediate pass leases its own output
+   buffer and (via Multiway) its fan-in from the arena, so memory is
+   accounted per-phase instead of as one opaque blanket. *)
+let intermediate_passes ~fa ~store ~fan_in ~cmp runs =
+  let bs = Extmem.Device.block_size (Extmem.Run_store.device store) in
   let rec passes runs n =
     if List.length runs <= fan_in then (runs, n)
     else begin
       let next_runs =
         List.map
           (fun batch ->
-            Extmem.Memory_budget.with_reserved budget ~who:"external sort merge output buffer" 1
-            @@ fun () ->
-            let w = Extmem.Run_store.begin_run store in
-            Multiway.merge ~budget ~who:"external sort merge" ~cmp
-              ~inputs:(open_inputs store batch)
+            Extmem.Frame_arena.with_lease fa ~who:"external sort merge output buffer" 1
+            @@ fun _ ->
+            let buffer = Extmem.Frame_arena.take fa bs in
+            let w = Extmem.Run_store.begin_run ~buffer store in
+            Multiway.merge ~arena:fa ~who:"external sort merge" ~cmp
+              ~inputs:(open_inputs fa store batch)
               ~output:(Extmem.Block_writer.write_record w) ();
-            Extmem.Run_store.finish_run store w)
+            let id = Extmem.Run_store.finish_run store w in
+            Extmem.Frame_arena.give fa buffer;
+            id)
           (batches fan_in runs)
       in
       passes next_runs (n + 1)
@@ -180,7 +198,8 @@ type opened = {
   stats : stats;
 }
 
-let sort_open ?(run_formation = `Load_sort) ~budget ~temp ~cmp ~input () =
+let sort_open ?(run_formation = `Load_sort) ?arena ~budget ~temp ~cmp ~input () =
+  let fa = match arena with Some a -> a | None -> Extmem.Frame_arena.create ~budget () in
   let bs = Extmem.Memory_budget.block_size budget in
   let blocks = Extmem.Memory_budget.available_blocks budget in
   if blocks < 3 then
@@ -200,35 +219,29 @@ let sort_open ?(run_formation = `Load_sort) ~budget ~temp ~cmp ~input () =
   let finish initial_runs merge_passes =
     { records = !records; bytes = !total_bytes; initial_runs; merge_passes }
   in
-  Extmem.Memory_budget.reserve budget ~who:"external sort run formation" blocks;
+  let formation = Extmem.Frame_arena.lease fa ~who:"external sort run formation" blocks in
   let formed =
     try
       match run_formation with
       | `Load_sort -> (
-          match load_sort_runs ~arena_capacity ~store ~cmp ~input ~count with
+          match load_sort_runs ~fa ~arena_capacity ~store ~cmp ~input ~count with
           | Error arena -> `Arena arena
           | Ok runs -> `Runs runs)
       | `Replacement_selection -> (
-          match replacement_selection_runs ~arena_capacity ~store ~cmp ~input ~count with
+          match replacement_selection_runs ~fa ~arena_capacity ~store ~cmp ~input ~count with
           | Error heap -> `Heap heap
           | Ok runs -> `Runs runs)
     with e ->
-      Extmem.Memory_budget.release budget blocks;
+      Extmem.Frame_arena.close_lease formation;
       raise e
   in
   match formed with
   | `Arena arena ->
       (* Everything fits: the sorted arena stays live until drained, so
-         keep its [blocks - 1] accounted (the output-buffer block is the
-         caller's) and release on close / exhaustion. *)
-      Extmem.Memory_budget.release budget 1;
-      let released = ref false in
-      let release () =
-        if not !released then begin
-          released := true;
-          Extmem.Memory_budget.release budget (blocks - 1)
-        end
-      in
+         keep its [blocks - 1] leased (the output-buffer block is the
+         caller's) and close on close / exhaustion. *)
+      Extmem.Frame_arena.shrink formation 1;
+      let release () = Extmem.Frame_arena.close_lease formation in
       let idx = ref 0 in
       let pull () =
         if !idx >= Extmem.Vec.length arena then begin
@@ -243,14 +256,8 @@ let sort_open ?(run_formation = `Load_sort) ~budget ~temp ~cmp ~input () =
       in
       { pull; close = release; stats = finish 0 0 }
   | `Heap heap ->
-      Extmem.Memory_budget.release budget 1;
-      let released = ref false in
-      let release () =
-        if not !released then begin
-          released := true;
-          Extmem.Memory_budget.release budget (blocks - 1)
-        end
-      in
+      Extmem.Frame_arena.shrink formation 1;
+      let release () = Extmem.Frame_arena.close_lease formation in
       let pull () =
         if Heap.length heap = 0 then begin
           release ();
@@ -260,21 +267,25 @@ let sort_open ?(run_formation = `Load_sort) ~budget ~temp ~cmp ~input () =
       in
       { pull; close = release; stats = finish 0 0 }
   | `Runs runs ->
-      Extmem.Memory_budget.release budget blocks;
+      Extmem.Frame_arena.close_lease formation;
       let fan_in = blocks - 1 in
-      let final_runs, inter =
-        intermediate_passes ~budget ~store ~fan_in ~cmp runs
+      let final_runs, inter = intermediate_passes ~fa ~store ~fan_in ~cmp runs in
+      (* Lease the final fan-in first, then draw the readers' buffers
+         from the arena pool it covers; the merge assumes ownership of
+         the lease and closes it on exhaustion. *)
+      let lease =
+        Extmem.Frame_arena.lease fa ~who:"external sort final merge" (List.length final_runs)
       in
       let pull, close =
-        Multiway.merge_pull ~budget ~who:"external sort final merge" ~cmp
-          ~inputs:(open_inputs store final_runs) ()
+        Multiway.merge_pull ~lease ~cmp ~inputs:(open_inputs fa store final_runs) ()
       in
       { pull; close; stats = finish (List.length runs) (inter + 1) }
 
-let sort ?run_formation ~budget ~temp ~cmp ~input ~output () =
-  let o = sort_open ?run_formation ~budget ~temp ~cmp ~input () in
+let sort ?run_formation ?arena ~budget ~temp ~cmp ~input ~output () =
+  let fa = match arena with Some a -> a | None -> Extmem.Frame_arena.create ~budget () in
+  let o = sort_open ?run_formation ~arena:fa ~budget ~temp ~cmp ~input () in
   Fun.protect ~finally:o.close (fun () ->
-      Extmem.Memory_budget.with_reserved budget ~who:"external sort output buffer" 1 @@ fun () ->
+      Extmem.Frame_arena.with_lease fa ~who:"external sort output buffer" 1 @@ fun _ ->
       let rec go () =
         match o.pull () with
         | None -> ()

@@ -51,6 +51,7 @@ type opened = {
 
 val sort_open :
   ?run_formation:run_formation ->
+  ?arena:Extmem.Frame_arena.t ->
   budget:Extmem.Memory_budget.t ->
   temp:Extmem.Device.t ->
   cmp:(string -> string -> int) ->
@@ -62,13 +63,16 @@ val sort_open :
     pull stream — fusing the sort's output boundary into whatever
     consumes it (no materialised output run).
 
-    Memory is reserved per phase from [budget]: run formation takes all
-    currently-available blocks (at least 3 are required: 2-way merge
-    fan-in plus an output buffer) and releases them when runs are cut;
-    each intermediate merge pass reserves its fan-in plus one output
-    buffer; the final merge holds its fan-in until the stream is
-    exhausted or closed.  When the input fits in the arena, the sorted
-    arena itself stays reserved until the stream is done.
+    Memory is held per phase as {!Extmem.Frame_arena.lease}s (on
+    [arena] when given — it must wrap [budget] — else on a private
+    arena over [budget]): run formation leases all currently-available
+    blocks (at least 3 are required: 2-way merge fan-in plus an output
+    buffer) and closes the lease when runs are cut; each intermediate
+    merge pass leases its fan-in plus one output buffer; the final
+    merge holds its fan-in lease until the stream is exhausted or
+    closed.  When the input fits in the formation arena, the sorted
+    records stay leased until the stream is done.  Run reader/writer
+    block buffers are recycled through the arena's pool.
 
     Temp-device contents are garbage after the stream is drained and may
     be reused by subsequent sorts (each sort appends; pass a fresh or
@@ -79,6 +83,7 @@ val sort_open :
 
 val sort :
   ?run_formation:run_formation ->
+  ?arena:Extmem.Frame_arena.t ->
   budget:Extmem.Memory_budget.t ->
   temp:Extmem.Device.t ->
   cmp:(string -> string -> int) ->

@@ -14,7 +14,7 @@ let make_heap ~cmp ~inputs =
     inputs;
   h
 
-let merge ?budget ?who ~cmp ~inputs ~output () =
+let merge ?arena ?who ~cmp ~inputs ~output () =
   let k = Array.length inputs in
   let who = match who with Some w -> w | None -> default_who k in
   let body () =
@@ -27,23 +27,24 @@ let merge ?budget ?who ~cmp ~inputs ~output () =
       | None -> ()
     done
   in
-  match budget with
+  match arena with
   | None -> body ()
-  | Some b -> Extmem.Memory_budget.with_reserved b ~who k body
+  | Some a -> Extmem.Frame_arena.with_lease a ~who k (fun _ -> body ())
 
-let merge_list ?budget ?who ~cmp ~inputs ~output () =
-  merge ?budget ?who ~cmp ~inputs:(Array.of_list inputs) ~output ()
+let merge_list ?arena ?who ~cmp ~inputs ~output () =
+  merge ?arena ?who ~cmp ~inputs:(Array.of_list inputs) ~output ()
 
-let merge_pull ?budget ?who ~cmp ~inputs () =
+let merge_pull ?arena ?lease ?who ~cmp ~inputs () =
   let k = Array.length inputs in
   let who = match who with Some w -> w | None -> default_who k in
-  (match budget with Some b -> Extmem.Memory_budget.reserve b ~who k | None -> ());
-  let released = ref false in
+  let lease =
+    match (lease, arena) with
+    | Some l, _ -> Some l
+    | None, Some a -> Some (Extmem.Frame_arena.lease a ~who k)
+    | None, None -> None
+  in
   let release () =
-    if not !released then begin
-      released := true;
-      match budget with Some b -> Extmem.Memory_budget.release b k | None -> ()
-    end
+    match lease with Some l -> Extmem.Frame_arena.close_lease l | None -> ()
   in
   let h = make_heap ~cmp ~inputs in
   let pull () =

@@ -659,6 +659,23 @@ module Probe = struct
         float_of_int (Extmem.Run_store.total_run_blocks rs));
     Registry.gauge reg ~unit_:"bytes" (p "bytes") (fun () ->
         float_of_int (Extmem.Run_store.total_run_bytes rs))
+
+  let frame_arena reg ~prefix fa =
+    (* Aggregate pull gauges over all owners (sampled at render time, so
+       owners that appear after registration are still counted); the
+       per-owner breakdown goes into the report's "arena" section. *)
+    let p name = Printf.sprintf "%s.%s" prefix name in
+    let total f = float_of_int (f (Extmem.Frame_arena.totals fa)) in
+    Registry.gauge reg ~unit_:"blocks" (p "held") (fun () ->
+        total (fun (s : Extmem.Frame_arena.owner_stats) -> s.held));
+    Registry.gauge reg ~unit_:"accesses" (p "hits") (fun () ->
+        total (fun (s : Extmem.Frame_arena.owner_stats) -> s.hits));
+    Registry.gauge reg ~unit_:"accesses" (p "misses") (fun () ->
+        total (fun (s : Extmem.Frame_arena.owner_stats) -> s.misses));
+    Registry.gauge reg ~unit_:"frames" (p "evictions") (fun () ->
+        total (fun (s : Extmem.Frame_arena.owner_stats) -> s.evictions));
+    Registry.gauge reg ~unit_:"blocks" (p "writebacks") (fun () ->
+        total (fun (s : Extmem.Frame_arena.owner_stats) -> s.writebacks))
 end
 
 module Report = struct

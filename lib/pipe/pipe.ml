@@ -72,7 +72,7 @@ let open_source ?spans ~budget src =
   let pull, close_stages =
     try in_span spans ("open:" ^ who) src.s_open
     with e ->
-      Extmem.Memory_budget.release budget src.s_mem;
+      Extmem.Memory_budget.release budget ~who src.s_mem;
       raise e
   in
   let closed = ref false in
@@ -80,7 +80,7 @@ let open_source ?spans ~budget src =
     if not !closed then begin
       closed := true;
       Fun.protect
-        ~finally:(fun () -> Extmem.Memory_budget.release budget src.s_mem)
+        ~finally:(fun () -> Extmem.Memory_budget.release budget ~who src.s_mem)
         close_stages
     end
   in
@@ -99,7 +99,7 @@ let drain pull push =
 let run_opened ?spans ~budget opened snk =
   Fun.protect ~finally:opened.close @@ fun () ->
   Extmem.Memory_budget.reserve budget ~who:snk.k_who snk.k_mem;
-  let release () = Extmem.Memory_budget.release budget snk.k_mem in
+  let release () = Extmem.Memory_budget.release budget ~who:snk.k_who snk.k_mem in
   let push, close_snk =
     try snk.k_open ()
     with e ->

@@ -35,6 +35,7 @@ type report = {
 }
 
 val merge_devices :
+  ?policy:Extmem.Frame_arena.policy ->
   ordering:Nexsort.Ordering.t ->
   left:Extmem.Device.t ->
   right:Extmem.Device.t ->
@@ -42,9 +43,13 @@ val merge_devices :
   unit ->
   report
 (** Same semantics and restrictions as {!Naive_merge.merge_devices}; the
-    index lives on a private device whose I/O is reported separately. *)
+    index lives on a private device whose I/O is reported separately.
+    [policy] selects the index buffer pool's replacement policy (default
+    LRU) — the merged output is identical under every policy, only the
+    pager counters move. *)
 
 val merge_strings :
+  ?policy:Extmem.Frame_arena.policy ->
   ordering:Nexsort.Ordering.t ->
   ?block_size:int ->
   ?device:Extmem.Device_spec.t ->

@@ -23,4 +23,9 @@ dune exec bench/main.exe -- validate-metrics /tmp/m.json
 dune exec bench/main.exe -- compare-metrics BENCH_smoke.json /tmp/m.json
 cp /tmp/m.json BENCH_smoke.json
 
+# Replacement-policy sweep: every frame-arena policy must produce
+# byte-identical sorted/merged output (the experiment exits non-zero on a
+# digest mismatch); only the paging counters may differ.
+dune exec bench/main.exe -- --quick policy-sweep > /dev/null
+
 echo "check: OK"

@@ -12,6 +12,7 @@ stdout.  The top-level section keys are the report's stable schema:
   counts
   io
   pager
+  arena
   phases
   metrics
   timing
@@ -37,7 +38,8 @@ The config section echoes the effective configuration:
       "data_stack_blocks": 1,
       "path_stack_blocks": 2,
       "keep_whitespace": false,
-      "device": "mem"
+      "device": "mem",
+      "policy": "lru"
     },
 
 The io section carries the paper's per-phase I/O breakdown (§4.2); its
@@ -84,12 +86,13 @@ each line a self-contained object repeating the schema version:
 
   $ ../../bin/nexsort_cli.exe -B 256 -M 8 -O @id doc.xml -o sorted3.xml --metrics report.ndjson 2> /dev/null
   $ wc -l < report.ndjson
-  7
+  8
   $ sed 's/.*"section":"\([a-z_]*\)".*/\1/' report.ndjson
   config
   counts
   io
   pager
+  arena
   phases
   metrics
   timing

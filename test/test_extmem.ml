@@ -424,21 +424,27 @@ let test_run_store_read_run () =
 (* Ext_stack *)
 
 let test_ext_stack_borrow_window () =
-  (* with a budget to borrow from, a 1-block window grows instead of
-     paging; shed returns every borrowed block and forces the spill *)
+  (* with a budgeted arena to borrow from, a 1-block window grows instead
+     of paging; shed returns every borrowed block and forces the spill *)
   let d = Extmem.Device.in_memory ~block_size:16 () in
   let budget = Extmem.Memory_budget.create ~blocks:8 ~block_size:16 in
-  let st = Extmem.Ext_stack.create ~resident_blocks:1 ~borrow:(budget, "test window") d in
+  let arena = Extmem.Frame_arena.create ~budget () in
+  let st = Extmem.Ext_stack.create ~name:"test" ~resident_blocks:1 ~arena ~borrow:true d in
   for i = 0 to 99 do
     Extmem.Ext_stack.push st (Printf.sprintf "entry-%03d" i)
   done;
   check Alcotest.bool "borrowed from the budget" true (Extmem.Ext_stack.borrowed st > 0);
-  check Alcotest.int "borrow is accounted" (Extmem.Ext_stack.borrowed st)
+  (* the window lease holds its 1 configured block on top of the borrow *)
+  check Alcotest.int "borrow is accounted"
+    (Extmem.Ext_stack.borrowed st + 1)
     (Extmem.Memory_budget.used_blocks budget);
+  check Alcotest.int "borrow is owner-labelled" (Extmem.Ext_stack.borrowed st)
+    (Extmem.Memory_budget.held budget "test window (borrowed)");
   let writes_before = (Extmem.Ext_stack.io_stats st).Extmem.Io_stats.writes in
   Extmem.Ext_stack.shed st;
   check Alcotest.int "shed returns every block" 0 (Extmem.Ext_stack.borrowed st);
-  check Alcotest.int "budget whole again" 0 (Extmem.Memory_budget.used_blocks budget);
+  check Alcotest.int "only the window remains charged" 1
+    (Extmem.Memory_budget.used_blocks budget);
   check Alcotest.bool "shedding spills the surplus" true
     ((Extmem.Ext_stack.io_stats st).Extmem.Io_stats.writes > writes_before);
   (* contents survive the shed *)
@@ -449,7 +455,8 @@ let test_ext_stack_borrow_window () =
 let test_ext_stack_borrow_release_on_truncate () =
   let d = Extmem.Device.in_memory ~block_size:16 () in
   let budget = Extmem.Memory_budget.create ~blocks:8 ~block_size:16 in
-  let st = Extmem.Ext_stack.create ~resident_blocks:1 ~borrow:(budget, "test window") d in
+  let arena = Extmem.Frame_arena.create ~budget () in
+  let st = Extmem.Ext_stack.create ~name:"test" ~resident_blocks:1 ~arena ~borrow:true d in
   for i = 0 to 99 do
     Extmem.Ext_stack.push st (Printf.sprintf "entry-%03d" i)
   done;
@@ -457,15 +464,17 @@ let test_ext_stack_borrow_release_on_truncate () =
   check Alcotest.bool "borrowed" true (borrowed > 0);
   Extmem.Ext_stack.truncate_to st 0;
   check Alcotest.int "truncate gives the blocks back" 0 (Extmem.Ext_stack.borrowed st);
-  check Alcotest.int "budget whole again" 0 (Extmem.Memory_budget.used_blocks budget)
+  check Alcotest.int "only the window remains charged" 1
+    (Extmem.Memory_budget.used_blocks budget)
 
 let test_ext_stack_borrow_stops_at_exhaustion () =
   (* an exhausted budget must never raise out of push: the window just
      pages as if it had no borrow source *)
   let d = Extmem.Device.in_memory ~block_size:16 () in
-  let budget = Extmem.Memory_budget.create ~blocks:2 ~block_size:16 in
+  let budget = Extmem.Memory_budget.create ~blocks:3 ~block_size:16 in
   Extmem.Memory_budget.reserve budget ~who:"someone else" 2;
-  let st = Extmem.Ext_stack.create ~resident_blocks:1 ~borrow:(budget, "test window") d in
+  let arena = Extmem.Frame_arena.create ~budget () in
+  let st = Extmem.Ext_stack.create ~name:"test" ~resident_blocks:1 ~arena ~borrow:true d in
   for i = 0 to 99 do
     Extmem.Ext_stack.push st (Printf.sprintf "entry-%03d" i)
   done;
@@ -755,6 +764,52 @@ let prop_pager_matches_device =
       Extmem.Pager.flush p;
       !ok && Extmem.Device.contents d = Bytes.to_string model)
 
+let prop_pager_policies_with_pins =
+  (* every replacement policy, with a strict subset of the frames pinned
+     across the whole run: reads/writes must still match a plain byte
+     array, pinned blocks must survive all the eviction traffic, and the
+     flushed device must be byte-identical to the model *)
+  QCheck.Test.make ~name:"Frame cache matches a byte array under every policy with pins"
+    ~count:200
+    QCheck.(
+      quad (int_range 2 4) (int_bound 3)
+        (list_of_size (Gen.int_range 1 3) (int_bound 7))
+        (list (pair (int_bound 63) printable_char)))
+    (fun (frames, pidx, pin_blocks, writes) ->
+      let policy = List.nth Extmem.Frame_arena.all_policies pidx in
+      let d = Extmem.Device.in_memory ~block_size:8 () in
+      ignore (Extmem.Device.allocate d 8);
+      let arena = Extmem.Frame_arena.create () in
+      let c = Extmem.Frame_arena.attach arena ~who:"prop" ~policy ~frames d in
+      (* at most frames-1 pinned blocks, so eviction always has a victim *)
+      let pins =
+        List.filteri (fun i _ -> i < frames - 1) (List.sort_uniq compare pin_blocks)
+      in
+      List.iter (Extmem.Frame_arena.pin c) pins;
+      let model = Bytes.make 64 '\000' in
+      List.iter
+        (fun (off, ch) ->
+          Extmem.Frame_arena.write_byte c off ch;
+          Bytes.set model off ch)
+        writes;
+      let ok = ref true in
+      for i = 0 to 63 do
+        if Extmem.Frame_arena.read_byte c i <> Bytes.get model i then ok := false
+      done;
+      List.iter
+        (fun b -> if Extmem.Frame_arena.pinned c b = 0 then ok := false)
+        pins;
+      List.iter (Extmem.Frame_arena.unpin c) pins;
+      Extmem.Frame_arena.flush c;
+      let same = Extmem.Device.contents d = Bytes.to_string model in
+      Extmem.Frame_arena.detach c;
+      (* the owner's counters survive the detach *)
+      let survived =
+        List.mem_assoc "prop" (Extmem.Frame_arena.owners arena)
+        && (Extmem.Frame_arena.totals arena).Extmem.Frame_arena.misses > 0
+      in
+      !ok && same && survived)
+
 (* ------------------------------------------------------------------ *)
 (* Btree *)
 
@@ -965,7 +1020,7 @@ let test_budget_basics () =
   Extmem.Memory_budget.reserve b ~who:"test" 4;
   check Alcotest.int "used" 4 (Extmem.Memory_budget.used_blocks b);
   check Alcotest.int "available bytes" (6 * 64) (Extmem.Memory_budget.available_bytes b);
-  Extmem.Memory_budget.release b 4;
+  Extmem.Memory_budget.release b ~who:"test" 4;
   check Alcotest.int "released" 0 (Extmem.Memory_budget.used_blocks b)
 
 let test_budget_exhaustion () =
@@ -976,8 +1031,38 @@ let test_budget_exhaustion () =
      Alcotest.fail "expected Exhausted"
    with Extmem.Memory_budget.Exhausted msg ->
      check Alcotest.bool "names culprit" true
-       (String.length msg > 0 && String.sub msg 0 1 = "b"));
-  Extmem.Memory_budget.release b 2
+       (String.length msg > 0 && String.sub msg 0 1 = "b");
+     (* the per-owner ledger names who is sitting on the memory *)
+     let contains hay needle =
+       let nh = String.length hay and nn = String.length needle in
+       let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+       go 0
+     in
+     check Alcotest.bool "names holders" true (contains msg "a=2"));
+  Extmem.Memory_budget.release b ~who:"a" 2
+
+let test_budget_ledger () =
+  let b = Extmem.Memory_budget.create ~blocks:10 ~block_size:8 in
+  Extmem.Memory_budget.reserve b ~who:"x" 3;
+  Extmem.Memory_budget.reserve b ~who:"y" 2;
+  Extmem.Memory_budget.reserve b ~who:"x" 1;
+  check Alcotest.int "held x" 4 (Extmem.Memory_budget.held b "x");
+  check Alcotest.int "held y" 2 (Extmem.Memory_budget.held b "y");
+  check Alcotest.int "held stranger" 0 (Extmem.Memory_budget.held b "z");
+  check
+    Alcotest.(list (pair string int))
+    "holders sorted" [ ("x", 4); ("y", 2) ]
+    (Extmem.Memory_budget.holders b);
+  (* over-release by one owner is a bug even when the global count is
+     large enough *)
+  (try
+     Extmem.Memory_budget.release b ~who:"y" 3;
+     Alcotest.fail "expected over-release rejection"
+   with Invalid_argument _ -> ());
+  Extmem.Memory_budget.release b ~who:"x" 4;
+  Extmem.Memory_budget.release b ~who:"y" 2;
+  check Alcotest.(list (pair string int)) "ledger empty" [] (Extmem.Memory_budget.holders b);
+  check Alcotest.int "all released" 0 (Extmem.Memory_budget.used_blocks b)
 
 let test_budget_with_reserved () =
   let b = Extmem.Memory_budget.create ~blocks:4 ~block_size:8 in
@@ -1255,6 +1340,7 @@ let () =
           Alcotest.test_case "eviction/writeback counters" `Quick
             test_pager_eviction_writeback_counters;
           qcheck prop_pager_matches_device;
+          qcheck prop_pager_policies_with_pins;
         ] );
       ( "btree",
         [
@@ -1279,6 +1365,7 @@ let () =
         [
           Alcotest.test_case "basics" `Quick test_budget_basics;
           Alcotest.test_case "exhaustion" `Quick test_budget_exhaustion;
+          Alcotest.test_case "per-owner ledger" `Quick test_budget_ledger;
           Alcotest.test_case "with_reserved" `Quick test_budget_with_reserved;
         ] );
     ]

@@ -55,9 +55,10 @@ let prop_multiway_equals_list_merge =
       got = List.sort compare (List.concat lists))
 
 let test_multiway_budget_reserved () =
-  (* fan-in buffers are reserved from the budget for the merge's duration
-     and released afterwards *)
+  (* fan-in buffers are leased from the arena's budget for the merge's
+     duration and released afterwards *)
   let budget = Extmem.Memory_budget.create ~blocks:4 ~block_size:16 in
+  let arena = Extmem.Frame_arena.create ~budget () in
   let peak = ref 0 in
   let first = of_list [ "a" ] in
   let inputs =
@@ -69,15 +70,16 @@ let test_multiway_budget_reserved () =
       of_list [ "c" ];
     |]
   in
-  Extsort.Multiway.merge ~budget ~cmp:compare ~inputs ~output:ignore ();
+  Extsort.Multiway.merge ~arena ~cmp:compare ~inputs ~output:ignore ();
   check Alcotest.bool "fan-in reserved during merge" true (!peak >= 3);
   check Alcotest.int "released after" 0 (Extmem.Memory_budget.used_blocks budget)
 
 let test_multiway_budget_exhausted_names_merge () =
   let budget = Extmem.Memory_budget.create ~blocks:2 ~block_size:16 in
+  let arena = Extmem.Frame_arena.create ~budget () in
   let inputs = [| of_list [ "a" ]; of_list [ "b" ]; of_list [ "c" ] |] in
   (try
-     Extsort.Multiway.merge ~budget ~cmp:compare ~inputs ~output:ignore ();
+     Extsort.Multiway.merge ~arena ~cmp:compare ~inputs ~output:ignore ();
      Alcotest.fail "expected Exhausted"
    with Extmem.Memory_budget.Exhausted who ->
      let contains s sub =
@@ -92,8 +94,9 @@ let test_multiway_budget_exhausted_names_merge () =
 
 let test_multiway_pull () =
   let budget = Extmem.Memory_budget.create ~blocks:4 ~block_size:16 in
+  let arena = Extmem.Frame_arena.create ~budget () in
   let inputs = [| of_list [ "a"; "c" ]; of_list [ "b"; "d" ] |] in
-  let pull, release = Extsort.Multiway.merge_pull ~budget ~cmp:compare ~inputs () in
+  let pull, release = Extsort.Multiway.merge_pull ~arena ~cmp:compare ~inputs () in
   check Alcotest.int "fan-in held while streaming" 2
     (Extmem.Memory_budget.used_blocks budget);
   let rec all acc = match pull () with None -> List.rev acc | Some x -> all (x :: acc) in
@@ -104,8 +107,9 @@ let test_multiway_pull () =
 
 let test_multiway_pull_early_release () =
   let budget = Extmem.Memory_budget.create ~blocks:4 ~block_size:16 in
+  let arena = Extmem.Frame_arena.create ~budget () in
   let inputs = [| of_list [ "a"; "c" ]; of_list [ "b" ] |] in
-  let pull, release = Extsort.Multiway.merge_pull ~budget ~cmp:compare ~inputs () in
+  let pull, release = Extsort.Multiway.merge_pull ~arena ~cmp:compare ~inputs () in
   check (Alcotest.option Alcotest.string) "first" (Some "a") (pull ());
   release ();
   check Alcotest.int "released early" 0 (Extmem.Memory_budget.used_blocks budget)

@@ -543,6 +543,55 @@ let test_sort_input_fault_surfaces () =
   let r = Nexsort.sort_device ~config ~ordering:by_id ~input ~output:output2 () in
   check Alcotest.bool "recovered" true (r.Nexsort.elements > 0)
 
+exception Boom
+
+let test_aborted_external_sort_restores_budget () =
+  (* an exception raised mid-external-sort — while the data-stack window
+     may hold borrowed arena blocks — must leave the session's budget
+     exactly as a completed sort would: every sort lease released and the
+     window shed back to its configured size *)
+  let config = Config.make ~block_size:256 ~memory_blocks:12 () in
+  let session = Nexsort.Session.create config in
+  let budget = session.Nexsort.Session.budget in
+  let baseline = Extmem.Memory_budget.used_blocks budget in
+  let run variant =
+    let fed = ref 0 in
+    let input () =
+      incr fed;
+      if !fed > 30 then raise Boom
+      else begin
+        (* push the data stack while the sort drains input, as the real
+           scan does; if the budget has slack the window re-borrows *)
+        Extmem.Ext_stack.push session.Nexsort.Session.data_stack (String.make 64 'x');
+        Some
+          (Nexsort.Entry.Start
+             { level = 2; pos = !fed; name = "e"; attrs = []; key = Some (Key.Num (float_of_int !fed)) })
+      end
+    in
+    (try
+       (match variant with
+       | `Sink ->
+           ignore
+             (Nexsort.Subtree_sort.sort_external_to session ~input ~scan:`Forward ignore
+               : Extsort.External_sort.stats)
+       | `Source ->
+           ignore
+             (Nexsort.Subtree_sort.sort_external_source session ~input ~scan:`Forward
+               : Nexsort.Subtree_sort.streamed));
+       Alcotest.fail "expected Boom"
+     with Boom -> ());
+    check Alcotest.int "borrow shed after abort" 0
+      (Extmem.Ext_stack.borrowed session.Nexsort.Session.data_stack);
+    check Alcotest.int "budget restored after abort" baseline
+      (Extmem.Memory_budget.used_blocks budget);
+    (* drain what the aborted sort left on the data stack *)
+    while not (Extmem.Ext_stack.is_empty session.Nexsort.Session.data_stack) do
+      ignore (Extmem.Ext_stack.pop session.Nexsort.Session.data_stack)
+    done
+  in
+  run `Sink;
+  run `Source
+
 let test_report_io_accounting () =
   let xml = gen_doc 6 in
   let config = tiny_config () in
@@ -1019,6 +1068,8 @@ let () =
           Alcotest.test_case "output fault leaves whole blocks" `Quick
             test_output_fault_leaves_whole_blocks;
           Alcotest.test_case "input fault surfaces" `Quick test_sort_input_fault_surfaces;
+          Alcotest.test_case "aborted external sort restores budget" `Quick
+            test_aborted_external_sort_restores_budget;
           Alcotest.test_case "io accounting" `Quick test_report_io_accounting;
           Alcotest.test_case "file-backed devices" `Quick test_sort_file_backed_devices;
           Alcotest.test_case "all sorters agree" `Quick test_all_sorters_agree_on_company_docs;
