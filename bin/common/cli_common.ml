@@ -101,13 +101,20 @@ let config_term =
   in
   let build block_size memory_blocks threshold depth_limit no_degeneration keep_whitespace no_fuse
       encoding pager_policy =
-    Nexsort.Config.make ~block_size ~memory_blocks ?threshold ?depth_limit
-      ~degeneration:(not no_degeneration) ~root_fusion:(not no_fuse) ~encoding ~keep_whitespace
-      ~pager_policy ()
+    (* Config.make rejects inconsistent sizes; surface that as a clean
+       one-line CLI error instead of an uncaught exception *)
+    match
+      Nexsort.Config.make ~block_size ~memory_blocks ?threshold ?depth_limit
+        ~degeneration:(not no_degeneration) ~root_fusion:(not no_fuse) ~encoding ~keep_whitespace
+        ~pager_policy ()
+    with
+    | config -> Ok config
+    | exception Invalid_argument msg -> Error msg
   in
-  Term.(
-    const build $ block_size $ memory_blocks $ threshold $ depth_limit $ no_degeneration
-    $ keep_whitespace $ no_fuse_term $ encoding_term $ policy_term)
+  Term.term_result'
+    Term.(
+      const build $ block_size $ memory_blocks $ threshold $ depth_limit $ no_degeneration
+      $ keep_whitespace $ no_fuse_term $ encoding_term $ policy_term)
 
 let device_term =
   let parse s =

@@ -1,0 +1,413 @@
+(* nexfuzz: oracle-backed differential fuzzing of the XML sorters.
+
+   Each differential case generates a pathological document, sorts it with
+   NEXSORT and the baselines across a sampled config matrix (block size,
+   memory budget, replacement policy, fusion, encoding, device spec), and
+   demands byte-identical agreement with the in-memory reference oracle
+   plus a pass through the independent streaming validator and the
+   resource-invariant probes.
+
+   Fault-schedule cases re-run the sorter under deterministic fault
+   injection — seeded random faults on the internal devices, fail-the-Nth
+   write/read on an endpoint, a torn block at a chosen offset — and demand
+   that every run either completes with validated output or aborts with
+   the typed [Device.Fault], with the memory budget fully restored either
+   way.
+
+   A failing case greedily shrinks its document and prints a reproducer
+   command line. *)
+
+open Cmdliner
+module Ordering = Nexsort.Ordering
+
+let policies = [| Extmem.Frame_arena.Lru; Clock; Mru; Stack |]
+
+(* ------------------------------------------------------------------ *)
+(* Config matrix *)
+
+type case_config = {
+  ordering_spec : string;
+  ordering : Ordering.t;
+  config : Nexsort.Config.t;
+  cli_flags : string;  (* equivalent nexsort(1) flags, for the reproducer *)
+}
+
+let orderings =
+  [| "@id"; "tag"; "text"; "(@id;tag)"; "-@id" |]
+
+let differential_config ~seed i =
+  let rng = Xmlgen.Splitmix.create (seed + (7919 * i)) in
+  let policy = policies.(i mod 4) in
+  let fuse = i / 4 mod 2 = 0 in
+  let ordering_spec = orderings.(i mod Array.length orderings) in
+  let ordering = Ordering.of_spec_string ordering_spec in
+  let scan = Ordering.all_scan_evaluable ordering in
+  let block_size = [| 512; 1024; 4096 |].(Xmlgen.Splitmix.int rng 3) in
+  let memory_blocks = [| 8; 16; 64 |].(Xmlgen.Splitmix.int rng 3) in
+  let encoding =
+    if scan && i mod 6 = 0 then Nexsort.Config.Packed
+    else if i mod 6 = 3 then Nexsort.Config.Plain
+    else Nexsort.Config.Dict
+  in
+  let depth_limit = if i mod 7 = 5 then Some 2 else None in
+  let device =
+    if i mod 3 = 0 then Extmem.Device_spec.parse "traced/mem" else Extmem.Device_spec.default
+  in
+  let config =
+    Nexsort.Config.make ~block_size ~memory_blocks ?depth_limit ~root_fusion:fuse ~encoding
+      ~device ~pager_policy:policy ()
+  in
+  let cli_flags =
+    Printf.sprintf "-O '%s' -B %d -M %d --policy %s --encoding %s%s%s%s" ordering_spec block_size
+      memory_blocks
+      (Extmem.Frame_arena.policy_to_string policy)
+      (match encoding with Plain -> "plain" | Dict -> "dict" | Packed -> "packed")
+      (if fuse then "" else " --no-fuse")
+      (match depth_limit with None -> "" | Some d -> Printf.sprintf " -d %d" d)
+      (if i mod 3 = 0 then " --device traced/mem" else "")
+  in
+  { ordering_spec; ordering; config; cli_flags }
+
+(* ------------------------------------------------------------------ *)
+(* One differential case *)
+
+let to_xml t = Xmlio.Writer.events_to_string (Xmlio.Tree.to_events t)
+
+let element_tags doc =
+  let p = Xmlio.Parser.of_string doc in
+  let rec go acc =
+    match Xmlio.Parser.next p with
+    | None -> List.rev acc
+    | Some (Xmlio.Event.Start (n, _)) -> go (if List.mem n acc then acc else n :: acc)
+    | Some _ -> go acc
+  in
+  go []
+
+let probe_failures () =
+  match Verify.Probes.violations () with
+  | [] -> Ok ()
+  | v -> Error ("resource probes: " ^ String.concat "; " v)
+
+(* The per-document test behind both the case runner and the shrinker:
+   every comparison that can fail, first failure wins. *)
+let test_document cc doc =
+  let { ordering; config; _ } = cc in
+  let depth_limit = config.Nexsort.Config.depth_limit in
+  let ( >>= ) r f = Result.bind r f in
+  let scan = Ordering.all_scan_evaluable ordering in
+  match Verify.Oracle.sort_string ?depth_limit ordering doc with
+  | exception e -> Error ("oracle raised " ^ Printexc.to_string e)
+  | expected -> (
+      Verify.Probes.clear ();
+      (match Nexsort.sort_string ~config ~ordering doc with
+      | exception e -> Error ("nexsort raised " ^ Printexc.to_string e)
+      | out, _report ->
+          if out <> expected then Error "nexsort output differs from oracle"
+          else Ok ())
+      >>= fun () ->
+      probe_failures () >>= fun () ->
+      (match Verify.Validator.check ?depth_limit ~ordering ~input:doc
+               (fst (Nexsort.sort_string ~config ~ordering doc))
+       with
+      | Ok () -> Ok ()
+      | Error e -> Error ("validator rejects nexsort output: " ^ e))
+      >>= fun () ->
+      (match Baselines.Tree_sort.sort_string ?depth_limit ordering doc with
+      | exception e -> Error ("treesort raised " ^ Printexc.to_string e)
+      | out -> if out <> expected then Error "treesort output differs from oracle" else Ok ())
+      >>= fun () ->
+      (if scan && depth_limit = None then
+         match Baselines.Keypath_sort.sort_string ~config ~ordering doc with
+         | exception e -> Error ("keypath mergesort raised " ^ Printexc.to_string e)
+         | out, _ ->
+             if out <> expected then Error "keypath mergesort output differs from oracle"
+             else Ok ()
+       else Ok ())
+      >>= fun () ->
+      if scan && depth_limit = None then
+        (* every element tag targeted: XSort's innermost-first one-level
+           sorts compose to the full recursive sort *)
+        match Baselines.Xsort.sort_string ~config ~ordering ~targets:(element_tags doc) doc with
+        | exception e -> Error ("xsort raised " ^ Printexc.to_string e)
+        | out, _ -> if out <> expected then Error "xsort output differs from oracle" else Ok ()
+      else Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking: greedily delete one subtree at a time while the failure
+   persists.  Documents are <= a few hundred elements, so the quadratic
+   sweep is fine; [fuel] bounds re-runs of the (multi-sort) predicate. *)
+
+let remove_nth k l = List.filteri (fun i _ -> i <> k) l
+
+let replace_nth k x l = List.mapi (fun i y -> if i = k then x else y) l
+
+let rec removals t =
+  match t with
+  | Xmlio.Tree.Text _ -> []
+  | Xmlio.Tree.Element e ->
+      let drop =
+        List.mapi
+          (fun k _ -> Xmlio.Tree.Element { e with Xmlio.Tree.children = remove_nth k e.Xmlio.Tree.children })
+          e.Xmlio.Tree.children
+      in
+      let inner =
+        List.concat
+          (List.mapi
+             (fun k c ->
+               List.map
+                 (fun c' ->
+                   Xmlio.Tree.Element { e with Xmlio.Tree.children = replace_nth k c' e.Xmlio.Tree.children })
+                 (removals c))
+             e.Xmlio.Tree.children)
+      in
+      drop @ inner
+  [@@warning "-9"]
+
+let shrink fails doc =
+  let fuel = ref 400 in
+  let still_fails d =
+    if !fuel <= 0 then false
+    else begin
+      decr fuel;
+      Result.is_error (fails d)
+    end
+  in
+  let rec go doc =
+    match Xmlio.Tree.of_string doc with
+    | exception _ -> doc
+    | t -> (
+        let next =
+          List.find_map
+            (fun t' ->
+              let d = to_xml t' in
+              if still_fails d then Some d else None)
+            (removals t)
+        in
+        match next with Some d -> go d | None -> doc)
+  in
+  go doc
+
+(* ------------------------------------------------------------------ *)
+(* Fault schedules *)
+
+(* Torn write: block [n] is half-persisted (zeroed from [offset]) and the
+   fault is raised after the damage — the failure mode fsync papers call a
+   torn page.  The sorter must surface the typed error, not the torn
+   data. *)
+let torn_layer ~n ~offset =
+  Extmem.Layer.make ~name:"torn" (fun inner ->
+      let count = ref 0 in
+      {
+        inner with
+        Extmem.Backend.write_block =
+          (fun i buf ->
+            incr count;
+            if !count = n then begin
+              let off = min offset (Bytes.length buf - 1) in
+              Bytes.fill buf off (Bytes.length buf - off) '\x00';
+              inner.Extmem.Backend.write_block i buf;
+              raise (Extmem.Backend.Fault (Extmem.Backend.Write, i))
+            end
+            else inner.Extmem.Backend.write_block i buf);
+      })
+
+let nth_fault_layer ~op ~n =
+  let count = ref 0 in
+  Extmem.Layer.fault_hook (fun o _ ->
+      o = op
+      && begin
+           incr count;
+           !count = n
+         end)
+
+type fault_outcome = Completed | Aborted
+
+(* A fault case either completes (the schedule never fired) with oracle-
+   validated output, or aborts with the typed fault; anything else — a
+   different exception, a leaked budget block, bad output — fails. *)
+let run_fault_case ~seed j =
+  let doc_seed = seed + 104729 + (31 * j) in
+  let doc, _ =
+    Xmlgen.Gen.to_string (Xmlgen.Gen.pathological ~seed:doc_seed ~max_elements:250)
+  in
+  let ordering = Ordering.by_attr "id" in
+  let policy = policies.(j mod 4) in
+  let fuse = j / 4 mod 2 = 0 in
+  let block_size = 512 in
+  let kind = j mod 3 in
+  let device =
+    if kind = 0 then
+      Extmem.Device_spec.parse (Printf.sprintf "faulty:p=0.02,seed=%d/mem" (seed + j))
+    else Extmem.Device_spec.default
+  in
+  let config =
+    Nexsort.Config.make ~block_size ~memory_blocks:16 ~root_fusion:fuse ~device
+      ~pager_policy:policy ()
+  in
+  let ( >>= ) r f = Result.bind r f in
+  Verify.Probes.clear ();
+  let sort_endpoints ~prep =
+    (* replicate sort_string over explicit devices so endpoint layers can
+       be installed *)
+    let input = Extmem.Device.of_string ~name:"input" ~block_size doc in
+    let output = Extmem.Device.in_memory ~name:"output" ~block_size () in
+    prep ~input ~output;
+    match Nexsort.sort_device ~config ~ordering ~input ~output () with
+    | _report -> Ok (Completed, Some (Extmem.Device.contents output))
+    | exception Extmem.Device.Fault _ -> Ok (Aborted, None)
+  in
+  let outcome =
+    match kind with
+    | 0 -> (
+        (* seeded random faults on the sorter's internal devices *)
+        match Nexsort.sort_string ~config ~ordering doc with
+        | out, _ -> Ok (Completed, Some out)
+        | exception Extmem.Device.Fault _ -> Ok (Aborted, None))
+    | 1 ->
+        (* fail the Nth endpoint I/O: odd cases the output write, even
+           cases the input read *)
+        let n = 1 + (j / 3 mod 12) in
+        let op = if j / 6 mod 2 = 0 then Extmem.Backend.Write else Extmem.Backend.Read in
+        sort_endpoints ~prep:(fun ~input ~output ->
+            match op with
+            | Extmem.Backend.Write ->
+                Extmem.Device.push_layer output (nth_fault_layer ~op ~n)
+            | Extmem.Backend.Read -> Extmem.Device.push_layer input (nth_fault_layer ~op ~n))
+    | _ ->
+        let n = 1 + (j / 3 mod 10) in
+        let offset = j * 37 mod block_size in
+        sort_endpoints ~prep:(fun ~input:_ ~output ->
+            Extmem.Device.push_layer output (torn_layer ~n ~offset))
+  in
+  (match outcome with
+  | Error e -> Error e
+  | Ok (Completed, Some out) -> (
+      match Verify.Oracle.sort_string ordering doc with
+      | expected when out = expected -> Ok Completed
+      | _ -> Error "fault case completed but output differs from oracle"
+      | exception e -> Error ("oracle raised " ^ Printexc.to_string e))
+  | Ok (Aborted, _) -> Ok Aborted
+  | Ok (Completed, None) -> Error "internal: completed without output")
+  >>= fun o -> probe_failures () >>= fun () -> Ok o
+
+(* ------------------------------------------------------------------ *)
+(* Driver *)
+
+let print_failure ~seed ~kind ~case ~cli_flags ~doc msg =
+  Printf.eprintf "FAIL %s case %d: %s\n" kind case msg;
+  Printf.eprintf "  reproduce: nexfuzz --seed %d --only %d%s\n" seed case
+    (if kind = "fault" then " --faults-only" else "");
+  Printf.eprintf "  equivalent: nexsort %s <doc.xml>\n" cli_flags;
+  Printf.eprintf "  document (%d bytes):\n%s\n" (String.length doc) doc
+
+let run smoke seed cases fault_cases only faults_only verbose =
+  let seed, cases, fault_cases = if smoke then (42, 50, 24) else (seed, cases, fault_cases) in
+  (* a validator that cannot reject is worthless: prove it can, first *)
+  (match Verify.Validator.self_test () with
+  | Ok () -> ()
+  | Error e ->
+      Printf.eprintf "validator self-test failed: %s\n" e;
+      exit 2);
+  Verify.Probes.install ();
+  let failures = ref 0 in
+  let run_differential i =
+    let cc = differential_config ~seed i in
+    let doc_seed = seed + (7919 * i) in
+    let doc, _ =
+      Xmlgen.Gen.to_string
+        (Xmlgen.Gen.pathological ~seed:doc_seed ~max_elements:(40 + (i * 13 mod 160)))
+    in
+    if verbose then
+      Printf.eprintf "case %d: %d bytes, %s\n%!" i (String.length doc) cc.cli_flags;
+    match test_document cc doc with
+    | Ok () -> ()
+    | Error msg ->
+        incr failures;
+        let doc = shrink (test_document cc) doc in
+        print_failure ~seed ~kind:"differential" ~case:i ~cli_flags:cc.cli_flags ~doc msg
+  in
+  let faulted = ref 0 in
+  let completed = ref 0 in
+  let run_fault j =
+    if verbose then Printf.eprintf "fault case %d\n%!" j;
+    match run_fault_case ~seed j with
+    | Ok Aborted -> incr faulted
+    | Ok Completed -> incr completed
+    | Error msg ->
+        incr failures;
+        let doc, _ =
+          Xmlgen.Gen.to_string
+            (Xmlgen.Gen.pathological ~seed:(seed + 104729 + (31 * j)) ~max_elements:250)
+        in
+        print_failure ~seed ~kind:"fault" ~case:j
+          ~cli_flags:(Printf.sprintf "--policy %s" (Extmem.Frame_arena.policy_to_string policies.(j mod 4)))
+          ~doc msg
+  in
+  (match only with
+  | Some k -> if faults_only then run_fault k else run_differential k
+  | None ->
+      if not faults_only then
+        for i = 0 to cases - 1 do
+          run_differential i
+        done;
+      for j = 0 to fault_cases - 1 do
+        run_fault j
+      done);
+  (match only with
+  | Some _ -> ()
+  | None ->
+      Printf.printf "nexfuzz: seed %d\n" seed;
+      if not faults_only then
+        Printf.printf
+          "differential: %d cases across %d policies x fuse/no-fuse x %d orderings\n" cases
+          (Array.length policies) (Array.length orderings);
+      Printf.printf "fault schedules: %d cases (%d aborted cleanly, %d completed validated)\n"
+        fault_cases !faulted !completed);
+  if !failures = 0 then begin
+    Printf.printf "all checks passed\n";
+    `Ok ()
+  end
+  else `Error (false, Printf.sprintf "%d case(s) failed" !failures)
+
+let smoke_term =
+  Arg.(
+    value & flag
+    & info [ "smoke" ]
+        ~doc:
+          "Run the fixed-seed smoke configuration (seed 42, 50 differential + 24 fault cases) \
+           regardless of other options — the configuration wired into the test suite.")
+
+let seed_term =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Base seed for documents and configs.")
+
+let cases_term =
+  Arg.(value & opt int 50 & info [ "cases" ] ~docv:"N" ~doc:"Number of differential cases.")
+
+let fault_cases_term =
+  Arg.(
+    value & opt int 24 & info [ "fault-cases" ] ~docv:"N" ~doc:"Number of fault-schedule cases.")
+
+let only_term =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "only" ] ~docv:"K" ~doc:"Run only case $(docv) (reproducing a reported failure).")
+
+let faults_only_term =
+  Arg.(
+    value & flag
+    & info [ "faults-only" ] ~doc:"Run only the fault-schedule cases ($(b,--only) selects among them).")
+
+let verbose_term =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print each case's configuration.")
+
+let cmd =
+  let doc = "differential fuzzing of the XML sorters against an in-memory oracle" in
+  let info = Cmd.info "nexfuzz" ~version:"1.0.0" ~doc in
+  Cmd.v info
+    Term.(
+      ret
+        (const run $ smoke_term $ seed_term $ cases_term $ fault_cases_term $ only_term
+       $ faults_only_term $ verbose_term))
+
+let () = exit (Cmd.eval cmd)

@@ -162,6 +162,7 @@ let run verbose algorithm config ordering stats metrics targets select device in
           Printf.sprintf "injected device fault: %s of block %d"
             (match op with Extmem.Device.Read -> "read" | Extmem.Device.Write -> "write")
             block )
+  | Extmem.Memory_budget.Exhausted msg -> `Error (false, "memory budget exhausted: " ^ msg)
   | Invalid_argument msg -> `Error (false, msg)
 
 let algorithm_term =

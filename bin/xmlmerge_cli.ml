@@ -181,6 +181,7 @@ let run ordering presorted update_mode indexed policy device no_fuse metrics lef
           Printf.sprintf "injected device fault: %s of block %d"
             (match op with Extmem.Device.Read -> "read" | Extmem.Device.Write -> "write")
             block )
+  | Extmem.Memory_budget.Exhausted msg -> `Error (false, "memory budget exhausted: " ^ msg)
   | Invalid_argument msg -> `Error (false, msg)
 
 let cmd =

@@ -10,7 +10,17 @@ type t = {
   temp_stats : Extmem.Io_stats.t;
   mutable temp_sim_ms : float;
   registry : Obs.Registry.t;
+  mutable destroyed : bool;
 }
+
+(* Teardown probes: verification hooks (lib/verify) register here to
+   check resource invariants — budget empty, arena ledger quiescent —
+   after every sort, including aborted ones.  Probes run after the
+   session's own resources are released, so anything still held points
+   at a leak in a phase, not at the session. *)
+let destroy_probes : (t -> unit) list ref = ref []
+
+let add_destroy_probe f = destroy_probes := !destroy_probes @ [ f ]
 
 (* Register every component's live counters as pull gauges — sampled only
    when a report is rendered, so the sort itself never pays for them. *)
@@ -60,10 +70,24 @@ let create (config : Config.t) =
       temp_stats = Extmem.Io_stats.create ();
       temp_sim_ms = 0.;
       registry = Obs.Registry.create ();
+      destroyed = false;
     }
   in
   register_probes t;
   t
+
+let destroy t =
+  if not t.destroyed then begin
+    t.destroyed <- true;
+    Extmem.Ext_stack.close t.data_stack;
+    Extmem.Ext_stack.close t.path_stack;
+    Extmem.Ext_stack.close t.out_stack;
+    Extmem.Device.close (Extmem.Ext_stack.device t.data_stack);
+    Extmem.Device.close (Extmem.Ext_stack.device t.path_stack);
+    Extmem.Device.close (Extmem.Ext_stack.device t.out_stack);
+    Extmem.Device.close (Extmem.Run_store.device t.runs);
+    List.iter (fun f -> f t) !destroy_probes
+  end
 
 (* Blocks lent to the data-stack window are idle memory, reclaimable at
    any time ([reclaim]), so they still count as arena: this keeps every

@@ -34,6 +34,7 @@ type t = {
           ([stack.data.*], [stack.path.*], [stack.out.*]), run store
           ([runs.store.*]) and their devices ([dev.*]); see
           {!Obs.Probe} *)
+  mutable destroyed : bool;  (** set by {!destroy} *)
 }
 
 val create : Config.t -> t
@@ -55,6 +56,24 @@ val reclaim : t -> unit
 (** Return every block the data-stack window borrowed to the budget
     (evicting the window down to its configured size), so a phase about
     to reserve arena memory actually finds it available. *)
+
+val destroy : t -> unit
+(** Tear the session down: close every stack window (frames and leases
+    go back to the budget, nothing is flushed), close the stack and run
+    devices, then run the registered {!add_destroy_probe} hooks.
+    Idempotent; costs no I/O.  {!Sorter} destroys its session on every
+    exit path, so after a sort — successful or aborted — the budget
+    holds zero blocks unless a phase leaked (which the probes exist to
+    catch). *)
+
+val add_destroy_probe : (t -> unit) -> unit
+(** Register a global hook run at the end of every {!destroy}, after the
+    session's own resources were released.  Verification harnesses use
+    this to assert resource invariants ({!Extmem.Memory_budget} empty,
+    {!Extmem.Frame_arena} ledger quiescent) after every run, including
+    aborted ones.  Probes should record violations rather than raise:
+    destroy runs in exception finalizers, where a raising probe would
+    mask the original failure. *)
 
 val with_temp : t -> (Extmem.Device.t -> 'a) -> 'a
 (** Run a scope with a fresh scratch device; its I/O counters are folded

@@ -568,16 +568,22 @@ let sort_device ?(config = Config.make ()) ~ordering ~input ~output () =
     +. Extmem.Device.simulated_ms input
     +. Extmem.Device.simulated_ms output
   in
-  let st, entries = open_sorted ~session ~config ~ordering ~input ~io_meter ~sim_meter in
-  in_span st "output" (fun () ->
-      Pipe.run_opened ~spans:st.spans ~budget:session.Session.budget
-        { Pipe.pull = event_stream st entries.Pipe.pull; close = entries.Pipe.close }
-        (writer_sink output));
-  build_report st
-    ~input_io:(Extmem.Io_stats.snapshot (Extmem.Device.stats input))
-    ~output_io:(Extmem.Io_stats.snapshot (Extmem.Device.stats output))
-    ~extra_sim:(Extmem.Device.simulated_ms input +. Extmem.Device.simulated_ms output)
-    ~t0
+  (* the session is destroyed on every exit path — also on a fault or
+     budget exhaustion mid-sort — so its windows return to the budget
+     and the registered teardown probes can verify nothing leaked *)
+  Fun.protect
+    ~finally:(fun () -> Session.destroy session)
+    (fun () ->
+      let st, entries = open_sorted ~session ~config ~ordering ~input ~io_meter ~sim_meter in
+      in_span st "output" (fun () ->
+          Pipe.run_opened ~spans:st.spans ~budget:session.Session.budget
+            { Pipe.pull = event_stream st entries.Pipe.pull; close = entries.Pipe.close }
+            (writer_sink output));
+      build_report st
+        ~input_io:(Extmem.Io_stats.snapshot (Extmem.Device.stats input))
+        ~output_io:(Extmem.Io_stats.snapshot (Extmem.Device.stats output))
+        ~extra_sim:(Extmem.Device.simulated_ms input +. Extmem.Device.simulated_ms output)
+        ~t0)
 
 let sort_string ?config ~ordering s =
   let config = Option.value config ~default:(Config.make ()) in
@@ -608,7 +614,13 @@ let open_stream ?(config = Config.make ()) ~ordering ~input () =
       (Session.total_io session)
   in
   let sim_meter () = Session.simulated_ms session +. Extmem.Device.simulated_ms input in
-  let st, entries = open_sorted ~session ~config ~ordering ~input ~io_meter ~sim_meter in
+  let st, entries =
+    try open_sorted ~session ~config ~ordering ~input ~io_meter ~sim_meter
+    with e ->
+      let bt = Printexc.get_raw_backtrace () in
+      Session.destroy session;
+      Printexc.raise_with_backtrace e bt
+  in
   {
     s_st = st;
     s_input = input;
@@ -624,13 +636,16 @@ let stream_finish s =
   match s.s_report with
   | Some r -> r
   | None ->
-      s.s_close ();
       let r =
-        build_report s.s_st
-          ~input_io:(Extmem.Io_stats.snapshot (Extmem.Device.stats s.s_input))
-          ~output_io:(Extmem.Io_stats.create ())
-          ~extra_sim:(Extmem.Device.simulated_ms s.s_input)
-          ~t0:s.s_t0
+        Fun.protect
+          ~finally:(fun () -> Session.destroy s.s_st.session)
+          (fun () ->
+            s.s_close ();
+            build_report s.s_st
+              ~input_io:(Extmem.Io_stats.snapshot (Extmem.Device.stats s.s_input))
+              ~output_io:(Extmem.Io_stats.create ())
+              ~extra_sim:(Extmem.Device.simulated_ms s.s_input)
+              ~t0:s.s_t0)
       in
       s.s_report <- Some r;
       r

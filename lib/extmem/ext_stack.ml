@@ -173,6 +173,18 @@ let shed st =
       done;
       Frame_arena.shrink l (Frame_arena.lease_blocks l)
 
+(* Teardown: every window frame goes back to the arena pool and both
+   leases are released.  Nothing is flushed — close is for ending a
+   session (successful or aborted), not for persisting the stack, so it
+   costs no I/O. *)
+let close st =
+  while Deque.length st.resident > 0 do
+    let frame = Deque.pop_back st.resident in
+    drop_frame st frame
+  done;
+  (match st.borrow with Some l -> Frame_arena.close_lease l | None -> ());
+  Frame_arena.close_lease st.window
+
 (* Make block [b] resident, reading it from the device if it was flushed
    before and contains live bytes, zero-filling otherwise.  Only blocks
    adjacent to the window are ever requested. *)

@@ -107,6 +107,13 @@ val shed : t -> unit
     borrowed block back to the budget.  Call before another phase
     reserves memory.  No-op without [?borrow]. *)
 
+val close : t -> unit
+(** Release the window: every resident frame returns to the arena pool
+    and both leases (base window and borrowed blocks) are released back
+    to the budget.  Nothing is flushed — close ends a session, it does
+    not persist the stack — so it costs no I/O.  Idempotent; using the
+    stack afterwards is a programming error. *)
+
 val device : t -> Device.t
 (** The backing device (for layer inspection and simulated-cost totals). *)
 

@@ -1,0 +1,42 @@
+(* The reference oracle: sort child arrays by (key, input position) with
+   an explicit position tiebreak rather than relying on sort stability,
+   so a stability bug in the stdlib or in a future refactor cannot make
+   the oracle silently agree with a buggy implementation. *)
+
+module Key = Nexsort.Key
+module Ordering = Nexsort.Ordering
+
+let sort_tree ?depth_limit ordering tree =
+  (* input positions in document (pre-order) order *)
+  let pos = ref 0 in
+  let sort_here level =
+    match depth_limit with
+    | None -> true
+    | Some d -> level <= d
+  in
+  let rec decorate level node =
+    incr pos;
+    let here = !pos in
+    match node with
+    | Xmlio.Tree.Text _ -> (node, Key.Null, here)
+    | Xmlio.Tree.Element e ->
+        let key = Ordering.key_of_tree ordering e in
+        let children = Array.of_list (List.map (decorate (level + 1)) e.Xmlio.Tree.children) in
+        if sort_here level then
+          Array.sort
+            (fun (_, ka, pa) (_, kb, pb) ->
+              match Key.compare ka kb with
+              | 0 -> Int.compare pa pb
+              | c -> c)
+            children;
+        ( Xmlio.Tree.Element
+            { e with Xmlio.Tree.children = Array.to_list (Array.map (fun (n, _, _) -> n) children) },
+          key,
+          here )
+  in
+  let sorted, _, _ = decorate 1 tree in
+  sorted
+
+let sort_string ?depth_limit ?(keep_whitespace = false) ordering s =
+  let tree = Xmlio.Tree.of_string ~keep_whitespace s in
+  Xmlio.Writer.events_to_string (Xmlio.Tree.to_events (sort_tree ?depth_limit ordering tree))

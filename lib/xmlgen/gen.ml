@@ -127,6 +127,92 @@ let adversarial ?(seed = 42) ?(avg_bytes = 100) ~k ~n_elements sink =
   spine 1;
   { elements = !elements; text_nodes = 0; height = !deepest; bytes = 0 }
 
+(* Fuzz-oriented generator: small documents engineered to hit the sorter's
+   awkward paths rather than the paper's size/shape regimes.  The text and
+   key alphabets deliberately include every character the writer must
+   escape, ids collide and go missing, and the shape mixes wide stars,
+   single-child chains and empty elements. *)
+let pathological ?(seed = 42) ?(max_elements = 200) sink =
+  if max_elements < 1 then invalid_arg "Gen.pathological: max_elements must be >= 1";
+  let rng = Splitmix.create seed in
+  let elements = ref 0 in
+  let text_nodes = ref 0 in
+  let deepest = ref 0 in
+  let names = [| "r"; "a"; "b"; "item"; "x-1"; "_n" |] in
+  let nasty = [| "&"; "<"; ">"; "\""; "'"; "]]>"; " "; "\n"; "\t"; "\r"; "."; "zz" |] in
+  let nasty_string max_parts =
+    let n = Splitmix.int rng (max_parts + 1) in
+    String.concat "" (List.init n (fun _ -> nasty.(Splitmix.int rng (Array.length nasty))))
+  in
+  let key rng =
+    (* numeric and string keys both appear, with collisions: exercises
+       Key's numeric comparison, the Null path and position tiebreaks *)
+    match Splitmix.int rng 4 with
+    | 0 -> string_of_int (Splitmix.int rng 8)
+    | 1 -> Printf.sprintf "%d.%d" (Splitmix.int rng 4) (Splitmix.int rng 10)
+    | 2 -> Printf.sprintf "k%c" (Splitmix.letter rng)
+    | _ -> nasty_string 2
+  in
+  let attrs rng =
+    (* duplicate ids are the norm, missing ids common *)
+    match Splitmix.int rng 5 with
+    | 0 -> []
+    | 1 -> [ ("id", key rng); ("pad", nasty_string 3) ]
+    | _ -> [ ("id", key rng) ]
+  in
+  let rec emit level =
+    incr elements;
+    if level > !deepest then deepest := level;
+    let name = names.(Splitmix.int rng (Array.length names)) in
+    sink (Xmlio.Event.Start (name, attrs rng));
+    let budget () = !elements < max_elements in
+    (match Splitmix.int rng 10 with
+    | 0 | 1 -> () (* empty element *)
+    | 2 ->
+        (* deep single-child chain ending in a random subtree *)
+        let len = Splitmix.in_range rng 3 8 in
+        let rec chain i =
+          if i < len && budget () then begin
+            incr elements;
+            let lvl = level + 1 + i in
+            if lvl > !deepest then deepest := lvl;
+            let nm = names.(Splitmix.int rng (Array.length names)) in
+            sink (Xmlio.Event.Start (nm, attrs rng));
+            chain (i + 1);
+            sink (Xmlio.Event.End nm)
+          end
+          else if budget () then emit (level + 1 + i)
+        in
+        chain 0
+    | 3 ->
+        (* wide star *)
+        let fanout = Splitmix.in_range rng 4 12 in
+        let rec children i =
+          if i < fanout && budget () then begin
+            emit (level + 1);
+            children (i + 1)
+          end
+        in
+        children 0
+    | _ ->
+        (* mixed content: interleaved text and a skewed few children *)
+        let fanout = Splitmix.int rng 4 in
+        let rec children i =
+          if Splitmix.int rng 3 = 0 then begin
+            incr text_nodes;
+            sink (Xmlio.Event.Text ("t" ^ nasty_string 3))
+          end;
+          if i < fanout && budget () then begin
+            emit (level + 1);
+            children (i + 1)
+          end
+        in
+        children 0);
+    sink (Xmlio.Event.End name)
+  in
+  emit 1;
+  { elements = !elements; text_nodes = !text_nodes; height = !deepest; bytes = 0 }
+
 let exact_shape_size ~fanouts =
   let total = ref 1 in
   let level_count = ref 1 in

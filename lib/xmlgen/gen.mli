@@ -74,6 +74,15 @@ val adversarial :
     of [k]-ary stars: each spine element has [k] children, of which one
     continues the spine, until [n_elements] have been emitted. *)
 
+val pathological :
+  ?seed:int -> ?max_elements:int -> (Xmlio.Event.t -> unit) -> stats
+(** Small documents engineered for fuzzing rather than benchmarks:
+    skewed fan-outs, deep single-child chains, empty elements, mixed
+    content, text and keys containing every character the writer must
+    escape (including ["]]>"] and bare whitespace), and [id] attributes
+    that collide, go missing, and mix numeric with string forms.
+    Default [max_elements] is 200 — fuzz cases must stay shrinkable. *)
+
 val exact_shape_size : fanouts:int list -> int
 (** Number of elements {!exact_shape} will produce (Table 2's "size"
     column). *)

@@ -1,11 +1,16 @@
 exception Bad_entity of string
 
+(* Whitespace is escaped as character references wherever a literal
+   occurrence would not survive a re-parse: CR anywhere (end-of-line
+   handling folds it to LF), and tab/LF inside attribute values
+   (attribute-value normalization folds them to spaces).  This is what
+   makes [parse (write doc)] the identity on every string. *)
 let escape generic s =
   (* fast path: nothing to escape *)
   let needs c =
     match c with
-    | '&' | '<' | '>' -> true
-    | '"' | '\'' -> generic
+    | '&' | '<' | '>' | '\r' -> true
+    | '"' | '\'' | '\t' | '\n' -> generic
     | _ -> false
   in
   if not (String.exists needs s) then s
@@ -17,8 +22,11 @@ let escape generic s =
         | '&' -> Buffer.add_string b "&amp;"
         | '<' -> Buffer.add_string b "&lt;"
         | '>' -> Buffer.add_string b "&gt;"
+        | '\r' -> Buffer.add_string b "&#13;"
         | '"' when generic -> Buffer.add_string b "&quot;"
         | '\'' when generic -> Buffer.add_string b "&apos;"
+        | '\t' when generic -> Buffer.add_string b "&#9;"
+        | '\n' when generic -> Buffer.add_string b "&#10;"
         | c -> Buffer.add_char b c)
       s;
     Buffer.contents b

@@ -1,10 +1,15 @@
 (** XML escaping and entity decoding. *)
 
 val escape_text : string -> string
-(** Escape ampersand and angle brackets for use as character data. *)
+(** Escape ampersand and angle brackets for use as character data.
+    Carriage returns become [&#13;] so they survive the parser's
+    end-of-line normalization. *)
 
 val escape_attr : string -> string
-(** Escape ampersand, angle brackets and both quote characters for use inside a double-quoted attribute value. *)
+(** Escape ampersand, angle brackets and both quote characters for use
+    inside a double-quoted attribute value.  Whitespace other than the
+    space character becomes a character reference ([&#9;], [&#10;],
+    [&#13;]) so it survives attribute-value normalization. *)
 
 exception Bad_entity of string
 (** Raised by {!decode_entity} on an unknown or malformed entity. *)

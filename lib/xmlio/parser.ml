@@ -19,7 +19,28 @@ type t = {
 let fail p fmt =
   Printf.ksprintf (fun msg -> raise (Error { line = p.line; col = p.col; msg })) fmt
 
+(* XML 1.0 §2.11 end-of-line handling: a literal CRLF pair or lone CR in
+   the input is passed to the application as a single LF.  This runs
+   below entity expansion, so a [&#13;] character reference still yields
+   a literal CR. *)
+let normalize_newlines source =
+  let after_cr = ref false in
+  let rec next () =
+    match source () with
+    | Some '\n' when !after_cr ->
+        after_cr := false;
+        next ()
+    | Some '\r' ->
+        after_cr := true;
+        Some '\n'
+    | c ->
+        after_cr := false;
+        c
+  in
+  next
+
 let of_fn ?(keep_whitespace = false) source =
+  let source = normalize_newlines source in
   {
     source;
     ahead = None;
@@ -223,6 +244,11 @@ let read_attr_value p =
     | Some '<' -> fail p "'<' not allowed in attribute value"
     | Some '&' ->
         Buffer.add_string b (read_entity p);
+        go ()
+    | Some ('\t' | '\n') ->
+        (* attribute-value normalization (§3.3.3): literal whitespace
+           becomes a space; only character references survive verbatim *)
+        Buffer.add_char b ' ';
         go ()
     | Some c ->
         Buffer.add_char b c;

@@ -13,6 +13,12 @@ fi
 dune build @all
 dune runtest
 
+# Fuzz smoke (also part of runtest): fixed-seed differential runs of
+# nexsort and the baselines against the in-memory oracle, plus
+# fault-schedule sweeps.  Run explicitly so a failure prints the
+# reproducer even when runtest output is captured.
+dune exec bin/nexfuzz.exe -- --smoke
+
 # Bench smoke: a quick run must produce a metrics report that parses and
 # carries the paper's per-phase I/O breakdown (§4.2).  The validated
 # report is kept in-repo as BENCH_smoke.json so schema drift shows up in

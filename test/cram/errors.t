@@ -1,0 +1,46 @@
+CLI error paths: every bad invocation must die with a stable,
+one-screen diagnostic and a nonzero exit, never a stack trace.
+
+  $ printf '<r><a id="2"/><a id="1"/></r>' > doc.xml
+
+A malformed device spec is rejected by the option parser, echoing the
+spec grammar:
+
+  $ ../../bin/nexsort_cli.exe --device bogus:zz/mem -O @id doc.xml -o out.xml
+  nexsort: option '--device': device spec: unknown layer "bogus"; SPEC ::=
+           [LAYER/]...BACKEND; BACKEND ::= mem | file:PATH; LAYER ::= stats |
+           traced | faulty[:p=P,seed=N] |
+           cost[:profile=hdd|ssd][,seek=MS][,read=MS][,write=MS] (example:
+           traced/faulty:p=0.001,seed=42/file:/tmp/dev.img)
+  Usage: nexsort [OPTION]… INPUT
+  Try 'nexsort --help' for more information.
+  [124]
+
+An unknown replacement policy lists the valid ones:
+
+  $ ../../bin/nexsort_cli.exe --policy fancy -O @id doc.xml -o out.xml
+  nexsort: option '--policy': invalid value 'fancy', expected one of 'lru',
+           'clock', 'mru' or 'stack'
+  Usage: nexsort [OPTION]… INPUT
+  Try 'nexsort --help' for more information.
+  [124]
+
+A memory budget too small for the machinery (the sort arena needs room
+on top of the stack windows) fails config validation in one line:
+
+  $ ../../bin/nexsort_cli.exe -M 4 -O @id doc.xml -o out.xml
+  nexsort: Config: memory_blocks must be at least 8
+  [124]
+
+A syntactically broken ordering spec:
+
+  $ ../../bin/nexsort_cli.exe -O '(' doc.xml -o out.xml
+  nexsort: option '-O': Ordering.of_spec_string: unbalanced parentheses
+  Usage: nexsort [OPTION]… INPUT
+  Try 'nexsort --help' for more information.
+  [124]
+
+And none of these left an output file behind:
+
+  $ test -e out.xml || echo no-output
+  no-output

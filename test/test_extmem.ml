@@ -482,6 +482,124 @@ let test_ext_stack_borrow_stops_at_exhaustion () =
   check Alcotest.bool "paged instead" true
     ((Extmem.Ext_stack.io_stats st).Extmem.Io_stats.writes > 0)
 
+let test_ext_stack_shed_dirty_ledger () =
+  (* shedding a dirty elastic window writes the surplus back exactly once
+     per borrowed block and leaves the ledger at just the base window *)
+  let d = Extmem.Device.in_memory ~block_size:16 () in
+  let budget = Extmem.Memory_budget.create ~blocks:8 ~block_size:16 in
+  let arena = Extmem.Frame_arena.create ~budget () in
+  let st = Extmem.Ext_stack.create ~name:"test" ~resident_blocks:1 ~arena ~borrow:true d in
+  for i = 0 to 99 do
+    Extmem.Ext_stack.push st (Printf.sprintf "entry-%03d" i)
+  done;
+  let borrowed = Extmem.Ext_stack.borrowed st in
+  check Alcotest.bool "window is dirty and borrowed" true (borrowed > 0);
+  check (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int)) "ledger names both leases"
+    [ ("test window", 1); ("test window (borrowed)", borrowed) ]
+    (List.sort compare (Extmem.Memory_budget.holders budget));
+  let writes_before = Extmem.Ext_stack.writebacks st in
+  Extmem.Ext_stack.shed st;
+  (* every borrowed block was below the new window top, so each is spilled
+     exactly once; the resident top block stays in memory *)
+  check Alcotest.int "one writeback per shed block" (writes_before + borrowed)
+    (Extmem.Ext_stack.writebacks st);
+  check (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int)) "only the window remains"
+    [ ("test window", 1) ]
+    (Extmem.Memory_budget.holders budget);
+  for i = 99 downto 0 do
+    check Alcotest.string "data survives" (Printf.sprintf "entry-%03d" i)
+      (Extmem.Ext_stack.pop st)
+  done
+
+let test_ext_stack_shed_nothing_borrowed () =
+  (* shed with zero borrowed frames (e.g. a reclaim that races nothing)
+     must be free: no I/O, no ledger movement *)
+  let d = Extmem.Device.in_memory ~block_size:16 () in
+  let budget = Extmem.Memory_budget.create ~blocks:8 ~block_size:16 in
+  let arena = Extmem.Frame_arena.create ~budget () in
+  let st = Extmem.Ext_stack.create ~name:"test" ~resident_blocks:1 ~arena ~borrow:true d in
+  Extmem.Ext_stack.push st "one";
+  let io = (Extmem.Ext_stack.io_stats st).Extmem.Io_stats.writes in
+  Extmem.Ext_stack.shed st;
+  check Alcotest.int "no io" io (Extmem.Ext_stack.io_stats st).Extmem.Io_stats.writes;
+  check Alcotest.int "window still charged" 1 (Extmem.Memory_budget.used_blocks budget);
+  check Alcotest.string "data intact" "one" (Extmem.Ext_stack.pop st)
+
+let test_ext_stack_borrow_recovers_after_release () =
+  (* zero idle frames: borrowing is denied and the stack pages; once the
+     other holder releases, the very next overflow borrows again *)
+  let d = Extmem.Device.in_memory ~block_size:16 () in
+  let budget = Extmem.Memory_budget.create ~blocks:6 ~block_size:16 in
+  Extmem.Memory_budget.reserve budget ~who:"other" 5;
+  let arena = Extmem.Frame_arena.create ~budget () in
+  let st = Extmem.Ext_stack.create ~name:"test" ~resident_blocks:1 ~arena ~borrow:true d in
+  for i = 0 to 49 do
+    Extmem.Ext_stack.push st (Printf.sprintf "entry-%03d" i)
+  done;
+  check Alcotest.int "nothing borrowed under pressure" 0 (Extmem.Ext_stack.borrowed st);
+  check Alcotest.bool "paged instead" true
+    ((Extmem.Ext_stack.io_stats st).Extmem.Io_stats.writes > 0);
+  Extmem.Memory_budget.release budget ~who:"other" 5;
+  for i = 50 to 99 do
+    Extmem.Ext_stack.push st (Printf.sprintf "entry-%03d" i)
+  done;
+  check Alcotest.bool "borrowing resumes" true (Extmem.Ext_stack.borrowed st > 0);
+  for i = 99 downto 0 do
+    check Alcotest.string "pop order" (Printf.sprintf "entry-%03d" i) (Extmem.Ext_stack.pop st)
+  done
+
+let test_ext_stack_close_releases_budget () =
+  (* close ends the session: every frame (base and borrowed, dirty or
+     not) goes back without any flush I/O, and close is idempotent *)
+  let d = Extmem.Device.in_memory ~block_size:16 () in
+  let budget = Extmem.Memory_budget.create ~blocks:8 ~block_size:16 in
+  let arena = Extmem.Frame_arena.create ~budget () in
+  let st = Extmem.Ext_stack.create ~name:"test" ~resident_blocks:1 ~arena ~borrow:true d in
+  for i = 0 to 99 do
+    Extmem.Ext_stack.push st (Printf.sprintf "entry-%03d" i)
+  done;
+  check Alcotest.bool "holding several blocks" true
+    (Extmem.Memory_budget.used_blocks budget > 1);
+  let writes = (Extmem.Ext_stack.io_stats st).Extmem.Io_stats.writes in
+  Extmem.Ext_stack.close st;
+  check Alcotest.int "budget fully restored" 0 (Extmem.Memory_budget.used_blocks budget);
+  check Alcotest.int "close costs no io" writes
+    (Extmem.Ext_stack.io_stats st).Extmem.Io_stats.writes;
+  Extmem.Ext_stack.close st;
+  check Alcotest.int "idempotent" 0 (Extmem.Memory_budget.used_blocks budget)
+
+let test_ext_stack_borrow_across_session_reclaim () =
+  (* the data stack of a real session borrows idle budget while growing;
+     Session.reclaim takes it all back without losing data, and destroy
+     empties the ledger and is idempotent *)
+  let config = Nexsort.Config.make ~block_size:512 ~memory_blocks:64 () in
+  let session = Nexsort.Session.create config in
+  let budget = session.Nexsort.Session.budget in
+  let baseline = Extmem.Memory_budget.used_blocks budget in
+  Nexsort.Session.reclaim session;
+  check Alcotest.int "reclaim with nothing borrowed is a no-op" baseline
+    (Extmem.Memory_budget.used_blocks budget);
+  let st = session.Nexsort.Session.data_stack in
+  for i = 0 to 199 do
+    Extmem.Ext_stack.push st (Printf.sprintf "payload-%04d-%s" i (String.make 48 'x'))
+  done;
+  check Alcotest.bool "data stack borrowed idle budget" true (Extmem.Ext_stack.borrowed st > 0);
+  check Alcotest.int "borrow shows in the ledger" (Extmem.Ext_stack.borrowed st)
+    (Extmem.Memory_budget.held budget "data stack window (borrowed)");
+  Nexsort.Session.reclaim session;
+  check Alcotest.int "reclaim returns every borrowed block" 0 (Extmem.Ext_stack.borrowed st);
+  check Alcotest.int "ledger back to baseline" baseline
+    (Extmem.Memory_budget.used_blocks budget);
+  for i = 199 downto 0 do
+    check Alcotest.string "data survives the reclaim"
+      (Printf.sprintf "payload-%04d-%s" i (String.make 48 'x'))
+      (Extmem.Ext_stack.pop st)
+  done;
+  Nexsort.Session.destroy session;
+  check Alcotest.int "destroy empties the ledger" 0 (Extmem.Memory_budget.used_blocks budget);
+  Nexsort.Session.destroy session;
+  check Alcotest.int "destroy is idempotent" 0 (Extmem.Memory_budget.used_blocks budget)
+
 let test_ext_stack_basic () =
   let d = Extmem.Device.in_memory ~block_size:16 () in
   let st = Extmem.Ext_stack.create d in
@@ -1326,6 +1444,15 @@ let () =
             test_ext_stack_borrow_release_on_truncate;
           Alcotest.test_case "borrow stops at exhaustion" `Quick
             test_ext_stack_borrow_stops_at_exhaustion;
+          Alcotest.test_case "shed dirty ledger" `Quick test_ext_stack_shed_dirty_ledger;
+          Alcotest.test_case "shed nothing borrowed" `Quick
+            test_ext_stack_shed_nothing_borrowed;
+          Alcotest.test_case "borrow recovers after release" `Quick
+            test_ext_stack_borrow_recovers_after_release;
+          Alcotest.test_case "close releases budget" `Quick
+            test_ext_stack_close_releases_budget;
+          Alcotest.test_case "borrow across session reclaim" `Quick
+            test_ext_stack_borrow_across_session_reclaim;
           qcheck prop_ext_stack_model;
           qcheck prop_ext_stack_push_io_linear;
         ] );

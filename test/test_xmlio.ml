@@ -6,7 +6,7 @@ let qcheck = QCheck_alcotest.to_alcotest
 
 let event = Alcotest.testable Xmlio.Event.pp Xmlio.Event.equal
 
-let parse s = Xmlio.Parser.to_list (Xmlio.Parser.of_string s)
+let parse ?keep_whitespace s = Xmlio.Parser.to_list (Xmlio.Parser.of_string ?keep_whitespace s)
 
 (* ------------------------------------------------------------------ *)
 (* Escape *)
@@ -177,6 +177,20 @@ let test_writer_escaping_roundtrip () =
   in
   let s = Xmlio.Writer.events_to_string evs in
   check (Alcotest.list event) "roundtrip" evs (parse s)
+
+let test_newline_normalization () =
+  (* XML §2.11: CRLF and lone CR in the input read as LF; §3.3.3: literal
+     tab/newline in attribute values read as spaces.  Character references
+     bypass both, which is how the writer round-trips whitespace. *)
+  let evs = parse ~keep_whitespace:true "<a b='x\ty\nz'>l1\r\nl2\rl3&#13;</a>" in
+  check (Alcotest.list event) "normalized"
+    [ Xmlio.Event.Start ("a", [ ("b", "x y z") ]); Xmlio.Event.Text "l1\nl2\nl3\r"; Xmlio.Event.End "a" ]
+    evs;
+  let s =
+    Xmlio.Writer.events_to_string
+      [ Xmlio.Event.Start ("a", [ ("b", "x\ty\r") ]); Xmlio.Event.Text "c\rd"; Xmlio.Event.End "a" ]
+  in
+  check Alcotest.string "char refs" "<a b=\"x&#9;y&#13;\">c&#13;d</a>" s
 
 let test_writer_decl () =
   let s = Xmlio.Writer.events_to_string ~decl:true [ Xmlio.Event.Start ("r", []); Xmlio.Event.End "r" ] in
@@ -578,6 +592,60 @@ let prop_tree_string_roundtrip =
       let back = Xmlio.Tree.of_string ~keep_whitespace:true s in
       Xmlio.Tree.equal (normalize t) back)
 
+(* The strong roundtrip property: [parse ∘ write ≡ id] over documents
+   whose strings are deliberately hostile — every escapable character,
+   CDATA-terminator fragments ("]]>"), whitespace that only survives as
+   character references, both quote styles' worth of quotes, empty
+   elements, and attributes in arbitrary (preserved) order. *)
+let gen_hostile_tree =
+  let open QCheck.Gen in
+  let name = oneofl [ "a"; "b"; "doc"; "x-1"; "_y" ] in
+  let text_char = oneofl [ 'h'; '&'; '<'; '>'; ']'; '"'; '\''; ' '; '\n'; '\r'; '\t'; '.' ] in
+  let attr_char = oneofl [ 'p'; '&'; '<'; '>'; '"'; '\''; ' '; '\n'; '\r'; '\t'; ']' ] in
+  let text = string_size ~gen:text_char (int_range 1 10) in
+  let attrs =
+    let* n = int_bound 3 in
+    let* kvs =
+      list_repeat n
+        (let* k = oneofl [ "k1"; "k2"; "k3"; "k4" ] in
+         let* v = string_size ~gen:attr_char (int_bound 8) in
+         return (k, v))
+    in
+    let kvs = List.sort_uniq (fun (a, _) (b, _) -> compare a b) kvs in
+    let* rev = bool in
+    return (if rev then List.rev kvs else kvs)
+  in
+  let rec node depth =
+    if depth = 0 then map Xmlio.Tree.text text
+    else
+      frequency
+        [
+          (2, map Xmlio.Tree.text text);
+          ( 3,
+            let* n = name in
+            let* attrs = attrs in
+            let* nchildren = int_bound 3 in
+            let* children = list_repeat nchildren (node (depth - 1)) in
+            return (Xmlio.Tree.element ~attrs n children) );
+        ]
+  in
+  let* n = name in
+  let* attrs = attrs in
+  let* children = list_size (int_bound 4) (node 3) in
+  return (Xmlio.Tree.element ~attrs n children)
+
+let arb_hostile_tree =
+  QCheck.make
+    ~print:(fun t -> String.escaped (Xmlio.Writer.events_to_string (Xmlio.Tree.to_events t)))
+    gen_hostile_tree
+
+let prop_write_parse_identity =
+  QCheck.Test.make ~name:"write+parse is the identity on hostile documents" ~count:500
+    arb_hostile_tree (fun t ->
+      let s = Xmlio.Writer.events_to_string (Xmlio.Tree.to_events t) in
+      let back = Xmlio.Tree.of_string ~keep_whitespace:true s in
+      Xmlio.Tree.equal (normalize t) back)
+
 let prop_parser_never_crashes =
   (* fuzz: arbitrary bytes either parse or raise Parser.Error — never
      anything else, never hang *)
@@ -651,6 +719,7 @@ let () =
         [
           Alcotest.test_case "basic" `Quick test_writer_basic;
           Alcotest.test_case "escaping roundtrip" `Quick test_writer_escaping_roundtrip;
+          Alcotest.test_case "newline normalization" `Quick test_newline_normalization;
           Alcotest.test_case "declaration" `Quick test_writer_decl;
           Alcotest.test_case "unbalanced" `Quick test_writer_unbalanced;
           Alcotest.test_case "to device" `Quick test_writer_to_device;
@@ -688,6 +757,7 @@ let () =
       ( "properties",
         [
           qcheck prop_tree_string_roundtrip;
+          qcheck prop_write_parse_identity;
           qcheck prop_events_balanced;
           qcheck prop_parser_never_crashes;
           qcheck prop_parser_survives_mutated_xml;
