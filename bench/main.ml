@@ -20,7 +20,9 @@ let quick = ref false
 let cost = ref false
 let no_fuse = ref false
 let metrics_file = ref None
+let wall_file = ref None
 let policy = ref Extmem.Frame_arena.Lru
+let jobs = ref 1
 
 (* --cost: put a simulated-time (hdd) layer on every device — the
    endpoints below and, via the config's device spec, the sorters'
@@ -39,20 +41,22 @@ let maybe_costed dev =
 module Config = struct
   include Nexsort.Config
 
-  (* every bench config inherits the harness-wide device spec and
-     replacement policy; --no-fuse overrides the fusion default for
+  (* every bench config inherits the harness-wide device spec, replacement
+     policy and worker count; --no-fuse overrides the fusion default for
      experiments that don't pin it *)
   let make ?block_size ?memory_blocks ?threshold ?depth_limit ?degeneration ?root_fusion
-      ?encoding ?data_stack_blocks ?path_stack_blocks ?keep_whitespace ?pager_policy () =
+      ?encoding ?data_stack_blocks ?path_stack_blocks ?keep_whitespace ?pager_policy ?jobs:j ()
+      =
     let root_fusion =
       match root_fusion with
       | Some _ as r -> r
       | None -> if !no_fuse then Some false else None
     in
     let pager_policy = Option.value pager_policy ~default:!policy in
+    let jobs = Option.value j ~default:!jobs in
     Nexsort.Config.make ?block_size ?memory_blocks ?threshold ?depth_limit ?degeneration
       ?root_fusion ?encoding ?data_stack_blocks ?path_stack_blocks ?keep_whitespace
-      ~pager_policy ~device:(bench_spec ()) ()
+      ~pager_policy ~jobs ~device:(bench_spec ()) ()
 end
 
 let ordering = Ordering.by_attr "id"
@@ -657,6 +661,125 @@ let micro () =
     results
 
 (* ------------------------------------------------------------------ *)
+(* wall: end-to-end wall clock via bechamel, the loose CI timing gate.
+   Absolute numbers are machine-dependent, so the companion compare-wall
+   gate only fails on a > 3x slowdown against the committed baseline —
+   enough to catch an accidentally quadratic inner loop without flaking
+   on a busy CI box.  On a single-core box --jobs 4 measures the
+   coordination overhead of the worker pool, not a speedup. *)
+
+let wall () =
+  heading "wall / bechamel: end-to-end wall clock (loose CI gate)";
+  let open Bechamel in
+  let doc, stats = fig5_doc () in
+  subnote "input: %d elements; block size 1 KiB, memory 16 blocks" stats.Xmlgen.Gen.elements;
+  let contents = Extmem.Device.contents doc in
+  let nexsort ~jobs () =
+    let config = Config.make ~block_size:1024 ~memory_blocks:16 ~jobs () in
+    let input = Extmem.Device.of_string ~name:"input" ~block_size:1024 contents in
+    let output = Extmem.Device.in_memory ~name:"out" ~block_size:1024 () in
+    ignore (Nexsort.sort_device ~config ~ordering ~input ~output () : Nexsort.report)
+  in
+  let mergesort () =
+    let config = Config.make ~block_size:1024 ~memory_blocks:16 () in
+    let input = Extmem.Device.of_string ~name:"input" ~block_size:1024 contents in
+    let output = Extmem.Device.in_memory ~name:"out" ~block_size:1024 () in
+    ignore
+      (Baselines.Keypath_sort.sort_device ~config ~ordering ~input ~output ()
+        : Baselines.Keypath_sort.report)
+  in
+  let tests =
+    Test.make_grouped ~name:"wall"
+      [
+        Test.make ~name:"nexsort-j1" (Staged.stage (nexsort ~jobs:1));
+        Test.make ~name:"nexsort-j4" (Staged.stage (nexsort ~jobs:4));
+        Test.make ~name:"mergesort" (Staged.stage mergesort);
+      ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:25 ~quota:(Time.second 1.0) () in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let results =
+    Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]) instance
+      raw
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some [ ns ] ->
+          rows := (name, ns) :: !rows;
+          Printf.printf "%-24s %12.2f ms/run\n" name (ns /. 1e6)
+      | Some _ | None -> Printf.printf "%-24s (no estimate)\n" name)
+    results;
+  Option.iter
+    (fun path ->
+      let fields =
+        List.map
+          (fun (name, ns) -> (name, Obs.Json.Float ns))
+          (List.sort (fun (a, _) (b, _) -> String.compare a b) !rows)
+      in
+      let json =
+        Obs.Json.Obj
+          [ ("schema_version", Obs.Json.Int 1); ("tool", Obs.Json.Str "bench-wall");
+            ("unit", Obs.Json.Str "ns/run"); ("wall", Obs.Json.Obj fields) ]
+      in
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (Obs.Json.to_string json));
+      Printf.printf "\nwrote wall report: %s\n" path)
+    !wall_file
+
+(* compare-wall BASELINE NEW: fail only if a benchmark in NEW is more than
+   3x slower than BASELINE — wall clock is noisy, I/O counters (the
+   compare-metrics gate) are the precise regression signal. *)
+let compare_wall baseline_path new_path =
+  let tolerance = 3.0 in
+  let read path =
+    let ic = open_in_bin path in
+    let s =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    Obs.Json.of_string s
+  in
+  let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("compare-wall: " ^ m); exit 1) fmt in
+  let wall_of path json =
+    match Obs.Json.member "wall" json with
+    | Some (Obs.Json.Obj kvs) -> kvs
+    | Some _ | None -> fail "%s has no \"wall\" object" path
+  in
+  let number path name = function
+    | Obs.Json.Float f -> f
+    | Obs.Json.Int i -> float_of_int i
+    | _ -> fail "%s: %S is not a number" path name
+  in
+  let base = wall_of baseline_path (read baseline_path) in
+  let new_ = wall_of new_path (read new_path) in
+  let regressions = ref [] in
+  List.iter
+    (fun (name, bv) ->
+      match List.assoc_opt name new_ with
+      | None -> fail "%s: benchmark %S is missing" new_path name
+      | Some nv ->
+          let b = number baseline_path name bv and n = number new_path name nv in
+          if b > 0. && n > tolerance *. b then
+            regressions :=
+              Printf.sprintf "%s: %.2f ms -> %.2f ms (> %.1fx)" name (b /. 1e6) (n /. 1e6)
+                tolerance
+              :: !regressions)
+    base;
+  match List.rev !regressions with
+  | [] ->
+      Printf.printf "compare-wall: OK (%s vs %s, tolerance %.1fx)\n" new_path baseline_path
+        tolerance
+  | rs ->
+      List.iter (fun r -> prerr_endline ("compare-wall: REGRESSION " ^ r)) rs;
+      exit 1
+
+(* ------------------------------------------------------------------ *)
 (* --metrics: a reference instrumented run whose JSON report exercises the
    whole reporting path; validate-metrics re-parses such a file and checks
    the §4.2 per-phase I/O breakdown is present (the CI smoke test) *)
@@ -779,6 +902,7 @@ let experiments =
     ("xsort", xsort);
     ("policy-sweep", policy_sweep);
     ("micro", micro);
+    ("wall", wall);
   ]
 
 let () =
@@ -799,6 +923,23 @@ let () =
         parse rest
     | "--metrics" :: [] ->
         prerr_endline "--metrics requires a file argument";
+        exit 2
+    | "--wall" :: file :: rest ->
+        wall_file := Some file;
+        parse rest
+    | "--wall" :: [] ->
+        prerr_endline "--wall requires a file argument";
+        exit 2
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some j when j >= 1 && j <= 64 ->
+            jobs := j;
+            parse rest
+        | _ ->
+            Printf.eprintf "--jobs: expected a worker count between 1 and 64, got %S\n" n;
+            exit 2)
+    | "--jobs" :: [] ->
+        prerr_endline "--jobs requires a worker count";
         exit 2
     | "--policy" :: name :: rest -> (
         match Extmem.Frame_arena.policy_of_string name with
@@ -826,10 +967,14 @@ let () =
   | "compare-metrics" :: _ ->
       prerr_endline "compare-metrics requires exactly two files: BASELINE NEW";
       exit 2
+  | [ "compare-wall"; baseline; new_path ] -> compare_wall baseline new_path
+  | "compare-wall" :: _ ->
+      prerr_endline "compare-wall requires exactly two files: BASELINE NEW";
+      exit 2
   | args ->
   let selected =
     match args with
-    | [] -> List.filter (fun (n, _) -> n <> "micro") experiments
+    | [] -> List.filter (fun (n, _) -> n <> "micro" && n <> "wall") experiments
     | names ->
         List.map
           (fun n ->

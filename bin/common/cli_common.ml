@@ -99,14 +99,22 @@ let config_term =
   let keep_whitespace =
     Arg.(value & flag & info [ "keep-whitespace" ] ~doc:"Preserve whitespace-only text nodes.")
   in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains for parallel subtree sorting (1-64).  Output and I/O counters are \
+             identical for every value; 1 (the default) runs fully single-threaded.")
+  in
   let build block_size memory_blocks threshold depth_limit no_degeneration keep_whitespace no_fuse
-      encoding pager_policy =
+      encoding pager_policy jobs =
     (* Config.make rejects inconsistent sizes; surface that as a clean
        one-line CLI error instead of an uncaught exception *)
     match
       Nexsort.Config.make ~block_size ~memory_blocks ?threshold ?depth_limit
         ~degeneration:(not no_degeneration) ~root_fusion:(not no_fuse) ~encoding ~keep_whitespace
-        ~pager_policy ()
+        ~pager_policy ~jobs ()
     with
     | config -> Ok config
     | exception Invalid_argument msg -> Error msg
@@ -114,7 +122,7 @@ let config_term =
   Term.term_result'
     Term.(
       const build $ block_size $ memory_blocks $ threshold $ depth_limit $ no_degeneration
-      $ keep_whitespace $ no_fuse_term $ encoding_term $ policy_term)
+      $ keep_whitespace $ no_fuse_term $ encoding_term $ policy_term $ jobs)
 
 let device_term =
   let parse s =

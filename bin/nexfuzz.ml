@@ -53,15 +53,20 @@ let differential_config ~seed i =
   let device =
     if i mod 3 = 0 then Extmem.Device_spec.parse "traced/mem" else Extmem.Device_spec.default
   in
+  (* decorrelated from the device (i mod 3) and fusion (i / 4 mod 2)
+     picks: over a 12-case cycle every (jobs, device, fuse) combination
+     appears, so parallel runs are differentially checked on every path *)
+  let jobs = [| 1; 2; 4 |].(i / 4 mod 3) in
   let config =
     Nexsort.Config.make ~block_size ~memory_blocks ?depth_limit ~root_fusion:fuse ~encoding
-      ~device ~pager_policy:policy ()
+      ~device ~pager_policy:policy ~jobs ()
   in
   let cli_flags =
-    Printf.sprintf "-O '%s' -B %d -M %d --policy %s --encoding %s%s%s%s" ordering_spec block_size
-      memory_blocks
+    Printf.sprintf "-O '%s' -B %d -M %d --policy %s --encoding %s --jobs %d%s%s%s" ordering_spec
+      block_size memory_blocks
       (Extmem.Frame_arena.policy_to_string policy)
       (match encoding with Plain -> "plain" | Dict -> "dict" | Packed -> "packed")
+      jobs
       (if fuse then "" else " --no-fuse")
       (match depth_limit with None -> "" | Some d -> Printf.sprintf " -d %d" d)
       (if i mod 3 = 0 then " --device traced/mem" else "")
@@ -235,6 +240,9 @@ let run_fault_case ~seed j =
   let fuse = j / 4 mod 2 = 0 in
   let block_size = 512 in
   let kind = j mod 3 in
+  (* decorrelated from the fault kind (j mod 3): faults must also abort
+     cleanly when they fire inside a worker domain *)
+  let jobs = [| 1; 2; 4 |].(j / 4 mod 3) in
   let device =
     if kind = 0 then
       Extmem.Device_spec.parse (Printf.sprintf "faulty:p=0.02,seed=%d/mem" (seed + j))
@@ -242,7 +250,7 @@ let run_fault_case ~seed j =
   in
   let config =
     Nexsort.Config.make ~block_size ~memory_blocks:16 ~root_fusion:fuse ~device
-      ~pager_policy:policy ()
+      ~pager_policy:policy ~jobs ()
   in
   let ( >>= ) r f = Result.bind r f in
   Verify.Probes.clear ();
@@ -340,7 +348,10 @@ let run smoke seed cases fault_cases only faults_only verbose =
             (Xmlgen.Gen.pathological ~seed:(seed + 104729 + (31 * j)) ~max_elements:250)
         in
         print_failure ~seed ~kind:"fault" ~case:j
-          ~cli_flags:(Printf.sprintf "--policy %s" (Extmem.Frame_arena.policy_to_string policies.(j mod 4)))
+          ~cli_flags:
+            (Printf.sprintf "--policy %s --jobs %d"
+               (Extmem.Frame_arena.policy_to_string policies.(j mod 4))
+               [| 1; 2; 4 |].(j / 4 mod 3))
           ~doc msg
   in
   (match only with

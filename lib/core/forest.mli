@@ -1,0 +1,41 @@
+(** The pure in-memory half of a subtree sort (§4.1): forest
+    reconstruction from a flat entry list, sibling sorting, and
+    sorted-pre-order serialization.
+
+    No session, device or shared state is touched — encoding and the
+    packed/depth-limit configuration arrive as plain arguments — so
+    these functions are safe to run inside worker domains
+    ({!Sort_pool}).  {!Subtree_sort} wraps them with the session's
+    encoder for the single-threaded path. *)
+
+type node = {
+  entry : Entry.t;
+  mutable key : Key.t;
+  mutable children : node list; (** reversed while building *)
+}
+
+val node_of_entry : Entry.t -> node
+
+val build_forest : Entry.t list -> node list
+(** Rebuild the sibling forest from entries in document order.  End
+    entries resolve their element's key and close it; in packed mode
+    (no End entries) elements close when a following entry's level shows
+    they ended. *)
+
+val compare_siblings : node -> node -> int
+(** Key order, document position as tiebreak. *)
+
+val sort_forest : depth_limit:int option -> node list -> node list
+(** Sort every sibling list, leaving levels beyond [depth_limit] in
+    document order. *)
+
+val forest_size : node list -> int
+
+val emit_node : encode:(Entry.t -> string) -> packed:bool -> (string -> unit) -> node -> unit
+(** Emit a node's entries in sorted pre-order, synthesizing End entries
+    unless [packed]. *)
+
+val forest_pull :
+  encode:(Entry.t -> string) -> packed:bool -> node list -> unit -> string option
+(** Pull-based pre-order walk of a sorted forest, for feeding a pipeline
+    stage one entry at a time. *)

@@ -12,6 +12,8 @@ module Config = Config
 module Entry = Entry
 module Session = Session
 module Keypath = Keypath
+module Forest = Forest
 module Subtree_sort = Subtree_sort
+module Sort_pool = Sort_pool
 module Sorter = Sorter
 include Sorter

@@ -10,6 +10,7 @@ type t = {
   temp_stats : Extmem.Io_stats.t;
   mutable temp_sim_ms : float;
   registry : Obs.Registry.t;
+  pool : Sort_pool.t option;
   mutable destroyed : bool;
 }
 
@@ -37,14 +38,27 @@ let register_probes t =
   Obs.Probe.frame_arena reg ~prefix:"arena" t.arena
 
 let create (config : Config.t) =
+  (* Worker slabs are carved out of the budget for the pool's whole
+     life, so the budget is created larger by exactly the carved total:
+     the blocks the algorithm can see ([available_blocks], and with them
+     arena size, merge fan-in, degeneration triggers) stay identical to
+     the single-threaded path for every jobs value. *)
+  let workers = if config.Config.jobs > 1 then config.Config.jobs else 0 in
   let budget =
-    Extmem.Memory_budget.create ~blocks:config.Config.memory_blocks
+    Extmem.Memory_budget.create
+      ~blocks:(config.Config.memory_blocks + (workers * Sort_pool.slab_blocks))
       ~block_size:config.Config.block_size
   in
   let arena =
     Extmem.Frame_arena.create ~budget ~default_policy:config.Config.pager_policy ()
   in
   let stack_dev name = Config.scratch_device config ~name in
+  let dict = Xmlio.Dict.create () in
+  let runs = Extmem.Run_store.create (stack_dev "runs") in
+  let pool =
+    if workers = 0 then None
+    else Some (Sort_pool.create ~config ~dict ~arena ~runs ~workers)
+  in
   (* The input buffer is charged by the scan pipeline stage (see
      [Sorter.scan_source]), not here.  Each stack leases its own window
      from the arena — "data stack window", "path stack window",
@@ -55,7 +69,7 @@ let create (config : Config.t) =
       config;
       budget;
       arena;
-      dict = Xmlio.Dict.create ();
+      dict;
       data_stack =
         Extmem.Ext_stack.create ~name:"data stack"
           ~resident_blocks:config.Config.data_stack_blocks ~arena ~borrow:true
@@ -66,19 +80,27 @@ let create (config : Config.t) =
       out_stack =
         Extmem.Ext_stack.create ~name:"output location stack" ~resident_blocks:1 ~arena
           (stack_dev "output-location-stack");
-      runs = Extmem.Run_store.create (stack_dev "runs");
+      runs;
       temp_stats = Extmem.Io_stats.create ();
       temp_sim_ms = 0.;
       registry = Obs.Registry.create ();
+      pool;
       destroyed = false;
     }
   in
   register_probes t;
   t
 
+let sync t =
+  match t.pool with Some p -> Sort_pool.drain p | None -> ()
+
 let destroy t =
   if not t.destroyed then begin
     t.destroyed <- true;
+    (* the pool first: joining the workers and returning their slabs
+       must precede the teardown probes on every exit path, including a
+       worker raising mid-sort *)
+    (match t.pool with Some p -> Sort_pool.shutdown p | None -> ());
     Extmem.Ext_stack.close t.data_stack;
     Extmem.Ext_stack.close t.path_stack;
     Extmem.Ext_stack.close t.out_stack;
@@ -118,7 +140,13 @@ let io_breakdown t =
     ("data stack", Extmem.Io_stats.snapshot (Extmem.Ext_stack.io_stats t.data_stack));
     ("path stack", Extmem.Io_stats.snapshot (Extmem.Ext_stack.io_stats t.path_stack));
     ("output location stack", Extmem.Io_stats.snapshot (Extmem.Ext_stack.io_stats t.out_stack));
-    ("runs", Extmem.Io_stats.snapshot (Extmem.Device.stats (Extmem.Run_store.device t.runs)));
+    ( "runs",
+      (* runs I/O covers every device runs live on: the store's own plus
+         the workers' scratch devices *)
+      let main = Extmem.Io_stats.snapshot (Extmem.Device.stats (Extmem.Run_store.device t.runs)) in
+      match t.pool with
+      | Some p -> Extmem.Io_stats.add main (Sort_pool.io p)
+      | None -> main );
     ("scratch", Extmem.Io_stats.snapshot t.temp_stats);
   ]
 
@@ -132,4 +160,5 @@ let simulated_ms t =
   +. Extmem.Device.simulated_ms (Extmem.Ext_stack.device t.path_stack)
   +. Extmem.Device.simulated_ms (Extmem.Ext_stack.device t.out_stack)
   +. Extmem.Device.simulated_ms (Extmem.Run_store.device t.runs)
+  +. (match t.pool with Some p -> Sort_pool.sim_ms p | None -> 0.)
   +. t.temp_sim_ms

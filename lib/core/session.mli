@@ -34,6 +34,9 @@ type t = {
           ([stack.data.*], [stack.path.*], [stack.out.*]), run store
           ([runs.store.*]) and their devices ([dev.*]); see
           {!Obs.Probe} *)
+  pool : Sort_pool.t option;
+      (** the worker-domain pool for parallel subtree sorting; [None]
+          when [config.jobs = 1] (the single-threaded code path) *)
   mutable destroyed : bool;  (** set by {!destroy} *)
 }
 
@@ -44,7 +47,17 @@ val create : Config.t -> t
     is charged by the scan pipeline stage).  What remains of the budget
     is the sorting arena.  The data-stack window is {e elastic}: it
     borrows idle arena blocks to avoid paging and gives them back via
-    {!reclaim} whenever a phase actually reserves memory. *)
+    {!reclaim} whenever a phase actually reserves memory.
+
+    When [config.jobs > 1] a {!Sort_pool} is spawned; its per-worker
+    slabs are carved on top of an equally inflated budget, so the
+    [memory_blocks] visible to the algorithm — and every size-based
+    decision — are unchanged. *)
+
+val sync : t -> unit
+(** Barrier over the worker pool ({!Sort_pool.drain}): every submitted
+    subtree sort is finished and installed afterwards.  Re-raises the
+    first worker failure in run-id order.  A no-op with one job. *)
 
 val arena_bytes : t -> int
 (** Internal-memory bytes available to a subtree sort right now (also the
@@ -58,8 +71,10 @@ val reclaim : t -> unit
     to reserve arena memory actually finds it available. *)
 
 val destroy : t -> unit
-(** Tear the session down: close every stack window (frames and leases
-    go back to the budget, nothing is flushed), close the stack and run
+(** Tear the session down: shut the worker pool down first (joining the
+    domains and returning their slabs — also when a worker raised
+    mid-sort), close every stack window (frames and leases go back to
+    the budget, nothing is flushed), close the stack and run
     devices, then run the registered {!add_destroy_probe} hooks.
     Idempotent; costs no I/O.  {!Sorter} destroys its session on every
     exit path, so after a sort — successful or aborted — the budget
@@ -87,8 +102,8 @@ val encode_entry : t -> Entry.t -> string
 val decode_entry : t -> string -> Entry.t
 
 val io_breakdown : t -> (string * Extmem.Io_stats.t) list
-(** Per-component I/O counters: data/path/output-location stacks, runs,
-    scratch. *)
+(** Per-component I/O counters: data/path/output-location stacks, runs
+    (the store's device plus the worker scratch devices), scratch. *)
 
 val total_io : t -> Extmem.Io_stats.t
 (** Sum of {!io_breakdown} (input and output devices are owned by the

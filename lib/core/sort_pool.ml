@@ -1,0 +1,277 @@
+(* A hand-rolled domain pool for in-memory subtree sorts.
+
+   NEXSORT's subtree sorts are independent by construction (§4): by the
+   time a subtree collapses, its entries are complete and nothing else
+   reads them.  The main thread stays the only owner of the session —
+   stacks, budget decisions, run-id assignment — and workers get the
+   purely functional piece: rebuild the forest from an entry list, sort
+   it, serialize it to a private scratch device.
+
+   Determinism is by construction rather than by locking discipline:
+
+   - Run ids are assigned on the main thread ([Run_store.reserve]) at
+     exactly the sequence points where the single-threaded path would
+     call [finish_run], so the id order never depends on worker timing.
+   - Workers are pure given their task: every name was interned into
+     the (locked) dictionary when the entry was first encoded onto the
+     data stack, so re-encoding in a worker yields identical bytes.
+   - Each worker writes to its own scratch device and runs are padded
+     to whole blocks, so a run's block count — and therefore every I/O
+     counter — is determined by its content, not by which device or
+     worker produced it.
+   - The main thread drains the pool (one barrier) before anything
+     reads a worker-written run.
+
+   Memory: each worker carves a fixed slab out of the session arena
+   ([Frame_arena.carve]) and takes its writer buffer from that private
+   sub-arena, so worker memory is accounted without touching the shared
+   pool on the hot path.  [Session.create] inflates the budget by
+   exactly the carved slabs, keeping the blocks visible to the
+   algorithm — and with them every size-based decision — identical to
+   the single-threaded path. *)
+
+let slab_blocks = 1
+
+type task =
+  | Sort of { run : Extmem.Run_store.id; entries : Entry.t list }
+  | Copy of { run : Extmem.Run_store.id; payloads : string list }
+
+type completion = {
+  c_run : Extmem.Run_store.id;
+  c_result : (Extmem.Device.t * Extmem.Extent.t, exn) result;
+}
+
+type worker = {
+  index : int;
+  dev : Extmem.Device.t;
+  sub_arena : Extmem.Frame_arena.t;
+  lease : Extmem.Frame_arena.lease;
+  buffer : bytes;
+  tasks_done : int Atomic.t;
+  entries_sorted : int Atomic.t;
+  mutable domain : unit Domain.t option;
+}
+
+type worker_stats = {
+  w_index : int;
+  w_tasks : int;
+  w_entries : int;
+  w_io : Extmem.Io_stats.t;
+}
+
+type t = {
+  lock : Mutex.t;
+  work_ready : Condition.t;   (* queue went non-empty, or stopping *)
+  space_ready : Condition.t;  (* queue dropped below its bound *)
+  done_ready : Condition.t;   (* a task completed *)
+  queue : task Queue.t;
+  max_queue : int;
+  mutable stopping : bool;
+  mutable in_flight : int;    (* submitted tasks not yet completed *)
+  mutable completions : completion list;
+  workers : worker array;
+  runs : Extmem.Run_store.t;
+  encoding : Config.encoding;
+  dict : Xmlio.Dict.t;
+  depth_limit : int option;
+  (* totals captured at shutdown, once worker devices are gone *)
+  mutable final_io : Extmem.Io_stats.t option;
+  mutable final_sim_ms : float;
+  mutable final_stats : worker_stats list;
+  mutable shut : bool;
+}
+
+let workers t = Array.length t.workers
+
+let task_run = function Sort { run; _ } | Copy { run; _ } -> run
+
+let run_task t w task =
+  let writer = Extmem.Block_writer.create ~buffer:w.buffer w.dev in
+  let emit = Extmem.Block_writer.write_record writer in
+  (match task with
+  | Sort { entries; _ } ->
+      let encode = Entry.encode t.encoding t.dict in
+      let packed = t.encoding = Config.Packed in
+      let forest = Forest.sort_forest ~depth_limit:t.depth_limit (Forest.build_forest entries) in
+      List.iter (Forest.emit_node ~encode ~packed emit) forest;
+      ignore (Atomic.fetch_and_add w.entries_sorted (List.length entries))
+  | Copy { payloads; _ } ->
+      List.iter emit payloads;
+      ignore (Atomic.fetch_and_add w.entries_sorted (List.length payloads)));
+  let extent = Extmem.Block_writer.close writer in
+  Atomic.incr w.tasks_done;
+  (w.dev, extent)
+
+let rec worker_loop t w =
+  Mutex.lock t.lock;
+  while Queue.is_empty t.queue && not t.stopping do
+    Condition.wait t.work_ready t.lock
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.lock (* stopping, nothing left *)
+  else begin
+    let task = Queue.pop t.queue in
+    Condition.broadcast t.space_ready;
+    Mutex.unlock t.lock;
+    let result = try Ok (run_task t w task) with e -> Error e in
+    Mutex.lock t.lock;
+    t.completions <- { c_run = task_run task; c_result = result } :: t.completions;
+    t.in_flight <- t.in_flight - 1;
+    Condition.broadcast t.done_ready;
+    Mutex.unlock t.lock;
+    worker_loop t w
+  end
+
+let create ~(config : Config.t) ~dict ~arena ~runs ~workers:n =
+  if n < 1 then invalid_arg "Sort_pool.create: need at least one worker";
+  let bs = config.Config.block_size in
+  let mk_worker i =
+    let sub_arena =
+      Extmem.Frame_arena.carve arena ~who:(Printf.sprintf "worker %d slab" i)
+        ~blocks:slab_blocks
+    in
+    let lease =
+      Extmem.Frame_arena.lease sub_arena ~who:(Printf.sprintf "worker %d writer" i) slab_blocks
+    in
+    let buffer = Extmem.Frame_arena.take sub_arena bs in
+    let dev = Config.scratch_device config ~name:(Printf.sprintf "runs-w%d" i) in
+    {
+      index = i;
+      dev;
+      sub_arena;
+      lease;
+      buffer;
+      tasks_done = Atomic.make 0;
+      entries_sorted = Atomic.make 0;
+      domain = None;
+    }
+  in
+  let t =
+    {
+      lock = Mutex.create ();
+      work_ready = Condition.create ();
+      space_ready = Condition.create ();
+      done_ready = Condition.create ();
+      queue = Queue.create ();
+      max_queue = 2 * n;
+      stopping = false;
+      in_flight = 0;
+      completions = [];
+      workers = Array.init n mk_worker;
+      runs;
+      encoding = config.Config.encoding;
+      dict;
+      depth_limit = config.Config.depth_limit;
+      final_io = None;
+      final_sim_ms = 0.;
+      final_stats = [];
+      shut = false;
+    }
+  in
+  Array.iter (fun w -> w.domain <- Some (Domain.spawn (fun () -> worker_loop t w))) t.workers;
+  t
+
+let submit t task =
+  Mutex.lock t.lock;
+  if t.stopping then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Sort_pool.submit: pool is shut down"
+  end;
+  while Queue.length t.queue >= t.max_queue do
+    Condition.wait t.space_ready t.lock
+  done;
+  Queue.push task t.queue;
+  t.in_flight <- t.in_flight + 1;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.lock
+
+let submit_sort t ~run entries = submit t (Sort { run; entries })
+
+let submit_copy t ~run payloads = submit t (Copy { run; payloads })
+
+(* Install the finished runs in id order and surface the first failure
+   (by run id, i.e. by submission order — not by completion timing) with
+   its original exception identity, so fault classification upstream
+   sees the same [Device.Fault] it would on the single-threaded path. *)
+let install_completions t cs =
+  let cs = List.sort (fun a b -> compare a.c_run b.c_run) cs in
+  let first_error = ref None in
+  List.iter
+    (fun c ->
+      match c.c_result with
+      | Ok (dev, extent) -> Extmem.Run_store.install t.runs c.c_run ~dev ~extent
+      | Error e -> if Option.is_none !first_error then first_error := Some e)
+    cs;
+  match !first_error with None -> () | Some e -> raise e
+
+let drain t =
+  Mutex.lock t.lock;
+  while t.in_flight > 0 do
+    Condition.wait t.done_ready t.lock
+  done;
+  let cs = t.completions in
+  t.completions <- [];
+  Mutex.unlock t.lock;
+  install_completions t cs
+
+let live_io t =
+  Array.fold_left
+    (fun acc w -> Extmem.Io_stats.add acc (Extmem.Io_stats.snapshot (Extmem.Device.stats w.dev)))
+    (Extmem.Io_stats.create ()) t.workers
+
+let io t =
+  match t.final_io with Some s -> Extmem.Io_stats.snapshot s | None -> live_io t
+
+let live_sim_ms t =
+  Array.fold_left (fun acc w -> acc +. Extmem.Device.simulated_ms w.dev) 0. t.workers
+
+let sim_ms t = if t.shut then t.final_sim_ms else live_sim_ms t
+
+let live_worker_stats t =
+  Array.to_list
+    (Array.map
+       (fun w ->
+         {
+           w_index = w.index;
+           w_tasks = Atomic.get w.tasks_done;
+           w_entries = Atomic.get w.entries_sorted;
+           w_io = Extmem.Io_stats.snapshot (Extmem.Device.stats w.dev);
+         })
+       t.workers)
+
+let worker_stats t = if t.shut then t.final_stats else live_worker_stats t
+
+(* Shutdown joins the workers and releases every worker resource on the
+   main thread, so it is safe on any exit path: on an abort the queue is
+   cleared first (pending tasks are dropped — their pending run slots
+   are never read, the whole sort is being torn down) and workers exit
+   as soon as their current task finishes. *)
+let shutdown t =
+  if not t.shut then begin
+    Mutex.lock t.lock;
+    t.stopping <- true;
+    t.in_flight <- t.in_flight - Queue.length t.queue;
+    Queue.clear t.queue;
+    Condition.broadcast t.work_ready;
+    Condition.broadcast t.space_ready;
+    Mutex.unlock t.lock;
+    Array.iter
+      (fun w ->
+        match w.domain with
+        | Some d ->
+            Domain.join d;
+            w.domain <- None
+        | None -> ())
+      t.workers;
+    t.completions <- [];
+    t.final_stats <- live_worker_stats t;
+    t.final_io <- Some (live_io t);
+    t.final_sim_ms <- live_sim_ms t;
+    t.shut <- true;
+    Array.iter
+      (fun w ->
+        Extmem.Frame_arena.give w.sub_arena w.buffer;
+        Extmem.Frame_arena.close_lease w.lease;
+        Extmem.Frame_arena.close w.sub_arena;
+        Extmem.Device.close w.dev)
+      t.workers
+  end

@@ -1,0 +1,77 @@
+(** A hand-rolled domain pool for in-memory subtree sorts.
+
+    NEXSORT's subtree sorts are independent by construction (§4), so the
+    pool fans the purely functional piece — forest rebuild, sibling
+    sort, serialization ({!Forest}) — across worker domains while the
+    main thread keeps sole ownership of the session: stacks, budget
+    decisions and run-id assignment never leave it.
+
+    The protocol keeping [--jobs N] byte-identical to [--jobs 1]:
+    the main thread {!Extmem.Run_store.reserve}s the run id at exactly
+    the sequence point where the single-threaded path would register the
+    run, {!submit_sort}s the entries, and {!drain}s the pool before
+    anything reads a worker-written run.  Workers re-encode through the
+    shared (locked) dictionary — every name was already interned when
+    the entry first hit the data stack — and write block-padded runs to
+    private scratch devices, so run bytes and I/O counts are determined
+    by content alone.
+
+    Each worker's memory is a fixed slab ({!slab_blocks}) carved from
+    the session arena; {!Session.create} inflates the budget by the
+    carved total so the blocks visible to the algorithm are unchanged. *)
+
+type t
+
+val slab_blocks : int
+(** Blocks carved per worker (its run-writer buffer). *)
+
+val create :
+  config:Config.t ->
+  dict:Xmlio.Dict.t ->
+  arena:Extmem.Frame_arena.t ->
+  runs:Extmem.Run_store.t ->
+  workers:int ->
+  t
+(** Carve per-worker sub-arenas out of [arena], open one scratch device
+    per worker ([runs-w<i>]) and spawn the worker domains. *)
+
+val workers : t -> int
+
+val submit_sort : t -> run:Extmem.Run_store.id -> Entry.t list -> unit
+(** Queue an in-memory subtree sort whose result will fill the reserved
+    [run] slot.  Blocks (backpressure) while the queue is full, bounding
+    the transient heap held by queued entry lists. *)
+
+val submit_copy : t -> run:Extmem.Run_store.id -> string list -> unit
+(** Queue a verbatim copy (the depth-limit [d+1] case): already-encoded
+    payloads written as a run, no sorting. *)
+
+val drain : t -> unit
+(** Barrier: wait for every submitted task, then install the finished
+    runs into the store in id order.  If any task failed, the first
+    failure in run-id order (not completion order) is re-raised with its
+    original exception identity after the successful installs. *)
+
+val shutdown : t -> unit
+(** Stop and join the workers and release their slabs, leases, buffers
+    and devices.  Pending queued tasks are dropped (abort path: their
+    reserved run slots are never read).  Idempotent; called by
+    {!Session.destroy} on every exit path, so teardown probes observe a
+    quiescent arena even after a worker raised mid-sort. *)
+
+type worker_stats = {
+  w_index : int;
+  w_tasks : int;    (** tasks completed *)
+  w_entries : int;  (** entries sorted or copied *)
+  w_io : Extmem.Io_stats.t;  (** I/O on the worker's scratch device *)
+}
+
+val worker_stats : t -> worker_stats list
+(** Per-worker totals (snapshotted at {!shutdown} once it has run). *)
+
+val io : t -> Extmem.Io_stats.t
+(** Combined I/O of the worker scratch devices — the session counts it
+    as part of the "runs" component. *)
+
+val sim_ms : t -> float
+(** Combined simulated time of the worker devices (cost-layer specs). *)

@@ -23,6 +23,8 @@ type report = {
   spans : Obs.Span.t;
   metrics : Obs.Json.t;
   arena : (string * Extmem.Frame_arena.owner_stats) list;
+  jobs : int;
+  workers : Sort_pool.worker_stats list;
 }
 
 (* ---- path-stack frames ----
@@ -184,7 +186,16 @@ let collapse st frame resolved_key =
       st.n_in_memory <- st.n_in_memory + 1;
       Log.debug (fun m ->
           m "collapse: level %d pos %d, %d bytes, in-memory sort" frame.flevel frame.fpos size);
-      Subtree_sort.sort_in_memory st.session (collect_entries st ~from_:frame.loc)
+      let entries = collect_entries st ~from_:frame.loc in
+      match st.session.Session.pool with
+      | Some pool ->
+          (* parallel path: claim the run id here — the same sequence
+             point where the single-threaded path registers the run — and
+             hand the pure sort to a worker *)
+          let run = Extmem.Run_store.reserve st.session.Session.runs in
+          Sort_pool.submit_sort pool ~run entries;
+          run
+      | None -> Subtree_sort.sort_in_memory st.session entries
     end
     else begin
       st.n_external <- st.n_external + 1;
@@ -214,10 +225,21 @@ let collapse_copy st frame resolved_key =
   Log.debug (fun m ->
       m "collapse: level %d pos %d, %d bytes, verbatim copy (depth limit)" frame.flevel
         frame.fpos size);
-  let w = Extmem.Run_store.begin_run st.session.Session.runs in
-  Extmem.Ext_stack.iter_entries_from data ~pos:frame.loc (fun payload ->
-      Extmem.Block_writer.write_record w payload);
-  let run = Extmem.Run_store.finish_run st.session.Session.runs w in
+  let run =
+    match st.session.Session.pool with
+    | Some pool ->
+        let payloads = ref [] in
+        Extmem.Ext_stack.iter_entries_from data ~pos:frame.loc (fun payload ->
+            payloads := payload :: !payloads);
+        let run = Extmem.Run_store.reserve st.session.Session.runs in
+        Sort_pool.submit_copy pool ~run (List.rev !payloads);
+        run
+    | None ->
+        let w = Extmem.Run_store.begin_run st.session.Session.runs in
+        Extmem.Ext_stack.iter_entries_from data ~pos:frame.loc (fun payload ->
+            Extmem.Block_writer.write_record w payload);
+        Extmem.Run_store.finish_run st.session.Session.runs w
+  in
   st.n_subtree_sorts <- st.n_subtree_sorts + 1;
   Extmem.Ext_stack.truncate_to data frame.loc;
   push_data st
@@ -499,6 +521,9 @@ let open_sorted ~session ~config ~ordering ~input ~io_meter ~sim_meter =
         st.n_events st.n_subtree_sorts st.n_in_memory st.n_external st.n_fragment_runs);
   assert (st.level = 0);
   assert (Extmem.Ext_stack.is_empty session.Session.path_stack);
+  (* the one barrier of the parallel path: every submitted subtree sort
+     is finished and installed before anything dereferences a run *)
+  Session.sync session;
   (* any blocks the data-stack window borrowed are idle now *)
   Session.reclaim session;
   let entries =
@@ -548,6 +573,9 @@ let build_report (st : state) ~input_io ~output_io ~extra_sim ~t0 =
     spans = Obs.Spans.close st.spans;
     metrics = Obs.Registry.to_json session.Session.registry;
     arena = Extmem.Frame_arena.owners session.Session.arena;
+    jobs = session.Session.config.Config.jobs;
+    workers =
+      (match session.Session.pool with Some p -> Sort_pool.worker_stats p | None -> []);
   }
 
 let sort_device ?(config = Config.make ()) ~ordering ~input ~output () =
@@ -673,6 +701,7 @@ let config_json (c : Config.t) =
       ("keep_whitespace", Bool c.Config.keep_whitespace);
       ("device", Str (Extmem.Device_spec.to_string c.Config.device));
       ("policy", Str (Extmem.Frame_arena.policy_to_string c.Config.pager_policy));
+      ("jobs", Int c.Config.jobs);
     ]
 
 let owner_stats_json (s : Extmem.Frame_arena.owner_stats) =
@@ -748,6 +777,25 @@ let metrics_report ?(tool = "nexsort") ~config r =
        ]);
   Obs.Report.add rep "arena"
     (Obs.Json.Obj (List.map (fun (who, s) -> (who, owner_stats_json s)) r.arena));
+  (* per-worker section of the parallel path; always present (with an
+     empty pool at jobs=1) so the schema is stable *)
+  Obs.Report.add rep "workers"
+    (Obs.Json.Obj
+       [
+         ("jobs", Obs.Json.Int r.jobs);
+         ( "pool",
+           Obs.Json.Obj
+             (List.map
+                (fun (ws : Sort_pool.worker_stats) ->
+                  ( Printf.sprintf "worker%d" ws.Sort_pool.w_index,
+                    Obs.Json.Obj
+                      [
+                        ("tasks", Obs.Json.Int ws.Sort_pool.w_tasks);
+                        ("entries", Obs.Json.Int ws.Sort_pool.w_entries);
+                        ("io", Obs.Json.io_stats ws.Sort_pool.w_io);
+                      ] ))
+                r.workers) );
+       ]);
   Obs.Report.add rep "phases" (Obs.Span.to_json r.spans);
   Obs.Report.add rep "metrics" r.metrics;
   Obs.Report.add rep "timing"

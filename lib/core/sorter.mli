@@ -57,6 +57,10 @@ type report = {
       (** per-owner frame-arena accounting (held/peak blocks and cache
           hit/miss/eviction/writeback counters), sorted by owner name;
           owners persist past lease close and cache detach *)
+  jobs : int;  (** configured worker count *)
+  workers : Sort_pool.worker_stats list;
+      (** per-worker tasks/entries/I/O of the parallel path; empty at
+          [jobs = 1] *)
 }
 
 val sort_device :

@@ -1,131 +1,27 @@
-type node = {
+(* The forest machinery itself is the pure [Forest] module (shared with
+   the worker pool); this module binds it to a session's encoder. *)
+
+type node = Forest.node = {
   entry : Entry.t;
   mutable key : Key.t;
   mutable children : node list; (* reversed while building *)
 }
 
-(* ---- forest building ---- *)
+let build_forest = Forest.build_forest
 
-let node_of_entry e =
-  let key = Entry.sibling_key e in
-  { entry = e; key; children = [] }
+let sort_forest = Forest.sort_forest
 
-let build_forest entries =
-  let roots = ref [] in
-  let open_stack = ref [] in (* innermost first *)
-  let attach n =
-    match !open_stack with
-    | [] -> roots := n :: !roots
-    | parent :: _ -> parent.children <- n :: parent.children
-  in
-  let close () =
-    match !open_stack with
-    | [] -> ()
-    | top :: rest ->
-        top.children <- List.rev top.children;
-        open_stack := rest
-  in
-  (* close open elements whose level shows they ended (packed mode, where
-     End entries are absent) *)
-  let close_to level =
-    while
-      match !open_stack with
-      | top :: _ -> Entry.level top.entry >= level
-      | [] -> false
-    do
-      close ()
-    done
-  in
-  List.iter
-    (fun e ->
-      match e with
-      | Entry.End { level; key; _ } ->
-          close_to (level + 1);
-          (match (!open_stack, key) with
-          | top :: _, Some k when Entry.level top.entry = level -> top.key <- k
-          | _ -> ());
-          close_to level
-      | Entry.Start _ ->
-          close_to (Entry.level e);
-          let n = node_of_entry e in
-          attach n;
-          open_stack := n :: !open_stack
-      | Entry.Text _ | Entry.Run_ptr _ ->
-          close_to (Entry.level e);
-          attach (node_of_entry e))
-    entries;
-  while !open_stack <> [] do
-    close ()
-  done;
-  List.rev !roots
-
-(* ---- sorting ---- *)
-
-let compare_siblings a b =
-  let c = Key.compare a.key b.key in
-  if c <> 0 then c else compare (Entry.pos a.entry) (Entry.pos b.entry)
-
-let rec sort_forest ~depth_limit nodes =
-  match nodes with
-  | [] -> []
-  | first :: _ ->
-      let level = Entry.level first.entry in
-      let sort_here =
-        match depth_limit with
-        | None -> true
-        | Some d -> level <= d + 1
-      in
-      if not sort_here then nodes
-      else begin
-        let nodes = List.sort compare_siblings nodes in
-        List.iter (fun n -> n.children <- sort_forest ~depth_limit n.children) nodes;
-        nodes
-      end
-
-let forest_size nodes =
-  let rec count acc n = List.fold_left count (acc + 1) n.children in
-  List.fold_left count 0 nodes
-
-(* ---- run serialization ---- *)
+let forest_size = Forest.forest_size
 
 let packed (session : Session.t) = session.Session.config.Config.encoding = Config.Packed
 
-(* Emit a node's entries in sorted pre-order to an arbitrary sink of
-   encoded entries (a run writer, or the fused output phase). *)
-let rec emit_node session emit n =
-  emit (Session.encode_entry session n.entry);
-  match n.entry with
-  | Entry.Start { level; pos; _ } ->
-      List.iter (emit_node session emit) n.children;
-      if not (packed session) then
-        emit (Session.encode_entry session (Entry.End { level; pos; key = None }))
-  | Entry.Text _ | Entry.Run_ptr _ -> ()
-  | Entry.End _ -> assert false (* nodes are never built from End entries *)
+let emit_node session emit n =
+  Forest.emit_node ~encode:(Session.encode_entry session) ~packed:(packed session) emit n
 
 let write_node session w n = emit_node session (Extmem.Block_writer.write_record w) n
 
-(* Pull-based pre-order walk of a sorted forest: an explicit work list
-   replaces emit_node's recursion so the sorted entries can feed a
-   pipeline stage one at a time. *)
 let forest_pull session forest =
-  let work = ref (List.map (fun n -> `Node n) forest) in
-  fun () ->
-    match !work with
-    | [] -> None
-    | `End (level, pos) :: rest ->
-        work := rest;
-        Some (Session.encode_entry session (Entry.End { level; pos; key = None }))
-    | `Node n :: rest ->
-        let rest =
-          match n.entry with
-          | Entry.Start { level; pos; _ } ->
-              let rest = if packed session then rest else `End (level, pos) :: rest in
-              List.map (fun c -> `Node c) n.children @ rest
-          | Entry.Text _ | Entry.Run_ptr _ -> rest
-          | Entry.End _ -> assert false (* nodes are never built from End entries *)
-        in
-        work := rest;
-        Some (Session.encode_entry session n.entry)
+  Forest.forest_pull ~encode:(Session.encode_entry session) ~packed:(packed session) forest
 
 let sort_in_memory_source (session : Session.t) entries =
   let depth_limit = session.Session.config.Config.depth_limit in

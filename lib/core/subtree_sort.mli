@@ -17,7 +17,7 @@
     All functions honour the session's depth limit: the child list of an
     element at level L is sorted only when L <= d (root = level 1). *)
 
-type node = {
+type node = Forest.node = {
   entry : Entry.t;          (** [Start], [Text] or [Run_ptr] — never [End] *)
   mutable key : Key.t;      (** resolved sibling key *)
   mutable children : node list;

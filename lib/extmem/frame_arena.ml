@@ -55,16 +55,18 @@ type t = {
   arena_policy : policy;
   pool : (int, bytes list ref) Hashtbl.t; (* buffer size -> free buffers *)
   table : (string, owner) Hashtbl.t;
+  lock : Mutex.t; (* guards [pool] and [table]; never held across budget calls *)
 }
 
 let create ?budget ?(default_policy = Lru) () =
-  { budget; arena_policy = default_policy; pool = Hashtbl.create 4; table = Hashtbl.create 8 }
+  { budget; arena_policy = default_policy; pool = Hashtbl.create 4; table = Hashtbl.create 8;
+    lock = Mutex.create () }
 
 let budget t = t.budget
 
 let default_policy t = t.arena_policy
 
-let owner t who =
+let owner_u t who =
   match Hashtbl.find_opt t.table who with
   | Some o -> o
   | None ->
@@ -75,36 +77,42 @@ let owner t who =
       Hashtbl.add t.table who o;
       o
 
+let owner t who = Mutex.protect t.lock (fun () -> owner_u t who)
+
 let reserve t ~who n =
   (match t.budget with Some b -> Memory_budget.reserve b ~who n | None -> ());
-  let o = owner t who in
-  o.o_held <- o.o_held + n;
-  if o.o_held > o.o_peak then o.o_peak <- o.o_held
+  Mutex.protect t.lock (fun () ->
+      let o = owner_u t who in
+      o.o_held <- o.o_held + n;
+      if o.o_held > o.o_peak then o.o_peak <- o.o_held)
 
 let release t ~who n =
-  let o = owner t who in
-  if n > o.o_held then
-    invalid_arg
-      (Printf.sprintf "Frame_arena: %s releasing %d frames but holds %d" who n o.o_held);
-  (match t.budget with Some b -> Memory_budget.release b ~who n | None -> ());
-  o.o_held <- o.o_held - n
+  Mutex.protect t.lock (fun () ->
+      let o = owner_u t who in
+      if n > o.o_held then
+        invalid_arg
+          (Printf.sprintf "Frame_arena: %s releasing %d frames but holds %d" who n o.o_held);
+      o.o_held <- o.o_held - n);
+  match t.budget with Some b -> Memory_budget.release b ~who n | None -> ()
 
 let stats_of o =
   { held = o.o_held; peak = o.o_peak; hits = o.o_hits; misses = o.o_misses;
     evictions = o.o_evictions; writebacks = o.o_writebacks }
 
 let owners t =
-  Hashtbl.fold (fun name o acc -> (name, stats_of o) :: acc) t.table []
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.fold (fun name o acc -> (name, stats_of o) :: acc) t.table [])
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let totals t =
-  Hashtbl.fold
-    (fun _ o acc ->
-      { held = acc.held + o.o_held; peak = acc.peak + o.o_peak; hits = acc.hits + o.o_hits;
-        misses = acc.misses + o.o_misses; evictions = acc.evictions + o.o_evictions;
-        writebacks = acc.writebacks + o.o_writebacks })
-    t.table
-    { held = 0; peak = 0; hits = 0; misses = 0; evictions = 0; writebacks = 0 }
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.fold
+        (fun _ o acc ->
+          { held = acc.held + o.o_held; peak = acc.peak + o.o_peak; hits = acc.hits + o.o_hits;
+            misses = acc.misses + o.o_misses; evictions = acc.evictions + o.o_evictions;
+            writebacks = acc.writebacks + o.o_writebacks })
+        t.table
+        { held = 0; peak = 0; hits = 0; misses = 0; evictions = 0; writebacks = 0 })
 
 (* Buffer recycling.  Frames handed out must be indistinguishable from a
    fresh [Bytes.create]: components (notably [Ext_stack.flush_block])
@@ -112,18 +120,43 @@ let totals t =
    recycled buffer is zero-filled before reuse. *)
 
 let take t size =
-  match Hashtbl.find_opt t.pool size with
-  | Some ({ contents = b :: rest } as cell) ->
-      cell := rest;
+  let recycled =
+    Mutex.protect t.lock (fun () ->
+        match Hashtbl.find_opt t.pool size with
+        | Some ({ contents = b :: rest } as cell) ->
+            cell := rest;
+            Some b
+        | _ -> None)
+  in
+  match recycled with
+  | Some b ->
       Bytes.fill b 0 size '\000';
       b
-  | _ -> Bytes.create size
+  | None -> Bytes.create size
 
 let give t b =
   let size = Bytes.length b in
-  match Hashtbl.find_opt t.pool size with
-  | Some cell -> cell := b :: !cell
-  | None -> Hashtbl.add t.pool size (ref [ b ])
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.pool size with
+      | Some cell -> cell := b :: !cell
+      | None -> Hashtbl.add t.pool size (ref [ b ]))
+
+(* Sub-arenas: a fixed slab carved out of the shared budget becomes a
+   private arena for one domain.  All frame traffic inside the worker
+   then hits only the sub-arena's own lock and ledger; the parent pool
+   records the whole slab under the carver's name until [close]. *)
+
+let carve t ~who ~blocks =
+  match t.budget with
+  | None -> invalid_arg "Frame_arena.carve: arena has no budget to carve from"
+  | Some b ->
+      let sub = Memory_budget.carve b ~who ~blocks in
+      create ~budget:sub ~default_policy:t.arena_policy ()
+
+let close t =
+  match t.budget with
+  | None -> invalid_arg "Frame_arena.close: arena has no budget"
+  | Some b -> Memory_budget.uncarve b
 
 (* {2 Leases} *)
 

@@ -21,7 +21,14 @@
     budget exhaustion names the holders and per-owner hit/miss/eviction
     counters can be exported to metrics.  An arena created without a
     budget performs no accounting (frames are still pooled) — handy for
-    standalone pagers and tests. *)
+    standalone pagers and tests.
+
+    Thread-safety: the shared owner table and buffer pool are protected
+    by an internal mutex, so {!reserve}/{!release}/{!take}/{!give} (and
+    the lease operations built on them) are safe from any domain.  A
+    {b cache} is single-domain: its frame map and counters are
+    deliberately unlocked for the pager hot path.  Parallel phases
+    should {!carve} a per-domain sub-arena instead of sharing one. *)
 
 type t
 
@@ -58,6 +65,22 @@ val take : t -> int -> bytes
 
 val give : t -> bytes -> unit
 (** Return a buffer to the pool.  The caller must drop its reference. *)
+
+val carve : t -> who:string -> blocks:int -> t
+(** [carve t ~who ~blocks] reserves a [blocks]-frame slab from the
+    arena's budget under [who] and wraps it in a fresh private arena
+    (same default policy).  Intended for worker domains: every lease,
+    cache and buffer the worker takes then lives entirely in its own
+    arena, with no shared mutable frame state on the hot path, while the
+    parent's ledger pins the slab under the carver's name.
+    @raise Invalid_argument on an unbudgeted arena.
+    @raise Memory_budget.Exhausted when the slab does not fit. *)
+
+val close : t -> unit
+(** Return a carved sub-arena's slab to the parent budget.  Every lease
+    and cache in the sub-arena must already be closed — a frame still
+    reserved is a leak, reported with its owner.
+    @raise Invalid_argument on a non-carved arena or a non-empty one. *)
 
 (** {1 Leases} *)
 

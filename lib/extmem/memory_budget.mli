@@ -10,7 +10,16 @@
     The budget keeps a per-[who] ledger: reservations are recorded under
     the owner's name, and both exhaustion and release errors report who
     holds what, so a leak or double-release points at its owner instead
-    of failing with a bare count. *)
+    of failing with a bare count.
+
+    Every operation is thread-safe (one internal mutex per budget), so a
+    budget can be shared across domains.  For parallel phases the
+    intended pattern is coarser than per-block locking: {!carve} a fixed
+    slab into a per-domain {e sub-budget} up front, let the domain
+    reserve and release against its private sub-budget without touching
+    the shared pool, and {!uncarve} the slab back when the domain
+    finishes.  The parent's ledger records each slab under the carver's
+    name, so exhaustion messages stay exact across domains. *)
 
 type t
 
@@ -50,3 +59,16 @@ val holders : t -> (string * int) list
 
 val with_reserved : t -> who:string -> int -> (unit -> 'a) -> 'a
 (** Reserve around a scope; always released, also on exceptions. *)
+
+val carve : t -> who:string -> blocks:int -> t
+(** [carve b ~who ~blocks] reserves a [blocks]-block slab under [who] and
+    returns it as a fresh sub-budget with its own lock and ledger.  The
+    slab counts as used in [b] for as long as the sub-budget lives, so
+    concurrent holders of the parent can never over-commit the pool.
+    @raise Exhausted when the parent cannot cover the slab. *)
+
+val uncarve : t -> unit
+(** Return a carved sub-budget's slab to its parent.  The sub-budget must
+    be empty — a block still reserved in it is a leak, reported with its
+    owner — and must not be used afterwards.
+    @raise Invalid_argument on a non-carved budget or a non-empty one. *)

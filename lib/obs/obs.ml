@@ -287,19 +287,22 @@ module Json = struct
       ]
 end
 
+(* Counters are the one observability primitive bumped from worker
+   domains, so they are atomic.  Histograms, spans and the registry stay
+   main-thread only. *)
 module Counter = struct
   type t = {
     name : string;
     unit_ : string;
-    mutable value : int;
+    value : int Atomic.t;
   }
 
-  let make ~name ~unit_ = { name; unit_; value = 0 }
+  let make ~name ~unit_ = { name; unit_; value = Atomic.make 0 }
   let name c = c.name
   let unit_ c = c.unit_
-  let value c = c.value
-  let incr c = c.value <- c.value + 1
-  let add c n = c.value <- c.value + n
+  let value c = Atomic.get c.value
+  let incr c = Atomic.incr c.value
+  let add c n = ignore (Atomic.fetch_and_add c.value n)
 end
 
 module Histogram = struct

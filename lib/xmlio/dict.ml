@@ -1,26 +1,34 @@
 type t = {
   by_string : (string, int) Hashtbl.t;
   by_id : string Extmem.Vec.t;
+  (* Worker domains re-encode entries whose names were all interned on
+     the main thread, so their lookups are logically read-only — but the
+     main thread may intern new names concurrently (hashtable resize,
+     vector growth), so every operation locks. *)
+  lock : Mutex.t;
 }
 
-let create () = { by_string = Hashtbl.create 64; by_id = Extmem.Vec.create () }
+let create () =
+  { by_string = Hashtbl.create 64; by_id = Extmem.Vec.create (); lock = Mutex.create () }
 
 let intern d s =
-  match Hashtbl.find_opt d.by_string s with
-  | Some id -> id
-  | None ->
-      let id = Extmem.Vec.length d.by_id in
-      Hashtbl.add d.by_string s id;
-      Extmem.Vec.push d.by_id s;
-      id
+  Mutex.protect d.lock (fun () ->
+      match Hashtbl.find_opt d.by_string s with
+      | Some id -> id
+      | None ->
+          let id = Extmem.Vec.length d.by_id in
+          Hashtbl.add d.by_string s id;
+          Extmem.Vec.push d.by_id s;
+          id)
 
-let find d s = Hashtbl.find_opt d.by_string s
+let find d s = Mutex.protect d.lock (fun () -> Hashtbl.find_opt d.by_string s)
 
 let lookup d id =
-  if id < 0 || id >= Extmem.Vec.length d.by_id then
-    invalid_arg (Printf.sprintf "Dict.lookup: unknown id %d" id);
-  Extmem.Vec.get d.by_id id
+  Mutex.protect d.lock (fun () ->
+      if id < 0 || id >= Extmem.Vec.length d.by_id then
+        invalid_arg (Printf.sprintf "Dict.lookup: unknown id %d" id);
+      Extmem.Vec.get d.by_id id)
 
-let size d = Extmem.Vec.length d.by_id
+let size d = Mutex.protect d.lock (fun () -> Extmem.Vec.length d.by_id)
 
-let to_list d = Extmem.Vec.to_list d.by_id
+let to_list d = Mutex.protect d.lock (fun () -> Extmem.Vec.to_list d.by_id)

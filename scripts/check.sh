@@ -34,4 +34,25 @@ cp /tmp/m.json BENCH_smoke.json
 # digest mismatch); only the paging counters may differ.
 dune exec bench/main.exe -- --quick policy-sweep > /dev/null
 
+# Parallel smoke: the worker pool must be invisible in the output and in
+# the I/O bill.  Sort the same document with --jobs 1 and --jobs 4 and
+# require byte-identical results plus identical metrics counters (the
+# compare in both directions pins them equal, not merely non-regressing).
+dune exec bin/xmlgen_cli.exe -- --seed 7 --fanouts 8,8,8,5 --avg-bytes 120 -o /tmp/par.xml \
+  > /dev/null
+dune exec bin/nexsort_cli.exe -- -B 1024 -M 16 --jobs 1 --metrics /tmp/par1.json \
+  -o /tmp/par1.out.xml /tmp/par.xml > /dev/null
+dune exec bin/nexsort_cli.exe -- -B 1024 -M 16 --jobs 4 --metrics /tmp/par4.json \
+  -o /tmp/par4.out.xml /tmp/par.xml > /dev/null
+cmp /tmp/par1.out.xml /tmp/par4.out.xml
+dune exec bench/main.exe -- compare-metrics /tmp/par1.json /tmp/par4.json
+dune exec bench/main.exe -- compare-metrics /tmp/par4.json /tmp/par1.json
+
+# Wall-clock gate (bechamel): deliberately loose — fail only on a > 3x
+# slowdown against the committed baseline.  Absolute times are noisy;
+# the I/O-counter gates above are the precise regression signal.
+dune exec bench/main.exe -- --quick --wall /tmp/wall.json wall > /dev/null
+dune exec bench/main.exe -- compare-wall BENCH_wall.json /tmp/wall.json
+cp /tmp/wall.json BENCH_wall.json
+
 echo "check: OK"

@@ -32,6 +32,19 @@ on top of the stack windows) fails config validation in one line:
   nexsort: Config: memory_blocks must be at least 8
   [124]
 
+A worker count outside the supported range fails config validation; a
+non-numeric one dies in the option parser:
+
+  $ ../../bin/nexsort_cli.exe --jobs 0 -O @id doc.xml -o out.xml
+  nexsort: Config: jobs must be between 1 and 64
+  [124]
+
+  $ ../../bin/nexsort_cli.exe --jobs many -O @id doc.xml -o out.xml
+  nexsort: option '--jobs': invalid value 'many', expected an integer
+  Usage: nexsort [OPTION]… INPUT
+  Try 'nexsort --help' for more information.
+  [124]
+
 A syntactically broken ordering spec:
 
   $ ../../bin/nexsort_cli.exe -O '(' doc.xml -o out.xml

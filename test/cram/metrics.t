@@ -13,6 +13,7 @@ stdout.  The top-level section keys are the report's stable schema:
   io
   pager
   arena
+  workers
   phases
   metrics
   timing
@@ -39,7 +40,8 @@ The config section echoes the effective configuration:
       "path_stack_blocks": 2,
       "keep_whitespace": false,
       "device": "mem",
-      "policy": "lru"
+      "policy": "lru",
+      "jobs": 1
     },
 
 The io section carries the paper's per-phase I/O breakdown (§4.2); its
@@ -86,13 +88,14 @@ each line a self-contained object repeating the schema version:
 
   $ ../../bin/nexsort_cli.exe -B 256 -M 8 -O @id doc.xml -o sorted3.xml --metrics report.ndjson 2> /dev/null
   $ wc -l < report.ndjson
-  8
+  9
   $ sed 's/.*"section":"\([a-z_]*\)".*/\1/' report.ndjson
   config
   counts
   io
   pager
   arena
+  workers
   phases
   metrics
   timing

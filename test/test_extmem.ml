@@ -420,6 +420,39 @@ let test_run_store_read_run () =
   check (Alcotest.list Alcotest.string) "streamed records" [ "alpha"; "beta"; "gamma" ] (all []);
   check (Alcotest.option Alcotest.string) "exhausted stays exhausted" None (pull ())
 
+let test_run_store_reserve_install () =
+  (* the worker-pool protocol: the main thread reserves the id at the
+     point the run would have been created, a worker installs the payload
+     later from its own scratch device *)
+  let d = Extmem.Device.in_memory ~block_size:8 () in
+  let rs = Extmem.Run_store.create d in
+  let id0 = Extmem.Run_store.reserve rs in
+  let w = Extmem.Run_store.begin_run rs in
+  Extmem.Block_writer.write_record w "main";
+  let id1 = Extmem.Run_store.finish_run rs w in
+  check Alcotest.int "reserved id is dense" 0 id0;
+  check Alcotest.int "finish_run skips the reservation" 1 id1;
+  check Alcotest.int "count includes pending" 2 (Extmem.Run_store.run_count rs);
+  (try
+     ignore (Extmem.Run_store.open_run rs id0);
+     Alcotest.fail "expected pending rejection"
+   with Invalid_argument _ -> ());
+  let blocks_before = Extmem.Run_store.total_run_blocks rs in
+  let wd = Extmem.Device.in_memory ~block_size:8 () in
+  let ww = Extmem.Block_writer.create wd in
+  Extmem.Block_writer.write_record ww "worker";
+  let extent = Extmem.Block_writer.close ww in
+  Extmem.Run_store.install rs id0 ~dev:wd ~extent;
+  check Alcotest.bool "pending excluded from totals" true
+    (Extmem.Run_store.total_run_blocks rs > blocks_before);
+  let pull = Extmem.Run_store.read_run rs id0 in
+  check (Alcotest.option Alcotest.string) "reads from the worker device" (Some "worker")
+    (pull ());
+  try
+    Extmem.Run_store.install rs id0 ~dev:wd ~extent;
+    Alcotest.fail "expected double-install rejection"
+  with Invalid_argument _ -> ()
+
 (* ------------------------------------------------------------------ *)
 (* Ext_stack *)
 
@@ -1189,6 +1222,54 @@ let test_budget_with_reserved () =
    with Failure _ -> ());
   check Alcotest.int "released on exception" 0 (Extmem.Memory_budget.used_blocks b)
 
+let test_budget_carve () =
+  let b = Extmem.Memory_budget.create ~blocks:8 ~block_size:8 in
+  let sub = Extmem.Memory_budget.carve b ~who:"worker 0" ~blocks:3 in
+  check Alcotest.int "slab reserved in parent" 3 (Extmem.Memory_budget.held b "worker 0");
+  Extmem.Memory_budget.reserve sub ~who:"lease" 2;
+  check Alcotest.int "parent unchanged by sub reserve" 3 (Extmem.Memory_budget.used_blocks b);
+  (* the sub-budget is a hard wall, not a window onto the parent *)
+  (try
+     Extmem.Memory_budget.reserve sub ~who:"greedy" 2;
+     Alcotest.fail "expected sub-budget exhaustion"
+   with Extmem.Memory_budget.Exhausted _ -> ());
+  (* uncarve refuses while the sub-budget still holds blocks *)
+  (try
+     Extmem.Memory_budget.uncarve sub;
+     Alcotest.fail "expected uncarve rejection while held"
+   with Invalid_argument _ -> ());
+  Extmem.Memory_budget.release sub ~who:"lease" 2;
+  Extmem.Memory_budget.uncarve sub;
+  check Alcotest.int "slab returned to parent" 0 (Extmem.Memory_budget.used_blocks b);
+  try
+    Extmem.Memory_budget.uncarve b;
+    Alcotest.fail "expected root uncarve rejection"
+  with Invalid_argument _ -> ()
+
+let test_budget_parallel_hammer () =
+  (* four domains hammer one ledger; the mutexed bookkeeping must end
+     exactly balanced, and per-owner over-release must still be caught
+     after the storm *)
+  let b = Extmem.Memory_budget.create ~blocks:64 ~block_size:8 in
+  let rounds = 2_000 in
+  let worker i () =
+    let who = Printf.sprintf "dom%d" i in
+    for _ = 1 to rounds do
+      Extmem.Memory_budget.reserve b ~who 2;
+      Extmem.Memory_budget.release b ~who 1;
+      Extmem.Memory_budget.reserve b ~who 1;
+      Extmem.Memory_budget.release b ~who 2
+    done
+  in
+  let doms = List.init 4 (fun i -> Domain.spawn (worker i)) in
+  List.iter Domain.join doms;
+  check Alcotest.int "balanced after join" 0 (Extmem.Memory_budget.used_blocks b);
+  check Alcotest.(list (pair string int)) "ledger empty" [] (Extmem.Memory_budget.holders b);
+  try
+    Extmem.Memory_budget.release b ~who:"dom0" 1;
+    Alcotest.fail "expected over-release rejection"
+  with Invalid_argument _ -> ()
+
 (* ------------------------------------------------------------------ *)
 (* composable device stack: layers, specs, simulated cost *)
 
@@ -1428,6 +1509,7 @@ let () =
           Alcotest.test_case "basic" `Quick test_run_store;
           Alcotest.test_case "exclusive writer" `Quick test_run_store_exclusive;
           Alcotest.test_case "read_run stream" `Quick test_run_store_read_run;
+          Alcotest.test_case "reserve/install" `Quick test_run_store_reserve_install;
         ] );
       ( "ext_stack",
         [
@@ -1494,5 +1576,7 @@ let () =
           Alcotest.test_case "exhaustion" `Quick test_budget_exhaustion;
           Alcotest.test_case "per-owner ledger" `Quick test_budget_ledger;
           Alcotest.test_case "with_reserved" `Quick test_budget_with_reserved;
+          Alcotest.test_case "carve/uncarve" `Quick test_budget_carve;
+          Alcotest.test_case "parallel hammer" `Quick test_budget_parallel_hammer;
         ] );
     ]
