@@ -21,6 +21,7 @@ let cost = ref false
 let no_fuse = ref false
 let metrics_file = ref None
 let wall_file = ref None
+let trace_file = ref None
 let policy = ref Extmem.Frame_arena.Lru
 let jobs = ref 1
 
@@ -45,8 +46,8 @@ module Config = struct
      policy and worker count; --no-fuse overrides the fusion default for
      experiments that don't pin it *)
   let make ?block_size ?memory_blocks ?threshold ?depth_limit ?degeneration ?root_fusion
-      ?encoding ?data_stack_blocks ?path_stack_blocks ?keep_whitespace ?pager_policy ?jobs:j ()
-      =
+      ?encoding ?data_stack_blocks ?path_stack_blocks ?keep_whitespace ?pager_policy ?jobs:j
+      ?tracer () =
     let root_fusion =
       match root_fusion with
       | Some _ as r -> r
@@ -56,7 +57,7 @@ module Config = struct
     let jobs = Option.value j ~default:!jobs in
     Nexsort.Config.make ?block_size ?memory_blocks ?threshold ?depth_limit ?degeneration
       ?root_fusion ?encoding ?data_stack_blocks ?path_stack_blocks ?keep_whitespace
-      ~pager_policy ~jobs ~device:(bench_spec ()) ()
+      ~pager_policy ~jobs ?tracer ~device:(bench_spec ()) ()
 end
 
 let ordering = Ordering.by_attr "id"
@@ -680,6 +681,20 @@ let wall () =
     let output = Extmem.Device.in_memory ~name:"out" ~block_size:1024 () in
     ignore (Nexsort.sort_device ~config ~ordering ~input ~output () : Nexsort.report)
   in
+  (* the traced series measures the tracer's own overhead against
+     nexsort-j1: same sort, one live tracer reset (not reallocated)
+     between iterations so the rings never fill and the comparison stays
+     allocation-for-allocation fair *)
+  let tracer = Obs.Tracer.create () in
+  let nexsort_traced () =
+    Obs.Tracer.reset tracer;
+    let config = Config.make ~block_size:1024 ~memory_blocks:16 ~jobs:1 ~tracer () in
+    let input = Extmem.Device.of_string ~name:"input" ~block_size:1024 contents in
+    let output = Extmem.Device.in_memory ~name:"out" ~block_size:1024 () in
+    Nexsort.Config.attach_tracing config ~name:"input" input;
+    Nexsort.Config.attach_tracing config ~name:"output" output;
+    ignore (Nexsort.sort_device ~config ~ordering ~input ~output () : Nexsort.report)
+  in
   let mergesort () =
     let config = Config.make ~block_size:1024 ~memory_blocks:16 () in
     let input = Extmem.Device.of_string ~name:"input" ~block_size:1024 contents in
@@ -693,6 +708,7 @@ let wall () =
       [
         Test.make ~name:"nexsort-j1" (Staged.stage (nexsort ~jobs:1));
         Test.make ~name:"nexsort-j4" (Staged.stage (nexsort ~jobs:4));
+        Test.make ~name:"nexsort-traced" (Staged.stage nexsort_traced);
         Test.make ~name:"mergesort" (Staged.stage mergesort);
       ]
   in
@@ -729,7 +745,15 @@ let wall () =
         ~finally:(fun () -> close_out oc)
         (fun () -> output_string oc (Obs.Json.to_string json));
       Printf.printf "\nwrote wall report: %s\n" path)
-    !wall_file
+    !wall_file;
+  (* --trace FILE: flush a reference trace from one final instrumented
+     run, after the measurements so trace I/O never lands in them *)
+  Option.iter
+    (fun path ->
+      nexsort_traced ();
+      Obs.Tracer.write_file tracer path;
+      Printf.printf "wrote trace: %s\n" path)
+    !trace_file
 
 (* compare-wall BASELINE NEW: fail only if a benchmark in NEW is more than
    3x slower than BASELINE — wall clock is noisy, I/O counters (the
@@ -929,6 +953,12 @@ let () =
         parse rest
     | "--wall" :: [] ->
         prerr_endline "--wall requires a file argument";
+        exit 2
+    | "--trace" :: file :: rest ->
+        trace_file := Some file;
+        parse rest
+    | "--trace" :: [] ->
+        prerr_endline "--trace requires a file argument";
         exit 2
     | "--jobs" :: n :: rest -> (
         match int_of_string_opt n with

@@ -161,3 +161,29 @@ let metrics_term =
 
 let write_metrics metrics report =
   Option.iter (fun path -> Obs.Report.write_file report path) metrics
+
+let trace_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event timeline of the run to $(docv) (open in Perfetto or \
+           chrome://tracing; analyse offline with $(b,nextrace)).  Spans, per-worker tracks, \
+           arena evictions and per-I/O latencies are recorded into bounded per-domain ring \
+           buffers; overflow drops events (counted) rather than blocking.")
+
+(* Fail before doing any work if the trace path cannot be written, so a
+   bad --trace dies with a one-line error instead of a completed sort
+   followed by a crash at flush time. *)
+let prepare_trace = function
+  | None -> Ok Obs.Tracer.null
+  | Some path -> (
+      match open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 path with
+      | oc ->
+          close_out oc;
+          Ok (Obs.Tracer.create ())
+      | exception Sys_error msg -> Error msg)
+
+let write_trace trace tracer =
+  Option.iter (fun path -> Obs.Tracer.write_file tracer path) trace

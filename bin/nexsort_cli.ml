@@ -18,18 +18,26 @@ let setup_logging verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
 
-let run verbose algorithm config ordering stats metrics targets select device input_path
+let run verbose algorithm config ordering stats metrics trace targets select device input_path
     output_path =
   setup_logging verbose;
+  match Cli_common.prepare_trace trace with
+  | Error msg -> `Error (false, msg)
+  | Ok tracer ->
   let xml = Cli_common.read_file input_path in
   let block_size = config.Nexsort.Config.block_size in
   let spec = Option.value device ~default:Extmem.Device_spec.default in
   (* the spec governs both endpoints and the sorter's internal devices *)
-  let config = { config with Nexsort.Config.device = spec } in
+  let config = { config with Nexsort.Config.device = spec; tracer } in
   let built_in = Extmem.Device_spec.build_scratch spec ~name:"input" ~block_size in
   let input = built_in.Extmem.Device_spec.device in
   Extmem.Device.load_string input xml;
   let output = Extmem.Device_spec.scratch spec ~name:"output" ~block_size in
+  Nexsort.Config.attach_tracing config ~name:"input" input;
+  Nexsort.Config.attach_tracing config ~name:"output" output;
+  Option.iter
+    (Nexsort.Config.attach_trace_observer config ~name:"input")
+    built_in.Extmem.Device_spec.trace;
   let device_stats () =
     if stats && device <> None then begin
       Printf.eprintf "device: %s (input layers: %s)\n"
@@ -151,6 +159,7 @@ let run verbose algorithm config ordering stats metrics targets select device in
           Printf.eprintf "algorithm: %s\nwall: %.3fs\n" (describe algorithm)
             (Unix.gettimeofday () -. t0));
     device_stats ();
+    Cli_common.write_trace trace tracer;
     `Ok ()
   with
   | Xmlio.Parser.Error { line; col; msg } ->
@@ -163,6 +172,7 @@ let run verbose algorithm config ordering stats metrics targets select device in
             (match op with Extmem.Device.Read -> "read" | Extmem.Device.Write -> "write")
             block )
   | Extmem.Memory_budget.Exhausted msg -> `Error (false, "memory budget exhausted: " ^ msg)
+  | Sys_error msg -> `Error (false, msg)
   | Invalid_argument msg -> `Error (false, msg)
 
 let algorithm_term =
@@ -212,7 +222,8 @@ let cmd =
     Term.(
       ret
         (const run $ verbose_term $ algorithm_term $ Cli_common.config_term
-       $ Cli_common.ordering_term $ stats_term $ Cli_common.metrics_term $ targets_term
-       $ select_term $ Cli_common.device_term $ input_term $ output_term))
+       $ Cli_common.ordering_term $ stats_term $ Cli_common.metrics_term
+       $ Cli_common.trace_term $ targets_term $ select_term $ Cli_common.device_term
+       $ input_term $ output_term))
 
 let () = exit (Cmd.eval cmd)

@@ -37,9 +37,16 @@ let struct_merge_report ~tool (r : Xmerge.Struct_merge.report) =
   Obs.Report.add rep "phases" (Obs.Span.to_json r.Xmerge.Struct_merge.spans);
   rep
 
-let run ordering presorted update_mode indexed policy device no_fuse metrics left_path right_path
-    output =
+let run ordering presorted update_mode indexed policy device no_fuse metrics trace left_path
+    right_path output =
   let left = read_file left_path and right = read_file right_path in
+  match Cli_common.prepare_trace trace with
+  | Error msg -> `Error (false, msg)
+  | Ok tracer ->
+  let finish ok =
+    Cli_common.write_trace trace tracer;
+    ok
+  in
   try
     match device with
     | _ when indexed && update_mode -> `Error (false, "--indexed is not supported with --update")
@@ -95,14 +102,14 @@ let run ordering presorted update_mode indexed policy device no_fuse metrics lef
            Obs.Report.add rep "timing"
              (Obs.Json.Obj [ ("wall_s", Obs.Json.Float r.wall_seconds) ]);
            rep);
-        `Ok ()
+        finish (`Ok ())
     | Some spec ->
         (* Device-resident path: the raw inputs live on spec-built devices
            and the sorts + single-pass merge run on top, so the chosen
            stack carries the whole job's I/O.  Fused (the default), the
            sorted documents are never materialised on the devices. *)
         let block_size = 4096 in
-        let config = Nexsort.Config.make ~block_size ~device:spec () in
+        let config = Nexsort.Config.make ~block_size ~device:spec ~tracer () in
         let load name s =
           let d = Extmem.Device_spec.scratch spec ~name ~block_size in
           Extmem.Device.load_string d s;
@@ -134,13 +141,16 @@ let run ordering presorted update_mode indexed policy device no_fuse metrics lef
           +. Extmem.Device.simulated_ms odev
         in
         if sim > 0. then Printf.eprintf "merge simulated io time: %.2fms\n" sim;
-        `Ok ()
+        finish (`Ok ())
     | None ->
+    let config = Nexsort.Config.make ~tracer () in
     let result, summary, rep =
       if update_mode then begin
         let out, r =
           if presorted then Xmerge.Batch_update.apply_strings ~ordering ~base:left ~updates:right
-          else Xmerge.Batch_update.sort_and_apply_strings ~ordering ~base:left ~updates:right ()
+          else
+            Xmerge.Batch_update.sort_and_apply_strings ~config ~ordering ~base:left
+              ~updates:right ()
         in
         let rep =
           struct_merge_report ~tool:"nexsort-merge-update" r.Xmerge.Batch_update.merge
@@ -160,7 +170,9 @@ let run ordering presorted update_mode indexed policy device no_fuse metrics lef
       else begin
         let out, r =
           if presorted then Xmerge.Struct_merge.merge_strings ~ordering left right
-          else Xmerge.Struct_merge.sort_and_merge_strings ~fuse:(not no_fuse) ~ordering left right
+          else
+            Xmerge.Struct_merge.sort_and_merge_strings ~config ~fuse:(not no_fuse) ~ordering left
+              right
         in
         ( out,
           Printf.sprintf "matched %d elements, emitted %d events"
@@ -171,7 +183,7 @@ let run ordering presorted update_mode indexed policy device no_fuse metrics lef
     write_file output result;
     Cli_common.write_metrics metrics rep;
     Printf.eprintf "%s -> %s\n" summary output;
-    `Ok ()
+    finish (`Ok ())
   with
   | Xmlio.Parser.Error { line; col; msg } -> `Error (false, Printf.sprintf "%d:%d: %s" line col msg)
   | Xmerge.Struct_merge.Not_sorted msg -> `Error (false, "input not sorted: " ^ msg)
@@ -182,6 +194,7 @@ let run ordering presorted update_mode indexed policy device no_fuse metrics lef
             (match op with Extmem.Device.Read -> "read" | Extmem.Device.Write -> "write")
             block )
   | Extmem.Memory_budget.Exhausted msg -> `Error (false, "memory budget exhausted: " ^ msg)
+  | Sys_error msg -> `Error (false, msg)
   | Invalid_argument msg -> `Error (false, msg)
 
 let cmd =
@@ -210,6 +223,7 @@ let cmd =
         $ Cli_common.device_term
         $ Cli_common.no_fuse_term
         $ Cli_common.metrics_term
+        $ Cli_common.trace_term
         $ Arg.(required & pos 0 (some file) None & info [] ~docv:"LEFT")
         $ Arg.(required & pos 1 (some file) None & info [] ~docv:"RIGHT")
         $ Arg.(

@@ -17,12 +17,13 @@ type t = {
   device : Extmem.Device_spec.t;
   pager_policy : Extmem.Pager.policy;
   jobs : int;
+  tracer : Obs.Tracer.t;
 }
 
 let make ?(block_size = 4096) ?(memory_blocks = 64) ?threshold ?depth_limit ?(degeneration = true)
     ?(root_fusion = true) ?(encoding = Dict) ?data_stack_blocks ?(path_stack_blocks = 2)
     ?(keep_whitespace = false) ?(device = Extmem.Device_spec.default)
-    ?(pager_policy = Extmem.Pager.Lru) ?(jobs = 1) () =
+    ?(pager_policy = Extmem.Pager.Lru) ?(jobs = 1) ?(tracer = Obs.Tracer.null) () =
   let threshold = Option.value threshold ~default:(2 * block_size) in
   (* The data stack oscillates: entries accumulate until a subtree reaches
      the threshold and is truncated away.  A window that covers twice the
@@ -62,10 +63,48 @@ let make ?(block_size = 4096) ?(memory_blocks = 64) ?threshold ?depth_limit ?(de
     device;
     pager_policy;
     jobs;
+    tracer;
   }
 
+(* Per-device I/O latency instrumentation: a [Layer.timed] middleware
+   whose histograms flush with the trace and whose hook emits one
+   Complete event per block I/O onto the emitting domain's track.  Names
+   are interned once here, so the hot path is clock reads + ring stores. *)
+let attach_tracing t ~name dev =
+  let tracer = t.tracer in
+  if Obs.Tracer.enabled tracer then begin
+    let lat = Extmem.Io_stats.Latency.create () in
+    Obs.Tracer.register_latency tracer ~device:name lat;
+    let read_id = Obs.Tracer.intern tracer ("read:" ^ name) in
+    let write_id = Obs.Tracer.intern tracer ("write:" ^ name) in
+    let hook op _block ~start_ns ~dur_ns =
+      let id = match op with Extmem.Backend.Read -> read_id | Extmem.Backend.Write -> write_id in
+      Obs.Tracer.complete tracer id ~start_ns ~dur_ns
+    in
+    Extmem.Device.push_layer dev
+      (Extmem.Layer.timed ~clock:(fun () -> Obs.Tracer.now_ns tracer) ~hook lat)
+  end
+
+(* Unify the debug access-pattern layer with the event tracer: a spec's
+   [traced] layer keeps its in-memory block list, and additionally mirrors
+   each access as a counter event (value = block index), which renders as
+   a block-position-over-time graph on the emitting domain's track. *)
+let attach_trace_observer t ~name tr =
+  let tracer = t.tracer in
+  if Obs.Tracer.enabled tracer then begin
+    let read_id = Obs.Tracer.intern tracer ("access.read:" ^ name) in
+    let write_id = Obs.Tracer.intern tracer ("access.write:" ^ name) in
+    Extmem.Trace.set_observer tr (fun op block ->
+        let id = match op with Extmem.Backend.Read -> read_id | Extmem.Backend.Write -> write_id in
+        Obs.Tracer.counter tracer id block)
+  end
+
 let scratch_device t ~name =
-  Extmem.Device_spec.scratch t.device ~name ~block_size:t.block_size
+  let built = Extmem.Device_spec.build_scratch t.device ~name ~block_size:t.block_size in
+  let dev = built.Extmem.Device_spec.device in
+  attach_tracing t ~name dev;
+  Option.iter (attach_trace_observer t ~name) built.Extmem.Device_spec.trace;
+  dev
 
 let memory_bytes t = t.block_size * t.memory_blocks
 

@@ -49,6 +49,12 @@ type t = {
           the sort single-threaded on today's exact code path.  Output
           and I/O counters are identical for every value — see DESIGN's
           "Parallel execution" section *)
+  tracer : Obs.Tracer.t;
+      (** event-trace sink for the session ({!Obs.Tracer.null} = tracing
+          off, the default).  When enabled, every scratch device gets a
+          [Layer.timed] latency middleware, phase spans and pool/arena
+          events flow onto per-domain tracks, and the CLI flushes the
+          trace with [--trace FILE] *)
 }
 
 val make :
@@ -65,6 +71,7 @@ val make :
   ?device:Extmem.Device_spec.t ->
   ?pager_policy:Extmem.Pager.policy ->
   ?jobs:int ->
+  ?tracer:Obs.Tracer.t ->
   unit ->
   t
 (** Defaults: 4 KiB blocks, 64 memory blocks, threshold [2 * block_size],
@@ -81,7 +88,22 @@ val memory_bytes : t -> int
 
 val scratch_device : t -> name:string -> Extmem.Device.t
 (** Build one internal device (stack, run store, scratch) through the
-    configured {!field-device} spec, with the config's block size. *)
+    configured {!field-device} spec, with the config's block size.  When
+    the config's tracer is enabled the device carries a timing layer
+    (see {!attach_tracing}). *)
+
+val attach_tracing : t -> name:string -> Extmem.Device.t -> unit
+(** Push an {!Extmem.Layer.timed} latency middleware onto [dev] wired to
+    the config's tracer: per-I/O Complete events named
+    [read:<name>]/[write:<name>] plus a registered latency histogram.
+    No-op when tracing is disabled.  Used for endpoint (input/output)
+    devices the config did not build itself. *)
+
+val attach_trace_observer : t -> name:string -> Extmem.Trace.t -> unit
+(** Mirror a [traced] debug layer's block accesses into the tracer as
+    [access.read:<name>]/[access.write:<name>] counter events (value =
+    block index — a block-position-over-time graph in Perfetto).  No-op
+    when tracing is disabled; {!Extmem.Trace.detach} silences it. *)
 
 val validate_ordering : t -> Ordering.t -> unit
 (** @raise Invalid_argument when the encoding is [Packed] but the

@@ -52,6 +52,11 @@ let create (config : Config.t) =
   let arena =
     Extmem.Frame_arena.create ~budget ~default_policy:config.Config.pager_policy ()
   in
+  let tracer = config.Config.tracer in
+  if Obs.Tracer.enabled tracer then
+    Extmem.Frame_arena.set_observer arena (fun ~who ev _block ->
+        let tag = match ev with Extmem.Frame_arena.Evict -> "evict:" | Writeback -> "writeback:" in
+        Obs.Tracer.instant_s tracer (tag ^ who));
   let stack_dev name = Config.scratch_device config ~name in
   let dict = Xmlio.Dict.create () in
   let runs = Extmem.Run_store.create (stack_dev "runs") in
@@ -92,7 +97,15 @@ let create (config : Config.t) =
   t
 
 let sync t =
-  match t.pool with Some p -> Sort_pool.drain p | None -> ()
+  match t.pool with
+  | Some p ->
+      (* the one barrier: everything between these events is the main
+         thread waiting on (and installing behind) worker completions *)
+      let tracer = t.config.Config.tracer in
+      Obs.Tracer.begin_s tracer "pool.drain";
+      Fun.protect ~finally:(fun () -> Obs.Tracer.end_s tracer "pool.drain") (fun () ->
+          Sort_pool.drain p)
+  | None -> ()
 
 let destroy t =
   if not t.destroyed then begin

@@ -74,6 +74,13 @@ type t = {
   encoding : Config.encoding;
   dict : Xmlio.Dict.t;
   depth_limit : int option;
+  tracer : Obs.Tracer.t;
+  (* pre-interned event names; emitting is lock-free *)
+  tr_idle : int;
+  tr_sort : int;
+  tr_copy : int;
+  tr_submit_wait : int;
+  tr_install : int;
   (* totals captured at shutdown, once worker devices are gone *)
   mutable final_io : Extmem.Io_stats.t option;
   mutable final_sim_ms : float;
@@ -103,16 +110,27 @@ let run_task t w task =
   (w.dev, extent)
 
 let rec worker_loop t w =
+  (* idle covers lock acquisition and the empty-queue wait: everything
+     the worker does that is not running a task *)
+  Obs.Tracer.begin_span t.tracer t.tr_idle;
   Mutex.lock t.lock;
   while Queue.is_empty t.queue && not t.stopping do
     Condition.wait t.work_ready t.lock
   done;
-  if Queue.is_empty t.queue then Mutex.unlock t.lock (* stopping, nothing left *)
+  if Queue.is_empty t.queue then begin
+    Mutex.unlock t.lock;
+    (* stopping, nothing left *)
+    Obs.Tracer.end_span t.tracer t.tr_idle
+  end
   else begin
     let task = Queue.pop t.queue in
     Condition.broadcast t.space_ready;
     Mutex.unlock t.lock;
+    Obs.Tracer.end_span t.tracer t.tr_idle;
+    let tr_task = match task with Sort _ -> t.tr_sort | Copy _ -> t.tr_copy in
+    Obs.Tracer.begin_span t.tracer tr_task;
     let result = try Ok (run_task t w task) with e -> Error e in
+    Obs.Tracer.end_span t.tracer tr_task;
     Mutex.lock t.lock;
     t.completions <- { c_run = task_run task; c_result = result } :: t.completions;
     t.in_flight <- t.in_flight - 1;
@@ -145,6 +163,7 @@ let create ~(config : Config.t) ~dict ~arena ~runs ~workers:n =
       domain = None;
     }
   in
+  let tracer = config.Config.tracer in
   let t =
     {
       lock = Mutex.create ();
@@ -161,13 +180,26 @@ let create ~(config : Config.t) ~dict ~arena ~runs ~workers:n =
       encoding = config.Config.encoding;
       dict;
       depth_limit = config.Config.depth_limit;
+      tracer;
+      tr_idle = Obs.Tracer.intern tracer "worker.idle";
+      tr_sort = Obs.Tracer.intern tracer "task:sort";
+      tr_copy = Obs.Tracer.intern tracer "task:copy";
+      tr_submit_wait = Obs.Tracer.intern tracer "pool.submit.wait";
+      tr_install = Obs.Tracer.intern tracer "run.install";
       final_io = None;
       final_sim_ms = 0.;
       final_stats = [];
       shut = false;
     }
   in
-  Array.iter (fun w -> w.domain <- Some (Domain.spawn (fun () -> worker_loop t w))) t.workers;
+  Array.iter
+    (fun w ->
+      w.domain <-
+        Some
+          (Domain.spawn (fun () ->
+               Obs.Tracer.register_track tracer (Printf.sprintf "worker %d" w.index);
+               worker_loop t w)))
+    t.workers;
   t
 
 let submit t task =
@@ -176,9 +208,14 @@ let submit t task =
     Mutex.unlock t.lock;
     invalid_arg "Sort_pool.submit: pool is shut down"
   end;
-  while Queue.length t.queue >= t.max_queue do
-    Condition.wait t.space_ready t.lock
-  done;
+  if Queue.length t.queue >= t.max_queue then begin
+    (* backpressure: the producer blocks until a worker frees a slot *)
+    Obs.Tracer.begin_span t.tracer t.tr_submit_wait;
+    while Queue.length t.queue >= t.max_queue do
+      Condition.wait t.space_ready t.lock
+    done;
+    Obs.Tracer.end_span t.tracer t.tr_submit_wait
+  end;
   Queue.push task t.queue;
   t.in_flight <- t.in_flight + 1;
   Condition.broadcast t.work_ready;
@@ -198,7 +235,9 @@ let install_completions t cs =
   List.iter
     (fun c ->
       match c.c_result with
-      | Ok (dev, extent) -> Extmem.Run_store.install t.runs c.c_run ~dev ~extent
+      | Ok (dev, extent) ->
+          Obs.Tracer.instant t.tracer t.tr_install;
+          Extmem.Run_store.install t.runs c.c_run ~dev ~extent
       | Error e -> if Option.is_none !first_error then first_error := Some e)
     cs;
   match !first_error with None -> () | Some e -> raise e

@@ -484,7 +484,9 @@ let scan_source ~keep_whitespace input =
 (* Scan the input and open the root's sorted entries as a pull stream:
    the shared front end of {!sort_device} and {!open_stream}. *)
 let open_sorted ~session ~config ~ordering ~input ~io_meter ~sim_meter =
-  let spans = Obs.Spans.create ~io:io_meter ~sim_ms:sim_meter "sort" in
+  let spans =
+    Obs.Spans.create ~io:io_meter ~sim_ms:sim_meter ~tracer:config.Config.tracer "sort"
+  in
   let st =
     {
       session;

@@ -50,17 +50,23 @@ type owner_stats = {
   writebacks : int;
 }
 
+type event = Evict | Writeback
+
 type t = {
   budget : Memory_budget.t option;
   arena_policy : policy;
   pool : (int, bytes list ref) Hashtbl.t; (* buffer size -> free buffers *)
   table : (string, owner) Hashtbl.t;
   lock : Mutex.t; (* guards [pool] and [table]; never held across budget calls *)
+  mutable observer : (who:string -> event -> int -> unit) option;
+      (* caches are main-thread, so firing without the lock is safe *)
 }
 
 let create ?budget ?(default_policy = Lru) () =
   { budget; arena_policy = default_policy; pool = Hashtbl.create 4; table = Hashtbl.create 8;
-    lock = Mutex.create () }
+    lock = Mutex.create (); observer = None }
+
+let set_observer t f = t.observer <- Some f
 
 let budget t = t.budget
 
@@ -283,7 +289,10 @@ let write_back c f =
     Device.write_block c.dev f.block f.data;
     f.dirty <- false;
     c.writebacks <- c.writebacks + 1;
-    c.c_owner.o_writebacks <- c.c_owner.o_writebacks + 1
+    c.c_owner.o_writebacks <- c.c_owner.o_writebacks + 1;
+    match c.c_arena.observer with
+    | Some obs -> obs ~who:c.c_who Writeback f.block
+    | None -> ()
   end
 
 (* Victim scans.  Free frames always win (the last free frame found, as
@@ -369,6 +378,9 @@ let frame_for c block =
       if f.block <> -1 then begin
         c.evictions <- c.evictions + 1;
         c.c_owner.o_evictions <- c.c_owner.o_evictions + 1;
+        (match c.c_arena.observer with
+        | Some obs -> obs ~who:c.c_who Evict f.block
+        | None -> ());
         write_back c f;
         Hashtbl.remove c.map f.block
       end;

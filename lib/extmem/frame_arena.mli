@@ -58,6 +58,17 @@ val budget : t -> Memory_budget.t option
 
 val default_policy : t -> policy
 
+(** Replacement traffic visible to an observer: a frame chosen as victim
+    while holding a block ([Evict]), and a dirty frame flushed to its
+    device ([Writeback], also on explicit flushes). *)
+type event = Evict | Writeback
+
+val set_observer : t -> (who:string -> event -> int -> unit) -> unit
+(** Fire the hook on every eviction and write-back in caches attached to
+    this arena, with the cache owner's name and the block index.  Caches
+    are main-thread objects, so the hook runs unlocked on the caller's
+    domain.  Carved sub-arenas do not inherit the observer. *)
+
 val take : t -> int -> bytes
 (** [take t size] is a zero-filled buffer of [size] bytes, recycled from
     the pool when possible.  Buffer pooling is not accounting: callers

@@ -42,6 +42,27 @@ let observed hook =
             next.Backend.write_block i buf));
   }
 
+let timed ~clock ?hook lat =
+  let hook = match hook with Some h -> h | None -> fun _op _i ~start_ns:_ ~dur_ns:_ -> () in
+  {
+    name = "timed";
+    wrap =
+      (fun next ->
+        on_io next
+          ~read:(fun i buf ->
+            let t0 = clock () in
+            next.Backend.read_block i buf;
+            let dt = clock () - t0 in
+            Io_stats.Latency.observe lat.Io_stats.Latency.read dt;
+            hook Backend.Read i ~start_ns:t0 ~dur_ns:dt)
+          ~write:(fun i buf ->
+            let t0 = clock () in
+            next.Backend.write_block i buf;
+            let dt = clock () - t0 in
+            Io_stats.Latency.observe lat.Io_stats.Latency.write dt;
+            hook Backend.Write i ~start_ns:t0 ~dur_ns:dt));
+  }
+
 let fault_hook hook =
   {
     name = "fault";

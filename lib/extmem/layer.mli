@@ -32,6 +32,17 @@ val observed : (Backend.op -> int -> unit) -> t
 (** Call the hook before every block I/O with the operation and block
     index.  {!Trace.attach} is built on this. *)
 
+val timed :
+  clock:(unit -> int) ->
+  ?hook:(Backend.op -> int -> start_ns:int -> dur_ns:int -> unit) ->
+  Io_stats.Latency.t ->
+  t
+(** Measure each I/O with [clock] (a monotonic ns counter) and record the
+    duration into the latency histograms; [hook], when given, then
+    receives the operation, block index, start and duration (used to emit
+    per-I/O trace events).  An I/O that raises is not recorded, matching
+    {!counted}'s failed-I/Os-don't-count semantics. *)
+
 val fault_hook : (Backend.op -> int -> bool) -> t
 (** Deterministic fault injection: before each I/O the predicate decides
     whether to raise {!Backend.Fault} instead of executing it. *)

@@ -11,14 +11,24 @@ type t = {
   trace : int Vec.t;
   dev : Device.t;
   layer : Layer.t;
+  observer : (Backend.op -> int -> unit) option ref;
   mutable active : bool;
 }
 
 let attach dev =
   let trace = Vec.create () in
-  let layer = Layer.observed (fun _op i -> Vec.push trace i) in
+  let observer = ref None in
+  let layer =
+    Layer.observed (fun op i ->
+        Vec.push trace i;
+        match !observer with Some f -> f op i | None -> ())
+  in
   Device.push_layer dev layer;
-  { trace; dev; layer; active = true }
+  { trace; dev; layer; observer; active = true }
+
+(* Forward every recorded access to an external sink (e.g. Obs.Tracer)
+   in addition to the in-memory trace; detach stops both at once. *)
+let set_observer t f = t.observer := Some f
 
 (* Really pop the observer layer off the device stack (idempotent); a
    detached trace keeps its recorded blocks but costs the device nothing. *)

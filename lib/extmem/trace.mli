@@ -31,6 +31,11 @@ val detach : t -> unit
     stack ({!Device.remove_layer}), so repeated attach/detach cycles do
     not grow the stack.  Idempotent; the recorded trace stays readable. *)
 
+val set_observer : t -> (Backend.op -> int -> unit) -> unit
+(** Forward every access this trace records to an external sink as well
+    (e.g. an [Obs.Tracer] track).  {!detach} silences the observer along
+    with the trace — one layer, one removal. *)
+
 val length : t -> int
 
 val blocks : t -> int list

@@ -495,6 +495,367 @@ module Registry = struct
       ]
 end
 
+module Tracer = struct
+  (* Session-wide event tracer.  Each domain that registers gets a private
+     bounded ring of fixed-size records (four parallel int arrays); emitting
+     is a handful of array stores plus one monotonic-clock read, no
+     allocation, no locking.  When a ring fills, further records are dropped
+     and counted — emitting never blocks.  Flushing (after workers have
+     joined) renders Chrome trace_event JSON loadable in Perfetto. *)
+
+  type kind = Begin | End | Instant | Count | Complete
+
+  type record = { r_kind : kind; r_name : string; r_ts_ns : int; r_value : int }
+
+  type track = {
+    tid : int;
+    track_name : string;
+    t_kind : int array;
+    t_name : int array; (* interned name ids *)
+    t_ts : int array; (* ns since tracer epoch; Complete: span start *)
+    t_value : int array; (* Count: value; Complete: duration ns *)
+    mutable t_pos : int;
+    mutable t_dropped : int;
+  }
+
+  type t = {
+    enabled : bool;
+    capacity : int;
+    epoch : int64;
+    lock : Mutex.t; (* guards interning and track creation, never emits *)
+    names : (string, int) Hashtbl.t;
+    mutable rev_names : string list; (* id order is list order reversed *)
+    mutable n_names : int;
+    mutable tracks : track list; (* reversed creation order *)
+    by_domain : (int * track) list Atomic.t;
+    mutable next_tid : int;
+    mutable latencies : (string * Extmem.Io_stats.Latency.t) list;
+  }
+
+  let null =
+    {
+      enabled = false;
+      capacity = 0;
+      epoch = 0L;
+      lock = Mutex.create ();
+      names = Hashtbl.create 1;
+      rev_names = [];
+      n_names = 0;
+      tracks = [];
+      by_domain = Atomic.make [];
+      next_tid = 0;
+      latencies = [];
+    }
+
+  let enabled t = t.enabled
+
+  let intern t name =
+    if not t.enabled then 0
+    else begin
+      Mutex.lock t.lock;
+      let id =
+        match Hashtbl.find_opt t.names name with
+        | Some id -> id
+        | None ->
+            let id = t.n_names in
+            Hashtbl.add t.names name id;
+            t.rev_names <- name :: t.rev_names;
+            t.n_names <- id + 1;
+            id
+      in
+      Mutex.unlock t.lock;
+      id
+    end
+
+  (* A domain id is never reused (OCaml guarantees fresh ids), so binding
+     the current domain to a track via compare-and-set on an immutable
+     assoc list is race-free and emitters read it without any lock. *)
+  let register_track t name =
+    if t.enabled then begin
+      Mutex.lock t.lock;
+      let tr =
+        {
+          tid = t.next_tid;
+          track_name = name;
+          t_kind = Array.make t.capacity 0;
+          t_name = Array.make t.capacity 0;
+          t_ts = Array.make t.capacity 0;
+          t_value = Array.make t.capacity 0;
+          t_pos = 0;
+          t_dropped = 0;
+        }
+      in
+      t.next_tid <- t.next_tid + 1;
+      t.tracks <- tr :: t.tracks;
+      Mutex.unlock t.lock;
+      let d = (Domain.self () :> int) in
+      let rec bind () =
+        let cur = Atomic.get t.by_domain in
+        let next = (d, tr) :: List.remove_assoc d cur in
+        if not (Atomic.compare_and_set t.by_domain cur next) then bind ()
+      in
+      bind ()
+    end
+
+  let create ?(capacity = 1 lsl 16) () =
+    if capacity < 1 then invalid_arg "Obs.Tracer.create: capacity must be positive";
+    let t =
+      {
+        enabled = true;
+        capacity;
+        epoch = Monotonic_clock.now ();
+        lock = Mutex.create ();
+        names = Hashtbl.create 64;
+        rev_names = [];
+        n_names = 0;
+        tracks = [];
+        by_domain = Atomic.make [];
+        next_tid = 0;
+        latencies = [];
+      }
+    in
+    register_track t "main";
+    t
+
+  let now_ns t = Int64.to_int (Int64.sub (Monotonic_clock.now ()) t.epoch)
+
+  let kind_tag = function Begin -> 0 | End -> 1 | Instant -> 2 | Count -> 3 | Complete -> 4
+  let kind_of_tag = function
+    | 0 -> Begin
+    | 1 -> End
+    | 2 -> Instant
+    | 3 -> Count
+    | _ -> Complete
+
+  let track_for t =
+    let d = (Domain.self () :> int) in
+    let rec find = function
+      | [] -> None
+      | (k, tr) :: tl -> if k = d then Some tr else find tl
+    in
+    find (Atomic.get t.by_domain)
+
+  let emit t kind name_id ts value =
+    match track_for t with
+    | None -> ()
+    | Some tr ->
+        let p = tr.t_pos in
+        if p >= t.capacity then tr.t_dropped <- tr.t_dropped + 1
+        else begin
+          tr.t_kind.(p) <- kind_tag kind;
+          tr.t_name.(p) <- name_id;
+          tr.t_ts.(p) <- ts;
+          tr.t_value.(p) <- value;
+          tr.t_pos <- p + 1
+        end
+
+  let begin_span t id = if t.enabled then emit t Begin id (now_ns t) 0
+  let end_span t id = if t.enabled then emit t End id (now_ns t) 0
+  let instant t id = if t.enabled then emit t Instant id (now_ns t) 0
+  let counter t id v = if t.enabled then emit t Count id (now_ns t) v
+  let complete t id ~start_ns ~dur_ns = if t.enabled then emit t Complete id start_ns dur_ns
+
+  (* string-keyed conveniences for coarse call sites (one mutex-protected
+     hash lookup per event; hot sites pre-intern instead) *)
+  let begin_s t name = if t.enabled then emit t Begin (intern t name) (now_ns t) 0
+  let end_s t name = if t.enabled then emit t End (intern t name) (now_ns t) 0
+  let instant_s t name = if t.enabled then emit t Instant (intern t name) (now_ns t) 0
+
+  let register_latency t ~device lat =
+    if t.enabled then begin
+      Mutex.lock t.lock;
+      t.latencies <- (device, lat) :: t.latencies;
+      Mutex.unlock t.lock
+    end
+
+  let dropped t = List.fold_left (fun acc tr -> acc + tr.t_dropped) 0 t.tracks
+
+  (* Re-arm the tracer for another measured run: zero every ring and forget
+     registered latency meters, but keep the epoch, interned names and
+     domain bindings.  Only call while no worker domains are emitting. *)
+  let reset t =
+    if t.enabled then begin
+      Mutex.lock t.lock;
+      List.iter
+        (fun tr ->
+          tr.t_pos <- 0;
+          tr.t_dropped <- 0)
+        t.tracks;
+      t.latencies <- [];
+      Mutex.unlock t.lock
+    end
+
+  (* --- Chrome trace_event rendering --- *)
+
+  let us ns = Json.Float (float_of_int ns /. 1000.)
+
+  let record_to_json ~tid r =
+    let base ph =
+      [
+        ("name", Json.Str r.r_name);
+        ("ph", Json.Str ph);
+        ("ts", us r.r_ts_ns);
+        ("pid", Json.Int 0);
+        ("tid", Json.Int tid);
+      ]
+    in
+    match r.r_kind with
+    | Begin -> Json.Obj (base "B")
+    | End -> Json.Obj (base "E")
+    | Instant -> Json.Obj (base "i" @ [ ("s", Json.Str "t") ])
+    | Count -> Json.Obj (base "C" @ [ ("args", Json.Obj [ ("value", Json.Int r.r_value) ]) ])
+    | Complete -> Json.Obj (base "X" @ [ ("dur", us r.r_value) ])
+
+  let record_of_json j =
+    let obj =
+      match j with
+      | Json.Obj o -> o
+      | _ -> failwith "Obs.Tracer: trace event is not an object"
+    in
+    let field k =
+      match List.assoc_opt k obj with
+      | Some v -> v
+      | None -> failwith (Printf.sprintf "Obs.Tracer: trace event missing %S" k)
+    in
+    let str k =
+      match field k with
+      | Json.Str s -> s
+      | _ -> failwith (Printf.sprintf "Obs.Tracer: field %S is not a string" k)
+    in
+    let int_field k =
+      match field k with
+      | Json.Int i -> i
+      | _ -> failwith (Printf.sprintf "Obs.Tracer: field %S is not an integer" k)
+    in
+    (* timestamps travel as fractional microseconds; exact for any span
+       a real run can produce (ns below 2^50) *)
+    let ns_field k =
+      match field k with
+      | Json.Float f -> int_of_float (Float.round (f *. 1000.))
+      | Json.Int i -> i * 1000
+      | _ -> failwith (Printf.sprintf "Obs.Tracer: field %S is not a number" k)
+    in
+    let tid = int_field "tid" in
+    let name = str "name" in
+    let ts = ns_field "ts" in
+    let kind, value =
+      match str "ph" with
+      | "B" -> (Begin, 0)
+      | "E" -> (End, 0)
+      | "i" | "I" -> (Instant, 0)
+      | "X" -> (Complete, ns_field "dur")
+      | "C" -> (
+          ( Count,
+            match field "args" with
+            | Json.Obj a -> (
+                match List.assoc_opt "value" a with
+                | Some (Json.Int i) -> i
+                | _ -> failwith "Obs.Tracer: counter event without integer args.value")
+            | _ -> failwith "Obs.Tracer: counter event without args" ))
+      | ph -> failwith (Printf.sprintf "Obs.Tracer: unsupported event phase %S" ph)
+    in
+    ({ r_kind = kind; r_name = name; r_ts_ns = ts; r_value = value }, tid)
+
+  let latency_to_json lat =
+    let histo h =
+      Json.Obj
+        [
+          ("count", Json.Int (Extmem.Io_stats.Latency.count h));
+          ("sum_ns", Json.Int (Extmem.Io_stats.Latency.sum_ns h));
+          ("max_ns", Json.Int (Extmem.Io_stats.Latency.max_ns h));
+          ( "buckets",
+            Json.List
+              (List.map
+                 (fun (bound, c) -> Json.Obj [ ("lt", Json.Int bound); ("count", Json.Int c) ])
+                 (Extmem.Io_stats.Latency.buckets h)) );
+        ]
+    in
+    Json.Obj
+      [
+        ("read", histo lat.Extmem.Io_stats.Latency.read);
+        ("write", histo lat.Extmem.Io_stats.Latency.write);
+      ]
+
+  (* Merge same-named devices (sessions recreate scratch devices under a
+     stable name) so the flushed section has unique keys. *)
+  let merged_latencies t =
+    let order = ref [] in
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun (dev, lat) ->
+        match Hashtbl.find_opt tbl dev with
+        | Some acc -> Extmem.Io_stats.Latency.accumulate ~into:acc lat
+        | None ->
+            let acc = Extmem.Io_stats.Latency.create () in
+            Extmem.Io_stats.Latency.accumulate ~into:acc lat;
+            Hashtbl.add tbl dev acc;
+            order := dev :: !order)
+      (List.rev t.latencies);
+    List.rev_map (fun dev -> (dev, Hashtbl.find tbl dev)) !order
+
+  let to_json t =
+    let names = Array.of_list (List.rev t.rev_names) in
+    let tracks = List.rev t.tracks in
+    let meta =
+      List.map
+        (fun tr ->
+          Json.Obj
+            [
+              ("name", Json.Str "thread_name");
+              ("ph", Json.Str "M");
+              ("pid", Json.Int 0);
+              ("tid", Json.Int tr.tid);
+              ("args", Json.Obj [ ("name", Json.Str tr.track_name) ]);
+            ])
+        tracks
+    in
+    let events =
+      List.concat_map
+        (fun tr ->
+          let evs = ref [] in
+          for i = tr.t_pos - 1 downto 0 do
+            let r =
+              {
+                r_kind = kind_of_tag tr.t_kind.(i);
+                r_name = names.(tr.t_name.(i));
+                r_ts_ns = tr.t_ts.(i);
+                r_value = tr.t_value.(i);
+              }
+            in
+            evs := record_to_json ~tid:tr.tid r :: !evs
+          done;
+          (* account ring overflow in-band so analyzers see it *)
+          let last_ts = if tr.t_pos > 0 then tr.t_ts.(tr.t_pos - 1) else 0 in
+          let drop =
+            { r_kind = Count; r_name = "trace.dropped"; r_ts_ns = last_ts; r_value = tr.t_dropped }
+          in
+          !evs @ [ record_to_json ~tid:tr.tid drop ])
+        tracks
+    in
+    Json.Obj
+      [
+        ("traceEvents", Json.List (meta @ events));
+        ("displayTimeUnit", Json.Str "ms");
+        ( "otherData",
+          Json.Obj
+            [
+              ("tool", Json.Str "nexsort-trace");
+              ("schema_version", Json.Int 1);
+              ("capacity", Json.Int t.capacity);
+              ("dropped", Json.Int (dropped t));
+            ] );
+        ("ioLatency", Json.Obj (List.map (fun (dev, lat) -> (dev, latency_to_json lat)) (merged_latencies t)));
+      ]
+
+  let write_file t path =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc (Json.to_string ~minify:true (to_json t));
+        output_char oc '\n')
+end
+
 module Span = struct
   type t = {
     name : string;
@@ -534,6 +895,7 @@ module Spans = struct
     clock : unit -> float;
     io : unit -> Extmem.Io_stats.t;
     sim_ms : unit -> float;
+    tracer : Tracer.t;
     mutable stack : open_span list; (* innermost first; last is the root *)
     mutable closed : bool;
   }
@@ -541,15 +903,18 @@ module Spans = struct
   let zero_io () = Extmem.Io_stats.create ()
 
   let enter_span t span =
+    Tracer.begin_s t.tracer span.Span.name;
     { span; wall0 = t.clock (); io0 = Extmem.Io_stats.snapshot (t.io ()); sim0 = t.sim_ms () }
 
-  let create ?(clock = Unix.gettimeofday) ?(io = zero_io) ?(sim_ms = fun () -> 0.) name =
-    let t = { clock; io; sim_ms; stack = []; closed = false } in
+  let create ?(clock = Unix.gettimeofday) ?(io = zero_io) ?(sim_ms = fun () -> 0.)
+      ?(tracer = Tracer.null) name =
+    let t = { clock; io; sim_ms; tracer; stack = []; closed = false } in
     t.stack <- [ enter_span t (Span.make name) ];
     t
 
   let finalize t o =
     let sp = o.span in
+    Tracer.end_s t.tracer sp.Span.name;
     sp.Span.count <- sp.Span.count + 1;
     sp.Span.wall_s <- sp.Span.wall_s +. (t.clock () -. o.wall0);
     Extmem.Io_stats.accumulate ~into:sp.Span.io

@@ -129,6 +129,99 @@ module Registry : sig
       "histograms": ...}], each keyed by metric name with its unit. *)
 end
 
+(** Session-wide low-overhead event tracer.
+
+    Each registered domain owns a private bounded ring of fixed-size
+    records (parallel int arrays): emitting is a monotonic-clock read
+    plus a few array stores — no allocation, no locking, and when the
+    ring is full records are dropped and counted rather than blocking.
+    The disabled tracer ({!Tracer.null}) reduces every emit to one
+    boolean test.  After worker domains have joined, {!Tracer.to_json}
+    renders Chrome [trace_event] JSON (loadable in Perfetto /
+    [chrome://tracing]; analyse offline with [nextrace]). *)
+module Tracer : sig
+  type t
+
+  (** Record kinds: [Begin]/[End] bracket a span on the emitting track,
+      [Instant] is a point event, [Count] carries a value, [Complete] is
+      a closed span with explicit start and duration (used for per-I/O
+      latencies). *)
+  type kind = Begin | End | Instant | Count | Complete
+
+  type record = {
+    r_kind : kind;
+    r_name : string;
+    r_ts_ns : int;  (** ns since the tracer epoch (Complete: span start) *)
+    r_value : int;  (** Count: value; Complete: duration in ns *)
+  }
+
+  val null : t
+  (** The disabled tracer: every operation is a no-op. *)
+
+  val create : ?capacity:int -> unit -> t
+  (** Enabled tracer whose rings hold [capacity] records per track
+      (default 65536).  The calling domain is registered as track
+      ["main"]. *)
+
+  val enabled : t -> bool
+
+  val register_track : t -> string -> unit
+  (** Bind the calling domain to a fresh named track.  Events emitted by
+      an unregistered domain are discarded. *)
+
+  val intern : t -> string -> int
+  (** Intern an event name, returning the id to pass to the emitters.
+      Takes a lock — hot call sites intern once at setup. *)
+
+  val now_ns : t -> int
+  (** Monotonic ns since the tracer epoch. *)
+
+  val begin_span : t -> int -> unit
+  val end_span : t -> int -> unit
+  val instant : t -> int -> unit
+  val counter : t -> int -> int -> unit
+
+  val complete : t -> int -> start_ns:int -> dur_ns:int -> unit
+  (** Emit a closed span with an explicit start and duration (both ns,
+      start relative to the epoch). *)
+
+  val begin_s : t -> string -> unit
+  (** [begin_span] with per-call interning, for coarse call sites. *)
+
+  val end_s : t -> string -> unit
+  val instant_s : t -> string -> unit
+
+  val register_latency : t -> device:string -> Extmem.Io_stats.Latency.t -> unit
+  (** Attach a per-device I/O latency histogram to the flushed trace
+      (same-named devices are merged at flush). *)
+
+  val dropped : t -> int
+  (** Total records dropped to full rings, across all tracks. *)
+
+  val reset : t -> unit
+  (** Zero every ring and forget registered latency meters, keeping the
+      epoch, interned names and domain bindings.  Only call while no
+      worker domain is emitting. *)
+
+  val record_to_json : tid:int -> record -> Json.t
+  (** One record as a Chrome [trace_event] object ([ph] B/E/i/C/X;
+      timestamps in fractional microseconds). *)
+
+  val record_of_json : Json.t -> record * int
+  (** Inverse of {!record_to_json}; returns the record and its track id.
+      Raises [Failure] on metadata or malformed events. *)
+
+  val to_json : t -> Json.t
+  (** Full trace: [{"traceEvents": [...], "displayTimeUnit", "otherData",
+      "ioLatency"}].  Each track contributes a [thread_name] metadata
+      event, its records in emission order, and a final ["trace.dropped"]
+      counter.  Call only after worker domains have joined. *)
+
+  val write_file : t -> string -> unit
+  (** Minified {!to_json} to [path].  Raises [Sys_error] on I/O
+      failure. *)
+end
+
 (** One aggregated phase of a run: a node of the span tree. *)
 module Span : sig
   type t = {
@@ -162,12 +255,17 @@ module Spans : sig
     ?clock:(unit -> float) ->
     ?io:(unit -> Extmem.Io_stats.t) ->
     ?sim_ms:(unit -> float) ->
+    ?tracer:Tracer.t ->
     string ->
     t
   (** [create name] starts a recorder whose root span is [name].
       [clock] defaults to [Unix.gettimeofday]; [io] and [sim_ms] are the
       cumulative meters sampled at phase boundaries and default to
-      constant zero (spans then measure wall time only). *)
+      constant zero (spans then measure wall time only).  When [tracer]
+      (default {!Tracer.null}) is enabled, every span entry/exit also
+      emits a Begin/End event onto the calling domain's track, so the
+      aggregate phase tree and the timeline come from one set of call
+      sites. *)
 
   val with_span : t -> string -> (unit -> 'a) -> 'a
   (** Run the scope inside the named phase.  Exception-safe: the span is

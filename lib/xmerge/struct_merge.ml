@@ -88,10 +88,10 @@ let union_attrs left right =
   left @ List.filter (fun (k, _) -> not (List.mem_assoc k left)) right
 
 let merge_events ?(on_match = fun ~left_attrs:_ ~right_attrs:_ -> Merge)
-    ?(rewrite_attrs = fun attrs -> attrs) ?io ~ordering ~left ~right ~emit () =
+    ?(rewrite_attrs = fun attrs -> attrs) ?io ?tracer ~ordering ~left ~right ~emit () =
   if not (Ordering.all_scan_evaluable ordering) then
     invalid_arg "Struct_merge: ordering must be scan-evaluable";
-  let spans = Obs.Spans.create ?io "struct_merge" in
+  let spans = Obs.Spans.create ?io ?tracer "struct_merge" in
   let l = stream left and r = stream right in
   let output_events = ref 0 in
   let matched = ref 0 in
@@ -280,7 +280,7 @@ let merge_sorted_streams ?io ~ordering ~config ~left ~right ~emit () =
       ignore (Nexsort.stream_finish sl);
       ignore (Nexsort.stream_finish sr))
     (fun () ->
-      merge_events ?io ~ordering
+      merge_events ?io ~tracer:config.Nexsort.Config.tracer ~ordering
         ~left:(fun () -> Nexsort.stream_events sl)
         ~right:(fun () -> Nexsort.stream_events sr)
         ~emit ())

@@ -40,6 +40,7 @@ val merge_events :
   ?on_match:(left_attrs:Xmlio.Event.attr list -> right_attrs:Xmlio.Event.attr list -> behaviour) ->
   ?rewrite_attrs:(Xmlio.Event.attr list -> Xmlio.Event.attr list) ->
   ?io:(unit -> Extmem.Io_stats.t) ->
+  ?tracer:Obs.Tracer.t ->
   ordering:Nexsort.Ordering.t ->
   left:(unit -> Xmlio.Event.t option) ->
   right:(unit -> Xmlio.Event.t option) ->
@@ -51,7 +52,8 @@ val merge_events :
     post-processes attribute lists on emitted start tags (used by
     {!Batch_update} to strip operation markers); [io] is an optional
     cumulative I/O meter sampled around the merge for the report's span
-    (supplied by {!merge_devices}).  The roots must match.
+    (supplied by {!merge_devices}); [tracer] mirrors the merge spans
+    onto an event-trace timeline (fused paths pass the config's tracer).
     @raise Not_sorted / [Invalid_argument] as described above. *)
 
 val merge_strings :

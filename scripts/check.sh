@@ -48,6 +48,17 @@ cmp /tmp/par1.out.xml /tmp/par4.out.xml
 dune exec bench/main.exe -- compare-metrics /tmp/par1.json /tmp/par4.json
 dune exec bench/main.exe -- compare-metrics /tmp/par4.json /tmp/par1.json
 
+# Trace smoke: a --jobs 4 traced sort must produce a trace that nextrace
+# validates, carrying the sorter's phase spans and one track per worker.
+dune exec bin/nexsort_cli.exe -- -B 1024 -M 16 --jobs 4 --trace /tmp/trace4.json \
+  -o /tmp/trace4.out.xml /tmp/par.xml > /dev/null
+dune exec bin/nextrace.exe -- --check /tmp/trace4.json
+dune exec bin/nextrace.exe -- --top 100 /tmp/trace4.json > /tmp/trace4.txt
+for needle in input_scan subtree_sorts output 'worker 0' 'worker 1' 'worker 2' 'worker 3'; do
+  grep -q "$needle" /tmp/trace4.txt || {
+    echo "trace smoke: missing \"$needle\" in nextrace output" >&2; exit 1; }
+done
+
 # Wall-clock gate (bechamel): deliberately loose — fail only on a > 3x
 # slowdown against the committed baseline.  Absolute times are noisy;
 # the I/O-counter gates above are the precise regression signal.

@@ -1,0 +1,52 @@
+Event tracing: --trace writes a Chrome trace_event file, nextrace
+analyses it, and every failure path dies with a one-line diagnostic.
+
+  $ printf '<r><a id="2"/><a id="1"/><a id="3"/></r>' > doc.xml
+
+A traced sort writes a loadable trace; nextrace --check validates the
+JSON and summarises it:
+
+  $ ../../bin/nexsort_cli.exe -O @id --trace t.json doc.xml -o out.xml
+  $ ../../bin/nextrace.exe --check t.json
+  trace ok: 17 events, 1 tracks, 0 dropped
+
+An unwritable trace path fails up front, before any sorting work:
+
+  $ ../../bin/nexsort_cli.exe -O @id --trace /nonexistent/dir/t.json doc.xml -o out2.xml
+  nexsort: /nonexistent/dir/t.json: No such file or directory
+  [124]
+  $ test -f out2.xml
+  [1]
+
+xmlmerge takes the same flag and the same failure path:
+
+  $ ../../bin/xmlmerge_cli.exe --trace /nonexistent/dir/t.json -O @id doc.xml doc.xml
+  nexsort-merge: /nonexistent/dir/t.json: No such file or directory
+  [124]
+
+nextrace rejects a file that is not JSON:
+
+  $ echo 'garbage' > garbage.json
+  $ ../../bin/nextrace.exe garbage.json
+  nextrace: garbage.json: not a trace (Obs.Json: unexpected 'g' at offset 0)
+  [124]
+
+...a JSON file that is not a trace:
+
+  $ echo '{"hello": 1}' > nottrace.json
+  $ ../../bin/nextrace.exe nottrace.json
+  nextrace: nottrace.json: not a trace (missing traceEvents array)
+  [124]
+
+...and a trace truncated mid-write:
+
+  $ head -c 120 t.json > cut.json
+  $ ../../bin/nextrace.exe cut.json
+  nextrace: cut.json: not a trace (Obs.Json: expected ',' or '}' at offset 120)
+  [124]
+
+A missing file is a plain one-liner too:
+
+  $ ../../bin/nextrace.exe absent.json
+  nextrace: absent.json: No such file or directory
+  [124]

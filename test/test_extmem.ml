@@ -1162,6 +1162,81 @@ let test_trace_detach_removes_layer () =
   check Alcotest.int "stack clean after interleaved detach" base_layers
     (List.length (Extmem.Device.layers d))
 
+let test_trace_observer () =
+  let d = Extmem.Device.of_string ~block_size:8 (String.make 64 'x') in
+  let t = Extmem.Trace.attach d in
+  let seen = ref [] in
+  Extmem.Trace.set_observer t (fun op i -> seen := (op, i) :: !seen);
+  let buf = Bytes.create 8 in
+  Extmem.Device.read_block d 2 buf;
+  Extmem.Device.write_block d 5 (Bytes.make 8 'y');
+  check Alcotest.int "observer saw both accesses" 2 (List.length !seen);
+  check Alcotest.bool "read forwarded" true (List.mem (Extmem.Backend.Read, 2) !seen);
+  check Alcotest.bool "write forwarded" true (List.mem (Extmem.Backend.Write, 5) !seen);
+  check Alcotest.int "trace still records alongside" 2 (Extmem.Trace.length t);
+  (* detach removes the layer, silencing the trace AND its observer *)
+  Extmem.Trace.detach t;
+  Extmem.Device.read_block d 0 buf;
+  check Alcotest.int "observer silent after detach" 2 (List.length !seen);
+  check Alcotest.int "trace silent after detach" 2 (Extmem.Trace.length t)
+
+(* ------------------------------------------------------------------ *)
+(* Latency histograms and the timed layer *)
+
+let test_latency_histogram () =
+  let open Extmem.Io_stats.Latency in
+  let l = create () in
+  check Alcotest.int "empty percentile" 0 (percentile l.read 0.99);
+  List.iter (observe l.read) [ 0; 1; 100; 100; 5000 ];
+  observe l.read (-7);
+  (* negative clamps to 0 *)
+  check Alcotest.int "count" 6 (count l.read);
+  check Alcotest.int "sum" 5201 (sum_ns l.read);
+  check Alcotest.int "max" 5000 (max_ns l.read);
+  check Alcotest.int "write side untouched" 0 (count l.write);
+  (* log2 buckets: 0s and 1 in the low buckets, 100s share one, 5000 tops *)
+  (match buckets l.read with
+  | (b0, c0) :: _ ->
+      check Alcotest.int "first bound" 1 b0;
+      check Alcotest.int "zeros clamp into the first bucket" 2 c0
+  | [] -> Alcotest.fail "no buckets");
+  check Alcotest.bool "p50 in the low buckets" true (percentile l.read 0.5 <= 2);
+  check Alcotest.bool "p75 covers the 100s" true
+    (let p = percentile l.read 0.75 in
+     p >= 100 && p < 5000);
+  check Alcotest.int "p100 capped at observed max" 5000 (percentile l.read 1.0);
+  let into = create () in
+  observe into.read 1;
+  accumulate ~into l;
+  check Alcotest.int "accumulate merges counts" 7 (count into.read);
+  check Alcotest.int "accumulate merges sums" 5202 (sum_ns into.read)
+
+let test_layer_timed () =
+  let d = Extmem.Device.of_string ~block_size:8 (String.make 64 'x') in
+  let lat = Extmem.Io_stats.Latency.create () in
+  let clock = ref 0 in
+  let tick () =
+    let t = !clock in
+    clock := t + 5;
+    t
+  in
+  let hooked = ref [] in
+  let hook op i ~start_ns ~dur_ns = hooked := (op, i, start_ns, dur_ns) :: !hooked in
+  Extmem.Device.push_layer d (Extmem.Layer.timed ~clock:tick ~hook lat);
+  let buf = Bytes.create 8 in
+  Extmem.Device.read_block d 0 buf;
+  Extmem.Device.read_block d 1 buf;
+  Extmem.Device.write_block d 2 (Bytes.make 8 'y');
+  (* the fake clock advances 5 per call; each I/O reads it twice *)
+  check Alcotest.int "read count" 2 (Extmem.Io_stats.Latency.count lat.read);
+  check Alcotest.int "read sum" 10 (Extmem.Io_stats.Latency.sum_ns lat.read);
+  check Alcotest.int "write count" 1 (Extmem.Io_stats.Latency.count lat.write);
+  check
+    (Alcotest.list (Alcotest.triple Alcotest.int Alcotest.int Alcotest.int))
+    "hook saw every I/O with its start and duration"
+    [ (0, 0, 5); (1, 10, 5); (2, 20, 5) ]
+    (List.rev_map (fun (_, i, s, dur) -> (i, s, dur)) !hooked)
+
 (* ------------------------------------------------------------------ *)
 (* Memory_budget *)
 
@@ -1569,6 +1644,12 @@ let () =
           Alcotest.test_case "random pattern" `Quick test_trace_random_pattern;
           Alcotest.test_case "empty" `Quick test_trace_empty;
           Alcotest.test_case "detach removes the layer" `Quick test_trace_detach_removes_layer;
+          Alcotest.test_case "observer forwarding and detach" `Quick test_trace_observer;
+        ] );
+      ( "latency",
+        [
+          Alcotest.test_case "histogram" `Quick test_latency_histogram;
+          Alcotest.test_case "timed layer" `Quick test_layer_timed;
         ] );
       ( "memory_budget",
         [

@@ -180,6 +180,136 @@ let test_spans_to_json () =
   | _ -> Alcotest.fail "children"
 
 (* ------------------------------------------------------------------ *)
+(* Tracer: record codec, ring discipline, multi-domain integrity *)
+
+module Tracer = Obs.Tracer
+
+(* timestamps/durations below 2^39 ns (~9 minutes) survive the µs float
+   encoding AND the 12-significant-digit JSON text exactly — the domain
+   real runs live in; Count values are plain JSON ints, exact at any
+   magnitude *)
+let tracer_record_gen =
+  let open QCheck.Gen in
+  let ts = map (fun n -> n land ((1 lsl 39) - 1)) int in
+  int_range 0 4 >>= fun k ->
+  ts >>= fun r_ts_ns ->
+  oneofl [ "sort"; "read:input"; "worker.idle"; "é \"quoted\"" ] >>= fun r_name ->
+  (match k with 3 -> int | 4 -> ts | _ -> return 0) >>= fun r_value ->
+  let r_kind =
+    match k with
+    | 0 -> Tracer.Begin
+    | 1 -> Tracer.End
+    | 2 -> Tracer.Instant
+    | 3 -> Tracer.Count
+    | _ -> Tracer.Complete
+  in
+  return { Tracer.r_kind; r_name; r_ts_ns; r_value }
+
+let tracer_record_print r =
+  Printf.sprintf "{kind=%s; name=%S; ts=%d; value=%d}"
+    (match r.Tracer.r_kind with
+    | Tracer.Begin -> "B"
+    | Tracer.End -> "E"
+    | Tracer.Instant -> "i"
+    | Tracer.Count -> "C"
+    | Tracer.Complete -> "X")
+    r.Tracer.r_name r.Tracer.r_ts_ns r.Tracer.r_value
+
+let test_tracer_record_roundtrip =
+  QCheck.Test.make ~name:"record json round-trip" ~count:500
+    (QCheck.make ~print:tracer_record_print tracer_record_gen)
+    (fun r ->
+      (* through the wire format: serialize, re-parse the text, decode *)
+      let j = Obs.Json.of_string (Obs.Json.to_string (Tracer.record_to_json ~tid:3 r)) in
+      let r', tid = Tracer.record_of_json j in
+      r' = r && tid = 3)
+
+let trace_events j =
+  match Obs.Json.member "traceEvents" j with
+  | Some (Obs.Json.List l) -> l
+  | _ -> Alcotest.fail "no traceEvents list"
+
+let test_tracer_overflow () =
+  let t = Tracer.create ~capacity:4 () in
+  let id = Tracer.intern t "tick" in
+  for _ = 1 to 10 do
+    Tracer.instant t id
+  done;
+  check Alcotest.int "ring keeps capacity, drops the rest" 6 (Tracer.dropped t);
+  let j = Tracer.to_json t in
+  let events = trace_events j in
+  (* the flushed trace accounts every drop: a trace.dropped counter on
+     the track plus the summary in otherData *)
+  let drops =
+    List.filter_map
+      (fun e ->
+        match Tracer.record_of_json e with
+        | { Tracer.r_kind = Tracer.Count; r_name = "trace.dropped"; r_value; _ }, _ ->
+            Some r_value
+        | _ -> None
+        | exception Failure _ -> None)
+      events
+  in
+  check (Alcotest.list Alcotest.int) "trace.dropped counter" [ 6 ] drops;
+  (match Obs.Json.member "otherData" j with
+  | Some od ->
+      check Alcotest.bool "otherData.dropped" true
+        (Obs.Json.member "dropped" od = Some (Obs.Json.Int 6))
+  | None -> Alcotest.fail "no otherData");
+  (* metadata events name the track and are rejected by the record codec *)
+  (match events with
+  | meta :: _ ->
+      check Alcotest.bool "first event is thread_name metadata" true
+        (Obs.Json.member "ph" meta = Some (Obs.Json.Str "M"));
+      check Alcotest.bool "metadata rejected by record codec" true
+        (match Tracer.record_of_json meta with exception Failure _ -> true | _ -> false)
+  | [] -> Alcotest.fail "empty trace");
+  Tracer.reset t;
+  check Alcotest.int "reset clears dropped" 0 (Tracer.dropped t);
+  (* the null tracer swallows everything without allocating a ring *)
+  Tracer.instant_s Tracer.null "tick";
+  check Alcotest.int "null tracer drops nothing" 0 (Tracer.dropped Tracer.null)
+
+let test_tracer_multi_domain () =
+  let t = Tracer.create ~capacity:16384 () in
+  let n = 10_000 in
+  let worker i () =
+    Tracer.register_track t (Printf.sprintf "w%d" i);
+    let id = Tracer.intern t (Printf.sprintf "seq%d" i) in
+    for v = 0 to n - 1 do
+      Tracer.counter t id v
+    done
+  in
+  let domains = List.init 4 (fun i -> Domain.spawn (worker i)) in
+  List.iter Domain.join domains;
+  check Alcotest.int "nothing dropped" 0 (Tracer.dropped t);
+  (* each worker's ring must replay its exact emission sequence: a torn
+     or misrouted record would corrupt or interleave the value runs *)
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      match Tracer.record_of_json e with
+      | { Tracer.r_kind = Tracer.Count; r_name; r_value; _ }, _
+        when String.length r_name >= 3 && String.sub r_name 0 3 = "seq" ->
+          let l =
+            match Hashtbl.find_opt tbl r_name with
+            | Some l -> l
+            | None ->
+                let l = ref [] in
+                Hashtbl.add tbl r_name l;
+                l
+          in
+          l := r_value :: !l
+      | _ -> ()
+      | exception Failure _ -> ())
+    (trace_events (Tracer.to_json t));
+  check Alcotest.int "four worker sequences" 4 (Hashtbl.length tbl);
+  let expect = List.init n Fun.id in
+  Hashtbl.iter
+    (fun name l -> check (Alcotest.list Alcotest.int) (name ^ " intact") expect (List.rev !l))
+    tbl
+
+(* ------------------------------------------------------------------ *)
 (* Report *)
 
 let test_report_sections () =
@@ -232,6 +362,12 @@ let () =
           Alcotest.test_case "nesting and merging" `Quick test_spans_nesting_and_merge;
           Alcotest.test_case "exception safety" `Quick test_spans_exception_safety;
           Alcotest.test_case "to_json" `Quick test_spans_to_json;
+        ] );
+      ( "tracer",
+        [
+          QCheck_alcotest.to_alcotest test_tracer_record_roundtrip;
+          Alcotest.test_case "ring overflow accounting" `Quick test_tracer_overflow;
+          Alcotest.test_case "multi-domain hammer" `Quick test_tracer_multi_domain;
         ] );
       ( "report", [ Alcotest.test_case "sections" `Quick test_report_sections ] );
     ]
