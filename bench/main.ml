@@ -703,6 +703,37 @@ let wall () =
       (Baselines.Keypath_sort.sort_device ~config ~ordering ~input ~output ()
         : Baselines.Keypath_sort.report)
   in
+  (* record-path series: slice-decoding a batch of encoded entries (view
+     construction + on-demand key decode, no string materialisation) and
+     ordering encoded key-path records without decoding keys — the two
+     inner loops the zero-copy record path lives or dies by *)
+  let decode_dict = Xmlio.Dict.create () in
+  let enc_payloads =
+    Array.init 4096 (fun i ->
+        Nexsort.Entry.encode Config.Dict decode_dict
+          (Nexsort.Entry.Start
+             { level = 3; pos = i; name = "employee";
+               attrs = [ ("ID", string_of_int ((i * 7919) mod 4096)) ];
+               key = Some (Nexsort.Key.Num (float_of_int ((i * 7919) mod 4096))) }))
+  in
+  let codec_decode () =
+    Array.iter
+      (fun p ->
+        let v = Nexsort.Entry.View.of_payload Config.Dict p in
+        ignore (Nexsort.Entry.View.sibling_key v : Nexsort.Key.t))
+      enc_payloads
+  in
+  let cmp_records =
+    Array.init 4096 (fun i ->
+        Nexsort.Keypath.encode_record
+          [ { Nexsort.Keypath.key = Nexsort.Key.Str "AC"; pos = 2 };
+            { Nexsort.Keypath.key = Nexsort.Key.Num (float_of_int ((i * 7919) mod 4096)); pos = i } ]
+          ~payload:"<employee/>")
+  in
+  let entry_compare () =
+    let a = Array.copy cmp_records in
+    Array.sort Nexsort.Keypath.compare_encoded a
+  in
   let tests =
     Test.make_grouped ~name:"wall"
       [
@@ -710,6 +741,8 @@ let wall () =
         Test.make ~name:"nexsort-j4" (Staged.stage (nexsort ~jobs:4));
         Test.make ~name:"nexsort-traced" (Staged.stage nexsort_traced);
         Test.make ~name:"mergesort" (Staged.stage mergesort);
+        Test.make ~name:"codec-decode" (Staged.stage codec_decode);
+        Test.make ~name:"entry-compare" (Staged.stage entry_compare);
       ]
   in
   let instance = Toolkit.Instance.monotonic_clock in
@@ -835,8 +868,12 @@ let validate_metrics path =
   in
   List.iter
     (fun k -> ignore (require k json "top-level"))
-    [ "schema_version"; "tool"; "config"; "counts"; "io"; "pager"; "arena"; "phases"; "metrics";
-      "timing" ];
+    [ "schema_version"; "tool"; "config"; "counts"; "io"; "pager"; "arena"; "gc"; "phases";
+      "metrics"; "timing" ];
+  let gc = require "gc" json "top-level" in
+  List.iter
+    (fun k -> ignore (require k gc "gc"))
+    [ "minor_words"; "major_words"; "minor_collections"; "major_collections" ];
   let io = require "io" json "top-level" in
   (* the paper's §4.2 decomposition: every phase of the I/O bill *)
   List.iter

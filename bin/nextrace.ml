@@ -284,6 +284,24 @@ let print_instants trace =
     List.iter (fun (track, name, n) -> Printf.printf "  %-28s %6d  (%s)\n" name n track) rows
   end
 
+let print_counters trace =
+  let rows =
+    List.concat_map
+      (fun tp ->
+        Hashtbl.fold
+          (fun name v acc ->
+            if name = "trace.dropped" then acc else (tp.tp_name, name, v) :: acc)
+          tp.tp_counters [])
+      trace.tr_tracks
+    |> List.sort compare
+  in
+  if rows <> [] then begin
+    Printf.printf "\ncounters:\n";
+    List.iter
+      (fun (track, name, v) -> Printf.printf "  %-28s %12d  (%s)\n" name v track)
+      rows
+  end
+
 let print_profile top trace =
   Printf.printf "trace: %s\n" trace.tr_path;
   Printf.printf "timeline: %.3f ms, %d events, %d tracks, %d dropped\n"
@@ -300,7 +318,8 @@ let print_profile top trace =
     rows;
   print_workers trace;
   print_io trace;
-  print_instants trace
+  print_instants trace;
+  print_counters trace
 
 (* --- diff mode --- *)
 

@@ -32,49 +32,91 @@ let tag_end = 1
 let tag_text = 2
 let tag_run_ptr = 3
 
-let put_name enc dict buf name =
+let put_name enc dict e name =
   match enc with
-  | Config.Plain -> Extmem.Codec.put_string buf name
-  | Config.Dict | Config.Packed -> Extmem.Codec.put_varint buf (Xmlio.Dict.intern dict name)
+  | Config.Plain -> Extmem.Codec.Enc.add_string e name
+  | Config.Dict | Config.Packed -> Extmem.Codec.Enc.add_varint e (Xmlio.Dict.intern dict name)
 
 let get_name enc dict c =
   match enc with
   | Config.Plain -> Extmem.Codec.get_string c
   | Config.Dict | Config.Packed -> Xmlio.Dict.lookup dict (Extmem.Codec.get_varint c)
 
-let encode enc dict e =
-  let buf = Buffer.create 64 in
+let encode_to enc dict b e =
+  Extmem.Codec.Enc.clear b;
   (match e with
   | Start { level; pos; name; attrs; key } ->
-      Extmem.Codec.put_u8 buf tag_start;
-      Extmem.Codec.put_varint buf level;
-      Extmem.Codec.put_varint buf pos;
-      put_name enc dict buf name;
-      Key.encode_opt buf key;
-      Extmem.Codec.put_varint buf (List.length attrs);
+      Extmem.Codec.Enc.add_u8 b tag_start;
+      Extmem.Codec.Enc.add_varint b level;
+      Extmem.Codec.Enc.add_varint b pos;
+      put_name enc dict b name;
+      Key.encode_opt_enc b key;
+      Extmem.Codec.Enc.add_varint b (List.length attrs);
       List.iter
         (fun (k, v) ->
-          put_name enc dict buf k;
-          Extmem.Codec.put_string buf v)
+          put_name enc dict b k;
+          Extmem.Codec.Enc.add_string b v)
         attrs
   | End { level; pos; key } ->
-      Extmem.Codec.put_u8 buf tag_end;
-      Extmem.Codec.put_varint buf level;
-      Extmem.Codec.put_varint buf pos;
-      Key.encode_opt buf key
+      Extmem.Codec.Enc.add_u8 b tag_end;
+      Extmem.Codec.Enc.add_varint b level;
+      Extmem.Codec.Enc.add_varint b pos;
+      Key.encode_opt_enc b key
   | Text { level; pos; content } ->
-      Extmem.Codec.put_u8 buf tag_text;
-      Extmem.Codec.put_varint buf level;
-      Extmem.Codec.put_varint buf pos;
-      Extmem.Codec.put_string buf content
+      Extmem.Codec.Enc.add_u8 b tag_text;
+      Extmem.Codec.Enc.add_varint b level;
+      Extmem.Codec.Enc.add_varint b pos;
+      Extmem.Codec.Enc.add_string b content
   | Run_ptr { level; pos; key; run; bytes } ->
-      Extmem.Codec.put_u8 buf tag_run_ptr;
-      Extmem.Codec.put_varint buf level;
-      Extmem.Codec.put_varint buf pos;
-      Key.encode buf key;
-      Extmem.Codec.put_varint buf run;
-      Extmem.Codec.put_varint buf bytes);
-  Buffer.contents buf
+      Extmem.Codec.Enc.add_u8 b tag_run_ptr;
+      Extmem.Codec.Enc.add_varint b level;
+      Extmem.Codec.Enc.add_varint b pos;
+      Key.encode_enc b key;
+      Extmem.Codec.Enc.add_varint b run;
+      Extmem.Codec.Enc.add_varint b bytes);
+  Extmem.Codec.Enc.contents b
+
+let encode enc dict e = encode_to enc dict (Extmem.Codec.Enc.create ~capacity:64 ()) e
+
+(* Encode a Start entry straight from a parser-packed event: no [t] record,
+   no attr assoc list, and when the parser shares the session dict the
+   name ids are already resolved (no dictionary probe here). *)
+let encode_start_of_packed enc dict b ~level ~pos ~key (pk : Xmlio.Event.packed) =
+  Extmem.Codec.Enc.clear b;
+  Extmem.Codec.Enc.add_u8 b tag_start;
+  Extmem.Codec.Enc.add_varint b level;
+  Extmem.Codec.Enc.add_varint b pos;
+  let put_packed_name name id =
+    match enc with
+    | Config.Plain -> Extmem.Codec.Enc.add_string b name
+    | Config.Dict | Config.Packed ->
+        Extmem.Codec.Enc.add_varint b (if id >= 0 then id else Xmlio.Dict.intern dict name)
+  in
+  put_packed_name pk.Xmlio.Event.pname pk.Xmlio.Event.pname_id;
+  Key.encode_opt_enc b key;
+  let n = pk.Xmlio.Event.pnattrs in
+  Extmem.Codec.Enc.add_varint b n;
+  for i = 0 to n - 1 do
+    put_packed_name pk.Xmlio.Event.pattr_names.(i) pk.Xmlio.Event.pattr_ids.(i);
+    Extmem.Codec.Enc.add_string b pk.Xmlio.Event.pattr_values.(i)
+  done;
+  Extmem.Codec.Enc.contents b
+
+let encode_text_to b ~level ~pos content =
+  Extmem.Codec.Enc.clear b;
+  Extmem.Codec.Enc.add_u8 b tag_text;
+  Extmem.Codec.Enc.add_varint b level;
+  Extmem.Codec.Enc.add_varint b pos;
+  Extmem.Codec.Enc.add_string b content;
+  Extmem.Codec.Enc.contents b
+
+let encode_end_to b ~level ~pos ~key =
+  Extmem.Codec.Enc.clear b;
+  Extmem.Codec.Enc.add_u8 b tag_end;
+  Extmem.Codec.Enc.add_varint b level;
+  Extmem.Codec.Enc.add_varint b pos;
+  Key.encode_opt_enc b key;
+  Extmem.Codec.Enc.contents b
 
 let decode enc dict s =
   let c = Extmem.Codec.cursor s in
@@ -106,6 +148,72 @@ let decode enc dict s =
     Run_ptr { level; pos; key; run; bytes }
   end
   else raise (Extmem.Codec.Corrupt (Printf.sprintf "Entry.decode: bad tag %d" tag))
+
+module View = struct
+  type kind =
+    | Vstart
+    | Vend
+    | Vtext
+    | Vrun_ptr
+
+  type t = {
+    payload : string;
+    enc : Config.encoding;
+    kind : kind;
+    level : int;
+    pos : int;
+    body : int;
+  }
+
+  let of_payload enc payload =
+    let c = Extmem.Codec.cursor payload in
+    let tag = Extmem.Codec.get_u8 c in
+    let level = Extmem.Codec.get_varint c in
+    let pos = Extmem.Codec.get_varint c in
+    let kind =
+      if tag = tag_start then Vstart
+      else if tag = tag_end then Vend
+      else if tag = tag_text then Vtext
+      else if tag = tag_run_ptr then Vrun_ptr
+      else raise (Extmem.Codec.Corrupt (Printf.sprintf "Entry.View: bad tag %d" tag))
+    in
+    { payload; enc; kind; level; pos; body = c.Extmem.Codec.pos }
+
+  let payload v = v.payload
+  let kind v = v.kind
+  let level v = v.level
+  let pos v = v.pos
+
+  let skip_name v c =
+    match v.enc with
+    | Config.Plain -> Extmem.Codec.skip_string c
+    | Config.Dict | Config.Packed -> Extmem.Codec.skip_varint c
+
+  (* Field reads below re-cursor into the payload on demand: nothing past
+     [body] is touched (or allocated) unless a consumer asks for it. *)
+
+  let start_key v =
+    let c = Extmem.Codec.cursor ~pos:v.body v.payload in
+    skip_name v c;
+    Key.decode_opt c
+
+  let end_key v = Key.decode_opt (Extmem.Codec.cursor ~pos:v.body v.payload)
+
+  let sibling_key v =
+    match v.kind with
+    | Vstart -> ( match start_key v with Some k -> k | None -> Key.Null)
+    | Vrun_ptr -> Key.decode (Extmem.Codec.cursor ~pos:v.body v.payload)
+    | Vtext | Vend -> Key.Null
+
+  let run_ptr v =
+    let c = Extmem.Codec.cursor ~pos:v.body v.payload in
+    let key = Key.decode c in
+    let run = Extmem.Codec.get_varint c in
+    let bytes = Extmem.Codec.get_varint c in
+    (key, run, bytes)
+
+  let to_entry dict v = decode v.enc dict v.payload
+end
 
 let pp ppf = function
   | Start { level; pos; name; attrs; key } ->

@@ -59,8 +59,81 @@ val encode : Config.encoding -> Xmlio.Dict.t -> t -> string
 (** Serialize.  The dictionary is consulted/extended for [Dict]/[Packed];
     ignored for [Plain]. *)
 
+val encode_to : Config.encoding -> Xmlio.Dict.t -> Extmem.Codec.Enc.t -> t -> string
+(** {!encode} through a reusable scratch encoder (cleared first); the
+    returned string is freshly allocated, the scratch only amortizes the
+    intermediate buffer. *)
+
+val encode_start_of_packed :
+  Config.encoding ->
+  Xmlio.Dict.t ->
+  Extmem.Codec.Enc.t ->
+  level:int ->
+  pos:int ->
+  key:Key.t option ->
+  Xmlio.Event.packed ->
+  string
+(** Encode a [Start] entry directly from a parser-packed event: no [t]
+    record or attr assoc list is built, and name ids already resolved by
+    the parser (against the same dictionary) are written as-is.  Produces
+    exactly the bytes {!encode} would for the equivalent [Start]. *)
+
+val encode_text_to : Extmem.Codec.Enc.t -> level:int -> pos:int -> string -> string
+(** Encode a [Text] entry without building the [t] record. *)
+
+val encode_end_to : Extmem.Codec.Enc.t -> level:int -> pos:int -> key:Key.t option -> string
+(** Encode an [End] entry without building the [t] record. *)
+
 val decode : Config.encoding -> Xmlio.Dict.t -> string -> t
 (** Inverse of {!encode} for the same encoding and dictionary.
     @raise Extmem.Codec.Corrupt on malformed bytes. *)
+
+(** In-place entry views.
+
+    A [View.t] wraps an encoded entry and reads fields straight off the
+    bytes: the header (tag, level, pos) is decoded once at construction;
+    keys are decoded on demand; names, attributes and text are never
+    materialized.  Sorting and merging operate entirely on views — the
+    original payload travels through {!Forest} and {!Subtree_sort} and is
+    re-emitted verbatim, so sorted output is byte-identical to the input
+    entries without a decode/re-encode round trip (and without consulting
+    the dictionary at all). *)
+
+type entry := t
+
+module View : sig
+  type kind =
+    | Vstart
+    | Vend
+    | Vtext
+    | Vrun_ptr
+
+  type t
+
+  val of_payload : Config.encoding -> string -> t
+  (** Wrap one encoded entry.  @raise Extmem.Codec.Corrupt on a bad tag. *)
+
+  val payload : t -> string
+  (** The encoded bytes, byte-identical to what was passed in. *)
+
+  val kind : t -> kind
+  val level : t -> int
+  val pos : t -> int
+
+  val sibling_key : t -> Key.t
+  (** Same semantics as {!Entry.sibling_key}, decoded on demand. *)
+
+  val start_key : t -> Key.t option
+  (** The key option of a [Vstart] view. *)
+
+  val end_key : t -> Key.t option
+  (** The key option of a [Vend] view. *)
+
+  val run_ptr : t -> Key.t * Extmem.Run_store.id * int
+  (** [(key, run, bytes)] of a [Vrun_ptr] view. *)
+
+  val to_entry : Xmlio.Dict.t -> t -> entry
+  (** Full decode, for consumers that need names/attributes/text. *)
+end
 
 val pp : Format.formatter -> t -> unit

@@ -1,24 +1,28 @@
 (* The in-memory side of a subtree sort: rebuild the sibling forest from
-   a flat entry list, sort siblings by key (position as tiebreak), and
-   stream the result back out in sorted pre-order.
+   a flat list of entry views, sort siblings by key (position as
+   tiebreak), and stream the result back out in sorted pre-order.
 
-   Everything here is pure given its arguments — no session, no devices,
-   no shared state — which is what lets [Sort_pool] run it inside worker
-   domains.  The session-flavoured wrappers live in [Subtree_sort]. *)
+   Nodes hold views, not decoded entries: names, attributes and text are
+   never materialized, and emission re-uses the original encoded payloads
+   verbatim (only synthesized End entries are encoded here, and they
+   carry no names).  Everything is pure given its arguments — no session,
+   no devices, no shared state — which is what lets [Sort_pool] run it
+   inside worker domains.  The session-flavoured wrappers live in
+   [Subtree_sort]. *)
 
 type node = {
-  entry : Entry.t;
+  view : Entry.View.t;
   mutable key : Key.t;
   mutable children : node list; (* reversed while building *)
 }
 
 (* ---- forest building ---- *)
 
-let node_of_entry e =
-  let key = Entry.sibling_key e in
-  { entry = e; key; children = [] }
+let node_of_view v =
+  let key = Entry.View.sibling_key v in
+  { view = v; key; children = [] }
 
-let build_forest entries =
+let build_forest views =
   let roots = ref [] in
   let open_stack = ref [] in (* innermost first *)
   let attach n =
@@ -38,30 +42,31 @@ let build_forest entries =
   let close_to level =
     while
       match !open_stack with
-      | top :: _ -> Entry.level top.entry >= level
+      | top :: _ -> Entry.View.level top.view >= level
       | [] -> false
     do
       close ()
     done
   in
   List.iter
-    (fun e ->
-      match e with
-      | Entry.End { level; key; _ } ->
+    (fun v ->
+      match Entry.View.kind v with
+      | Entry.View.Vend ->
+          let level = Entry.View.level v in
           close_to (level + 1);
-          (match (!open_stack, key) with
-          | top :: _, Some k when Entry.level top.entry = level -> top.key <- k
+          (match (!open_stack, Entry.View.end_key v) with
+          | top :: _, Some k when Entry.View.level top.view = level -> top.key <- k
           | _ -> ());
           close_to level
-      | Entry.Start _ ->
-          close_to (Entry.level e);
-          let n = node_of_entry e in
+      | Entry.View.Vstart ->
+          close_to (Entry.View.level v);
+          let n = node_of_view v in
           attach n;
           open_stack := n :: !open_stack
-      | Entry.Text _ | Entry.Run_ptr _ ->
-          close_to (Entry.level e);
-          attach (node_of_entry e))
-    entries;
+      | Entry.View.Vtext | Entry.View.Vrun_ptr ->
+          close_to (Entry.View.level v);
+          attach (node_of_view v))
+    views;
   while !open_stack <> [] do
     close ()
   done;
@@ -71,13 +76,13 @@ let build_forest entries =
 
 let compare_siblings a b =
   let c = Key.compare a.key b.key in
-  if c <> 0 then c else compare (Entry.pos a.entry) (Entry.pos b.entry)
+  if c <> 0 then c else compare (Entry.View.pos a.view) (Entry.View.pos b.view)
 
 let rec sort_forest ~depth_limit nodes =
   match nodes with
   | [] -> []
   | first :: _ ->
-      let level = Entry.level first.entry in
+      let level = Entry.View.level first.view in
       let sort_here =
         match depth_limit with
         | None -> true
@@ -97,35 +102,42 @@ let forest_size nodes =
 (* ---- serialization ---- *)
 
 (* Emit a node's entries in sorted pre-order to an arbitrary sink of
-   encoded entries (a run writer, or the fused output phase). *)
-let rec emit_node ~encode ~packed emit n =
-  emit (encode n.entry);
-  match n.entry with
-  | Entry.Start { level; pos; _ } ->
-      List.iter (emit_node ~encode ~packed emit) n.children;
-      if not packed then emit (encode (Entry.End { level; pos; key = None }))
-  | Entry.Text _ | Entry.Run_ptr _ -> ()
-  | Entry.End _ -> assert false (* nodes are never built from End entries *)
+   encoded entries (a run writer, or the fused output phase).  The stored
+   payloads pass through byte-identical; [scratch] is only used to encode
+   synthesized End entries. *)
+let rec emit_node ~packed scratch emit n =
+  emit (Entry.View.payload n.view);
+  match Entry.View.kind n.view with
+  | Entry.View.Vstart ->
+      List.iter (emit_node ~packed scratch emit) n.children;
+      if not packed then
+        emit
+          (Entry.encode_end_to scratch ~level:(Entry.View.level n.view)
+             ~pos:(Entry.View.pos n.view) ~key:None)
+  | Entry.View.Vtext | Entry.View.Vrun_ptr -> ()
+  | Entry.View.Vend -> assert false (* nodes are never built from End entries *)
 
 (* Pull-based pre-order walk of a sorted forest: an explicit work list
    replaces emit_node's recursion so the sorted entries can feed a
    pipeline stage one at a time. *)
-let forest_pull ~encode ~packed forest =
+let forest_pull ~packed forest =
+  let scratch = Extmem.Codec.Enc.create ~capacity:32 () in
   let work = ref (List.map (fun n -> `Node n) forest) in
   fun () ->
     match !work with
     | [] -> None
     | `End (level, pos) :: rest ->
         work := rest;
-        Some (encode (Entry.End { level; pos; key = None }))
+        Some (Entry.encode_end_to scratch ~level ~pos ~key:None)
     | `Node n :: rest ->
         let rest =
-          match n.entry with
-          | Entry.Start { level; pos; _ } ->
+          match Entry.View.kind n.view with
+          | Entry.View.Vstart ->
+              let level = Entry.View.level n.view and pos = Entry.View.pos n.view in
               let rest = if packed then rest else `End (level, pos) :: rest in
               List.map (fun c -> `Node c) n.children @ rest
-          | Entry.Text _ | Entry.Run_ptr _ -> rest
-          | Entry.End _ -> assert false (* nodes are never built from End entries *)
+          | Entry.View.Vtext | Entry.View.Vrun_ptr -> rest
+          | Entry.View.Vend -> assert false (* nodes are never built from End entries *)
         in
         work := rest;
-        Some (encode n.entry)
+        Some (Entry.View.payload n.view)

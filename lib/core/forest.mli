@@ -1,23 +1,25 @@
 (** The pure in-memory half of a subtree sort (§4.1): forest
-    reconstruction from a flat entry list, sibling sorting, and
+    reconstruction from a flat list of entry views, sibling sorting, and
     sorted-pre-order serialization.
 
-    No session, device or shared state is touched — encoding and the
-    packed/depth-limit configuration arrive as plain arguments — so
-    these functions are safe to run inside worker domains
-    ({!Sort_pool}).  {!Subtree_sort} wraps them with the session's
-    encoder for the single-threaded path. *)
+    Nodes wrap {!Entry.View.t}s, so building and sorting a forest never
+    decodes names, attributes or text, and emission passes the original
+    encoded payloads through byte-identical (End entries synthesized in
+    unpacked mode are the only bytes produced here).  No session, device
+    or shared state is touched, so these functions are safe to run inside
+    worker domains ({!Sort_pool}).  {!Subtree_sort} wraps them for the
+    single-threaded path. *)
 
 type node = {
-  entry : Entry.t;
+  view : Entry.View.t;
   mutable key : Key.t;
   mutable children : node list; (** reversed while building *)
 }
 
-val node_of_entry : Entry.t -> node
+val node_of_view : Entry.View.t -> node
 
-val build_forest : Entry.t list -> node list
-(** Rebuild the sibling forest from entries in document order.  End
+val build_forest : Entry.View.t list -> node list
+(** Rebuild the sibling forest from entry views in document order.  End
     entries resolve their element's key and close it; in packed mode
     (no End entries) elements close when a following entry's level shows
     they ended. *)
@@ -31,11 +33,11 @@ val sort_forest : depth_limit:int option -> node list -> node list
 
 val forest_size : node list -> int
 
-val emit_node : encode:(Entry.t -> string) -> packed:bool -> (string -> unit) -> node -> unit
-(** Emit a node's entries in sorted pre-order, synthesizing End entries
-    unless [packed]. *)
+val emit_node : packed:bool -> Extmem.Codec.Enc.t -> (string -> unit) -> node -> unit
+(** Emit a node's entries in sorted pre-order, passing stored payloads
+    through verbatim and synthesizing End entries (via the scratch
+    encoder) unless [packed]. *)
 
-val forest_pull :
-  encode:(Entry.t -> string) -> packed:bool -> node list -> unit -> string option
+val forest_pull : packed:bool -> node list -> unit -> string option
 (** Pull-based pre-order walk of a sorted forest, for feeding a pipeline
     stage one entry at a time. *)

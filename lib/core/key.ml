@@ -69,9 +69,29 @@ let rec decode c =
       Tuple (ks n [])
   | n -> raise (Extmem.Codec.Corrupt (Printf.sprintf "Key.decode: bad tag %d" n))
 
+let rec encode_enc enc = function
+  | Null -> Extmem.Codec.Enc.add_u8 enc 0
+  | Num f ->
+      Extmem.Codec.Enc.add_u8 enc 1;
+      Extmem.Codec.Enc.add_f64 enc f
+  | Str s ->
+      Extmem.Codec.Enc.add_u8 enc 2;
+      Extmem.Codec.Enc.add_string enc s
+  | Rev k ->
+      Extmem.Codec.Enc.add_u8 enc 3;
+      encode_enc enc k
+  | Tuple ks ->
+      Extmem.Codec.Enc.add_u8 enc 4;
+      Extmem.Codec.Enc.add_varint enc (List.length ks);
+      List.iter (encode_enc enc) ks
+
 let encode_opt buf = function
   | None -> Extmem.Codec.put_u8 buf 255
   | Some k -> encode buf k
+
+let encode_opt_enc enc = function
+  | None -> Extmem.Codec.Enc.add_u8 enc 255
+  | Some k -> encode_enc enc k
 
 let decode_opt c =
   match Extmem.Codec.get_u8 c with
@@ -81,6 +101,62 @@ let decode_opt c =
       c.Extmem.Codec.pos <- c.Extmem.Codec.pos - 1;
       ignore n;
       Some (decode c)
+
+let rec skip c =
+  match Extmem.Codec.get_u8 c with
+  | 0 -> ()
+  | 1 ->
+      Extmem.Codec.need c 8;
+      c.Extmem.Codec.pos <- c.Extmem.Codec.pos + 8
+  | 2 -> Extmem.Codec.skip_string c
+  | 3 -> skip c
+  | 4 ->
+      let n = Extmem.Codec.get_varint c in
+      for _ = 1 to n do
+        skip c
+      done
+  | n -> raise (Extmem.Codec.Corrupt (Printf.sprintf "Key.skip: bad tag %d" n))
+
+let skip_opt c =
+  match Extmem.Codec.get_u8 c with
+  | 255 -> ()
+  | _ ->
+      c.Extmem.Codec.pos <- c.Extmem.Codec.pos - 1;
+      skip c
+
+(* Order two encoded keys directly on the wire bytes, without building the
+   [t] trees.  Same result as [compare (decode ca) (decode cb)].  Tag bytes
+   coincide with constructor ranks, so cross-constructor comparisons reduce
+   to a tag compare.  When the result is 0 both cursors sit just past their
+   keys; on a non-zero result the cursor positions are unspecified (callers
+   stop reading once an order is known). *)
+let rec compare_cursors ca cb =
+  let ta = Extmem.Codec.get_u8 ca and tb = Extmem.Codec.get_u8 cb in
+  if ta <> tb then Stdlib.compare ta tb
+  else
+    match ta with
+    | 0 -> 0
+    | 1 ->
+        let fa = Extmem.Codec.get_f64 ca in
+        let fb = Extmem.Codec.get_f64 cb in
+        Float.compare fa fb
+    | 2 ->
+        let ao, al = Extmem.Codec.get_string_slice ca in
+        let bo, bl = Extmem.Codec.get_string_slice cb in
+        Extmem.Codec.compare_sub ca.Extmem.Codec.buf ao al cb.Extmem.Codec.buf bo bl
+    | 3 -> compare_cursors cb ca
+    | 4 ->
+        let na = Extmem.Codec.get_varint ca in
+        let nb = Extmem.Codec.get_varint cb in
+        let n = if na < nb then na else nb in
+        let rec go i =
+          if i = n then Stdlib.compare na nb
+          else
+            let c = compare_cursors ca cb in
+            if c <> 0 then c else go (i + 1)
+        in
+        go 0
+    | n -> raise (Extmem.Codec.Corrupt (Printf.sprintf "Key.compare_cursors: bad tag %d" n))
 
 let rec pp ppf = function
   | Null -> Format.pp_print_string ppf "<null>"

@@ -35,11 +35,27 @@ val equal : t -> t -> bool
 
 val encode : Buffer.t -> t -> unit
 
+val encode_enc : Extmem.Codec.Enc.t -> t -> unit
+(** Same wire format as {!encode}, into a reusable {!Extmem.Codec.Enc.t}. *)
+
 val decode : Extmem.Codec.cursor -> t
 
 val encode_opt : Buffer.t -> t option -> unit
 
+val encode_opt_enc : Extmem.Codec.Enc.t -> t option -> unit
+
 val decode_opt : Extmem.Codec.cursor -> t option
+
+val skip : Extmem.Codec.cursor -> unit
+(** Advance past one encoded key without building the tree. *)
+
+val skip_opt : Extmem.Codec.cursor -> unit
+(** Advance past one encoded optional key ([255] = [None]). *)
+
+val compare_cursors : Extmem.Codec.cursor -> Extmem.Codec.cursor -> int
+(** Compare two encoded keys in {!compare} order directly on the encoded
+    bytes, allocation-free.  When the result is [0] both cursors end just
+    past their keys; on a non-zero result their positions are unspecified. *)
 
 val pp : Format.formatter -> t -> unit
 

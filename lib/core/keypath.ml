@@ -3,16 +3,22 @@ type component = {
   pos : int;
 }
 
-let encode_record path ~payload =
-  let buf = Buffer.create (64 + String.length payload) in
-  Extmem.Codec.put_varint buf (List.length path);
+let encode_record ?enc path ~payload =
+  let enc =
+    match enc with
+    | Some e ->
+        Extmem.Codec.Enc.clear e;
+        e
+    | None -> Extmem.Codec.Enc.create ~capacity:(64 + String.length payload) ()
+  in
+  Extmem.Codec.Enc.add_varint enc (List.length path);
   List.iter
     (fun { key; pos } ->
-      Key.encode buf key;
-      Extmem.Codec.put_varint buf pos)
+      Key.encode_enc enc key;
+      Extmem.Codec.Enc.add_varint enc pos)
     path;
-  Buffer.add_string buf payload;
-  Buffer.contents buf
+  Extmem.Codec.Enc.add_raw enc payload;
+  Extmem.Codec.Enc.contents enc
 
 let decode_path s =
   let c = Extmem.Codec.cursor s in
@@ -27,23 +33,29 @@ let decode_path s =
   in
   go n []
 
-let decode_payload s =
+let payload_offset s =
   let c = Extmem.Codec.cursor s in
   let n = Extmem.Codec.get_varint c in
   for _ = 1 to n do
-    ignore (Key.decode c);
-    ignore (Extmem.Codec.get_varint c)
+    Key.skip c;
+    Extmem.Codec.skip_varint c
   done;
-  String.sub s c.Extmem.Codec.pos (String.length s - c.Extmem.Codec.pos)
+  c.Extmem.Codec.pos
 
+let decode_payload s =
+  let off = payload_offset s in
+  String.sub s off (String.length s - off)
+
+(* Compared directly on the encoded bytes via [Key.compare_cursors]: no
+   [Key.t] trees are built per comparison, which matters because this runs
+   O(n log n) times inside external merge-sorts. *)
 let compare_encoded a b =
   let ca = Extmem.Codec.cursor a and cb = Extmem.Codec.cursor b in
   let na = Extmem.Codec.get_varint ca and nb = Extmem.Codec.get_varint cb in
   let rec go i =
     if i >= na || i >= nb then compare na nb
     else begin
-      let ka = Key.decode ca and kb = Key.decode cb in
-      let c = Key.compare ka kb in
+      let c = Key.compare_cursors ca cb in
       if c <> 0 then c
       else begin
         let pa = Extmem.Codec.get_varint ca and pb = Extmem.Codec.get_varint cb in

@@ -17,14 +17,19 @@ type component = {
   pos : int;  (** document position of the element contributing [key] *)
 }
 
-val encode_record : component list -> payload:string -> string
+val encode_record : ?enc:Extmem.Codec.Enc.t -> component list -> payload:string -> string
 (** [encode_record path ~payload] serializes a record whose key path is
     [path] (outermost component first) carrying an opaque payload (an
-    encoded {!Entry.t}). *)
+    encoded {!Entry.t}).  [?enc] supplies a reusable scratch encoder; it is
+    cleared first, and the returned string is still freshly allocated. *)
 
 val decode_path : string -> component list
 
 val decode_payload : string -> string
+
+val payload_offset : string -> int
+(** Offset of the opaque payload within an encoded record, letting callers
+    slice it out (or view it in place) without decoding the path. *)
 
 val compare_encoded : string -> string -> int
 (** Lexicographic comparison of the key paths: component-wise by

@@ -34,24 +34,27 @@ let rec scan_evaluable = function
 let all_scan_evaluable t =
   scan_evaluable t.default && List.for_all (fun (_, c) -> scan_evaluable c) t.rules
 
-(* key of a start tag, for scan-evaluable criteria only *)
-let rec key_of_start_criterion criterion name attrs =
+(* key of a start tag, for scan-evaluable criteria only; attribute
+   values come through a lookup function so callers holding packed
+   events need not build an assoc list *)
+let rec key_of_start_criterion criterion name lookup =
   match criterion with
   | Document_order -> Some Key.Null
   | By_tag -> Some (Key.of_string name)
   | By_attr a ->
       Some
-        (match List.assoc_opt a attrs with
+        (match lookup a with
         | Some v -> Key.of_string v
         | None -> Key.Null)
   | By_text | By_path _ -> None
-  | Desc c -> Option.map (fun k -> Key.Rev k) (key_of_start_criterion c name attrs)
+  | Desc c -> Option.map (fun k -> Key.Rev k) (key_of_start_criterion c name lookup)
   | Composite l ->
-      let parts = List.map (fun c -> key_of_start_criterion c name attrs) l in
+      let parts = List.map (fun c -> key_of_start_criterion c name lookup) l in
       if List.for_all Option.is_some parts then Some (Key.Tuple (List.map Option.get parts))
       else None
 
-let key_of_start t name attrs = key_of_start_criterion (criterion_for t name) name attrs
+let key_of_start t name attrs =
+  key_of_start_criterion (criterion_for t name) name (fun a -> List.assoc_opt a attrs)
 
 (* ---- in-memory evaluation (oracle) ---- *)
 
@@ -131,11 +134,11 @@ module Evaluator = struct
   let depth e = List.length e.frames
 
   (* allocate the leaf slots of a criterion, in pre-order *)
-  let slots_of criterion name attrs =
+  let slots_of criterion name lookup =
     let acc = ref [] in
     let rec go = function
       | (By_tag | By_attr _ | Document_order) as c ->
-          acc := Done (Option.get (key_of_start_criterion c name attrs)) :: !acc
+          acc := Done (Option.get (key_of_start_criterion c name lookup)) :: !acc
       | By_text -> acc := Text_acc (Buffer.create 16) :: !acc
       | By_path path ->
           acc :=
@@ -221,12 +224,14 @@ module Evaluator = struct
           frame.slots)
       e.frames
 
-  let on_start e name attrs =
+  let on_start_lookup e name lookup =
     slots_on_start e name;
     let shape = criterion_for e.spec name in
-    let frame = { shape; slots = slots_of shape name attrs } in
+    let frame = { shape; slots = slots_of shape name lookup } in
     e.frames <- frame :: e.frames;
     if all_done frame then Some (assemble frame) else None
+
+  let on_start e name attrs = on_start_lookup e name (fun a -> List.assoc_opt a attrs)
 
   let on_text e s =
     (* direct text feeds the innermost frame's text accumulators *)

@@ -82,6 +82,11 @@ module Evaluator : sig
   val on_start : eval -> string -> Xmlio.Event.attr list -> Key.t option
   (** Open an element.  [Some key] iff its criterion is scan-evaluable. *)
 
+  val on_start_lookup : eval -> string -> (string -> string option) -> Key.t option
+  (** {!on_start} with attribute values supplied by a lookup function —
+      the allocation-free variant for callers holding a packed event
+      ({!Xmlio.Event.packed_attr}) instead of an attr assoc list. *)
+
   val on_text : eval -> string -> unit
   (** Character data inside the innermost open element. *)
 

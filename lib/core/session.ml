@@ -11,6 +11,8 @@ type t = {
   mutable temp_sim_ms : float;
   registry : Obs.Registry.t;
   pool : Sort_pool.t option;
+  enc_scratch : Extmem.Codec.Enc.t;
+      (* main-thread encode scratch; workers carry their own *)
   mutable destroyed : bool;
 }
 
@@ -62,7 +64,7 @@ let create (config : Config.t) =
   let runs = Extmem.Run_store.create (stack_dev "runs") in
   let pool =
     if workers = 0 then None
-    else Some (Sort_pool.create ~config ~dict ~arena ~runs ~workers)
+    else Some (Sort_pool.create ~config ~arena ~runs ~workers)
   in
   (* The input buffer is charged by the scan pipeline stage (see
      [Sorter.scan_source]), not here.  Each stack leases its own window
@@ -90,6 +92,7 @@ let create (config : Config.t) =
       temp_sim_ms = 0.;
       registry = Obs.Registry.create ();
       pool;
+      enc_scratch = Extmem.Codec.Enc.create ~capacity:256 ();
       destroyed = false;
     }
   in
@@ -144,9 +147,11 @@ let with_temp t f =
       Extmem.Device.close dev)
     (fun () -> f dev)
 
-let encode_entry t e = Entry.encode t.config.Config.encoding t.dict e
+let encode_entry t e = Entry.encode_to t.config.Config.encoding t.dict t.enc_scratch e
 
 let decode_entry t s = Entry.decode t.config.Config.encoding t.dict s
+
+let view_entry t s = Entry.View.of_payload t.config.Config.encoding s
 
 let io_breakdown t =
   [

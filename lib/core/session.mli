@@ -37,6 +37,10 @@ type t = {
   pool : Sort_pool.t option;
       (** the worker-domain pool for parallel subtree sorting; [None]
           when [config.jobs = 1] (the single-threaded code path) *)
+  enc_scratch : Extmem.Codec.Enc.t;
+      (** reusable encode scratch for the main thread's record path
+          (entry/record encoding between phases); worker domains carry
+          their own — never share this across domains *)
   mutable destroyed : bool;  (** set by {!destroy} *)
 }
 
@@ -97,9 +101,14 @@ val with_temp : t -> (Extmem.Device.t -> 'a) -> 'a
     reserve the arena. *)
 
 val encode_entry : t -> Entry.t -> string
-(** {!Entry.encode} under the session's encoding and dictionary. *)
+(** {!Entry.encode} under the session's encoding and dictionary (through
+    the session's scratch encoder; main thread only). *)
 
 val decode_entry : t -> string -> Entry.t
+
+val view_entry : t -> string -> Entry.View.t
+(** {!Entry.View.of_payload} under the session's encoding: wrap an
+    encoded entry without decoding names, attributes or text. *)
 
 val io_breakdown : t -> (string * Extmem.Io_stats.t) list
 (** Per-component I/O counters: data/path/output-location stacks, runs

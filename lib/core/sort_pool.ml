@@ -12,9 +12,10 @@
    - Run ids are assigned on the main thread ([Run_store.reserve]) at
      exactly the sequence points where the single-threaded path would
      call [finish_run], so the id order never depends on worker timing.
-   - Workers are pure given their task: every name was interned into
-     the (locked) dictionary when the entry was first encoded onto the
-     data stack, so re-encoding in a worker yields identical bytes.
+   - Workers are pure given their task: they receive already-encoded
+     payloads, sort them as entry views and re-emit the same bytes —
+     no dictionary access, no re-encoding (synthesized End entries are
+     name-free and produced in a worker-private scratch encoder).
    - Each worker writes to its own scratch device and runs are padded
      to whole blocks, so a run's block count — and therefore every I/O
      counter — is determined by its content, not by which device or
@@ -33,7 +34,7 @@
 let slab_blocks = 1
 
 type task =
-  | Sort of { run : Extmem.Run_store.id; entries : Entry.t list }
+  | Sort of { run : Extmem.Run_store.id; payloads : string list }
   | Copy of { run : Extmem.Run_store.id; payloads : string list }
 
 type completion = {
@@ -47,6 +48,7 @@ type worker = {
   sub_arena : Extmem.Frame_arena.t;
   lease : Extmem.Frame_arena.lease;
   buffer : bytes;
+  scratch : Extmem.Codec.Enc.t;  (* worker-private End-entry encoder *)
   tasks_done : int Atomic.t;
   entries_sorted : int Atomic.t;
   mutable domain : unit Domain.t option;
@@ -72,7 +74,6 @@ type t = {
   workers : worker array;
   runs : Extmem.Run_store.t;
   encoding : Config.encoding;
-  dict : Xmlio.Dict.t;
   depth_limit : int option;
   tracer : Obs.Tracer.t;
   (* pre-interned event names; emitting is lock-free *)
@@ -96,12 +97,12 @@ let run_task t w task =
   let writer = Extmem.Block_writer.create ~buffer:w.buffer w.dev in
   let emit = Extmem.Block_writer.write_record writer in
   (match task with
-  | Sort { entries; _ } ->
-      let encode = Entry.encode t.encoding t.dict in
+  | Sort { payloads; _ } ->
       let packed = t.encoding = Config.Packed in
-      let forest = Forest.sort_forest ~depth_limit:t.depth_limit (Forest.build_forest entries) in
-      List.iter (Forest.emit_node ~encode ~packed emit) forest;
-      ignore (Atomic.fetch_and_add w.entries_sorted (List.length entries))
+      let views = List.map (Entry.View.of_payload t.encoding) payloads in
+      let forest = Forest.sort_forest ~depth_limit:t.depth_limit (Forest.build_forest views) in
+      List.iter (Forest.emit_node ~packed w.scratch emit) forest;
+      ignore (Atomic.fetch_and_add w.entries_sorted (List.length payloads))
   | Copy { payloads; _ } ->
       List.iter emit payloads;
       ignore (Atomic.fetch_and_add w.entries_sorted (List.length payloads)));
@@ -139,7 +140,7 @@ let rec worker_loop t w =
     worker_loop t w
   end
 
-let create ~(config : Config.t) ~dict ~arena ~runs ~workers:n =
+let create ~(config : Config.t) ~arena ~runs ~workers:n =
   if n < 1 then invalid_arg "Sort_pool.create: need at least one worker";
   let bs = config.Config.block_size in
   let mk_worker i =
@@ -158,6 +159,7 @@ let create ~(config : Config.t) ~dict ~arena ~runs ~workers:n =
       sub_arena;
       lease;
       buffer;
+      scratch = Extmem.Codec.Enc.create ~capacity:32 ();
       tasks_done = Atomic.make 0;
       entries_sorted = Atomic.make 0;
       domain = None;
@@ -178,7 +180,6 @@ let create ~(config : Config.t) ~dict ~arena ~runs ~workers:n =
       workers = Array.init n mk_worker;
       runs;
       encoding = config.Config.encoding;
-      dict;
       depth_limit = config.Config.depth_limit;
       tracer;
       tr_idle = Obs.Tracer.intern tracer "worker.idle";
@@ -221,7 +222,7 @@ let submit t task =
   Condition.broadcast t.work_ready;
   Mutex.unlock t.lock
 
-let submit_sort t ~run entries = submit t (Sort { run; entries })
+let submit_sort t ~run payloads = submit t (Sort { run; payloads })
 
 let submit_copy t ~run payloads = submit t (Copy { run; payloads })
 

@@ -9,12 +9,12 @@
     The protocol keeping [--jobs N] byte-identical to [--jobs 1]:
     the main thread {!Extmem.Run_store.reserve}s the run id at exactly
     the sequence point where the single-threaded path would register the
-    run, {!submit_sort}s the entries, and {!drain}s the pool before
-    anything reads a worker-written run.  Workers re-encode through the
-    shared (locked) dictionary — every name was already interned when
-    the entry first hit the data stack — and write block-padded runs to
-    private scratch devices, so run bytes and I/O counts are determined
-    by content alone.
+    run, {!submit_sort}s the encoded payloads, and {!drain}s the pool
+    before anything reads a worker-written run.  Workers sort the
+    payloads as entry views and re-emit the same bytes — no dictionary
+    access, no re-encoding — and write block-padded runs to private
+    scratch devices, so run bytes and I/O counts are determined by
+    content alone.
 
     Each worker's memory is a fixed slab ({!slab_blocks}) carved from
     the session arena; {!Session.create} inflates the budget by the
@@ -27,7 +27,6 @@ val slab_blocks : int
 
 val create :
   config:Config.t ->
-  dict:Xmlio.Dict.t ->
   arena:Extmem.Frame_arena.t ->
   runs:Extmem.Run_store.t ->
   workers:int ->
@@ -37,10 +36,11 @@ val create :
 
 val workers : t -> int
 
-val submit_sort : t -> run:Extmem.Run_store.id -> Entry.t list -> unit
-(** Queue an in-memory subtree sort whose result will fill the reserved
-    [run] slot.  Blocks (backpressure) while the queue is full, bounding
-    the transient heap held by queued entry lists. *)
+val submit_sort : t -> run:Extmem.Run_store.id -> string list -> unit
+(** Queue an in-memory subtree sort over already-encoded entry payloads
+    whose result will fill the reserved [run] slot.  Blocks
+    (backpressure) while the queue is full, bounding the transient heap
+    held by queued payload lists. *)
 
 val submit_copy : t -> run:Extmem.Run_store.id -> string list -> unit
 (** Queue a verbatim copy (the depth-limit [d+1] case): already-encoded

@@ -2,6 +2,14 @@ let src = Logs.Src.create "nexsort" ~doc:"NEXSORT sorting and output phases"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+type gc_stats = {
+  gc_minor_words : float;
+  gc_major_words : float;
+  gc_promoted_words : float;
+  gc_minor_collections : int;
+  gc_major_collections : int;
+}
+
 type report = {
   events : int;
   elements : int;
@@ -20,6 +28,7 @@ type report = {
   total_io : Extmem.Io_stats.t;
   simulated_ms : float;
   wall_seconds : float;
+  gc : gc_stats;  (** allocation/collection delta over the whole sort *)
   spans : Obs.Span.t;
   metrics : Obs.Json.t;
   arena : (string * Extmem.Frame_arena.owner_stats) list;
@@ -100,12 +109,22 @@ type state = {
   fuse : bool;
   mutable root : ((unit -> string option) * (unit -> unit)) option;
   spans : Obs.Spans.t;
+  gc0 : Gc.stat;  (* GC counters when the sort opened (quick_stat) *)
+  mw0 : float;  (* Gc.minor_words at open: exact, unlike quick_stat's
+                   minor_words which only refreshes at collections *)
 }
 
 let in_span st name f = Obs.Spans.with_span st.spans name f
 
 let push_data st entry =
   Extmem.Ext_stack.push st.session.Session.data_stack (Session.encode_entry st.session entry)
+
+let push_payload st payload = Extmem.Ext_stack.push st.session.Session.data_stack payload
+
+(* End entries carry no names, so they encode without touching the
+   dictionary — straight through the session scratch encoder *)
+let push_end st ~level ~pos ~key =
+  push_payload st (Entry.encode_end_to st.session.Session.enc_scratch ~level ~pos ~key)
 
 let push_frame st f = Extmem.Ext_stack.push st.session.Session.path_stack (encode_frame f)
 
@@ -117,11 +136,19 @@ let packed st = st.session.Session.config.Config.encoding = Config.Packed
 
 let depth_limit st = st.session.Session.config.Config.depth_limit
 
-(* Entries of the data-stack range [from_, top), decoded. *)
-let collect_entries st ~from_ =
+(* Entries of the data-stack range [from_, top), as views over the
+   stored payloads — names, attributes and text stay encoded. *)
+let collect_views st ~from_ =
   let acc = ref [] in
   Extmem.Ext_stack.iter_entries_from st.session.Session.data_stack ~pos:from_ (fun payload ->
-      acc := Session.decode_entry st.session payload :: !acc);
+      acc := Session.view_entry st.session payload :: !acc);
+  List.rev !acc
+
+(* Same range as raw encoded payloads (for handoff to worker domains). *)
+let collect_payloads st ~from_ =
+  let acc = ref [] in
+  Extmem.Ext_stack.iter_entries_from st.session.Session.data_stack ~pos:from_ (fun payload ->
+      acc := payload :: !acc);
   List.rev !acc
 
 (* ---- graceful degeneration (§3.2) ----
@@ -146,9 +173,9 @@ let maybe_degenerate st =
     let region = Extmem.Ext_stack.length st.session.Session.data_stack - top.children_loc in
     if region >= Session.arena_bytes st.session && region > 0 then begin
       in_span st "fragment_write" @@ fun () ->
-      let entries = collect_entries st ~from_:top.children_loc in
+      let views = collect_views st ~from_:top.children_loc in
       let forest =
-        Subtree_sort.sort_forest ~depth_limit:(depth_limit st) (Subtree_sort.build_forest entries)
+        Subtree_sort.sort_forest ~depth_limit:(depth_limit st) (Subtree_sort.build_forest views)
       in
       let frag = Subtree_sort.write_fragment st.session forest in
       Log.debug (fun m ->
@@ -166,13 +193,13 @@ let external_scan_input st frame =
   let data = st.session.Session.data_stack in
   if st.scan_evaluable then begin
     let cursor = Extmem.Ext_stack.cursor_from data ~pos:frame.loc in
-    (`Forward, fun () -> Option.map (Session.decode_entry st.session) (cursor ()))
+    (`Forward, fun () -> Option.map (Session.view_entry st.session) (cursor ()))
   end
   else
     ( `Reverse,
       fun () ->
         if Extmem.Ext_stack.length data > frame.loc then
-          Some (Session.decode_entry st.session (Extmem.Ext_stack.pop data))
+          Some (Session.view_entry st.session (Extmem.Ext_stack.pop data))
         else None )
 
 (* Sort the complete subtree beginning at [frame.loc] and replace it by a
@@ -186,16 +213,15 @@ let collapse st frame resolved_key =
       st.n_in_memory <- st.n_in_memory + 1;
       Log.debug (fun m ->
           m "collapse: level %d pos %d, %d bytes, in-memory sort" frame.flevel frame.fpos size);
-      let entries = collect_entries st ~from_:frame.loc in
       match st.session.Session.pool with
       | Some pool ->
           (* parallel path: claim the run id here — the same sequence
              point where the single-threaded path registers the run — and
-             hand the pure sort to a worker *)
+             hand the pure sort (over the raw payloads) to a worker *)
           let run = Extmem.Run_store.reserve st.session.Session.runs in
-          Sort_pool.submit_sort pool ~run entries;
+          Sort_pool.submit_sort pool ~run (collect_payloads st ~from_:frame.loc);
           run
-      | None -> Subtree_sort.sort_in_memory st.session entries
+      | None -> Subtree_sort.sort_in_memory st.session (collect_views st ~from_:frame.loc)
     end
     else begin
       st.n_external <- st.n_external + 1;
@@ -228,11 +254,8 @@ let collapse_copy st frame resolved_key =
   let run =
     match st.session.Session.pool with
     | Some pool ->
-        let payloads = ref [] in
-        Extmem.Ext_stack.iter_entries_from data ~pos:frame.loc (fun payload ->
-            payloads := payload :: !payloads);
         let run = Extmem.Run_store.reserve st.session.Session.runs in
-        Sort_pool.submit_copy pool ~run (List.rev !payloads);
+        Sort_pool.submit_copy pool ~run (collect_payloads st ~from_:frame.loc);
         run
     | None ->
         let w = Extmem.Run_store.begin_run st.session.Session.runs in
@@ -255,7 +278,7 @@ let open_root_source st frame =
   let data = st.session.Session.data_stack in
   let result =
     if frame.frags <> [] then begin
-      let tail = collect_entries st ~from_:frame.children_loc in
+      let tail = collect_views st ~from_:frame.children_loc in
       let fragments =
         if tail = [] then frame.frags
         else begin
@@ -266,21 +289,21 @@ let open_root_source st frame =
           frame.frags @ [ Subtree_sort.write_fragment st.session forest ]
         end
       in
-      let start_entry =
+      let start_view =
         match Extmem.Ext_stack.cursor_from data ~pos:frame.loc () with
-        | Some payload -> Session.decode_entry st.session payload
+        | Some payload -> Session.view_entry st.session payload
         | None -> assert false
       in
       st.n_fragment_merges <- st.n_fragment_merges + 1;
-      Subtree_sort.merge_fragments_source st.session ~start_entry ~fragments
+      Subtree_sort.merge_fragments_source st.session ~start_view ~fragments
     end
     else begin
       if not (packed st) then
-        push_data st (Entry.End { level = frame.flevel; pos = frame.fpos; key = Some Key.Null });
+        push_end st ~level:frame.flevel ~pos:frame.fpos ~key:(Some Key.Null);
       let size = Extmem.Ext_stack.length data - frame.loc in
       if size <= Session.arena_bytes st.session then begin
         st.n_in_memory <- st.n_in_memory + 1;
-        ( Subtree_sort.sort_in_memory_source st.session (collect_entries st ~from_:frame.loc),
+        ( Subtree_sort.sort_in_memory_source st.session (collect_views st ~from_:frame.loc),
           ignore )
       end
       else begin
@@ -301,7 +324,7 @@ let collapse_fragments st frame resolved_key =
   in_span st "fragment_merge" @@ fun () ->
   let data = st.session.Session.data_stack in
   let size = Extmem.Ext_stack.length data - frame.loc in
-  let tail = collect_entries st ~from_:frame.children_loc in
+  let tail = collect_views st ~from_:frame.children_loc in
   let fragments =
     if tail = [] then frame.frags
     else begin
@@ -313,26 +336,33 @@ let collapse_fragments st frame resolved_key =
     end
   in
   (* the element's own Start entry is the first entry at frame.loc *)
-  let start_entry =
+  let start_view =
     match Extmem.Ext_stack.cursor_from data ~pos:frame.loc () with
-    | Some payload -> Session.decode_entry st.session payload
+    | Some payload -> Session.view_entry st.session payload
     | None -> assert false
   in
-  let run = Subtree_sort.merge_fragments st.session ~start_entry ~fragments in
+  let run = Subtree_sort.merge_fragments st.session ~start_view ~fragments in
   st.n_fragment_merges <- st.n_fragment_merges + 1;
   st.n_subtree_sorts <- st.n_subtree_sorts + 1;
   Extmem.Ext_stack.truncate_to data frame.loc;
   push_data st
     (Entry.Run_ptr { level = frame.flevel; pos = frame.fpos; key = resolved_key; run; bytes = size })
 
-let on_start st name attrs =
+(* [p] is the parser's reusable scratch: everything needed later is
+   copied out here (the encoded entry, the frame fields). *)
+let on_start st (p : Xmlio.Event.packed) =
   st.level <- st.level + 1;
   st.pos <- st.pos + 1;
   if st.level > st.max_level then st.max_level <- st.level;
   st.n_elements <- st.n_elements + 1;
-  let key = Ordering.Evaluator.on_start st.evaluator name attrs in
+  let key =
+    Ordering.Evaluator.on_start_lookup st.evaluator p.Xmlio.Event.pname
+      (Xmlio.Event.packed_attr p)
+  in
   let loc = Extmem.Ext_stack.length st.session.Session.data_stack in
-  push_data st (Entry.Start { level = st.level; pos = st.pos; name; attrs; key });
+  push_payload st
+    (Entry.encode_start_of_packed st.session.Session.config.Config.encoding
+       st.session.Session.dict st.session.Session.enc_scratch ~level:st.level ~pos:st.pos ~key p);
   push_frame st
     {
       loc;
@@ -348,7 +378,9 @@ let on_text st content =
   st.pos <- st.pos + 1;
   st.n_text <- st.n_text + 1;
   Ordering.Evaluator.on_text st.evaluator content;
-  push_data st (Entry.Text { level = st.level + 1; pos = st.pos; content });
+  push_payload st
+    (Entry.encode_text_to st.session.Session.enc_scratch ~level:(st.level + 1) ~pos:st.pos
+       content);
   maybe_degenerate st
 
 let on_end st =
@@ -365,8 +397,7 @@ let on_end st =
       if frame.frags <> [] then collapse_fragments st frame resolved_key
       else begin
         if not (packed st) then
-          push_data st
-            (Entry.End { level = frame.flevel; pos = frame.fpos; key = Some resolved_key });
+          push_end st ~level:frame.flevel ~pos:frame.fpos ~key:(Some resolved_key);
         let size = Extmem.Ext_stack.length st.session.Session.data_stack - frame.loc in
         let is_root = frame.flevel = 1 in
         let depth_ok =
@@ -474,12 +505,17 @@ let writer_sink output =
 
 (* ---- driver ---- *)
 
-let scan_source ~keep_whitespace input =
+(* The scan pulls the parser's packed scratch through the pipe: each
+   element is consumed (encoded onto the data stack) before the next
+   pull overwrites it, so the shared record is safe here.  With a
+   dictionary (Dict/Packed encodings) the parser interns names as it
+   reads them and the entry encoder writes the ids straight out. *)
+let scan_source ?dict ~keep_whitespace input =
   Pipe.source ~mem:1 ~who:"input scan" (fun () ->
       let parser =
-        Xmlio.Parser.of_reader ~keep_whitespace (Extmem.Block_reader.of_device input)
+        Xmlio.Parser.of_reader ?dict ~keep_whitespace (Extmem.Block_reader.of_device input)
       in
-      ((fun () -> Xmlio.Parser.next parser), ignore))
+      ((fun () -> Xmlio.Parser.next_packed parser), ignore))
 
 (* Scan the input and open the root's sorted entries as a pull stream:
    the shared front end of {!sort_device} and {!open_stream}. *)
@@ -506,18 +542,25 @@ let open_sorted ~session ~config ~ordering ~input ~io_meter ~sim_meter =
       fuse = config.Config.root_fusion;
       root = None;
       spans;
+      gc0 = Gc.quick_stat ();
+      mw0 = Gc.minor_words ();
     }
   in
   Log.info (fun m -> m "sorting phase: %a" Config.pp config);
+  let dict =
+    match config.Config.encoding with
+    | Config.Plain -> None (* plain entries never consult the dictionary *)
+    | Config.Dict | Config.Packed -> Some session.Session.dict
+  in
   in_span st "input_scan" (fun () ->
       Pipe.run ~spans ~budget:session.Session.budget
-        (scan_source ~keep_whitespace:config.Config.keep_whitespace input)
-        (Pipe.fn_sink ~who:"sort scan" (fun e ->
+        (scan_source ?dict ~keep_whitespace:config.Config.keep_whitespace input)
+        (Pipe.fn_sink ~who:"sort scan" (fun (p : Xmlio.Event.packed) ->
              st.n_events <- st.n_events + 1;
-             match e with
-             | Xmlio.Event.Start (name, attrs) -> on_start st name attrs
-             | Xmlio.Event.Text s -> on_text st s
-             | Xmlio.Event.End _ -> on_end st)));
+             match p.Xmlio.Event.pkind with
+             | Xmlio.Event.Pstart -> on_start st p
+             | Xmlio.Event.Ptext -> on_text st p.Xmlio.Event.ptext
+             | Xmlio.Event.Pend -> on_end st)));
   Log.info (fun m ->
       m "scan done: %d events, %d subtree sorts (%d in-memory, %d external), %d fragments"
         st.n_events st.n_subtree_sorts st.n_in_memory st.n_external st.n_fragment_runs);
@@ -553,6 +596,27 @@ let open_sorted ~session ~config ~ordering ~input ~io_meter ~sim_meter =
 
 let build_report (st : state) ~input_io ~output_io ~extra_sim ~t0 =
   let session = st.session in
+  let g1 = Gc.quick_stat () in
+  let gc =
+    {
+      gc_minor_words = Gc.minor_words () -. st.mw0;
+      gc_major_words = g1.Gc.major_words -. st.gc0.Gc.major_words;
+      gc_promoted_words = g1.Gc.promoted_words -. st.gc0.Gc.promoted_words;
+      gc_minor_collections = g1.Gc.minor_collections - st.gc0.Gc.minor_collections;
+      gc_major_collections = g1.Gc.major_collections - st.gc0.Gc.major_collections;
+    }
+  in
+  (* surface the same GC deltas on the trace timeline, so nextrace
+     summaries show allocation pressure next to span self-times *)
+  let tracer = session.Session.config.Config.tracer in
+  if Obs.Tracer.enabled tracer then begin
+    let count name v = Obs.Tracer.counter tracer (Obs.Tracer.intern tracer name) v in
+    count "gc.minor_words" (int_of_float gc.gc_minor_words);
+    count "gc.major_words" (int_of_float gc.gc_major_words);
+    count "gc.promoted_words" (int_of_float gc.gc_promoted_words);
+    count "gc.minor_collections" gc.gc_minor_collections;
+    count "gc.major_collections" gc.gc_major_collections
+  end;
   {
     events = st.n_events;
     elements = st.n_elements;
@@ -572,6 +636,7 @@ let build_report (st : state) ~input_io ~output_io ~extra_sim ~t0 =
       Extmem.Io_stats.add (Extmem.Io_stats.add input_io output_io) (Session.total_io session);
     simulated_ms = Session.simulated_ms session +. extra_sim;
     wall_seconds = Unix.gettimeofday () -. t0;
+    gc;
     spans = Obs.Spans.close st.spans;
     metrics = Obs.Registry.to_json session.Session.registry;
     arena = Extmem.Frame_arena.owners session.Session.arena;
@@ -797,6 +862,21 @@ let metrics_report ?(tool = "nexsort") ~config r =
                         ("io", Obs.Json.io_stats ws.Sort_pool.w_io);
                       ] ))
                 r.workers) );
+       ]);
+  (* allocation behaviour of the whole sort (schema v2): words are OCaml
+     words allocated (minor = all allocation, major includes promotions),
+     the per-event rate is the record path's headline number *)
+  Obs.Report.add rep "gc"
+    (Obs.Json.Obj
+       [
+         ("minor_words", Obs.Json.Float r.gc.gc_minor_words);
+         ("major_words", Obs.Json.Float r.gc.gc_major_words);
+         ("promoted_words", Obs.Json.Float r.gc.gc_promoted_words);
+         ("minor_collections", Obs.Json.Int r.gc.gc_minor_collections);
+         ("major_collections", Obs.Json.Int r.gc.gc_major_collections);
+         ( "minor_words_per_event",
+           Obs.Json.Float
+             (if r.events = 0 then 0. else r.gc.gc_minor_words /. float_of_int r.events) );
        ]);
   Obs.Report.add rep "phases" (Obs.Span.to_json r.spans);
   Obs.Report.add rep "metrics" r.metrics;

@@ -25,6 +25,16 @@
     subtree-derived ordering criteria evaluated in a single pass during
     the scan. *)
 
+type gc_stats = {
+  gc_minor_words : float;      (** words allocated on the minor heap *)
+  gc_major_words : float;      (** words allocated on/promoted to the major heap *)
+  gc_promoted_words : float;
+  gc_minor_collections : int;
+  gc_major_collections : int;
+}
+(** GC-counter delta ({!Gc.quick_stat}) between opening the sort and
+    building its report: the allocation cost of the whole record path. *)
+
 type report = {
   events : int;           (** parser events consumed, the model's [N] *)
   elements : int;         (** element count *)
@@ -46,6 +56,7 @@ type report = {
       (** simulated I/O time (session + input + output devices) when cost
           layers are attached; [0.] otherwise *)
   wall_seconds : float;
+  gc : gc_stats;
   spans : Obs.Span.t;
       (** phase span tree rooted at ["sort"]: [input_scan] (with nested
           [subtree_sorts] / [fragment_write] / [fragment_merge] /
@@ -116,5 +127,6 @@ val metrics_report : ?tool:string -> config:Config.t -> report -> Obs.Report.t
     [input] / [subtree_sorts] / [stack_paging] / [runs] / [output] — plus
     [total] and the raw per-component stats), [pager] (cache totals over
     the session arena; zero for the streaming NEXSORT pipeline), [arena]
-    (per-owner frame accounting), [phases] (the span tree), [metrics]
-    (registry dump) and [timing].  [tool] defaults to ["nexsort"]. *)
+    (per-owner frame accounting), [gc] (allocation words/collections over
+    the sort, schema v2), [phases] (the span tree), [metrics] (registry
+    dump) and [timing].  [tool] defaults to ["nexsort"]. *)

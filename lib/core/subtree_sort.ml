@@ -1,8 +1,12 @@
 (* The forest machinery itself is the pure [Forest] module (shared with
-   the worker pool); this module binds it to a session's encoder. *)
+   the worker pool); this module binds it to a session.  Entries travel
+   through as [Entry.View.t]s over their original encoded payloads: sorts
+   and merges never decode names, attributes or text, and emitted bytes
+   are the input bytes (End entries synthesized from level transitions
+   are the only encoding done here). *)
 
 type node = Forest.node = {
-  entry : Entry.t;
+  view : Entry.View.t;
   mutable key : Key.t;
   mutable children : node list; (* reversed while building *)
 }
@@ -15,26 +19,25 @@ let forest_size = Forest.forest_size
 
 let packed (session : Session.t) = session.Session.config.Config.encoding = Config.Packed
 
-let emit_node session emit n =
-  Forest.emit_node ~encode:(Session.encode_entry session) ~packed:(packed session) emit n
+let emit_node (session : Session.t) emit n =
+  Forest.emit_node ~packed:(packed session) session.Session.enc_scratch emit n
 
 let write_node session w n = emit_node session (Extmem.Block_writer.write_record w) n
 
-let forest_pull session forest =
-  Forest.forest_pull ~encode:(Session.encode_entry session) ~packed:(packed session) forest
+let forest_pull session forest = Forest.forest_pull ~packed:(packed session) forest
 
-let sort_in_memory_source (session : Session.t) entries =
+let sort_in_memory_source (session : Session.t) views =
   let depth_limit = session.Session.config.Config.depth_limit in
-  forest_pull session (sort_forest ~depth_limit (build_forest entries))
+  forest_pull session (sort_forest ~depth_limit (build_forest views))
 
-let sort_in_memory_to (session : Session.t) entries emit =
+let sort_in_memory_to (session : Session.t) views emit =
   let depth_limit = session.Session.config.Config.depth_limit in
-  let forest = sort_forest ~depth_limit (build_forest entries) in
+  let forest = sort_forest ~depth_limit (build_forest views) in
   List.iter (emit_node session emit) forest
 
-let sort_in_memory (session : Session.t) entries =
+let sort_in_memory (session : Session.t) views =
   let w = Extmem.Run_store.begin_run session.Session.runs in
-  sort_in_memory_to session entries (Extmem.Block_writer.write_record w);
+  sort_in_memory_to session views (Extmem.Block_writer.write_record w);
   Extmem.Run_store.finish_run session.Session.runs w
 
 (* ---- key-path external sort ---- *)
@@ -42,17 +45,19 @@ let sort_in_memory (session : Session.t) entries =
 (* The component an entry contributes to key paths: its resolved key and
    position, with the key suppressed below the depth limit so deeper
    levels keep document order. *)
-let component ~depth_limit key e =
+let component ~depth_limit key v =
   let key =
     match depth_limit with
-    | Some d when Entry.level e > d + 1 -> Key.Null
+    | Some d when Entry.View.level v > d + 1 -> Key.Null
     | Some _ | None -> key
   in
-  { Keypath.key; pos = Entry.pos e }
+  { Keypath.key; pos = Entry.View.pos v }
 
-(* Pull-stream of encoded key-path records from an entry stream in
-   document order.  Keys must be on Start entries (scan-evaluable). *)
-let forward_records session ~depth_limit input =
+(* Pull-stream of encoded key-path records from an entry-view stream in
+   document order.  Keys must be on Start entries (scan-evaluable).  The
+   view's payload rides along verbatim as the record payload. *)
+let forward_records (session : Session.t) ~depth_limit input =
+  let enc = session.Session.enc_scratch in
   let stack = ref [] in (* (level, component), innermost first *)
   let pop_to level =
     let rec go () =
@@ -68,56 +73,67 @@ let forward_records session ~depth_limit input =
   let rec next () =
     match input () with
     | None -> None
-    | Some (Entry.End { level; _ }) ->
-        pop_to level;
-        next ()
-    | Some e ->
-        let level = Entry.level e in
-        pop_to level;
-        let own = component ~depth_limit (Entry.sibling_key e) e in
-        let record =
-          Keypath.encode_record (path_of own) ~payload:(Session.encode_entry session e)
-        in
-        (match e with
-        | Entry.Start _ -> stack := (level, own) :: !stack
-        | Entry.Text _ | Entry.Run_ptr _ | Entry.End _ -> ());
-        Some record
+    | Some v -> (
+        match Entry.View.kind v with
+        | Entry.View.Vend ->
+            pop_to (Entry.View.level v);
+            next ()
+        | kind ->
+            let level = Entry.View.level v in
+            pop_to level;
+            let own = component ~depth_limit (Entry.View.sibling_key v) v in
+            let record =
+              Keypath.encode_record ~enc (path_of own) ~payload:(Entry.View.payload v)
+            in
+            (match kind with
+            | Entry.View.Vstart -> stack := (level, own) :: !stack
+            | Entry.View.Vtext | Entry.View.Vrun_ptr | Entry.View.Vend -> ());
+            Some record)
   in
   next
 
 (* Same, for entries arriving in reverse document order (popped from the
    data stack).  End entries precede their subtrees here and carry the
    element keys. *)
-let reverse_records session ~depth_limit input =
+let reverse_records (session : Session.t) ~depth_limit input =
+  let enc = session.Session.enc_scratch in
   let stack = ref [] in (* components, innermost first *)
   let rec next () =
     match input () with
     | None -> None
-    | Some (Entry.End { key; _ } as e) ->
-        let k = Option.value key ~default:Key.Null in
-        stack := component ~depth_limit k e :: !stack;
-        next ()
-    | Some (Entry.Start { key; _ } as e) ->
-        (* own component is the stack top when an End was seen (it carries
-           the authoritative key); synthesize it otherwise (packed) *)
-        let path =
-          match !stack with
-          | _ :: _ -> List.rev !stack
-          | [] -> [ component ~depth_limit (Option.value key ~default:Key.Null) e ]
-        in
-        let record = Keypath.encode_record path ~payload:(Session.encode_entry session e) in
-        (match !stack with
-        | _ :: rest -> stack := rest
-        | [] -> ());
-        Some record
-    | Some e ->
-        let own = component ~depth_limit (Entry.sibling_key e) e in
-        let record =
-          Keypath.encode_record
-            (List.rev !stack @ [ own ])
-            ~payload:(Session.encode_entry session e)
-        in
-        Some record
+    | Some v -> (
+        match Entry.View.kind v with
+        | Entry.View.Vend ->
+            let k = Option.value (Entry.View.end_key v) ~default:Key.Null in
+            stack := component ~depth_limit k v :: !stack;
+            next ()
+        | Entry.View.Vstart ->
+            (* own component is the stack top when an End was seen (it
+               carries the authoritative key); synthesize it otherwise
+               (packed) *)
+            let path =
+              match !stack with
+              | _ :: _ -> List.rev !stack
+              | [] ->
+                  [
+                    component ~depth_limit
+                      (Option.value (Entry.View.start_key v) ~default:Key.Null)
+                      v;
+                  ]
+            in
+            let record = Keypath.encode_record ~enc path ~payload:(Entry.View.payload v) in
+            (match !stack with
+            | _ :: rest -> stack := rest
+            | [] -> ());
+            Some record
+        | Entry.View.Vtext | Entry.View.Vrun_ptr ->
+            let own = component ~depth_limit (Entry.View.sibling_key v) v in
+            let record =
+              Keypath.encode_record ~enc
+                (List.rev !stack @ [ own ])
+                ~payload:(Entry.View.payload v)
+            in
+            Some record)
   in
   next
 
@@ -128,15 +144,17 @@ let sort_external_to (session : Session.t) ~input ~scan emit =
     | `Forward -> forward_records session ~depth_limit input
     | `Reverse -> reverse_records session ~depth_limit input
   in
-  (* reconstruction: emit sorted entries, synthesizing End entries from
-     level transitions (the open-tag stack is O(height) internal state) *)
+  (* reconstruction: emit sorted payloads verbatim, synthesizing End
+     entries from level transitions (the open-tag stack is O(height)
+     internal state) *)
+  let encoding = session.Session.config.Config.encoding in
   let opens = ref [] in (* (level, pos) of open Start entries *)
   let close_down_to level =
     if not (packed session) then
       let rec go () =
         match !opens with
         | (l, pos) :: rest when l >= level ->
-            emit (Session.encode_entry session (Entry.End { level = l; pos; key = None }));
+            emit (Entry.encode_end_to session.Session.enc_scratch ~level:l ~pos ~key:None);
             opens := rest;
             go ()
         | _ -> ()
@@ -146,12 +164,13 @@ let sort_external_to (session : Session.t) ~input ~scan emit =
       opens := List.filter (fun (l, _) -> l < level) !opens
   in
   let output record =
-    let e = Session.decode_entry session (Keypath.decode_payload record) in
-    close_down_to (Entry.level e);
-    emit (Session.encode_entry session e);
-    match e with
-    | Entry.Start { level; pos; _ } -> opens := (level, pos) :: !opens
-    | Entry.Text _ | Entry.Run_ptr _ | Entry.End _ -> ()
+    let payload = Keypath.decode_payload record in
+    let v = Entry.View.of_payload encoding payload in
+    close_down_to (Entry.View.level v);
+    emit payload;
+    match Entry.View.kind v with
+    | Entry.View.Vstart -> opens := (Entry.View.level v, Entry.View.pos v) :: !opens
+    | Entry.View.Vtext | Entry.View.Vrun_ptr | Entry.View.Vend -> ()
   in
   let stats =
     try
@@ -217,6 +236,7 @@ let sort_external_source (session : Session.t) ~input ~scan =
       retire ();
       raise e
   in
+  let encoding = session.Session.config.Config.encoding in
   let opens = ref [] in (* (level, pos) of open Start entries *)
   let pending = Queue.create () in (* encoded entries ready to emit *)
   let close_down_to level =
@@ -225,7 +245,7 @@ let sort_external_source (session : Session.t) ~input ~scan =
         match !opens with
         | (l, pos) :: rest when l >= level ->
             Queue.push
-              (Session.encode_entry session (Entry.End { level = l; pos; key = None }))
+              (Entry.encode_end_to session.Session.enc_scratch ~level:l ~pos ~key:None)
               pending;
             opens := rest;
             go ()
@@ -241,12 +261,13 @@ let sort_external_source (session : Session.t) ~input ~scan =
     else
       match o.Extsort.External_sort.pull () with
       | Some record ->
-          let e = Session.decode_entry session (Keypath.decode_payload record) in
-          close_down_to (Entry.level e);
-          Queue.push (Session.encode_entry session e) pending;
-          (match e with
-          | Entry.Start { level; pos; _ } -> opens := (level, pos) :: !opens
-          | Entry.Text _ | Entry.Run_ptr _ | Entry.End _ -> ());
+          let payload = Keypath.decode_payload record in
+          let v = Entry.View.of_payload encoding payload in
+          close_down_to (Entry.View.level v);
+          Queue.push payload pending;
+          (match Entry.View.kind v with
+          | Entry.View.Vstart -> opens := (Entry.View.level v, Entry.View.pos v) :: !opens
+          | Entry.View.Vtext | Entry.View.Vrun_ptr | Entry.View.Vend -> ());
           pull ()
       | None ->
           finished := true;
@@ -286,13 +307,14 @@ let write_fragment (session : Session.t) nodes =
      carry Null keys so the merge falls back to the position tiebreak *)
   let header_key n =
     match depth_limit with
-    | Some d when Entry.level n.entry > d + 1 -> Key.Null
+    | Some d when Entry.View.level n.view > d + 1 -> Key.Null
     | Some _ | None -> n.key
   in
   let w = Extmem.Run_store.begin_run session.Session.runs in
   List.iter
     (fun n ->
-      Extmem.Block_writer.write_record w (encode_header (header_key n) (Entry.pos n.entry));
+      Extmem.Block_writer.write_record w
+        (encode_header (header_key n) (Entry.View.pos n.view));
       write_node session w n)
     nodes;
   Extmem.Run_store.finish_run session.Session.runs w
@@ -416,15 +438,16 @@ let rec reduce_fragments session fragments =
     reduce_fragments session next
   end
 
-(* the wrapped, merged element; fragments must already fit the fan-in *)
-let merged_pull session ~start_entry ~fragments =
+(* the wrapped, merged element; fragments must already fit the fan-in.
+   [start_view]'s payload passes through verbatim. *)
+let merged_pull session ~start_view ~fragments =
   let inner = fragment_batch_pull session ~keep_headers:false ~fragments in
   let st = ref `Start in
   let rec pull () =
     match !st with
     | `Start ->
         st := `Body;
-        Some (Session.encode_entry session start_entry)
+        Some (Entry.View.payload start_view)
     | `Body -> (
         match inner () with
         | Some r -> Some r
@@ -433,15 +456,19 @@ let merged_pull session ~start_entry ~fragments =
             pull ())
     | `Tail -> (
         st := `Done;
-        match start_entry with
-        | Entry.Start { level; pos; _ } when not (packed session) ->
-            Some (Session.encode_entry session (Entry.End { level; pos; key = None }))
-        | Entry.Start _ | Entry.End _ | Entry.Text _ | Entry.Run_ptr _ -> None)
+        match Entry.View.kind start_view with
+        | Entry.View.Vstart when not (packed session) ->
+            Some
+              (Entry.encode_end_to session.Session.enc_scratch
+                 ~level:(Entry.View.level start_view) ~pos:(Entry.View.pos start_view)
+                 ~key:None)
+        | Entry.View.Vstart | Entry.View.Vend | Entry.View.Vtext | Entry.View.Vrun_ptr ->
+            None)
     | `Done -> None
   in
   pull
 
-let merge_fragments_source (session : Session.t) ~start_entry ~fragments =
+let merge_fragments_source (session : Session.t) ~start_view ~fragments =
   (* reduce first: intermediate merge passes open their own runs *)
   let fragments = reduce_fragments session fragments in
   let held = reserve_clamped session ~who:"fragment merge fan-in" (List.length fragments) in
@@ -452,7 +479,7 @@ let merge_fragments_source (session : Session.t) ~start_entry ~fragments =
       Extmem.Memory_budget.release session.Session.budget ~who:"fragment merge fan-in" held
     end
   in
-  let inner = merged_pull session ~start_entry ~fragments in
+  let inner = merged_pull session ~start_view ~fragments in
   let pull () =
     match inner () with
     | Some r -> Some r
@@ -472,12 +499,12 @@ let drain_into pull emit =
   in
   go ()
 
-let merge_fragments_to (session : Session.t) ~start_entry ~fragments emit =
-  let pull, close = merge_fragments_source session ~start_entry ~fragments in
+let merge_fragments_to (session : Session.t) ~start_view ~fragments emit =
+  let pull, close = merge_fragments_source session ~start_view ~fragments in
   Fun.protect ~finally:close (fun () -> drain_into pull emit)
 
-let merge_fragments (session : Session.t) ~start_entry ~fragments =
-  let pull, close = merge_fragments_source session ~start_entry ~fragments in
+let merge_fragments (session : Session.t) ~start_view ~fragments =
+  let pull, close = merge_fragments_source session ~start_view ~fragments in
   Fun.protect ~finally:close (fun () ->
       let w = Extmem.Run_store.begin_run session.Session.runs in
       drain_into pull (Extmem.Block_writer.write_record w);

@@ -7,6 +7,12 @@
     {!Keypath} records, sorts them with {!Extsort.External_sort}, and
     reconstructs the run from the sorted record stream.
 
+    Entries arrive and travel as {!Entry.View.t}s over their original
+    encoded payloads: the sorts read levels, positions and keys off the
+    encoded bytes and re-emit the payloads verbatim — names, attributes
+    and text are never decoded, and nothing is re-encoded (synthesized
+    End entries excepted).
+
     The module also implements the incomplete sorted runs of the
     graceful-degeneration extension (§3.2): a {e fragment} is a sorted
     run holding a sorted subsequence of one element's children, each
@@ -18,12 +24,12 @@
     element at level L is sorted only when L <= d (root = level 1). *)
 
 type node = Forest.node = {
-  entry : Entry.t;          (** [Start], [Text] or [Run_ptr] — never [End] *)
+  view : Entry.View.t;      (** [Vstart], [Vtext] or [Vrun_ptr] — never [Vend] *)
   mutable key : Key.t;      (** resolved sibling key *)
   mutable children : node list;
 }
 
-val build_forest : Entry.t list -> node list
+val build_forest : Entry.View.t list -> node list
 (** Rebuild the forest structure of an entry sequence (document order,
     levels consistent).  [End] entries close elements and contribute
     their keys; in their absence ({!Config.Packed}) nesting is recovered
@@ -37,22 +43,22 @@ val sort_forest : depth_limit:int option -> node list -> node list
 val forest_size : node list -> int
 (** Total node count (for reporting). *)
 
-val sort_in_memory : Session.t -> Entry.t list -> Extmem.Run_store.id
+val sort_in_memory : Session.t -> Entry.View.t list -> Extmem.Run_store.id
 (** Internal-memory recursive sort of a complete subtree (first entry =
     its root's [Start]); writes and registers the sorted run. *)
 
-val sort_in_memory_to : Session.t -> Entry.t list -> (string -> unit) -> unit
+val sort_in_memory_to : Session.t -> Entry.View.t list -> (string -> unit) -> unit
 (** Like {!sort_in_memory} but streaming the encoded entries to an
     arbitrary sink instead of a run. *)
 
-val sort_in_memory_source : Session.t -> Entry.t list -> unit -> string option
+val sort_in_memory_source : Session.t -> Entry.View.t list -> unit -> string option
 (** Pull-stream variant for pipeline fusion: sorts eagerly (the forest
     is in memory anyway), then yields the encoded entries of the sorted
     pre-order walk one at a time. *)
 
 val sort_external :
   Session.t ->
-  input:(unit -> Entry.t option) ->
+  input:(unit -> Entry.View.t option) ->
   scan:[ `Forward | `Reverse ] ->
   Extmem.Run_store.id * Extsort.External_sort.stats
 (** Key-path external merge sort of a subtree too large for memory.
@@ -64,7 +70,7 @@ val sort_external :
 
 val sort_external_to :
   Session.t ->
-  input:(unit -> Entry.t option) ->
+  input:(unit -> Entry.View.t option) ->
   scan:[ `Forward | `Reverse ] ->
   (string -> unit) ->
   Extsort.External_sort.stats
@@ -80,7 +86,7 @@ type streamed = {
 
 val sort_external_source :
   Session.t ->
-  input:(unit -> Entry.t option) ->
+  input:(unit -> Entry.View.t option) ->
   scan:[ `Forward | `Reverse ] ->
   streamed
 (** Pull-stream variant of {!sort_external_to} for pipeline fusion: run
@@ -97,7 +103,7 @@ val write_fragment : Session.t -> node list -> Extmem.Run_store.id
 
 val merge_fragments :
   Session.t ->
-  start_entry:Entry.t ->
+  start_view:Entry.View.t ->
   fragments:Extmem.Run_store.id list ->
   Extmem.Run_store.id
 (** Merge an element's fragment runs (in creation order) into its
@@ -107,7 +113,7 @@ val merge_fragments :
 
 val merge_fragments_to :
   Session.t ->
-  start_entry:Entry.t ->
+  start_view:Entry.View.t ->
   fragments:Extmem.Run_store.id list ->
   (string -> unit) ->
   unit
@@ -115,7 +121,7 @@ val merge_fragments_to :
 
 val merge_fragments_source :
   Session.t ->
-  start_entry:Entry.t ->
+  start_view:Entry.View.t ->
   fragments:Extmem.Run_store.id list ->
   (unit -> string option) * (unit -> unit)
 (** Pull-stream variant for pipeline fusion: reduces the fragments to

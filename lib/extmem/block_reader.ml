@@ -72,14 +72,18 @@ let read_bytes r dst off len =
 let read_record r =
   if at_end r then None
   else begin
-    (* varint length *)
+    (* varint length, read byte-at-a-time without boxing an option *)
+    let byte () =
+      if at_end r then raise (Codec.Corrupt "Block_reader.read_record: truncated length");
+      ensure_block r;
+      let b = Char.code (Bytes.unsafe_get r.buf (r.pos mod Bytes.length r.buf)) in
+      r.pos <- r.pos + 1;
+      b
+    in
     let rec len shift acc =
-      match read_char r with
-      | None -> raise (Codec.Corrupt "Block_reader.read_record: truncated length")
-      | Some c ->
-          let b = Char.code c in
-          let acc = acc lor ((b land 0x7f) lsl shift) in
-          if b land 0x80 = 0 then acc else len (shift + 7) acc
+      let b = byte () in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then acc else len (shift + 7) acc
     in
     let n = len 0 0 in
     let payload = Bytes.create n in

@@ -5,7 +5,7 @@ type t = {
   mutable fill : int;      (* valid bytes in buf *)
   mutable blocks : int;    (* full blocks already written *)
   mutable closed : bool;
-  scratch : Buffer.t;      (* for record framing *)
+  scratch : bytes;         (* record-framing varint, <= 10 bytes *)
 }
 
 let create ?buffer dev =
@@ -25,7 +25,7 @@ let create ?buffer dev =
     fill = 0;
     blocks = 0;
     closed = false;
-    scratch = Buffer.create 64;
+    scratch = Bytes.create 10;
   }
 
 let check_open w = if w.closed then invalid_arg "Block_writer: already closed"
@@ -60,9 +60,17 @@ let write_char w c =
   if w.fill = Bytes.length w.buf then flush_block w
 
 let write_record w payload =
-  Buffer.clear w.scratch;
-  Codec.put_varint w.scratch (String.length payload);
-  write_string w (Buffer.contents w.scratch);
+  (* frame the length straight into the fixed scratch: no Buffer, no
+     intermediate string *)
+  let v = ref (String.length payload) in
+  let i = ref 0 in
+  while !v >= 0x80 do
+    Bytes.unsafe_set w.scratch !i (Char.unsafe_chr (0x80 lor (!v land 0x7f)));
+    incr i;
+    v := !v lsr 7
+  done;
+  Bytes.unsafe_set w.scratch !i (Char.unsafe_chr !v);
+  write_bytes w w.scratch 0 (!i + 1);
   write_string w payload
 
 let bytes_written w = (w.blocks * Bytes.length w.buf) + w.fill

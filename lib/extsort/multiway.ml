@@ -1,29 +1,37 @@
 let default_who k = Printf.sprintf "%d-way merge" k
 
+(* The heap stores stream indices (unboxed); each stream's head record
+   lives in [cur], so no (record, index) pair is allocated per step. *)
 let make_heap ~cmp ~inputs =
-  let less (ra, ia) (rb, ib) =
-    let c = cmp ra rb in
-    if c <> 0 then c < 0 else ia < ib
+  let k = Array.length inputs in
+  let cur = Array.make k "" in
+  let less i j =
+    let c = cmp cur.(i) cur.(j) in
+    if c <> 0 then c < 0 else i < j
   in
   let h = Heap.create ~less in
   Array.iteri
     (fun i next ->
       match next () with
-      | Some r -> Heap.push h (r, i)
+      | Some r ->
+          cur.(i) <- r;
+          Heap.push h i
       | None -> ())
     inputs;
-  h
+  (h, cur)
 
 let merge ?arena ?who ~cmp ~inputs ~output () =
   let k = Array.length inputs in
   let who = match who with Some w -> w | None -> default_who k in
   let body () =
-    let h = make_heap ~cmp ~inputs in
+    let h, cur = make_heap ~cmp ~inputs in
     while not (Heap.is_empty h) do
-      let r, i = Heap.pop h in
-      output r;
+      let i = Heap.pop h in
+      output cur.(i);
       match inputs.(i) () with
-      | Some r' -> Heap.push h (r', i)
+      | Some r' ->
+          cur.(i) <- r';
+          Heap.push h i
       | None -> ()
     done
   in
@@ -46,16 +54,19 @@ let merge_pull ?arena ?lease ?who ~cmp ~inputs () =
   let release () =
     match lease with Some l -> Extmem.Frame_arena.close_lease l | None -> ()
   in
-  let h = make_heap ~cmp ~inputs in
+  let h, cur = make_heap ~cmp ~inputs in
   let pull () =
     if Heap.is_empty h then begin
       release ();
       None
     end
     else begin
-      let r, i = Heap.pop h in
+      let i = Heap.pop h in
+      let r = cur.(i) in
       (match inputs.(i) () with
-      | Some r' -> Heap.push h (r', i)
+      | Some r' ->
+          cur.(i) <- r';
+          Heap.push h i
       | None -> ());
       Some r
     end

@@ -1047,7 +1047,9 @@ module Probe = struct
 end
 
 module Report = struct
-  let schema_version = 1
+  (* v2: run reports gained the "gc" section (allocation words and
+     collection counts over the run) *)
+  let schema_version = 2
 
   type t = {
     tool : string;

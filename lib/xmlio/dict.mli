@@ -13,6 +13,12 @@ val create : unit -> t
 val intern : t -> string -> int
 (** The id of [s], assigning the next free id on first sight. *)
 
+val intern_bytes : t -> bytes -> int -> int -> int * string
+(** [intern_bytes d b off len] interns the byte range [b.[off..off+len)],
+    returning its id and the canonical (shared) string.  Allocates only on
+    first occurrence — the hot path for a parser resolving names straight
+    out of its scratch buffer. *)
+
 val find : t -> string -> int option
 (** The id of [s] if already interned. *)
 

@@ -2,18 +2,28 @@ exception Error of { line : int; col : int; msg : string }
 
 type t = {
   source : unit -> char option;
+  dict : Dict.t option;               (* when set, names are interned as read *)
   mutable ahead : char option option; (* one-char lookahead; None = empty *)
   mutable line : int;
   mutable col : int;
   mutable stack : string list;        (* open elements, innermost first *)
-  mutable pending : Event.t list;     (* queued events (empty-element tags) *)
+  packed : Event.packed;              (* the one event scratch, filled in place *)
+  (* Deferred work for the next [produce]: at most one of these is set.
+     Tag parses are deferred (not buffered) when a text run precedes the
+     tag, so the scratch can carry the text out first. *)
+  mutable pending_start_tag : bool;   (* '<' + name-start consumed the peek *)
+  mutable pending_end_tag : bool;     (* "</" consumed *)
+  mutable pending_end : string option; (* queued End (empty-element tags) *)
   mutable peeked : Event.t option option;
   mutable root_seen : bool;
   mutable finished : bool;
   mutable doctype_subset : string option;
   keep_ws : bool;
-  buf : Buffer.t;
-  buf2 : Buffer.t;
+  buf : Buffer.t;                     (* text accumulator *)
+  buf2 : Buffer.t;                    (* entity references *)
+  abuf : Buffer.t;                    (* attribute values *)
+  mutable nbuf : Bytes.t;             (* name scratch *)
+  mutable nlen : int;
 }
 
 let fail p fmt =
@@ -39,15 +49,19 @@ let normalize_newlines source =
   in
   next
 
-let of_fn ?(keep_whitespace = false) source =
+let of_fn ?dict ?(keep_whitespace = false) source =
   let source = normalize_newlines source in
   {
     source;
+    dict;
     ahead = None;
     line = 1;
     col = 1;
     stack = [];
-    pending = [];
+    packed = Event.packed_create ();
+    pending_start_tag = false;
+    pending_end_tag = false;
+    pending_end = None;
     peeked = None;
     root_seen = false;
     finished = false;
@@ -55,9 +69,12 @@ let of_fn ?(keep_whitespace = false) source =
     keep_ws = keep_whitespace;
     buf = Buffer.create 256;
     buf2 = Buffer.create 64;
+    abuf = Buffer.create 64;
+    nbuf = Bytes.create 64;
+    nlen = 0;
   }
 
-let of_string ?keep_whitespace s =
+let of_string ?dict ?keep_whitespace s =
   let pos = ref 0 in
   let read () =
     if !pos >= String.length s then None
@@ -67,9 +84,10 @@ let of_string ?keep_whitespace s =
       Some c
     end
   in
-  of_fn ?keep_whitespace read
+  of_fn ?dict ?keep_whitespace read
 
-let of_reader ?keep_whitespace r = of_fn ?keep_whitespace (fun () -> Extmem.Block_reader.read_char r)
+let of_reader ?dict ?keep_whitespace r =
+  of_fn ?dict ?keep_whitespace (fun () -> Extmem.Block_reader.read_char r)
 
 let line p = p.line
 
@@ -131,22 +149,51 @@ let is_name_char c =
   | '0' .. '9' | '-' | '.' -> true
   | _ -> false
 
-let read_name p =
-  Buffer.clear p.buf2;
+(* Read a name into [p.nbuf]/[p.nlen] without materializing a string. *)
+let read_name_raw p =
+  p.nlen <- 0;
+  let add c =
+    if p.nlen >= Bytes.length p.nbuf then begin
+      let b = Bytes.create (Bytes.length p.nbuf * 2) in
+      Bytes.blit p.nbuf 0 b 0 p.nlen;
+      p.nbuf <- b
+    end;
+    Bytes.unsafe_set p.nbuf p.nlen c;
+    p.nlen <- p.nlen + 1
+  in
   (match read_char p with
-  | Some c when is_name_start c -> Buffer.add_char p.buf2 c
+  | Some c when is_name_start c -> add c
   | Some c -> fail p "invalid name start character %C" c
   | None -> fail p "name expected, found end of input");
   let rec go () =
     match peek_char p with
     | Some c when is_name_char c ->
         ignore (read_char p);
-        Buffer.add_char p.buf2 c;
+        add c;
         go ()
     | Some _ | None -> ()
   in
-  go ();
-  Buffer.contents p.buf2
+  go ()
+
+let name_string p = Bytes.sub_string p.nbuf 0 p.nlen
+
+(* The name just read, as [(canonical_string, dict_id)].  With a dict the
+   canonical copy is shared and nothing is allocated for known names;
+   without one a fresh string is built and the id is [-1]. *)
+let resolve_name p =
+  match p.dict with
+  | Some d ->
+      let id, s = Dict.intern_bytes d p.nbuf 0 p.nlen in
+      (s, id)
+  | None -> (name_string p, -1)
+
+let name_equals p s =
+  String.length s = p.nlen
+  &&
+  let rec go i =
+    i = p.nlen || (Char.equal (String.unsafe_get s i) (Bytes.unsafe_get p.nbuf i) && go (i + 1))
+  in
+  go 0
 
 (* entity reference after the '&' has been consumed *)
 let read_entity p =
@@ -236,7 +283,8 @@ let read_attr_value p =
     | Some c -> fail p "attribute value must be quoted, found %C" c
     | None -> fail p "attribute value expected, found end of input"
   in
-  let b = Buffer.create 16 in
+  let b = p.abuf in
+  Buffer.clear b;
   let rec go () =
     match read_char p with
     | None -> fail p "unterminated attribute value"
@@ -257,63 +305,104 @@ let read_attr_value p =
   go ();
   Buffer.contents b
 
+(* after '<', name start pending: fill [p.packed] with the start tag.
+   Returns [true] when the tag was an empty-element tag. *)
 let read_start_tag p =
-  (* after '<', name start pending *)
-  let name = read_name p in
-  let rec attrs acc =
+  read_name_raw p;
+  let name, id = resolve_name p in
+  let pk = p.packed in
+  pk.Event.pkind <- Event.Pstart;
+  pk.Event.pname <- name;
+  pk.Event.pname_id <- id;
+  pk.Event.pnattrs <- 0;
+  let rec attrs () =
     skip_ws p;
     match peek_char p with
     | Some '>' ->
         ignore (read_char p);
-        (List.rev acc, false)
+        false
     | Some '/' ->
         ignore (read_char p);
         expect_char p '>';
-        (List.rev acc, true)
+        true
     | Some c when is_name_start c ->
-        let k = read_name p in
+        read_name_raw p;
+        let k, kid = resolve_name p in
         skip_ws p;
         expect_char p '=';
         skip_ws p;
         let v = read_attr_value p in
-        if List.mem_assoc k acc then fail p "duplicate attribute %s" k;
-        attrs ((k, v) :: acc)
+        let n = pk.Event.pnattrs in
+        for i = 0 to n - 1 do
+          if String.equal pk.Event.pattr_names.(i) k then fail p "duplicate attribute %s" k
+        done;
+        if n >= Array.length pk.Event.pattr_names then Event.packed_grow_attrs pk;
+        pk.Event.pattr_names.(n) <- k;
+        pk.Event.pattr_ids.(n) <- kid;
+        pk.Event.pattr_values.(n) <- v;
+        pk.Event.pnattrs <- n + 1;
+        attrs ()
     | Some c -> fail p "unexpected %C in start tag" c
     | None -> fail p "unterminated start tag"
   in
-  let attrs, empty = attrs [] in
-  (name, attrs, empty)
-
-let read_end_tag p =
-  (* after "</" *)
-  let name = read_name p in
-  skip_ws p;
-  expect_char p '>';
-  name
+  attrs ()
 
 (* ---- event level ---- *)
 
 let push_element p name = p.stack <- name :: p.stack
 
-let pop_element p name =
-  match p.stack with
-  | top :: rest when top = name ->
-      p.stack <- rest;
-      if p.stack = [] then p.finished <- true
-  | top :: _ -> fail p "mismatched end tag </%s>, expected </%s>" name top
-  | [] -> fail p "end tag </%s> without open element" name
+(* after "</": read the end tag, match it against the innermost open
+   element and fill [p.packed].  The name is compared against (and shared
+   with) the stack top, so no string is built on the happy path. *)
+let end_element p =
+  read_name_raw p;
+  skip_ws p;
+  expect_char p '>';
+  let name =
+    match p.stack with
+    | top :: rest when name_equals p top ->
+        p.stack <- rest;
+        if rest = [] then p.finished <- true;
+        top
+    | top :: _ -> fail p "mismatched end tag </%s>, expected </%s>" (name_string p) top
+    | [] -> fail p "end tag </%s> without open element" (name_string p)
+  in
+  let pk = p.packed in
+  pk.Event.pkind <- Event.Pend;
+  pk.Event.pname <- name;
+  pk.Event.pname_id <- -1
+
+let set_text p txt =
+  let pk = p.packed in
+  pk.Event.pkind <- Event.Ptext;
+  pk.Event.ptext <- txt
+
+let set_end p name =
+  let pk = p.packed in
+  pk.Event.pkind <- Event.Pend;
+  pk.Event.pname <- name;
+  pk.Event.pname_id <- -1
 
 let all_ws s = String.for_all is_ws s
 
-(* Read character data (text and CDATA runs) until the next markup that
-   yields an event.  Returns the possibly-empty accumulated text. *)
+(* Produce the next event into [p.packed]; false at end of input. *)
 let rec produce p =
-  match p.pending with
-  | e :: rest ->
-      p.pending <- rest;
-      Some e
-  | [] ->
-      if p.stack = [] then produce_misc p
+  match p.pending_end with
+  | Some name ->
+      p.pending_end <- None;
+      set_end p name;
+      true
+  | None ->
+      if p.pending_start_tag then begin
+        p.pending_start_tag <- false;
+        start_element p
+      end
+      else if p.pending_end_tag then begin
+        p.pending_end_tag <- false;
+        end_element p;
+        true
+      end
+      else if p.stack = [] then produce_misc p
       else produce_content p
 
 and produce_misc p =
@@ -322,7 +411,7 @@ and produce_misc p =
   match peek_char p with
   | None ->
       if not p.root_seen then fail p "document has no root element";
-      None
+      false
   | Some '<' -> (
       ignore (read_char p);
       match peek_char p with
@@ -356,13 +445,14 @@ and produce_misc p =
   | Some c -> fail p "character data %C outside root element" c
 
 and start_element p =
-  let name, attrs, empty = read_start_tag p in
+  let empty = read_start_tag p in
+  let name = p.packed.Event.pname in
   if empty then begin
-    p.pending <- [ Event.End name ];
+    p.pending_end <- Some name;
     if p.stack = [] then p.finished <- true
   end
   else push_element p name;
-  Some (Event.Start (name, attrs))
+  true
 
 and produce_content p =
   Buffer.clear p.buf;
@@ -405,24 +495,26 @@ and produce_content p =
   let kind = text () in
   let txt = Buffer.contents p.buf in
   let emit_text = txt <> "" && (p.keep_ws || not (all_ws txt)) in
+  (* When a text run precedes the tag, emit the text now and defer the tag
+     parse to the next [produce] — the scratch holds one event at a time. *)
   match kind with
   | `Start_tag ->
-      let e = start_element p in
       if emit_text then begin
-        (match e with
-        | Some e -> p.pending <- e :: p.pending
-        | None -> ());
-        Some (Event.Text txt)
+        p.pending_start_tag <- true;
+        set_text p txt;
+        true
       end
-      else e
+      else start_element p
   | `End_tag ->
-      let name = read_end_tag p in
-      pop_element p name;
       if emit_text then begin
-        p.pending <- Event.End name :: p.pending;
-        Some (Event.Text txt)
+        p.pending_end_tag <- true;
+        set_text p txt;
+        true
       end
-      else Some (Event.End name)
+      else begin
+        end_element p;
+        true
+      end
 
 (* Comments and PIs inside content do not break the surrounding text run:
    skip them and continue accumulating. *)
@@ -434,18 +526,29 @@ and flush_or_pi p k =
   read_pi p;
   k ()
 
+let next_packed p =
+  match p.peeked with
+  | Some (Some e) ->
+      p.peeked <- None;
+      Event.pack_into p.packed e;
+      Some p.packed
+  | Some None ->
+      p.peeked <- None;
+      None
+  | None -> if produce p then Some p.packed else None
+
 let next p =
   match p.peeked with
   | Some e ->
       p.peeked <- None;
       e
-  | None -> produce p
+  | None -> if produce p then Some (Event.of_packed p.packed) else None
 
 let peek p =
   match p.peeked with
   | Some e -> e
   | None ->
-      let e = produce p in
+      let e = if produce p then Some (Event.of_packed p.packed) else None in
       p.peeked <- Some e;
       e
 

@@ -21,22 +21,33 @@ type t
 
 exception Error of { line : int; col : int; msg : string }
 
-val of_string : ?keep_whitespace:bool -> string -> t
+val of_string : ?dict:Dict.t -> ?keep_whitespace:bool -> string -> t
 (** Parse from an in-memory string (no I/O counted).  When
     [keep_whitespace] is false (default), character data consisting only
     of whitespace is dropped — the usual treatment for data-centric XML,
-    and what the paper's generators produce. *)
+    and what the paper's generators produce.  With [?dict], tag and
+    attribute names are interned as they are read: events carry the
+    canonical shared strings plus their dict ids, and known names are
+    resolved straight out of the parser's scratch buffer without
+    allocating (§3.2's name dictionary pushed down into the scan). *)
 
-val of_reader : ?keep_whitespace:bool -> Extmem.Block_reader.t -> t
+val of_reader : ?dict:Dict.t -> ?keep_whitespace:bool -> Extmem.Block_reader.t -> t
 (** Parse from a device-backed stream; every block crossed is counted by
     the reader's device. *)
 
-val of_fn : ?keep_whitespace:bool -> (unit -> char option) -> t
+val of_fn : ?dict:Dict.t -> ?keep_whitespace:bool -> (unit -> char option) -> t
 (** Parse from an arbitrary character source. *)
 
 val next : t -> Event.t option
 (** The next event, or [None] once the root element has been closed and
     only trailing misc remains.  @raise Error on malformed input. *)
+
+val next_packed : t -> Event.packed option
+(** Like {!next}, but fills and returns the parser's reusable
+    {!Event.packed} scratch instead of allocating an event: the returned
+    record is valid only until the next call on the parser.  Attribute
+    values and text are still fresh strings; names are shared.  May be
+    freely interleaved with {!next}/{!peek}. *)
 
 val peek : t -> Event.t option
 (** The next event without consuming it. *)

@@ -14,6 +14,7 @@ stdout.  The top-level section keys are the report's stable schema:
   pager
   arena
   workers
+  gc
   phases
   metrics
   timing
@@ -88,7 +89,7 @@ each line a self-contained object repeating the schema version:
 
   $ ../../bin/nexsort_cli.exe -B 256 -M 8 -O @id doc.xml -o sorted3.xml --metrics report.ndjson 2> /dev/null
   $ wc -l < report.ndjson
-  9
+  10
   $ sed 's/.*"section":"\([a-z_]*\)".*/\1/' report.ndjson
   config
   counts
@@ -96,6 +97,7 @@ each line a self-contained object repeating the schema version:
   pager
   arena
   workers
+  gc
   phases
   metrics
   timing

@@ -8,7 +8,13 @@ JSON and summarises it:
 
   $ ../../bin/nexsort_cli.exe -O @id --trace t.json doc.xml -o out.xml
   $ ../../bin/nextrace.exe --check t.json
-  trace ok: 17 events, 1 tracks, 0 dropped
+  trace ok: 22 events, 1 tracks, 0 dropped
+
+The profile summary surfaces the sorter's GC counters (values are
+run-dependent, so only count them):
+
+  $ ../../bin/nextrace.exe t.json | grep -c 'gc\.'
+  5
 
 An unwritable trace path fails up front, before any sorting work:
 

@@ -188,6 +188,105 @@ let test_codec_truncated () =
     Alcotest.fail "expected Corrupt"
   with Extmem.Codec.Corrupt _ -> ()
 
+let test_codec_extremes () =
+  (* varint at the top of the positive range: 9 continuation bytes *)
+  let b = Buffer.create 16 in
+  Extmem.Codec.put_varint b max_int;
+  let c = Extmem.Codec.cursor (Buffer.contents b) in
+  check Alcotest.int "varint max_int" max_int (Extmem.Codec.get_varint c);
+  check Alcotest.bool "consumed" true (Extmem.Codec.at_end c);
+  (* zigzag must cover the whole int range, both encode paths *)
+  List.iter
+    (fun n ->
+      let b = Buffer.create 16 in
+      Extmem.Codec.put_zigzag b n;
+      let c = Extmem.Codec.cursor (Buffer.contents b) in
+      check Alcotest.int (Printf.sprintf "zigzag %d (buffer)" n) n (Extmem.Codec.get_zigzag c);
+      let e = Extmem.Codec.Enc.create ~capacity:4 () in
+      Extmem.Codec.Enc.add_zigzag e n;
+      let c2 = Extmem.Codec.cursor (Extmem.Codec.Enc.contents e) in
+      check Alcotest.int (Printf.sprintf "zigzag %d (enc)" n) n (Extmem.Codec.get_zigzag c2))
+    [ min_int; min_int + 1; -1; 0; 1; max_int - 1; max_int ]
+
+let test_codec_string_extremes () =
+  (* empty, and one large enough to need a multi-byte length varint;
+     forces several Enc doublings from a tiny initial capacity *)
+  let huge = String.init 300_000 (fun i -> Char.chr (i land 0xff)) in
+  let e = Extmem.Codec.Enc.create ~capacity:1 () in
+  Extmem.Codec.Enc.add_string e "";
+  Extmem.Codec.Enc.add_string e huge;
+  Extmem.Codec.Enc.add_substring e huge 17 1000;
+  let s = Extmem.Codec.Enc.contents e in
+  let c = Extmem.Codec.cursor s in
+  check Alcotest.string "empty" "" (Extmem.Codec.get_string c);
+  check Alcotest.bool "huge" true (String.equal huge (Extmem.Codec.get_string c));
+  let off, len = Extmem.Codec.get_string_slice c in
+  check Alcotest.int "sub len" 1000 len;
+  check Alcotest.bool "sub bytes" true (String.sub s off len = String.sub huge 17 1000);
+  check Alcotest.bool "consumed" true (Extmem.Codec.at_end c)
+
+let test_codec_u32_wraparound () =
+  (* u32 stores the low 32 bits; values past 2^32 wrap on every path *)
+  let cases = [ (0xFFFFFFFF, 0xFFFFFFFF); (1 lsl 32, 0); ((1 lsl 32) + 42, 42); (-1, 0xFFFFFFFF) ] in
+  List.iter
+    (fun (v, want) ->
+      let b = Buffer.create 4 in
+      Extmem.Codec.put_u32 b v;
+      let c = Extmem.Codec.cursor (Buffer.contents b) in
+      check Alcotest.int (Printf.sprintf "u32 %d (buffer)" v) want (Extmem.Codec.get_u32 c);
+      let e = Extmem.Codec.Enc.create ~capacity:4 () in
+      Extmem.Codec.Enc.add_u32 e v;
+      let c2 = Extmem.Codec.cursor (Extmem.Codec.Enc.contents e) in
+      check Alcotest.int (Printf.sprintf "u32 %d (enc)" v) want (Extmem.Codec.get_u32 c2);
+      let raw = Bytes.create 4 in
+      Extmem.Codec.set_u32_at raw 0 v;
+      check Alcotest.int
+        (Printf.sprintf "u32 %d (at)" v)
+        want
+        (Extmem.Codec.get_u32_at (Bytes.to_string raw) 0))
+    cases
+
+let prop_codec_enc_matches_buffer =
+  QCheck.Test.make ~name:"Codec.Enc emits the same bytes as the Buffer appenders" ~count:300
+    QCheck.(list (triple int small_nat (string_of_size Gen.small_nat)))
+    (fun items ->
+      let b = Buffer.create 64 in
+      let e = Extmem.Codec.Enc.create ~capacity:1 () in
+      List.iter
+        (fun (z, n, s) ->
+          Extmem.Codec.put_zigzag b z;
+          Extmem.Codec.put_varint b n;
+          Extmem.Codec.put_string b s;
+          Extmem.Codec.put_u32 b n;
+          Extmem.Codec.Enc.add_zigzag e z;
+          Extmem.Codec.Enc.add_varint e n;
+          Extmem.Codec.Enc.add_string e s;
+          Extmem.Codec.Enc.add_u32 e n)
+        items;
+      String.equal (Buffer.contents b) (Extmem.Codec.Enc.contents e))
+
+let prop_codec_slice_decode =
+  QCheck.Test.make ~name:"Codec slice decode agrees with string decode" ~count:300
+    QCheck.(list (string_of_size Gen.small_nat))
+    (fun strings ->
+      let e = Extmem.Codec.Enc.create ~capacity:8 () in
+      List.iter (Extmem.Codec.Enc.add_string e) strings;
+      let frame = Extmem.Codec.Enc.contents e in
+      let c1 = Extmem.Codec.cursor frame in
+      let c2 = Extmem.Codec.cursor frame in
+      let c3 = Extmem.Codec.cursor frame in
+      List.for_all
+        (fun _ ->
+          let s = Extmem.Codec.get_string c1 in
+          let off, len = Extmem.Codec.get_string_slice c2 in
+          Extmem.Codec.skip_string c3;
+          String.equal s (String.sub frame off len)
+          && Extmem.Codec.compare_sub frame off len s 0 (String.length s) = 0
+          && c1.Extmem.Codec.pos = c2.Extmem.Codec.pos
+          && c1.Extmem.Codec.pos = c3.Extmem.Codec.pos)
+        strings
+      && Extmem.Codec.at_end c1)
+
 let prop_codec_roundtrip =
   QCheck.Test.make ~name:"Codec round-trips mixed records" ~count:300
     QCheck.(list (pair small_nat (string_of_size Gen.small_nat)))
@@ -1551,6 +1650,11 @@ let () =
           Alcotest.test_case "fixed" `Quick test_codec_fixed;
           Alcotest.test_case "u32_at" `Quick test_codec_u32_at;
           Alcotest.test_case "truncated" `Quick test_codec_truncated;
+          Alcotest.test_case "extremes" `Quick test_codec_extremes;
+          Alcotest.test_case "string extremes" `Quick test_codec_string_extremes;
+          Alcotest.test_case "u32 wraparound" `Quick test_codec_u32_wraparound;
+          qcheck prop_codec_enc_matches_buffer;
+          qcheck prop_codec_slice_decode;
           qcheck prop_codec_roundtrip;
         ] );
       ( "device",

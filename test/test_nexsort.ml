@@ -593,8 +593,16 @@ let test_aborted_external_sort_restores_budget () =
            scan does; if the budget has slack the window re-borrows *)
         Extmem.Ext_stack.push session.Nexsort.Session.data_stack (String.make 64 'x');
         Some
-          (Nexsort.Entry.Start
-             { level = 2; pos = !fed; name = "e"; attrs = []; key = Some (Key.Num (float_of_int !fed)) })
+          (Nexsort.Session.view_entry session
+             (Nexsort.Session.encode_entry session
+                (Nexsort.Entry.Start
+                   {
+                     level = 2;
+                     pos = !fed;
+                     name = "e";
+                     attrs = [];
+                     key = Some (Key.Num (float_of_int !fed));
+                   })))
       end
     in
     (try

@@ -9,6 +9,57 @@ let event = Alcotest.testable Xmlio.Event.pp Xmlio.Event.equal
 let parse ?keep_whitespace s = Xmlio.Parser.to_list (Xmlio.Parser.of_string ?keep_whitespace s)
 
 (* ------------------------------------------------------------------ *)
+(* Event *)
+
+(* A physically distinct copy with the same characters, as produced when
+   one side of a comparison holds a dict-interned name and the other a
+   string freshly sliced out of an input buffer. *)
+let fresh s = String.sub (s ^ "!") 0 (String.length s)
+
+let test_event_equal_mixed_interning () =
+  let dict = Xmlio.Dict.create () in
+  ignore (Xmlio.Dict.intern dict "employee");
+  ignore (Xmlio.Dict.intern dict "id");
+  let interned = Xmlio.Dict.lookup dict 0 in
+  let attr_name = Xmlio.Dict.lookup dict 1 in
+  check Alcotest.bool "interned != fresh physically" false (interned == fresh "employee");
+  check event "start: interned vs fresh name"
+    (Xmlio.Event.Start (interned, [ (attr_name, "7") ]))
+    (Xmlio.Event.Start (fresh "employee", [ (fresh "id", fresh "7") ]));
+  check event "end: interned vs fresh name" (Xmlio.Event.End interned)
+    (Xmlio.Event.End (fresh "employee"));
+  check event "text: fresh copies" (Xmlio.Event.Text "pay") (Xmlio.Event.Text (fresh "pay"))
+
+let test_event_equal_distinguishes () =
+  let ne msg a b = check Alcotest.bool msg false (Xmlio.Event.equal a b) in
+  ne "different names" (Xmlio.Event.Start ("a", [])) (Xmlio.Event.Start ("b", []));
+  ne "different kinds" (Xmlio.Event.Start ("a", [])) (Xmlio.Event.End "a");
+  ne "end vs text" (Xmlio.Event.End "a") (Xmlio.Event.Text "a");
+  ne "attr value differs"
+    (Xmlio.Event.Start ("a", [ ("k", "1") ]))
+    (Xmlio.Event.Start ("a", [ ("k", "2") ]));
+  ne "attr name differs"
+    (Xmlio.Event.Start ("a", [ ("k", "1") ]))
+    (Xmlio.Event.Start ("a", [ ("j", "1") ]));
+  ne "attr order matters"
+    (Xmlio.Event.Start ("a", [ ("k", "1"); ("j", "2") ]))
+    (Xmlio.Event.Start ("a", [ ("j", "2"); ("k", "1") ]));
+  ne "attr count differs" (Xmlio.Event.Start ("a", [ ("k", "1") ])) (Xmlio.Event.Start ("a", []))
+
+let test_event_packed_roundtrip_equal () =
+  let p = Xmlio.Event.packed_create () in
+  List.iter
+    (fun e ->
+      Xmlio.Event.pack_into p e;
+      check event "pack_into/of_packed preserves equality" e (Xmlio.Event.of_packed p))
+    [
+      Xmlio.Event.Start ("employee", [ ("id", "7"); ("dept", "sales") ]);
+      Xmlio.Event.Start ("employee", []);
+      Xmlio.Event.End "employee";
+      Xmlio.Event.Text "  spaced  ";
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Escape *)
 
 let test_escape_text () =
@@ -692,6 +743,12 @@ let prop_events_balanced =
 let () =
   Alcotest.run "xmlio"
     [
+      ( "event",
+        [
+          Alcotest.test_case "equal across interning" `Quick test_event_equal_mixed_interning;
+          Alcotest.test_case "equal distinguishes" `Quick test_event_equal_distinguishes;
+          Alcotest.test_case "packed roundtrip" `Quick test_event_packed_roundtrip_equal;
+        ] );
       ( "escape",
         [
           Alcotest.test_case "text" `Quick test_escape_text;
