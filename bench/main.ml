@@ -530,6 +530,69 @@ let xsort () =
   subnote "(only the head-to-toe output supports the single-pass structural merge)"
 
 (* ------------------------------------------------------------------ *)
+(* E-tenant: concurrent tenants through one engine — queue wait and
+   paging per tenant.  The engine budget admits two jobs at a time, so
+   K tenants measure the admission queue, not just the sorter: every
+   output is still byte-identical to the single-job run (asserted), the
+   per-tenant I/O bill is identical, and the queue-wait column is where
+   the contention shows. *)
+
+let tenants () =
+  heading "E-tenant / concurrent tenants: queue wait and hit ratio per tenant";
+  let doc, stats = fig5_doc () in
+  subnote "input: %d elements; per-job memory 16 blocks of 1 KiB; engine fits 2 jobs"
+    stats.Xmlgen.Gen.elements;
+  let xml = Extmem.Device.contents doc in
+  let config = Config.make ~block_size:1024 ~memory_blocks:16 ~jobs:1 () in
+  let per_job = Nexsort.Session.job_blocks config + Nexsort.Session.ext_blocks config in
+  let reference = run_nexsort ~config (with_block_size 1024 doc) in
+  List.iter
+    (fun k ->
+      let eng = Engine.create ~memory_blocks:(2 * per_job) ~block_size:1024 () in
+      let one tenant =
+        Engine.run eng ~tenant config (fun job session ->
+            let input = Extmem.Device.of_string ~name:"input" ~block_size:1024 xml in
+            let output = Extmem.Device.in_memory ~name:"out" ~block_size:1024 () in
+            let report =
+              Nexsort.sort_device ~session ~ordering ~input ~output ()
+            in
+            let hits, misses =
+              List.fold_left
+                (fun (h, m) (_, o) ->
+                  (h + o.Extmem.Frame_arena.hits, m + o.Extmem.Frame_arena.misses))
+                (0, 0) report.Nexsort.arena
+            in
+            ( Engine.queue_wait_s job,
+              Extmem.Io_stats.total report.Nexsort.total_io,
+              hits,
+              misses ))
+      in
+      let domains =
+        List.init k (fun i ->
+            let tenant = Printf.sprintf "t%d" i in
+            (tenant, Domain.spawn (fun () -> one tenant)))
+      in
+      let rows = List.map (fun (tenant, d) -> (tenant, Domain.join d)) domains in
+      Engine.destroy eng;
+      Printf.printf "%d tenants:\n" k;
+      List.iter
+        (fun (tenant, (wait_s, io, hits, misses)) ->
+          let ratio =
+            if hits + misses = 0 then "    -"
+            else Printf.sprintf "%5.2f" (float_of_int hits /. float_of_int (hits + misses))
+          in
+          Printf.printf "  %-4s | wait %8.1fms | hit ratio %s | %8d io%s\n" tenant
+            (wait_s *. 1000.) ratio io
+            (if io = reference.io then "" else "  <-- DIVERGES FROM SINGLE-JOB RUN");
+          if io <> reference.io then exit 1)
+        rows;
+      if Engine.leaked_blocks eng <> 0 then begin
+        Printf.eprintf "E-tenant: %d leaked blocks\n" (Engine.leaked_blocks eng);
+        exit 1
+      end)
+    [ 2; 4; 8 ]
+
+(* ------------------------------------------------------------------ *)
 (* P-sweep: frame replacement policies — identical output, different
    paging.  This is a CI gate (scripts/check.sh runs it): any policy
    producing a different output digest is a correctness bug in the frame
@@ -962,6 +1025,7 @@ let experiments =
     ("motivation", motivation);
     ("xsort", xsort);
     ("policy-sweep", policy_sweep);
+    ("tenants", tenants);
     ("micro", micro);
     ("wall", wall);
   ]

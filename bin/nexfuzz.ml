@@ -299,6 +299,110 @@ let run_fault_case ~seed j =
   >>= fun o -> probe_failures () >>= fun () -> Ok o
 
 (* ------------------------------------------------------------------ *)
+(* Multi-tenant pass: the same differential case matrix, but every
+   NEXSORT run goes through one shared [Engine], [tenants] domains deep.
+   The schedule is deterministic — case [i] belongs to tenant
+   [i mod tenants] — so a reproducer line carrying the seed and the
+   tenant count replays the same interleaving pressure.  Oracle outputs
+   are precomputed in the main domain; tenant domains only sort through
+   the engine and compare.  The engine budget admits the largest case
+   alone, so concurrent tenants exercise the admission queue. *)
+
+let run_tenant_pass ~seed ~tenants ~cases ~only ~verbose failures =
+  let indices = match only with Some k -> [ k ] | None -> List.init cases Fun.id in
+  let prepared =
+    List.map
+      (fun i ->
+        let cc = differential_config ~seed i in
+        let doc, _ =
+          Xmlgen.Gen.to_string
+            (Xmlgen.Gen.pathological ~seed:(seed + (7919 * i))
+               ~max_elements:(40 + (i * 13 mod 160)))
+        in
+        let expected =
+          match
+            Verify.Oracle.sort_string ?depth_limit:cc.config.Nexsort.Config.depth_limit
+              cc.ordering doc
+          with
+          | s -> Ok s
+          | exception e -> Error ("oracle raised " ^ Printexc.to_string e)
+        in
+        if verbose then
+          Printf.eprintf "tenant case %d -> t%d: %d bytes, %s\n%!" i
+            (i mod tenants) (String.length doc) cc.cli_flags;
+        (i, cc, doc, expected))
+      indices
+  in
+  let engine_bs = 4096 in
+  let engine_blocks cc =
+    let bytes =
+      (Nexsort.Session.job_blocks cc.config + Nexsort.Session.ext_blocks cc.config)
+      * cc.config.Nexsort.Config.block_size
+    in
+    (bytes + engine_bs - 1) / engine_bs
+  in
+  let max_job =
+    List.fold_left (fun acc (_, cc, _, _) -> max acc (engine_blocks cc)) 1 prepared
+  in
+  let eng =
+    Engine.create ~memory_blocks:(max_job + (max_job / 2)) ~block_size:engine_bs ()
+  in
+  let results = Array.make (List.length prepared) None in
+  let run_case t pos (i, cc, doc, expected) =
+    let r =
+      match expected with
+      | Error e -> Some e
+      | Ok expected -> (
+          match
+            Engine.run eng
+              ~name:(Printf.sprintf "case%d" i)
+              ~tenant:(Printf.sprintf "t%d" t) cc.config
+              (fun _job session ->
+                let block_size = cc.config.Nexsort.Config.block_size in
+                let input = Extmem.Device.of_string ~name:"input" ~block_size doc in
+                let output = Extmem.Device.in_memory ~name:"output" ~block_size () in
+                let (_ : Nexsort.Sorter.report) =
+                  Nexsort.sort_device ~session ~ordering:cc.ordering ~input ~output ()
+                in
+                Extmem.Device.contents output)
+          with
+          | out ->
+              if out = expected then None
+              else Some "engine-path output differs from oracle"
+          | exception e -> Some ("engine-path sort raised " ^ Printexc.to_string e))
+    in
+    results.(pos) <- r
+  in
+  let domains =
+    List.init tenants (fun t ->
+        Domain.spawn (fun () ->
+            List.iteri (fun pos case -> if pos mod tenants = t then run_case t pos case) prepared))
+  in
+  List.iter Domain.join domains;
+  let leaked = Engine.leaked_blocks eng in
+  let still_used = Extmem.Memory_budget.used_blocks (Engine.budget eng) in
+  Engine.destroy eng;
+  List.iteri
+    (fun pos (i, cc, doc, _) ->
+      match results.(pos) with
+      | None -> ()
+      | Some msg ->
+          incr failures;
+          Printf.eprintf "FAIL tenant case %d (tenant %d of %d): %s\n" i (pos mod tenants)
+            tenants msg;
+          Printf.eprintf "  reproduce: nexfuzz --seed %d --tenants %d --only %d\n" seed tenants i;
+          Printf.eprintf "  equivalent: nexsort %s <doc.xml>\n" cc.cli_flags;
+          Printf.eprintf "  document (%d bytes):\n%s\n" (String.length doc) doc)
+    prepared;
+  if leaked <> 0 || still_used <> 0 then begin
+    incr failures;
+    Printf.eprintf
+      "FAIL tenant pass: engine not quiescent after join (%d leaked, %d still carved)\n" leaked
+      still_used;
+    Printf.eprintf "  reproduce: nexfuzz --seed %d --tenants %d\n" seed tenants
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Driver *)
 
 let print_failure ~seed ~kind ~case ~cli_flags ~doc msg =
@@ -308,8 +412,12 @@ let print_failure ~seed ~kind ~case ~cli_flags ~doc msg =
   Printf.eprintf "  equivalent: nexsort %s <doc.xml>\n" cli_flags;
   Printf.eprintf "  document (%d bytes):\n%s\n" (String.length doc) doc
 
-let run smoke seed cases fault_cases only faults_only verbose =
+let run smoke seed cases fault_cases only faults_only tenants verbose =
   let seed, cases, fault_cases = if smoke then (42, 50, 24) else (seed, cases, fault_cases) in
+  if tenants < 1 then begin
+    Printf.eprintf "nexfuzz: --tenants must be >= 1\n";
+    exit 2
+  end;
   (* a validator that cannot reject is worthless: prove it can, first *)
   (match Verify.Validator.self_test () with
   | Ok () -> ()
@@ -355,12 +463,19 @@ let run smoke seed cases fault_cases only faults_only verbose =
           ~doc msg
   in
   (match only with
-  | Some k -> if faults_only then run_fault k else run_differential k
+  | Some k ->
+      if faults_only then run_fault k
+      else if tenants > 1 then
+        run_tenant_pass ~seed ~tenants ~cases ~only:(Some k) ~verbose failures
+      else run_differential k
   | None ->
-      if not faults_only then
-        for i = 0 to cases - 1 do
-          run_differential i
-        done;
+      if not faults_only then begin
+        if tenants > 1 then run_tenant_pass ~seed ~tenants ~cases ~only:None ~verbose failures
+        else
+          for i = 0 to cases - 1 do
+            run_differential i
+          done
+      end;
       for j = 0 to fault_cases - 1 do
         run_fault j
       done);
@@ -369,9 +484,13 @@ let run smoke seed cases fault_cases only faults_only verbose =
   | None ->
       Printf.printf "nexfuzz: seed %d\n" seed;
       if not faults_only then
-        Printf.printf
-          "differential: %d cases across %d policies x fuse/no-fuse x %d orderings\n" cases
-          (Array.length policies) (Array.length orderings);
+        if tenants > 1 then
+          Printf.printf "differential: %d cases through one engine across %d tenants\n" cases
+            tenants
+        else
+          Printf.printf
+            "differential: %d cases across %d policies x fuse/no-fuse x %d orderings\n" cases
+            (Array.length policies) (Array.length orderings);
       Printf.printf "fault schedules: %d cases (%d aborted cleanly, %d completed validated)\n"
         fault_cases !faulted !completed);
   if !failures = 0 then begin
@@ -409,6 +528,17 @@ let faults_only_term =
     value & flag
     & info [ "faults-only" ] ~doc:"Run only the fault-schedule cases ($(b,--only) selects among them).")
 
+let tenants_term =
+  Arg.(
+    value & opt int 1
+    & info [ "tenants" ] ~docv:"K"
+        ~doc:
+          "Run the differential cases through one shared multi-tenant engine, $(docv) tenant \
+           domains deep.  Case $(i,i) belongs to tenant $(i,i) mod $(docv), so the schedule is \
+           reproducible from the seed.  Each case checks the engine-path sort against the \
+           oracle under concurrent admission pressure; the baseline cross-checks run in the \
+           default single-tenant mode.")
+
 let verbose_term =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print each case's configuration.")
 
@@ -419,6 +549,6 @@ let cmd =
     Term.(
       ret
         (const run $ smoke_term $ seed_term $ cases_term $ fault_cases_term $ only_term
-       $ faults_only_term $ verbose_term))
+       $ faults_only_term $ tenants_term $ verbose_term))
 
 let () = exit (Cmd.eval cmd)

@@ -64,9 +64,26 @@ let run verbose algorithm config ordering stats metrics trace targets select dev
     let t0 = Unix.gettimeofday () in
     (match algorithm with
     | Nexsort_algo ->
-        let report = Nexsort.sort_device ~config ~ordering ~input ~output () in
+        (* the single-job CLI is a one-job engine: same admission, carve
+           and release machinery as nexsortd, zero queue wait *)
+        let eng = Engine.for_config ~tracer config in
+        let report, job_section =
+          Fun.protect
+            ~finally:(fun () -> Engine.destroy eng)
+            (fun () ->
+              let report, job =
+                Engine.run eng ~tenant:"cli" config (fun job session ->
+                    (Nexsort.sort_device ~session ~ordering ~input ~output (), job))
+              in
+              (* snapshot after release, so the engine counters include
+                 this job's completion and any leak it left *)
+              (report, Engine.job_json eng job))
+        in
         Cli_common.write_file output_path (Extmem.Device.contents output);
-        Cli_common.write_metrics metrics (Nexsort.metrics_report ~config report);
+        Cli_common.write_metrics metrics
+          (let rep = Nexsort.metrics_report ~config report in
+           Obs.Report.add rep "job" job_section;
+           rep);
         if stats then begin
           Printf.eprintf "algorithm: %s\n" (describe algorithm);
           Printf.eprintf "%s\n" (Format.asprintf "%a" Nexsort.pp_report report);

@@ -37,6 +37,37 @@ let struct_merge_report ~tool (r : Xmerge.Struct_merge.report) =
   Obs.Report.add rep "phases" (Obs.Span.to_json r.Xmerge.Struct_merge.spans);
   rep
 
+(* The fused sort+merge holds both its sort sessions at once, so it runs
+   over a two-slot engine: two jobs admitted up front, each session
+   carved from the shared engine budget.  [f] must consume both sessions
+   (the merge destroys them on every exit path); release is idempotent
+   leak accounting either way. *)
+let with_merge_sessions ~(config : Nexsort.Config.t) f =
+  let eng = Engine.for_config ~tracer:config.Nexsort.Config.tracer ~slots:2 config in
+  Fun.protect
+    ~finally:(fun () -> Engine.destroy eng)
+    (fun () ->
+      let jl = Engine.acquire ~name:"merge-left" eng ~tenant:"merge" config in
+      let jr =
+        try Engine.acquire ~name:"merge-right" eng ~tenant:"merge" config
+        with e ->
+          Engine.release eng jl;
+          raise e
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Engine.release eng jl;
+          Engine.release eng jr)
+        (fun () ->
+          let sl = Engine.session eng jl in
+          let sr =
+            try Engine.session eng jr
+            with e ->
+              Nexsort.Session.destroy sl;
+              raise e
+          in
+          f (sl, sr)))
+
 let run ordering presorted update_mode indexed policy device no_fuse metrics trace left_path
     right_path output =
   let left = read_file left_path and right = read_file right_path in
@@ -121,8 +152,9 @@ let run ordering presorted update_mode indexed policy device no_fuse metrics tra
           if presorted then
             Xmerge.Struct_merge.merge_devices ~ordering ~left:ldev ~right:rdev ~output:odev ()
           else
-            Xmerge.Struct_merge.sort_and_merge_devices ~config ~fuse:(not no_fuse) ~ordering
-              ~left:ldev ~right:rdev ~output:odev ()
+            with_merge_sessions ~config (fun sessions ->
+                Xmerge.Struct_merge.sort_and_merge_devices ~config ~fuse:(not no_fuse) ~sessions
+                  ~ordering ~left:ldev ~right:rdev ~output:odev ())
         in
         write_file output (Extmem.Device.contents odev);
         Cli_common.write_metrics metrics
@@ -170,9 +202,13 @@ let run ordering presorted update_mode indexed policy device no_fuse metrics tra
       else begin
         let out, r =
           if presorted then Xmerge.Struct_merge.merge_strings ~ordering left right
+          else if no_fuse then
+            (* unfused strings sort in memory — no sessions to carve *)
+            Xmerge.Struct_merge.sort_and_merge_strings ~config ~fuse:false ~ordering left right
           else
-            Xmerge.Struct_merge.sort_and_merge_strings ~config ~fuse:(not no_fuse) ~ordering left
-              right
+            with_merge_sessions ~config (fun sessions ->
+                Xmerge.Struct_merge.sort_and_merge_strings ~config ~sessions ~ordering left
+                  right)
         in
         ( out,
           Printf.sprintf "matched %d elements, emitted %d events"

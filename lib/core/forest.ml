@@ -117,6 +117,137 @@ let rec emit_node ~packed scratch emit n =
   | Entry.View.Vtext | Entry.View.Vrun_ptr -> ()
   | Entry.View.Vend -> assert false (* nodes are never built from End entries *)
 
+(* ---- key-path record streams (external subtree sorts, §3.1) ----
+
+   Like the forest half above, these are pure given their arguments —
+   entry views in, encoded key-path records out — so [Sort_pool] workers
+   can run a full external subtree sort without touching the session.
+   The session-flavoured wrappers stay in [Subtree_sort]. *)
+
+(* The component an entry contributes to key paths: its resolved key and
+   position, with the key suppressed below the depth limit so deeper
+   levels keep document order. *)
+let keypath_component ~depth_limit key v =
+  let key =
+    match depth_limit with
+    | Some d when Entry.View.level v > d + 1 -> Key.Null
+    | Some _ | None -> key
+  in
+  { Keypath.key; pos = Entry.View.pos v }
+
+(* Pull-stream of encoded key-path records from an entry-view stream in
+   document order.  Keys must be on Start entries (scan-evaluable).  The
+   view's payload rides along verbatim as the record payload. *)
+let forward_records ~enc ~depth_limit input =
+  let stack = ref [] in (* (level, component), innermost first *)
+  let pop_to level =
+    let rec go () =
+      match !stack with
+      | (l, _) :: rest when l >= level ->
+          stack := rest;
+          go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  let path_of own = List.rev_map snd !stack @ [ own ] in
+  let rec next () =
+    match input () with
+    | None -> None
+    | Some v -> (
+        match Entry.View.kind v with
+        | Entry.View.Vend ->
+            pop_to (Entry.View.level v);
+            next ()
+        | kind ->
+            let level = Entry.View.level v in
+            pop_to level;
+            let own = keypath_component ~depth_limit (Entry.View.sibling_key v) v in
+            let record =
+              Keypath.encode_record ~enc (path_of own) ~payload:(Entry.View.payload v)
+            in
+            (match kind with
+            | Entry.View.Vstart -> stack := (level, own) :: !stack
+            | Entry.View.Vtext | Entry.View.Vrun_ptr | Entry.View.Vend -> ());
+            Some record)
+  in
+  next
+
+(* Same, for entries arriving in reverse document order (popped from the
+   data stack).  End entries precede their subtrees here and carry the
+   element keys. *)
+let reverse_records ~enc ~depth_limit input =
+  let stack = ref [] in (* components, innermost first *)
+  let rec next () =
+    match input () with
+    | None -> None
+    | Some v -> (
+        match Entry.View.kind v with
+        | Entry.View.Vend ->
+            let k = Option.value (Entry.View.end_key v) ~default:Key.Null in
+            stack := keypath_component ~depth_limit k v :: !stack;
+            next ()
+        | Entry.View.Vstart ->
+            (* own component is the stack top when an End was seen (it
+               carries the authoritative key); synthesize it otherwise
+               (packed) *)
+            let path =
+              match !stack with
+              | _ :: _ -> List.rev !stack
+              | [] ->
+                  [
+                    keypath_component ~depth_limit
+                      (Option.value (Entry.View.start_key v) ~default:Key.Null)
+                      v;
+                  ]
+            in
+            let record = Keypath.encode_record ~enc path ~payload:(Entry.View.payload v) in
+            (match !stack with
+            | _ :: rest -> stack := rest
+            | [] -> ());
+            Some record
+        | Entry.View.Vtext | Entry.View.Vrun_ptr ->
+            let own = keypath_component ~depth_limit (Entry.View.sibling_key v) v in
+            let record =
+              Keypath.encode_record ~enc
+                (List.rev !stack @ [ own ])
+                ~payload:(Entry.View.payload v)
+            in
+            Some record)
+  in
+  next
+
+(* Reconstruction behind a sorted key-path record stream: emit payloads
+   verbatim, synthesizing End entries from level transitions (the
+   open-tag stack is O(height) internal state).  [finish] closes the
+   remaining open tags — call it after the sort has drained. *)
+let keypath_output ~encoding ~enc emit =
+  let packed = encoding = Config.Packed in
+  let opens = ref [] in (* (level, pos) of open Start entries *)
+  let close_down_to level =
+    if not packed then
+      let rec go () =
+        match !opens with
+        | (l, pos) :: rest when l >= level ->
+            emit (Entry.encode_end_to enc ~level:l ~pos ~key:None);
+            opens := rest;
+            go ()
+        | _ -> ()
+      in
+      go ()
+    else opens := List.filter (fun (l, _) -> l < level) !opens
+  in
+  let output record =
+    let payload = Keypath.decode_payload record in
+    let v = Entry.View.of_payload encoding payload in
+    close_down_to (Entry.View.level v);
+    emit payload;
+    match Entry.View.kind v with
+    | Entry.View.Vstart -> opens := (Entry.View.level v, Entry.View.pos v) :: !opens
+    | Entry.View.Vtext | Entry.View.Vrun_ptr | Entry.View.Vend -> ()
+  in
+  (output, fun () -> close_down_to 0)
+
 (* Pull-based pre-order walk of a sorted forest: an explicit work list
    replaces emit_node's recursion so the sorted entries can feed a
    pipeline stage one at a time. *)

@@ -41,3 +41,42 @@ val emit_node : packed:bool -> Extmem.Codec.Enc.t -> (string -> unit) -> node ->
 val forest_pull : packed:bool -> node list -> unit -> string option
 (** Pull-based pre-order walk of a sorted forest, for feeding a pipeline
     stage one entry at a time. *)
+
+(** {2 Key-path record streams}
+
+    The pure half of an {e external} subtree sort (§3.1): entry views in,
+    encoded {!Keypath} records out, and reconstruction of sorted records
+    back into entries.  Like the forest functions, these touch no session
+    or shared state, so {!Sort_pool} workers can run a whole run-spilling
+    subtree sort on a private scratch device. *)
+
+val forward_records :
+  enc:Extmem.Codec.Enc.t ->
+  depth_limit:int option ->
+  (unit -> Entry.View.t option) ->
+  unit ->
+  string option
+(** Key-path records from an entry-view stream in document order.  Keys
+    must be on Start entries (scan-evaluable orderings); keys below
+    [depth_limit] are suppressed so deeper levels keep document order. *)
+
+val reverse_records :
+  enc:Extmem.Codec.Enc.t ->
+  depth_limit:int option ->
+  (unit -> Entry.View.t option) ->
+  unit ->
+  string option
+(** Same, for entries arriving in reverse document order (popped from the
+    data stack); End entries precede their subtrees and carry the
+    authoritative element keys. *)
+
+val keypath_output :
+  encoding:Config.encoding ->
+  enc:Extmem.Codec.Enc.t ->
+  (string -> unit) ->
+  (string -> unit) * (unit -> unit)
+(** [keypath_output ~encoding ~enc emit] is the reconstruction sink for a
+    sorted key-path record stream: the returned output function emits
+    each record's payload verbatim, synthesizing End entries from level
+    transitions (unless packed); the returned finish closes the remaining
+    open tags — call it once the sort has drained. *)

@@ -10,7 +10,11 @@ type t = {
   temp_stats : Extmem.Io_stats.t;
   mutable temp_sim_ms : float;
   registry : Obs.Registry.t;
-  pool : Sort_pool.t option;
+  pool : (Sort_pool.t * Sort_pool.view) option;
+  pool_host : Sort_pool.t option;
+      (* a pool spawned for this session alone (standalone [--jobs N]);
+         shut down at destroy.  [None] when the pool is engine-shared. *)
+  poll : unit -> unit;
   enc_scratch : Extmem.Codec.Enc.t;
       (* main-thread encode scratch; workers carry their own *)
   mutable destroyed : bool;
@@ -39,17 +43,34 @@ let register_probes t =
   Obs.Probe.device reg ~prefix:"runs" (Extmem.Run_store.device t.runs);
   Obs.Probe.frame_arena reg ~prefix:"arena" t.arena
 
-let create (config : Config.t) =
-  (* Worker slabs are carved out of the budget for the pool's whole
-     life, so the budget is created larger by exactly the carved total:
-     the blocks the algorithm can see ([available_blocks], and with them
-     arena size, merge fan-in, degeneration triggers) stay identical to
-     the single-threaded path for every jobs value. *)
-  let workers = if config.Config.jobs > 1 then config.Config.jobs else 0 in
+(* How many pool workers serve this config: the shared pool's worker
+   count when one is given, else the config's own [jobs]; zero on the
+   single-threaded path (the pool is not used at all). *)
+let pool_workers ?pool (config : Config.t) =
+  if config.Config.jobs <= 1 then 0
+  else match pool with Some p -> Sort_pool.workers p | None -> config.Config.jobs
+
+(* The size of a job's budget: the algorithm-visible [memory_blocks]
+   plus the pool writer buffers the view reserves on top, so the blocks
+   the algorithm can see — and every size-based decision — are identical
+   to the single-threaded path.  Engine admission carves exactly this. *)
+let job_blocks ?pool (config : Config.t) =
+  config.Config.memory_blocks + (pool_workers ?pool config * Sort_pool.slab_blocks)
+
+(* Headroom for offloaded external subtree sorts: each in-flight
+   external task carves at most the job's full arena, and at most one
+   task per worker is in flight. *)
+let ext_blocks ?pool (config : Config.t) =
+  pool_workers ?pool config * config.Config.memory_blocks
+
+let create ?budget ?pool ?ext_budget ?(poll = ignore) (config : Config.t) =
+  let workers = pool_workers ?pool config in
   let budget =
-    Extmem.Memory_budget.create
-      ~blocks:(config.Config.memory_blocks + (workers * Sort_pool.slab_blocks))
-      ~block_size:config.Config.block_size
+    match budget with
+    | Some b -> b
+    | None ->
+        Extmem.Memory_budget.create ~blocks:(job_blocks ?pool config)
+          ~block_size:config.Config.block_size
   in
   let arena =
     Extmem.Frame_arena.create ~budget ~default_policy:config.Config.pager_policy ()
@@ -62,9 +83,28 @@ let create (config : Config.t) =
   let stack_dev name = Config.scratch_device config ~name in
   let dict = Xmlio.Dict.create () in
   let runs = Extmem.Run_store.create (stack_dev "runs") in
+  let pool_host, the_pool =
+    if workers = 0 then (None, None)
+    else
+      match pool with
+      | Some p -> (None, Some p)
+      | None ->
+          let p = Sort_pool.create ~tracer ~workers () in
+          (Some p, Some p)
+  in
   let pool =
-    if workers = 0 then None
-    else Some (Sort_pool.create ~config ~arena ~runs ~workers)
+    match the_pool with
+    | None -> None
+    | Some p ->
+        let ext_budget =
+          match ext_budget with
+          | Some _ as eb -> eb
+          | None ->
+              Some
+                (Extmem.Memory_budget.create ~blocks:(ext_blocks ~pool:p config)
+                   ~block_size:config.Config.block_size)
+        in
+        Some (p, Sort_pool.view p ~config ~runs ~budget ~ext_budget)
   in
   (* The input buffer is charged by the scan pipeline stage (see
      [Sorter.scan_source]), not here.  Each stack leases its own window
@@ -92,6 +132,8 @@ let create (config : Config.t) =
       temp_sim_ms = 0.;
       registry = Obs.Registry.create ();
       pool;
+      pool_host;
+      poll;
       enc_scratch = Extmem.Codec.Enc.create ~capacity:256 ();
       destroyed = false;
     }
@@ -101,22 +143,24 @@ let create (config : Config.t) =
 
 let sync t =
   match t.pool with
-  | Some p ->
+  | Some (p, v) ->
       (* the one barrier: everything between these events is the main
          thread waiting on (and installing behind) worker completions *)
       let tracer = t.config.Config.tracer in
       Obs.Tracer.begin_s tracer "pool.drain";
       Fun.protect ~finally:(fun () -> Obs.Tracer.end_s tracer "pool.drain") (fun () ->
-          Sort_pool.drain p)
+          Sort_pool.drain p v)
   | None -> ()
 
 let destroy t =
   if not t.destroyed then begin
     t.destroyed <- true;
-    (* the pool first: joining the workers and returning their slabs
-       must precede the teardown probes on every exit path, including a
-       worker raising mid-sort *)
-    (match t.pool with Some p -> Sort_pool.shutdown p | None -> ());
+    (* the view first: waiting out in-flight worker tasks and returning
+       the writer buffers must precede the teardown probes on every exit
+       path, including a worker raising mid-sort.  Engine-shared pools
+       survive — only this job's view closes. *)
+    (match t.pool with Some (p, v) -> Sort_pool.close_view p v | None -> ());
+    (match t.pool_host with Some p -> Sort_pool.shutdown p | None -> ());
     Extmem.Ext_stack.close t.data_stack;
     Extmem.Ext_stack.close t.path_stack;
     Extmem.Ext_stack.close t.out_stack;
@@ -136,6 +180,9 @@ let arena_bytes t =
   + Extmem.Ext_stack.borrowed t.data_stack * Extmem.Memory_budget.block_size t.budget
 
 let reclaim t = Extmem.Ext_stack.shed t.data_stack
+
+let leaked_blocks t =
+  match t.pool with Some (_, v) -> Sort_pool.leaked_blocks v | None -> 0
 
 let with_temp t f =
   reclaim t;
@@ -160,12 +207,18 @@ let io_breakdown t =
     ("output location stack", Extmem.Io_stats.snapshot (Extmem.Ext_stack.io_stats t.out_stack));
     ( "runs",
       (* runs I/O covers every device runs live on: the store's own plus
-         the workers' scratch devices *)
+         this job's worker scratch devices *)
       let main = Extmem.Io_stats.snapshot (Extmem.Device.stats (Extmem.Run_store.device t.runs)) in
       match t.pool with
-      | Some p -> Extmem.Io_stats.add main (Sort_pool.io p)
+      | Some (_, v) -> Extmem.Io_stats.add main (Sort_pool.io v)
       | None -> main );
-    ("scratch", Extmem.Io_stats.snapshot t.temp_stats);
+    ( "scratch",
+      (* retired temp devices: the main thread's plus the workers'
+         (offloaded external subtree sorts) *)
+      let main = Extmem.Io_stats.snapshot t.temp_stats in
+      match t.pool with
+      | Some (_, v) -> Extmem.Io_stats.add main (Sort_pool.temp_io v)
+      | None -> main );
   ]
 
 let total_io t =
@@ -178,5 +231,7 @@ let simulated_ms t =
   +. Extmem.Device.simulated_ms (Extmem.Ext_stack.device t.path_stack)
   +. Extmem.Device.simulated_ms (Extmem.Ext_stack.device t.out_stack)
   +. Extmem.Device.simulated_ms (Extmem.Run_store.device t.runs)
-  +. (match t.pool with Some p -> Sort_pool.sim_ms p | None -> 0.)
+  +. (match t.pool with
+     | Some (_, v) -> Sort_pool.sim_ms v +. Sort_pool.temp_sim_ms v
+     | None -> 0.)
   +. t.temp_sim_ms

@@ -1,11 +1,21 @@
-(* A hand-rolled domain pool for in-memory subtree sorts.
+(* A hand-rolled domain pool for parallel subtree sorts.
 
    NEXSORT's subtree sorts are independent by construction (§4): by the
    time a subtree collapses, its entries are complete and nothing else
    reads them.  The main thread stays the only owner of the session —
    stacks, budget decisions, run-id assignment — and workers get the
-   purely functional piece: rebuild the forest from an entry list, sort
-   it, serialize it to a private scratch device.
+   work that is pure given its inputs: rebuild the forest from an entry
+   list, sort it, serialize it to a private scratch device; or (for
+   subtrees that exceed the arena) a whole key-path external merge sort
+   over a private scratch arena.
+
+   Since the engine refactor the pool itself is just the domains and the
+   task queue: it owns no devices, no buffers and no memory.  Every
+   job-owned resource lives in a {e view} — per-worker scratch run
+   devices, writer buffers (reserved in the job's budget), the run store
+   runs are installed into, and the external-sort headroom budget — so
+   one pool can serve many concurrent jobs with different block sizes,
+   and a job's I/O counters never mix with another tenant's.
 
    Determinism is by construction rather than by locking discipline:
 
@@ -16,26 +26,28 @@
      payloads, sort them as entry views and re-emit the same bytes —
      no dictionary access, no re-encoding (synthesized End entries are
      name-free and produced in a worker-private scratch encoder).
-   - Each worker writes to its own scratch device and runs are padded
-     to whole blocks, so a run's block count — and therefore every I/O
-     counter — is determined by its content, not by which device or
-     worker produced it.
-   - The main thread drains the pool (one barrier) before anything
-     reads a worker-written run.
-
-   Memory: each worker carves a fixed slab out of the session arena
-   ([Frame_arena.carve]) and takes its writer buffer from that private
-   sub-arena, so worker memory is accounted without touching the shared
-   pool on the hot path.  [Session.create] inflates the budget by
-   exactly the carved slabs, keeping the blocks visible to the
-   algorithm — and with them every size-based decision — identical to
-   the single-threaded path. *)
+   - Each task writes to a per-(view, worker) scratch device and runs
+     are padded to whole blocks, so a run's block count — and therefore
+     every I/O counter — is determined by its content, not by which
+     device or worker produced it.
+   - External tasks are handed the exact arena size the single-threaded
+     path would have leased ([arena_blocks], measured after the same
+     reclaim), carved out of the view's headroom budget, so run sizes,
+     merge fan-ins and scratch I/O match the [--jobs 1] bill.
+   - The job's thread drains its view (one barrier) before anything
+     reads a worker-written run. *)
 
 let slab_blocks = 1
 
 type task =
   | Sort of { run : Extmem.Run_store.id; payloads : string list }
   | Copy of { run : Extmem.Run_store.id; payloads : string list }
+  | External of {
+      run : Extmem.Run_store.id;
+      payloads : string list;  (* in scan order *)
+      scan : [ `Forward | `Reverse ];
+      arena_blocks : int;  (* what the -j1 sort would have leased *)
+    }
 
 type completion = {
   c_run : Extmem.Run_store.id;
@@ -44,13 +56,7 @@ type completion = {
 
 type worker = {
   index : int;
-  dev : Extmem.Device.t;
-  sub_arena : Extmem.Frame_arena.t;
-  lease : Extmem.Frame_arena.lease;
-  buffer : bytes;
-  scratch : Extmem.Codec.Enc.t;  (* worker-private End-entry encoder *)
-  tasks_done : int Atomic.t;
-  entries_sorted : int Atomic.t;
+  scratch : Extmem.Codec.Enc.t;  (* worker-private entry/record encoder *)
   mutable domain : unit Domain.t option;
 }
 
@@ -61,54 +67,126 @@ type worker_stats = {
   w_io : Extmem.Io_stats.t;
 }
 
+type view = {
+  v_config : Config.t;
+  v_runs : Extmem.Run_store.t;
+  v_budget : Extmem.Memory_budget.t;  (* writer buffers reserved here *)
+  v_ext_budget : Extmem.Memory_budget.t option;
+  v_devs : Extmem.Device.t array;     (* per-worker scratch run devices *)
+  v_buffers : bytes array;            (* per-worker run-writer buffers *)
+  v_tasks_done : int Atomic.t array;
+  v_entries : int Atomic.t array;
+  v_stats_lock : Mutex.t;             (* guards the scratch-device totals *)
+  v_temp_io : Extmem.Io_stats.t;      (* retired external-sort temp devices *)
+  mutable v_temp_sim : float;
+  mutable v_leaked : int;             (* blocks an aborted task failed to return *)
+  (* the fields below are guarded by the pool lock *)
+  mutable v_in_flight : int;
+  mutable v_completions : completion list;
+  mutable v_closed : bool;
+  (* totals captured at close, once the view devices are gone *)
+  mutable v_final_io : Extmem.Io_stats.t option;
+  mutable v_final_sim : float;
+  mutable v_final_stats : worker_stats list;
+}
+
 type t = {
   lock : Mutex.t;
   work_ready : Condition.t;   (* queue went non-empty, or stopping *)
   space_ready : Condition.t;  (* queue dropped below its bound *)
   done_ready : Condition.t;   (* a task completed *)
-  queue : task Queue.t;
+  queue : (view * task) Queue.t;
   max_queue : int;
   mutable stopping : bool;
-  mutable in_flight : int;    (* submitted tasks not yet completed *)
-  mutable completions : completion list;
   workers : worker array;
-  runs : Extmem.Run_store.t;
-  encoding : Config.encoding;
-  depth_limit : int option;
   tracer : Obs.Tracer.t;
   (* pre-interned event names; emitting is lock-free *)
   tr_idle : int;
   tr_sort : int;
   tr_copy : int;
+  tr_external : int;
   tr_submit_wait : int;
   tr_install : int;
-  (* totals captured at shutdown, once worker devices are gone *)
-  mutable final_io : Extmem.Io_stats.t option;
-  mutable final_sim_ms : float;
-  mutable final_stats : worker_stats list;
-  mutable shut : bool;
 }
 
 let workers t = Array.length t.workers
 
-let task_run = function Sort { run; _ } | Copy { run; _ } -> run
+let task_run = function
+  | Sort { run; _ } | Copy { run; _ } | External { run; _ } -> run
 
-let run_task t w task =
-  let writer = Extmem.Block_writer.create ~buffer:w.buffer w.dev in
+(* An external subtree sort, entirely off-session: key-path records are
+   built from the payload views by the same pure stream the
+   single-threaded path uses, the sort's arena is a private sub-budget
+   carved from the view's headroom (sized exactly like the -j1 lease),
+   and scratch I/O retires into the view's temp totals. *)
+let run_external_task v w ~arena_blocks ~scan payloads emit =
+  let config = v.v_config in
+  let encoding = config.Config.encoding in
+  let depth_limit = config.Config.depth_limit in
+  let pending = ref (List.map (Entry.View.of_payload encoding) payloads) in
+  let input () =
+    match !pending with
+    | [] -> None
+    | x :: rest ->
+        pending := rest;
+        Some x
+  in
+  let records =
+    match scan with
+    | `Forward -> Forest.forward_records ~enc:w.scratch ~depth_limit input
+    | `Reverse -> Forest.reverse_records ~enc:w.scratch ~depth_limit input
+  in
+  let ext_budget =
+    match v.v_ext_budget with
+    | Some b -> b
+    | None -> invalid_arg "Sort_pool: external task on a view without headroom"
+  in
+  let sub =
+    Extmem.Memory_budget.carve ext_budget
+      ~who:(Printf.sprintf "external sort (worker %d)" w.index)
+      ~blocks:arena_blocks ()
+  in
+  let temp = Config.scratch_device config ~name:"temp" in
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.protect v.v_stats_lock (fun () ->
+          Extmem.Io_stats.accumulate ~into:v.v_temp_io (Extmem.Device.stats temp);
+          v.v_temp_sim <- v.v_temp_sim +. Extmem.Device.simulated_ms temp;
+          let leak = Extmem.Memory_budget.used_blocks sub in
+          if leak > 0 then v.v_leaked <- v.v_leaked + leak);
+      Extmem.Device.close temp;
+      (* a leak is counted above, never masked by an uncarve raise *)
+      Extmem.Memory_budget.uncarve ~force:true sub)
+    (fun () ->
+      let output, finish = Forest.keypath_output ~encoding ~enc:w.scratch emit in
+      ignore
+        (Extsort.External_sort.sort ~budget:sub ~temp ~cmp:Keypath.compare_encoded
+           ~input:records ~output ()
+          : Extsort.External_sort.stats);
+      finish ())
+
+let run_task (v, task) w =
+  let writer = Extmem.Block_writer.create ~buffer:v.v_buffers.(w.index) v.v_devs.(w.index) in
   let emit = Extmem.Block_writer.write_record writer in
   (match task with
   | Sort { payloads; _ } ->
-      let packed = t.encoding = Config.Packed in
-      let views = List.map (Entry.View.of_payload t.encoding) payloads in
-      let forest = Forest.sort_forest ~depth_limit:t.depth_limit (Forest.build_forest views) in
+      let packed = v.v_config.Config.encoding = Config.Packed in
+      let views = List.map (Entry.View.of_payload v.v_config.Config.encoding) payloads in
+      let forest =
+        Forest.sort_forest ~depth_limit:v.v_config.Config.depth_limit
+          (Forest.build_forest views)
+      in
       List.iter (Forest.emit_node ~packed w.scratch emit) forest;
-      ignore (Atomic.fetch_and_add w.entries_sorted (List.length payloads))
+      ignore (Atomic.fetch_and_add v.v_entries.(w.index) (List.length payloads))
   | Copy { payloads; _ } ->
       List.iter emit payloads;
-      ignore (Atomic.fetch_and_add w.entries_sorted (List.length payloads)));
+      ignore (Atomic.fetch_and_add v.v_entries.(w.index) (List.length payloads))
+  | External { payloads; scan; arena_blocks; _ } ->
+      run_external_task v w ~arena_blocks ~scan payloads emit;
+      ignore (Atomic.fetch_and_add v.v_entries.(w.index) (List.length payloads)));
   let extent = Extmem.Block_writer.close writer in
-  Atomic.incr w.tasks_done;
-  (w.dev, extent)
+  Atomic.incr v.v_tasks_done.(w.index);
+  (v.v_devs.(w.index), extent)
 
 let rec worker_loop t w =
   (* idle covers lock acquisition and the empty-queue wait: everything
@@ -124,48 +202,29 @@ let rec worker_loop t w =
     Obs.Tracer.end_span t.tracer t.tr_idle
   end
   else begin
-    let task = Queue.pop t.queue in
+    let ((v, task) as item) = Queue.pop t.queue in
     Condition.broadcast t.space_ready;
     Mutex.unlock t.lock;
     Obs.Tracer.end_span t.tracer t.tr_idle;
-    let tr_task = match task with Sort _ -> t.tr_sort | Copy _ -> t.tr_copy in
+    let tr_task =
+      match task with
+      | Sort _ -> t.tr_sort
+      | Copy _ -> t.tr_copy
+      | External _ -> t.tr_external
+    in
     Obs.Tracer.begin_span t.tracer tr_task;
-    let result = try Ok (run_task t w task) with e -> Error e in
+    let result = try Ok (run_task item w) with e -> Error e in
     Obs.Tracer.end_span t.tracer tr_task;
     Mutex.lock t.lock;
-    t.completions <- { c_run = task_run task; c_result = result } :: t.completions;
-    t.in_flight <- t.in_flight - 1;
+    v.v_completions <- { c_run = task_run task; c_result = result } :: v.v_completions;
+    v.v_in_flight <- v.v_in_flight - 1;
     Condition.broadcast t.done_ready;
     Mutex.unlock t.lock;
     worker_loop t w
   end
 
-let create ~(config : Config.t) ~arena ~runs ~workers:n =
+let create ?(tracer = Obs.Tracer.null) ~workers:n () =
   if n < 1 then invalid_arg "Sort_pool.create: need at least one worker";
-  let bs = config.Config.block_size in
-  let mk_worker i =
-    let sub_arena =
-      Extmem.Frame_arena.carve arena ~who:(Printf.sprintf "worker %d slab" i)
-        ~blocks:slab_blocks
-    in
-    let lease =
-      Extmem.Frame_arena.lease sub_arena ~who:(Printf.sprintf "worker %d writer" i) slab_blocks
-    in
-    let buffer = Extmem.Frame_arena.take sub_arena bs in
-    let dev = Config.scratch_device config ~name:(Printf.sprintf "runs-w%d" i) in
-    {
-      index = i;
-      dev;
-      sub_arena;
-      lease;
-      buffer;
-      scratch = Extmem.Codec.Enc.create ~capacity:32 ();
-      tasks_done = Atomic.make 0;
-      entries_sorted = Atomic.make 0;
-      domain = None;
-    }
-  in
-  let tracer = config.Config.tracer in
   let t =
     {
       lock = Mutex.create ();
@@ -175,22 +234,16 @@ let create ~(config : Config.t) ~arena ~runs ~workers:n =
       queue = Queue.create ();
       max_queue = 2 * n;
       stopping = false;
-      in_flight = 0;
-      completions = [];
-      workers = Array.init n mk_worker;
-      runs;
-      encoding = config.Config.encoding;
-      depth_limit = config.Config.depth_limit;
+      workers =
+        Array.init n (fun i ->
+            { index = i; scratch = Extmem.Codec.Enc.create ~capacity:32 (); domain = None });
       tracer;
       tr_idle = Obs.Tracer.intern tracer "worker.idle";
       tr_sort = Obs.Tracer.intern tracer "task:sort";
       tr_copy = Obs.Tracer.intern tracer "task:copy";
+      tr_external = Obs.Tracer.intern tracer "task:external";
       tr_submit_wait = Obs.Tracer.intern tracer "pool.submit.wait";
       tr_install = Obs.Tracer.intern tracer "run.install";
-      final_io = None;
-      final_sim_ms = 0.;
-      final_stats = [];
-      shut = false;
     }
   in
   Array.iter
@@ -203,11 +256,40 @@ let create ~(config : Config.t) ~arena ~runs ~workers:n =
     t.workers;
   t
 
-let submit t task =
+let view t ~(config : Config.t) ~runs ~budget ~ext_budget =
+  let n = Array.length t.workers in
+  (* the per-worker run-writer buffers are the job's memory: reserved in
+     the job budget, which [Session.create] inflates by exactly this
+     total so the blocks visible to the algorithm are unchanged *)
+  Extmem.Memory_budget.reserve budget ~who:"pool writer buffers" (n * slab_blocks);
+  let bs = config.Config.block_size in
+  {
+    v_config = config;
+    v_runs = runs;
+    v_budget = budget;
+    v_ext_budget = ext_budget;
+    v_devs =
+      Array.init n (fun i -> Config.scratch_device config ~name:(Printf.sprintf "runs-w%d" i));
+    v_buffers = Array.init n (fun _ -> Bytes.create bs);
+    v_tasks_done = Array.init n (fun _ -> Atomic.make 0);
+    v_entries = Array.init n (fun _ -> Atomic.make 0);
+    v_stats_lock = Mutex.create ();
+    v_temp_io = Extmem.Io_stats.create ();
+    v_temp_sim = 0.;
+    v_leaked = 0;
+    v_in_flight = 0;
+    v_completions = [];
+    v_closed = false;
+    v_final_io = None;
+    v_final_sim = 0.;
+    v_final_stats = [];
+  }
+
+let submit t v task =
   Mutex.lock t.lock;
-  if t.stopping then begin
+  if t.stopping || v.v_closed then begin
     Mutex.unlock t.lock;
-    invalid_arg "Sort_pool.submit: pool is shut down"
+    invalid_arg "Sort_pool.submit: pool or view is shut down"
   end;
   if Queue.length t.queue >= t.max_queue then begin
     (* backpressure: the producer blocks until a worker frees a slot *)
@@ -217,20 +299,23 @@ let submit t task =
     done;
     Obs.Tracer.end_span t.tracer t.tr_submit_wait
   end;
-  Queue.push task t.queue;
-  t.in_flight <- t.in_flight + 1;
+  Queue.push (v, task) t.queue;
+  v.v_in_flight <- v.v_in_flight + 1;
   Condition.broadcast t.work_ready;
   Mutex.unlock t.lock
 
-let submit_sort t ~run payloads = submit t (Sort { run; payloads })
+let submit_sort t v ~run payloads = submit t v (Sort { run; payloads })
 
-let submit_copy t ~run payloads = submit t (Copy { run; payloads })
+let submit_copy t v ~run payloads = submit t v (Copy { run; payloads })
+
+let submit_external t v ~run ~scan ~arena_blocks payloads =
+  submit t v (External { run; payloads; scan; arena_blocks })
 
 (* Install the finished runs in id order and surface the first failure
    (by run id, i.e. by submission order — not by completion timing) with
    its original exception identity, so fault classification upstream
    sees the same [Device.Fault] it would on the single-threaded path. *)
-let install_completions t cs =
+let install_completions t v cs =
   let cs = List.sort (fun a b -> compare a.c_run b.c_run) cs in
   let first_error = ref None in
   List.iter
@@ -238,58 +323,94 @@ let install_completions t cs =
       match c.c_result with
       | Ok (dev, extent) ->
           Obs.Tracer.instant t.tracer t.tr_install;
-          Extmem.Run_store.install t.runs c.c_run ~dev ~extent
+          Extmem.Run_store.install v.v_runs c.c_run ~dev ~extent
       | Error e -> if Option.is_none !first_error then first_error := Some e)
     cs;
   match !first_error with None -> () | Some e -> raise e
 
-let drain t =
+let drain t v =
   Mutex.lock t.lock;
-  while t.in_flight > 0 do
+  while v.v_in_flight > 0 do
     Condition.wait t.done_ready t.lock
   done;
-  let cs = t.completions in
-  t.completions <- [];
+  let cs = v.v_completions in
+  v.v_completions <- [];
   Mutex.unlock t.lock;
-  install_completions t cs
+  install_completions t v cs
 
-let live_io t =
+let live_io v =
   Array.fold_left
-    (fun acc w -> Extmem.Io_stats.add acc (Extmem.Io_stats.snapshot (Extmem.Device.stats w.dev)))
-    (Extmem.Io_stats.create ()) t.workers
+    (fun acc d -> Extmem.Io_stats.add acc (Extmem.Io_stats.snapshot (Extmem.Device.stats d)))
+    (Extmem.Io_stats.create ()) v.v_devs
 
-let io t =
-  match t.final_io with Some s -> Extmem.Io_stats.snapshot s | None -> live_io t
+let io v =
+  match v.v_final_io with Some s -> Extmem.Io_stats.snapshot s | None -> live_io v
 
-let live_sim_ms t =
-  Array.fold_left (fun acc w -> acc +. Extmem.Device.simulated_ms w.dev) 0. t.workers
+let live_sim_ms v =
+  Array.fold_left (fun acc d -> acc +. Extmem.Device.simulated_ms d) 0. v.v_devs
 
-let sim_ms t = if t.shut then t.final_sim_ms else live_sim_ms t
+let sim_ms v = if v.v_closed then v.v_final_sim else live_sim_ms v
 
-let live_worker_stats t =
+let temp_io v = Mutex.protect v.v_stats_lock (fun () -> Extmem.Io_stats.snapshot v.v_temp_io)
+
+let temp_sim_ms v = Mutex.protect v.v_stats_lock (fun () -> v.v_temp_sim)
+
+let leaked_blocks v = Mutex.protect v.v_stats_lock (fun () -> v.v_leaked)
+
+let live_worker_stats v =
   Array.to_list
-    (Array.map
-       (fun w ->
+    (Array.init (Array.length v.v_devs) (fun i ->
          {
-           w_index = w.index;
-           w_tasks = Atomic.get w.tasks_done;
-           w_entries = Atomic.get w.entries_sorted;
-           w_io = Extmem.Io_stats.snapshot (Extmem.Device.stats w.dev);
-         })
-       t.workers)
+           w_index = i;
+           w_tasks = Atomic.get v.v_tasks_done.(i);
+           w_entries = Atomic.get v.v_entries.(i);
+           w_io = Extmem.Io_stats.snapshot (Extmem.Device.stats v.v_devs.(i));
+         }))
 
-let worker_stats t = if t.shut then t.final_stats else live_worker_stats t
+let worker_stats v = if v.v_closed then v.v_final_stats else live_worker_stats v
 
-(* Shutdown joins the workers and releases every worker resource on the
-   main thread, so it is safe on any exit path: on an abort the queue is
-   cleared first (pending tasks are dropped — their pending run slots
-   are never read, the whole sort is being torn down) and workers exit
-   as soon as their current task finishes. *)
+(* Close a job's view: drop its queued tasks (abort path: their reserved
+   run slots are never read, the whole job is being torn down), wait out
+   its in-flight task, snapshot the totals, and release the view's
+   devices and writer-buffer reservation.  The pool and the other
+   tenants' views are untouched. *)
+let close_view t v =
+  Mutex.lock t.lock;
+  if v.v_closed then Mutex.unlock t.lock
+  else begin
+    (* remove this view's queued tasks, preserving the others' order *)
+    let keep = Queue.create () in
+    Queue.iter
+      (fun ((v', _) as item) ->
+        if v' == v then v.v_in_flight <- v.v_in_flight - 1 else Queue.push item keep)
+      t.queue;
+    Queue.clear t.queue;
+    Queue.transfer keep t.queue;
+    Condition.broadcast t.space_ready;
+    while v.v_in_flight > 0 do
+      Condition.wait t.done_ready t.lock
+    done;
+    v.v_completions <- [];
+    v.v_closed <- true;
+    Mutex.unlock t.lock;
+    v.v_final_stats <- live_worker_stats v;
+    v.v_final_io <- Some (live_io v);
+    v.v_final_sim <- live_sim_ms v;
+    Extmem.Memory_budget.release v.v_budget ~who:"pool writer buffers"
+      (Array.length v.v_devs * slab_blocks);
+    Array.iter Extmem.Device.close v.v_devs
+  end
+
+(* Stop and join the workers.  Views must be closed first (every job
+   torn down); any task still queued here belongs to a live view, whose
+   drain would deadlock after shutdown, so refuse instead of dropping
+   other tenants' work silently. *)
 let shutdown t =
-  if not t.shut then begin
-    Mutex.lock t.lock;
+  Mutex.lock t.lock;
+  if t.stopping then Mutex.unlock t.lock
+  else begin
     t.stopping <- true;
-    t.in_flight <- t.in_flight - Queue.length t.queue;
+    Queue.iter (fun (v, _) -> v.v_in_flight <- v.v_in_flight - 1) t.queue;
     Queue.clear t.queue;
     Condition.broadcast t.work_ready;
     Condition.broadcast t.space_ready;
@@ -301,17 +422,5 @@ let shutdown t =
             Domain.join d;
             w.domain <- None
         | None -> ())
-      t.workers;
-    t.completions <- [];
-    t.final_stats <- live_worker_stats t;
-    t.final_io <- Some (live_io t);
-    t.final_sim_ms <- live_sim_ms t;
-    t.shut <- true;
-    Array.iter
-      (fun w ->
-        Extmem.Frame_arena.give w.sub_arena w.buffer;
-        Extmem.Frame_arena.close_lease w.lease;
-        Extmem.Frame_arena.close w.sub_arena;
-        Extmem.Device.close w.dev)
       t.workers
   end

@@ -214,24 +214,57 @@ let collapse st frame resolved_key =
       Log.debug (fun m ->
           m "collapse: level %d pos %d, %d bytes, in-memory sort" frame.flevel frame.fpos size);
       match st.session.Session.pool with
-      | Some pool ->
+      | Some (pool, view) ->
           (* parallel path: claim the run id here — the same sequence
              point where the single-threaded path registers the run — and
              hand the pure sort (over the raw payloads) to a worker *)
           let run = Extmem.Run_store.reserve st.session.Session.runs in
-          Sort_pool.submit_sort pool ~run (collect_payloads st ~from_:frame.loc);
+          Sort_pool.submit_sort pool view ~run (collect_payloads st ~from_:frame.loc);
           run
       | None -> Subtree_sort.sort_in_memory st.session (collect_views st ~from_:frame.loc)
     end
     else begin
       st.n_external <- st.n_external + 1;
-      let scan, input = external_scan_input st frame in
-      Log.debug (fun m ->
-          m "collapse: level %d pos %d, %d bytes > arena, external key-path sort (%s scan)"
-            frame.flevel frame.fpos size
-            (match scan with `Forward -> "forward" | `Reverse -> "reverse"));
-      let id, _stats = Subtree_sort.sort_external st.session ~input ~scan in
-      id
+      match st.session.Session.pool with
+      | Some (pool, view) ->
+          (* offloaded external sort: mirror the single-threaded sequence
+             exactly — reclaim, drain the scan input with the same stack
+             mechanics (a reverse scan pops; a forward scan reads), then
+             hand the pure key-path sort to a worker along with the very
+             arena size the inline sort would have leased, so run
+             structure and scratch I/O match the [--jobs 1] bill *)
+          Session.reclaim st.session;
+          let scan, payloads =
+            if st.scan_evaluable then (`Forward, collect_payloads st ~from_:frame.loc)
+            else begin
+              let acc = ref [] in
+              while Extmem.Ext_stack.length data > frame.loc do
+                acc := Extmem.Ext_stack.pop data :: !acc
+              done;
+              (`Reverse, List.rev !acc (* pop order: reverse document order *))
+            end
+          in
+          let arena_blocks =
+            Extmem.Memory_budget.available_blocks st.session.Session.budget
+          in
+          Log.debug (fun m ->
+              m
+                "collapse: level %d pos %d, %d bytes > arena, external key-path sort \
+                 offloaded (%s scan, %d-block arena)"
+                frame.flevel frame.fpos size
+                (match scan with `Forward -> "forward" | `Reverse -> "reverse")
+                arena_blocks);
+          let run = Extmem.Run_store.reserve st.session.Session.runs in
+          Sort_pool.submit_external pool view ~run ~scan ~arena_blocks payloads;
+          run
+      | None ->
+          let scan, input = external_scan_input st frame in
+          Log.debug (fun m ->
+              m "collapse: level %d pos %d, %d bytes > arena, external key-path sort (%s scan)"
+                frame.flevel frame.fpos size
+                (match scan with `Forward -> "forward" | `Reverse -> "reverse"));
+          let id, _stats = Subtree_sort.sort_external st.session ~input ~scan in
+          id
     end
   in
   st.n_subtree_sorts <- st.n_subtree_sorts + 1;
@@ -253,9 +286,9 @@ let collapse_copy st frame resolved_key =
         frame.fpos size);
   let run =
     match st.session.Session.pool with
-    | Some pool ->
+    | Some (pool, view) ->
         let run = Extmem.Run_store.reserve st.session.Session.runs in
-        Sort_pool.submit_copy pool ~run (collect_payloads st ~from_:frame.loc);
+        Sort_pool.submit_copy pool view ~run (collect_payloads st ~from_:frame.loc);
         run
     | None ->
         let w = Extmem.Run_store.begin_run st.session.Session.runs in
@@ -485,7 +518,10 @@ let event_stream st entries =
       next ()
     end
   in
-  next
+  fun () ->
+    (* cancellation checkpoint: one poll per pulled output event *)
+    session.Session.poll ();
+    next ()
 
 (* The terminal pipeline stage: XML events into the serialized document.
    The close flushes the block writer before validating writer depth, so
@@ -556,6 +592,8 @@ let open_sorted ~session ~config ~ordering ~input ~io_meter ~sim_meter =
       Pipe.run ~spans ~budget:session.Session.budget
         (scan_source ?dict ~keep_whitespace:config.Config.keep_whitespace input)
         (Pipe.fn_sink ~who:"sort scan" (fun (p : Xmlio.Event.packed) ->
+             (* cancellation checkpoint: one poll per scan event *)
+             session.Session.poll ();
              st.n_events <- st.n_events + 1;
              match p.Xmlio.Event.pkind with
              | Xmlio.Event.Pstart -> on_start st p
@@ -642,13 +680,22 @@ let build_report (st : state) ~input_io ~output_io ~extra_sim ~t0 =
     arena = Extmem.Frame_arena.owners session.Session.arena;
     jobs = session.Session.config.Config.jobs;
     workers =
-      (match session.Session.pool with Some p -> Sort_pool.worker_stats p | None -> []);
+      (match session.Session.pool with
+      | Some (_, v) -> Sort_pool.worker_stats v
+      | None -> []);
   }
 
-let sort_device ?(config = Config.make ()) ~ordering ~input ~output () =
+let sort_device ?config ?session ~ordering ~input ~output () =
+  (* an engine-provided session brings its own config (and budget, pool
+     view, poll hook); standalone calls build a one-job session here *)
+  let config =
+    match session with
+    | Some s -> s.Session.config
+    | None -> Option.value config ~default:(Config.make ())
+  in
   Config.validate_ordering config ordering;
   let t0 = Unix.gettimeofday () in
-  let session = Session.create config in
+  let session = match session with Some s -> s | None -> Session.create config in
   (* span meters: cumulative I/O and simulated time over every device the
      sort touches, so phase deltas attribute all of it *)
   let io_meter () =
@@ -699,10 +746,15 @@ type stream = {
   mutable s_report : report option;
 }
 
-let open_stream ?(config = Config.make ()) ~ordering ~input () =
+let open_stream ?config ?session ~ordering ~input () =
+  let config =
+    match session with
+    | Some s -> s.Session.config
+    | None -> Option.value config ~default:(Config.make ())
+  in
   Config.validate_ordering config ordering;
   let t0 = Unix.gettimeofday () in
-  let session = Session.create config in
+  let session = match session with Some s -> s | None -> Session.create config in
   let io_meter () =
     Extmem.Io_stats.add
       (Extmem.Io_stats.snapshot (Extmem.Device.stats input))

@@ -76,6 +76,7 @@ type report = {
 
 val sort_device :
   ?config:Config.t ->
+  ?session:Session.t ->
   ordering:Ordering.t ->
   input:Extmem.Device.t ->
   output:Extmem.Device.t ->
@@ -85,6 +86,12 @@ val sort_device :
     bytes) and write the fully sorted document to [output].  The devices'
     own I/O counters record the input/output passes; all intermediate I/O
     is on session-private devices, reported in [breakdown].
+
+    [session] runs the sort over a pre-built session — the engine path,
+    where the session carries an engine-carved budget, a shared pool
+    view and a cancellation poll.  It is destroyed here on every exit
+    path, exactly like a self-created one, and overrides [config] (the
+    session's own config is used).
 
     @raise Xmlio.Parser.Error on malformed input.
     @raise Invalid_argument on a configuration/ordering mismatch (see
@@ -104,13 +111,15 @@ type stream
 
 val open_stream :
   ?config:Config.t ->
+  ?session:Session.t ->
   ordering:Ordering.t ->
   input:Extmem.Device.t ->
   unit ->
   stream
 (** Run the sorting phase on [input] and return the sorted document as a
-    pull stream of XML events.  Same raising behaviour as
-    {!sort_device}. *)
+    pull stream of XML events.  Same raising behaviour (and the same
+    [session] semantics — destroyed at {!stream_finish} or on a raise
+    here) as {!sort_device}. *)
 
 val stream_events : stream -> Xmlio.Event.t option
 (** Next event of the sorted document, [None] at the end. *)

@@ -42,100 +42,15 @@ let sort_in_memory (session : Session.t) views =
 
 (* ---- key-path external sort ---- *)
 
-(* The component an entry contributes to key paths: its resolved key and
-   position, with the key suppressed below the depth limit so deeper
-   levels keep document order. *)
-let component ~depth_limit key v =
-  let key =
-    match depth_limit with
-    | Some d when Entry.View.level v > d + 1 -> Key.Null
-    | Some _ | None -> key
-  in
-  { Keypath.key; pos = Entry.View.pos v }
+(* The pure record streams and reconstruction live in [Forest] (shared
+   with the worker pool, which runs whole external sorts off-session);
+   these wrappers bind them to the session's encoder and config. *)
 
-(* Pull-stream of encoded key-path records from an entry-view stream in
-   document order.  Keys must be on Start entries (scan-evaluable).  The
-   view's payload rides along verbatim as the record payload. *)
 let forward_records (session : Session.t) ~depth_limit input =
-  let enc = session.Session.enc_scratch in
-  let stack = ref [] in (* (level, component), innermost first *)
-  let pop_to level =
-    let rec go () =
-      match !stack with
-      | (l, _) :: rest when l >= level ->
-          stack := rest;
-          go ()
-      | _ -> ()
-    in
-    go ()
-  in
-  let path_of own = List.rev_map snd !stack @ [ own ] in
-  let rec next () =
-    match input () with
-    | None -> None
-    | Some v -> (
-        match Entry.View.kind v with
-        | Entry.View.Vend ->
-            pop_to (Entry.View.level v);
-            next ()
-        | kind ->
-            let level = Entry.View.level v in
-            pop_to level;
-            let own = component ~depth_limit (Entry.View.sibling_key v) v in
-            let record =
-              Keypath.encode_record ~enc (path_of own) ~payload:(Entry.View.payload v)
-            in
-            (match kind with
-            | Entry.View.Vstart -> stack := (level, own) :: !stack
-            | Entry.View.Vtext | Entry.View.Vrun_ptr | Entry.View.Vend -> ());
-            Some record)
-  in
-  next
+  Forest.forward_records ~enc:session.Session.enc_scratch ~depth_limit input
 
-(* Same, for entries arriving in reverse document order (popped from the
-   data stack).  End entries precede their subtrees here and carry the
-   element keys. *)
 let reverse_records (session : Session.t) ~depth_limit input =
-  let enc = session.Session.enc_scratch in
-  let stack = ref [] in (* components, innermost first *)
-  let rec next () =
-    match input () with
-    | None -> None
-    | Some v -> (
-        match Entry.View.kind v with
-        | Entry.View.Vend ->
-            let k = Option.value (Entry.View.end_key v) ~default:Key.Null in
-            stack := component ~depth_limit k v :: !stack;
-            next ()
-        | Entry.View.Vstart ->
-            (* own component is the stack top when an End was seen (it
-               carries the authoritative key); synthesize it otherwise
-               (packed) *)
-            let path =
-              match !stack with
-              | _ :: _ -> List.rev !stack
-              | [] ->
-                  [
-                    component ~depth_limit
-                      (Option.value (Entry.View.start_key v) ~default:Key.Null)
-                      v;
-                  ]
-            in
-            let record = Keypath.encode_record ~enc path ~payload:(Entry.View.payload v) in
-            (match !stack with
-            | _ :: rest -> stack := rest
-            | [] -> ());
-            Some record
-        | Entry.View.Vtext | Entry.View.Vrun_ptr ->
-            let own = component ~depth_limit (Entry.View.sibling_key v) v in
-            let record =
-              Keypath.encode_record ~enc
-                (List.rev !stack @ [ own ])
-                ~payload:(Entry.View.payload v)
-            in
-            Some record)
-  in
-  next
+  Forest.reverse_records ~enc:session.Session.enc_scratch ~depth_limit input
 
 let sort_external_to (session : Session.t) ~input ~scan emit =
   let depth_limit = session.Session.config.Config.depth_limit in
@@ -144,33 +59,9 @@ let sort_external_to (session : Session.t) ~input ~scan emit =
     | `Forward -> forward_records session ~depth_limit input
     | `Reverse -> reverse_records session ~depth_limit input
   in
-  (* reconstruction: emit sorted payloads verbatim, synthesizing End
-     entries from level transitions (the open-tag stack is O(height)
-     internal state) *)
-  let encoding = session.Session.config.Config.encoding in
-  let opens = ref [] in (* (level, pos) of open Start entries *)
-  let close_down_to level =
-    if not (packed session) then
-      let rec go () =
-        match !opens with
-        | (l, pos) :: rest when l >= level ->
-            emit (Entry.encode_end_to session.Session.enc_scratch ~level:l ~pos ~key:None);
-            opens := rest;
-            go ()
-        | _ -> ()
-      in
-      go ()
-    else
-      opens := List.filter (fun (l, _) -> l < level) !opens
-  in
-  let output record =
-    let payload = Keypath.decode_payload record in
-    let v = Entry.View.of_payload encoding payload in
-    close_down_to (Entry.View.level v);
-    emit payload;
-    match Entry.View.kind v with
-    | Entry.View.Vstart -> opens := (Entry.View.level v, Entry.View.pos v) :: !opens
-    | Entry.View.Vtext | Entry.View.Vrun_ptr | Entry.View.Vend -> ()
+  let output, finish =
+    Forest.keypath_output ~encoding:session.Session.config.Config.encoding
+      ~enc:session.Session.enc_scratch emit
   in
   let stats =
     try
@@ -185,7 +76,7 @@ let sort_external_to (session : Session.t) ~input ~scan emit =
       Session.reclaim session;
       raise e
   in
-  close_down_to 0;
+  finish ();
   stats
 
 let sort_external (session : Session.t) ~input ~scan =

@@ -156,7 +156,7 @@ let carve t ~who ~blocks =
   match t.budget with
   | None -> invalid_arg "Frame_arena.carve: arena has no budget to carve from"
   | Some b ->
-      let sub = Memory_budget.carve b ~who ~blocks in
+      let sub = Memory_budget.carve b ~who ~blocks () in
       create ~budget:sub ~default_policy:t.arena_policy ()
 
 let close t =

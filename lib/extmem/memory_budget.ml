@@ -4,9 +4,10 @@ type t = {
   mutable used : int;
   ledger : (string, int) Hashtbl.t; (* who -> blocks currently held *)
   lock : Mutex.t;
-  (* a carved sub-budget remembers the pool it was carved from and the
-     owner name its slab is recorded under there *)
-  parent : (t * string) option;
+  (* a carved sub-budget remembers the pool it was carved from, the owner
+     name its slab is recorded under there, and the slab size in the
+     parent's blocks (the two budgets may use different block sizes) *)
+  parent : (t * string * int) option;
 }
 
 exception Exhausted of string
@@ -74,19 +75,24 @@ let with_reserved b ~who n f =
   reserve b ~who n;
   Fun.protect ~finally:(fun () -> release b ~who n) f
 
-let carve b ~who ~blocks =
+let carve b ?block_size ~who ~blocks () =
   if blocks < 1 then invalid_arg "Memory_budget.carve: need at least one block";
-  reserve b ~who blocks;
-  { total = blocks; bs = b.bs; used = 0; ledger = Hashtbl.create 8;
-    lock = Mutex.create (); parent = Some (b, who) }
+  let bs = Option.value block_size ~default:b.bs in
+  if bs < 1 then invalid_arg "Memory_budget.carve: block_size must be positive";
+  (* the slab is charged to the parent in the parent's own granularity,
+     rounding up so a sub-budget can never out-commit its slab *)
+  let parent_blocks = (blocks * bs + b.bs - 1) / b.bs in
+  reserve b ~who parent_blocks;
+  { total = blocks; bs; used = 0; ledger = Hashtbl.create 8;
+    lock = Mutex.create (); parent = Some (b, who, parent_blocks) }
 
-let uncarve child =
+let uncarve ?(force = false) child =
   match child.parent with
   | None -> invalid_arg "Memory_budget.uncarve: not a carved sub-budget"
-  | Some (parent, who) ->
+  | Some (parent, who, parent_blocks) ->
       Mutex.protect child.lock (fun () ->
-          if child.used <> 0 then
+          if child.used <> 0 && not force then
             invalid_arg
               (Printf.sprintf "Memory_budget.uncarve: %s still holds %d blocks (%s)" who
                  child.used (pp_holders_u child)));
-      release parent ~who child.total
+      release parent ~who parent_blocks

@@ -60,15 +60,23 @@ val holders : t -> (string * int) list
 val with_reserved : t -> who:string -> int -> (unit -> 'a) -> 'a
 (** Reserve around a scope; always released, also on exceptions. *)
 
-val carve : t -> who:string -> blocks:int -> t
-(** [carve b ~who ~blocks] reserves a [blocks]-block slab under [who] and
-    returns it as a fresh sub-budget with its own lock and ledger.  The
-    slab counts as used in [b] for as long as the sub-budget lives, so
+val carve : t -> ?block_size:int -> who:string -> blocks:int -> unit -> t
+(** [carve b ~who ~blocks ()] reserves a [blocks]-block slab under [who]
+    and returns it as a fresh sub-budget with its own lock and ledger.
+    The slab counts as used in [b] for as long as the sub-budget lives, so
     concurrent holders of the parent can never over-commit the pool.
+    [block_size] gives the sub-budget its own granularity (a multi-tenant
+    engine budget parcels blocks out to jobs with different [B]s); the
+    parent is charged [blocks * block_size] bytes rounded {e up} to whole
+    parent blocks, so a sub-budget can never out-commit its slab.
     @raise Exhausted when the parent cannot cover the slab. *)
 
-val uncarve : t -> unit
+val uncarve : ?force:bool -> t -> unit
 (** Return a carved sub-budget's slab to its parent.  The sub-budget must
     be empty — a block still reserved in it is a leak, reported with its
-    owner — and must not be used afterwards.
-    @raise Invalid_argument on a non-carved budget or a non-empty one. *)
+    owner — and must not be used afterwards.  [~force:true] releases the
+    slab even when blocks are still held, for teardown paths that count
+    the leak themselves ({!used_blocks} before forcing) instead of
+    masking the original failure with a raise.
+    @raise Invalid_argument on a non-carved budget, or (unforced) on a
+    non-empty one. *)

@@ -267,10 +267,13 @@ let merge_devices ~ordering ~left ~right ~output () =
    (each drives its own NEXSORT session — the root's final merge runs
    lazily as the merge pulls), so neither sorted document is ever
    materialised. *)
-let merge_sorted_streams ?io ~ordering ~config ~left ~right ~emit () =
-  let sl = Nexsort.open_stream ~config ~ordering ~input:left () in
+let merge_sorted_streams ?io ?sessions ~ordering ~config ~left ~right ~emit () =
+  let sess_l, sess_r =
+    match sessions with Some (a, b) -> (Some a, Some b) | None -> (None, None)
+  in
+  let sl = Nexsort.open_stream ~config ?session:sess_l ~ordering ~input:left () in
   let sr =
-    try Nexsort.open_stream ~config ~ordering ~input:right ()
+    try Nexsort.open_stream ~config ?session:sess_r ~ordering ~input:right ()
     with e ->
       ignore (Nexsort.stream_finish sl);
       raise e
@@ -285,8 +288,8 @@ let merge_sorted_streams ?io ~ordering ~config ~left ~right ~emit () =
         ~right:(fun () -> Nexsort.stream_events sr)
         ~emit ())
 
-let sort_and_merge_devices ?(config = Nexsort.Config.make ()) ?(fuse = true) ~ordering ~left
-    ~right ~output () =
+let sort_and_merge_devices ?(config = Nexsort.Config.make ()) ?(fuse = true) ?sessions
+    ~ordering ~left ~right ~output () =
   if fuse then begin
     let bw = Extmem.Block_writer.create output in
     let writer = Xmlio.Writer.to_block_writer bw in
@@ -298,7 +301,7 @@ let sort_and_merge_devices ?(config = Nexsort.Config.make ()) ?(fuse = true) ~or
         (Extmem.Io_stats.snapshot (Extmem.Device.stats output))
     in
     let report =
-      merge_sorted_streams ~io ~ordering ~config ~left ~right
+      merge_sorted_streams ~io ?sessions ~ordering ~config ~left ~right
         ~emit:(Xmlio.Writer.event writer) ()
     in
     Xmlio.Writer.close writer;
@@ -309,17 +312,20 @@ let sort_and_merge_devices ?(config = Nexsort.Config.make ()) ?(fuse = true) ~or
   else begin
     (* unfused: materialise both sorted documents on scratch devices,
        then run the single-pass device merge *)
-    let sorted name input =
+    let sess_l, sess_r =
+      match sessions with Some (a, b) -> (Some a, Some b) | None -> (None, None)
+    in
+    let sorted name session input =
       let d = Nexsort.Config.scratch_device config ~name in
-      ignore (Nexsort.sort_device ~config ~ordering ~input ~output:d ());
+      ignore (Nexsort.sort_device ~config ?session ~ordering ~input ~output:d ());
       d
     in
-    let ldev = sorted "sorted-left" left in
-    let rdev = sorted "sorted-right" right in
+    let ldev = sorted "sorted-left" sess_l left in
+    let rdev = sorted "sorted-right" sess_r right in
     merge_devices ~ordering ~left:ldev ~right:rdev ~output ()
   end
 
-let sort_and_merge_strings ?config ?(fuse = true) ~ordering left right =
+let sort_and_merge_strings ?config ?(fuse = true) ?sessions ~ordering left right =
   let config = Option.value config ~default:(Nexsort.Config.make ()) in
   if fuse then begin
     let load name s =
@@ -331,7 +337,8 @@ let sort_and_merge_strings ?config ?(fuse = true) ~ordering left right =
     let buf = Buffer.create 1024 in
     let writer = Xmlio.Writer.to_buffer buf in
     let report =
-      merge_sorted_streams ~ordering ~config ~left ~right ~emit:(Xmlio.Writer.event writer) ()
+      merge_sorted_streams ?sessions ~ordering ~config ~left ~right
+        ~emit:(Xmlio.Writer.event writer) ()
     in
     Xmlio.Writer.close writer;
     (Buffer.contents buf, report)

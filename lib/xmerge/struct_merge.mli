@@ -73,6 +73,7 @@ val merge_devices :
 val sort_and_merge_strings :
   ?config:Nexsort.Config.t ->
   ?fuse:bool ->
+  ?sessions:Nexsort.Session.t * Nexsort.Session.t ->
   ordering:Nexsort.Ordering.t ->
   string ->
   string ->
@@ -82,11 +83,15 @@ val sort_and_merge_strings :
     ({!Nexsort.open_stream}) and the merge pulls from them directly, so
     neither sorted document is materialised; [~fuse:false] restores the
     three-pass sort/sort/merge sequence.  Each fused sort runs its own
-    session with its own memory budget. *)
+    session with its own memory budget, unless [sessions] supplies the
+    (left, right) pair — the engine path, where both sessions carve
+    from one engine budget; they are destroyed here on every exit path
+    (ignored on the unfused string path, which sorts in memory). *)
 
 val sort_and_merge_devices :
   ?config:Nexsort.Config.t ->
   ?fuse:bool ->
+  ?sessions:Nexsort.Session.t * Nexsort.Session.t ->
   ordering:Nexsort.Ordering.t ->
   left:Extmem.Device.t ->
   right:Extmem.Device.t ->
@@ -98,4 +103,6 @@ val sort_and_merge_devices :
     the whole job writes each input's sorted runs once and the merged
     output once, skipping the two sorted-document materialisation
     passes.  [~fuse:false] sorts onto scratch devices first and then
-    runs {!merge_devices}. *)
+    runs {!merge_devices}.  [sessions] runs the two sorts over
+    pre-built (left, right) sessions — see
+    {!sort_and_merge_strings}. *)

@@ -48,6 +48,30 @@ cmp /tmp/par1.out.xml /tmp/par4.out.xml
 dune exec bench/main.exe -- compare-metrics /tmp/par1.json /tmp/par4.json
 dune exec bench/main.exe -- compare-metrics /tmp/par4.json /tmp/par1.json
 
+# Engine smoke: the multi-tenant daemon must serve interleaved jobs from
+# two tenants under a queue-forcing budget and stay invisible in the
+# result — every output byte-identical to a standalone single-job CLI
+# run, every per-job I/O counter pinned equal (both compare directions),
+# and zero leaked blocks in the shutdown summary.  A short multi-tenant
+# fuzz run drives the same admission path through the config matrix.
+rm -f /tmp/eng_jobs.txt
+for i in 1 2 3 4 5 6 7 8; do
+  t=acme; [ $((i % 2)) -eq 0 ] && t=bravo
+  echo "sort -B 1024 -M 16 /tmp/par.xml -o /tmp/eng$i.xml --metrics /tmp/eng$i.json --tenant $t" \
+    >> /tmp/eng_jobs.txt
+done
+dune exec bin/nexsortd.exe -- --memory 40 --block-size 1024 /tmp/eng_jobs.txt > /tmp/engd.out
+grep -q 'leaked blocks: 0' /tmp/engd.out || {
+  echo "engine smoke: daemon summary reports leaked blocks" >&2; cat /tmp/engd.out >&2; exit 1; }
+grep -q '8 jobs: 8 done, 0 cancelled, 0 failed' /tmp/engd.out || {
+  echo "engine smoke: not all daemon jobs completed" >&2; cat /tmp/engd.out >&2; exit 1; }
+for i in 1 2 3 4 5 6 7 8; do
+  cmp /tmp/eng$i.xml /tmp/par1.out.xml
+  dune exec bench/main.exe -- compare-metrics /tmp/par1.json /tmp/eng$i.json
+  dune exec bench/main.exe -- compare-metrics /tmp/eng$i.json /tmp/par1.json
+done
+dune exec bin/nexfuzz.exe -- --tenants 4 --cases 24 --fault-cases 0 > /dev/null
+
 # Trace smoke: a --jobs 4 traced sort must produce a trace that nextrace
 # validates, carrying the sorter's phase spans and one track per worker.
 dune exec bin/nexsort_cli.exe -- -B 1024 -M 16 --jobs 4 --trace /tmp/trace4.json \

@@ -1,0 +1,71 @@
+The nexsortd daemon: a long-lived multi-tenant engine serving
+line-based sort/merge requests that reuse the CLI flag surface.  Jobs
+run concurrently; "wait" (and end of input) joins them in submission
+order, which is what makes the output below deterministic.
+
+  $ ../../bin/xmlgen_cli.exe --seed 3 --fanouts 4,4,3 --avg-bytes 60 -o doc.xml
+  wrote doc.xml: 69 elements, height 4, 4265 bytes
+
+Clean shutdown with jobs queued: the engine budget (8 blocks) fits one
+job at a time, so the second and third submissions sit in the admission
+queue; end of input drains everything and exits cleanly.
+
+  $ ../../bin/nexsortd.exe --memory 8 --block-size 256 <<'EOF'
+  > sort -B 256 -M 8 doc.xml -o d1.xml --tenant acme
+  > sort -B 256 -M 8 doc.xml -o d2.xml --tenant bravo
+  > sort -B 256 -M 8 doc.xml -o d3.xml --tenant acme
+  > EOF
+  [1] queued sort doc.xml tenant=acme
+  [2] queued sort doc.xml tenant=bravo
+  [3] queued sort doc.xml tenant=acme
+  [1] done sort doc.xml -> d1.xml (186 events, 5 subtree sorts)
+  [2] done sort doc.xml -> d2.xml (186 events, 5 subtree sorts)
+  [3] done sort doc.xml -> d3.xml (186 events, 5 subtree sorts)
+  3 jobs: 3 done, 0 cancelled, 0 failed; leaked blocks: 0
+
+Every concurrent job's output is byte-identical to a standalone
+single-job CLI run:
+
+  $ ../../bin/nexsort_cli.exe -B 256 -M 8 doc.xml -o ref.xml
+  $ cmp d1.xml ref.xml && cmp d2.xml ref.xml && cmp d3.xml ref.xml
+
+Cancelling a queued job wakes it out of the admission queue (this one
+could never be admitted: it wants more memory than the engine has);
+"status" after "wait" shows the quiescent engine.
+
+  $ ../../bin/nexsortd.exe --memory 8 --block-size 256 <<'EOF'
+  > sort -B 256 -M 64 doc.xml -o never.xml --tenant acme
+  > cancel 1
+  > wait
+  > status
+  > EOF
+  [1] queued sort doc.xml tenant=acme
+  [1] cancel requested
+  [1] cancelled sort doc.xml
+  engine: 0 running, 0 waiting, 0 admitted, 0 completed; leaked blocks: 0
+  1 jobs: 0 done, 1 cancelled, 0 failed; leaked blocks: 0
+
+Malformed requests are one-line errors with the CLI error status:
+
+  $ ../../bin/nexsortd.exe --memory 8 <<'EOF'
+  > sort --bogus doc.xml
+  > EOF
+  nexsortd: sort: unknown option '--bogus'.
+  0 jobs: 0 done, 0 cancelled, 0 failed; leaked blocks: 0
+  [124]
+
+So are cancels of unknown jobs and unknown request verbs:
+
+  $ ../../bin/nexsortd.exe --memory 8 <<'EOF'
+  > cancel 7
+  > EOF
+  nexsortd: cancel: unknown job 7
+  0 jobs: 0 done, 0 cancelled, 0 failed; leaked blocks: 0
+  [124]
+
+  $ ../../bin/nexsortd.exe --memory 8 <<'EOF'
+  > frobnicate now
+  > EOF
+  nexsortd: unknown request "frobnicate"
+  0 jobs: 0 done, 0 cancelled, 0 failed; leaked blocks: 0
+  [124]

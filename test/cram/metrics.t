@@ -18,6 +18,7 @@ stdout.  The top-level section keys are the report's stable schema:
   phases
   metrics
   timing
+  job
 
 Writing a report must not perturb the sort: the output is byte-identical
 to a run without --metrics:
@@ -89,7 +90,7 @@ each line a self-contained object repeating the schema version:
 
   $ ../../bin/nexsort_cli.exe -B 256 -M 8 -O @id doc.xml -o sorted3.xml --metrics report.ndjson 2> /dev/null
   $ wc -l < report.ndjson
-  10
+  11
   $ sed 's/.*"section":"\([a-z_]*\)".*/\1/' report.ndjson
   config
   counts
@@ -101,3 +102,4 @@ each line a self-contained object repeating the schema version:
   phases
   metrics
   timing
+  job

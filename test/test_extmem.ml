@@ -1398,7 +1398,7 @@ let test_budget_with_reserved () =
 
 let test_budget_carve () =
   let b = Extmem.Memory_budget.create ~blocks:8 ~block_size:8 in
-  let sub = Extmem.Memory_budget.carve b ~who:"worker 0" ~blocks:3 in
+  let sub = Extmem.Memory_budget.carve b ~who:"worker 0" ~blocks:3 () in
   check Alcotest.int "slab reserved in parent" 3 (Extmem.Memory_budget.held b "worker 0");
   Extmem.Memory_budget.reserve sub ~who:"lease" 2;
   check Alcotest.int "parent unchanged by sub reserve" 3 (Extmem.Memory_budget.used_blocks b);
