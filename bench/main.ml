@@ -593,6 +593,93 @@ let tenants () =
     [ 2; 4; 8 ]
 
 (* ------------------------------------------------------------------ *)
+(* E-ingest: incremental maintenance vs full re-sort.  A batch of k
+   subtree updates buffered in the external priority queue and flushed
+   through [Xmerge.Ingest] costs one merge pass over the base (read +
+   write); re-sorting the updated document from scratch costs the full
+   NEXSORT pipeline again.  This is a CI gate (scripts/check.sh runs
+   it): the flush must use strictly fewer block I/Os than the re-sort,
+   and the incremental output must be digest-identical to the oracle's
+   sequential batch application. *)
+
+let ingest () =
+  heading "E-ingest / incremental maintenance: k-update batch vs full re-sort";
+  let doc, stats = fig5_doc () in
+  let base = Extmem.Device.contents doc in
+  let config = Config.make ~block_size:1024 ~memory_blocks:16 () in
+  subnote "base: %d elements, %d KiB; block size 1 KiB, memory 16 blocks"
+    stats.Xmlgen.Gen.elements (stats.Xmlgen.Gen.bytes / 1024);
+  let root, tops =
+    match Xmlio.Tree.of_string base with
+    | Xmlio.Tree.Element e ->
+        (e, List.filter_map (function Xmlio.Tree.Element c -> Some c | _ -> None) e.Xmlio.Tree.children)
+    | Xmlio.Tree.Text _ -> failwith "E-ingest: text root"
+  in
+  (* k subtree updates derived from the base's own top level: a delete,
+     a replace, and fresh upserts round out the batch *)
+  let update_doc k =
+    let ops =
+      List.init k (fun i ->
+          match (i, List.nth_opt tops i) with
+          | 0, Some e ->
+              Xmlio.Tree.Element { e with Xmlio.Tree.attrs = ("__op", "delete") :: e.Xmlio.Tree.attrs; children = [] }
+          | 1, Some e ->
+              Xmlio.Tree.Element
+                { e with
+                  Xmlio.Tree.attrs = ("__op", "replace") :: e.Xmlio.Tree.attrs;
+                  children = [ Xmlio.Tree.Text "updated" ];
+                }
+          | _ ->
+              Xmlio.Tree.Element
+                { Xmlio.Tree.name = "upd";
+                  attrs = [ ("id", Printf.sprintf "90000%d" i); ("v", string_of_int i) ];
+                  children = [];
+                })
+    in
+    Xmlio.Tree.to_string (Xmlio.Tree.Element { root with Xmlio.Tree.children = ops })
+  in
+  let failures = ref 0 in
+  Printf.printf "%-10s | %-26s | %-10s | %s\n" "batch" "ingest io (flush / queue)" "re-sort io"
+    "resort/ingest io";
+  List.iter
+    (fun k ->
+      let update = update_doc k in
+      let sorted_base, _ = Nexsort.sort_string ~config ~ordering base in
+      let t = Xmerge.Ingest.create ~config ~ordering ~base () in
+      let report =
+        Fun.protect
+          ~finally:(fun () -> Xmerge.Ingest.destroy t)
+          (fun () ->
+            Xmerge.Ingest.add_update t update;
+            let r = Xmerge.Ingest.flush t in
+            (r, Xmerge.Ingest.contents t))
+      in
+      let flush_r, out = report in
+      let flush_io = Extmem.Io_stats.total flush_r.Xmerge.Ingest.flush_io in
+      (* spilled queue runs are written once and read back once *)
+      let queue_io = 2 * flush_r.Xmerge.Ingest.pq_run_blocks in
+      let ingest_io = flush_io + queue_io in
+      let resort = run_nexsort ~config (with_block_size 1024 (Extmem.Device.of_string ~name:"resort" ~block_size:1024 out)) in
+      let oracle, _ =
+        Xmerge.Batch_update.sort_and_apply_strings ~config ~ordering ~base:sorted_base
+          ~updates:update ()
+      in
+      let ok = String.equal (Digest.string out) (Digest.string oracle) in
+      let gate = ingest_io < resort.io in
+      Printf.printf "%3d ops    | %10d  (%6d / %4d)%s | %8d   | %.2fx%s\n" k ingest_io flush_io
+        queue_io
+        (if ok then "" else "  <-- DIVERGES FROM ORACLE")
+        resort.io
+        (float_of_int resort.io /. float_of_int ingest_io)
+        (if gate then "" else "  <-- NOT FEWER THAN RE-SORT");
+      if not (ok && gate) then incr failures)
+    [ 1; 4; 16 ];
+  if !failures > 0 then begin
+    Printf.eprintf "ingest: %d batch size(s) failed the incremental-maintenance gate\n" !failures;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* P-sweep: frame replacement policies — identical output, different
    paging.  This is a CI gate (scripts/check.sh runs it): any policy
    producing a different output digest is a correctness bug in the frame
@@ -1026,6 +1113,7 @@ let experiments =
     ("xsort", xsort);
     ("policy-sweep", policy_sweep);
     ("tenants", tenants);
+    ("ingest", ingest);
     ("micro", micro);
     ("wall", wall);
   ]

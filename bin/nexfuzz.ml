@@ -299,6 +299,118 @@ let run_fault_case ~seed j =
   >>= fun o -> probe_failures () >>= fun () -> Ok o
 
 (* ------------------------------------------------------------------ *)
+(* Update-ingest schedules: a seeded edit script runs through
+   [Xmerge.Ingest] (external PQ buffering + flush merges), sweeping
+   fault injection and memory pressure.  Every flush must leave a
+   document the independent validator accepts as recursively sorted, or
+   the run must abort with the typed fault/exhaustion — nothing in
+   between — and the resource probes must stay quiet either way. *)
+
+exception Update_fail of string
+
+let run_update_case ~seed j =
+  let case_seed = seed + 224737 + (61 * j) in
+  let rng = Xmlgen.Splitmix.create case_seed in
+  let base, _ = Xmlgen.Gen.to_string (Xmlgen.Gen.pathological ~seed:case_seed ~max_elements:120) in
+  let ordering = Ordering.by_attr "id" in
+  let policy = policies.(j mod 4) in
+  let kind = j mod 3 in
+  let device =
+    if kind = 0 then
+      (* seeded random faults on every internal device: the initial sort,
+         the flush merge passes and the queue's spill runs all feel them *)
+      Extmem.Device_spec.parse (Printf.sprintf "faulty:p=0.05,seed=%d/mem" (seed + j))
+    else Extmem.Device_spec.default
+  in
+  (* kind 2 starves the queue's insert tier so flushes ride on spilled
+     runs (and compactions) instead of the in-memory heap *)
+  let memory_blocks = if kind = 2 then 8 else 16 in
+  let config =
+    Nexsort.Config.make ~block_size:512 ~memory_blocks ~device ~pager_policy:policy ()
+  in
+  let root, tops =
+    match Xmlio.Tree.of_string base with
+    | Xmlio.Tree.Element e ->
+        (e, List.filter_map (function Xmlio.Tree.Element c -> Some c | _ -> None) e.Xmlio.Tree.children)
+    | Xmlio.Tree.Text _ | (exception _) -> assert false
+  in
+  let key_attr (e : Xmlio.Tree.element) =
+    match List.assoc_opt "id" e.Xmlio.Tree.attrs with Some v -> "id:" ^ v | None -> "null"
+  in
+  let gen_op used =
+    let fresh () =
+      let id = Printf.sprintf "n%d" (Xmlgen.Splitmix.int rng 1000) in
+      ( "id:" ^ id,
+        Xmlio.Tree.Element
+          { Xmlio.Tree.name = "upd"; attrs = [ ("id", id); ("v", id) ]; children = [] } )
+    in
+    let existing () =
+      let e = List.nth tops (Xmlgen.Splitmix.int rng (List.length tops)) in
+      let marked op children =
+        Xmlio.Tree.Element
+          { e with Xmlio.Tree.attrs = ("__op", op) :: e.Xmlio.Tree.attrs; children }
+      in
+      ( key_attr e,
+        match Xmlgen.Splitmix.int rng 3 with
+        | 0 -> marked "delete" []
+        | 1 -> marked "replace" [ Xmlio.Tree.Text (Printf.sprintf "r%d" j) ]
+        | _ ->
+            Xmlio.Tree.Element
+              { e with Xmlio.Tree.attrs = ("w", "1") :: e.Xmlio.Tree.attrs; children = [] } )
+    in
+    let k, op = if tops = [] || Xmlgen.Splitmix.int rng 2 = 0 then fresh () else existing () in
+    if List.mem k used then None else Some (k, op)
+  in
+  let gen_doc () =
+    let n_ops = 1 + Xmlgen.Splitmix.int rng 3 in
+    let rec go used acc n =
+      if n = 0 then List.rev acc
+      else
+        match gen_op used with
+        | None -> go used acc (n - 1)
+        | Some (k, op) -> go (k :: used) (op :: acc) (n - 1)
+    in
+    to_xml (Xmlio.Tree.Element { root with Xmlio.Tree.children = go [] [] n_ops })
+  in
+  let docs = List.init (3 + (j mod 4)) (fun _ -> gen_doc ()) in
+  let ( >>= ) r f = Result.bind r f in
+  Verify.Probes.clear ();
+  let outcome =
+    match Xmerge.Ingest.create ~config ~ordering ~base () with
+    | exception (Extmem.Device.Fault _ | Extmem.Memory_budget.Exhausted _) -> Ok Aborted
+    | exception e -> Error ("ingest create raised " ^ Printexc.to_string e)
+    | t ->
+        Fun.protect
+          ~finally:(fun () -> Xmerge.Ingest.destroy t)
+          (fun () ->
+            let validate_flush () =
+              ignore (Xmerge.Ingest.flush t);
+              let out = Xmerge.Ingest.contents t in
+              let rep = Verify.Validator.of_string ~ordering out in
+              match rep.Verify.Validator.findings with
+              | [] -> ()
+              | f :: _ ->
+                  raise
+                    (Update_fail
+                       (Printf.sprintf "flush left an unsorted document (at %s)"
+                          f.Verify.Validator.path))
+            in
+            match
+              List.iteri
+                (fun i doc ->
+                  Xmerge.Ingest.add_update t doc;
+                  if (i + Xmlgen.Splitmix.int rng 2) mod 2 = 0 then validate_flush ())
+                docs;
+              if Xmerge.Ingest.pending t > 0 then validate_flush ()
+            with
+            | () -> Ok Completed
+            | exception (Extmem.Device.Fault _ | Extmem.Memory_budget.Exhausted _) -> Ok Aborted
+            | exception Update_fail msg -> Error msg
+            | exception e -> Error ("ingest raised " ^ Printexc.to_string e))
+  in
+  outcome >>= fun o -> probe_failures () >>= fun () -> Ok o
+
+(* ------------------------------------------------------------------ *)
 (* Multi-tenant pass: the same differential case matrix, but every
    NEXSORT run goes through one shared [Engine], [tenants] domains deep.
    The schedule is deterministic — case [i] belongs to tenant
@@ -412,8 +524,10 @@ let print_failure ~seed ~kind ~case ~cli_flags ~doc msg =
   Printf.eprintf "  equivalent: nexsort %s <doc.xml>\n" cli_flags;
   Printf.eprintf "  document (%d bytes):\n%s\n" (String.length doc) doc
 
-let run smoke seed cases fault_cases only faults_only tenants verbose =
-  let seed, cases, fault_cases = if smoke then (42, 50, 24) else (seed, cases, fault_cases) in
+let run smoke seed cases fault_cases update_cases only faults_only updates_only tenants verbose =
+  let seed, cases, fault_cases, update_cases =
+    if smoke then (42, 50, 24, 16) else (seed, cases, fault_cases, update_cases)
+  in
   if tenants < 1 then begin
     Printf.eprintf "nexfuzz: --tenants must be >= 1\n";
     exit 2
@@ -462,28 +576,46 @@ let run smoke seed cases fault_cases only faults_only tenants verbose =
                [| 1; 2; 4 |].(j / 4 mod 3))
           ~doc msg
   in
+  let updates_aborted = ref 0 in
+  let updates_completed = ref 0 in
+  let run_update j =
+    if verbose then Printf.eprintf "update case %d\n%!" j;
+    match run_update_case ~seed j with
+    | Ok Aborted -> incr updates_aborted
+    | Ok Completed -> incr updates_completed
+    | Error msg ->
+        incr failures;
+        Printf.eprintf "FAIL update case %d: %s\n" j msg;
+        Printf.eprintf "  reproduce: nexfuzz --seed %d --updates --only %d\n" seed j
+  in
   (match only with
   | Some k ->
-      if faults_only then run_fault k
+      if updates_only then run_update k
+      else if faults_only then run_fault k
       else if tenants > 1 then
         run_tenant_pass ~seed ~tenants ~cases ~only:(Some k) ~verbose failures
       else run_differential k
   | None ->
-      if not faults_only then begin
+      if (not faults_only) && not updates_only then begin
         if tenants > 1 then run_tenant_pass ~seed ~tenants ~cases ~only:None ~verbose failures
         else
           for i = 0 to cases - 1 do
             run_differential i
           done
       end;
-      for j = 0 to fault_cases - 1 do
-        run_fault j
-      done);
+      if not updates_only then
+        for j = 0 to fault_cases - 1 do
+          run_fault j
+        done;
+      if not faults_only then
+        for j = 0 to update_cases - 1 do
+          run_update j
+        done);
   (match only with
   | Some _ -> ()
   | None ->
       Printf.printf "nexfuzz: seed %d\n" seed;
-      if not faults_only then
+      if (not faults_only) && not updates_only then
         if tenants > 1 then
           Printf.printf "differential: %d cases through one engine across %d tenants\n" cases
             tenants
@@ -491,8 +623,13 @@ let run smoke seed cases fault_cases only faults_only tenants verbose =
           Printf.printf
             "differential: %d cases across %d policies x fuse/no-fuse x %d orderings\n" cases
             (Array.length policies) (Array.length orderings);
-      Printf.printf "fault schedules: %d cases (%d aborted cleanly, %d completed validated)\n"
-        fault_cases !faulted !completed);
+      if not updates_only then
+        Printf.printf "fault schedules: %d cases (%d aborted cleanly, %d completed validated)\n"
+          fault_cases !faulted !completed;
+      if not faults_only then
+        Printf.printf
+          "update-ingest schedules: %d cases (%d aborted cleanly, %d completed validated)\n"
+          update_cases !updates_aborted !updates_completed);
   if !failures = 0 then begin
     Printf.printf "all checks passed\n";
     `Ok ()
@@ -517,6 +654,11 @@ let fault_cases_term =
   Arg.(
     value & opt int 24 & info [ "fault-cases" ] ~docv:"N" ~doc:"Number of fault-schedule cases.")
 
+let update_cases_term =
+  Arg.(
+    value & opt int 16
+    & info [ "update-cases" ] ~docv:"N" ~doc:"Number of update-ingest schedule cases.")
+
 let only_term =
   Arg.(
     value
@@ -527,6 +669,15 @@ let faults_only_term =
   Arg.(
     value & flag
     & info [ "faults-only" ] ~doc:"Run only the fault-schedule cases ($(b,--only) selects among them).")
+
+let updates_only_term =
+  Arg.(
+    value & flag
+    & info [ "updates" ]
+        ~doc:
+          "Run only the update-ingest schedule cases: seeded edit scripts through the \
+           incremental-maintenance path under fault injection and memory pressure \
+           ($(b,--only) selects among them).")
 
 let tenants_term =
   Arg.(
@@ -548,7 +699,7 @@ let cmd =
   Cmd.v info
     Term.(
       ret
-        (const run $ smoke_term $ seed_term $ cases_term $ fault_cases_term $ only_term
-       $ faults_only_term $ tenants_term $ verbose_term))
+        (const run $ smoke_term $ seed_term $ cases_term $ fault_cases_term $ update_cases_term
+       $ only_term $ faults_only_term $ updates_only_term $ tenants_term $ verbose_term))
 
 let () = exit (Cmd.eval cmd)

@@ -4,8 +4,9 @@
    or a Unix socket — whose arguments reuse the nexsort CLI surface
    (Cmdliner terms, Device_spec strings, ordering specs):
 
-     sort  [FLAGS] INPUT -o OUTPUT [--tenant T] [--metrics FILE]
-     merge [FLAGS] LEFT RIGHT -o OUTPUT [--tenant T] [--metrics FILE]
+     sort   [FLAGS] INPUT -o OUTPUT [--tenant T] [--metrics FILE]
+     merge  [FLAGS] LEFT RIGHT -o OUTPUT [--tenant T] [--metrics FILE]
+     update [FLAGS] BASE UPDATE... -o OUTPUT [--flush-every N]
      status
      cancel ID
      wait
@@ -48,9 +49,22 @@ type merge_req = {
   mr_output : string;
 }
 
+type update_req = {
+  ur_config : Nexsort.Config.t;
+  ur_ordering : Nexsort.Ordering.t;
+  ur_device : Extmem.Device_spec.t option;
+  ur_metrics : string option;
+  ur_tenant : string;
+  ur_flush_every : int;
+  ur_base : string;
+  ur_updates : string list;
+  ur_output : string;
+}
+
 type request =
   | Sort of sort_req
   | Merge of merge_req
+  | Update of update_req
 
 type outcome =
   | Done of string
@@ -120,6 +134,39 @@ let merge_cmd =
        $ tenant_term
        $ Arg.(required & pos 0 (some string) None & info [] ~docv:"LEFT")
        $ Arg.(required & pos 1 (some string) None & info [] ~docv:"RIGHT")
+       $ output_term))
+
+let update_cmd =
+  let build config ordering device metrics tenant flush_every base updates output =
+    if flush_every < 1 then `Error (false, "--flush-every must be >= 1")
+    else if updates = [] then `Error (false, "update: expected at least one UPDATE document")
+    else
+      `Ok
+        (Update
+           {
+             ur_config = config;
+             ur_ordering = ordering;
+             ur_device = device;
+             ur_metrics = metrics;
+             ur_tenant = tenant;
+             ur_flush_every = flush_every;
+             ur_base = base;
+             ur_updates = updates;
+             ur_output = output;
+           })
+  in
+  let flush_every_term =
+    Arg.(
+      value & opt int 1
+      & info [ "flush-every" ] ~docv:"N" ~doc:"Flush the update queue after every N documents.")
+  in
+  Cmd.v (Cmd.info "update")
+    Term.(
+      ret
+        (const build $ Cli_common.config_term $ Cli_common.ordering_term
+       $ Cli_common.device_term $ Cli_common.metrics_term $ tenant_term $ flush_every_term
+       $ Arg.(required & pos 0 (some string) None & info [] ~docv:"BASE")
+       $ Arg.(value & pos_right 0 string [] & info [] ~docv:"UPDATE")
        $ output_term))
 
 (* Parse one request's arguments through its Cmdliner command, capturing
@@ -243,16 +290,64 @@ let run_merge engine merge_lock cancel (r : merge_req) =
   Printf.sprintf "merge %s + %s -> %s (%d matched)" r.mr_left r.mr_right r.mr_output
     report.Xmerge.Struct_merge.matched_elements
 
+(* Incremental maintenance: the initial base sort runs on the job's
+   engine session; the ingest (queue + flush merges) then runs inside
+   the same admission slot, so a long update stream is accounted like
+   any other running job.  Cancellation is observed between update
+   documents. *)
+let run_update engine cancel (r : update_req) =
+  let spec = Option.value r.ur_device ~default:Extmem.Device_spec.default in
+  let config = { r.ur_config with Nexsort.Config.device = spec } in
+  let base = Cli_common.read_file r.ur_base in
+  let (flushes, final_bytes), job =
+    Engine.run ~cancel engine ~tenant:r.ur_tenant config (fun job session ->
+        let t = Xmerge.Ingest.create ~config ~session ~ordering:r.ur_ordering ~base () in
+        Fun.protect
+          ~finally:(fun () -> Xmerge.Ingest.destroy t)
+          (fun () ->
+            let flushes = ref [] in
+            let flush () = flushes := Xmerge.Ingest.flush t :: !flushes in
+            List.iteri
+              (fun i path ->
+                if Atomic.get cancel then raise Engine.Cancelled;
+                Xmerge.Ingest.add_update t (Cli_common.read_file path);
+                if (i + 1) mod r.ur_flush_every = 0 then flush ())
+              r.ur_updates;
+            if Xmerge.Ingest.pending t > 0 || !flushes = [] then flush ();
+            Cli_common.write_file r.ur_output (Xmerge.Ingest.contents t);
+            ((List.rev !flushes, Extmem.Device.byte_length (Xmerge.Ingest.base_device t)), job)))
+  in
+  Cli_common.write_metrics r.ur_metrics
+    (let rep = Obs.Report.create ~tool:"nexsortd-update" in
+     let total f = List.fold_left (fun acc fr -> acc + f fr) 0 flushes in
+     Obs.Report.add rep "counts"
+       (Obs.Json.Obj
+          [
+            ("update_docs", Obs.Json.Int (List.length r.ur_updates));
+            ("flushes", Obs.Json.Int (List.length flushes));
+            ("batch_ops", Obs.Json.Int (total (fun fr -> fr.Xmerge.Ingest.batch_ops)));
+            ("index_dropped", Obs.Json.Int (total (fun fr -> fr.Xmerge.Ingest.index_dropped)));
+            ("base_bytes", Obs.Json.Int final_bytes);
+          ]);
+     Obs.Report.add rep "ingest"
+       (Obs.Json.List (List.map Xmerge.Ingest.flush_report_json flushes));
+     Obs.Report.add rep "job" (Engine.job_json engine job);
+     rep);
+  Printf.sprintf "update %s (%d docs, %d flushes) -> %s" r.ur_base (List.length r.ur_updates)
+    (List.length flushes) r.ur_output
+
 let job_body engine merge_lock cancel request () =
   match
     match request with
     | Sort r -> run_sort engine cancel r
     | Merge r -> run_merge engine merge_lock cancel r
+    | Update r -> run_update engine cancel r
   with
   | summary -> Done summary
   | exception Engine.Cancelled -> Cancelled
   | exception Xmlio.Parser.Error { line; col; msg } ->
       Failed (Printf.sprintf "%d:%d: %s" line col msg)
+  | exception Xmlio.Tree.Malformed msg -> Failed ("malformed document: " ^ msg)
   | exception Extmem.Memory_budget.Exhausted msg -> Failed ("memory budget exhausted: " ^ msg)
   | exception Extmem.Device.Fault (op, block) ->
       Failed
@@ -322,6 +417,8 @@ let submit out d request =
     match request with
     | Sort r -> (Printf.sprintf "sort %s" r.sr_input, r.sr_tenant)
     | Merge r -> (Printf.sprintf "merge %s + %s" r.mr_left r.mr_right, r.mr_tenant)
+    | Update r ->
+        (Printf.sprintf "update %s (%d docs)" r.ur_base (List.length r.ur_updates), r.ur_tenant)
   in
   let body = job_body d.engine d.merge_lock cancel request in
   let e =
@@ -348,6 +445,14 @@ let process_line out d line =
           `Quit 124)
   | "merge" :: args -> (
       match eval_request merge_cmd args with
+      | Ok req ->
+          submit out d req;
+          `Continue
+      | Error msg ->
+          Printf.eprintf "nexsortd: %s\n%!" msg;
+          `Quit 124)
+  | "update" :: args -> (
+      match eval_request update_cmd args with
       | Ok req ->
           submit out d req;
           `Continue

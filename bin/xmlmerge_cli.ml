@@ -68,9 +68,58 @@ let with_merge_sessions ~(config : Nexsort.Config.t) f =
           in
           f (sl, sr)))
 
-let run ordering presorted update_mode indexed policy device no_fuse metrics trace left_path
-    right_path output =
-  let left = read_file left_path and right = read_file right_path in
+(* --ingest: keep the sorted base live under a stream of update
+   documents through Xmerge.Ingest, flushing every [flush_every] docs
+   (and once at the end).  Each flush gets its own entry in the metrics'
+   "ingest" section: batch sizes, queue counters, merge I/O. *)
+let run_ingest ~ordering ~config ~metrics ~finish base rights flush_every output =
+  let t = Xmerge.Ingest.create ~config ~ordering ~base () in
+  Fun.protect
+    ~finally:(fun () -> Xmerge.Ingest.destroy t)
+    (fun () ->
+      let flushes = ref [] in
+      let flush () =
+        let r = Xmerge.Ingest.flush t in
+        flushes := r :: !flushes;
+        Printf.eprintf
+          "flush %d: %d ops from %d docs%s, %d index-dropped, io r=%d w=%d, base %dB\n"
+          (List.length !flushes) r.Xmerge.Ingest.batch_ops r.Xmerge.Ingest.batch_docs
+          (if r.Xmerge.Ingest.skipped then " (skipped)" else "")
+          r.Xmerge.Ingest.index_dropped r.Xmerge.Ingest.flush_io.Extmem.Io_stats.reads
+          r.Xmerge.Ingest.flush_io.Extmem.Io_stats.writes r.Xmerge.Ingest.base_bytes
+      in
+      List.iteri
+        (fun i path ->
+          Xmerge.Ingest.add_update t (read_file path);
+          if (i + 1) mod flush_every = 0 then flush ())
+        rights;
+      if Xmerge.Ingest.pending t > 0 || !flushes = [] then flush ();
+      write_file output (Xmerge.Ingest.contents t);
+      let flushes = List.rev !flushes in
+      let total f = List.fold_left (fun acc r -> acc + f r) 0 flushes in
+      let rep = Obs.Report.create ~tool:"nexsort-merge-ingest" in
+      Obs.Report.add rep "counts"
+        (Obs.Json.Obj
+           [ ("update_docs", Obs.Json.Int (List.length rights));
+             ("flushes", Obs.Json.Int (List.length flushes));
+             ("batch_ops", Obs.Json.Int (total (fun r -> r.Xmerge.Ingest.batch_ops)));
+             ("index_dropped", Obs.Json.Int (total (fun r -> r.Xmerge.Ingest.index_dropped)));
+             ("indexed_keys", Obs.Json.Int (Xmerge.Ingest.index_keys t)) ]);
+      Obs.Report.add rep "ingest"
+        (Obs.Json.List (List.map Xmerge.Ingest.flush_report_json flushes));
+      Obs.Report.add rep "io"
+        (Obs.Json.Obj
+           [ ( "flush_reads",
+               Obs.Json.Int (total (fun r -> r.Xmerge.Ingest.flush_io.Extmem.Io_stats.reads)) );
+             ( "flush_writes",
+               Obs.Json.Int (total (fun r -> r.Xmerge.Ingest.flush_io.Extmem.Io_stats.writes)) ) ]);
+      Cli_common.write_metrics metrics rep;
+      Printf.eprintf "ingested %d update docs in %d flushes -> %s\n" (List.length rights)
+        (List.length flushes) output;
+      finish (`Ok ()))
+
+let run ordering presorted update_mode ingest_mode flush_every indexed policy device no_fuse
+    metrics trace left_path right_paths output =
   match Cli_common.prepare_trace trace with
   | Error msg -> `Error (false, msg)
   | Ok tracer ->
@@ -79,7 +128,17 @@ let run ordering presorted update_mode indexed policy device no_fuse metrics tra
     ok
   in
   try
+    let left = read_file left_path in
+    let right = match right_paths with r :: _ -> read_file r | [] -> "" in
     match device with
+    | _ when ingest_mode && (update_mode || indexed || presorted) ->
+        `Error (false, "--ingest does not compose with --update/--indexed/--presorted")
+    | _ when flush_every < 1 -> `Error (false, "--flush-every must be >= 1")
+    | _ when ingest_mode ->
+        let config = Nexsort.Config.make ?device ~pager_policy:policy ~tracer () in
+        run_ingest ~ordering ~config ~metrics ~finish left right_paths flush_every output
+    | _ when List.length right_paths <> 1 ->
+        `Error (false, "expected exactly one RIGHT document (or pass --ingest)")
     | _ when indexed && update_mode -> `Error (false, "--indexed is not supported with --update")
     | Some _ when update_mode -> `Error (false, "--device is not supported with --update")
     | _ when indexed ->
@@ -222,6 +281,7 @@ let run ordering presorted update_mode indexed policy device no_fuse metrics tra
     finish (`Ok ())
   with
   | Xmlio.Parser.Error { line; col; msg } -> `Error (false, Printf.sprintf "%d:%d: %s" line col msg)
+  | Xmlio.Tree.Malformed msg -> `Error (false, "malformed document: " ^ msg)
   | Xmerge.Struct_merge.Not_sorted msg -> `Error (false, "input not sorted: " ^ msg)
   | Extmem.Device.Fault (op, block) ->
       `Error
@@ -251,6 +311,17 @@ let cmd =
                    delete, replace).")
         $ Arg.(
             value & flag
+            & info [ "ingest" ]
+                ~doc:
+                  "Incremental maintenance: sort LEFT once, then apply every RIGHT document as \
+                   a buffered update batch (__op markers as with $(b,--update)), flushing \
+                   through the external priority queue instead of re-sorting.")
+        $ Arg.(
+            value & opt int 1
+            & info [ "flush-every" ] ~docv:"N"
+                ~doc:"With $(b,--ingest): flush the update queue after every N documents.")
+        $ Arg.(
+            value & flag
             & info [ "indexed" ]
                 ~doc:
                   "Use the index-assisted nested-loop merge instead of sort-then-merge (works on \
@@ -261,7 +332,7 @@ let cmd =
         $ Cli_common.metrics_term
         $ Cli_common.trace_term
         $ Arg.(required & pos 0 (some file) None & info [] ~docv:"LEFT")
-        $ Arg.(required & pos 1 (some file) None & info [] ~docv:"RIGHT")
+        $ Arg.(value & pos_right 0 file [] & info [] ~docv:"RIGHT")
         $ Arg.(
             value & opt string "merged.xml" & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Output file.")))
 

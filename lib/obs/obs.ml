@@ -1048,8 +1048,10 @@ end
 
 module Report = struct
   (* v2: run reports gained the "gc" section (allocation words and
-     collection counts over the run) *)
-  let schema_version = 2
+     collection counts over the run).
+     v3: ingest tools emit an "ingest" section — a list of per-flush
+     objects (batch sizes, queue counters, merge + I/O deltas). *)
+  let schema_version = 3
 
   type t = {
     tool : string;

@@ -16,6 +16,11 @@
     element that does not exist is a silent no-op (the unmatched update
     element would otherwise be inserted; deletes are never inserted). *)
 
+val op_attr : string
+(** The operation-marker attribute name, ["__op"] (shared with
+    {!Ingest}, which folds buffered updates into marker-carrying batch
+    documents). *)
+
 type report = {
   merge : Struct_merge.report;
   deletes : int;            (** delete markers honoured (matched) *)

@@ -34,6 +34,14 @@ cp /tmp/m.json BENCH_smoke.json
 # digest mismatch); only the paging counters may differ.
 dune exec bench/main.exe -- --quick policy-sweep > /dev/null
 
+# Incremental-maintenance gate (E-ingest): a k-subtree update batch
+# buffered in the external priority queue and flushed through
+# Xmerge.Ingest must cost strictly fewer block I/Os than re-sorting the
+# updated document from scratch, and the incremental output must be
+# digest-identical to the oracle's sequential batch application (the
+# experiment exits non-zero on either failure).
+dune exec bench/main.exe -- --quick ingest > /dev/null
+
 # Parallel smoke: the worker pool must be invisible in the output and in
 # the I/O bill.  Sort the same document with --jobs 1 and --jobs 4 and
 # require byte-identical results plus identical metrics counters (the

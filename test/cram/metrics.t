@@ -1,4 +1,4 @@
-Machine-readable run reports (--metrics), schema version 1.
+Machine-readable run reports (--metrics), schema version 3.
 
 Generate a small document and sort it, streaming the JSON report to
 stdout.  The top-level section keys are the report's stable schema:

@@ -281,6 +281,231 @@ let prop_extsort_io_bounded =
       ios <= 2 * (passes + 1) * (data_blocks + stats.Extsort.External_sort.initial_runs))
 
 (* ------------------------------------------------------------------ *)
+(* External priority queue *)
+
+let make_pq ?buffer_blocks ?(block_size = 64) ?(blocks = 4) ?policy () =
+  let budget = Extmem.Memory_budget.create ~blocks ~block_size in
+  let arena = Extmem.Frame_arena.create ~budget ?default_policy:policy () in
+  let temp = Extmem.Device.in_memory ~block_size () in
+  let pq = Extsort.Ext_pq.create ~arena ?buffer_blocks ~budget ~temp ~cmp:compare () in
+  (pq, budget)
+
+let drain_pq pq =
+  let rec go acc =
+    match Extsort.Ext_pq.delete_min pq with None -> List.rev acc | Some r -> go (r :: acc)
+  in
+  go []
+
+let test_pq_basic () =
+  let pq, budget = make_pq () in
+  check Alcotest.bool "empty" true (Extsort.Ext_pq.is_empty pq);
+  check (Alcotest.option Alcotest.string) "peek empty" None (Extsort.Ext_pq.peek_min pq);
+  List.iter (Extsort.Ext_pq.insert pq) [ "pear"; "apple"; "fig" ];
+  check Alcotest.int "length" 3 (Extsort.Ext_pq.length pq);
+  check (Alcotest.option Alcotest.string) "peek" (Some "apple") (Extsort.Ext_pq.peek_min pq);
+  check (Alcotest.list Alcotest.string) "sorted drain" [ "apple"; "fig"; "pear" ] (drain_pq pq);
+  Extsort.Ext_pq.destroy pq;
+  check Alcotest.int "quiescent" 0 (Extmem.Memory_budget.used_blocks budget)
+
+let test_pq_spills_and_compacts () =
+  (* tiny geometry: every few inserts spill, fan-in 2 forces compactions *)
+  let pq, budget = make_pq ~block_size:32 ~blocks:4 () in
+  let records = List.init 300 (fun i -> Printf.sprintf "rec-%04d" (997 * i mod 300)) in
+  List.iter (Extsort.Ext_pq.insert pq) records;
+  let stats = Extsort.Ext_pq.stats pq in
+  check Alcotest.bool "spilled" true (stats.Extsort.Ext_pq.spills > 1);
+  check Alcotest.bool "compacted" true (stats.Extsort.Ext_pq.compactions > 0);
+  check Alcotest.bool "run blocks counted" true (Extsort.Ext_pq.run_blocks pq > 0);
+  check (Alcotest.list Alcotest.string) "sorted drain" (List.sort compare records) (drain_pq pq);
+  Extsort.Ext_pq.destroy pq;
+  check Alcotest.int "quiescent" 0 (Extmem.Memory_budget.used_blocks budget)
+
+let test_pq_interleaved () =
+  (* delete-min between inserts: the two tiers must agree on the minimum *)
+  let pq, budget = make_pq ~block_size:32 ~blocks:4 () in
+  let out = ref [] in
+  for i = 0 to 199 do
+    Extsort.Ext_pq.insert pq (Printf.sprintf "%04d" (48271 * i mod 1000));
+    if i mod 3 = 2 then
+      match Extsort.Ext_pq.delete_min pq with
+      | Some r -> out := r :: !out
+      | None -> Alcotest.fail "unexpected empty"
+  done;
+  let rest = drain_pq pq in
+  (* every delete returned the minimum of what was live at the time; the
+     reference below replays the same trace against a sorted list *)
+  let reference =
+    let live = ref [] and outs = ref [] in
+    for i = 0 to 199 do
+      live := Printf.sprintf "%04d" (48271 * i mod 1000) :: !live;
+      if i mod 3 = 2 then begin
+        let sorted = List.sort compare !live in
+        outs := List.hd sorted :: !outs;
+        live := List.tl sorted
+      end
+    done;
+    (List.rev !outs, List.sort compare !live)
+  in
+  check (Alcotest.list Alcotest.string) "interleaved pops" (fst reference) (List.rev !out);
+  check (Alcotest.list Alcotest.string) "final drain" (snd reference) rest;
+  Extsort.Ext_pq.destroy pq;
+  check Alcotest.int "quiescent" 0 (Extmem.Memory_budget.used_blocks budget)
+
+let test_pq_needs_four_blocks () =
+  let budget = Extmem.Memory_budget.create ~blocks:3 ~block_size:32 in
+  let temp = Extmem.Device.in_memory ~block_size:32 () in
+  try
+    ignore (Extsort.Ext_pq.create ~budget ~temp ~cmp:compare ());
+    Alcotest.fail "expected Exhausted"
+  with Extmem.Memory_budget.Exhausted _ -> ()
+
+let test_pq_meld_adopts_runs () =
+  (* donor with intact runs: meld moves them by reference (no copy I/O
+     on the donor's device beyond what the spills already wrote) *)
+  let block_size = 32 in
+  let budget = Extmem.Memory_budget.create ~blocks:8 ~block_size in
+  let arena = Extmem.Frame_arena.create ~budget () in
+  let temp_a = Extmem.Device.in_memory ~block_size () in
+  let temp_b = Extmem.Device.in_memory ~block_size () in
+  let a = Extsort.Ext_pq.create ~arena ~buffer_blocks:2 ~budget ~temp:temp_a ~cmp:compare () in
+  let b = Extsort.Ext_pq.create ~arena ~buffer_blocks:2 ~budget ~temp:temp_b ~cmp:compare () in
+  let xs = List.init 60 (fun i -> Printf.sprintf "a%03d" (7 * i mod 60)) in
+  let ys = List.init 60 (fun i -> Printf.sprintf "b%03d" (11 * i mod 60)) in
+  List.iter (Extsort.Ext_pq.insert a) xs;
+  List.iter (Extsort.Ext_pq.insert b) ys;
+  check Alcotest.bool "donor spilled" true (Extsort.Ext_pq.run_count b > 0);
+  let writes_before = (Extmem.Device.stats temp_b).Extmem.Io_stats.writes in
+  Extsort.Ext_pq.meld a b;
+  let writes_after = (Extmem.Device.stats temp_b).Extmem.Io_stats.writes in
+  check Alcotest.int "no copy on adoption" writes_before writes_after;
+  check Alcotest.int "melded length" 120 (Extsort.Ext_pq.length a);
+  check (Alcotest.list Alcotest.string) "melded drain"
+    (List.sort compare (xs @ ys))
+    (drain_pq a);
+  Extsort.Ext_pq.destroy a;
+  check Alcotest.int "quiescent" 0 (Extmem.Memory_budget.used_blocks budget)
+
+let test_pq_meld_consumed_donor () =
+  (* donor already served delete-mins from its runs: meld compacts the
+     remainder so consumed records stay deleted *)
+  let block_size = 32 in
+  let budget = Extmem.Memory_budget.create ~blocks:8 ~block_size in
+  let arena = Extmem.Frame_arena.create ~budget () in
+  let temp = Extmem.Device.in_memory ~block_size () in
+  let a = Extsort.Ext_pq.create ~arena ~buffer_blocks:2 ~budget ~temp ~cmp:compare () in
+  let b =
+    Extsort.Ext_pq.create ~arena ~buffer_blocks:2 ~budget
+      ~temp:(Extmem.Device.in_memory ~block_size ())
+      ~cmp:compare ()
+  in
+  let ys = List.init 80 (fun i -> Printf.sprintf "%03d" (13 * i mod 80)) in
+  List.iter (Extsort.Ext_pq.insert b) ys;
+  let popped = List.filter_map (fun _ -> Extsort.Ext_pq.delete_min b) (List.init 10 Fun.id) in
+  check (Alcotest.list Alcotest.string) "donor pops min"
+    (List.filteri (fun i _ -> i < 10) (List.sort compare ys))
+    popped;
+  Extsort.Ext_pq.insert a "500";
+  Extsort.Ext_pq.meld a b;
+  check Alcotest.int "melded length" 71 (Extsort.Ext_pq.length a);
+  let expected =
+    List.sort compare ("500" :: List.filteri (fun i _ -> i >= 10) (List.sort compare ys))
+  in
+  check (Alcotest.list Alcotest.string) "melded drain" expected (drain_pq a);
+  Extsort.Ext_pq.destroy a;
+  check Alcotest.int "quiescent" 0 (Extmem.Memory_budget.used_blocks budget)
+
+(* Differential wall: random insert / delete-min / meld traces against a
+   sorted-list reference model, across block-size x memory x policy
+   geometries, with a destroy-probe quiescence check after every trace. *)
+
+type pq_op = Pq_insert of int * string | Pq_delete of int | Pq_meld
+
+let pq_op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, map2 (fun q r -> Pq_insert (q, r)) (int_bound 1) (string_size (int_bound 12)));
+        (3, map (fun q -> Pq_delete q) (int_bound 1));
+        (1, return Pq_meld);
+      ])
+
+let pq_trace_arb =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (function
+             | Pq_insert (q, r) -> Printf.sprintf "ins%d(%s)" q (String.escaped r)
+             | Pq_delete q -> Printf.sprintf "del%d" q
+             | Pq_meld -> "meld")
+           ops))
+    QCheck.Gen.(list_size (int_range 0 120) pq_op_gen)
+
+let pq_geometries =
+  [
+    (32, 4, Extmem.Frame_arena.Lru);
+    (32, 8, Extmem.Frame_arena.Clock);
+    (64, 5, Extmem.Frame_arena.Mru);
+    (128, 6, Extmem.Frame_arena.Stack);
+  ]
+
+let prop_pq_differential =
+  QCheck.Test.make ~name:"ext pq = reference heap over random traces" ~count:60 pq_trace_arb
+    (fun ops ->
+      List.for_all
+        (fun (block_size, blocks, policy) ->
+          (* two queues sharing one budget; meld folds q1 into q0 *)
+          let budget = Extmem.Memory_budget.create ~blocks:(2 * blocks) ~block_size in
+          let arena = Extmem.Frame_arena.create ~budget ~default_policy:policy () in
+          let mk () =
+            Extsort.Ext_pq.create ~arena ~buffer_blocks:2 ~budget
+              ~temp:(Extmem.Device.in_memory ~block_size ())
+              ~cmp:compare ()
+          in
+          let qs = [| mk (); mk () |] in
+          let melded = ref false in
+          let refs = [| ref []; ref [] |] in
+          let ok = ref true in
+          let expect got want = if got <> want then ok := false in
+          List.iter
+            (fun op ->
+              let slot q = if !melded then 0 else q in
+              match op with
+              | Pq_insert (q, r) ->
+                  let q = slot q in
+                  Extsort.Ext_pq.insert qs.(q) r;
+                  refs.(q) := r :: !(refs.(q))
+              | Pq_delete q ->
+                  let q = slot q in
+                  let want =
+                    match List.sort compare !(refs.(q)) with
+                    | [] -> None
+                    | m :: rest ->
+                        refs.(q) := rest;
+                        Some m
+                  in
+                  expect (Extsort.Ext_pq.delete_min qs.(q)) want
+              | Pq_meld ->
+                  if not !melded then begin
+                    Extsort.Ext_pq.meld qs.(0) qs.(1);
+                    refs.(0) := !(refs.(1)) @ !(refs.(0));
+                    refs.(1) := [];
+                    melded := true
+                  end)
+            ops;
+          expect (drain_pq qs.(0)) (List.sort compare !(refs.(0)));
+          if not !melded then expect (drain_pq qs.(1)) (List.sort compare !(refs.(1)));
+          Extsort.Ext_pq.destroy qs.(0);
+          if not !melded then Extsort.Ext_pq.destroy qs.(1);
+          (* destroy-probe quiescence: no owner may still hold blocks *)
+          if Extmem.Memory_budget.used_blocks budget <> 0 then ok := false;
+          List.iter
+            (fun (_, s) -> if s.Extmem.Frame_arena.held <> 0 then ok := false)
+            (Extmem.Frame_arena.owners arena);
+          !ok)
+        pq_geometries)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "extsort"
@@ -322,5 +547,15 @@ let () =
           Alcotest.test_case "custom order" `Quick test_extsort_custom_order;
           qcheck prop_extsort_equals_list_sort;
           qcheck prop_extsort_io_bounded;
+        ] );
+      ( "ext_pq",
+        [
+          Alcotest.test_case "basic" `Quick test_pq_basic;
+          Alcotest.test_case "spills and compacts" `Quick test_pq_spills_and_compacts;
+          Alcotest.test_case "interleaved" `Quick test_pq_interleaved;
+          Alcotest.test_case "needs four blocks" `Quick test_pq_needs_four_blocks;
+          Alcotest.test_case "meld adopts runs" `Quick test_pq_meld_adopts_runs;
+          Alcotest.test_case "meld consumed donor" `Quick test_pq_meld_consumed_donor;
+          qcheck prop_pq_differential;
         ] );
     ]

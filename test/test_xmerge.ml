@@ -596,6 +596,200 @@ let test_splitmix_determinism () =
   check Alcotest.bool "in_range" true (r >= 5 && r <= 9)
 
 (* ------------------------------------------------------------------ *)
+(* Batch_update report counters *)
+
+let apply base updates =
+  Xmerge.Batch_update.sort_and_apply_strings ~config ~ordering:by_id ~base ~updates ()
+
+let test_update_report_counters () =
+  let base = {|<r><a id="1"/><a id="2"/><a id="3"/></r>|} in
+  let _, r = apply base {|<r><a id="1" __op="delete"/><a id="3" __op="delete"/></r>|} in
+  check Alcotest.int "deletes" 2 r.Xmerge.Batch_update.deletes;
+  check Alcotest.int "replaces" 0 r.Xmerge.Batch_update.replaces;
+  check Alcotest.int "unmatched" 0 r.Xmerge.Batch_update.unmatched_deletes;
+  let _, r = apply base {|<r><a id="2" __op="replace"><b/></a></r>|} in
+  check Alcotest.int "replaces counted" 1 r.Xmerge.Batch_update.replaces;
+  check Alcotest.int "no deletes" 0 r.Xmerge.Batch_update.deletes;
+  let _, r = apply base {|<r><a id="9" __op="delete"/></r>|} in
+  check Alcotest.int "unmatched counted" 1 r.Xmerge.Batch_update.unmatched_deletes;
+  check Alcotest.int "unmatched not a delete" 0 r.Xmerge.Batch_update.deletes;
+  let out, r =
+    apply base
+      {|<r><a id="1" __op="delete"/><a id="2" __op="replace"><b/></a><a id="8" __op="delete"/><a id="4"/></r>|}
+  in
+  check Alcotest.int "mixed deletes" 1 r.Xmerge.Batch_update.deletes;
+  check Alcotest.int "mixed replaces" 1 r.Xmerge.Batch_update.replaces;
+  check Alcotest.int "mixed unmatched" 1 r.Xmerge.Batch_update.unmatched_deletes;
+  check tree_eq "mixed result" (parse {|<r><a id="2"><b/></a><a id="3"/><a id="4"/></r>|})
+    (parse out)
+
+(* ------------------------------------------------------------------ *)
+(* Ingest: incremental maintenance *)
+
+let ingest_config = Nexsort.Config.make ~block_size:128 ~memory_blocks:8 ()
+
+let test_ingest_basic () =
+  let t =
+    Xmerge.Ingest.create ~config:ingest_config ~ordering:by_id
+      ~base:{|<r><a id="3"><n>c</n></a><a id="1"><n>a</n></a></r>|} ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Xmerge.Ingest.destroy t)
+    (fun () ->
+      check Alcotest.string "base sorted"
+        {|<r><a id="1"><n>a</n></a><a id="3"><n>c</n></a></r>|}
+        (Xmerge.Ingest.contents t);
+      check Alcotest.int "index built" 2 (Xmerge.Ingest.index_keys t);
+      Xmerge.Ingest.add_update t {|<r><a id="2"><n>b</n></a></r>|};
+      Xmerge.Ingest.add_update t {|<r><a id="3" __op="delete"/></r>|};
+      check Alcotest.int "pending" 2 (Xmerge.Ingest.pending t);
+      let r = Xmerge.Ingest.flush t in
+      check Alcotest.int "batch ops" 2 r.Xmerge.Ingest.batch_ops;
+      check Alcotest.int "batch docs" 2 r.Xmerge.Ingest.batch_docs;
+      check Alcotest.bool "not skipped" false r.Xmerge.Ingest.skipped;
+      (match r.Xmerge.Ingest.merge with
+      | Some m -> check Alcotest.int "delete applied" 1 m.Xmerge.Batch_update.deletes
+      | None -> Alcotest.fail "expected a merge report");
+      check Alcotest.string "after flush"
+        {|<r><a id="1"><n>a</n></a><a id="2"><n>b</n></a></r>|}
+        (Xmerge.Ingest.contents t);
+      check Alcotest.int "pending drained" 0 (Xmerge.Ingest.pending t))
+
+let test_ingest_index_drops_absent_deletes () =
+  let t =
+    Xmerge.Ingest.create ~config:ingest_config ~ordering:by_id
+      ~base:{|<r><a id="1"/><a id="2"/></r>|} ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Xmerge.Ingest.destroy t)
+    (fun () ->
+      Xmerge.Ingest.add_update t {|<r><a id="7" __op="delete"/><a id="9" __op="delete"/></r>|};
+      let r = Xmerge.Ingest.flush t in
+      check Alcotest.bool "skipped" true r.Xmerge.Ingest.skipped;
+      check Alcotest.int "all dropped" 2 r.Xmerge.Ingest.index_dropped;
+      check Alcotest.int "no io"
+        0
+        (r.Xmerge.Ingest.flush_io.Extmem.Io_stats.reads
+        + r.Xmerge.Ingest.flush_io.Extmem.Io_stats.writes);
+      (* a delete of a key an earlier op in the same batch creates must
+         NOT be dropped: the upsert matters, and so does its deletion *)
+      Xmerge.Ingest.add_update t {|<r><a id="7"><n>x</n></a></r>|};
+      Xmerge.Ingest.add_update t {|<r><a id="7" __op="delete"/></r>|};
+      let r = Xmerge.Ingest.flush t in
+      check Alcotest.int "created-then-deleted not index-dropped" 0 r.Xmerge.Ingest.index_dropped;
+      check Alcotest.string "net no-op" {|<r><a id="1"/><a id="2"/></r>|}
+        (Xmerge.Ingest.contents t);
+      check Alcotest.bool "offset of id=1 known" true
+        (Xmerge.Ingest.find_offset t (Nexsort.Key.of_string "1") <> None);
+      check Alcotest.bool "offset of absent key unknown" true
+        (Xmerge.Ingest.find_offset t (Nexsort.Key.of_string "9") = None))
+
+let test_ingest_empty_flush_is_noop () =
+  let t = Xmerge.Ingest.create ~config:ingest_config ~ordering:by_id ~base:{|<r><a id="1"/></r>|} () in
+  Fun.protect
+    ~finally:(fun () -> Xmerge.Ingest.destroy t)
+    (fun () ->
+      let r = Xmerge.Ingest.flush t in
+      check Alcotest.bool "skipped" true r.Xmerge.Ingest.skipped;
+      check Alcotest.int "no ops" 0 r.Xmerge.Ingest.batch_ops;
+      check Alcotest.string "unchanged" {|<r><a id="1"/></r>|} (Xmerge.Ingest.contents t))
+
+let test_ingest_rejects_malformed () =
+  let t = Xmerge.Ingest.create ~config:ingest_config ~ordering:by_id ~base:{|<r><a id="1"/></r>|} () in
+  Fun.protect
+    ~finally:(fun () -> Xmerge.Ingest.destroy t)
+    (fun () ->
+      (match Xmerge.Ingest.add_update t "<r><a id=" with
+      | () -> Alcotest.fail "expected a parse error"
+      | exception (Xmlio.Tree.Malformed _ | Xmlio.Parser.Error _) -> ());
+      (match Xmerge.Ingest.add_update t {|<r __op="delete"/>|} with
+      | () -> Alcotest.fail "expected rejection of a root marker"
+      | exception Invalid_argument _ -> ());
+      check Alcotest.int "queue unchanged" 0 (Xmerge.Ingest.pending t))
+
+(* Satellite property: any partition of an edit script into flush
+   batches produces the same document as applying the script one update
+   at a time through the full sort-and-apply oracle.  Generated upsert
+   payloads carry attributes and attribute-only children but no text:
+   the Struct_merge text rule (equal texts coalesce, unequal concat) is
+   not partition-invariant for colliding text upserts, which is the
+   module's one documented folding exception. *)
+let prop_ingest_partition_invariant =
+  QCheck.Test.make ~name:"any flush partition matches sequential oracle" ~count:60
+    QCheck.(
+      let op_gen =
+        Gen.(
+          pair (int_range 0 9) (int_range 0 5) >|= fun (id, kind) ->
+          let id = string_of_int id in
+          match kind with
+          | 0 | 1 ->
+              Printf.sprintf {|<a id="%s" v="u%s"/>|} id id (* attr upsert *)
+          | 2 -> Printf.sprintf {|<a id="%s"><m k="m%s"/></a>|} id id (* nested upsert *)
+          | 3 -> Printf.sprintf {|<a id="%s" __op="delete"/>|} id
+          | _ -> Printf.sprintf {|<a id="%s" __op="replace"><n>r%s</n></a>|} id id)
+      in
+      (* distinct ids within a doc: duplicate sibling keys inside one
+         update document are ill-formed (Struct_merge emits them as
+         duplicate siblings), not an ingest-foldable script *)
+      let doc_gen =
+        Gen.(
+          list_size (int_range 1 4) op_gen >|= fun ops ->
+          let seen = Hashtbl.create 8 in
+          let ops =
+            List.filter
+              (fun op ->
+                let id = List.nth (String.split_on_char '"' op) 1 in
+                if Hashtbl.mem seen id then false
+                else begin
+                  Hashtbl.add seen id ();
+                  true
+                end)
+              ops
+          in
+          "<r>" ^ String.concat "" ops ^ "</r>")
+      in
+      let script_gen =
+        Gen.(
+          pair
+            (list_size (int_range 1 8) doc_gen)
+            (list_size (int_range 1 8) bool) (* flush after doc i? *)
+        )
+      in
+      make
+        ~print:(fun (docs, cuts) ->
+          Printf.sprintf "docs:\n%s\ncuts: %s" (String.concat "\n" docs)
+            (String.concat "" (List.map (fun b -> if b then "|" else ".") cuts)))
+        script_gen)
+    (fun (docs, cuts) ->
+      let base = {|<r><a id="2"><n>b2</n></a><a id="5"><n>b5</n></a><a id="8"><n>b8</n></a></r>|} in
+      let oracle =
+        List.fold_left
+          (fun acc doc -> fst (apply acc doc))
+          (fst (Nexsort.sort_string ~config:ingest_config ~ordering:by_id base))
+          docs
+      in
+      let t = Xmerge.Ingest.create ~config:ingest_config ~ordering:by_id ~base () in
+      Fun.protect
+        ~finally:(fun () -> Xmerge.Ingest.destroy t)
+        (fun () ->
+          List.iteri
+            (fun i doc ->
+              Xmerge.Ingest.add_update t doc;
+              let cut = match List.nth_opt cuts i with Some b -> b | None -> false in
+              if cut then ignore (Xmerge.Ingest.flush t))
+            docs;
+          ignore (Xmerge.Ingest.flush t);
+          let got = Xmerge.Ingest.contents t in
+          if
+            not
+              (Int64.equal
+                 (Verify.Validator.digest_of_string oracle)
+                 (Verify.Validator.digest_of_string got))
+          then
+            QCheck.Test.fail_reportf "oracle:@.%s@.ingest:@.%s" oracle got
+          else true))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "xmerge"
@@ -634,6 +828,16 @@ let () =
           Alcotest.test_case "replace" `Quick test_update_replace;
           Alcotest.test_case "marker stripped" `Quick test_update_marker_stripped;
           Alcotest.test_case "result stays sorted" `Quick test_update_result_stays_sorted;
+          Alcotest.test_case "report counters" `Quick test_update_report_counters;
+        ] );
+      ( "ingest",
+        [
+          Alcotest.test_case "basic" `Quick test_ingest_basic;
+          Alcotest.test_case "index drops absent deletes" `Quick
+            test_ingest_index_drops_absent_deletes;
+          Alcotest.test_case "empty flush" `Quick test_ingest_empty_flush_is_noop;
+          Alcotest.test_case "rejects malformed" `Quick test_ingest_rejects_malformed;
+          qcheck prop_ingest_partition_invariant;
         ] );
       ( "seqnum",
         [
